@@ -1,0 +1,40 @@
+//! Ablation: barrier algorithm (centralized vs combining tree).
+//!
+//! DESIGN.md's barrier-choice ablation: the tree barrier combines arrivals
+//! per 4-core cluster before crossing the fabric on the modeled board; on
+//! the host this measures the pure algorithmic difference.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use romp::{BackendKind, BarrierKind, Config, Runtime};
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_algorithms");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for (name, kind) in [
+        ("centralized", BarrierKind::Centralized),
+        ("tree4", BarrierKind::Tree { arity: 4 }),
+        ("tree2", BarrierKind::Tree { arity: 2 }),
+    ] {
+        for team in [2usize, 4, 8] {
+            let rt = Runtime::with_config(
+                Config::default().with_backend(BackendKind::Native).with_barrier(kind),
+            )
+            .unwrap();
+            group.bench_function(format!("{name}/t{team}"), |b| {
+                b.iter(|| {
+                    rt.parallel(team, |w| {
+                        for _ in 0..16 {
+                            w.barrier();
+                        }
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

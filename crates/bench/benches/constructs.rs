@@ -1,0 +1,63 @@
+//! Criterion version of the Table I measurement: each OpenMP construct on
+//! both backends, so regressions in the MCA plumbing show up as a ratio
+//! drift between the `native/…` and `mca/…` series.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use romp::{BackendKind, ReduceOp, Runtime, Schedule};
+
+const TEAM: usize = 4;
+
+fn bench_constructs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructs");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for kind in BackendKind::all() {
+        let rt = Runtime::with_backend(kind).unwrap();
+        let label = kind.label();
+        group.bench_function(format!("{label}/parallel"), |b| {
+            b.iter(|| rt.parallel(TEAM, |_| {}));
+        });
+        group.bench_function(format!("{label}/for"), |b| {
+            b.iter(|| {
+                rt.parallel(TEAM, |w| {
+                    w.for_range(0..TEAM as u64, Schedule::Static { chunk: None }, |_| {});
+                })
+            });
+        });
+        group.bench_function(format!("{label}/barrier"), |b| {
+            b.iter(|| {
+                rt.parallel(TEAM, |w| {
+                    for _ in 0..8 {
+                        w.barrier();
+                    }
+                })
+            });
+        });
+        group.bench_function(format!("{label}/single"), |b| {
+            b.iter(|| {
+                rt.parallel(TEAM, |w| {
+                    w.single(|| {});
+                })
+            });
+        });
+        group.bench_function(format!("{label}/critical"), |b| {
+            b.iter(|| {
+                rt.parallel(TEAM, |w| {
+                    w.critical("bench", || {});
+                })
+            });
+        });
+        group.bench_function(format!("{label}/reduction"), |b| {
+            b.iter(|| {
+                rt.parallel(TEAM, |w| {
+                    w.reduce_u64(1, ReduceOp::Sum);
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructs);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation for §5B.3: the runtime's own spin-then-park lock (native)
+//! versus the MRAPI mutex with its lock-key protocol (MCA), uncontended and
+//! under team contention — the substitution behind Table I's `Critical`
+//! row.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use romp::{BackendKind, Runtime};
+
+fn bench_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_overhead");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for kind in BackendKind::all() {
+        let rt = Runtime::with_backend(kind).unwrap();
+        let label = kind.label();
+        let lock = rt.new_lock();
+        group.bench_function(format!("{label}/uncontended"), |b| {
+            b.iter(|| {
+                for _ in 0..100 {
+                    lock.with(|| std::hint::black_box(0u64));
+                }
+            });
+        });
+        let lock2 = rt.new_lock();
+        group.bench_function(format!("{label}/contended_t4"), |b| {
+            b.iter(|| {
+                rt.parallel(4, |_| {
+                    for _ in 0..50 {
+                        lock2.with(|| std::hint::black_box(0u64));
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation for §5A.1: thread-level MRAPI nodes (the paper's extension)
+//! versus the process-level style that stock MRAPI encourages.
+//!
+//! "The overhead due to launching a process and inter-process communication
+//! (IPC) can be a performance kill … threads are light-weight … able to
+//! exchange large data structures simply by passing pointers rather than
+//! copying."  The two series measure exactly that: a worker-thread node
+//! exchanging a payload by pointer, versus a node exchanging it through a
+//! system-segment copy (the process-style IPC path).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca_mrapi::{DomainId, MrapiSystem, NodeId, ShmemAttributes};
+
+const PAYLOAD: usize = 64 * 1024;
+
+fn bench_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_modes");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+
+    // Thread-level node: spawn, hand over an Arc (pointer passing), join.
+    group.bench_function("thread_node/spawn_and_share", |b| {
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let payload: Arc<Vec<u8>> = Arc::new(vec![42u8; PAYLOAD]);
+        let mut next = 1u32;
+        b.iter(|| {
+            let p = Arc::clone(&payload);
+            let w = master
+                .thread_create(NodeId(next), move |_| p.iter().map(|&b| b as u64).sum::<u64>())
+                .unwrap();
+            next += 1;
+            std::hint::black_box(w.join().unwrap());
+        });
+    });
+
+    // Process-style node: spawn, copy the payload through a system segment
+    // (serialize → IPC segment → deserialize), join.
+    group.bench_function("process_style/spawn_and_copy", |b| {
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let payload = vec![42u8; PAYLOAD];
+        let mut next = 1u32;
+        b.iter(|| {
+            let key = 0x100 + next;
+            let shm = master
+                .shmem_create(key, PAYLOAD, &ShmemAttributes::default())
+                .unwrap();
+            shm.write_bytes(0, &payload); // "send": copy into the segment
+            let w = master
+                .thread_create(NodeId(next), move |me| {
+                    let shm = me.shmem_get(key).unwrap();
+                    let mut local = vec![0u8; PAYLOAD];
+                    shm.read_bytes(0, &mut local); // "receive": copy out
+                    local.iter().map(|&b| b as u64).sum::<u64>()
+                })
+                .unwrap();
+            next += 1;
+            std::hint::black_box(w.join().unwrap());
+            shm.delete().unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nodes);
+criterion_main!(benches);

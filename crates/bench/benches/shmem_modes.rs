@@ -1,0 +1,59 @@
+//! Ablation for §5A.2: MRAPI shared memory with the paper's `use_malloc`
+//! extension (process-heap, thread-shareable, no IPC costs) versus the
+//! stock system-segment mode (coherency fence + modeled mapping/access
+//! costs) — the motivation for Listing 3's `gomp_malloc` change.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mca_mrapi::{DomainId, MrapiSystem, NodeId, ShmemAttributes};
+
+fn bench_shmem(c: &mut Criterion) {
+    let sys = MrapiSystem::new_t4240();
+    let node = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+    let heap = node
+        .shmem_create(1, 4096, &ShmemAttributes { use_malloc: true, ..Default::default() })
+        .unwrap();
+    let segment = node.shmem_create(2, 4096, &ShmemAttributes::default()).unwrap();
+
+    let mut group = c.benchmark_group("shmem_modes");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group.bench_function("use_malloc/word_rw", |b| {
+        b.iter(|| {
+            for i in 0..64usize {
+                heap.write_u64(i * 8 % 4096, i as u64);
+                std::hint::black_box(heap.read_u64(i * 8 % 4096));
+            }
+        });
+    });
+    group.bench_function("segment/word_rw", |b| {
+        b.iter(|| {
+            for i in 0..64usize {
+                segment.write_u64(i * 8 % 4096, i as u64);
+                std::hint::black_box(segment.read_u64(i * 8 % 4096));
+            }
+        });
+    });
+    group.bench_function("use_malloc/bulk_1k", |b| {
+        let buf = [7u8; 1024];
+        let mut out = [0u8; 1024];
+        b.iter(|| {
+            heap.write_bytes(0, &buf);
+            heap.read_bytes(0, &mut out);
+            std::hint::black_box(out[0]);
+        });
+    });
+    group.bench_function("segment/bulk_1k", |b| {
+        let buf = [7u8; 1024];
+        let mut out = [0u8; 1024];
+        b.iter(|| {
+            segment.write_bytes(0, &buf);
+            segment.read_bytes(0, &mut out);
+            std::hint::black_box(out[0]);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shmem);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! The MCA backend — the paper's MCA-libGOMP plumbing.
+//!
+//! Every service is routed through MRAPI, mirroring §5B:
+//!
+//! * **Node management** (§5B.1): the backend initializes a master MRAPI
+//!   node at construction; each pool worker is created with the
+//!   `mrapi_thread_create` extension, registering the worker in the
+//!   domain-global database, and is finalized when the pool thread joins;
+//! * **Memory mapping** (§5B.2, Listing 3): runtime-internal shared buffers
+//!   are MRAPI shared-memory segments created with the `use_malloc`
+//!   attribute — the paper's `gomp_malloc` replacement;
+//! * **Synchronization** (§5B.3, Listing 4): [`RegionLock`]s are MRAPI
+//!   mutexes; lock/unlock run the exact `mrapi_mutex_lock(handle, &key,
+//!   MRAPI_TIMEOUT_INFINITE, &status)` protocol;
+//! * **Metadata** (§5B.4): the online-processor count comes from the MRAPI
+//!   resource tree of the modeled board.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mca_mrapi::shmem::ShmemAttributes;
+use mca_mrapi::sync::MutexAttributes;
+use mca_mrapi::{
+    DomainId, MrapiSystem, Node, NodeId, ShmemHandle, WorkerNode, MRAPI_TIMEOUT_INFINITE,
+};
+use parking_lot::Mutex as PlMutex;
+
+use super::{Backend, BackendKind, RegionLock, SharedWords, WorkerJoin};
+use crate::RompError;
+
+/// Domain the OpenMP runtime occupies, one per backend instance.
+const OMP_DOMAIN: DomainId = DomainId(0x0E0);
+/// The master (initial) node id.
+const MASTER_NODE: NodeId = NodeId(0);
+
+/// The MCA-libGOMP backend.
+pub struct McaBackend {
+    #[allow(dead_code)]
+    system: MrapiSystem,
+    master: Node,
+    next_node: AtomicU32,
+    next_key: AtomicU32,
+}
+
+impl McaBackend {
+    /// Initialize on a fresh MRAPI system modeling the T4240RDB (each
+    /// runtime gets its own domain database, like each process on the
+    /// board).
+    pub fn new() -> Result<Self, RompError> {
+        Self::on_system(MrapiSystem::new_t4240())
+    }
+
+    /// Initialize on a caller-provided MRAPI system (shared-system setups,
+    /// tests with other topologies).
+    pub fn on_system(system: MrapiSystem) -> Result<Self, RompError> {
+        let master = system.initialize(OMP_DOMAIN, MASTER_NODE)?;
+        Ok(McaBackend {
+            system,
+            master,
+            next_node: AtomicU32::new(1),
+            next_key: AtomicU32::new(1),
+        })
+    }
+
+    /// The master MRAPI node (for tests and diagnostics).
+    pub fn master_node(&self) -> &Node {
+        &self.master
+    }
+
+    fn fresh_key(&self) -> u32 {
+        self.next_key.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// An MRAPI-mutex-backed lock, carrying the outstanding lock key as MRAPI
+/// requires (Listing 4's `mrapi_key_t`).
+struct McaLock {
+    mutex: mca_mrapi::MrapiMutex,
+    key_slot: PlMutex<Option<mca_mrapi::MutexKey>>,
+}
+
+impl RegionLock for McaLock {
+    fn lock(&self) {
+        let k = self
+            .mutex
+            .lock(MRAPI_TIMEOUT_INFINITE)
+            .expect("MRAPI mutex lock failed");
+        *self.key_slot.lock() = Some(k);
+    }
+
+    fn unlock(&self) {
+        let k = self.key_slot.lock().take().expect("unlock without lock");
+        self.mutex.unlock(&k).expect("MRAPI mutex unlock failed");
+    }
+
+    fn try_lock(&self) -> bool {
+        match self.mutex.try_lock() {
+            Ok(k) => {
+                *self.key_slot.lock() = Some(k);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Shared words carved from an MRAPI shmem segment (heap-backed via the
+/// `use_malloc` extension).
+struct ShmemWords(ShmemHandle);
+
+impl SharedWords for ShmemWords {
+    fn words(&self) -> &[AtomicU64] {
+        self.0.as_words()
+    }
+}
+
+struct McaJoin(WorkerNode<()>);
+
+impl WorkerJoin for McaJoin {
+    fn join(self: Box<Self>) {
+        let _ = self.0.join();
+    }
+}
+
+impl Backend for McaBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Mca
+    }
+
+    fn online_processors(&self) -> usize {
+        // §5B.4: read the processor count from the MRAPI metadata tree.
+        self.master.online_processors().unwrap_or(1)
+    }
+
+    fn spawn_worker(
+        &self,
+        label: String,
+        body: Box<dyn FnOnce() + Send>,
+    ) -> Result<Box<dyn WorkerJoin>, RompError> {
+        let id = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
+        let attrs = mca_mrapi::NodeAttributes { affinity_hw_thread: None, name: Some(label) };
+        let worker = self.master.thread_create_with_attrs(id, attrs, move |_node| body())?;
+        Ok(Box::new(McaJoin(worker)))
+    }
+
+    fn new_lock(&self) -> Arc<dyn RegionLock> {
+        let mutex = self
+            .master
+            .mutex_create(0x4000_0000 | self.fresh_key(), &MutexAttributes::default())
+            .expect("MRAPI mutex create failed");
+        Arc::new(McaLock { mutex, key_slot: PlMutex::new(None) })
+    }
+
+    fn alloc_shared_words(&self, words: usize) -> Arc<dyn SharedWords> {
+        // Listing 3: shm_attr.use_malloc = MCA_TRUE.
+        let attrs = ShmemAttributes { use_malloc: true, ..Default::default() };
+        let handle = self
+            .master
+            .shmem_create(0x8000_0000 | self.fresh_key(), (words * 8).max(8), &attrs)
+            .expect("MRAPI shmem create failed");
+        Arc::new(ShmemWords(handle))
+    }
+
+    fn shutdown(&self) {
+        // Master finalization happens on drop of the last Node clone; the
+        // registry entry is removed eagerly here so repeated
+        // construct/destroy cycles in one process don't collide.
+        if self.master.is_initialized() {
+            let _ = self.master.clone().finalize();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_register_in_domain_database() {
+        let be = McaBackend::new().unwrap();
+        let sys = be.system.clone();
+        assert_eq!(sys.node_count(OMP_DOMAIN), 1, "master only");
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g2 = Arc::clone(&gate);
+        let j = be
+            .spawn_worker("w".into(), Box::new(move || {
+                g2.wait(); // hold the node alive until counted
+                g2.wait();
+            }))
+            .unwrap();
+        gate.wait();
+        assert_eq!(sys.node_count(OMP_DOMAIN), 2, "worker node registered");
+        gate.wait();
+        j.join();
+        assert_eq!(sys.node_count(OMP_DOMAIN), 1, "worker node finalized on join");
+    }
+
+    #[test]
+    fn shared_words_are_malloc_backed_shmem() {
+        let be = McaBackend::new().unwrap();
+        let before = be.system.simulated_transfer_ns();
+        let buf = be.alloc_shared_words(8);
+        buf.words()[0].store(1, Ordering::Release);
+        assert_eq!(
+            be.system.simulated_transfer_ns(),
+            before,
+            "use_malloc path must not charge IPC costs (Listing 3 semantics)"
+        );
+    }
+
+    #[test]
+    fn listing_4_lock_protocol() {
+        let be = McaBackend::new().unwrap();
+        let lock = be.new_lock();
+        lock.lock();
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    fn distinct_locks_do_not_alias() {
+        let be = McaBackend::new().unwrap();
+        let a = be.new_lock();
+        let b = be.new_lock();
+        a.lock();
+        assert!(b.try_lock(), "b must be independent of a");
+        b.unlock();
+        a.unlock();
+    }
+
+    #[test]
+    fn shutdown_allows_recreation_on_shared_system() {
+        let sys = MrapiSystem::new_t4240();
+        let be = McaBackend::on_system(sys.clone()).unwrap();
+        be.shutdown();
+        // Master slot freed: a second backend can claim it.
+        let be2 = McaBackend::on_system(sys).unwrap();
+        be2.shutdown();
+    }
+}

@@ -1,0 +1,176 @@
+//! The backend abstraction: everything the paper swapped out of libGOMP.
+//!
+//! The paper's §5B identifies four libGOMP touch-points it reroutes through
+//! MCA: worker-thread creation (node management), runtime-internal shared
+//! allocation (memory mapping), mutexes (synchronization), and processor
+//! discovery (metadata).  [`Backend`] is exactly that seam; the rest of the
+//! runtime is backend-agnostic, so measuring `native` against `mca` isolates
+//! the cost of the MCA layer — the paper's Table I experiment.
+
+mod mca;
+mod native;
+
+pub use mca::McaBackend;
+pub use native::NativeBackend;
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use crate::RompError;
+
+/// Which backend a runtime uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Stock-libGOMP analogue: `std::thread` + the runtime's own locks.
+    Native,
+    /// The paper's MCA-libGOMP: MRAPI nodes, mutexes, shmem, metadata.
+    Mca,
+}
+
+impl BackendKind {
+    /// Parse `"native"` / `"mca"` (case-insensitive), as accepted by the
+    /// `ROMP_BACKEND` environment variable.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "native" | "gomp" => Some(BackendKind::Native),
+            "mca" | "mrapi" | "mca-gomp" => Some(BackendKind::Mca),
+            _ => None,
+        }
+    }
+
+    /// Both kinds, for test/bench matrices.
+    pub fn all() -> [BackendKind; 2] {
+        [BackendKind::Native, BackendKind::Mca]
+    }
+
+    /// Display label (`"native"` / `"mca"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Native => "native",
+            BackendKind::Mca => "mca",
+        }
+    }
+}
+
+/// A mutual-exclusion lock supplied by the backend — the `gomp_mutex`
+/// replacement seam of §5B.3.
+pub trait RegionLock: Send + Sync {
+    /// Acquire, blocking as needed.
+    fn lock(&self);
+    /// Release; caller must hold the lock.
+    fn unlock(&self);
+    /// Acquire without blocking; `true` on success.
+    fn try_lock(&self) -> bool;
+}
+
+/// A shared word buffer supplied by the backend — the `gomp_malloc`
+/// replacement seam of §5B.2 (reduction scratch, copyprivate staging).
+pub trait SharedWords: Send + Sync {
+    /// The words; all access is through atomics, so any worker may touch
+    /// any word.
+    fn words(&self) -> &[AtomicU64];
+}
+
+/// Join handle for a pool worker thread.
+pub trait WorkerJoin: Send {
+    /// Wait for the worker to exit (used at runtime shutdown).
+    fn join(self: Box<Self>);
+}
+
+/// The services the runtime obtains from its backing layer.
+pub trait Backend: Send + Sync + 'static {
+    /// Which kind this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Short label for reports.
+    fn name(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// How many processors are online — §5B.4's metadata query; sizes the
+    /// default team.
+    fn online_processors(&self) -> usize;
+
+    /// Spawn a long-lived pool worker running `body` — §5B.1's node
+    /// management.  `label` names the thread for diagnostics.
+    fn spawn_worker(
+        &self,
+        label: String,
+        body: Box<dyn FnOnce() + Send>,
+    ) -> Result<Box<dyn WorkerJoin>, RompError>;
+
+    /// A fresh mutual-exclusion lock — §5B.3's synchronization mapping.
+    fn new_lock(&self) -> Arc<dyn RegionLock>;
+
+    /// A shared buffer of `words` u64 cells — §5B.2's memory mapping.
+    fn alloc_shared_words(&self, words: usize) -> Arc<dyn SharedWords>;
+
+    /// Called once when the runtime shuts down.
+    fn shutdown(&self) {}
+}
+
+/// Construct a backend of the given kind.
+pub fn make_backend(kind: BackendKind) -> Result<Box<dyn Backend>, RompError> {
+    match kind {
+        BackendKind::Native => Ok(Box::new(NativeBackend::new())),
+        BackendKind::Mca => Ok(Box::new(McaBackend::new()?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!(BackendKind::parse("native"), Some(BackendKind::Native));
+        assert_eq!(BackendKind::parse(" MCA "), Some(BackendKind::Mca));
+        assert_eq!(BackendKind::parse("mrapi"), Some(BackendKind::Mca));
+        assert_eq!(BackendKind::parse("pthread"), None);
+    }
+
+    /// Exercise the full trait surface uniformly for both backends.
+    #[test]
+    fn backend_contract_matrix() {
+        for kind in BackendKind::all() {
+            let be = make_backend(kind).unwrap();
+            assert_eq!(be.kind(), kind);
+            assert!(be.online_processors() >= 1, "{}", be.name());
+
+            // Locks exclude.
+            let lock = be.new_lock();
+            lock.lock();
+            assert!(!lock.try_lock(), "{}: relock must fail", be.name());
+            lock.unlock();
+            assert!(lock.try_lock());
+            lock.unlock();
+
+            // Shared words are shared and atomic.
+            let buf = be.alloc_shared_words(4);
+            assert_eq!(buf.words().len(), 4);
+            buf.words()[2].store(99, Ordering::Release);
+            assert_eq!(buf.words()[2].load(Ordering::Acquire), 99);
+
+            // Workers run and join.
+            let flag = Arc::new(AtomicU64::new(0));
+            let f2 = Arc::clone(&flag);
+            let j = be
+                .spawn_worker("contract-test".into(), Box::new(move || {
+                    f2.store(7, Ordering::Release);
+                }))
+                .unwrap();
+            j.join();
+            assert_eq!(flag.load(Ordering::Acquire), 7, "{}", be.name());
+            be.shutdown();
+        }
+    }
+
+    #[test]
+    fn mca_backend_reports_board_processors() {
+        let be = McaBackend::new().unwrap();
+        // The MCA backend sizes teams from the MRAPI metadata tree of the
+        // modeled T4240 board: 24 hardware threads.
+        assert_eq!(be.online_processors(), 24);
+    }
+}

@@ -1,0 +1,126 @@
+//! The native backend — stand-in for stock libGOMP.
+//!
+//! Uses the host's threads directly, the runtime's own spin-then-park lock
+//! ([`crate::sync::RawMutex`]), plain heap allocation for shared buffers,
+//! and `std::thread::available_parallelism` for processor discovery.  This
+//! is the baseline every Table I ratio divides by.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::thread;
+
+use super::{Backend, BackendKind, RegionLock, SharedWords, WorkerJoin};
+use crate::sync::RawMutex;
+use crate::RompError;
+
+/// The stock-libGOMP analogue backend.
+#[derive(Debug, Default)]
+pub struct NativeBackend {
+    _priv: (),
+}
+
+impl NativeBackend {
+    /// Create the backend (infallible).
+    pub fn new() -> Self {
+        NativeBackend { _priv: () }
+    }
+}
+
+struct NativeLock(RawMutex);
+
+impl RegionLock for NativeLock {
+    fn lock(&self) {
+        self.0.lock();
+    }
+    fn unlock(&self) {
+        self.0.unlock();
+    }
+    fn try_lock(&self) -> bool {
+        self.0.try_lock()
+    }
+}
+
+struct HeapWords(Box<[AtomicU64]>);
+
+impl SharedWords for HeapWords {
+    fn words(&self) -> &[AtomicU64] {
+        &self.0
+    }
+}
+
+struct NativeJoin(thread::JoinHandle<()>);
+
+impl WorkerJoin for NativeJoin {
+    fn join(self: Box<Self>) {
+        let _ = self.0.join();
+    }
+}
+
+impl Backend for NativeBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Native
+    }
+
+    fn online_processors(&self) -> usize {
+        thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+    }
+
+    fn spawn_worker(
+        &self,
+        label: String,
+        body: Box<dyn FnOnce() + Send>,
+    ) -> Result<Box<dyn WorkerJoin>, RompError> {
+        let handle = thread::Builder::new()
+            .name(label)
+            .spawn(body)
+            .map_err(|e| RompError::Config(format!("thread spawn failed: {e}")))?;
+        Ok(Box::new(NativeJoin(handle)))
+    }
+
+    fn new_lock(&self) -> Arc<dyn RegionLock> {
+        Arc::new(NativeLock(RawMutex::new()))
+    }
+
+    fn alloc_shared_words(&self, words: usize) -> Arc<dyn SharedWords> {
+        let buf = (0..words).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice();
+        Arc::new(HeapWords(buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn lock_excludes_across_threads() {
+        let be = NativeBackend::new();
+        let lock = be.new_lock();
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        lock.lock();
+                        let v = c.load(Ordering::Relaxed);
+                        c.store(v + 1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn shared_words_zero_initialized() {
+        let be = NativeBackend::new();
+        let b = be.alloc_shared_words(16);
+        assert!(b.words().iter().all(|w| w.load(Ordering::Relaxed) == 0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Runtime configuration — the OpenMP internal control variables (ICVs).
+//!
+//! Honoured environment variables, matching libGOMP where one exists:
+//!
+//! | variable           | meaning                                   |
+//! |--------------------|-------------------------------------------|
+//! | `OMP_NUM_THREADS`  | default team size                         |
+//! | `OMP_SCHEDULE`     | schedule for `Schedule::Runtime` loops    |
+//! | `OMP_DYNAMIC`      | allow the runtime to shrink teams         |
+//! | `ROMP_BACKEND`     | `native` or `mca` (reproduction's switch) |
+//! | `ROMP_BARRIER`     | `centralized` or `tree[:arity]`           |
+
+use crate::backend::BackendKind;
+use crate::barrier::BarrierKind;
+use crate::schedule::Schedule;
+
+/// Construction-time configuration for a [`crate::Runtime`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Which backend provides threads/locks/memory/metadata.
+    pub backend: BackendKind,
+    /// Default team size; `None` means "ask the backend for the number of
+    /// online processors" (the paper's §5B.4 metadata path).
+    pub num_threads: Option<usize>,
+    /// The `schedule(runtime)` schedule (`OMP_SCHEDULE`).
+    pub runtime_schedule: Schedule,
+    /// Whether the runtime may shrink requested team sizes (`OMP_DYNAMIC`).
+    pub dynamic: bool,
+    /// Barrier algorithm for all teams.
+    pub barrier: BarrierKind,
+    /// Collect per-worker CPU-time profiles for the virtual-time engine.
+    pub profiling: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            backend: BackendKind::Native,
+            num_threads: None,
+            runtime_schedule: Schedule::Static { chunk: None },
+            dynamic: false,
+            barrier: BarrierKind::Centralized,
+            profiling: false,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration overlaid with the environment.
+    pub fn from_env() -> Self {
+        Self::from_vars(|k| std::env::var(k).ok())
+    }
+
+    /// Testable core of [`Config::from_env`]: read variables through `get`.
+    /// Unparsable values are ignored (libGOMP warns-and-ignores likewise).
+    pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> Self {
+        let mut cfg = Config::default();
+        if let Some(v) = get("ROMP_BACKEND").and_then(|s| BackendKind::parse(&s)) {
+            cfg.backend = v;
+        }
+        if let Some(n) = get("OMP_NUM_THREADS").and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n > 0 {
+                cfg.num_threads = Some(n);
+            }
+        }
+        if let Some(s) = get("OMP_SCHEDULE").and_then(|s| Schedule::parse(&s)) {
+            cfg.runtime_schedule = s;
+        }
+        if let Some(d) = get("OMP_DYNAMIC") {
+            cfg.dynamic = matches!(d.trim().to_ascii_lowercase().as_str(), "true" | "1" | "yes");
+        }
+        if let Some(b) = get("ROMP_BARRIER") {
+            let b = b.trim().to_ascii_lowercase();
+            if b == "centralized" {
+                cfg.barrier = BarrierKind::Centralized;
+            } else if let Some(rest) = b.strip_prefix("tree") {
+                let arity = rest
+                    .strip_prefix(':')
+                    .and_then(|a| a.parse::<usize>().ok())
+                    .filter(|&a| a >= 2)
+                    .unwrap_or(4);
+                cfg.barrier = BarrierKind::Tree { arity };
+            }
+        }
+        cfg
+    }
+
+    /// Builder: set the backend.
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// Builder: set the default team size.
+    pub fn with_num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builder: set the barrier algorithm.
+    pub fn with_barrier(mut self, kind: BarrierKind) -> Self {
+        self.barrier = kind;
+        self
+    }
+
+    /// Builder: enable per-worker CPU profiling.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |k| pairs.iter().find(|(n, _)| *n == k).map(|(_, v)| v.to_string())
+    }
+
+    #[test]
+    fn default_is_native_auto_sized() {
+        let c = Config::default();
+        assert_eq!(c.backend, BackendKind::Native);
+        assert_eq!(c.num_threads, None);
+        assert!(!c.dynamic);
+    }
+
+    #[test]
+    fn env_overlay() {
+        let c = Config::from_vars(vars(&[
+            ("ROMP_BACKEND", "mca"),
+            ("OMP_NUM_THREADS", "12"),
+            ("OMP_SCHEDULE", "dynamic,4"),
+            ("OMP_DYNAMIC", "true"),
+            ("ROMP_BARRIER", "tree:8"),
+        ]));
+        assert_eq!(c.backend, BackendKind::Mca);
+        assert_eq!(c.num_threads, Some(12));
+        assert_eq!(c.runtime_schedule, Schedule::Dynamic { chunk: 4 });
+        assert!(c.dynamic);
+        assert_eq!(c.barrier, BarrierKind::Tree { arity: 8 });
+    }
+
+    #[test]
+    fn bad_values_ignored() {
+        let c = Config::from_vars(vars(&[
+            ("ROMP_BACKEND", "fortran"),
+            ("OMP_NUM_THREADS", "0"),
+            ("OMP_SCHEDULE", "chaotic"),
+            ("ROMP_BARRIER", "tree:1"),
+        ]));
+        assert_eq!(c.backend, BackendKind::Native);
+        assert_eq!(c.num_threads, None);
+        assert_eq!(c.runtime_schedule, Schedule::Static { chunk: None });
+        assert_eq!(c.barrier, BarrierKind::Tree { arity: 4 }, "bad arity falls back to 4");
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = Config::default()
+            .with_backend(BackendKind::Mca)
+            .with_num_threads(6)
+            .with_barrier(BarrierKind::Tree { arity: 2 })
+            .with_profiling(true);
+        assert_eq!(c.backend, BackendKind::Mca);
+        assert_eq!(c.num_threads, Some(6));
+        assert!(c.profiling);
+    }
+}

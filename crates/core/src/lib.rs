@@ -1,0 +1,115 @@
+//! # romp — an OpenMP-style runtime with pluggable MCA backends
+//!
+//! This crate is the reproduction's core: the role that **libGOMP** (GNU's
+//! OpenMP runtime) plays in the paper, rebuilt in Rust with the low-level
+//! services behind a [`Backend`] trait so that the paper's experiment — *swap
+//! the OS-facing plumbing for MCA/MRAPI and show it costs nothing* — can be
+//! run as an apples-to-apples comparison:
+//!
+//! * [`backend::NativeBackend`] (= stock libGOMP): `std::thread` workers,
+//!   the runtime's own atomics-based locks, `available_parallelism` for
+//!   processor discovery, plain heap for runtime-internal shared buffers;
+//! * [`backend::McaBackend`] (= the paper's MCA-libGOMP): workers created
+//!   through MRAPI's node-management extension (`mrapi_thread_create`,
+//!   §5A.1/§5B.1), locks through MRAPI mutexes (§5B.3, Listing 4),
+//!   runtime-internal shared buffers through MRAPI shared memory with the
+//!   `use_malloc` attribute (§5A.2/§5B.2, Listing 3), and processor counts
+//!   from MRAPI metadata resource trees (§5B.4).
+//!
+//! On top of the backend sits a full fork/join runtime: a persistent worker
+//! pool, `parallel` regions, worksharing loops (static / dynamic / guided /
+//! auto / runtime schedules), `barrier`, `single` (with copyprivate),
+//! `master`, `sections`, named `critical`, `ordered`, reductions, explicit
+//! tasks with `taskwait`, and an OpenMP-style lock API.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use romp::{Runtime, BackendKind, Schedule};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+//!
+//! // #pragma omp parallel for reduction(+:sum)
+//! let sum: u64 = rt.parallel_reduce_sum(8, 0..10_000u64, |i| i);
+//! assert_eq!(sum, 49_995_000);
+//!
+//! // An explicit region with worksharing and a barrier.
+//! let hits = AtomicU64::new(0);
+//! rt.parallel(4, |w| {
+//!     w.for_range(0..100u64, Schedule::Dynamic { chunk: 8 }, |_i| {
+//!         hits.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     w.barrier();
+//!     if w.thread_num() == 0 {
+//!         assert_eq!(hits.load(Ordering::Relaxed), 100);
+//!     }
+//! });
+//! ```
+//!
+//! ## Fidelity notes
+//!
+//! * Worker threads are MRAPI *nodes*, registered in the domain-global
+//!   database for the lifetime of the pool thread and finalized when the
+//!   runtime shuts down — the lifecycle of §5B.1.
+//! * Nested `parallel` follows the OpenMP default (`OMP_NESTED=false`):
+//!   a nested region executes with a team of one (the encountering thread).
+//! * The environment is honoured like libGOMP's: `OMP_NUM_THREADS`,
+//!   `OMP_SCHEDULE`, `OMP_DYNAMIC`, plus `ROMP_BACKEND=native|mca` to pick
+//!   the backend (the reproduction's switch between the two toolchains).
+
+pub mod backend;
+pub mod barrier;
+pub mod config;
+pub mod lock;
+pub mod schedule;
+pub mod stats;
+pub mod sync;
+pub mod team;
+pub mod worker;
+
+mod runtime;
+
+pub use backend::{Backend, BackendKind, RegionLock, SharedWords};
+pub use barrier::BarrierKind;
+pub use config::Config;
+pub use lock::OmpLock;
+pub use runtime::Runtime;
+pub use schedule::Schedule;
+pub use stats::RuntimeStats;
+pub use worker::{ReduceOp, Worker};
+
+/// `omp_get_wtime`: seconds since an arbitrary fixed point, for portable
+/// elapsed-time measurement in ported OpenMP code.
+pub fn wtime() -> f64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Error type for runtime construction.
+#[derive(Debug)]
+pub enum RompError {
+    /// The MCA backend failed to initialize its MRAPI node.
+    Mrapi(mca_mrapi::MrapiError),
+    /// Invalid configuration value (message explains).
+    Config(String),
+}
+
+impl std::fmt::Display for RompError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RompError::Mrapi(e) => write!(f, "MRAPI error: {e}"),
+            RompError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RompError {}
+
+impl From<mca_mrapi::MrapiError> for RompError {
+    fn from(e: mca_mrapi::MrapiError) -> Self {
+        RompError::Mrapi(e)
+    }
+}

@@ -1,0 +1,91 @@
+//! The OpenMP lock API (`omp_init_lock` family).
+//!
+//! OpenMP exposes explicit locks alongside `critical`; this runtime's locks
+//! come from the backend, so on the MCA backend an [`OmpLock`] is an MRAPI
+//! mutex — the user-facing face of the §5B.3 mapping.
+
+use std::sync::Arc;
+
+use crate::backend::RegionLock;
+
+/// An explicit OpenMP-style lock.
+///
+/// Cloning shares the lock.  Prefer [`OmpLock::with`] (RAII-style) over the
+/// raw `set`/`unset` pair.
+#[derive(Clone)]
+pub struct OmpLock {
+    inner: Arc<dyn RegionLock>,
+}
+
+impl OmpLock {
+    pub(crate) fn new(inner: Arc<dyn RegionLock>) -> Self {
+        OmpLock { inner }
+    }
+
+    /// `omp_set_lock`: acquire, blocking as needed.
+    pub fn set(&self) {
+        self.inner.lock();
+    }
+
+    /// `omp_unset_lock`: release; the caller must hold the lock.
+    pub fn unset(&self) {
+        self.inner.unlock();
+    }
+
+    /// `omp_test_lock`: acquire without blocking; `true` on success.
+    pub fn test(&self) -> bool {
+        self.inner.try_lock()
+    }
+
+    /// Run `f` under the lock.
+    pub fn with<T>(&self, f: impl FnOnce() -> T) -> T {
+        self.set();
+        let out = f();
+        self.unset();
+        out
+    }
+}
+
+impl std::fmt::Debug for OmpLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OmpLock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BackendKind, Runtime};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn lock_api_both_backends() {
+        for kind in BackendKind::all() {
+            let rt = Runtime::with_backend(kind).unwrap();
+            let lock = rt.new_lock();
+            lock.set();
+            assert!(!lock.test());
+            lock.unset();
+            assert!(lock.test());
+            lock.unset();
+        }
+    }
+
+    #[test]
+    fn lock_protects_team_updates() {
+        for kind in BackendKind::all() {
+            let rt = Runtime::with_backend(kind).unwrap();
+            let lock = rt.new_lock();
+            let value = AtomicU64::new(0);
+            rt.parallel(4, |_w| {
+                for _ in 0..250 {
+                    lock.with(|| {
+                        // Non-atomic RMW made safe only by the lock.
+                        let v = value.load(Ordering::Relaxed);
+                        value.store(v + 1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(value.load(Ordering::Relaxed), 1000, "{kind:?}");
+        }
+    }
+}

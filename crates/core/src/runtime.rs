@@ -1,0 +1,435 @@
+//! The [`Runtime`]: pool ownership, fork/join, and the public entry points.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::panic;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::{Condvar, Mutex as PlMutex};
+
+use crate::backend::{make_backend, Backend, BackendKind, RegionLock, WorkerJoin};
+use crate::barrier::Barrier;
+use crate::config::Config;
+use crate::lock::OmpLock;
+use crate::schedule::Schedule;
+use crate::stats::{ProfileAccum, RuntimeStats, StatsSnapshot};
+use crate::sync::BackendMutex;
+use crate::team::{run_region_member, JobMsg, PoolSlot, RegionFn, TeamShared};
+use crate::worker::{ReduceOp, Worker};
+use crate::RompError;
+
+use mca_platform::vtime::RegionProfile;
+
+thread_local! {
+    /// Set while this thread is executing inside a parallel region, so a
+    /// nested `parallel` serializes (the OpenMP `OMP_NESTED=false` default).
+    /// Maintained by `run_region_member` for every team member — masters
+    /// and pool workers alike — because a nested `parallel` from a pool
+    /// worker would otherwise block on the region gate the master holds.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Flag accessors for `team::run_region_member`.
+pub(crate) fn enter_region_flag() -> bool {
+    IN_PARALLEL.with(|c| c.replace(true))
+}
+
+pub(crate) fn restore_region_flag(prev: bool) {
+    IN_PARALLEL.with(|c| c.set(prev));
+}
+
+/// Hard cap on team size, protecting the host from runaway requests.
+const MAX_TEAM: usize = 512;
+
+/// Erase the region closure's lifetime into a [`RegionFn`].
+///
+/// SAFETY: the returned pointer is only dereferenced by team members while
+/// the region runs, and `parallel` does not return until every member has
+/// passed the end-of-region barrier (i.e. finished calling the closure), so
+/// the referent strictly outlives every dereference.
+fn erase_region_fn<F: Fn(&Worker) + Sync>(f: &F) -> RegionFn {
+    let short: &(dyn Fn(&Worker) + Sync) = f;
+    // Fat-pointer lifetime transmute; layout is identical.
+    let long: &'static (dyn Fn(&Worker) + Sync + 'static) = unsafe { std::mem::transmute(short) };
+    RegionFn(long as *const _)
+}
+
+pub(crate) struct RtInner {
+    pub backend: Box<dyn Backend>,
+    pub cfg: Config,
+    pool: PlMutex<Vec<Arc<PoolSlot>>>,
+    joins: PlMutex<Vec<Box<dyn WorkerJoin>>>,
+    /// Serializes parallel regions launched from different threads; the
+    /// dock slots are single-occupancy.
+    region_gate: PlMutex<()>,
+    /// Named critical-section locks (`#pragma omp critical(name)` is
+    /// program-global in OpenMP; runtime-global here).
+    criticals: BackendMutex<HashMap<String, Arc<dyn RegionLock>>>,
+    pub stats: RuntimeStats,
+    profile: PlMutex<ProfileAccum>,
+    profiling: AtomicBool,
+}
+
+impl RtInner {
+    /// The lock backing `critical(name)`, created through the backend on
+    /// first use (Listing 4's `mrapi_mutex_create` initialization step).
+    pub(crate) fn critical_lock(&self, name: &str) -> Arc<dyn RegionLock> {
+        self.criticals.with(|map| match map.get(name) {
+            Some(l) => Arc::clone(l),
+            None => {
+                let l = self.backend.new_lock();
+                map.insert(name.to_string(), Arc::clone(&l));
+                l
+            }
+        })
+    }
+
+    /// A minimal native-backed inner for unit tests in sibling modules.
+    #[cfg(test)]
+    pub(crate) fn for_tests() -> Arc<RtInner> {
+        let backend: Box<dyn Backend> = Box::new(crate::backend::NativeBackend::new());
+        let criticals = BackendMutex::new(backend.new_lock(), HashMap::new());
+        Arc::new(RtInner {
+            backend,
+            cfg: Config::default(),
+            pool: PlMutex::new(Vec::new()),
+            joins: PlMutex::new(Vec::new()),
+            region_gate: PlMutex::new(()),
+            criticals,
+            stats: RuntimeStats::default(),
+            profile: PlMutex::new(ProfileAccum::default()),
+            profiling: AtomicBool::new(false),
+        })
+    }
+
+    fn new_team(&self, size: usize) -> Arc<TeamShared> {
+        Arc::new(TeamShared {
+            size,
+            barrier: Barrier::new(size, self.cfg.barrier),
+            constructs: BackendMutex::new(self.backend.new_lock(), HashMap::new()),
+            reduce_words: self.backend.alloc_shared_words(size + 1),
+            tasks: SegQueue::new(),
+            outstanding_tasks: AtomicUsize::new(0),
+            ordered_cursor: PlMutex::new(0),
+            ordered_cv: Condvar::new(),
+            panic: PlMutex::new(None),
+            cpu_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            counters: Default::default(),
+        })
+    }
+
+    /// Grow the dock to at least `n` slots.
+    fn ensure_pool(self: &Arc<Self>, n: usize) -> Result<(), RompError> {
+        let mut pool = self.pool.lock();
+        while pool.len() < n {
+            let slot = PoolSlot::new();
+            let s2 = Arc::clone(&slot);
+            let label = format!("romp-worker-{}", pool.len() + 1);
+            let join = self.backend.spawn_worker(label, Box::new(move || s2.worker_loop()))?;
+            self.joins.lock().push(join);
+            pool.push(slot);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for RtInner {
+    fn drop(&mut self) {
+        for slot in self.pool.lock().iter() {
+            slot.send_exit();
+        }
+        for join in self.joins.lock().drain(..) {
+            join.join();
+        }
+        self.backend.shutdown();
+    }
+}
+
+/// The OpenMP-style runtime: owns a backend and a persistent worker pool.
+///
+/// Cheap to clone (shared handle).  See the crate docs for an overview and
+/// [`Worker`] for the constructs available inside a region.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<RtInner>,
+}
+
+impl Runtime {
+    /// Environment-configured runtime (`ROMP_BACKEND`, `OMP_NUM_THREADS`,
+    /// `OMP_SCHEDULE`, ...).
+    pub fn new() -> Result<Self, RompError> {
+        Self::with_config(Config::from_env())
+    }
+
+    /// Default configuration on the given backend.
+    pub fn with_backend(kind: BackendKind) -> Result<Self, RompError> {
+        Self::with_config(Config::default().with_backend(kind))
+    }
+
+    /// Fully explicit construction.
+    pub fn with_config(cfg: Config) -> Result<Self, RompError> {
+        let backend = make_backend(cfg.backend)?;
+        let criticals = BackendMutex::new(backend.new_lock(), HashMap::new());
+        let profiling = cfg.profiling;
+        Ok(Runtime {
+            inner: Arc::new(RtInner {
+                backend,
+                cfg,
+                pool: PlMutex::new(Vec::new()),
+                joins: PlMutex::new(Vec::new()),
+                region_gate: PlMutex::new(()),
+                criticals,
+                stats: RuntimeStats::default(),
+                profile: PlMutex::new(ProfileAccum::default()),
+                profiling: AtomicBool::new(profiling),
+            }),
+        })
+    }
+
+    /// Which backend this runtime uses.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.inner.backend.kind()
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> &Config {
+        &self.inner.cfg
+    }
+
+    /// Default team size: the configured `OMP_NUM_THREADS`, else the
+    /// backend's online-processor count (§5B.4 metadata on the MCA
+    /// backend).
+    pub fn max_threads(&self) -> usize {
+        self.inner.cfg.num_threads.unwrap_or_else(|| self.inner.backend.online_processors())
+    }
+
+    /// `omp_in_parallel` for the calling thread.
+    pub fn in_parallel() -> bool {
+        IN_PARALLEL.with(|c| c.get())
+    }
+
+    fn normalize_team(&self, requested: usize) -> usize {
+        let n = if requested == 0 { self.max_threads() } else { requested };
+        let n = if self.inner.cfg.dynamic {
+            n.min(self.inner.backend.online_processors())
+        } else {
+            n
+        };
+        n.clamp(1, MAX_TEAM)
+    }
+
+    /// `#pragma omp parallel num_threads(n)` — run `f` on a team of `n`
+    /// members (0 = default size).  Thread 0 is the calling thread; the
+    /// region ends with an implicit barrier; member panics propagate to the
+    /// caller after the region completes.
+    pub fn parallel<F>(&self, num_threads: usize, f: F)
+    where
+        F: Fn(&Worker) + Sync,
+    {
+        if Self::in_parallel() {
+            // Nested region: OpenMP default is a team of one (serialized).
+            self.run_inline_team(&f);
+            return;
+        }
+        let n = self.normalize_team(num_threads);
+        let _gate = self.inner.region_gate.lock();
+        self.inner.stats.regions.fetch_add(1, Ordering::Relaxed);
+        let team = self.inner.new_team(n);
+        self.inner.ensure_pool(n.saturating_sub(1)).expect("worker spawn failed");
+        let profiling = self.inner.profiling.load(Ordering::Relaxed);
+        let func = erase_region_fn(&f);
+        {
+            let pool = self.inner.pool.lock();
+            for tid in 1..n {
+                pool[tid - 1].assign(JobMsg {
+                    team: Arc::clone(&team),
+                    tid,
+                    func,
+                    rt: Arc::as_ptr(&self.inner),
+                    profiling,
+                });
+            }
+        }
+        run_region_member(&JobMsg {
+            team: Arc::clone(&team),
+            tid: 0,
+            func,
+            rt: Arc::as_ptr(&self.inner),
+            profiling,
+        });
+        // All members have passed the end barrier: fold this team's
+        // counters into the runtime totals.
+        let barriers = team.counters.barriers.load(Ordering::Relaxed);
+        let criticals = team.counters.criticals.load(Ordering::Relaxed);
+        self.inner.stats.barriers.fetch_add(barriers, Ordering::Relaxed);
+        self.inner.stats.criticals.fetch_add(criticals, Ordering::Relaxed);
+        self.inner
+            .stats
+            .singles
+            .fetch_add(team.counters.singles.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.inner
+            .stats
+            .loops
+            .fetch_add(team.counters.loops.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.inner
+            .stats
+            .tasks
+            .fetch_add(team.counters.tasks.load(Ordering::Relaxed), Ordering::Relaxed);
+        if profiling {
+            let cpu: Vec<u64> =
+                team.cpu_ns.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            self.inner.profile.lock().merge(&cpu, barriers, criticals);
+        }
+        let payload = team.panic.lock().take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    fn run_inline_team<F: Fn(&Worker) + Sync>(&self, f: &F) {
+        let team = self.inner.new_team(1);
+        let func = erase_region_fn(f);
+        run_region_member(&JobMsg {
+            team: Arc::clone(&team),
+            tid: 0,
+            func,
+            rt: Arc::as_ptr(&self.inner),
+            profiling: false,
+        });
+        let payload = team.panic.lock().take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    /// Run a region and collect each member's return value (indexed by
+    /// thread number).
+    pub fn parallel_map<T, F>(&self, num_threads: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Worker) -> T + Sync,
+    {
+        let n = self.normalize_team(num_threads);
+        let slots: Vec<PlMutex<Option<T>>> = (0..n).map(|_| PlMutex::new(None)).collect();
+        self.parallel(n, |w| {
+            let v = f(w);
+            *slots[w.thread_num()].lock() = Some(v);
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every member stores a value"))
+            .collect()
+    }
+
+    /// `#pragma omp parallel for` — fork a team and workshare `range`.
+    pub fn parallel_for<F>(&self, num_threads: usize, range: std::ops::Range<u64>, sched: Schedule, f: F)
+    where
+        F: Fn(u64) + Sync,
+    {
+        self.parallel(num_threads, |w| {
+            w.for_range_nowait(range.clone(), sched, &f);
+        });
+    }
+
+    /// `#pragma omp parallel for reduction(+:sum)` over u64.
+    pub fn parallel_reduce_sum<F>(&self, num_threads: usize, range: std::ops::Range<u64>, f: F) -> u64
+    where
+        F: Fn(u64) -> u64 + Sync,
+    {
+        let out = PlMutex::new(0u64);
+        self.parallel(num_threads, |w| {
+            let mut local = 0u64;
+            w.for_chunks_nowait(range.clone(), Schedule::Static { chunk: None }, |chunk| {
+                for i in chunk {
+                    local = local.wrapping_add(f(i));
+                }
+            });
+            let total = w.reduce_u64(local, ReduceOp::Sum);
+            if w.is_master() {
+                *out.lock() = total;
+            }
+        });
+        out.into_inner()
+    }
+
+    /// `#pragma omp parallel for reduction(+:sum)` over f64.
+    pub fn parallel_reduce_sum_f64<F>(
+        &self,
+        num_threads: usize,
+        range: std::ops::Range<u64>,
+        f: F,
+    ) -> f64
+    where
+        F: Fn(u64) -> f64 + Sync,
+    {
+        let out = PlMutex::new(0f64);
+        self.parallel(num_threads, |w| {
+            let mut local = 0f64;
+            w.for_chunks_nowait(range.clone(), Schedule::Static { chunk: None }, |chunk| {
+                for i in chunk {
+                    local += f(i);
+                }
+            });
+            let total = w.reduce_f64(local, ReduceOp::Sum);
+            if w.is_master() {
+                *out.lock() = total;
+            }
+        });
+        out.into_inner()
+    }
+
+    /// `#pragma omp parallel sections`: fork a team and distribute the
+    /// given section bodies dynamically (each runs exactly once).
+    pub fn parallel_sections(&self, num_threads: usize, sections: &[&(dyn Fn() + Sync)]) {
+        let n_sections = sections.len();
+        self.parallel(num_threads, |w| {
+            w.sections(n_sections, |i| sections[i]());
+        });
+    }
+
+    /// An OpenMP-style lock (`omp_init_lock`), backed by the runtime's
+    /// backend — an MRAPI mutex on the MCA backend.
+    pub fn new_lock(&self) -> OmpLock {
+        OmpLock::new(self.inner.backend.new_lock())
+    }
+
+    /// Always-on construct counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Zero the construct counters.
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset();
+    }
+
+    /// Toggle per-worker CPU profiling (for the virtual-time engine).
+    pub fn set_profiling(&self, on: bool) {
+        self.inner.profiling.store(on, Ordering::Relaxed);
+    }
+
+    /// Drop accumulated profile data.
+    pub fn reset_profile(&self) {
+        *self.inner.profile.lock() = ProfileAccum::default();
+    }
+
+    /// The profile accumulated since the last reset, as the platform cost
+    /// model's input.
+    pub fn take_profile(&self) -> RegionProfile {
+        let mut p = self.inner.profile.lock();
+        let out = p.to_region_profile();
+        *p = ProfileAccum::default();
+        out
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("backend", &self.inner.backend.name())
+            .field("max_threads", &self.max_threads())
+            .finish()
+    }
+}

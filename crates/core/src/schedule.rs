@@ -1,0 +1,216 @@
+//! Loop schedules and their partition arithmetic.
+//!
+//! OpenMP's worksharing loop supports several schedules; the partition math
+//! is kept here as pure functions so it can be property-tested exhaustively
+//! (every schedule must tile the iteration space exactly: no gaps, no
+//! overlap).  The shared-state parts (the chunk cursor for `dynamic` and
+//! `guided`) live with the team in [`crate::worker`].
+
+/// An OpenMP loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Iterations divided into near-equal contiguous blocks, one per thread
+    /// (`chunk = None`), or round-robin chunks of the given size.
+    Static { chunk: Option<usize> },
+    /// Threads grab fixed-size chunks from a shared cursor.
+    Dynamic { chunk: usize },
+    /// Threads grab shrinking chunks: `max(remaining / (2·nthreads), chunk)`.
+    Guided { chunk: usize },
+    /// Implementation-defined; this runtime maps it to blocked static,
+    /// which is what libGOMP does for balanced loops.
+    Auto,
+    /// Take the schedule from the ICV (`OMP_SCHEDULE`), like
+    /// `schedule(runtime)`.
+    Runtime,
+}
+
+impl Schedule {
+    /// Parse the `OMP_SCHEDULE` syntax: `kind[,chunk]` with kinds
+    /// `static|dynamic|guided|auto`.
+    pub fn parse(s: &str) -> Option<Schedule> {
+        let mut parts = s.trim().splitn(2, ',');
+        let kind = parts.next()?.trim().to_ascii_lowercase();
+        let chunk: Option<usize> = match parts.next() {
+            Some(c) => Some(c.trim().parse().ok().filter(|&v| v > 0)?),
+            None => None,
+        };
+        match kind.as_str() {
+            "static" => Some(Schedule::Static { chunk }),
+            "dynamic" => Some(Schedule::Dynamic { chunk: chunk.unwrap_or(1) }),
+            "guided" => Some(Schedule::Guided { chunk: chunk.unwrap_or(1) }),
+            "auto" => Some(Schedule::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Static { chunk: None }
+    }
+}
+
+/// The contiguous block `[start, end)` thread `tid` owns under blocked
+/// static scheduling of `n` iterations across `nthreads`.
+///
+/// The first `n % nthreads` threads get one extra iteration, matching
+/// libGOMP.
+pub fn static_block(n: u64, nthreads: usize, tid: usize) -> (u64, u64) {
+    debug_assert!(tid < nthreads);
+    let t = nthreads as u64;
+    let q = n / t;
+    let r = n % t;
+    let tid = tid as u64;
+    if tid < r {
+        let start = tid * (q + 1);
+        (start, start + q + 1)
+    } else {
+        let start = r * (q + 1) + (tid - r) * q;
+        (start, start + q)
+    }
+}
+
+/// Iterator over the chunk start offsets thread `tid` owns under
+/// round-robin static chunking (`schedule(static, chunk)`).
+pub fn static_chunk_starts(
+    n: u64,
+    chunk: usize,
+    nthreads: usize,
+    tid: usize,
+) -> impl Iterator<Item = (u64, u64)> {
+    let chunk = chunk.max(1) as u64;
+    let stride = chunk * nthreads as u64;
+    let first = tid as u64 * chunk;
+    (0..)
+        .map(move |k| first + k * stride)
+        .take_while(move |&s| s < n)
+        .map(move |s| (s, (s + chunk).min(n)))
+}
+
+/// Next guided chunk size for `remaining` iterations over `nthreads`
+/// threads with minimum chunk `min_chunk`.
+pub fn guided_chunk(remaining: u64, nthreads: usize, min_chunk: usize) -> u64 {
+    let half_share = remaining / (2 * nthreads as u64);
+    half_share.max(min_chunk as u64).max(1).min(remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn static_block_examples() {
+        // 10 iterations over 4 threads: 3,3,2,2.
+        assert_eq!(static_block(10, 4, 0), (0, 3));
+        assert_eq!(static_block(10, 4, 1), (3, 6));
+        assert_eq!(static_block(10, 4, 2), (6, 8));
+        assert_eq!(static_block(10, 4, 3), (8, 10));
+        // Fewer iterations than threads.
+        assert_eq!(static_block(2, 4, 0), (0, 1));
+        assert_eq!(static_block(2, 4, 3), (2, 2), "trailing threads get empty blocks");
+        // Empty loop.
+        assert_eq!(static_block(0, 3, 1), (0, 0));
+    }
+
+    #[test]
+    fn static_chunks_example() {
+        // n=10, chunk=2, threads=3: t0 gets [0,2) and [6,8); t1 [2,4),[8,10); t2 [4,6).
+        let t0: Vec<_> = static_chunk_starts(10, 2, 3, 0).collect();
+        assert_eq!(t0, vec![(0, 2), (6, 8)]);
+        let t2: Vec<_> = static_chunk_starts(10, 2, 3, 2).collect();
+        assert_eq!(t2, vec![(4, 6)]);
+        // Final partial chunk is clipped.
+        let t1: Vec<_> = static_chunk_starts(9, 2, 3, 1).collect();
+        assert_eq!(t1, vec![(2, 4), (8, 9)]);
+    }
+
+    #[test]
+    fn guided_chunks_shrink_to_minimum() {
+        let mut remaining = 1000u64;
+        let mut sizes = Vec::new();
+        while remaining > 0 {
+            let c = guided_chunk(remaining, 4, 5);
+            sizes.push(c);
+            remaining -= c;
+        }
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]), "monotone non-increasing: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+        assert!(sizes[..sizes.len() - 1].iter().all(|&c| c >= 5), "min chunk respected");
+        assert_eq!(sizes[0], 125, "first chunk = n/(2*threads)");
+    }
+
+    #[test]
+    fn parse_omp_schedule_syntax() {
+        assert_eq!(Schedule::parse("static"), Some(Schedule::Static { chunk: None }));
+        assert_eq!(Schedule::parse("static,4"), Some(Schedule::Static { chunk: Some(4) }));
+        assert_eq!(Schedule::parse(" DYNAMIC , 16 "), Some(Schedule::Dynamic { chunk: 16 }));
+        assert_eq!(Schedule::parse("guided"), Some(Schedule::Guided { chunk: 1 }));
+        assert_eq!(Schedule::parse("auto"), Some(Schedule::Auto));
+        assert_eq!(Schedule::parse("bogus"), None);
+        assert_eq!(Schedule::parse("static,0"), None, "zero chunk invalid");
+        assert_eq!(Schedule::parse("static,x"), None);
+    }
+
+    proptest! {
+        /// Blocked static scheduling tiles [0, n) exactly.
+        #[test]
+        fn static_block_tiles_exactly(n in 0u64..10_000, nthreads in 1usize..64) {
+            let mut covered = 0u64;
+            let mut prev_end = 0u64;
+            for tid in 0..nthreads {
+                let (s, e) = static_block(n, nthreads, tid);
+                prop_assert!(s <= e);
+                prop_assert_eq!(s, prev_end, "blocks must be contiguous");
+                covered += e - s;
+                prev_end = e;
+            }
+            prop_assert_eq!(covered, n);
+            prop_assert_eq!(prev_end, n);
+        }
+
+        /// Blocked static is balanced: sizes differ by at most one.
+        #[test]
+        fn static_block_balanced(n in 0u64..10_000, nthreads in 1usize..64) {
+            let sizes: Vec<u64> =
+                (0..nthreads).map(|t| { let (s, e) = static_block(n, nthreads, t); e - s }).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+
+        /// Chunked static tiles [0, n) exactly with no overlap.
+        #[test]
+        fn static_chunks_tile_exactly(
+            n in 0u64..5_000,
+            chunk in 1usize..97,
+            nthreads in 1usize..17,
+        ) {
+            let mut seen = vec![false; n as usize];
+            for tid in 0..nthreads {
+                for (s, e) in static_chunk_starts(n, chunk, nthreads, tid) {
+                    prop_assert!(e <= n);
+                    for i in s..e {
+                        prop_assert!(!seen[i as usize], "iteration {} assigned twice", i);
+                        seen[i as usize] = true;
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+        }
+
+        /// Guided chunking always terminates and covers everything.
+        #[test]
+        fn guided_consumes_everything(n in 1u64..100_000, nthreads in 1usize..33, min in 1usize..65) {
+            let mut remaining = n;
+            let mut steps = 0u32;
+            while remaining > 0 {
+                let c = guided_chunk(remaining, nthreads, min);
+                prop_assert!(c >= 1 && c <= remaining);
+                remaining -= c;
+                steps += 1;
+                prop_assert!(steps < 1_000_000);
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Teams, the worker pool, and the fork/join machinery.
+//!
+//! Mirrors libGOMP's "dock" design: the runtime keeps a pool of sleeping
+//! worker threads; `parallel` wakes `n-1` of them (spawning more through the
+//! backend if the pool is short), hands every member the region closure and
+//! a shared `TeamShared`, runs thread 0 on the encountering thread, and
+//! joins at the implicit end-of-region barrier.  Workers go back to sleep in
+//! their dock slot afterwards, so steady-state region launch costs no thread
+//! creation — the behaviour EPCC's `parallel` overhead measures.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::{Condvar, Mutex as PlMutex};
+
+use crate::backend::SharedWords;
+use crate::barrier::Barrier;
+use crate::sync::BackendMutex;
+
+/// A queued explicit task.  Lifetime-erased to the region (see the SAFETY
+/// discussion in [`crate::worker::Worker::task`]).
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared per-construct state (dynamic/guided loop cursors, `single`
+/// arbitration, copyprivate staging), keyed by construct sequence number.
+pub(crate) struct ConstructState {
+    /// Next unclaimed iteration (dynamic/guided/sections cursor).
+    pub cursor: AtomicU64,
+    /// Iterations not yet handed out (guided's shrinking share).
+    pub remaining: AtomicU64,
+    /// `single`'s first-arriver flag.
+    pub claimed: AtomicBool,
+    /// Copyprivate / generic-reduction staging slot.
+    pub stage: PlMutex<Option<Box<dyn Any + Send>>>,
+    /// Members that completed the construct (for table GC).
+    pub finished: AtomicUsize,
+}
+
+impl ConstructState {
+    pub(crate) fn new(start: u64, total: u64) -> Self {
+        ConstructState {
+            cursor: AtomicU64::new(start),
+            remaining: AtomicU64::new(total),
+            claimed: AtomicBool::new(false),
+            stage: PlMutex::new(None),
+            finished: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Per-team always-on counters; folded into the runtime's totals at join.
+#[derive(Default)]
+pub(crate) struct TeamCounters {
+    pub barriers: AtomicU64,
+    pub criticals: AtomicU64,
+    pub singles: AtomicU64,
+    pub loops: AtomicU64,
+    pub tasks: AtomicU64,
+}
+
+/// Everything a team shares for the duration of one parallel region.
+pub(crate) struct TeamShared {
+    /// Team size (≥ 1).
+    pub size: usize,
+    /// The team barrier (implicit and explicit uses).
+    pub barrier: Barrier,
+    /// Construct table: seq → state.  Guarded by a *backend* lock — the
+    /// gomp_mutex substitution of §5B.3.
+    pub constructs: BackendMutex<HashMap<u64, Arc<ConstructState>>>,
+    /// Reduction scratch: `size` value slots + one result slot, allocated
+    /// through the backend — the gomp_malloc substitution of §5B.2.
+    pub reduce_words: Arc<dyn SharedWords>,
+    /// Explicit task queue (barriers are task scheduling points).
+    pub tasks: SegQueue<Task>,
+    /// Tasks queued or running, not yet finished.
+    pub outstanding_tasks: AtomicUsize,
+    /// `ordered` cursor: the loop index allowed to run its ordered block.
+    pub ordered_cursor: PlMutex<u64>,
+    pub ordered_cv: Condvar,
+    /// First panic payload from any member (re-thrown by the master).
+    pub panic: PlMutex<Option<Box<dyn Any + Send>>>,
+    /// Per-member CPU time for this region (profiling only).
+    pub cpu_ns: Vec<AtomicU64>,
+    pub counters: TeamCounters,
+}
+
+impl TeamShared {
+    /// Run queued tasks until the queue is momentarily empty; returns `true`
+    /// if at least one task ran.
+    pub(crate) fn drain_tasks(&self) -> bool {
+        let mut any = false;
+        while let Some(t) = self.tasks.pop() {
+            t();
+            self.outstanding_tasks.fetch_sub(1, Ordering::AcqRel);
+            self.counters.tasks.fetch_add(1, Ordering::Relaxed);
+            any = true;
+        }
+        any
+    }
+
+    /// Record a panic payload (first wins).
+    pub(crate) fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// What a dock slot is being told to do.
+pub(crate) enum SlotState {
+    /// Nothing; wait for work.
+    Idle,
+    /// Run this region member.
+    Job(JobMsg),
+    /// Exit the worker loop (runtime shutdown).
+    Exit,
+}
+
+/// A region assignment for one pool worker.
+pub(crate) struct JobMsg {
+    pub team: Arc<TeamShared>,
+    pub tid: usize,
+    /// The region closure, lifetime-erased.  SAFETY: the master joins the
+    /// end-of-region barrier before `parallel` returns, and members never
+    /// touch the closure after arriving at that barrier, so the referent
+    /// outlives every dereference.
+    pub func: RegionFn,
+    /// The owning runtime, for construct bookkeeping.  SAFETY: the master
+    /// holds the runtime alive for the whole region.
+    pub rt: *const crate::runtime::RtInner,
+    pub profiling: bool,
+}
+
+// SAFETY: see the field-level comments on `func` and `rt`; both raw
+// pointers are only dereferenced while the master provably keeps their
+// referents alive (it is blocked in the same region).
+unsafe impl Send for JobMsg {}
+
+/// Lifetime-erased pointer to the region closure.
+#[derive(Clone, Copy)]
+pub(crate) struct RegionFn(pub *const (dyn Fn(&crate::worker::Worker) + Sync));
+
+impl RegionFn {
+    /// # Safety
+    /// Caller must guarantee the referent is still alive (region running).
+    pub(crate) unsafe fn call(&self, w: &crate::worker::Worker) {
+        unsafe { (*self.0)(w) }
+    }
+}
+
+/// One dock slot: a mailbox between the master and a pool worker.
+pub(crate) struct PoolSlot {
+    pub state: PlMutex<SlotState>,
+    pub cv: Condvar,
+}
+
+impl PoolSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(PoolSlot { state: PlMutex::new(SlotState::Idle), cv: Condvar::new() })
+    }
+
+    /// Master side: hand a job to this slot (waits for the slot to be idle,
+    /// which it almost always already is).
+    pub(crate) fn assign(&self, job: JobMsg) {
+        let mut st = self.state.lock();
+        while !matches!(*st, SlotState::Idle) {
+            self.cv.wait(&mut st);
+        }
+        *st = SlotState::Job(job);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Master side at shutdown.
+    pub(crate) fn send_exit(&self) {
+        let mut st = self.state.lock();
+        while !matches!(*st, SlotState::Idle) {
+            self.cv.wait(&mut st);
+        }
+        *st = SlotState::Exit;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Worker side: the dock loop.
+    pub(crate) fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut st = self.state.lock();
+                loop {
+                    match &*st {
+                        SlotState::Idle => self.cv.wait(&mut st),
+                        SlotState::Exit => return,
+                        SlotState::Job(_) => break,
+                    }
+                }
+                match std::mem::replace(&mut *st, SlotState::Idle) {
+                    SlotState::Job(j) => j,
+                    _ => unreachable!("checked above"),
+                }
+            };
+            // Run outside the slot lock. Mark idle only after the region
+            // member fully completes, so the master's next assign can't
+            // overlap this region.
+            run_region_member(&job);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Execute one team member: profiling bracket, region closure with panic
+/// capture, then the implicit end-of-region barrier.
+pub(crate) fn run_region_member(job: &JobMsg) {
+    let team = &job.team;
+    // SAFETY: the master keeps the runtime alive for the whole region (it
+    // is itself executing a member of the same team).
+    let rt = unsafe { &*job.rt };
+    let in_parallel_prev = crate::runtime::enter_region_flag();
+    let w = crate::worker::Worker::new(team, rt, job.tid);
+    let start = if job.profiling { Some(mca_platform::vtime::thread_cpu_ns()) } else { None };
+    // SAFETY: the closure outlives the region; see RegionFn.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+        job.func.call(&w)
+    }));
+    if let Err(payload) = result {
+        team.record_panic(payload);
+    }
+    if let Some(t0) = start {
+        let dt = mca_platform::vtime::thread_cpu_ns().saturating_sub(t0);
+        team.cpu_ns[job.tid].fetch_add(dt, Ordering::Relaxed);
+    }
+    // Implicit end-of-region barrier: also guarantees all explicit tasks
+    // complete (OpenMP's rule), via the worker's task-draining barrier.
+    w.barrier();
+    crate::runtime::restore_region_flag(in_parallel_prev);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, NativeBackend};
+    use crate::barrier::BarrierKind;
+
+    pub(crate) fn mk_team(size: usize) -> Arc<TeamShared> {
+        let be = NativeBackend::new();
+        Arc::new(TeamShared {
+            size,
+            barrier: Barrier::new(size, BarrierKind::Centralized),
+            constructs: BackendMutex::new(be.new_lock(), HashMap::new()),
+            reduce_words: be.alloc_shared_words(size + 1),
+            tasks: SegQueue::new(),
+            outstanding_tasks: AtomicUsize::new(0),
+            ordered_cursor: PlMutex::new(0),
+            ordered_cv: Condvar::new(),
+            panic: PlMutex::new(None),
+            cpu_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            counters: TeamCounters::default(),
+        })
+    }
+
+    #[test]
+    fn drain_tasks_runs_everything() {
+        let team = mk_team(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..5 {
+            let h = Arc::clone(&hits);
+            team.outstanding_tasks.fetch_add(1, Ordering::AcqRel);
+            team.tasks.push(Box::new(move || {
+                h.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        assert!(team.drain_tasks());
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+        assert_eq!(team.outstanding_tasks.load(Ordering::Relaxed), 0);
+        assert!(!team.drain_tasks(), "second drain finds nothing");
+    }
+
+    #[test]
+    fn first_panic_wins() {
+        let team = mk_team(1);
+        team.record_panic(Box::new("first"));
+        team.record_panic(Box::new("second"));
+        let p = team.panic.lock().take().unwrap();
+        assert_eq!(*p.downcast_ref::<&str>().unwrap(), "first");
+    }
+
+    #[test]
+    fn slot_assign_exit_protocol() {
+        let slot = PoolSlot::new();
+        let s2 = Arc::clone(&slot);
+        let h = std::thread::spawn(move || s2.worker_loop());
+        let team = mk_team(2);
+        // tid 1 runs a trivial region; master (this thread) is tid 0.
+        let f: &(dyn Fn(&crate::worker::Worker) + Sync) = &|w| {
+            assert_eq!(w.num_threads(), 2);
+        };
+        let rt = crate::runtime::RtInner::for_tests();
+        slot.assign(JobMsg {
+            team: Arc::clone(&team),
+            tid: 1,
+            func: RegionFn(f as *const _),
+            rt: &*rt,
+            profiling: false,
+        });
+        // Master member participates so the implicit barrier completes.
+        run_region_member(&JobMsg {
+            team: Arc::clone(&team),
+            tid: 0,
+            func: RegionFn(f as *const _),
+            rt: &*rt,
+            profiling: false,
+        });
+        slot.send_exit();
+        h.join().unwrap();
+        assert!(team.panic.lock().is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! Tests for the auxiliary runtime API (locks, sections, wtime, flush,
+//! num_procs) and lifecycle robustness (shutdown, churn, oversubscription).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use romp::{BackendKind, Runtime, Schedule};
+
+#[test]
+fn parallel_sections_runs_each_body_once() {
+    for kind in BackendKind::all() {
+        let rt = Runtime::with_backend(kind).unwrap();
+        let a = AtomicUsize::new(0);
+        let b = AtomicUsize::new(0);
+        let c = AtomicUsize::new(0);
+        let s1: &(dyn Fn() + Sync) = &|| {
+            a.fetch_add(1, Ordering::Relaxed);
+        };
+        let s2: &(dyn Fn() + Sync) = &|| {
+            b.fetch_add(1, Ordering::Relaxed);
+        };
+        let s3: &(dyn Fn() + Sync) = &|| {
+            c.fetch_add(1, Ordering::Relaxed);
+        };
+        rt.parallel_sections(2, &[s1, s2, s3]);
+        assert_eq!(
+            (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed), c.load(Ordering::Relaxed)),
+            (1, 1, 1)
+        );
+    }
+}
+
+#[test]
+fn wtime_is_monotonic() {
+    let a = romp::wtime();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let b = romp::wtime();
+    assert!(b > a);
+    assert!(b - a < 5.0, "sane magnitude");
+}
+
+#[test]
+fn num_procs_reflects_backend_metadata() {
+    let native = Runtime::with_backend(BackendKind::Native).unwrap();
+    let mca = Runtime::with_backend(BackendKind::Mca).unwrap();
+    let got_native = Mutex::new(0usize);
+    native.parallel(2, |w| {
+        if w.is_master() {
+            *got_native.lock().unwrap() = w.num_procs();
+        }
+        w.flush();
+    });
+    let got_mca = Mutex::new(0usize);
+    mca.parallel(2, |w| {
+        if w.is_master() {
+            *got_mca.lock().unwrap() = w.num_procs();
+        }
+    });
+    assert!(*got_native.lock().unwrap() >= 1);
+    assert_eq!(*got_mca.lock().unwrap(), 24, "MRAPI metadata of the modeled board");
+}
+
+#[test]
+fn runtime_churn_creates_and_destroys_cleanly() {
+    // Repeated construct/teardown cycles must not leak nodes or wedge the
+    // pool (the MCA backend deregisters its master node at shutdown).
+    for _ in 0..12 {
+        for kind in BackendKind::all() {
+            let rt = Runtime::with_backend(kind).unwrap();
+            let n = AtomicUsize::new(0);
+            rt.parallel(3, |_| {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(n.load(Ordering::Relaxed), 3);
+            drop(rt);
+        }
+    }
+}
+
+#[test]
+fn heavy_oversubscription_stays_correct() {
+    // 48 workers on however few host cores exist: spin-then-park must keep
+    // this finishing promptly and correctly.
+    let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+    let total = AtomicU64::new(0);
+    rt.parallel(48, |w| {
+        w.for_range(0..4800, Schedule::Dynamic { chunk: 7 }, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        w.barrier();
+        let s = w.reduce_u64(1, romp::ReduceOp::Sum);
+        assert_eq!(s, 48);
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 4800);
+}
+
+#[test]
+fn many_small_regions_back_to_back() {
+    // EPCC's `parallel` pattern at high rate; catches dock-slot races.
+    let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    let count = AtomicU64::new(0);
+    for _ in 0..500 {
+        rt.parallel(3, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 1500);
+}
+
+#[test]
+fn concurrent_parallel_calls_from_many_threads_serialize_safely() {
+    // The region gate must arbitrate cleanly when several host threads use
+    // one runtime.
+    let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    let total = std::sync::Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let rt = rt.clone();
+            let total = std::sync::Arc::clone(&total);
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let t = std::sync::Arc::clone(&total);
+                    rt.parallel(2, move |_| {
+                        t.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 2);
+}
+
+#[test]
+fn taskloop_covers_range_and_waits() {
+    for kind in BackendKind::all() {
+        let rt = Runtime::with_backend(kind).unwrap();
+        let marks: std::sync::Arc<Vec<AtomicU64>> =
+            std::sync::Arc::new((0..500).map(|_| AtomicU64::new(0)).collect());
+        rt.parallel(4, |w| {
+            if w.is_master() {
+                let m = std::sync::Arc::clone(&marks);
+                w.taskloop(0..500, 13, move |i| {
+                    m[i as usize].fetch_add(1, Ordering::Relaxed);
+                });
+                // taskloop includes the taskwait: everything done here.
+                assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1), "{kind:?}");
+    }
+}
+
+#[test]
+fn taskloop_grain_zero_treated_as_one() {
+    let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    let count = std::sync::Arc::new(AtomicU64::new(0));
+    rt.parallel(2, |w| {
+        if w.is_master() {
+            let c = std::sync::Arc::clone(&count);
+            w.taskloop(0..10, 0, move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 10);
+}
+
+#[test]
+fn collapse_2d_covers_product_space() {
+    for kind in BackendKind::all() {
+        let rt = Runtime::with_backend(kind).unwrap();
+        let marks: Vec<AtomicU64> = (0..15 * 23).map(|_| AtomicU64::new(0)).collect();
+        rt.parallel(4, |w| {
+            w.for_range_2d(10..25, 100..123, Schedule::Dynamic { chunk: 4 }, |i, j| {
+                assert!((10..25).contains(&i) && (100..123).contains(&j));
+                marks[((i - 10) * 23 + (j - 100)) as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(
+            marks.iter().all(|m| m.load(Ordering::Relaxed) == 1),
+            "{kind:?}: every (i,j) exactly once"
+        );
+    }
+}
+
+#[test]
+fn collapse_2d_empty_dimensions() {
+    let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    let hits = AtomicU64::new(0);
+    rt.parallel(2, |w| {
+        w.for_range_2d(0..5, 7..7, Schedule::Static { chunk: None }, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        w.for_range_2d(3..3, 0..9, Schedule::Static { chunk: None }, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 0);
+}

@@ -1,0 +1,118 @@
+//! Stress and property tests for the runtime's own synchronization
+//! primitives — the pieces that must survive heavy oversubscription on the
+//! reproduction's single-core-to-many-thread setups.
+
+use proptest::prelude::*;
+use romp::barrier::{Barrier, BarrierKind};
+use romp::sync::RawMutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn raw_mutex_heavy_contention_exactness() {
+    let m = Arc::new(RawMutex::new());
+    let counter = Arc::new(AtomicU64::new(0));
+    let threads = 16;
+    let reps = 2_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let m = Arc::clone(&m);
+            let c = Arc::clone(&counter);
+            thread::spawn(move || {
+                for _ in 0..reps {
+                    m.with(|| {
+                        // Non-atomic RMW: exactness proves mutual exclusion.
+                        let v = c.load(Ordering::Relaxed);
+                        c.store(v + 1, Ordering::Relaxed);
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), threads as u64 * reps);
+}
+
+#[test]
+fn raw_mutex_makes_progress_with_churning_waiters() {
+    // Waiters join and leave continuously; nobody may starve forever.
+    let m = Arc::new(RawMutex::new());
+    let done = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let m = Arc::clone(&m);
+            let d = Arc::clone(&done);
+            thread::spawn(move || {
+                for _ in 0..300 {
+                    m.lock();
+                    std::hint::spin_loop();
+                    m.unlock();
+                    thread::yield_now();
+                }
+                d.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(done.load(Ordering::Relaxed), 8);
+}
+
+/// A barrier-correctness harness: every thread increments a phase counter,
+/// waits, and checks the full team arrived; double-barrier separates
+/// rounds.  Any leak or double-release trips the assertion.
+fn barrier_round_trip(kind: BarrierKind, n: usize, rounds: u64) -> bool {
+    let b = Arc::new(Barrier::new(n, kind));
+    let phase = Arc::new(AtomicU64::new(0));
+    let ok = Arc::new(AtomicU64::new(1));
+    let handles: Vec<_> = (0..n)
+        .map(|tid| {
+            let b = Arc::clone(&b);
+            let phase = Arc::clone(&phase);
+            let ok = Arc::clone(&ok);
+            thread::spawn(move || {
+                for r in 0..rounds {
+                    phase.fetch_add(1, Ordering::SeqCst);
+                    b.wait(tid);
+                    if phase.load(Ordering::SeqCst) < (r + 1) * n as u64 {
+                        ok.store(0, Ordering::SeqCst);
+                    }
+                    b.wait(tid);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    ok.load(Ordering::SeqCst) == 1 && phase.load(Ordering::SeqCst) == rounds * n as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The centralized barrier is correct for arbitrary team sizes.
+    #[test]
+    fn centralized_barrier_arbitrary_teams(n in 1usize..12, rounds in 1u64..20) {
+        prop_assert!(barrier_round_trip(BarrierKind::Centralized, n, rounds));
+    }
+
+    /// The tree barrier is correct for arbitrary team sizes and arities,
+    /// including sizes that do not divide the arity.
+    #[test]
+    fn tree_barrier_arbitrary_teams(n in 1usize..12, arity in 2usize..6, rounds in 1u64..20) {
+        let kind = BarrierKind::Tree { arity };
+        prop_assert!(barrier_round_trip(kind, n, rounds));
+    }
+}
+
+#[test]
+fn barrier_team_larger_than_host_cores() {
+    // The reproduction's core scenario: 24+ participants on a small host.
+    assert!(barrier_round_trip(BarrierKind::Centralized, 24, 10));
+    assert!(barrier_round_trip(BarrierKind::Tree { arity: 4 }, 24, 10));
+}

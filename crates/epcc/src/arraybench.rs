@@ -1,0 +1,195 @@
+//! EPCC `arraybench`: data-environment overheads.
+//!
+//! The third component of Bull's suite measures what `private`,
+//! `firstprivate` and `copyprivate` clauses cost as the privatised array
+//! grows: every region entry must materialise (and for `firstprivate`,
+//! copy) a per-thread array of `size` elements.  In Rust the privatised
+//! storage is an explicit per-worker allocation, so the measured cost is
+//! the same thing libGOMP pays in its data-environment setup.
+
+use crate::{delay, stats, EpccConfig};
+use romp::Runtime;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Which data-environment clause is being measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayClause {
+    /// `private(a)` — uninitialised per-thread array.
+    Private,
+    /// `firstprivate(a)` — per-thread copy of the master's array.
+    FirstPrivate,
+    /// `single copyprivate(a)` — one thread fills, everyone receives.
+    CopyPrivate,
+}
+
+impl ArrayClause {
+    /// All clauses, suite order.
+    pub fn all() -> [ArrayClause; 3] {
+        [ArrayClause::Private, ArrayClause::FirstPrivate, ArrayClause::CopyPrivate]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrayClause::Private => "private",
+            ArrayClause::FirstPrivate => "firstprivate",
+            ArrayClause::CopyPrivate => "copyprivate",
+        }
+    }
+}
+
+/// One arraybench measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayMeasurement {
+    pub clause: ArrayClause,
+    pub threads: usize,
+    /// Privatised array length (f64 elements).
+    pub size: usize,
+    /// Mean time per region entry, microseconds.
+    pub region_us: f64,
+    /// Reference: the same entry with no data environment, microseconds.
+    pub reference_us: f64,
+    /// Mean overhead attributable to the clause, microseconds.
+    pub overhead_us: f64,
+    pub sd_us: f64,
+}
+
+/// The array sizes EPCC sweeps (per the suite: 1 … 59049 in powers of 3;
+/// trimmed to keep host runs quick).
+pub fn standard_sizes() -> Vec<usize> {
+    vec![1, 9, 81, 729, 6561]
+}
+
+/// Measure one clause at one array size.
+pub fn measure_clause(
+    rt: &Runtime,
+    clause: ArrayClause,
+    size: usize,
+    cfg: &EpccConfig,
+) -> ArrayMeasurement {
+    let n = cfg.threads;
+    let len = cfg.delay_len;
+    let inner = cfg.inner_reps;
+    let master_copy: Vec<f64> = (0..size).map(|i| i as f64).collect();
+
+    // Reference: region entries with the busy-work but no data environment.
+    let run_ref = || {
+        for _ in 0..inner {
+            rt.parallel(n, |_| delay(len));
+        }
+    };
+    run_ref();
+    let mut ref_samples = Vec::with_capacity(cfg.outer_reps);
+    for _ in 0..cfg.outer_reps {
+        let t0 = Instant::now();
+        run_ref();
+        ref_samples.push(t0.elapsed().as_secs_f64() * 1e6 / inner as f64);
+    }
+    let reference_us = stats::mean(&ref_samples);
+
+    let run_test = || {
+        for _ in 0..inner {
+            match clause {
+                ArrayClause::Private => rt.parallel(n, |_| {
+                    let mut a = vec![0.0f64; size];
+                    a[size / 2] = 1.0;
+                    black_box(&a);
+                    delay(len);
+                }),
+                ArrayClause::FirstPrivate => rt.parallel(n, |_| {
+                    let mut a = master_copy.clone();
+                    a[size / 2] += 1.0;
+                    black_box(&a);
+                    delay(len);
+                }),
+                ArrayClause::CopyPrivate => rt.parallel(n, |w| {
+                    let a: Vec<f64> = w.single_copy(|| master_copy.clone());
+                    black_box(&a);
+                    delay(len);
+                }),
+            }
+        }
+    };
+    run_test();
+    let mut samples = Vec::with_capacity(cfg.outer_reps);
+    for _ in 0..cfg.outer_reps {
+        let t0 = Instant::now();
+        run_test();
+        samples.push(t0.elapsed().as_secs_f64() * 1e6 / inner as f64);
+    }
+    let region_us = stats::mean(&samples);
+    let overheads: Vec<f64> = samples.iter().map(|s| s - reference_us).collect();
+    ArrayMeasurement {
+        clause,
+        threads: n,
+        size,
+        region_us,
+        reference_us,
+        overhead_us: stats::mean(&overheads),
+        sd_us: stats::std_dev(&overheads),
+    }
+}
+
+/// Full arraybench sweep: every clause × [`standard_sizes`].
+pub fn sweep(rt: &Runtime, cfg: &EpccConfig) -> Vec<ArrayMeasurement> {
+    let mut out = Vec::new();
+    for clause in ArrayClause::all() {
+        for &size in &standard_sizes() {
+            out.push(measure_clause(rt, clause, size, cfg));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp::BackendKind;
+
+    fn cfg(threads: usize) -> EpccConfig {
+        EpccConfig { threads, outer_reps: 3, inner_reps: 4, delay_len: 8 }
+    }
+
+    #[test]
+    fn all_clauses_measure() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        for clause in ArrayClause::all() {
+            let m = measure_clause(&rt, clause, 81, &cfg(2));
+            assert!(m.region_us > 0.0, "{clause:?}");
+            assert_eq!(m.size, 81);
+        }
+    }
+
+    #[test]
+    fn firstprivate_cost_grows_with_size() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let c = EpccConfig { threads: 2, outer_reps: 5, inner_reps: 8, delay_len: 4 };
+        // Copying a 64k-element array per thread per region must cost
+        // measurably more than a 1-element one; compare region times
+        // directly (reference cancels).
+        let small = measure_clause(&rt, ArrayClause::FirstPrivate, 1, &c);
+        let big = measure_clause(&rt, ArrayClause::FirstPrivate, 65536, &c);
+        assert!(
+            big.region_us > small.region_us,
+            "copy cost must grow: {} vs {}",
+            big.region_us,
+            small.region_us
+        );
+    }
+
+    #[test]
+    fn sweep_covers_grid_on_mca() {
+        let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+        let rows = sweep(&rt, &cfg(2));
+        assert_eq!(rows.len(), 3 * standard_sizes().len());
+        assert!(rows.iter().all(|r| r.region_us.is_finite()));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ArrayClause::Private.label(), "private");
+        assert_eq!(ArrayClause::FirstPrivate.label(), "firstprivate");
+        assert_eq!(ArrayClause::CopyPrivate.label(), "copyprivate");
+    }
+}

@@ -1,0 +1,159 @@
+//! EPCC `schedbench`: loop-scheduling overheads.
+//!
+//! The second half of Bull's suite measures how much each *loop schedule*
+//! costs as a function of chunk size: the loop body is the same calibrated
+//! delay, the iteration count is fixed, and the schedule/chunk vary.  The
+//! overhead is again test-time minus the reference time for the same total
+//! work done serially.
+//!
+//! These numbers back Table I's `For` row (which EPCC measures under static
+//! scheduling) and the scheduling ablation in DESIGN.md: dynamic pays per
+//! chunk (so small chunks are expensive), guided starts large and shrinks,
+//! static costs almost nothing beyond the barrier.
+
+use crate::{delay, stats, EpccConfig};
+use romp::{Runtime, Schedule};
+use std::time::Instant;
+
+/// One schedbench measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedMeasurement {
+    pub schedule: Schedule,
+    pub threads: usize,
+    /// Iterations in the measured loop.
+    pub iterations: u64,
+    /// Mean time per loop instance, microseconds.
+    pub loop_us: f64,
+    /// Serial reference for the same total work, microseconds.
+    pub reference_us: f64,
+    /// Mean overhead per loop instance, microseconds.
+    pub overhead_us: f64,
+    /// Standard deviation of the overhead samples.
+    pub sd_us: f64,
+}
+
+/// The chunk sizes Bull's schedbench sweeps (powers of two).
+pub fn standard_chunks() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32, 64, 128]
+}
+
+/// Measure one schedule at one team size.  The loop runs
+/// `iterations = 128 · threads` delay bodies, as schedbench does, so the
+/// per-thread work is constant across team sizes.
+pub fn measure_schedule(rt: &Runtime, sched: Schedule, cfg: &EpccConfig) -> SchedMeasurement {
+    let iterations = 128 * cfg.threads as u64;
+    let len = cfg.delay_len;
+    // Serial reference: the same iterations, no runtime.
+    let mut ref_samples = Vec::with_capacity(cfg.outer_reps);
+    for _ in 0..cfg.outer_reps {
+        let t0 = Instant::now();
+        for _ in 0..iterations {
+            delay(len);
+        }
+        ref_samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let reference_us = stats::mean(&ref_samples) / cfg.threads as f64;
+
+    // Warm-up then measure: one parallel region per sample, inner_reps
+    // loop instances inside it.
+    let run = || {
+        rt.parallel(cfg.threads, |w| {
+            for _ in 0..cfg.inner_reps {
+                w.for_range(0..iterations, sched, |_| delay(len));
+            }
+        });
+    };
+    run();
+    let mut samples = Vec::with_capacity(cfg.outer_reps);
+    for _ in 0..cfg.outer_reps {
+        let t0 = Instant::now();
+        run();
+        samples.push(t0.elapsed().as_secs_f64() * 1e6 / cfg.inner_reps as f64);
+    }
+    let loop_us = stats::mean(&samples);
+    let overheads: Vec<f64> = samples.iter().map(|s| s - reference_us).collect();
+    SchedMeasurement {
+        schedule: sched,
+        threads: cfg.threads,
+        iterations,
+        loop_us,
+        reference_us,
+        overhead_us: stats::mean(&overheads),
+        sd_us: stats::std_dev(&overheads),
+    }
+}
+
+/// The full schedbench sweep: static (blocked + chunked), dynamic and
+/// guided across [`standard_chunks`].
+pub fn sweep(rt: &Runtime, cfg: &EpccConfig) -> Vec<SchedMeasurement> {
+    let mut out = vec![measure_schedule(rt, Schedule::Static { chunk: None }, cfg)];
+    for &chunk in &standard_chunks() {
+        out.push(measure_schedule(rt, Schedule::Static { chunk: Some(chunk) }, cfg));
+        out.push(measure_schedule(rt, Schedule::Dynamic { chunk }, cfg));
+        out.push(measure_schedule(rt, Schedule::Guided { chunk }, cfg));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp::BackendKind;
+
+    fn quick_cfg(threads: usize) -> EpccConfig {
+        EpccConfig { threads, outer_reps: 3, inner_reps: 4, delay_len: 16 }
+    }
+
+    #[test]
+    fn schedules_measure_positively() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let cfg = quick_cfg(2);
+        for sched in [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(4) },
+            Schedule::Dynamic { chunk: 4 },
+            Schedule::Guided { chunk: 4 },
+        ] {
+            let m = measure_schedule(&rt, sched, &cfg);
+            assert!(m.loop_us > 0.0, "{sched:?}");
+            assert_eq!(m.iterations, 256);
+        }
+    }
+
+    #[test]
+    fn dynamic_chunk1_costs_more_than_static() {
+        // The canonical schedbench shape: dynamic,1 pays a shared-cursor
+        // round trip per iteration; blocked static pays one partition.
+        // The loop body is empty (delay_len 1) so scheduling dominates;
+        // retried because wall-clock noise on a loaded host can mask it.
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let cfg = EpccConfig { threads: 4, outer_reps: 7, inner_reps: 8, delay_len: 1 };
+        for attempt in 0..5 {
+            let stat = measure_schedule(&rt, Schedule::Static { chunk: None }, &cfg);
+            let dyn1 = measure_schedule(&rt, Schedule::Dynamic { chunk: 1 }, &cfg);
+            if dyn1.loop_us > stat.loop_us {
+                return;
+            }
+            eprintln!(
+                "attempt {attempt}: dynamic,1 {} vs static {} — retrying",
+                dyn1.loop_us, stat.loop_us
+            );
+        }
+        panic!("dynamic,1 never exceeded blocked static across 5 attempts");
+    }
+
+    #[test]
+    fn sweep_covers_all_schedules() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let cfg = EpccConfig { threads: 2, outer_reps: 2, inner_reps: 2, delay_len: 4 };
+        let rows = sweep(&rt, &cfg);
+        assert_eq!(rows.len(), 1 + 3 * standard_chunks().len());
+    }
+
+    #[test]
+    fn mca_backend_schedbench_smoke() {
+        let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+        let m = measure_schedule(&rt, Schedule::Guided { chunk: 2 }, &quick_cfg(3));
+        assert!(m.loop_us.is_finite() && m.loop_us > 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Sample statistics for the benchmark harness (EPCC reports mean, standard
+//! deviation, and outlier-trimmed confidence figures).
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Minimum; +inf for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum; -inf for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Mean after dropping samples more than `k` standard deviations from the
+/// mean — EPCC's outlier rejection (it uses k = 3).
+pub fn trimmed_mean(xs: &[f64], k: f64) -> f64 {
+    let m = mean(xs);
+    let sd = std_dev(xs);
+    if sd == 0.0 {
+        return m;
+    }
+    let kept: Vec<f64> = xs.iter().copied().filter(|x| (x - m).abs() <= k * sd).collect();
+    if kept.is_empty() {
+        m
+    } else {
+        mean(&kept)
+    }
+}
+
+/// Median (of a copy; input untouched).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((std_dev(&xs) - 1.2909944487358056).abs() < 1e-12);
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(max(&xs), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[7.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(trimmed_mean(&[2.0, 2.0, 2.0], 3.0), 2.0);
+    }
+
+    #[test]
+    fn trimming_drops_outliers() {
+        let mut xs = vec![10.0; 20];
+        xs.push(10_000.0);
+        let t = trimmed_mean(&xs, 3.0);
+        assert!((t - 10.0).abs() < 1e-9, "outlier should be rejected, got {t}");
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let m = mean(&xs);
+            prop_assert!(m >= min(&xs) - 1e-9 && m <= max(&xs) + 1e-9);
+        }
+
+        #[test]
+        fn sd_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 2..50)) {
+            prop_assert!(std_dev(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn median_is_order_statistic(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let med = median(&xs);
+            let below = xs.iter().filter(|&&x| x <= med + 1e-12).count();
+            let above = xs.iter().filter(|&&x| x >= med - 1e-12).count();
+            prop_assert!(below * 2 >= xs.len());
+            prop_assert!(above * 2 >= xs.len());
+        }
+    }
+}

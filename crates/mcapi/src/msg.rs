@@ -1,0 +1,226 @@
+//! Connectionless messages (`mcapi_msg_*`).
+//!
+//! Datagram semantics: any unconnected endpoint can send to any other by
+//! address; deliveries carry a priority (0 = most urgent) and drain in
+//! priority order, FIFO within a priority.  Bounded receive queues give
+//! backpressure: blocking sends wait for space, non-blocking sends report
+//! `MCAPI_ERR_MEM_LIMIT`.
+
+use std::time::Duration;
+
+use crate::registry::{Endpoint, EndpointAddr, Item};
+use crate::status::{ensure, McapiResult, McapiStatus};
+use crate::MCAPI_MAX_PRIORITY;
+
+impl Endpoint {
+    fn check_unconnected(&self) -> McapiResult<()> {
+        ensure(!self.is_connected(), McapiStatus::ErrChanConnected)
+    }
+
+    /// `mcapi_msg_send` — blocking send to `dest` with `priority`.
+    pub fn msg_send(&self, dest: EndpointAddr, data: &[u8], priority: u8) -> McapiResult<()> {
+        self.msg_send_timeout(dest, data, priority, None)
+    }
+
+    /// Blocking send bounded by `timeout` (`None` = wait forever).
+    pub fn msg_send_timeout(
+        &self,
+        dest: EndpointAddr,
+        data: &[u8],
+        priority: u8,
+        timeout: Option<Duration>,
+    ) -> McapiResult<()> {
+        self.check_live()?;
+        self.check_unconnected()?;
+        ensure(priority <= MCAPI_MAX_PRIORITY, McapiStatus::ErrParameter)?;
+        let target = self.domain.lookup(dest)?;
+        ensure(target.chan.lock().is_none(), McapiStatus::ErrChanConnected)?;
+        Endpoint::deliver(&target, Item::Msg { data: data.to_vec(), prio: priority }, timeout)
+    }
+
+    /// `mcapi_msg_send_i`-style non-blocking send: fails with
+    /// `MCAPI_ERR_MEM_LIMIT` when the destination queue is full.
+    pub fn try_msg_send(&self, dest: EndpointAddr, data: &[u8], priority: u8) -> McapiResult<()> {
+        self.check_live()?;
+        self.check_unconnected()?;
+        ensure(priority <= MCAPI_MAX_PRIORITY, McapiStatus::ErrParameter)?;
+        let target = self.domain.lookup(dest)?;
+        ensure(target.chan.lock().is_none(), McapiStatus::ErrChanConnected)?;
+        Endpoint::try_deliver(&target, Item::Msg { data: data.to_vec(), prio: priority })
+    }
+
+    /// `mcapi_msg_recv` — blocking receive; returns `(data, priority)`.
+    pub fn msg_recv(&self) -> McapiResult<(Vec<u8>, u8)> {
+        self.msg_recv_inner(None)
+    }
+
+    /// Blocking receive bounded by `timeout`.
+    pub fn msg_recv_timeout(&self, timeout: Duration) -> McapiResult<(Vec<u8>, u8)> {
+        self.msg_recv_inner(Some(timeout))
+    }
+
+    /// `mcapi_msg_recv_i`-style non-blocking receive
+    /// (`MCAPI_ERR_QUEUE_EMPTY` when nothing is waiting).
+    pub fn try_msg_recv(&self) -> McapiResult<(Vec<u8>, u8)> {
+        self.check_unconnected()?;
+        self.try_take(accept_msg, convert_msg)
+    }
+
+    fn msg_recv_inner(&self, timeout: Option<Duration>) -> McapiResult<(Vec<u8>, u8)> {
+        self.check_unconnected()?;
+        self.take_next(timeout, accept_msg, convert_msg)
+    }
+
+    /// `mcapi_msg_available` — queued message count.
+    pub fn msg_available(&self) -> usize {
+        self.queued()
+    }
+}
+
+fn accept_msg(item: &Item) -> McapiResult<()> {
+    match item {
+        Item::Msg { .. } => Ok(()),
+        _ => Err(crate::McapiError(McapiStatus::ErrChanType)),
+    }
+}
+
+fn convert_msg(item: Item) -> (Vec<u8>, u8) {
+    match item {
+        Item::Msg { data, prio } => (data, prio),
+        _ => unreachable!("accept_msg filtered"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::McapiDomain;
+
+    fn pair() -> (crate::McapiDomain, Endpoint, Endpoint) {
+        let dom = McapiDomain::new(1);
+        let a = dom.initialize(0).unwrap().create_endpoint(1).unwrap();
+        let b = dom.initialize(1).unwrap().create_endpoint(1).unwrap();
+        (dom, a, b)
+    }
+
+    #[test]
+    fn roundtrip_preserves_bytes_and_priority() {
+        let (_d, a, b) = pair();
+        a.msg_send(b.addr(), b"hello", 3).unwrap();
+        let (data, prio) = b.msg_recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(data, b"hello");
+        assert_eq!(prio, 3);
+    }
+
+    #[test]
+    fn priority_order_beats_arrival_order() {
+        let (_d, a, b) = pair();
+        a.msg_send(b.addr(), b"low", 7).unwrap();
+        a.msg_send(b.addr(), b"mid", 3).unwrap();
+        a.msg_send(b.addr(), b"urgent", 0).unwrap();
+        assert_eq!(b.msg_recv().unwrap().0, b"urgent");
+        assert_eq!(b.msg_recv().unwrap().0, b"mid");
+        assert_eq!(b.msg_recv().unwrap().0, b"low");
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let (_d, a, b) = pair();
+        for i in 0..10u8 {
+            a.msg_send(b.addr(), &[i], 2).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(b.msg_recv().unwrap().0, vec![i]);
+        }
+    }
+
+    #[test]
+    fn invalid_priority_and_unknown_destination() {
+        let (_d, a, b) = pair();
+        assert_eq!(
+            a.msg_send(b.addr(), b"x", 8).unwrap_err().0,
+            McapiStatus::ErrParameter
+        );
+        assert_eq!(
+            a.msg_send(EndpointAddr { node: 9, port: 9 }, b"x", 0).unwrap_err().0,
+            McapiStatus::ErrEndpointInvalid
+        );
+    }
+
+    #[test]
+    fn backpressure_blocks_then_times_out() {
+        let dom = McapiDomain::new(1);
+        let a = dom.initialize(0).unwrap().create_endpoint(1).unwrap();
+        let b = dom.initialize(1).unwrap().create_endpoint_with_capacity(1, 2).unwrap();
+        a.msg_send(b.addr(), b"1", 0).unwrap();
+        a.msg_send(b.addr(), b"2", 0).unwrap();
+        assert_eq!(a.try_msg_send(b.addr(), b"3", 0).unwrap_err().0, McapiStatus::ErrQueueFull);
+        assert_eq!(
+            a.msg_send_timeout(b.addr(), b"3", 0, Some(Duration::from_millis(10)))
+                .unwrap_err()
+                .0,
+            McapiStatus::Timeout
+        );
+        // Receiver drains one; a blocked sender proceeds.
+        let a2 = a.clone();
+        let dest = b.addr();
+        let h = std::thread::spawn(move || a2.msg_send(dest, b"3", 0));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.msg_recv().unwrap().0, b"1");
+        h.join().unwrap().unwrap();
+        assert_eq!(b.msg_recv().unwrap().0, b"2");
+        assert_eq!(b.msg_recv().unwrap().0, b"3");
+    }
+
+    #[test]
+    fn recv_timeout_and_try_recv() {
+        let (_d, _a, b) = pair();
+        assert_eq!(
+            b.msg_recv_timeout(Duration::from_millis(5)).unwrap_err().0,
+            McapiStatus::Timeout
+        );
+        assert_eq!(b.try_msg_recv().unwrap_err().0, McapiStatus::ErrQueueEmpty);
+    }
+
+    #[test]
+    fn concurrent_senders_deliver_everything() {
+        let dom = McapiDomain::new(1);
+        let rx = dom.initialize(99).unwrap().create_endpoint_with_capacity(1, 512).unwrap();
+        let handles: Vec<_> = (0..4u32)
+            .map(|n| {
+                let tx = dom.initialize(n).unwrap().create_endpoint(1).unwrap();
+                let dest = rx.addr();
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        tx.msg_send(dest, &(n * 1000 + i).to_le_bytes(), (n % 8) as u8).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok((d, _)) = b_try(&rx) {
+            got.push(u32::from_le_bytes(d.try_into().unwrap()));
+        }
+        got.sort_unstable();
+        let mut expect: Vec<u32> =
+            (0..4).flat_map(|n| (0..100).map(move |i| n * 1000 + i)).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    fn b_try(ep: &Endpoint) -> McapiResult<(Vec<u8>, u8)> {
+        ep.try_msg_recv()
+    }
+
+    #[test]
+    fn message_count_is_visible() {
+        let (_d, a, b) = pair();
+        assert_eq!(b.msg_available(), 0);
+        a.msg_send(b.addr(), b"x", 0).unwrap();
+        a.msg_send(b.addr(), b"y", 0).unwrap();
+        assert_eq!(b.msg_available(), 2);
+    }
+}

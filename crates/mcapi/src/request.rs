@@ -1,0 +1,192 @@
+//! Non-blocking operation handles (`mcapi_request_t`, `mcapi_test`,
+//! `mcapi_wait`, `mcapi_cancel`).
+//!
+//! MCAPI's `_i` operation variants return immediately with a *request*
+//! that the caller later tests or waits on.  Here the deferred operations
+//! are receive-side (sends either fit the destination queue or report
+//! `MCAPI_ERR_MEM_LIMIT` synchronously, as in shared-memory reference
+//! implementations): a [`RecvRequest`] polls its endpoint without blocking
+//! until a matching delivery arrives.
+
+use std::time::{Duration, Instant};
+
+use crate::registry::{Endpoint, Item};
+use crate::status::{McapiResult, McapiStatus};
+use crate::McapiError;
+
+type AcceptFn = Box<dyn Fn(&Item) -> McapiResult<()> + Send>;
+type ConvertFn<T> = Box<dyn Fn(Item) -> T + Send>;
+
+/// State of a pending non-blocking receive.
+enum State<T> {
+    Pending,
+    Done(T),
+    Cancelled,
+}
+
+/// A pending non-blocking receive (`mcapi_msg_recv_i` and friends).
+pub struct RecvRequest<T> {
+    ep: Endpoint,
+    accept: AcceptFn,
+    convert: ConvertFn<T>,
+    state: State<T>,
+}
+
+impl<T> std::fmt::Debug for RecvRequest<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.state {
+            State::Pending => "pending",
+            State::Done(_) => "done",
+            State::Cancelled => "cancelled",
+        };
+        f.debug_struct("RecvRequest").field("ep", &self.ep.addr()).field("state", &state).finish()
+    }
+}
+
+impl<T> RecvRequest<T> {
+    pub(crate) fn new(
+        ep: Endpoint,
+        accept: impl Fn(&Item) -> McapiResult<()> + Send + 'static,
+        convert: impl Fn(Item) -> T + Send + 'static,
+    ) -> Self {
+        RecvRequest { ep, accept: Box::new(accept), convert: Box::new(convert), state: State::Pending }
+    }
+
+    /// `mcapi_test`: poll once; `Ok(true)` when the result is ready,
+    /// `Ok(false)` while still pending.  Type-mismatch or endpoint errors
+    /// surface immediately.
+    pub fn test(&mut self) -> McapiResult<bool> {
+        match &self.state {
+            State::Done(_) => return Ok(true),
+            State::Cancelled => return Err(McapiError(McapiStatus::ErrParameter)),
+            State::Pending => {}
+        }
+        match self.ep.try_take(&*self.accept, &*self.convert) {
+            Ok(v) => {
+                self.state = State::Done(v);
+                Ok(true)
+            }
+            Err(McapiError(McapiStatus::ErrQueueEmpty)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `mcapi_wait`: poll until ready or `timeout` expires; consumes the
+    /// request and yields the received value.
+    pub fn wait(mut self, timeout: Duration) -> McapiResult<T> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.test()? {
+                match std::mem::replace(&mut self.state, State::Cancelled) {
+                    State::Done(v) => return Ok(v),
+                    _ => unreachable!("test() reported ready"),
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(McapiError(McapiStatus::Timeout));
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// `mcapi_cancel`: abandon the operation.  A value already captured by
+    /// a successful [`RecvRequest::test`] is dropped (the delivery is
+    /// consumed, matching the spec's "cancel after completion has no
+    /// effect on the data").
+    pub fn cancel(mut self) {
+        self.state = State::Cancelled;
+    }
+}
+
+impl Endpoint {
+    /// `mcapi_msg_recv_i`: non-blocking message receive returning a
+    /// request handle.
+    pub fn msg_recv_i(&self) -> McapiResult<RecvRequest<(Vec<u8>, u8)>> {
+        crate::status::ensure(!self.is_connected(), McapiStatus::ErrChanConnected)?;
+        Ok(RecvRequest::new(
+            self.clone(),
+            |item| match item {
+                Item::Msg { .. } => Ok(()),
+                _ => Err(McapiError(McapiStatus::ErrChanType)),
+            },
+            |item| match item {
+                Item::Msg { data, prio } => (data, prio),
+                _ => unreachable!("filtered by accept"),
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::McapiDomain;
+
+    fn pair() -> (Endpoint, Endpoint) {
+        let dom = McapiDomain::new(1);
+        let a = dom.initialize(0).unwrap().create_endpoint(1).unwrap();
+        let b = dom.initialize(1).unwrap().create_endpoint(1).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn test_polls_until_delivery() {
+        let (a, b) = pair();
+        let mut req = b.msg_recv_i().unwrap();
+        assert!(!req.test().unwrap(), "nothing queued yet");
+        a.msg_send(b.addr(), b"late", 2).unwrap();
+        assert!(req.test().unwrap());
+        let (data, prio) = req.wait(Duration::from_secs(1)).unwrap();
+        assert_eq!(data, b"late");
+        assert_eq!(prio, 2);
+    }
+
+    #[test]
+    fn wait_blocks_across_threads() {
+        let (a, b) = pair();
+        let req = b.msg_recv_i().unwrap();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            a.msg_send_timeout(
+                crate::EndpointAddr { node: 1, port: 1 },
+                b"ping",
+                0,
+                Some(Duration::from_secs(1)),
+            )
+            .unwrap();
+        });
+        let (data, _) = req.wait(Duration::from_secs(5)).unwrap();
+        assert_eq!(data, b"ping");
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let (_a, b) = pair();
+        let req = b.msg_recv_i().unwrap();
+        assert_eq!(
+            req.wait(Duration::from_millis(10)).unwrap_err().0,
+            McapiStatus::Timeout
+        );
+    }
+
+    #[test]
+    fn cancel_consumes_nothing_pending() {
+        let (a, b) = pair();
+        let req = b.msg_recv_i().unwrap();
+        req.cancel();
+        // A later message is still receivable by a fresh request.
+        a.msg_send(b.addr(), b"x", 0).unwrap();
+        let mut r2 = b.msg_recv_i().unwrap();
+        assert!(r2.test().unwrap());
+    }
+
+    #[test]
+    fn connected_endpoint_rejects_request() {
+        let dom = McapiDomain::new(1);
+        let tx = dom.initialize(0).unwrap().create_endpoint(1).unwrap();
+        let rx = dom.initialize(1).unwrap().create_endpoint(1).unwrap();
+        let _c = crate::pktchan::connect(&tx, &rx).unwrap();
+        assert_eq!(rx.msg_recv_i().unwrap_err().0, McapiStatus::ErrChanConnected);
+    }
+}

@@ -1,0 +1,102 @@
+//! MCAPI status vocabulary.
+
+/// Status codes this implementation can emit (`mcapi_status_t` subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum McapiStatus {
+    /// Operation completed (`MCAPI_SUCCESS`).
+    Success,
+    /// Node id already initialized (`MCAPI_ERR_NODE_INITFAILED`).
+    ErrNodeInitFailed,
+    /// Node unknown or finalized (`MCAPI_ERR_NODE_INVALID`).
+    ErrNodeInvalid,
+    /// Port already has an endpoint (`MCAPI_ERR_ENDP_EXISTS`).
+    ErrEndpointExists,
+    /// No endpoint at the address (`MCAPI_ERR_ENDP_INVALID`).
+    ErrEndpointInvalid,
+    /// Parameter out of range (`MCAPI_ERR_PARAMETER`).
+    ErrParameter,
+    /// Receive queue full (`MCAPI_ERR_MEM_LIMIT`).
+    ErrQueueFull,
+    /// Receive queue empty on a non-blocking receive (`MCAPI_ERR_QUEUE_EMPTY`).
+    ErrQueueEmpty,
+    /// Timed wait expired (`MCAPI_TIMEOUT`).
+    Timeout,
+    /// Endpoint already connected to a channel (`MCAPI_ERR_CHAN_CONNECTED`).
+    ErrChanConnected,
+    /// Channel operation on an unconnected endpoint (`MCAPI_ERR_CHAN_INVALID`).
+    ErrChanInvalid,
+    /// Channel type mismatch, e.g. scalar op on a packet channel
+    /// (`MCAPI_ERR_CHAN_TYPE`).
+    ErrChanType,
+    /// Channel was closed by the peer (`MCAPI_ERR_CHAN_CLOSED`).
+    ErrChanClosed,
+    /// Scalar size mismatch between send and receive
+    /// (`MCAPI_ERR_SCL_SIZE`).
+    ErrScalarSize,
+}
+
+impl McapiStatus {
+    /// Spec-style identifier.
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            McapiStatus::Success => "MCAPI_SUCCESS",
+            McapiStatus::ErrNodeInitFailed => "MCAPI_ERR_NODE_INITFAILED",
+            McapiStatus::ErrNodeInvalid => "MCAPI_ERR_NODE_INVALID",
+            McapiStatus::ErrEndpointExists => "MCAPI_ERR_ENDP_EXISTS",
+            McapiStatus::ErrEndpointInvalid => "MCAPI_ERR_ENDP_INVALID",
+            McapiStatus::ErrParameter => "MCAPI_ERR_PARAMETER",
+            McapiStatus::ErrQueueFull => "MCAPI_ERR_MEM_LIMIT",
+            McapiStatus::ErrQueueEmpty => "MCAPI_ERR_QUEUE_EMPTY",
+            McapiStatus::Timeout => "MCAPI_TIMEOUT",
+            McapiStatus::ErrChanConnected => "MCAPI_ERR_CHAN_CONNECTED",
+            McapiStatus::ErrChanInvalid => "MCAPI_ERR_CHAN_INVALID",
+            McapiStatus::ErrChanType => "MCAPI_ERR_CHAN_TYPE",
+            McapiStatus::ErrChanClosed => "MCAPI_ERR_CHAN_CLOSED",
+            McapiStatus::ErrScalarSize => "MCAPI_ERR_SCL_SIZE",
+        }
+    }
+}
+
+/// Error wrapper for non-success statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McapiError(pub McapiStatus);
+
+impl std::fmt::Display for McapiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0.spec_name())
+    }
+}
+
+impl std::error::Error for McapiError {}
+
+/// Crate-wide result alias.
+pub type McapiResult<T> = Result<T, McapiError>;
+
+pub(crate) fn ensure(cond: bool, status: McapiStatus) -> McapiResult<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(McapiError(status))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(McapiStatus::Success.spec_name(), "MCAPI_SUCCESS");
+        assert_eq!(McapiError(McapiStatus::Timeout).to_string(), "MCAPI_TIMEOUT");
+    }
+
+    #[test]
+    fn ensure_gates() {
+        assert!(ensure(true, McapiStatus::ErrParameter).is_ok());
+        assert_eq!(
+            ensure(false, McapiStatus::ErrChanType).unwrap_err().0,
+            McapiStatus::ErrChanType
+        );
+    }
+}

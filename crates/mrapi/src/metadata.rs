@@ -1,0 +1,208 @@
+//! MRAPI system resource metadata (paper §2B.4, §5B.4).
+//!
+//! `mrapi_resources_get` returns a tree describing the target system's
+//! resources, optionally filtered by type.  The OpenMP-MCA runtime "mainly
+//! used the MRAPI metadata trees to retrieve the available number of
+//! processors online for node/thread management" — reproduced here as
+//! [`Node::online_processors`], the call the `romp` MCA backend makes when
+//! sizing a default team.
+//!
+//! Dynamic attributes (per-CPU utilization) are backed by the system's
+//! atomic cells; [`Node::report_utilization`] lets schedulers publish load,
+//! and a registered callback fires when a watched attribute changes —
+//! MRAPI's `mrapi_resource_register_callback` facility.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use mca_platform::resource::{ResourceAttr, ResourceKind, ResourceTree};
+use parking_lot::Mutex as PlMutex;
+
+use crate::node::Node;
+use crate::status::{ensure, MrapiResult, MrapiStatus};
+
+type Callback = Box<dyn Fn(usize, u64) + Send + Sync>;
+
+/// Watchers registered against utilization changes; per-system storage
+/// would live in the database — we keep it simple with a per-handle list.
+pub struct ResourceWatch {
+    node: Node,
+    callbacks: PlMutex<Vec<(usize, Callback)>>,
+}
+
+impl Node {
+    /// `mrapi_resources_get` — the full resource tree for the system this
+    /// node runs on, with live utilization cells attached.
+    pub fn resources_get(&self) -> MrapiResult<ResourceTree> {
+        self.check_alive()?;
+        let mut tree = ResourceTree::from_topology(self.system().topology());
+        // Splice the system's live utilization cells into the tree so
+        // repeated calls observe updates.
+        let cells = self.system().inner.utilization.clone();
+        let mut idx = 0usize;
+        fn splice(node: &mut mca_platform::resource::ResourceNode, cells: &[Arc<std::sync::atomic::AtomicU64>], idx: &mut usize) {
+            if node.kind == ResourceKind::HwThread {
+                for (k, a) in node.attrs.iter_mut() {
+                    if k == "utilization" {
+                        if let Some(cell) = cells.get(*idx) {
+                            *a = ResourceAttr::DynamicU64(Arc::clone(cell));
+                        }
+                    }
+                }
+                *idx += 1;
+            }
+            for c in node.children.iter_mut() {
+                splice(c, cells, idx);
+            }
+        }
+        splice(&mut tree.root, &cells, &mut idx);
+        Ok(tree)
+    }
+
+    /// `mrapi_resources_get` with a type filter — only nodes of `kind`.
+    pub fn resources_get_filtered(&self, kind: ResourceKind) -> MrapiResult<ResourceTree> {
+        let tree = self.resources_get()?;
+        let filtered = tree.filter_kind(kind);
+        ensure(!filtered.root.children.is_empty(), MrapiStatus::ErrResourceInvalid)?;
+        Ok(filtered)
+    }
+
+    /// The paper's §5B.4 use case: the number of online processors, for
+    /// sizing the OpenMP thread team.
+    pub fn online_processors(&self) -> MrapiResult<usize> {
+        Ok(self.resources_get()?.online_processors())
+    }
+
+    /// Publish a utilization sample (0–100) for a hardware thread; visible
+    /// through every tree's dynamic attribute and to registered callbacks.
+    pub fn report_utilization(&self, hw_thread: usize, percent: u64) -> MrapiResult<()> {
+        self.check_alive()?;
+        let cells = &self.system().inner.utilization;
+        let cell = cells.get(hw_thread).ok_or(MrapiStatus::ErrParameter)?;
+        cell.store(percent, Ordering::Release);
+        Ok(())
+    }
+
+    /// Read back a utilization sample.
+    pub fn utilization(&self, hw_thread: usize) -> MrapiResult<u64> {
+        self.check_alive()?;
+        let cells = &self.system().inner.utilization;
+        Ok(cells.get(hw_thread).ok_or(MrapiStatus::ErrParameter)?.load(Ordering::Acquire))
+    }
+
+    /// `mrapi_resource_register_callback` — build a watch object; callbacks
+    /// fire from [`ResourceWatch::publish`], the simulation's event source.
+    pub fn resource_watch(&self) -> ResourceWatch {
+        ResourceWatch { node: self.clone(), callbacks: PlMutex::new(Vec::new()) }
+    }
+}
+
+impl ResourceWatch {
+    /// Watch one hardware thread's utilization attribute.
+    pub fn register(&self, hw_thread: usize, cb: impl Fn(usize, u64) + Send + Sync + 'static) -> MrapiResult<()> {
+        ensure(
+            hw_thread < self.node.system().topology().num_hw_threads(),
+            MrapiStatus::ErrParameter,
+        )?;
+        self.callbacks.lock().push((hw_thread, Box::new(cb)));
+        Ok(())
+    }
+
+    /// Publish a new sample: stores it and fires matching callbacks —
+    /// the simulated equivalent of the hardware event MRAPI hooks.
+    pub fn publish(&self, hw_thread: usize, percent: u64) -> MrapiResult<()> {
+        self.node.report_utilization(hw_thread, percent)?;
+        for (t, cb) in self.callbacks.lock().iter() {
+            if *t == hw_thread {
+                cb(hw_thread, percent);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DomainId, MrapiSystem, NodeId};
+    use std::sync::atomic::AtomicU64;
+
+    fn node() -> Node {
+        MrapiSystem::new_t4240().initialize(DomainId(1), NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn online_processors_matches_board() {
+        let n = node();
+        assert_eq!(n.online_processors().unwrap(), 24);
+    }
+
+    #[test]
+    fn filtered_tree_and_invalid_filter() {
+        let n = node();
+        let cores = n.resources_get_filtered(ResourceKind::Core).unwrap();
+        assert_eq!(cores.root.children.len(), 12);
+        // The T4240 model has memory nodes, so every kind we expose matches;
+        // filtering a host model for L3-ish fabric children still works.
+        let caches = n.resources_get_filtered(ResourceKind::Cache).unwrap();
+        assert_eq!(caches.root.children.len(), 28);
+    }
+
+    #[test]
+    fn utilization_round_trips_through_tree() {
+        let n = node();
+        n.report_utilization(3, 85).unwrap();
+        assert_eq!(n.utilization(3).unwrap(), 85);
+        // A tree fetched *after* the update sees it via the dynamic cell.
+        let tree = n.resources_get().unwrap();
+        let mut seen = None;
+        tree.root.walk(&mut |r| {
+            if r.name == "cpu3" {
+                seen = r.attr("utilization").and_then(|a| a.as_u64());
+            }
+        });
+        assert_eq!(seen, Some(85));
+        // And a tree fetched *before* an update also tracks it (live cells).
+        n.report_utilization(3, 12).unwrap();
+        let mut seen2 = None;
+        tree.root.walk(&mut |r| {
+            if r.name == "cpu3" {
+                seen2 = r.attr("utilization").and_then(|a| a.as_u64());
+            }
+        });
+        assert_eq!(seen2, Some(12));
+    }
+
+    #[test]
+    fn out_of_range_cpu_rejected() {
+        let n = node();
+        assert_eq!(n.report_utilization(24, 1).unwrap_err().0, MrapiStatus::ErrParameter);
+        assert_eq!(n.utilization(99).unwrap_err().0, MrapiStatus::ErrParameter);
+    }
+
+    #[test]
+    fn callbacks_fire_on_publish() {
+        let n = node();
+        let w = n.resource_watch();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        w.register(5, move |cpu, pct| {
+            assert_eq!(cpu, 5);
+            h.fetch_add(pct, Ordering::Relaxed);
+        })
+        .unwrap();
+        w.publish(5, 40).unwrap();
+        w.publish(6, 99).unwrap(); // different cpu: no callback
+        w.publish(5, 2).unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 42);
+        assert!(w.register(99, |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn finalized_node_cannot_query() {
+        let n = node();
+        let c = n.clone();
+        n.finalize().unwrap();
+        assert_eq!(c.online_processors().unwrap_err().0, MrapiStatus::ErrNodeNotInit);
+    }
+}

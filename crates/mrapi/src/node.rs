@@ -1,0 +1,380 @@
+//! Domains, nodes, and the paper's thread-level node extension.
+//!
+//! An MRAPI *node* is "an independent unit of execution" — a process, a
+//! thread, a thread pool or even a hardware accelerator (paper §2B.1).  A
+//! *domain* is a global system entity comprising a team of nodes.  Stock
+//! MRAPI maps nodes onto processes; the paper's §5A.1 extension adds
+//! `mrapi_thread_create`, which creates a *worker thread* bound to a fresh
+//! node id and registers it in the domain-global database — the foundation
+//! for backing an OpenMP thread team with MRAPI node management.
+//!
+//! [`Node::thread_create`] reproduces that extension: it registers the new
+//! node, spawns the thread, hands the thread its own [`Node`] handle, and
+//! [`WorkerNode::join`] finalizes the node when the work is done — exactly
+//! the lifecycle the paper describes for a parallel region's workers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use crate::db::{DomainDb, MrapiSystem};
+use crate::status::{ensure, MrapiResult, MrapiStatus};
+
+/// MRAPI domain identifier (`mrapi_domain_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u32);
+
+/// MRAPI node identifier (`mrapi_node_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// What kind of execution unit backs a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The caller that ran `mrapi_initialize` (a "process-level" node).
+    Caller,
+    /// A worker thread created through the paper's extension.
+    WorkerThread,
+}
+
+/// Optional attributes for node creation (`mrapi_node_attributes_t` subset).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeAttributes {
+    /// Preferred hardware thread on the modeled platform (affinity hint).
+    pub affinity_hw_thread: Option<usize>,
+    /// Human-readable label for diagnostics.
+    pub name: Option<String>,
+}
+
+/// Registry entry for one node (lives in the domain-global database).
+pub struct NodeRecord {
+    pub(crate) id: NodeId,
+    pub(crate) kind: NodeKind,
+    pub(crate) attrs: NodeAttributes,
+    pub(crate) alive: AtomicBool,
+    /// Simulated-work counter the owner may bump; surfaced in metadata.
+    pub(crate) work_units: AtomicU64,
+}
+
+impl NodeRecord {
+    pub(crate) fn new(id: NodeId) -> Self {
+        NodeRecord {
+            id,
+            kind: NodeKind::Caller,
+            attrs: NodeAttributes::default(),
+            alive: AtomicBool::new(true),
+            work_units: AtomicU64::new(0),
+        }
+    }
+
+    fn new_worker(id: NodeId, attrs: NodeAttributes) -> Self {
+        NodeRecord {
+            id,
+            kind: NodeKind::WorkerThread,
+            attrs,
+            alive: AtomicBool::new(true),
+            work_units: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A live node handle: the receiver for every MRAPI operation.
+///
+/// Clones share the same registration; [`Node::finalize`] deregisters it
+/// (any clone may do so; later operations on other clones fail with
+/// `MRAPI_ERR_NODE_NOTINIT`).
+#[derive(Clone)]
+pub struct Node {
+    sys: MrapiSystem,
+    domain: Arc<DomainDb>,
+    record: Arc<NodeRecord>,
+}
+
+impl Node {
+    pub(crate) fn from_parts(sys: MrapiSystem, domain: Arc<DomainDb>, record: Arc<NodeRecord>) -> Self {
+        Node { sys, domain, record }
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.record.id
+    }
+
+    /// The owning domain's id.
+    pub fn domain_id(&self) -> DomainId {
+        self.domain.id
+    }
+
+    /// The system this node lives on.
+    pub fn system(&self) -> &MrapiSystem {
+        &self.sys
+    }
+
+    /// What backs this node.
+    pub fn kind(&self) -> NodeKind {
+        self.record.kind
+    }
+
+    /// Node attributes captured at creation.
+    pub fn attributes(&self) -> &NodeAttributes {
+        &self.record.attrs
+    }
+
+    /// `mrapi_initialized`: whether this node is still registered —
+    /// the check the paper's Listing 2 performs before creating threads.
+    pub fn is_initialized(&self) -> bool {
+        self.record.alive.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn check_alive(&self) -> MrapiResult<()> {
+        ensure(self.is_initialized(), MrapiStatus::ErrNodeNotInit)
+    }
+
+    pub(crate) fn domain_db(&self) -> &Arc<DomainDb> {
+        &self.domain
+    }
+
+    /// Record simulated work units against this node (visible via metadata).
+    pub fn add_work_units(&self, units: u64) {
+        self.record.work_units.fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Work units recorded so far.
+    pub fn work_units(&self) -> u64 {
+        self.record.work_units.load(Ordering::Relaxed)
+    }
+
+    /// **Paper extension (§5A.1, Listing 2)** — `mrapi_thread_create`.
+    ///
+    /// Registers `new_id` as a fresh worker node in this node's domain,
+    /// spawns an OS thread for it, and runs `f` on that thread with the
+    /// worker's own [`Node`] handle.  Fails with
+    /// `MRAPI_ERR_NODE_NOTINIT` if the calling node was finalized (the exact
+    /// check in Listing 2) and `MRAPI_ERR_NODE_INITFAILED` on an id clash.
+    pub fn thread_create<T, F>(&self, new_id: NodeId, f: F) -> MrapiResult<WorkerNode<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce(Node) -> T + Send + 'static,
+    {
+        self.thread_create_with_attrs(new_id, NodeAttributes::default(), f)
+    }
+
+    /// [`Node::thread_create`] with explicit node attributes (affinity hint,
+    /// label).  The affinity hint names a hardware thread on the modeled
+    /// platform; it is recorded for metadata/placement, not enforced by the
+    /// host OS.
+    pub fn thread_create_with_attrs<T, F>(
+        &self,
+        new_id: NodeId,
+        attrs: NodeAttributes,
+        f: F,
+    ) -> MrapiResult<WorkerNode<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce(Node) -> T + Send + 'static,
+    {
+        self.check_alive()?;
+        if let Some(cpu) = attrs.affinity_hw_thread {
+            ensure(cpu < self.sys.topology().num_hw_threads(), MrapiStatus::ErrParameter)?;
+        }
+        let record = Arc::new(NodeRecord::new_worker(new_id, attrs));
+        {
+            let mut nodes = self.domain.nodes.write();
+            ensure(!nodes.contains_key(&new_id.0), MrapiStatus::ErrNodeInitFailed)?;
+            nodes.insert(new_id.0, Arc::clone(&record));
+        }
+        let child = Node {
+            sys: self.sys.clone(),
+            domain: Arc::clone(&self.domain),
+            record: Arc::clone(&record),
+        };
+        let label = child
+            .record
+            .attrs
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("mrapi-node-{}-{}", self.domain.id.0, new_id.0));
+        let handle = thread::Builder::new()
+            .name(label)
+            .spawn(move || f(child))
+            .map_err(|_| MrapiStatus::ErrNodeInitFailed)?;
+        Ok(WorkerNode { handle, record, domain: Arc::clone(&self.domain) })
+    }
+
+    /// `mrapi_finalize`: deregister this node from the domain database.
+    ///
+    /// Fails with `MRAPI_ERR_NODE_NOTINIT` if already finalized (e.g. by a
+    /// clone of this handle).
+    pub fn finalize(self) -> MrapiResult<()> {
+        self.check_alive()?;
+        self.record.alive.store(false, Ordering::Release);
+        self.domain.nodes.write().remove(&self.record.id.0);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("domain", &self.domain.id.0)
+            .field("node", &self.record.id.0)
+            .field("kind", &self.record.kind)
+            .field("alive", &self.is_initialized())
+            .finish()
+    }
+}
+
+/// Join handle for a worker node created by [`Node::thread_create`].
+///
+/// Joining finalizes the worker's registration — the paper's "the MRAPI
+/// node, and its associated worker thread, will be finalized by the MRAPI
+/// routines" (§5B.1).
+pub struct WorkerNode<T> {
+    handle: thread::JoinHandle<T>,
+    record: Arc<NodeRecord>,
+    domain: Arc<DomainDb>,
+}
+
+impl<T> WorkerNode<T> {
+    /// The worker's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.record.id
+    }
+
+    /// Whether the worker thread has already returned.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Wait for the worker, deregister its node, and return the closure's
+    /// value.  Worker panics are propagated as `Err` exactly like
+    /// [`std::thread::JoinHandle::join`]; the node is deregistered either
+    /// way.
+    pub fn join(self) -> thread::Result<T> {
+        let out = self.handle.join();
+        self.record.alive.store(false, Ordering::Release);
+        self.domain.nodes.write().remove(&self.record.id.0);
+        out
+    }
+}
+
+impl<T> std::fmt::Debug for WorkerNode<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerNode").field("node", &self.record.id.0).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MrapiSystem {
+        MrapiSystem::new_t4240()
+    }
+
+    #[test]
+    fn worker_lifecycle_matches_listing_2() {
+        let s = sys();
+        let master = s.initialize(DomainId(1), NodeId(0)).unwrap();
+        assert!(master.is_initialized());
+        let w = master
+            .thread_create(NodeId(1), |me| {
+                assert!(me.is_initialized());
+                assert_eq!(me.kind(), NodeKind::WorkerThread);
+                assert_eq!(me.domain_id(), DomainId(1));
+                me.node_id().0 * 10
+            })
+            .unwrap();
+        assert_eq!(s.node_count(DomainId(1)), 2, "worker registered in global database");
+        assert_eq!(w.join().unwrap(), 10);
+        assert_eq!(s.node_count(DomainId(1)), 1, "worker finalized on join");
+    }
+
+    #[test]
+    fn thread_create_from_finalized_node_fails_like_listing_2() {
+        let s = sys();
+        let master = s.initialize(DomainId(1), NodeId(0)).unwrap();
+        let clone = master.clone();
+        master.finalize().unwrap();
+        let err = clone.thread_create(NodeId(1), |_| ()).unwrap_err();
+        assert_eq!(err.0, MrapiStatus::ErrNodeNotInit);
+    }
+
+    #[test]
+    fn duplicate_worker_id_rejected() {
+        let s = sys();
+        let master = s.initialize(DomainId(1), NodeId(0)).unwrap();
+        let w = master.thread_create(NodeId(7), |_| std::thread::sleep(std::time::Duration::from_millis(20))).unwrap();
+        let err = master.thread_create(NodeId(7), |_| ()).unwrap_err();
+        assert_eq!(err.0, MrapiStatus::ErrNodeInitFailed);
+        w.join().unwrap();
+        // After join the id is free again.
+        master.thread_create(NodeId(7), |_| ()).unwrap().join().unwrap();
+    }
+
+    #[test]
+    fn double_finalize_fails() {
+        let s = sys();
+        let n = s.initialize(DomainId(1), NodeId(0)).unwrap();
+        let c = n.clone();
+        n.finalize().unwrap();
+        assert_eq!(c.finalize().unwrap_err().0, MrapiStatus::ErrNodeNotInit);
+    }
+
+    #[test]
+    fn worker_panic_propagates_but_deregisters() {
+        let s = sys();
+        let master = s.initialize(DomainId(1), NodeId(0)).unwrap();
+        let w = master.thread_create(NodeId(1), |_| panic!("boom")).unwrap();
+        assert!(w.join().is_err());
+        assert_eq!(s.node_count(DomainId(1)), 1);
+    }
+
+    #[test]
+    fn affinity_hint_validated_against_platform() {
+        let s = sys();
+        let master = s.initialize(DomainId(1), NodeId(0)).unwrap();
+        let bad = NodeAttributes { affinity_hw_thread: Some(99), name: None };
+        assert_eq!(
+            master.thread_create_with_attrs(NodeId(1), bad, |_| ()).unwrap_err().0,
+            MrapiStatus::ErrParameter
+        );
+        let good = NodeAttributes { affinity_hw_thread: Some(23), name: Some("w23".into()) };
+        let w = master
+            .thread_create_with_attrs(NodeId(1), good, |me| {
+                me.attributes().affinity_hw_thread.unwrap()
+            })
+            .unwrap();
+        assert_eq!(w.join().unwrap(), 23);
+    }
+
+    #[test]
+    fn many_workers_one_per_hw_thread() {
+        let s = sys();
+        let master = s.initialize(DomainId(1), NodeId(0)).unwrap();
+        let workers: Vec<_> = (0..24)
+            .map(|i| {
+                master
+                    .thread_create(NodeId(100 + i), move |me| {
+                        me.add_work_units(1);
+                        me.node_id().0
+                    })
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(s.node_count(DomainId(1)), 25);
+        let mut ids: Vec<u32> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (100..124).collect::<Vec<_>>());
+        assert_eq!(s.node_count(DomainId(1)), 1);
+    }
+
+    #[test]
+    fn work_units_accumulate() {
+        let s = sys();
+        let n = s.initialize(DomainId(1), NodeId(0)).unwrap();
+        n.add_work_units(3);
+        n.add_work_units(4);
+        assert_eq!(n.work_units(), 7);
+    }
+}

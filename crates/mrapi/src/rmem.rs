@@ -1,0 +1,348 @@
+//! MRAPI remote memory (paper §2B.2).
+//!
+//! Remote memory models "the access of distinct memories": a buffer that
+//! lives in another device's address space.  MRAPI distinguishes two access
+//! classes — memory that happens to be directly addressable, and memory that
+//! must be reached through a transfer engine ("some other methods like DMA
+//! will need to be used") — and hides the difference behind one read/write
+//! API.
+//!
+//! In this reproduction the remote buffer is host memory standing in for an
+//! accelerator's local store; the *behavioural* difference is preserved
+//! through the platform cost model: every access is costed against the
+//! owning [`mca_platform::MemoryRegion`]'s latency/bandwidth and charged to
+//! the system's simulated-transfer ledger, and DMA-class reads/writes go
+//! through an explicit transfer with a completion handle
+//! ([`RmemTransfer`]), mirroring `mrapi_rmem_read_i`/`mrapi_rmem_write_i`
+//! (the non-blocking variants) and `mrapi_rmem_read`/`write` (blocking).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mca_platform::MemoryRegion;
+use parking_lot::Mutex as PlMutex;
+
+use crate::node::Node;
+use crate::status::{ensure, MrapiResult, MrapiStatus};
+
+/// Access class of a remote buffer (`mrapi_rmem_atype_t`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmemAccess {
+    /// Physically consecutive and directly addressable.
+    Direct,
+    /// Reached through a DMA engine; transfers are explicit.
+    Dma,
+}
+
+/// Creation attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmemAttributes {
+    pub access: RmemAccess,
+    /// Which platform memory window hosts the buffer.  Defaults to the
+    /// modeled accelerator window for DMA, DDR for direct.
+    pub region: Option<String>,
+}
+
+impl Default for RmemAttributes {
+    fn default() -> Self {
+        RmemAttributes { access: RmemAccess::Dma, region: None }
+    }
+}
+
+/// Registry entry for one remote buffer.
+pub struct RmemBuffer {
+    id: u32,
+    access: RmemAccess,
+    region: MemoryRegion,
+    data: PlMutex<Vec<u8>>,
+    deleted: AtomicBool,
+}
+
+/// A node's handle to remote memory (`mrapi_rmem_hndl_t`).
+pub struct RmemHandle {
+    node: Node,
+    buf: Arc<RmemBuffer>,
+}
+
+/// Completion handle for a non-blocking transfer (`mrapi_request_t`).
+///
+/// The byte copy happens eagerly (host memory is the stand-in); what the
+/// handle tracks is the *modeled* transfer time, so callers can overlap
+/// simulated compute with simulated DMA exactly as they would on the board.
+#[derive(Debug)]
+pub struct RmemTransfer {
+    sim_ns: f64,
+    done: bool,
+}
+
+impl RmemTransfer {
+    /// `mrapi_test`: has the modeled transfer completed?  (Always true once
+    /// polled — the simulation completes transfers at the next poll point.)
+    pub fn test(&mut self) -> bool {
+        self.done = true;
+        self.done
+    }
+
+    /// `mrapi_wait`: block until complete; returns the modeled transfer
+    /// nanoseconds for the caller's simulated-time accounting.
+    pub fn wait(mut self) -> f64 {
+        self.done = true;
+        self.sim_ns
+    }
+
+    /// Modeled transfer duration in nanoseconds.
+    pub fn sim_ns(&self) -> f64 {
+        self.sim_ns
+    }
+}
+
+impl Node {
+    /// `mrapi_rmem_create` — allocate a remote buffer of `size` bytes.
+    pub fn rmem_create(&self, id: u32, size: usize, attrs: &RmemAttributes) -> MrapiResult<RmemHandle> {
+        self.check_alive()?;
+        ensure(size > 0, MrapiStatus::ErrParameter)?;
+        let region_name = attrs.region.clone().unwrap_or_else(|| {
+            match attrs.access {
+                RmemAccess::Dma => "accel-window".to_string(),
+                RmemAccess::Direct => "ddr0".to_string(),
+            }
+        });
+        let region = self
+            .system()
+            .memory_map()
+            .by_name(&region_name)
+            .ok_or(MrapiStatus::ErrParameter)?
+            .clone();
+        ensure(size as u64 <= region.size, MrapiStatus::ErrMemLimit)?;
+        if attrs.access == RmemAccess::Direct {
+            ensure(region.class.directly_addressable(), MrapiStatus::ErrRmemInvalid)?;
+        }
+        let buf = Arc::new(RmemBuffer {
+            id,
+            access: attrs.access,
+            region,
+            data: PlMutex::new(vec![0u8; size]),
+            deleted: AtomicBool::new(false),
+        });
+        let mut map = self.domain_db().rmems.write();
+        ensure(!map.contains_key(&id), MrapiStatus::ErrRmemExists)?;
+        map.insert(id, Arc::clone(&buf));
+        Ok(RmemHandle { node: self.clone(), buf })
+    }
+
+    /// `mrapi_rmem_get` + `attach`.
+    pub fn rmem_get(&self, id: u32) -> MrapiResult<RmemHandle> {
+        self.check_alive()?;
+        let buf = self
+            .domain_db()
+            .rmems
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(MrapiStatus::ErrRmemInvalid)?;
+        ensure(!buf.deleted.load(Ordering::Acquire), MrapiStatus::ErrRmemInvalid)?;
+        Ok(RmemHandle { node: self.clone(), buf })
+    }
+}
+
+impl RmemHandle {
+    /// Buffer id.
+    pub fn id(&self) -> u32 {
+        self.buf.id
+    }
+
+    /// Access class.
+    pub fn access(&self) -> RmemAccess {
+        self.buf.access
+    }
+
+    /// Buffer size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.data.lock().len()
+    }
+
+    /// True only for the impossible zero-size buffer (kept for clippy).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn check_live(&self) -> MrapiResult<()> {
+        self.node.check_alive()?;
+        ensure(!self.buf.deleted.load(Ordering::Acquire), MrapiStatus::ErrRmemInvalid)
+    }
+
+    fn transfer(&self, bytes: usize) -> RmemTransfer {
+        let ns = self.buf.region.transfer_ns(bytes as u64);
+        self.node.system().charge_sim_ns(ns);
+        RmemTransfer { sim_ns: ns, done: false }
+    }
+
+    /// `mrapi_rmem_read` — blocking read of `out.len()` bytes at `offset`.
+    /// Returns the modeled transfer nanoseconds.
+    pub fn read(&self, offset: usize, out: &mut [u8]) -> MrapiResult<f64> {
+        Ok(self.read_nb(offset, out)?.wait())
+    }
+
+    /// `mrapi_rmem_write` — blocking write.  Returns modeled nanoseconds.
+    pub fn write(&self, offset: usize, data: &[u8]) -> MrapiResult<f64> {
+        Ok(self.write_nb(offset, data)?.wait())
+    }
+
+    /// `mrapi_rmem_read_i` — non-blocking read; the bytes are valid when the
+    /// returned transfer is waited/tested.
+    pub fn read_nb(&self, offset: usize, out: &mut [u8]) -> MrapiResult<RmemTransfer> {
+        self.check_live()?;
+        let data = self.buf.data.lock();
+        ensure(
+            offset.checked_add(out.len()).is_some_and(|e| e <= data.len()),
+            MrapiStatus::ErrRmemBounds,
+        )?;
+        out.copy_from_slice(&data[offset..offset + out.len()]);
+        drop(data);
+        Ok(self.transfer(out.len()))
+    }
+
+    /// `mrapi_rmem_write_i` — non-blocking write.
+    pub fn write_nb(&self, offset: usize, src: &[u8]) -> MrapiResult<RmemTransfer> {
+        self.check_live()?;
+        let mut data = self.buf.data.lock();
+        ensure(
+            offset.checked_add(src.len()).is_some_and(|e| e <= data.len()),
+            MrapiStatus::ErrRmemBounds,
+        )?;
+        data[offset..offset + src.len()].copy_from_slice(src);
+        drop(data);
+        Ok(self.transfer(src.len()))
+    }
+
+    /// `mrapi_rmem_delete`.
+    pub fn delete(self) -> MrapiResult<()> {
+        self.check_live()?;
+        self.buf.deleted.store(true, Ordering::Release);
+        self.node.domain_db().rmems.write().remove(&self.buf.id);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for RmemHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmemHandle")
+            .field("id", &self.buf.id)
+            .field("access", &self.buf.access)
+            .field("region", &self.buf.region.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DomainId, MrapiSystem, NodeId};
+
+    fn node_on(sys: &MrapiSystem) -> Node {
+        sys.initialize(DomainId(1), NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_charges_dma_costs() {
+        let sys = MrapiSystem::new_t4240();
+        let n = node_on(&sys);
+        let r = n.rmem_create(1, 4096, &RmemAttributes::default()).unwrap();
+        assert_eq!(r.access(), RmemAccess::Dma);
+        let before = sys.simulated_transfer_ns();
+        let ns = r.write(0, b"accelerator payload").unwrap();
+        assert!(ns >= 900.0, "DMA latency floor: {ns}");
+        let mut out = [0u8; 19];
+        r.read(0, &mut out).unwrap();
+        assert_eq!(&out, b"accelerator payload");
+        assert!(sys.simulated_transfer_ns() > before);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let sys = MrapiSystem::new_t4240();
+        let n = node_on(&sys);
+        let r = n.rmem_create(1, 16, &RmemAttributes::default()).unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read(12, &mut buf).unwrap_err().0, MrapiStatus::ErrRmemBounds);
+        assert_eq!(r.write(usize::MAX, &buf).unwrap_err().0, MrapiStatus::ErrRmemBounds);
+        r.read(8, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn direct_access_requires_addressable_region() {
+        let sys = MrapiSystem::new_t4240();
+        let n = node_on(&sys);
+        let err = n
+            .rmem_create(
+                1,
+                16,
+                &RmemAttributes { access: RmemAccess::Direct, region: Some("accel-window".into()) },
+            )
+            .unwrap_err();
+        assert_eq!(err.0, MrapiStatus::ErrRmemInvalid, "DMA-only window is not direct");
+        let ok = n
+            .rmem_create(1, 16, &RmemAttributes { access: RmemAccess::Direct, region: None })
+            .unwrap();
+        assert_eq!(ok.access(), RmemAccess::Direct);
+    }
+
+    #[test]
+    fn nonblocking_transfer_protocol() {
+        let sys = MrapiSystem::new_t4240();
+        let n = node_on(&sys);
+        let r = n.rmem_create(1, 64, &RmemAttributes::default()).unwrap();
+        let t = r.write_nb(0, &[1, 2, 3]).unwrap();
+        assert!(t.sim_ns() > 0.0);
+        let mut t = t;
+        assert!(t.test());
+        let mut out = [0u8; 3];
+        let t2 = r.read_nb(0, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3]);
+        let _ = t2.wait();
+    }
+
+    #[test]
+    fn cross_node_sharing_and_delete() {
+        let sys = MrapiSystem::new_t4240();
+        let master = node_on(&sys);
+        let r = master.rmem_create(5, 32, &RmemAttributes::default()).unwrap();
+        r.write(0, &[9; 8]).unwrap();
+        let w = master
+            .thread_create(NodeId(1), |me| {
+                let r = me.rmem_get(5).unwrap();
+                let mut out = [0u8; 8];
+                r.read(0, &mut out).unwrap();
+                out[0]
+            })
+            .unwrap();
+        assert_eq!(w.join().unwrap(), 9);
+        r.delete().unwrap();
+        assert_eq!(master.rmem_get(5).unwrap_err().0, MrapiStatus::ErrRmemInvalid);
+    }
+
+    #[test]
+    fn id_clash_and_zero_size() {
+        let sys = MrapiSystem::new_t4240();
+        let n = node_on(&sys);
+        let _a = n.rmem_create(1, 8, &RmemAttributes::default()).unwrap();
+        assert_eq!(
+            n.rmem_create(1, 8, &RmemAttributes::default()).unwrap_err().0,
+            MrapiStatus::ErrRmemExists
+        );
+        assert_eq!(
+            n.rmem_create(2, 0, &RmemAttributes::default()).unwrap_err().0,
+            MrapiStatus::ErrParameter
+        );
+    }
+
+    #[test]
+    fn larger_transfers_cost_more() {
+        let sys = MrapiSystem::new_t4240();
+        let n = node_on(&sys);
+        let r = n.rmem_create(1, 1 << 20, &RmemAttributes::default()).unwrap();
+        let small = r.write(0, &[0u8; 64]).unwrap();
+        let big = r.write(0, &vec![0u8; 1 << 20]).unwrap(); // heap: 1 MiB
+        assert!(big > small * 10.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! MRAPI mutexes with lock keys and checked recursion.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::ThreadId;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex as PlMutex};
+
+use crate::node::Node;
+use crate::status::{ensure, MrapiResult, MrapiStatus};
+use crate::sync::finite_timeout;
+
+/// Creation attributes (`mrapi_mutex_attributes_t` subset).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutexAttributes {
+    /// Allow the holder to re-lock; each acquisition gets its own lock key
+    /// and unlocks must be presented in LIFO order.
+    pub recursive: bool,
+}
+
+/// The lock key `mrapi_mutex_lock` hands back (`mrapi_key_t`).
+///
+/// Opaque: its only use is to be given back to [`Mutex::unlock`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct MutexKey(pub(crate) u64);
+
+struct State {
+    owner: Option<ThreadId>,
+    depth: u64,
+}
+
+/// Registry entry shared by every handle to one mutex.
+pub struct MutexInner {
+    key: u32,
+    recursive: bool,
+    state: PlMutex<State>,
+    cv: Condvar,
+    deleted: AtomicBool,
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+/// A node's handle to an MRAPI mutex.
+pub struct Mutex {
+    node: Node,
+    inner: Arc<MutexInner>,
+}
+
+impl Node {
+    /// `mrapi_mutex_create`.  Fails with `MRAPI_ERR_MUTEX_EXISTS` on key
+    /// clash.
+    pub fn mutex_create(&self, key: u32, attrs: &MutexAttributes) -> MrapiResult<Mutex> {
+        self.check_alive()?;
+        let inner = Arc::new(MutexInner {
+            key,
+            recursive: attrs.recursive,
+            state: PlMutex::new(State { owner: None, depth: 0 }),
+            cv: Condvar::new(),
+            deleted: AtomicBool::new(false),
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        });
+        let mut map = self.domain_db().mutexes.write();
+        ensure(!map.contains_key(&key), MrapiStatus::ErrMutexExists)?;
+        map.insert(key, Arc::clone(&inner));
+        Ok(Mutex { node: self.clone(), inner })
+    }
+
+    /// `mrapi_mutex_get` — look up a mutex created by any node in the
+    /// domain.
+    pub fn mutex_get(&self, key: u32) -> MrapiResult<Mutex> {
+        self.check_alive()?;
+        let inner = self
+            .domain_db()
+            .mutexes
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(MrapiStatus::ErrMutexInvalid)?;
+        ensure(!inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrMutexInvalid)?;
+        Ok(Mutex { node: self.clone(), inner })
+    }
+}
+
+impl Mutex {
+    /// The registry key.
+    pub fn key(&self) -> u32 {
+        self.inner.key
+    }
+
+    fn check_live(&self) -> MrapiResult<()> {
+        self.node.check_alive()?;
+        ensure(!self.inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrMutexInvalid)
+    }
+
+    /// `mrapi_mutex_lock`.  Blocks up to `timeout`
+    /// ([`crate::MRAPI_TIMEOUT_INFINITE`] to wait forever) and returns the
+    /// lock key for this acquisition.
+    ///
+    /// Re-locking while holding: allowed for recursive mutexes (a deeper
+    /// key is returned), `MRAPI_ERR_MUTEX_LOCKED` otherwise.
+    pub fn lock(&self, timeout: Duration) -> MrapiResult<MutexKey> {
+        self.check_live()?;
+        let me = std::thread::current().id();
+        let mut st = self.inner.state.lock();
+        if st.owner == Some(me) {
+            if self.inner.recursive {
+                st.depth += 1;
+                self.inner.acquisitions.fetch_add(1, Ordering::Relaxed);
+                return Ok(MutexKey(st.depth));
+            }
+            return Err(MrapiStatus::ErrMutexAlreadyLocked.into());
+        }
+        if st.owner.is_some() {
+            self.inner.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        match finite_timeout(timeout) {
+            None => {
+                while st.owner.is_some() {
+                    self.inner.cv.wait(&mut st);
+                }
+            }
+            Some(budget) => {
+                let deadline = std::time::Instant::now() + budget;
+                while st.owner.is_some() {
+                    if self.inner.cv.wait_until(&mut st, deadline).timed_out() {
+                        ensure(st.owner.is_none(), MrapiStatus::Timeout)?;
+                        break;
+                    }
+                }
+            }
+        }
+        st.owner = Some(me);
+        st.depth = 1;
+        self.inner.acquisitions.fetch_add(1, Ordering::Relaxed);
+        Ok(MutexKey(1))
+    }
+
+    /// `mrapi_mutex_trylock` — acquire without blocking, or
+    /// `MRAPI_ERR_MUTEX_LOCKED`.
+    pub fn try_lock(&self) -> MrapiResult<MutexKey> {
+        self.check_live()?;
+        let me = std::thread::current().id();
+        let mut st = self.inner.state.lock();
+        if st.owner == Some(me) && self.inner.recursive {
+            st.depth += 1;
+            self.inner.acquisitions.fetch_add(1, Ordering::Relaxed);
+            return Ok(MutexKey(st.depth));
+        }
+        ensure(st.owner.is_none(), MrapiStatus::ErrMutexAlreadyLocked)?;
+        st.owner = Some(me);
+        st.depth = 1;
+        self.inner.acquisitions.fetch_add(1, Ordering::Relaxed);
+        Ok(MutexKey(1))
+    }
+
+    /// `mrapi_mutex_unlock`.  The presented key must be the most recent
+    /// acquisition's (`MRAPI_ERR_MUTEX_KEY` otherwise); the caller must hold
+    /// the lock (`MRAPI_ERR_MUTEX_NOTLOCKED`).
+    pub fn unlock(&self, key: &MutexKey) -> MrapiResult<()> {
+        self.check_live()?;
+        let me = std::thread::current().id();
+        let mut st = self.inner.state.lock();
+        ensure(st.owner == Some(me), MrapiStatus::ErrMutexNotLocked)?;
+        ensure(key.0 == st.depth, MrapiStatus::ErrMutexKey)?;
+        st.depth -= 1;
+        if st.depth == 0 {
+            st.owner = None;
+            drop(st);
+            self.inner.cv.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Run `f` under the mutex (convenience; not part of the C API).
+    pub fn with_lock<T>(&self, f: impl FnOnce() -> T) -> MrapiResult<T> {
+        let k = self.lock(crate::MRAPI_TIMEOUT_INFINITE)?;
+        let out = f();
+        self.unlock(&k)?;
+        Ok(out)
+    }
+
+    /// Total successful acquisitions (diagnostics).
+    pub fn acquisitions(&self) -> u64 {
+        self.inner.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that found the mutex held (diagnostics).
+    pub fn contended(&self) -> u64 {
+        self.inner.contended.load(Ordering::Relaxed)
+    }
+
+    /// `mrapi_mutex_delete` — remove from the registry; other handles'
+    /// subsequent operations fail with `MRAPI_ERR_MUTEX_INVALID`.
+    pub fn delete(self) -> MrapiResult<()> {
+        self.check_live()?;
+        self.inner.deleted.store(true, Ordering::Release);
+        self.node.domain_db().mutexes.write().remove(&self.inner.key);
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Mutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MrapiMutex")
+            .field("key", &self.inner.key)
+            .field("recursive", &self.inner.recursive)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DomainId, MrapiSystem, NodeId, MRAPI_TIMEOUT_INFINITE};
+
+    fn node() -> Node {
+        MrapiSystem::new_t4240().initialize(DomainId(1), NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn listing_4_flow() {
+        // The exact sequence of the paper's gomp_mrapi_mutex_lock.
+        let n = node();
+        let m = n.mutex_create(1, &MutexAttributes::default()).unwrap();
+        let key = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        m.unlock(&key).unwrap();
+    }
+
+    #[test]
+    fn recursion_requires_lifo_keys() {
+        let n = node();
+        let m = n.mutex_create(1, &MutexAttributes { recursive: true }).unwrap();
+        let k1 = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        let k2 = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        assert_ne!(k1, k2);
+        // Wrong order: presenting k1 while k2 is outstanding.
+        assert_eq!(m.unlock(&k1).unwrap_err().0, MrapiStatus::ErrMutexKey);
+        m.unlock(&k2).unwrap();
+        m.unlock(&k1).unwrap();
+        assert_eq!(m.unlock(&k1).unwrap_err().0, MrapiStatus::ErrMutexNotLocked);
+    }
+
+    #[test]
+    fn non_recursive_relock_rejected() {
+        let n = node();
+        let m = n.mutex_create(1, &MutexAttributes::default()).unwrap();
+        let _k = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        assert_eq!(
+            m.lock(Duration::from_millis(1)).unwrap_err().0,
+            MrapiStatus::ErrMutexAlreadyLocked
+        );
+    }
+
+    #[test]
+    fn unlock_without_hold_rejected() {
+        let n = node();
+        let m = n.mutex_create(1, &MutexAttributes::default()).unwrap();
+        assert_eq!(m.unlock(&MutexKey(1)).unwrap_err().0, MrapiStatus::ErrMutexNotLocked);
+    }
+
+    #[test]
+    fn timeout_fires_when_held_elsewhere() {
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let m = master.mutex_create(1, &MutexAttributes::default()).unwrap();
+        let holder = master
+            .thread_create(NodeId(1), |me| {
+                let m = me.mutex_get(1).unwrap();
+                let k = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+                std::thread::sleep(Duration::from_millis(120));
+                m.unlock(&k).unwrap();
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let err = m.lock(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err.0, MrapiStatus::Timeout);
+        // Infinite wait succeeds once the holder releases.
+        let k = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        m.unlock(&k).unwrap();
+        holder.join().unwrap();
+    }
+
+    #[test]
+    fn mutual_exclusion_under_stress() {
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let _m = master.mutex_create(1, &MutexAttributes::default()).unwrap();
+        let shm = master
+            .shmem_create(99, 8, &crate::ShmemAttributes { use_malloc: true, ..Default::default() })
+            .unwrap();
+        let workers: Vec<_> = (0..6)
+            .map(|i| {
+                master
+                    .thread_create(NodeId(1 + i), move |me| {
+                        let m = me.mutex_get(1).unwrap();
+                        let shm = me.shmem_get(99).unwrap();
+                        for _ in 0..500 {
+                            let k = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+                            // Deliberately non-atomic read-modify-write: only
+                            // the mutex makes it correct.
+                            let v = shm.read_u64(0);
+                            shm.write_u64(0, v + 1);
+                            m.unlock(&k).unwrap();
+                        }
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(shm.read_u64(0), 3000);
+    }
+
+    #[test]
+    fn try_lock_and_stats() {
+        let n = node();
+        let m = n.mutex_create(1, &MutexAttributes::default()).unwrap();
+        let k = m.try_lock().unwrap();
+        assert_eq!(m.try_lock().unwrap_err().0, MrapiStatus::ErrMutexAlreadyLocked);
+        m.unlock(&k).unwrap();
+        assert_eq!(m.acquisitions(), 1);
+    }
+
+    #[test]
+    fn delete_invalidates_other_handles() {
+        let n = node();
+        let a = n.mutex_create(1, &MutexAttributes::default()).unwrap();
+        let b = n.mutex_get(1).unwrap();
+        a.delete().unwrap();
+        assert_eq!(b.lock(MRAPI_TIMEOUT_INFINITE).unwrap_err().0, MrapiStatus::ErrMutexInvalid);
+        assert_eq!(n.mutex_get(1).unwrap_err().0, MrapiStatus::ErrMutexInvalid);
+        // Key is reusable after delete.
+        n.mutex_create(1, &MutexAttributes::default()).unwrap();
+    }
+
+    #[test]
+    fn with_lock_convenience() {
+        let n = node();
+        let m = n.mutex_create(1, &MutexAttributes::default()).unwrap();
+        let out = m.with_lock(|| 5).unwrap();
+        assert_eq!(out, 5);
+        // Lock is free afterwards.
+        let k = m.try_lock().unwrap();
+        m.unlock(&k).unwrap();
+    }
+}

@@ -1,0 +1,332 @@
+//! MRAPI reader/writer locks.
+//!
+//! Writer-preferring: once a writer is waiting, new readers queue behind it,
+//! so a steady reader stream cannot starve writers — the behaviour embedded
+//! control-plane code expects.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex as PlMutex};
+
+use crate::node::Node;
+use crate::status::{ensure, MrapiResult, MrapiStatus};
+use crate::sync::finite_timeout;
+
+/// Creation attributes (`mrapi_rwl_attributes_t` subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RwLockAttributes {
+    /// Maximum simultaneous readers (MRAPI exposes a reader limit for
+    /// hardware-assisted implementations).
+    pub max_readers: u32,
+}
+
+impl Default for RwLockAttributes {
+    fn default() -> Self {
+        RwLockAttributes { max_readers: u32::MAX }
+    }
+}
+
+struct State {
+    active_readers: u32,
+    writer_active: bool,
+    writers_waiting: u32,
+}
+
+/// Registry entry shared by every handle.
+pub struct RwLockInner {
+    key: u32,
+    max_readers: u32,
+    state: PlMutex<State>,
+    cv: Condvar,
+    deleted: AtomicBool,
+}
+
+/// A node's handle to an MRAPI reader/writer lock.
+pub struct RwLock {
+    node: Node,
+    inner: Arc<RwLockInner>,
+}
+
+impl Node {
+    /// `mrapi_rwl_create`.
+    pub fn rwl_create(&self, key: u32, attrs: &RwLockAttributes) -> MrapiResult<RwLock> {
+        self.check_alive()?;
+        ensure(attrs.max_readers > 0, MrapiStatus::ErrParameter)?;
+        let inner = Arc::new(RwLockInner {
+            key,
+            max_readers: attrs.max_readers,
+            state: PlMutex::new(State { active_readers: 0, writer_active: false, writers_waiting: 0 }),
+            cv: Condvar::new(),
+            deleted: AtomicBool::new(false),
+        });
+        let mut map = self.domain_db().rwlocks.write();
+        ensure(!map.contains_key(&key), MrapiStatus::ErrRwlExists)?;
+        map.insert(key, Arc::clone(&inner));
+        Ok(RwLock { node: self.clone(), inner })
+    }
+
+    /// `mrapi_rwl_get`.
+    pub fn rwl_get(&self, key: u32) -> MrapiResult<RwLock> {
+        self.check_alive()?;
+        let inner = self
+            .domain_db()
+            .rwlocks
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(MrapiStatus::ErrRwlInvalid)?;
+        ensure(!inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrRwlInvalid)?;
+        Ok(RwLock { node: self.clone(), inner })
+    }
+}
+
+impl RwLock {
+    /// The registry key.
+    pub fn key(&self) -> u32 {
+        self.inner.key
+    }
+
+    fn check_live(&self) -> MrapiResult<()> {
+        self.node.check_alive()?;
+        ensure(!self.inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrRwlInvalid)
+    }
+
+    /// `mrapi_rwl_lock(MRAPI_RWL_READER)` — shared acquire.
+    pub fn read_lock(&self, timeout: Duration) -> MrapiResult<()> {
+        self.check_live()?;
+        let mut st = self.inner.state.lock();
+        let admissible = |st: &State, max: u32| {
+            !st.writer_active && st.writers_waiting == 0 && st.active_readers < max
+        };
+        match finite_timeout(timeout) {
+            None => {
+                while !admissible(&st, self.inner.max_readers) {
+                    self.inner.cv.wait(&mut st);
+                    self.check_live()?;
+                }
+            }
+            Some(budget) => {
+                let deadline = std::time::Instant::now() + budget;
+                while !admissible(&st, self.inner.max_readers) {
+                    if self.inner.cv.wait_until(&mut st, deadline).timed_out() {
+                        ensure(admissible(&st, self.inner.max_readers), MrapiStatus::Timeout)?;
+                        break;
+                    }
+                    self.check_live()?;
+                }
+            }
+        }
+        st.active_readers += 1;
+        Ok(())
+    }
+
+    /// `mrapi_rwl_lock(MRAPI_RWL_WRITER)` — exclusive acquire.
+    pub fn write_lock(&self, timeout: Duration) -> MrapiResult<()> {
+        self.check_live()?;
+        let mut st = self.inner.state.lock();
+        st.writers_waiting += 1;
+        let free = |st: &State| !st.writer_active && st.active_readers == 0;
+        let r = (|| -> MrapiResult<()> {
+            match finite_timeout(timeout) {
+                None => {
+                    while !free(&st) {
+                        self.inner.cv.wait(&mut st);
+                        self.check_live()?;
+                    }
+                }
+                Some(budget) => {
+                    let deadline = std::time::Instant::now() + budget;
+                    while !free(&st) {
+                        if self.inner.cv.wait_until(&mut st, deadline).timed_out() {
+                            ensure(free(&st), MrapiStatus::Timeout)?;
+                            break;
+                        }
+                        self.check_live()?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        st.writers_waiting -= 1;
+        match r {
+            Ok(()) => {
+                st.writer_active = true;
+                Ok(())
+            }
+            Err(e) => {
+                drop(st);
+                // A reader admission window may have opened.
+                self.inner.cv.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Try a shared acquire without blocking.
+    pub fn try_read_lock(&self) -> MrapiResult<()> {
+        self.read_lock(Duration::ZERO)
+    }
+
+    /// Try an exclusive acquire without blocking.
+    pub fn try_write_lock(&self) -> MrapiResult<()> {
+        self.write_lock(Duration::ZERO)
+    }
+
+    /// `mrapi_rwl_unlock(MRAPI_RWL_READER)`.
+    pub fn read_unlock(&self) -> MrapiResult<()> {
+        self.check_live()?;
+        let mut st = self.inner.state.lock();
+        ensure(st.active_readers > 0, MrapiStatus::ErrParameter)?;
+        st.active_readers -= 1;
+        drop(st);
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+
+    /// `mrapi_rwl_unlock(MRAPI_RWL_WRITER)`.
+    pub fn write_unlock(&self) -> MrapiResult<()> {
+        self.check_live()?;
+        let mut st = self.inner.state.lock();
+        ensure(st.writer_active, MrapiStatus::ErrParameter)?;
+        st.writer_active = false;
+        drop(st);
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+
+    /// `mrapi_rwl_delete`.
+    pub fn delete(self) -> MrapiResult<()> {
+        self.check_live()?;
+        self.inner.deleted.store(true, Ordering::Release);
+        self.node.domain_db().rwlocks.write().remove(&self.inner.key);
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for RwLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MrapiRwLock").field("key", &self.inner.key).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DomainId, MrapiSystem, NodeId, MRAPI_TIMEOUT_INFINITE};
+
+    fn node() -> Node {
+        MrapiSystem::new_t4240().initialize(DomainId(1), NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let n = node();
+        let l = n.rwl_create(1, &RwLockAttributes::default()).unwrap();
+        l.read_lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        l.read_lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        assert_eq!(l.try_write_lock().unwrap_err().0, MrapiStatus::Timeout);
+        l.read_unlock().unwrap();
+        l.read_unlock().unwrap();
+        l.try_write_lock().unwrap();
+        assert_eq!(l.try_read_lock().unwrap_err().0, MrapiStatus::Timeout);
+        l.write_unlock().unwrap();
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let l = master.rwl_create(1, &RwLockAttributes::default()).unwrap();
+        l.read_lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        let writer = master
+            .thread_create(NodeId(1), |me| {
+                let l = me.rwl_get(1).unwrap();
+                l.write_lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+                l.write_unlock().unwrap();
+            })
+            .unwrap();
+        // Give the writer time to queue.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(
+            l.try_read_lock().unwrap_err().0,
+            MrapiStatus::Timeout,
+            "reader must queue behind a waiting writer"
+        );
+        l.read_unlock().unwrap();
+        writer.join().unwrap();
+        l.try_read_lock().unwrap();
+        l.read_unlock().unwrap();
+    }
+
+    #[test]
+    fn reader_limit_enforced() {
+        let n = node();
+        let l = n.rwl_create(1, &RwLockAttributes { max_readers: 2 }).unwrap();
+        l.try_read_lock().unwrap();
+        l.try_read_lock().unwrap();
+        assert_eq!(l.try_read_lock().unwrap_err().0, MrapiStatus::Timeout);
+        l.read_unlock().unwrap();
+        l.try_read_lock().unwrap();
+    }
+
+    #[test]
+    fn unbalanced_unlocks_rejected() {
+        let n = node();
+        let l = n.rwl_create(1, &RwLockAttributes::default()).unwrap();
+        assert_eq!(l.read_unlock().unwrap_err().0, MrapiStatus::ErrParameter);
+        assert_eq!(l.write_unlock().unwrap_err().0, MrapiStatus::ErrParameter);
+    }
+
+    #[test]
+    fn stress_readers_and_writers_preserve_invariant() {
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let _l = master.rwl_create(1, &RwLockAttributes::default()).unwrap();
+        // Shared cells: [0]=value copy A, [8]=value copy B. Writers keep them
+        // equal under the write lock; readers must never see them differ.
+        let _shm = master
+            .shmem_create(2, 16, &crate::ShmemAttributes { use_malloc: true, ..Default::default() })
+            .unwrap();
+        let workers: Vec<_> = (0..6)
+            .map(|i| {
+                master
+                    .thread_create(NodeId(1 + i), move |me| {
+                        let l = me.rwl_get(1).unwrap();
+                        let shm = me.shmem_get(2).unwrap();
+                        let mut violations = 0u32;
+                        for k in 0..300u64 {
+                            if i % 2 == 0 {
+                                l.write_lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+                                shm.write_u64(0, k);
+                                std::thread::yield_now();
+                                shm.write_u64(8, k);
+                                l.write_unlock().unwrap();
+                            } else {
+                                l.read_lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+                                if shm.read_u64(0) != shm.read_u64(8) {
+                                    violations += 1;
+                                }
+                                l.read_unlock().unwrap();
+                            }
+                        }
+                        violations
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 0, "readers observed a torn writer update");
+    }
+
+    #[test]
+    fn delete_invalidates() {
+        let n = node();
+        let a = n.rwl_create(1, &RwLockAttributes::default()).unwrap();
+        let b = n.rwl_get(1).unwrap();
+        a.delete().unwrap();
+        assert_eq!(b.try_read_lock().unwrap_err().0, MrapiStatus::ErrRwlInvalid);
+    }
+}

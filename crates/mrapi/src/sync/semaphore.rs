@@ -1,0 +1,278 @@
+//! MRAPI counting semaphores.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex as PlMutex};
+
+use crate::node::Node;
+use crate::status::{ensure, MrapiResult, MrapiStatus};
+use crate::sync::finite_timeout;
+
+/// Creation attributes (`mrapi_sem_attributes_t` subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemaphoreAttributes {
+    /// Maximum count the semaphore may reach; posts beyond it fail with
+    /// `MRAPI_ERR_PARAMETER`.
+    pub max_count: u32,
+}
+
+impl Default for SemaphoreAttributes {
+    fn default() -> Self {
+        SemaphoreAttributes { max_count: u32::MAX }
+    }
+}
+
+/// Registry entry shared by every handle.
+pub struct SemInner {
+    key: u32,
+    max_count: u32,
+    count: PlMutex<u32>,
+    cv: Condvar,
+    deleted: AtomicBool,
+}
+
+/// A node's handle to an MRAPI semaphore.
+pub struct Semaphore {
+    node: Node,
+    inner: Arc<SemInner>,
+}
+
+impl Node {
+    /// `mrapi_sem_create` with an initial count.
+    pub fn sem_create(
+        &self,
+        key: u32,
+        initial: u32,
+        attrs: &SemaphoreAttributes,
+    ) -> MrapiResult<Semaphore> {
+        self.check_alive()?;
+        ensure(initial <= attrs.max_count, MrapiStatus::ErrParameter)?;
+        let inner = Arc::new(SemInner {
+            key,
+            max_count: attrs.max_count,
+            count: PlMutex::new(initial),
+            cv: Condvar::new(),
+            deleted: AtomicBool::new(false),
+        });
+        let mut map = self.domain_db().sems.write();
+        ensure(!map.contains_key(&key), MrapiStatus::ErrSemExists)?;
+        map.insert(key, Arc::clone(&inner));
+        Ok(Semaphore { node: self.clone(), inner })
+    }
+
+    /// `mrapi_sem_get`.
+    pub fn sem_get(&self, key: u32) -> MrapiResult<Semaphore> {
+        self.check_alive()?;
+        let inner = self
+            .domain_db()
+            .sems
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(MrapiStatus::ErrSemInvalid)?;
+        ensure(!inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrSemInvalid)?;
+        Ok(Semaphore { node: self.clone(), inner })
+    }
+}
+
+impl Semaphore {
+    /// The registry key.
+    pub fn key(&self) -> u32 {
+        self.inner.key
+    }
+
+    fn check_live(&self) -> MrapiResult<()> {
+        self.node.check_alive()?;
+        ensure(!self.inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrSemInvalid)
+    }
+
+    /// `mrapi_sem_lock` (P / wait): decrement, blocking up to `timeout`
+    /// while the count is zero.
+    pub fn acquire(&self, timeout: Duration) -> MrapiResult<()> {
+        self.check_live()?;
+        let mut c = self.inner.count.lock();
+        match finite_timeout(timeout) {
+            None => {
+                while *c == 0 {
+                    self.inner.cv.wait(&mut c);
+                    self.check_live()?;
+                }
+            }
+            Some(budget) => {
+                let deadline = std::time::Instant::now() + budget;
+                while *c == 0 {
+                    if self.inner.cv.wait_until(&mut c, deadline).timed_out() {
+                        ensure(*c > 0, MrapiStatus::Timeout)?;
+                        break;
+                    }
+                    self.check_live()?;
+                }
+            }
+        }
+        *c -= 1;
+        Ok(())
+    }
+
+    /// `mrapi_sem_trylock` — decrement without blocking, or `MRAPI_TIMEOUT`.
+    pub fn try_acquire(&self) -> MrapiResult<()> {
+        self.check_live()?;
+        let mut c = self.inner.count.lock();
+        ensure(*c > 0, MrapiStatus::Timeout)?;
+        *c -= 1;
+        Ok(())
+    }
+
+    /// `mrapi_sem_unlock` (V / post): increment and wake one waiter.  Fails
+    /// with `MRAPI_ERR_PARAMETER` if the count is already at `max_count`.
+    pub fn release(&self) -> MrapiResult<()> {
+        self.check_live()?;
+        let mut c = self.inner.count.lock();
+        ensure(*c < self.inner.max_count, MrapiStatus::ErrParameter)?;
+        *c += 1;
+        drop(c);
+        self.inner.cv.notify_one();
+        Ok(())
+    }
+
+    /// Current count (diagnostic snapshot).
+    pub fn count(&self) -> u32 {
+        *self.inner.count.lock()
+    }
+
+    /// `mrapi_sem_delete`.  Waiters are woken and observe
+    /// `MRAPI_ERR_SEM_INVALID`.
+    pub fn delete(self) -> MrapiResult<()> {
+        self.check_live()?;
+        self.inner.deleted.store(true, Ordering::Release);
+        self.node.domain_db().sems.write().remove(&self.inner.key);
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MrapiSemaphore")
+            .field("key", &self.inner.key)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DomainId, MrapiSystem, NodeId, MRAPI_TIMEOUT_INFINITE};
+
+    fn node() -> Node {
+        MrapiSystem::new_t4240().initialize(DomainId(1), NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn counting_behaviour() {
+        let n = node();
+        let s = n.sem_create(1, 2, &SemaphoreAttributes::default()).unwrap();
+        s.acquire(MRAPI_TIMEOUT_INFINITE).unwrap();
+        s.acquire(MRAPI_TIMEOUT_INFINITE).unwrap();
+        assert_eq!(s.try_acquire().unwrap_err().0, MrapiStatus::Timeout);
+        s.release().unwrap();
+        s.try_acquire().unwrap();
+    }
+
+    #[test]
+    fn max_count_enforced() {
+        let n = node();
+        let s = n.sem_create(1, 1, &SemaphoreAttributes { max_count: 1 }).unwrap();
+        assert_eq!(s.release().unwrap_err().0, MrapiStatus::ErrParameter);
+        assert_eq!(
+            n.sem_create(2, 5, &SemaphoreAttributes { max_count: 3 }).unwrap_err().0,
+            MrapiStatus::ErrParameter,
+            "initial beyond max"
+        );
+    }
+
+    #[test]
+    fn timeout_then_success() {
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let s = master.sem_create(1, 0, &SemaphoreAttributes::default()).unwrap();
+        assert_eq!(s.acquire(Duration::from_millis(5)).unwrap_err().0, MrapiStatus::Timeout);
+        let poster = master
+            .thread_create(NodeId(1), |me| {
+                std::thread::sleep(Duration::from_millis(30));
+                me.sem_get(1).unwrap().release().unwrap();
+            })
+            .unwrap();
+        s.acquire(MRAPI_TIMEOUT_INFINITE).unwrap();
+        poster.join().unwrap();
+    }
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        // Classic: a sem of 3 must never admit more than 3 at once.
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let _s = master.sem_create(1, 3, &SemaphoreAttributes::default()).unwrap();
+        let gauge = master
+            .shmem_create(9, 16, &crate::ShmemAttributes { use_malloc: true, ..Default::default() })
+            .unwrap();
+        let workers: Vec<_> = (0..8)
+            .map(|i| {
+                master
+                    .thread_create(NodeId(1 + i), move |me| {
+                        let s = me.sem_get(1).unwrap();
+                        let g = me.shmem_get(9).unwrap();
+                        for _ in 0..50 {
+                            s.acquire(MRAPI_TIMEOUT_INFINITE).unwrap();
+                            let now = g.fetch_add_u64(0, 1) + 1;
+                            // Track the high-water mark in word 1.
+                            loop {
+                                let hi = g.read_u64(8);
+                                if now <= hi {
+                                    break;
+                                }
+                                if g.as_words()[1]
+                                    .compare_exchange(
+                                        hi,
+                                        now,
+                                        Ordering::AcqRel,
+                                        Ordering::Acquire,
+                                    )
+                                    .is_ok()
+                                {
+                                    break;
+                                }
+                            }
+                            std::thread::yield_now();
+                            g.as_words()[0].fetch_sub(1, Ordering::AcqRel);
+                            s.release().unwrap();
+                        }
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(gauge.read_u64(8) <= 3, "high-water {} exceeded sem count", gauge.read_u64(8));
+        assert_eq!(gauge.read_u64(0), 0);
+    }
+
+    #[test]
+    fn delete_wakes_waiters_with_invalid() {
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let s = master.sem_create(1, 0, &SemaphoreAttributes::default()).unwrap();
+        let waiter = master
+            .thread_create(NodeId(1), |me| {
+                let s = me.sem_get(1).unwrap();
+                s.acquire(MRAPI_TIMEOUT_INFINITE).unwrap_err().0
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        s.delete().unwrap();
+        assert_eq!(waiter.join().unwrap(), MrapiStatus::ErrSemInvalid);
+    }
+}

@@ -1,0 +1,44 @@
+//! # mca-mtapi — the Multicore Task Management API
+//!
+//! MTAPI is the MCA's task-management standard: "complete support of task
+//! life-cycle, with optimization of task synchronization, scheduling, and
+//! load balancing" (paper §2B).  The paper names MTAPI as future work
+//! (§7) — this crate implements it so the task-level experiments are
+//! runnable, mirroring the shape of Siemens' open-source EMB² MTAPI
+//! implementation the paper cites:
+//!
+//! * **Jobs** — abstract units of work identified by a job id;
+//! * **Actions** — concrete implementations attached to a job (a function
+//!   from input bytes to output bytes here; hardware actions on real
+//!   systems);
+//! * **Tasks** — one execution of a job: started, optionally grouped,
+//!   waited on ([`Task::wait`]), cancellable before it runs;
+//! * **Groups** — fork/join sets with `wait_all`;
+//! * **Queues** — strictly ordered task streams to one job (at most one
+//!   task from a queue in flight at a time);
+//! * a **work-stealing scheduler** over a fixed worker pool with
+//!   per-priority injectors (0 = most urgent).
+//!
+//! ```
+//! use mca_mtapi::Mtapi;
+//!
+//! let mt = Mtapi::initialize(1, 0, 2).unwrap();
+//! mt.create_action(7, |input| {
+//!     let x = u64::from_le_bytes(input.try_into().unwrap());
+//!     (x * x).to_le_bytes().to_vec()
+//! }).unwrap();
+//!
+//! let job = mt.job(7).unwrap();
+//! let task = job.start(9u64.to_le_bytes().to_vec()).unwrap();
+//! let out = task.wait(None).unwrap();
+//! assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 81);
+//! ```
+
+pub mod runtime;
+pub mod status;
+
+pub use runtime::{Group, Job, Mtapi, Queue, Task, TaskState};
+pub use status::{MtapiError, MtapiStatus};
+
+/// Number of task priority levels (0 = most urgent).
+pub const MTAPI_PRIORITIES: usize = 4;

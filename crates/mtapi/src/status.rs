@@ -1,0 +1,79 @@
+//! MTAPI status vocabulary.
+
+/// Status codes this implementation can emit (`mtapi_status_t` subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MtapiStatus {
+    /// Operation completed (`MTAPI_SUCCESS`).
+    Success,
+    /// Node already initialized (`MTAPI_ERR_NODE_INITIALIZED`).
+    ErrNodeInitialized,
+    /// No action registered for the job (`MTAPI_ERR_JOB_INVALID`).
+    ErrJobInvalid,
+    /// Job already has an action (`MTAPI_ERR_ACTION_EXISTS`).
+    ErrActionExists,
+    /// The action panicked while executing (`MTAPI_ERR_ACTION_FAILED`).
+    ErrActionFailed,
+    /// Timed wait expired (`MTAPI_TIMEOUT`).
+    Timeout,
+    /// Task was cancelled before running (`MTAPI_ERR_TASK_CANCELLED`).
+    ErrTaskCancelled,
+    /// Invalid parameter (`MTAPI_ERR_PARAMETER`).
+    ErrParameter,
+    /// Queue was deleted (`MTAPI_ERR_QUEUE_INVALID`).
+    ErrQueueInvalid,
+    /// Runtime is shutting down (`MTAPI_ERR_NODE_NOTINIT`).
+    ErrShutdown,
+}
+
+impl MtapiStatus {
+    /// Spec-style identifier.
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            MtapiStatus::Success => "MTAPI_SUCCESS",
+            MtapiStatus::ErrNodeInitialized => "MTAPI_ERR_NODE_INITIALIZED",
+            MtapiStatus::ErrJobInvalid => "MTAPI_ERR_JOB_INVALID",
+            MtapiStatus::ErrActionExists => "MTAPI_ERR_ACTION_EXISTS",
+            MtapiStatus::ErrActionFailed => "MTAPI_ERR_ACTION_FAILED",
+            MtapiStatus::Timeout => "MTAPI_TIMEOUT",
+            MtapiStatus::ErrTaskCancelled => "MTAPI_ERR_TASK_CANCELLED",
+            MtapiStatus::ErrParameter => "MTAPI_ERR_PARAMETER",
+            MtapiStatus::ErrQueueInvalid => "MTAPI_ERR_QUEUE_INVALID",
+            MtapiStatus::ErrShutdown => "MTAPI_ERR_NODE_NOTINIT",
+        }
+    }
+}
+
+/// Error wrapper for non-success statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MtapiError(pub MtapiStatus);
+
+impl std::fmt::Display for MtapiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0.spec_name())
+    }
+}
+
+impl std::error::Error for MtapiError {}
+
+/// Crate-wide result alias.
+pub type MtapiResult<T> = Result<T, MtapiError>;
+
+pub(crate) fn ensure(cond: bool, status: MtapiStatus) -> MtapiResult<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(MtapiError(status))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(MtapiStatus::Success.spec_name(), "MTAPI_SUCCESS");
+        assert_eq!(MtapiError(MtapiStatus::Timeout).to_string(), "MTAPI_TIMEOUT");
+    }
+}

@@ -1,0 +1,53 @@
+//! Standalone NAS kernel runner, in the spirit of the NPB report format.
+//!
+//! ```text
+//! cargo run -p romp-npb --release --bin npb -- <EP|CG|IS|MG|FT> <S|W|A> <threads> [native|mca]
+//! ```
+
+use romp::{BackendKind, Config, Runtime};
+use romp_npb::{Class, NpbKernel};
+
+fn usage() -> ! {
+    eprintln!("usage: npb <EP|CG|IS|MG|FT> <S|W|A> <threads> [native|mca]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        usage();
+    }
+    let kernel = match args[0].to_ascii_uppercase().as_str() {
+        "EP" => NpbKernel::Ep,
+        "CG" => NpbKernel::Cg,
+        "IS" => NpbKernel::Is,
+        "MG" => NpbKernel::Mg,
+        "FT" => NpbKernel::Ft,
+        _ => usage(),
+    };
+    let Some(class) = Class::parse(&args[1]) else { usage() };
+    let Ok(threads) = args[2].parse::<usize>() else { usage() };
+    let backend = match args.get(3).map(|s| s.as_str()) {
+        None | Some("mca") => BackendKind::Mca,
+        Some("native") => BackendKind::Native,
+        _ => usage(),
+    };
+
+    let rt = Runtime::with_config(Config::default().with_backend(backend)).unwrap();
+    println!(
+        " NAS Parallel Benchmarks (romp reproduction) — {} Benchmark",
+        kernel.name()
+    );
+    println!(" Class: {}   Threads: {}   Backend: {}", class.label(), threads, backend.label());
+    let res = kernel.run(&rt, threads, class);
+    println!(" Time in seconds    = {:>12.4}", res.wall_s);
+    println!(" Mop/s total        = {:>12.2}", res.mops);
+    println!(
+        " Verification       = {}",
+        if res.verified() { "SUCCESSFUL" } else { "FAILED" }
+    );
+    println!(" Detail             = {:?}", res.verification);
+    if !res.verified() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,390 @@
+//! CG — the Conjugate Gradient kernel.
+//!
+//! Estimates the smallest eigenvalue of a large sparse symmetric
+//! positive-definite matrix by inverse power iteration, each step solving
+//! `A z = x` with 25 unpreconditioned conjugate-gradient iterations.  The
+//! matrix is NPB's synthetic one: a sum of `n` rank-one outer products of
+//! sparse random vectors with geometrically decaying weights plus a shifted
+//! diagonal, generated with the exact `makea`/`sprnvc`/`vecset` procedure
+//! (and random stream) of the NPB sources so the published ζ verification
+//! values apply.
+//!
+//! Parallelisation follows the NPB OpenMP version: one parallel region per
+//! power iteration batch; rows of the mat-vec are statically partitioned;
+//! dot products go through the runtime's reduction; vector updates write
+//! disjoint static blocks (via [`SyncSlice`]); an explicit barrier publishes
+//! `p` before each mat-vec reads it across ranges.
+
+use romp::{ReduceOp, Runtime, Worker};
+use std::collections::BTreeMap;
+
+use crate::common::randlc::{randlc, NPB_A, NPB_SEED};
+use crate::common::{Class, KernelResult, SyncSlice, Verification};
+
+/// Maximum CG iterations per solve (NPB `cgitmax`).
+const CGITMAX: usize = 25;
+/// Eigenvalue bound used in matrix generation (NPB `RCOND`).
+const RCOND: f64 = 0.1;
+
+/// Per-class parameters: (na, nonzer, niter, shift, zeta_verify).
+pub fn params(class: Class) -> (usize, usize, usize, f64, f64) {
+    match class {
+        Class::S => (1400, 7, 15, 10.0, 8.597_177_507_864_8),
+        Class::W => (7000, 8, 15, 12.0, 10.362_595_087_124),
+        Class::A => (14000, 11, 15, 20.0, 17.130_235_054_029),
+    }
+}
+
+/// Compressed sparse row matrix.
+pub struct Csr {
+    pub n: usize,
+    pub rowstr: Vec<usize>,
+    pub colidx: Vec<u32>,
+    pub a: Vec<f64>,
+}
+
+impl Csr {
+    /// `Σ a[row,col]·x[col]` for one row.
+    #[inline]
+    fn row_dot(&self, row: usize, x: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        for k in self.rowstr[row]..self.rowstr[row + 1] {
+            sum += self.a[k] * x[self.colidx[k] as usize];
+        }
+        sum
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.a.len()
+    }
+}
+
+/// NPB `sprnvc`: draw a sparse vector of `nz` distinct random locations
+/// (1-based in `1..=n`) with random values, consuming the shared stream.
+fn sprnvc(n: usize, nz: usize, tran: &mut f64) -> Vec<(usize, f64)> {
+    let mut nn1 = 1usize;
+    while nn1 < n {
+        nn1 *= 2;
+    }
+    let mut out: Vec<(usize, f64)> = Vec::with_capacity(nz);
+    while out.len() < nz {
+        let vecelt = randlc(tran, NPB_A);
+        let vecloc = randlc(tran, NPB_A);
+        let i = (vecloc * nn1 as f64) as usize + 1;
+        if i > n {
+            continue;
+        }
+        if !out.iter().any(|&(j, _)| j == i) {
+            out.push((i, vecelt));
+        }
+    }
+    out
+}
+
+/// NPB `vecset`: force element `i` (1-based) to `val`.
+fn vecset(v: &mut Vec<(usize, f64)>, i: usize, val: f64) {
+    for e in v.iter_mut() {
+        if e.0 == i {
+            e.1 = val;
+            return;
+        }
+    }
+    v.push((i, val));
+}
+
+/// NPB `makea`: generate the class matrix.  Serial, untimed (as in NPB).
+pub fn makea(n: usize, nonzer: usize, shift: f64) -> Csr {
+    let mut tran = NPB_SEED;
+    // NPB burns one deviate initialising zeta before makea.
+    let _zeta = randlc(&mut tran, NPB_A);
+
+    // Outer-product accumulation, exactly NPB's loop.
+    let mut rows: Vec<BTreeMap<u32, f64>> = vec![BTreeMap::new(); n];
+    let ratio = RCOND.powf(1.0 / n as f64);
+    let mut size = 1.0;
+    for iouter in 0..n {
+        let mut v = sprnvc(n, nonzer, &mut tran);
+        vecset(&mut v, iouter + 1, 0.5);
+        for &(jr, jv) in &v {
+            let j = jr - 1; // row, 0-based
+            let scale = size * jv;
+            for &(cr, cv) in &v {
+                let jcol = cr - 1;
+                let mut va = cv * scale;
+                if jcol == j && j == iouter {
+                    // Bound the smallest eigenvalue from below by RCOND and
+                    // apply the spectral shift.
+                    va += RCOND - shift;
+                }
+                *rows[j].entry(jcol as u32).or_insert(0.0) += va;
+            }
+        }
+        size *= ratio;
+    }
+    // Assemble CSR (columns sorted by the BTreeMap).
+    let mut rowstr = Vec::with_capacity(n + 1);
+    let mut colidx = Vec::new();
+    let mut a = Vec::new();
+    rowstr.push(0);
+    for row in rows {
+        for (c, v) in row {
+            colidx.push(c);
+            a.push(v);
+        }
+        rowstr.push(colidx.len());
+    }
+    Csr { n, rowstr, colidx, a }
+}
+
+/// Per-worker static row range.
+fn my_rows(w: &Worker, n: usize) -> std::ops::Range<usize> {
+    let (s, e) = romp::schedule::static_block(n as u64, w.num_threads(), w.thread_num());
+    s as usize..e as usize
+}
+
+/// Block-local dot product folded through the team reduction.
+fn pdot(w: &Worker, a: &[f64], b: &[f64], range: &std::ops::Range<usize>) -> f64 {
+    let mut local = 0.0;
+    for i in range.clone() {
+        local += a[i] * b[i];
+    }
+    w.reduce_f64(local, ReduceOp::Sum)
+}
+
+/// Outcome of a full CG power-iteration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOutcome {
+    pub zeta: f64,
+    pub rnorm: f64,
+}
+
+/// Run the benchmark body: one untimed warm-up iteration, reset `x`, then
+/// `niter` iterations.  Exposed for tests with custom sizes.
+pub fn power_iterations(
+    rt: &Runtime,
+    threads: usize,
+    mat: &Csr,
+    niter: usize,
+    shift: f64,
+) -> CgOutcome {
+    let n = mat.n;
+    let mut x = vec![1.0f64; n];
+    let mut z = vec![0.0f64; n];
+    let mut p = vec![0.0f64; n];
+    let mut q = vec![0.0f64; n];
+    let mut r = vec![0.0f64; n];
+    let out = std::sync::Mutex::new(CgOutcome { zeta: 0.0, rnorm: 0.0 });
+
+    run_region(rt, threads, mat, 1, shift, &mut x, &mut z, &mut p, &mut q, &mut r, &out);
+    x.iter_mut().for_each(|v| *v = 1.0);
+    run_region(rt, threads, mat, niter, shift, &mut x, &mut z, &mut p, &mut q, &mut r, &out);
+    out.into_inner().unwrap()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_region(
+    rt: &Runtime,
+    threads: usize,
+    mat: &Csr,
+    iters: usize,
+    shift: f64,
+    x: &mut [f64],
+    z: &mut [f64],
+    p: &mut [f64],
+    q: &mut [f64],
+    r: &mut [f64],
+    out: &std::sync::Mutex<CgOutcome>,
+) {
+    let n = mat.n;
+    let xs = SyncSlice::new(x);
+    let zs = SyncSlice::new(z);
+    let ps = SyncSlice::new(p);
+    let qs = SyncSlice::new(q);
+    let rs = SyncSlice::new(r);
+    rt.parallel(threads, |w| {
+        let rows = my_rows(w, n);
+        // SAFETY (whole region): all slice writes below are confined to
+        // `rows` (disjoint static blocks); cross-range reads only happen
+        // after a reduction/barrier published the writes — the SyncSlice
+        // module contract.
+        unsafe {
+            for _ in 0..iters {
+                // r = x, p = r, z = q = 0 over my rows.
+                for i in rows.clone() {
+                    let xi = xs.get(i);
+                    rs.set(i, xi);
+                    ps.set(i, xi);
+                    zs.set(i, 0.0);
+                    qs.set(i, 0.0);
+                }
+                // The reduction's barriers publish p before the mat-vec.
+                let r_all = rs.slice(0, n);
+                let mut rho = pdot(w, r_all, r_all, &rows);
+                for _cgit in 0..CGITMAX {
+                    // q = A p (cross-range reads of p: published above /
+                    // by the barrier at the bottom of this loop).
+                    let p_all = ps.slice(0, n);
+                    for i in rows.clone() {
+                        qs.set(i, mat.row_dot(i, p_all));
+                    }
+                    let d = pdot(w, ps.slice(0, n), qs.slice(0, n), &rows);
+                    let alpha = rho / d;
+                    for i in rows.clone() {
+                        zs.set(i, zs.get(i) + alpha * ps.get(i));
+                        rs.set(i, rs.get(i) - alpha * qs.get(i));
+                    }
+                    let r_all = rs.slice(0, n);
+                    let rho_new = pdot(w, r_all, r_all, &rows);
+                    let beta = rho_new / rho;
+                    rho = rho_new;
+                    for i in rows.clone() {
+                        ps.set(i, rs.get(i) + beta * ps.get(i));
+                    }
+                    // Publish p for the next mat-vec.
+                    w.barrier();
+                }
+                // rnorm = ||x - A z|| (z was published by the final barrier).
+                let z_all = zs.slice(0, n);
+                let mut partial = 0.0;
+                for i in rows.clone() {
+                    let d = xs.get(i) - mat.row_dot(i, z_all);
+                    partial += d * d;
+                }
+                let rnorm = w.reduce_f64(partial, ReduceOp::Sum).sqrt();
+                // zeta and the normalisation of x.
+                let tnorm1 = pdot(w, xs.slice(0, n), zs.slice(0, n), &rows);
+                let tnorm2 = {
+                    let z_all = zs.slice(0, n);
+                    let mut local = 0.0;
+                    for i in rows.clone() {
+                        local += z_all[i] * z_all[i];
+                    }
+                    1.0 / w.reduce_f64(local, ReduceOp::Sum).sqrt()
+                };
+                let zeta = shift + 1.0 / tnorm1;
+                for i in rows.clone() {
+                    xs.set(i, tnorm2 * zs.get(i));
+                }
+                // Publish x for the next power iteration's r = x.
+                w.barrier();
+                if w.is_master() {
+                    *out.lock().unwrap() = CgOutcome { zeta, rnorm };
+                }
+            }
+        }
+    });
+}
+
+/// Run CG for a class and verify ζ against the published NPB value.
+pub fn run(rt: &Runtime, threads: usize, class: Class) -> KernelResult {
+    let (na, nonzer, niter, shift, zeta_ref) = params(class);
+    let mat = makea(na, nonzer, shift);
+    let t0 = std::time::Instant::now();
+    let outcome = power_iterations(rt, threads, &mat, niter, shift);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let err = (outcome.zeta - zeta_ref).abs();
+    let verification = if err <= 1e-10 {
+        Verification::Published(format!(
+            "zeta={:.13} matches NPB reference {:.13} (err {:.2e})",
+            outcome.zeta, zeta_ref, err
+        ))
+    } else {
+        Verification::Failed(format!(
+            "zeta={:.13}, want {:.13} (err {:.2e})",
+            outcome.zeta, zeta_ref, err
+        ))
+    };
+    // NPB's CG floating-op estimate for the timed iterations.
+    let ops = 2.0
+        * niter as f64
+        * na as f64
+        * (3.0 + (nonzer * (nonzer + 1)) as f64
+            + 25.0 * (5.0 + (nonzer * (nonzer + 1)) as f64)
+            + 3.0);
+    KernelResult { name: "CG", class, threads, wall_s, mops: ops / wall_s / 1e6, verification }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp::BackendKind;
+
+    fn rt() -> Runtime {
+        Runtime::with_backend(BackendKind::Native).unwrap()
+    }
+
+    #[test]
+    fn makea_shape_is_sane() {
+        let (na, nonzer, _, shift, _) = params(Class::S);
+        let m = makea(na, nonzer, shift);
+        assert_eq!(m.n, na);
+        assert_eq!(m.rowstr.len(), na + 1);
+        assert_eq!(*m.rowstr.last().unwrap(), m.nnz());
+        for i in 0..na {
+            assert!(m.rowstr[i + 1] > m.rowstr[i], "empty row {i}");
+            let cols = &m.colidx[m.rowstr[i]..m.rowstr[i + 1]];
+            assert!(cols.contains(&(i as u32)), "row {i} missing diagonal");
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {i} not sorted");
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let (na, nonzer, _, shift, _) = params(Class::S);
+        let m = makea(na, nonzer, shift);
+        for i in (0..na).step_by(97) {
+            for k in m.rowstr[i]..m.rowstr[i + 1] {
+                let j = m.colidx[k] as usize;
+                let aij = m.a[k];
+                let aji = (m.rowstr[j]..m.rowstr[j + 1])
+                    .find(|&kk| m.colidx[kk] as usize == i)
+                    .map(|kk| m.a[kk])
+                    .unwrap_or_else(|| panic!("a[{j},{i}] missing"));
+                assert!((aij - aji).abs() <= 1e-12 * aij.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn class_s_matches_published_zeta() {
+        let res = run(&rt(), 4, Class::S);
+        assert!(res.verified(), "{:?}", res.verification);
+        assert!(matches!(res.verification, Verification::Published(_)));
+    }
+
+    #[test]
+    fn team_sizes_agree() {
+        let (na, nonzer, _, shift, _) = params(Class::S);
+        let m = makea(na, nonzer, shift);
+        let rt = rt();
+        let serial = power_iterations(&rt, 1, &m, 5, shift);
+        for threads in [2, 6] {
+            let par = power_iterations(&rt, threads, &m, 5, shift);
+            assert!(
+                (par.zeta - serial.zeta).abs() < 1e-11,
+                "threads={threads}: {} vs {}",
+                par.zeta,
+                serial.zeta
+            );
+        }
+    }
+
+    #[test]
+    fn mca_backend_agrees() {
+        let (na, nonzer, _, shift, _) = params(Class::S);
+        let m = makea(na, nonzer, shift);
+        let a = power_iterations(&rt(), 3, &m, 3, shift);
+        let b =
+            power_iterations(&Runtime::with_backend(BackendKind::Mca).unwrap(), 3, &m, 3, shift);
+        assert!((a.zeta - b.zeta).abs() < 1e-11);
+    }
+
+    #[test]
+    fn residual_is_small_after_convergence() {
+        let (na, nonzer, niter, shift, _) = params(Class::S);
+        let m = makea(na, nonzer, shift);
+        let out = power_iterations(&rt(), 2, &m, niter, shift);
+        assert!(out.rnorm < 1e-10, "rnorm={}", out.rnorm);
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared NPB infrastructure: problem classes, the NPB random-number
+//! generator, result records, and the shared-slice helper the kernels use
+//! for disjoint parallel writes.
+
+pub mod randlc;
+pub mod sync_slice;
+
+pub use randlc::{ipow46, randlc, vranlc, NPB_A, NPB_SEED};
+pub use sync_slice::SyncSlice;
+
+/// NPB problem classes implemented here (the paper runs class A; S and W
+/// exist "to validate the correctness of the compiler being tested and the
+/// runtime library" — paper §6B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    S,
+    W,
+    A,
+}
+
+impl Class {
+    /// Parse `"S" | "W" | "A"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Class> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "S" => Some(Class::S),
+            "W" => Some(Class::W),
+            "A" => Some(Class::A),
+            _ => None,
+        }
+    }
+
+    /// Single-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::S => "S",
+            Class::W => "W",
+            Class::A => "A",
+        }
+    }
+}
+
+/// How a kernel run was checked.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verification {
+    /// Matched a published NPB reference value (string holds the detail).
+    Published(String),
+    /// Matched this crate's own serial execution and the kernel's
+    /// invariants (the §6A self-consistency discipline).
+    SelfConsistent(String),
+    /// Verification failed (detail explains).
+    Failed(String),
+}
+
+impl Verification {
+    /// Whether the run is considered correct.
+    pub fn passed(&self) -> bool {
+        !matches!(self, Verification::Failed(_))
+    }
+}
+
+/// One kernel execution's outcome.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel name (`"EP"`, ...).
+    pub name: &'static str,
+    pub class: Class,
+    /// Team size used.
+    pub threads: usize,
+    /// Wall-clock seconds for the timed section (NPB convention: setup
+    /// excluded).
+    pub wall_s: f64,
+    /// Millions of operations per second, NPB's kernel-specific metric.
+    pub mops: f64,
+    pub verification: Verification,
+}
+
+impl KernelResult {
+    /// Whether verification passed.
+    pub fn verified(&self) -> bool {
+        self.verification.passed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parsing() {
+        assert_eq!(Class::parse("a"), Some(Class::A));
+        assert_eq!(Class::parse(" S "), Some(Class::S));
+        assert_eq!(Class::parse("w"), Some(Class::W));
+        assert_eq!(Class::parse("B"), None);
+    }
+
+    #[test]
+    fn verification_pass_fail() {
+        assert!(Verification::Published("x".into()).passed());
+        assert!(Verification::SelfConsistent("x".into()).passed());
+        assert!(!Verification::Failed("x".into()).passed());
+    }
+}

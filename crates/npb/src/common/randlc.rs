@@ -1,0 +1,165 @@
+//! The NPB linear congruential generator.
+//!
+//! NPB defines its pseudo-random stream as
+//! `x_{k+1} = a · x_k  (mod 2^46)` with `a = 5^13`, implemented in double
+//! precision by splitting operands into 23-bit halves so the 46-bit product
+//! is exact.  Every kernel's input data and every published verification
+//! value depends on reproducing this arithmetic bit-for-bit, which the
+//! functions here do (they are direct transcriptions of `randlc`/`vranlc`
+//! from the NPB sources).
+
+/// The NPB multiplier, `5^13`.
+pub const NPB_A: f64 = 1_220_703_125.0;
+
+/// The seed most kernels start from.
+pub const NPB_SEED: f64 = 314_159_265.0;
+
+const R23: f64 = 1.0 / (1u64 << 23) as f64;
+const R46: f64 = R23 * R23;
+const T23: f64 = (1u64 << 23) as f64;
+const T46: f64 = T23 * T23;
+
+/// Advance `x` one LCG step and return the uniform deviate in `(0, 1)`.
+#[inline]
+pub fn randlc(x: &mut f64, a: f64) -> f64 {
+    // Split a and x into 23-bit halves.
+    let t1 = R23 * a;
+    let a1 = t1.trunc();
+    let a2 = a - T23 * a1;
+    let t1 = R23 * *x;
+    let x1 = t1.trunc();
+    let x2 = *x - T23 * x1;
+    // z = a1*x2 + a2*x1 (mod 2^23); full product mod 2^46.
+    let t1 = a1 * x2 + a2 * x1;
+    let t2 = (R23 * t1).trunc();
+    let z = t1 - T23 * t2;
+    let t3 = T23 * z + a2 * x2;
+    let t4 = (R46 * t3).trunc();
+    *x = t3 - T46 * t4;
+    R46 * *x
+}
+
+/// Fill `out` with successive deviates, advancing `x` (NPB `vranlc`).
+pub fn vranlc(x: &mut f64, a: f64, out: &mut [f64]) {
+    for slot in out.iter_mut() {
+        *slot = randlc(x, a);
+    }
+}
+
+/// Compute the seed `a^exp · s (mod 2^46)` reachable after `exp` LCG steps
+/// from `s` — NPB's `ipow46` + `randlc` jump-ahead, used to give each
+/// parallel block an independent stream.
+pub fn ipow46(a: f64, mut exp: u64) -> f64 {
+    // Repeated squaring in the 46-bit modular arithmetic: randlc(x, y)
+    // replaces x with x*y mod 2^46, which is exactly the multiply we need.
+    let mut result = 1.0f64;
+    let mut base = a;
+    if exp == 0 {
+        return result;
+    }
+    while exp > 1 {
+        if exp % 2 == 1 {
+            randlc(&mut result, base);
+        }
+        let b_copy = base;
+        randlc(&mut base, b_copy);
+        exp /= 2;
+    }
+    randlc(&mut result, base);
+    result
+}
+
+/// Jump `s` forward by `steps` LCG steps.
+pub fn skip_ahead(s: f64, steps: u64) -> f64 {
+    if steps == 0 {
+        return s;
+    }
+    let mult = ipow46(NPB_A, steps);
+    let mut x = s;
+    randlc(&mut x, mult);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deviates_in_unit_interval_and_deterministic() {
+        let mut x = NPB_SEED;
+        let mut y = NPB_SEED;
+        for _ in 0..10_000 {
+            let a = randlc(&mut x, NPB_A);
+            let b = randlc(&mut y, NPB_A);
+            assert_eq!(a, b);
+            assert!(a > 0.0 && a < 1.0);
+        }
+    }
+
+    #[test]
+    fn seed_is_exact_integer_state() {
+        // The state must remain an exact integer < 2^46.
+        let mut x = NPB_SEED;
+        for _ in 0..1000 {
+            randlc(&mut x, NPB_A);
+            assert_eq!(x, x.trunc());
+            assert!(x >= 0.0 && x < (1u64 << 46) as f64);
+        }
+    }
+
+    #[test]
+    fn matches_direct_modular_arithmetic() {
+        // Cross-check the double-precision trick against u128 arithmetic.
+        let mut x = NPB_SEED;
+        let mut ix: u128 = NPB_SEED as u128;
+        let ia: u128 = NPB_A as u128;
+        let m: u128 = 1 << 46;
+        for _ in 0..10_000 {
+            randlc(&mut x, NPB_A);
+            ix = (ix * ia) % m;
+            assert_eq!(x as u128, ix);
+        }
+    }
+
+    #[test]
+    fn vranlc_equals_repeated_randlc() {
+        let mut x1 = NPB_SEED;
+        let mut x2 = NPB_SEED;
+        let mut buf = [0.0; 257];
+        vranlc(&mut x1, NPB_A, &mut buf);
+        for (i, &b) in buf.iter().enumerate() {
+            let r = randlc(&mut x2, NPB_A);
+            assert_eq!(r, b, "element {i}");
+        }
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn skip_ahead_matches_stepping() {
+        for steps in [0u64, 1, 2, 3, 7, 64, 1000, 65536] {
+            let jumped = skip_ahead(NPB_SEED, steps);
+            let mut x = NPB_SEED;
+            for _ in 0..steps {
+                randlc(&mut x, NPB_A);
+            }
+            assert_eq!(jumped, x, "steps={steps}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn skip_ahead_is_additive(a in 0u64..5000, b in 0u64..5000) {
+            let one_hop = skip_ahead(NPB_SEED, a + b);
+            let two_hops = skip_ahead(skip_ahead(NPB_SEED, a), b);
+            prop_assert_eq!(one_hop, two_hops);
+        }
+
+        #[test]
+        fn state_stays_in_range(steps in 1u64..10_000) {
+            let s = skip_ahead(NPB_SEED, steps);
+            prop_assert!(s >= 0.0 && s < (1u64 << 46) as f64);
+            prop_assert_eq!(s, s.trunc());
+        }
+    }
+}

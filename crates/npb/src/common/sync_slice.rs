@@ -1,0 +1,155 @@
+//! Disjoint-write shared slices for worksharing kernels.
+//!
+//! The NPB kernels update large vectors/grids in parallel, every worker
+//! writing a disjoint index set decided by the loop schedule.  Rust's
+//! borrow rules cannot see that disjointness through a `Fn(&Worker)` region
+//! closure, so [`SyncSlice`] provides the escape hatch: an unsafe,
+//! explicitly-contracted window onto a `&mut [T]`.
+//!
+//! The contract (every `unsafe` block in the kernels cites it):
+//!
+//! * between two team synchronisation points, each index is written by at
+//!   most one worker;
+//! * no worker reads an index another worker may be writing in the same
+//!   phase (reads of data written in *earlier* phases are fine — the
+//!   barrier's release/acquire edge publishes them).
+
+use std::marker::PhantomData;
+
+/// A shared view of `&mut [T]` for phase-disjoint parallel access.
+pub struct SyncSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _borrow: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access discipline is delegated to callers per the module
+// contract; the type itself only hands out raw element pointers.
+unsafe impl<T: Send> Send for SyncSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    /// Wrap a mutable slice.  The borrow keeps the underlying storage
+    /// exclusively reserved for this view's lifetime.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SyncSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _borrow: PhantomData }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write `v` to index `i`.
+    ///
+    /// # Safety
+    /// Caller must uphold the module contract: within the current phase,
+    /// no other worker writes or reads index `i`.
+    #[inline]
+    pub unsafe fn set(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = v }
+    }
+
+    /// Read index `i`.
+    ///
+    /// # Safety
+    /// Caller must uphold the module contract: within the current phase,
+    /// no other worker writes index `i`.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Mutable sub-slice `[start, start+len)`.
+    ///
+    /// # Safety
+    /// Caller must uphold the module contract for the whole range.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+
+    /// Immutable sub-slice `[start, start+len)`.
+    ///
+    /// # Safety
+    /// No worker may be writing any index in the range during this phase.
+    #[inline]
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &[T] {
+        debug_assert!(start + len <= self.len);
+        unsafe { std::slice::from_raw_parts(self.ptr.add(start), len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp::{BackendKind, Runtime, Schedule};
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let mut v = vec![0u64; 1000];
+        {
+            let s = SyncSlice::new(&mut v);
+            rt.parallel(4, |w| {
+                w.for_range_nowait(0..1000, Schedule::Static { chunk: Some(7) }, |i| {
+                    // SAFETY: the schedule assigns each i to one worker.
+                    unsafe { s.set(i as usize, i * 3) };
+                });
+            });
+        }
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn phase_separation_publishes_writes() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let mut src = vec![0f64; 256];
+        let mut dst = vec![0f64; 256];
+        {
+            let s = SyncSlice::new(&mut src);
+            let d = SyncSlice::new(&mut dst);
+            rt.parallel(3, |w| {
+                w.for_range(0..256, Schedule::Static { chunk: None }, |i| {
+                    // SAFETY: disjoint writes (phase 1).
+                    unsafe { s.set(i as usize, i as f64) };
+                });
+                // for_range's implicit barrier separates the phases.
+                w.for_range(0..256, Schedule::Static { chunk: None }, |i| {
+                    // SAFETY: src is read-only this phase; dst writes disjoint.
+                    unsafe { d.set(i as usize, s.get(i as usize) * 2.0) };
+                });
+            });
+        }
+        assert!(dst.iter().enumerate().all(|(i, &x)| x == i as f64 * 2.0));
+    }
+
+    #[test]
+    fn subslice_views() {
+        let mut v = vec![1u32, 2, 3, 4, 5, 6];
+        let s = SyncSlice::new(&mut v);
+        // SAFETY: single-threaded here.
+        unsafe {
+            let mid = s.slice_mut(2, 2);
+            mid[0] = 30;
+            mid[1] = 40;
+            assert_eq!(s.slice(0, 6), &[1, 2, 30, 40, 5, 6]);
+        }
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! EP — the Embarrassingly Parallel kernel.
+//!
+//! Generates `2^M` pairs of uniform deviates with the NPB LCG, converts the
+//! accepted pairs to gaussian deviates by the polar method, and accumulates
+//! the sums `sx`, `sy` plus a 10-bin histogram of deviate magnitudes.
+//! Communication is a single reduction at the end, so EP scales almost
+//! ideally — the paper's Figure 4 shows both runtimes "close to the ideal
+//! speedup rate" for it, and the virtual-time model reproduces that with
+//! β ≈ 0.
+//!
+//! Parallelisation matches the NPB OpenMP version: the stream is split into
+//! blocks of `2^16` pairs; each block's starting seed is reached by LCG
+//! jump-ahead, so any block can be computed independently and the result is
+//! identical for every team size.  Blocks are distributed with a dynamic
+//! schedule.
+
+use romp::{ReduceOp, Runtime, Schedule};
+
+use crate::common::randlc::{skip_ahead, vranlc, NPB_A};
+use crate::common::{Class, KernelResult, Verification};
+
+/// EP's own seed (`ep.f`'s `S`; note it differs from the suite default).
+const EP_SEED: f64 = 271_828_183.0;
+/// log2 of the pairs per block.
+const MK: u32 = 16;
+/// Histogram bins.
+const NQ: usize = 10;
+
+/// log2 of total pairs per class (`M`).
+fn class_m(class: Class) -> u32 {
+    match class {
+        Class::S => 24,
+        Class::W => 25,
+        Class::A => 28,
+    }
+}
+
+/// Published reference sums from the NPB sources.
+fn reference(class: Class) -> (f64, f64) {
+    match class {
+        #[allow(clippy::excessive_precision)] // NPB-published digits kept verbatim
+        Class::S => (-3.247_834_652_034_740e3, -6.958_407_078_382_297e3),
+        Class::W => (-2.863_319_731_645_753e3, -6.320_053_679_109_499e3),
+        Class::A => (-4.295_875_165_629_892e3, -1.580_732_573_678_431e4),
+    }
+}
+
+/// Raw accumulators from one EP computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpSums {
+    pub sx: f64,
+    pub sy: f64,
+    pub q: [f64; NQ],
+}
+
+impl EpSums {
+    /// Accepted-pair count (sum of the histogram).
+    pub fn gaussian_count(&self) -> f64 {
+        self.q.iter().sum()
+    }
+}
+
+/// Compute one block of `2^MK` pairs starting `block * 2^(MK+1)` steps into
+/// EP's stream.
+fn compute_block(block: u64, x: &mut [f64]) -> EpSums {
+    let nk = 1u64 << MK;
+    let mut seed = skip_ahead(EP_SEED, 2 * nk * block);
+    vranlc(&mut seed, NPB_A, x);
+    let mut sums = EpSums { sx: 0.0, sy: 0.0, q: [0.0; NQ] };
+    for i in 0..nk as usize {
+        let x1 = 2.0 * x[2 * i] - 1.0;
+        let x2 = 2.0 * x[2 * i + 1] - 1.0;
+        let t1 = x1 * x1 + x2 * x2;
+        if t1 <= 1.0 {
+            let t2 = (-2.0 * t1.ln() / t1).sqrt();
+            let t3 = x1 * t2;
+            let t4 = x2 * t2;
+            let l = t3.abs().max(t4.abs()) as usize;
+            sums.q[l] += 1.0;
+            sums.sx += t3;
+            sums.sy += t4;
+        }
+    }
+    sums
+}
+
+/// Run EP with an explicit `m` (`2^m` pairs) — the class-independent core,
+/// also used by tests with small problem sizes.
+pub fn run_with_m(rt: &Runtime, threads: usize, m: u32) -> EpSums {
+    assert!(m >= MK, "problem must be at least one block");
+    let nn = 1u64 << (m - MK);
+    let nk = 1usize << MK;
+    parallel_sweep(rt, threads, nn, nk)
+}
+
+/// The parallel sweep: dynamic blocks, per-worker partials, tree reduction
+/// through the runtime (sx, sy, and each histogram bin).
+fn parallel_sweep(rt: &Runtime, threads: usize, nn: u64, nk: usize) -> EpSums {
+    let result = std::sync::Mutex::new(EpSums { sx: 0.0, sy: 0.0, q: [0.0; NQ] });
+    rt.parallel(threads, |w| {
+        let mut x = vec![0.0f64; 2 * nk];
+        let mut local = EpSums { sx: 0.0, sy: 0.0, q: [0.0; NQ] };
+        w.for_chunks_nowait(0..nn, Schedule::Dynamic { chunk: 1 }, |blocks| {
+            for b in blocks {
+                let s = compute_block(b, &mut x);
+                local.sx += s.sx;
+                local.sy += s.sy;
+                for (acc, v) in local.q.iter_mut().zip(s.q) {
+                    *acc += v;
+                }
+            }
+        });
+        let sx = w.reduce_f64(local.sx, ReduceOp::Sum);
+        let sy = w.reduce_f64(local.sy, ReduceOp::Sum);
+        let mut q = [0.0; NQ];
+        for (bin, slot) in q.iter_mut().enumerate() {
+            *slot = w.reduce_f64(local.q[bin], ReduceOp::Sum);
+        }
+        if w.is_master() {
+            *result.lock().unwrap() = EpSums { sx, sy, q };
+        }
+    });
+    result.into_inner().unwrap()
+}
+
+/// Run EP for a class and verify against the published NPB sums.
+pub fn run(rt: &Runtime, threads: usize, class: Class) -> KernelResult {
+    let m = class_m(class);
+    let t0 = std::time::Instant::now();
+    let sums = run_with_m(rt, threads, m);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let (sx_ref, sy_ref) = reference(class);
+    let eps = 1e-8;
+    let sx_err = ((sums.sx - sx_ref) / sx_ref).abs();
+    let sy_err = ((sums.sy - sy_ref) / sy_ref).abs();
+    let verification = if sx_err <= eps && sy_err <= eps {
+        Verification::Published(format!(
+            "sx={:.12e} sy={:.12e} match NPB references (rel err {:.1e}/{:.1e})",
+            sums.sx, sums.sy, sx_err, sy_err
+        ))
+    } else {
+        Verification::Failed(format!(
+            "sx={:.12e} (want {:.12e}), sy={:.12e} (want {:.12e})",
+            sums.sx, sx_ref, sums.sy, sy_ref
+        ))
+    };
+    let pairs = (1u64 << m) as f64;
+    KernelResult {
+        name: "EP",
+        class,
+        threads,
+        wall_s,
+        mops: 2.0 * pairs / wall_s / 1e6,
+        verification,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp::BackendKind;
+
+    fn rt() -> Runtime {
+        Runtime::with_backend(BackendKind::Native).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let rt = rt();
+        let serial = run_with_m(&rt, 1, 18);
+        for threads in [2, 3, 5] {
+            let par = run_with_m(&rt, threads, 18);
+            // Summation order differs across team sizes; the histogram is
+            // integer-exact, the sums match to reduction-roundoff.
+            assert!(((par.sx - serial.sx) / serial.sx).abs() < 1e-12, "threads={threads}");
+            assert!(((par.sy - serial.sy) / serial.sy).abs() < 1e-12);
+            assert_eq!(par.q, serial.q);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_accepted_pairs() {
+        let rt = rt();
+        let s = run_with_m(&rt, 2, 17);
+        let total_pairs = (1u64 << 17) as f64;
+        let accepted = s.gaussian_count();
+        // Polar-method acceptance rate is π/4 ≈ 0.785.
+        let rate = accepted / total_pairs;
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+        // Bin 0 dominates a gaussian magnitude histogram.
+        assert!(s.q[0] > s.q[1] && s.q[1] > s.q[2]);
+    }
+
+    #[test]
+    fn class_s_matches_published_reference() {
+        let rt = rt();
+        let res = run(&rt, 4, Class::S);
+        assert!(res.verified(), "{:?}", res.verification);
+        assert!(matches!(res.verification, Verification::Published(_)));
+        assert!(res.mops > 0.0);
+    }
+
+    #[test]
+    fn mca_backend_agrees_with_native() {
+        let native = run_with_m(&rt(), 3, 17);
+        let mca_rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+        let mca = run_with_m(&mca_rt, 3, 17);
+        assert!(((native.sx - mca.sx) / native.sx).abs() < 1e-12);
+        assert!(((native.sy - mca.sy) / native.sy).abs() < 1e-12);
+        assert_eq!(native.q, mca.q);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn tiny_m_rejected() {
+        run_with_m(&rt(), 1, 8);
+    }
+}

@@ -1,0 +1,492 @@
+//! FT — the 3-D Fast Fourier Transform kernel.
+//!
+//! Solves a 3-D diffusion equation spectrally: the initial complex field is
+//! forward-transformed once; each timed iteration multiplies the spectrum
+//! by accumulated Gaussian decay factors (`evolve`) and inverse-transforms
+//! it, and a 1024-point checksum of the result is accumulated — the NPB FT
+//! protocol.
+//!
+//! The transform is a transposeless 3-D FFT: iterative radix-2
+//! Cooley–Tukey along each axis, lines gathered into worker-local scratch
+//! (contiguous for x, strided for y/z).  Line sets are workshared
+//! statically; the three axis passes are barrier-separated.
+//!
+//! Verification is self-consistent (§6A discipline): `ifft(fft(x)) = x` to
+//! near machine precision, Parseval's identity across the forward
+//! transform, and parallel runs reproduce the serial checksums.
+
+use romp::{Runtime, Schedule, Worker};
+
+use crate::common::randlc::{randlc, NPB_A, NPB_SEED};
+use crate::common::{Class, KernelResult, SyncSlice, Verification};
+
+/// Per-class `(nx, ny, nz, niter)`.
+pub fn params(class: Class) -> (usize, usize, usize, usize) {
+    match class {
+        Class::S => (64, 64, 64, 6),
+        Class::W => (128, 128, 32, 6),
+        Class::A => (256, 256, 128, 6),
+    }
+}
+
+/// Diffusivity constant (`alpha` in ft.f).
+const ALPHA: f64 = 1e-6;
+
+/// A complex number; kept as a plain pair for tight loops.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl C64 {
+    #[inline]
+    fn mul(self, o: C64) -> C64 {
+        C64 { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+    }
+
+    #[inline]
+    fn add(self, o: C64) -> C64 {
+        C64 { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    #[inline]
+    fn sub(self, o: C64) -> C64 {
+        C64 { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    #[inline]
+    fn scale(self, s: f64) -> C64 {
+        C64 { re: self.re * s, im: self.im * s }
+    }
+
+    #[inline]
+    fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place radix-2 DIT FFT on a power-of-two line.  `sign` is −1 for the
+/// forward transform and +1 for the inverse (NPB's convention); no
+/// normalisation on either direction.
+pub fn fft_line(line: &mut [C64], sign: f64) {
+    let n = line.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            line.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = C64 { re: ang.cos(), im: ang.sin() };
+        let mut i = 0;
+        while i < n {
+            let mut w = C64 { re: 1.0, im: 0.0 };
+            for k in 0..len / 2 {
+                let a = line[i + k];
+                let b = line[i + k + len / 2].mul(w);
+                line[i + k] = a.add(b);
+                line[i + k + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// The field: `nx × ny × nz`, x-fastest.
+pub struct Field {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub data: Vec<C64>,
+}
+
+impl Field {
+    fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Field { nx, ny, nz, data: vec![C64::default(); nx * ny * nz] }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (k * self.ny + j) * self.nx + i
+    }
+
+    /// Total points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the field is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// NPB `compute_initial_conditions`: fill with LCG deviate pairs, x-fastest.
+pub fn initial_conditions(nx: usize, ny: usize, nz: usize) -> Field {
+    let mut f = Field::new(nx, ny, nz);
+    let mut seed = NPB_SEED;
+    for c in f.data.iter_mut() {
+        let re = randlc(&mut seed, NPB_A);
+        let im = randlc(&mut seed, NPB_A);
+        *c = C64 { re, im };
+    }
+    f
+}
+
+/// NPB `compute_index_map` + exponent table: the per-mode decay factor
+/// `exp(−4·α·π²·(k̄²+l̄²+m̄²))`, where barred wavenumbers fold to
+/// `(-n/2, n/2]`.
+pub fn twiddle_table(nx: usize, ny: usize, nz: usize) -> Vec<f64> {
+    let fold = |i: usize, n: usize| -> f64 {
+        let v = ((i + n / 2) % n) as i64 - (n / 2) as i64;
+        v as f64
+    };
+    let ap = -4.0 * ALPHA * std::f64::consts::PI * std::f64::consts::PI;
+    let mut t = vec![0.0; nx * ny * nz];
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let kk = fold(i, nx);
+                let ll = fold(j, ny);
+                let mm = fold(k, nz);
+                t[(k * ny + j) * nx + i] = (ap * (kk * kk + ll * ll + mm * mm)).exp();
+            }
+        }
+    }
+    t
+}
+
+/// Parallel 3-D FFT in place: three barrier-separated axis passes.
+fn fft3d(w: &Worker, f: &SyncSlice<C64>, nx: usize, ny: usize, nz: usize, sign: f64) {
+    // x lines: contiguous; partition (j,k) pairs.
+    let mut scratch = vec![C64::default(); nx.max(ny).max(nz)];
+    w.for_chunks_nowait(0..(ny * nz) as u64, Schedule::Static { chunk: None }, |lines| {
+        for l in lines {
+            let base = l as usize * nx;
+            // SAFETY: line `l` is owned by this worker this phase.
+            let line = unsafe { f.slice_mut(base, nx) };
+            fft_line(line, sign);
+        }
+    });
+    w.barrier();
+    // y lines: stride nx; partition (i,k) pairs.
+    w.for_chunks_nowait(0..(nx * nz) as u64, Schedule::Static { chunk: None }, |lines| {
+        for l in lines {
+            let (i, k) = (l as usize % nx, l as usize / nx);
+            let base = k * nx * ny + i;
+            // SAFETY: the (i,k) column is owned by this worker this phase.
+            unsafe {
+                for (j, slot) in scratch[..ny].iter_mut().enumerate() {
+                    *slot = f.get(base + j * nx);
+                }
+                fft_line(&mut scratch[..ny], sign);
+                for (j, &v) in scratch[..ny].iter().enumerate() {
+                    f.set(base + j * nx, v);
+                }
+            }
+        }
+    });
+    w.barrier();
+    // z lines: stride nx*ny; partition (i,j) pairs.
+    w.for_chunks_nowait(0..(nx * ny) as u64, Schedule::Static { chunk: None }, |lines| {
+        for l in lines {
+            let base = l as usize;
+            // SAFETY: the (i,j) pillar is owned by this worker this phase.
+            unsafe {
+                for (k, slot) in scratch[..nz].iter_mut().enumerate() {
+                    *slot = f.get(base + k * nx * ny);
+                }
+                fft_line(&mut scratch[..nz], sign);
+                for (k, &v) in scratch[..nz].iter().enumerate() {
+                    f.set(base + k * nx * ny, v);
+                }
+            }
+        }
+    });
+    w.barrier();
+}
+
+/// NPB `checksum`: 1024 strided samples, normalised by the grid size
+/// (the published convention; the run path uses [`checksum_scaled`] on the
+/// already-normalised field, which is numerically identical — see the
+/// convention test).
+#[cfg_attr(not(test), allow(dead_code))]
+fn checksum(field: &Field) -> C64 {
+    let ntotal = field.len() as f64;
+    let mut s = C64::default();
+    for j in 1..=1024usize {
+        let q = (5 * j) % field.nx;
+        let r = (3 * j) % field.ny;
+        let t = j % field.nz;
+        s = s.add(field.data[field.idx(q, r, t)]);
+    }
+    s.scale(1.0 / ntotal)
+}
+
+/// Outcome of a full FT run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtOutcome {
+    /// Checksum per iteration.
+    pub sums: Vec<C64>,
+    pub timed_s: f64,
+}
+
+/// Run the FT protocol with explicit dimensions.
+pub fn spectral_evolution(
+    rt: &Runtime,
+    threads: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    niter: usize,
+) -> FtOutcome {
+    let twiddle = twiddle_table(nx, ny, nz);
+    let mut u0 = initial_conditions(nx, ny, nz);
+    let mut u1 = Field::new(nx, ny, nz);
+    let sums = std::sync::Mutex::new(Vec::with_capacity(niter));
+
+    let t0 = std::time::Instant::now();
+    {
+        let u0v = SyncSlice::new(u0.data.as_mut_slice());
+        let u1v = SyncSlice::new(u1.data.as_mut_slice());
+        rt.parallel(threads, |w| {
+            // Forward transform of the initial field (timed, as in NPB).
+            fft3d(w, &u0v, nx, ny, nz, -1.0);
+            for _iter in 0..niter {
+                // evolve: decay the spectrum in place and copy to u1.
+                w.for_chunks_nowait(
+                    0..(nx * ny * nz) as u64,
+                    Schedule::Static { chunk: None },
+                    |chunk| {
+                        for idx in chunk {
+                            let i = idx as usize;
+                            // SAFETY: element-disjoint static partition.
+                            unsafe {
+                                let v = u0v.get(i).scale(twiddle[i]);
+                                u0v.set(i, v);
+                                u1v.set(i, v);
+                            }
+                        }
+                    },
+                );
+                w.barrier();
+                // Inverse transform into physical space.
+                fft3d(w, &u1v, nx, ny, nz, 1.0);
+                // Normalise (NPB folds 1/N into the checksum; doing it here
+                // keeps u1 the physical field for the roundtrip tests).
+                let scale = 1.0 / (nx * ny * nz) as f64;
+                w.for_chunks_nowait(
+                    0..(nx * ny * nz) as u64,
+                    Schedule::Static { chunk: None },
+                    |chunk| {
+                        for idx in chunk {
+                            // SAFETY: element-disjoint static partition.
+                            unsafe { u1v.set(idx as usize, u1v.get(idx as usize).scale(scale)) };
+                        }
+                    },
+                );
+                w.barrier();
+                w.single(|| {
+                    // SAFETY: all workers are paused at single's barrier;
+                    // reading the 1024 sample points through the view is
+                    // race-free (and O(1) in the field size, unlike a
+                    // whole-field copy, which would serialize the kernel).
+                    let mut sum = C64::default();
+                    for j in 1..=1024usize {
+                        let q = (5 * j) % nx;
+                        let r = (3 * j) % ny;
+                        let t = j % nz;
+                        sum = sum.add(unsafe { u1v.get((t * ny + r) * nx + q) });
+                    }
+                    sums.lock().unwrap().push(sum);
+                });
+            }
+        });
+    }
+    FtOutcome { sums: sums.into_inner().unwrap(), timed_s: t0.elapsed().as_secs_f64() }
+}
+
+/// Checksum without the extra 1/N (for an already-normalised field);
+/// numerically identical to NPB's convention — see the convention test.
+#[cfg_attr(not(test), allow(dead_code))]
+fn checksum_scaled(field: &Field) -> C64 {
+    let mut s = C64::default();
+    for j in 1..=1024usize {
+        let q = (5 * j) % field.nx;
+        let r = (3 * j) % field.ny;
+        let t = j % field.nz;
+        s = s.add(field.data[field.idx(q, r, t)]);
+    }
+    s
+}
+
+/// Run FT for a class with self-consistent verification.
+pub fn run(rt: &Runtime, threads: usize, class: Class) -> KernelResult {
+    let (nx, ny, nz, niter) = params(class);
+    let out = spectral_evolution(rt, threads, nx, ny, nz, niter);
+    // Self-consistency: a serial run must reproduce the checksums.  It runs
+    // on a private runtime so callers profiling `rt` (the Figure 4 harness)
+    // only see the measured run, not the reference.
+    let ref_rt = Runtime::with_backend(rt.backend_kind()).expect("reference runtime");
+    let serial = spectral_evolution(&ref_rt, 1, nx, ny, nz, niter);
+    let mut failures = Vec::new();
+    for (i, (a, b)) in out.sums.iter().zip(&serial.sums).enumerate() {
+        let denom = b.norm_sq().sqrt().max(1e-30);
+        let err = a.sub(*b).norm_sq().sqrt() / denom;
+        if err > 1e-9 {
+            failures.push(format!("iter {i}: checksum rel err {err:.2e}"));
+        }
+    }
+    // And the checksums must evolve (the spectrum decays every iteration).
+    for w in out.sums.windows(2) {
+        if w[0] == w[1] {
+            failures.push("checksum did not evolve between iterations".into());
+        }
+    }
+    let verification = if failures.is_empty() {
+        Verification::SelfConsistent(format!(
+            "{} iterations; checksum[0]=({:.10e}, {:.10e}); serial-parallel agreement",
+            niter, out.sums[0].re, out.sums[0].im
+        ))
+    } else {
+        Verification::Failed(failures.join("; "))
+    };
+    // NPB's FT op count: ~14.8 flops per point per 1-D transform pass plus
+    // evolve; the standard estimate used in its reports.
+    let ntotal = (nx * ny * nz) as f64;
+    let ops = niter as f64
+        * ntotal
+        * (14.8 * ((nx as f64).log2() + (ny as f64).log2() + (nz as f64).log2()) / 3.0 + 5.0);
+    KernelResult {
+        name: "FT",
+        class,
+        threads,
+        wall_s: out.timed_s,
+        mops: ops / out.timed_s / 1e6,
+        verification,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp::BackendKind;
+
+    fn rt() -> Runtime {
+        Runtime::with_backend(BackendKind::Native).unwrap()
+    }
+
+    #[test]
+    fn fft_line_matches_dft_small() {
+        // Compare against a naive DFT on length 8.
+        let mut line: Vec<C64> = (0..8)
+            .map(|i| C64 { re: (i as f64 * 0.7).sin(), im: (i as f64 * 1.3).cos() })
+            .collect();
+        let orig = line.clone();
+        fft_line(&mut line, -1.0);
+        for (k, got) in line.iter().enumerate() {
+            let mut want = C64::default();
+            for (n, &x) in orig.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * n) as f64 / 8.0;
+                want = want.add(x.mul(C64 { re: ang.cos(), im: ang.sin() }));
+            }
+            assert!((got.re - want.re).abs() < 1e-12, "k={k}");
+            assert!((got.im - want.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_restores_input() {
+        let mut line: Vec<C64> =
+            (0..64).map(|i| C64 { re: (i as f64).sin(), im: (i as f64 * 0.5).cos() }).collect();
+        let orig = line.clone();
+        fft_line(&mut line, -1.0);
+        fft_line(&mut line, 1.0);
+        for (a, b) in line.iter().zip(&orig) {
+            assert!((a.re / 64.0 - b.re).abs() < 1e-12);
+            assert!((a.im / 64.0 - b.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_holds_for_forward_transform() {
+        let mut line: Vec<C64> =
+            (0..128).map(|i| C64 { re: (i as f64 * 0.3).sin(), im: 0.0 }).collect();
+        let time_energy: f64 = line.iter().map(|c| c.norm_sq()).sum();
+        fft_line(&mut line, -1.0);
+        let freq_energy: f64 = line.iter().map(|c| c.norm_sq()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn twiddle_decay_bounded_and_symmetric() {
+        let t = twiddle_table(16, 16, 8);
+        assert!(t.iter().all(|&v| v > 0.0 && v <= 1.0));
+        assert_eq!(t[0], 1.0, "DC mode does not decay");
+        // Mode k and n-k decay identically.
+        assert!((t[1] - t[15]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parallel_checksums_match_serial() {
+        let rt = rt();
+        let serial = spectral_evolution(&rt, 1, 32, 16, 8, 3);
+        for threads in [2, 4] {
+            let par = spectral_evolution(&rt, threads, 32, 16, 8, 3);
+            for (a, b) in par.sums.iter().zip(&serial.sums) {
+                assert!((a.re - b.re).abs() < 1e-10, "threads={threads}");
+                assert!((a.im - b.im).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mca_backend_agrees() {
+        let a = spectral_evolution(&rt(), 3, 16, 16, 16, 2);
+        let b = spectral_evolution(
+            &Runtime::with_backend(BackendKind::Mca).unwrap(),
+            3,
+            16,
+            16,
+            16,
+            2,
+        );
+        assert_eq!(a.sums.len(), b.sums.len());
+        for (x, y) in a.sums.iter().zip(&b.sums) {
+            assert!((x.re - y.re).abs() < 1e-10 && (x.im - y.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn class_s_runs_verified() {
+        let res = run(&rt(), 4, Class::S);
+        assert!(res.verified(), "{:?}", res.verification);
+        assert!(matches!(res.verification, Verification::SelfConsistent(_)));
+    }
+
+    #[test]
+    fn checksum_uses_unnormalised_convention_consistently() {
+        let f = initial_conditions(8, 8, 8);
+        let a = checksum(&f);
+        let mut g = Field { nx: 8, ny: 8, nz: 8, data: f.data.clone() };
+        let scale = 1.0 / g.len() as f64;
+        for c in g.data.iter_mut() {
+            *c = c.scale(scale);
+        }
+        let b = checksum_scaled(&g);
+        assert!((a.re - b.re).abs() < 1e-15 && (a.im - b.im).abs() < 1e-15);
+    }
+}

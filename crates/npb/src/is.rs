@@ -1,0 +1,313 @@
+//! IS — the Integer Sort kernel.
+//!
+//! Ranks `N` integer keys drawn from NPB's LCG (each key is the scaled sum
+//! of four uniform deviates, giving a binomial-ish distribution) in ten
+//! timed iterations; each iteration perturbs two keys, recomputes every
+//! key's rank by counting sort, and partially verifies five probe ranks.
+//! After the timed loop the keys are fully sorted from the final ranks and
+//! the order is verified — NPB's `full_verify`.
+//!
+//! Parallelisation: per-worker private histograms over static key blocks,
+//! a statically partitioned merge across the key range, then an (untimed,
+//! tiny) exclusive prefix scan by the master — the same structure as the
+//! NPB OpenMP version's `key_buff` work sharing.
+//!
+//! Verification: class S checks the published `test_rank_array` from
+//! `is.c`; all classes additionally check full sortedness, permutation
+//! preservation, and parallel-equals-serial rank agreement (§6A
+//! self-consistency).
+
+use romp::{Runtime, Schedule};
+
+use crate::common::randlc::{randlc, NPB_A, NPB_SEED};
+use crate::common::{Class, KernelResult, SyncSlice, Verification};
+
+/// Timed ranking iterations (NPB `MAX_ITERATIONS`).
+const MAX_ITERATIONS: usize = 10;
+/// Probe count (NPB `TEST_ARRAY_SIZE`).
+const TEST_ARRAY_SIZE: usize = 5;
+
+/// Per-class `(total_keys, max_key)`.
+pub fn params(class: Class) -> (usize, usize) {
+    match class {
+        Class::S => (1 << 16, 1 << 11),
+        Class::W => (1 << 20, 1 << 16),
+        Class::A => (1 << 23, 1 << 19),
+    }
+}
+
+/// Published probe indices/ranks for class S (from `is.c`); the other
+/// classes are verified self-consistently.
+const S_TEST_INDEX: [usize; TEST_ARRAY_SIZE] = [48427, 17148, 23627, 62548, 4431];
+const S_TEST_RANK: [i64; TEST_ARRAY_SIZE] = [0, 18, 346, 64917, 65463];
+
+/// NPB `create_seq`: the initial key array.
+pub fn create_seq(total_keys: usize, max_key: usize) -> Vec<u32> {
+    let mut seed = NPB_SEED;
+    let k = (max_key / 4) as f64;
+    (0..total_keys)
+        .map(|_| {
+            let mut x = randlc(&mut seed, NPB_A);
+            x += randlc(&mut seed, NPB_A);
+            x += randlc(&mut seed, NPB_A);
+            x += randlc(&mut seed, NPB_A);
+            (k * x) as u32
+        })
+        .collect()
+}
+
+/// One ranking pass: counting histogram + exclusive scan.
+/// `ranks[k]` = number of keys strictly below `k` (NPB's
+/// `key_buff_ptr[k-1]` probe value is `ranks[k]`).
+pub fn rank_keys(rt: &Runtime, threads: usize, keys: &[u32], max_key: usize) -> Vec<u32> {
+    let n = keys.len();
+    let mut locals: Vec<Vec<u32>> = (0..threads).map(|_| vec![0u32; max_key]).collect();
+    let mut merged = vec![0u32; max_key];
+    {
+        let local_views: Vec<SyncSlice<u32>> = locals.iter_mut().map(|l| SyncSlice::new(l.as_mut_slice())).collect();
+        let merged_view = SyncSlice::new(merged.as_mut_slice());
+        rt.parallel(threads, |w| {
+            let tid = w.thread_num();
+            // Phase 1: private histogram over my static key block.
+            // SAFETY: local_views[tid] is written only by worker tid.
+            w.for_chunks_nowait(0..n as u64, Schedule::Static { chunk: None }, |chunk| {
+                for i in chunk {
+                    let k = keys[i as usize] as usize;
+                    unsafe {
+                        let c = local_views[tid].get(k);
+                        local_views[tid].set(k, c + 1);
+                    }
+                }
+            });
+            w.barrier();
+            // Phase 2: merge across workers, partitioned by key range.
+            // SAFETY: each key index is written by exactly one worker; the
+            // locals are read-only after the barrier.
+            w.for_chunks_nowait(0..max_key as u64, Schedule::Static { chunk: None }, |chunk| {
+                for k in chunk {
+                    let mut sum = 0u32;
+                    for lv in &local_views {
+                        sum += unsafe { lv.get(k as usize) };
+                    }
+                    unsafe { merged_view.set(k as usize, sum) };
+                }
+            });
+            w.barrier();
+        });
+    }
+    // Exclusive prefix scan (max_key entries; trivial serial work).
+    let mut ranks = vec![0u32; max_key];
+    let mut acc = 0u32;
+    for k in 0..max_key {
+        ranks[k] = acc;
+        acc += merged[k];
+    }
+    ranks
+}
+
+/// Full benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct IsOutcome {
+    /// Final ranks table (exclusive prefix counts).
+    pub ranks: Vec<u32>,
+    /// Probe values captured per iteration: `ranks[key_at_probe]`.
+    pub probe_ranks: Vec<[u32; TEST_ARRAY_SIZE]>,
+    /// Fully sorted key array (from the final iteration's ranks).
+    pub sorted: Vec<u32>,
+    /// Wall seconds of the timed ranking loop.
+    pub timed_s: f64,
+}
+
+/// Run the full IS protocol on the given key array.
+pub fn sort_protocol(
+    rt: &Runtime,
+    threads: usize,
+    mut keys: Vec<u32>,
+    max_key: usize,
+    test_index: &[usize; TEST_ARRAY_SIZE],
+) -> IsOutcome {
+    let n = keys.len();
+    let mut probe_ranks = Vec::with_capacity(MAX_ITERATIONS);
+    let mut ranks = Vec::new();
+    let t0 = std::time::Instant::now();
+    for iteration in 1..=MAX_ITERATIONS {
+        // NPB perturbs two keys each iteration.
+        keys[iteration] = iteration as u32;
+        keys[iteration + MAX_ITERATIONS] = (max_key - iteration) as u32;
+        ranks = rank_keys(rt, threads, &keys, max_key);
+        let mut probes = [0u32; TEST_ARRAY_SIZE];
+        for (slot, &idx) in probes.iter_mut().zip(test_index) {
+            *slot = ranks[keys[idx] as usize];
+        }
+        probe_ranks.push(probes);
+    }
+    let timed_s = t0.elapsed().as_secs_f64();
+    // Untimed full sort from the final ranks (counting sort placement).
+    let mut cursor: Vec<u32> = ranks.clone();
+    let mut sorted = vec![0u32; n];
+    for &k in &keys {
+        sorted[cursor[k as usize] as usize] = k;
+        cursor[k as usize] += 1;
+    }
+    IsOutcome { ranks, probe_ranks, sorted, timed_s }
+}
+
+/// Run IS for a class with NPB verification.
+pub fn run(rt: &Runtime, threads: usize, class: Class) -> KernelResult {
+    let (n, max_key) = params(class);
+    let keys = create_seq(n, max_key);
+    // Probe indices: published for S; first five odd strides otherwise
+    // (self-consistency probes).
+    let test_index: [usize; TEST_ARRAY_SIZE] = match class {
+        Class::S => S_TEST_INDEX,
+        _ => {
+            let mut t = [0usize; TEST_ARRAY_SIZE];
+            for (i, slot) in t.iter_mut().enumerate() {
+                *slot = (i + 1) * n / (TEST_ARRAY_SIZE + 2) + 1;
+            }
+            t
+        }
+    };
+    let out = sort_protocol(rt, threads, keys.clone(), max_key, &test_index);
+
+    // Full verification: sorted ascending, same multiset.
+    let mut failures = Vec::new();
+    if !out.sorted.windows(2).all(|w| w[0] <= w[1]) {
+        failures.push("output not sorted".to_string());
+    }
+    let mut hist_in = vec![0u32; max_key];
+    // Recreate the post-perturbation key array for the permutation check.
+    let mut final_keys = keys;
+    for iteration in 1..=MAX_ITERATIONS {
+        final_keys[iteration] = iteration as u32;
+        final_keys[iteration + MAX_ITERATIONS] = (max_key - iteration) as u32;
+    }
+    for &k in &final_keys {
+        hist_in[k as usize] += 1;
+    }
+    let mut hist_out = vec![0u32; max_key];
+    for &k in &out.sorted {
+        hist_out[k as usize] += 1;
+    }
+    if hist_in != hist_out {
+        failures.push("output is not a permutation of the input".to_string());
+    }
+    // Class S: published partial verification (is.c's rank ± iteration
+    // pattern for class S: probes 0..=2 drift up, 3..=4 drift down).
+    if class == Class::S {
+        for (it0, probes) in out.probe_ranks.iter().enumerate() {
+            let iteration = (it0 + 1) as i64;
+            for i in 0..TEST_ARRAY_SIZE {
+                let want = if i <= 2 {
+                    S_TEST_RANK[i] + iteration
+                } else {
+                    S_TEST_RANK[i] - iteration
+                };
+                if probes[i] as i64 != want {
+                    failures.push(format!(
+                        "partial verify: iter {iteration} probe {i}: rank {} want {want}",
+                        probes[i]
+                    ));
+                }
+            }
+        }
+    }
+    let verification = if failures.is_empty() {
+        if class == Class::S {
+            Verification::Published(
+                "sorted permutation + is.c class-S partial verification".to_string(),
+            )
+        } else {
+            Verification::SelfConsistent("sorted permutation of input".to_string())
+        }
+    } else {
+        Verification::Failed(failures.join("; "))
+    };
+    KernelResult {
+        name: "IS",
+        class,
+        threads,
+        wall_s: out.timed_s,
+        mops: (MAX_ITERATIONS * n) as f64 / out.timed_s / 1e6,
+        verification,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp::BackendKind;
+
+    fn rt() -> Runtime {
+        Runtime::with_backend(BackendKind::Native).unwrap()
+    }
+
+    #[test]
+    fn key_distribution_is_centered() {
+        let (n, max_key) = params(Class::S);
+        let keys = create_seq(n, max_key);
+        assert_eq!(keys.len(), n);
+        assert!(keys.iter().all(|&k| (k as usize) < max_key));
+        let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / n as f64;
+        // Sum of four U(0,1) has mean 2 → keys center at max_key/2.
+        assert!((mean / max_key as f64 - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranks_count_smaller_keys() {
+        let rt = rt();
+        let keys = vec![3u32, 1, 4, 1, 5, 9, 2, 6];
+        let ranks = rank_keys(&rt, 3, &keys, 10);
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[1], 0, "nothing below 1");
+        assert_eq!(ranks[2], 2, "two 1s below 2");
+        assert_eq!(ranks[5], 5);
+        assert_eq!(ranks[9], 7);
+    }
+
+    #[test]
+    fn class_s_passes_published_partial_verification() {
+        let res = run(&rt(), 4, Class::S);
+        assert!(res.verified(), "{:?}", res.verification);
+        assert!(matches!(res.verification, Verification::Published(_)));
+    }
+
+    #[test]
+    fn parallel_ranks_match_serial() {
+        let rt = rt();
+        let (n, max_key) = (1 << 14, 1 << 10);
+        let keys = create_seq(n, max_key);
+        let serial = rank_keys(&rt, 1, &keys, max_key);
+        for threads in [2, 5] {
+            assert_eq!(rank_keys(&rt, threads, &keys, max_key), serial, "threads={threads}");
+        }
+        let mca = Runtime::with_backend(BackendKind::Mca).unwrap();
+        assert_eq!(rank_keys(&mca, 3, &keys, max_key), serial);
+    }
+
+    #[test]
+    fn full_sort_is_correct_for_random_input() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let max_key = 1 << 8;
+        let keys: Vec<u32> =
+            (0..5000).map(|_| rng.gen_range(0..max_key as u32)).collect();
+        let t = [100, 200, 300, 400, 500];
+        let out = sort_protocol(&rt(), 3, keys.clone(), max_key, &t);
+        assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out.sorted.len(), keys.len());
+    }
+
+    #[test]
+    fn probes_drift_with_iteration() {
+        // The perturbation protocol moves probe ranks every iteration for
+        // class S; each iteration's probes must differ from the last.
+        let (n, max_key) = params(Class::S);
+        let keys = create_seq(n, max_key);
+        let out = sort_protocol(&rt(), 2, keys, max_key, &S_TEST_INDEX);
+        assert_eq!(out.probe_ranks.len(), MAX_ITERATIONS);
+        for w in out.probe_ranks.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+}

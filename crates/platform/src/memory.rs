@@ -1,0 +1,199 @@
+//! Platform memory map: the regions MRAPI memory primitives sit on.
+//!
+//! MRAPI distinguishes *shared memory* (on-chip or off-chip, directly
+//! addressable by nodes) from *remote memory* (distinct memories that may
+//! need DMA to reach) — paper §2B.2.  This module models the physical
+//! regions behind both: every region has an address window, a class, and
+//! latency/bandwidth parameters the simulation uses to cost accesses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Topology;
+
+/// What kind of physical memory a region is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionClass {
+    /// Off-chip DDR visible to every core — the default shared memory.
+    Dram,
+    /// On-chip SRAM (the T4240 can carve the CoreNet platform cache into
+    /// addressable SRAM) — small, fast, shared.
+    OnChipSram,
+    /// A remote window: memory owned by another device (coprocessor, another
+    /// partition) reached through DMA — MRAPI "remote memory, no direct
+    /// access".
+    RemoteDma,
+    /// A remote window that is directly addressable (physically consecutive)
+    /// — MRAPI "remote memory, direct access".
+    RemoteDirect,
+}
+
+impl RegionClass {
+    /// Whether loads/stores can target the region without a DMA transfer.
+    pub fn directly_addressable(self) -> bool {
+        !matches!(self, RegionClass::RemoteDma)
+    }
+}
+
+/// One region in the platform memory map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    /// Stable name, e.g. `"ddr0"`, `"cpc-sram"`, `"dsp-window"`.
+    pub name: String,
+    pub class: RegionClass,
+    /// Base physical address in the modeled map.
+    pub base: u64,
+    /// Window size in bytes.
+    pub size: u64,
+    /// Random access latency, nanoseconds.
+    pub latency_ns: f64,
+    /// Sustained bandwidth, bytes/second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl MemoryRegion {
+    /// Whether `addr..addr+len` lies fully inside this region.
+    pub fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.base
+            && len <= self.size
+            && addr.checked_add(len).is_some_and(|end| end <= self.base + self.size)
+    }
+
+    /// Modeled time to move `bytes` to/from this region in nanoseconds:
+    /// one latency hit plus the bandwidth-limited streaming term.
+    pub fn transfer_ns(&self, bytes: u64) -> f64 {
+        self.latency_ns + bytes as f64 / self.bandwidth_bytes_per_s * 1e9
+    }
+}
+
+/// The full memory map of a modeled platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryMap {
+    pub regions: Vec<MemoryRegion>,
+}
+
+impl MemoryMap {
+    /// Default map for a topology: all of DRAM, a 256 KB on-chip SRAM carve
+    /// (T4240-style CPC-as-SRAM), and one DMA-reached remote window modeling
+    /// an attached accelerator's local store.
+    pub fn for_topology(topo: &Topology) -> Self {
+        // The modeled map keeps DDR above the 4 GiB line so the low window is
+        // free for on-chip SRAM and device windows (as on the real part).
+        let mut regions = vec![MemoryRegion {
+            name: "ddr0".to_string(),
+            class: RegionClass::Dram,
+            base: 0x1_0000_0000,
+            size: topo.dram_bytes,
+            latency_ns: topo.dram_latency_ns,
+            bandwidth_bytes_per_s: topo.dram_bandwidth_bytes_per_s,
+        }];
+        if topo.fabric.platform_cache.is_some() {
+            regions.push(MemoryRegion {
+                name: "cpc-sram".to_string(),
+                class: RegionClass::OnChipSram,
+                base: 0xF000_0000,
+                size: 256 * 1024,
+                latency_ns: 18.0,
+                bandwidth_bytes_per_s: topo.fabric.bandwidth_bytes_per_s,
+            });
+        }
+        regions.push(MemoryRegion {
+            name: "accel-window".to_string(),
+            class: RegionClass::RemoteDma,
+            base: 0x8_0000_0000,
+            size: 64 * 1024 * 1024,
+            latency_ns: 900.0, // DMA descriptor setup + completion interrupt
+            bandwidth_bytes_per_s: 2.0e9,
+        });
+        MemoryMap { regions }
+    }
+
+    /// Find the region containing a physical address.
+    pub fn region_of(&self, addr: u64) -> Option<&MemoryRegion> {
+        self.regions.iter().find(|r| r.contains(addr, 1))
+    }
+
+    /// Find a region by name.
+    pub fn by_name(&self, name: &str) -> Option<&MemoryRegion> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Allocate an address window of `size` bytes from `region` using a
+    /// bump pointer starting at `cursor` (caller-tracked).  Returns the base
+    /// address, or `None` if the region is exhausted.
+    pub fn bump_alloc(&self, region: &str, cursor: &mut u64, size: u64) -> Option<u64> {
+        let r = self.by_name(region)?;
+        let base = r.base + *cursor;
+        if *cursor + size > r.size {
+            return None;
+        }
+        *cursor += size;
+        Some(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn default_map_shapes() {
+        let m = MemoryMap::for_topology(&Topology::t4240rdb());
+        assert!(m.by_name("ddr0").is_some());
+        assert!(m.by_name("cpc-sram").is_some(), "T4240 has a platform cache to carve");
+        assert!(m.by_name("accel-window").is_some());
+        let host = MemoryMap::for_topology(&Topology::host());
+        assert!(host.by_name("cpc-sram").is_none(), "host model has no platform cache");
+    }
+
+    #[test]
+    fn containment_and_lookup() {
+        let m = MemoryMap::for_topology(&Topology::t4240rdb());
+        let ddr = m.by_name("ddr0").unwrap();
+        assert!(ddr.contains(ddr.base, 4096));
+        assert!(!ddr.contains(ddr.base + ddr.size, 1));
+        assert!(m.region_of(0).is_none(), "low window is unmapped");
+        assert_eq!(m.region_of(0xF000_0010).unwrap().name, "cpc-sram");
+        assert!(m.region_of(0xFFFF_FFFF_FFFF).is_none());
+    }
+
+    #[test]
+    fn contains_rejects_overflowing_ranges() {
+        let r = MemoryRegion {
+            name: "x".into(),
+            class: RegionClass::Dram,
+            base: u64::MAX - 10,
+            size: 10,
+            latency_ns: 1.0,
+            bandwidth_bytes_per_s: 1.0,
+        };
+        assert!(!r.contains(u64::MAX - 2, 5), "end computation must not wrap");
+    }
+
+    #[test]
+    fn dma_window_is_not_directly_addressable() {
+        assert!(!RegionClass::RemoteDma.directly_addressable());
+        assert!(RegionClass::RemoteDirect.directly_addressable());
+        assert!(RegionClass::Dram.directly_addressable());
+    }
+
+    #[test]
+    fn transfer_cost_monotone_in_size() {
+        let m = MemoryMap::for_topology(&Topology::t4240rdb());
+        let w = m.by_name("accel-window").unwrap();
+        assert!(w.transfer_ns(1 << 20) > w.transfer_ns(1 << 10));
+        // DMA latency dominates small transfers.
+        assert!(w.transfer_ns(64) > 0.9 * w.latency_ns);
+    }
+
+    #[test]
+    fn bump_alloc_respects_bounds() {
+        let m = MemoryMap::for_topology(&Topology::t4240rdb());
+        let mut cur = 0u64;
+        let a = m.bump_alloc("cpc-sram", &mut cur, 128 * 1024).unwrap();
+        let b = m.bump_alloc("cpc-sram", &mut cur, 128 * 1024).unwrap();
+        assert_eq!(b, a + 128 * 1024);
+        assert!(m.bump_alloc("cpc-sram", &mut cur, 1).is_none(), "exhausted");
+        assert!(m.bump_alloc("nope", &mut cur, 1).is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Embedded hypervisor model (paper Figure 2).
+//!
+//! The T4240RDB ships a small Power-Architecture hypervisor that partitions
+//! the machine: each partition receives a dedicated set of CPUs, a private
+//! memory window and a guest OS image, and partitions may be wired together
+//! with shared-memory windows or doorbell interrupts.  The paper plans to use
+//! MCAPI across partitions as future work; our MCAPI crate uses this model's
+//! inter-partition links as its transport cost reference.
+
+use crate::memory::{MemoryMap, MemoryRegion, RegionClass};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Requested shape of one partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Partition name, e.g. `"linux0"`, `"rtos"`, `"baremetal-dsp"`.
+    pub name: String,
+    /// How many hardware threads to dedicate.
+    pub hw_threads: usize,
+    /// Private memory window size in bytes.
+    pub memory_bytes: u64,
+    /// Guest payload description (purely informational).
+    pub guest: GuestKind,
+}
+
+/// What runs inside a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuestKind {
+    /// Full embedded Linux (the paper's SMP configuration).
+    Linux,
+    /// A real-time OS image.
+    Rtos,
+    /// Bare-metal executive — MRAPI explicitly supports these (§2B).
+    BareMetal,
+}
+
+/// A realized partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    pub name: String,
+    pub guest: GuestKind,
+    /// Hardware thread ids owned exclusively by this partition.
+    pub hw_threads: Vec<usize>,
+    /// Private memory window base/size in the platform map.
+    pub mem_base: u64,
+    pub mem_size: u64,
+}
+
+/// Errors the hypervisor can report while building partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// More hardware threads requested than remain unassigned.
+    InsufficientCpus { requested: usize, available: usize },
+    /// More memory requested than remains in DDR.
+    InsufficientMemory { requested: u64, available: u64 },
+    /// Partition names must be unique.
+    DuplicateName(String),
+    /// Zero CPUs or zero memory requested.
+    EmptySpec(String),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::InsufficientCpus { requested, available } => {
+                write!(f, "requested {requested} hw threads, only {available} free")
+            }
+            PartitionError::InsufficientMemory { requested, available } => {
+                write!(f, "requested {requested} bytes, only {available} free")
+            }
+            PartitionError::DuplicateName(n) => write!(f, "duplicate partition name {n:?}"),
+            PartitionError::EmptySpec(n) => write!(f, "partition {n:?} requests no resources"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// The hypervisor: owns the machine, hands out partitions.
+#[derive(Debug, Clone)]
+pub struct Hypervisor {
+    topo: Topology,
+    map: MemoryMap,
+    partitions: Vec<Partition>,
+    next_cpu: usize,
+    mem_cursor: u64,
+}
+
+impl Hypervisor {
+    /// Boot the hypervisor on a topology.  It reserves nothing for itself;
+    /// real systems would reserve a management core, which callers can model
+    /// by creating a `"hv"` partition first.
+    pub fn new(topo: Topology) -> Self {
+        let map = MemoryMap::for_topology(&topo);
+        Hypervisor { topo, map, partitions: Vec::new(), next_cpu: 0, mem_cursor: 0 }
+    }
+
+    /// Underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Platform memory map (DDR plus windows).
+    pub fn memory_map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// Hardware threads not yet assigned to any partition.
+    pub fn free_hw_threads(&self) -> usize {
+        self.topo.num_hw_threads() - self.next_cpu
+    }
+
+    /// DDR bytes not yet assigned.
+    pub fn free_memory(&self) -> u64 {
+        self.topo.dram_bytes - self.mem_cursor
+    }
+
+    /// Realized partitions so far, in creation order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Create a partition per `spec`.  CPU assignment is contiguous in the
+    /// platform's SMT-last placement order so a 2-core partition shares an L2
+    /// only if it must; memory is carved from DDR bottom-up.
+    pub fn create_partition(&mut self, spec: &PartitionSpec) -> Result<&Partition, PartitionError> {
+        if spec.hw_threads == 0 || spec.memory_bytes == 0 {
+            return Err(PartitionError::EmptySpec(spec.name.clone()));
+        }
+        if self.partitions.iter().any(|p| p.name == spec.name) {
+            return Err(PartitionError::DuplicateName(spec.name.clone()));
+        }
+        let avail = self.free_hw_threads();
+        if spec.hw_threads > avail {
+            return Err(PartitionError::InsufficientCpus { requested: spec.hw_threads, available: avail });
+        }
+        let free_mem = self.free_memory();
+        if spec.memory_bytes > free_mem {
+            return Err(PartitionError::InsufficientMemory {
+                requested: spec.memory_bytes,
+                available: free_mem,
+            });
+        }
+        // Consume CPUs in physical id order: partitions get whole cores
+        // (both SMT threads together) whenever the request size allows.
+        let ids: Vec<usize> = (self.next_cpu..self.next_cpu + spec.hw_threads).collect();
+        self.next_cpu += spec.hw_threads;
+        let base = self.mem_cursor;
+        self.mem_cursor += spec.memory_bytes;
+        self.partitions.push(Partition {
+            name: spec.name.clone(),
+            guest: spec.guest,
+            hw_threads: ids,
+            mem_base: base,
+            mem_size: spec.memory_bytes,
+        });
+        Ok(self.partitions.last().unwrap())
+    }
+
+    /// A directly-addressable shared window between two partitions (how the
+    /// hypervisor wires guests together for MCAPI-style messaging).
+    pub fn shared_window(&self, a: &str, b: &str, size: u64) -> Option<MemoryRegion> {
+        let _pa = self.partitions.iter().find(|p| p.name == a)?;
+        let _pb = self.partitions.iter().find(|p| p.name == b)?;
+        let ddr = self.map.by_name("ddr0")?;
+        Some(MemoryRegion {
+            name: format!("shw-{a}-{b}"),
+            class: RegionClass::RemoteDirect,
+            base: ddr.base + self.topo.dram_bytes - size,
+            size,
+            latency_ns: ddr.latency_ns * 1.2, // cross-partition TLB cost
+            bandwidth_bytes_per_s: ddr.bandwidth_bytes_per_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, cpus: usize, mb: u64) -> PartitionSpec {
+        PartitionSpec {
+            name: name.to_string(),
+            hw_threads: cpus,
+            memory_bytes: mb * 1024 * 1024,
+            guest: GuestKind::Linux,
+        }
+    }
+
+    #[test]
+    fn partitions_get_disjoint_resources() {
+        let mut hv = Hypervisor::new(Topology::t4240rdb());
+        hv.create_partition(&spec("linux0", 16, 2048)).unwrap();
+        hv.create_partition(&spec("rtos", 8, 1024)).unwrap();
+        let (a, b) = (&hv.partitions()[0], &hv.partitions()[1]);
+        assert!(a.hw_threads.iter().all(|t| !b.hw_threads.contains(t)));
+        assert!(a.mem_base + a.mem_size <= b.mem_base || b.mem_base + b.mem_size <= a.mem_base);
+        assert_eq!(hv.free_hw_threads(), 0);
+    }
+
+    #[test]
+    fn rejects_oversubscription() {
+        let mut hv = Hypervisor::new(Topology::t4240rdb());
+        hv.create_partition(&spec("big", 24, 1024)).unwrap();
+        let err = hv.create_partition(&spec("more", 1, 1)).unwrap_err();
+        assert!(matches!(err, PartitionError::InsufficientCpus { available: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_memory_exhaustion() {
+        let mut hv = Hypervisor::new(Topology::t4240rdb());
+        let err = hv
+            .create_partition(&PartitionSpec {
+                name: "huge".into(),
+                hw_threads: 1,
+                memory_bytes: u64::MAX / 2,
+                guest: GuestKind::BareMetal,
+            })
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::InsufficientMemory { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        let mut hv = Hypervisor::new(Topology::t4240rdb());
+        hv.create_partition(&spec("a", 2, 64)).unwrap();
+        assert!(matches!(
+            hv.create_partition(&spec("a", 2, 64)),
+            Err(PartitionError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            hv.create_partition(&PartitionSpec {
+                name: "z".into(),
+                hw_threads: 0,
+                memory_bytes: 1,
+                guest: GuestKind::Rtos
+            }),
+            Err(PartitionError::EmptySpec(_))
+        ));
+    }
+
+    #[test]
+    fn shared_window_links_partitions() {
+        let mut hv = Hypervisor::new(Topology::t4240rdb());
+        hv.create_partition(&spec("host", 20, 1024)).unwrap();
+        hv.create_partition(&spec("dsp", 4, 256)).unwrap();
+        let w = hv.shared_window("host", "dsp", 1 << 20).unwrap();
+        assert_eq!(w.class, RegionClass::RemoteDirect);
+        assert_eq!(w.size, 1 << 20);
+        assert!(hv.shared_window("host", "nope", 1).is_none());
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = PartitionError::InsufficientCpus { requested: 30, available: 24 };
+        assert!(e.to_string().contains("30"));
+        let e2 = PartitionError::DuplicateName("x".into());
+        assert!(e2.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,383 @@
+//! MRAPI-style resource metadata trees.
+//!
+//! MRAPI's metadata facility (paper §2B.4) lets a node call
+//! `mrapi_resources_get` to retrieve a *resource tree* describing what the
+//! system offers — CPUs, caches, memories — optionally filtered by kind.
+//! The OpenMP-MCA runtime uses exactly this to discover the number of online
+//! processors when sizing thread teams (paper §5B.4).
+//!
+//! This module builds such trees from a [`Topology`] and supports the
+//! filtering, counting and attribute queries MRAPI specifies, including
+//! *dynamic* attributes (values that change at run time, such as a core's
+//! utilization counter) which MRAPI models with an `is_dynamic` flag.
+
+use crate::topology::{CacheSpec, Topology};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Classes of resource the tree can describe, mirroring
+/// `mrapi_resource_type`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Root of the tree: the whole system.
+    System,
+    /// A cluster of cores sharing a cache/fabric port.
+    Cluster,
+    /// A physical core.
+    Core,
+    /// A hardware thread on a core.
+    HwThread,
+    /// A cache at some level.
+    Cache,
+    /// A memory (DRAM, on-chip SRAM, remote window).
+    Memory,
+    /// Crossbar / coherency fabric.
+    Fabric,
+}
+
+/// One attribute on a resource node.
+///
+/// MRAPI attributes are typed key/value pairs; a *dynamic* attribute's value
+/// may change between reads (e.g. utilization), so it is backed by an atomic
+/// cell shared with whoever updates it.
+#[derive(Debug, Clone)]
+pub enum ResourceAttr {
+    /// Immutable integer attribute (sizes, counts, ids).
+    StaticU64(u64),
+    /// Immutable text attribute (names, ISA strings).
+    StaticText(String),
+    /// Immutable float attribute (bandwidths, frequencies).
+    StaticF64(f64),
+    /// Dynamic integer attribute; reads observe the latest stored value.
+    DynamicU64(Arc<AtomicU64>),
+}
+
+impl PartialEq for ResourceAttr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ResourceAttr::StaticU64(a), ResourceAttr::StaticU64(b)) => a == b,
+            (ResourceAttr::StaticText(a), ResourceAttr::StaticText(b)) => a == b,
+            (ResourceAttr::StaticF64(a), ResourceAttr::StaticF64(b)) => a == b,
+            (ResourceAttr::DynamicU64(a), ResourceAttr::DynamicU64(b)) => {
+                a.load(Ordering::Relaxed) == b.load(Ordering::Relaxed)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl ResourceAttr {
+    /// Read the attribute as an integer if it has integer shape.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ResourceAttr::StaticU64(v) => Some(*v),
+            ResourceAttr::DynamicU64(c) => Some(c.load(Ordering::Acquire)),
+            _ => None,
+        }
+    }
+
+    /// Read the attribute as text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            ResourceAttr::StaticText(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Read the attribute as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ResourceAttr::StaticF64(v) => Some(*v),
+            ResourceAttr::StaticU64(v) => Some(*v as f64),
+            ResourceAttr::DynamicU64(c) => Some(c.load(Ordering::Acquire) as f64),
+            _ => None,
+        }
+    }
+
+    /// True if the attribute can change between reads (`is_dynamic` in MRAPI).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, ResourceAttr::DynamicU64(_))
+    }
+}
+
+/// One node in the resource tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceNode {
+    /// Resource class.
+    pub kind: ResourceKind,
+    /// Human-readable name, unique among siblings (`"core2"`, `"L2"`, ...).
+    pub name: String,
+    /// Typed attributes, keyed by attribute name.
+    pub attrs: Vec<(String, ResourceAttr)>,
+    /// Children in declaration order.
+    pub children: Vec<ResourceNode>,
+}
+
+impl ResourceNode {
+    /// Create a leaf node with no attributes.
+    pub fn new(kind: ResourceKind, name: impl Into<String>) -> Self {
+        ResourceNode { kind, name: name.into(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder-style attribute attach.
+    pub fn with_attr(mut self, key: &str, attr: ResourceAttr) -> Self {
+        self.attrs.push((key.to_string(), attr));
+        self
+    }
+
+    /// Builder-style child attach.
+    pub fn with_child(mut self, child: ResourceNode) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr(&self, key: &str) -> Option<&ResourceAttr> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Depth-first iteration over this node and every descendant.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a ResourceNode)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    fn cache_node(spec: &CacheSpec) -> ResourceNode {
+        ResourceNode::new(ResourceKind::Cache, spec.level.label())
+            .with_attr("size_bytes", ResourceAttr::StaticU64(spec.size_bytes))
+            .with_attr("line_bytes", ResourceAttr::StaticU64(spec.line_bytes as u64))
+            .with_attr("ways", ResourceAttr::StaticU64(spec.ways as u64))
+            .with_attr("latency_cycles", ResourceAttr::StaticU64(spec.latency_cycles as u64))
+    }
+}
+
+/// A complete resource tree, as handed back by `mrapi_resources_get`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceTree {
+    pub root: ResourceNode,
+}
+
+impl ResourceTree {
+    /// Build the full tree for a topology.
+    ///
+    /// Layout: `System → Fabric? → [Cluster → Cache*, Core → Cache*,
+    /// HwThread*] , Memory*`.  Every hardware thread carries a dynamic
+    /// `utilization` attribute callers may update.
+    pub fn from_topology(topo: &Topology) -> Self {
+        let mut root = ResourceNode::new(ResourceKind::System, topo.name.clone())
+            .with_attr("clock_hz", ResourceAttr::StaticU64(topo.clock_hz))
+            .with_attr("num_cores", ResourceAttr::StaticU64(topo.num_cores() as u64))
+            .with_attr("num_hw_threads", ResourceAttr::StaticU64(topo.num_hw_threads() as u64));
+
+        let mut fabric = ResourceNode::new(ResourceKind::Fabric, topo.fabric.name.clone())
+            .with_attr(
+                "bandwidth_bytes_per_s",
+                ResourceAttr::StaticF64(topo.fabric.bandwidth_bytes_per_s),
+            )
+            .with_attr("latency_ns", ResourceAttr::StaticF64(topo.fabric.latency_ns));
+        if let Some(pc) = &topo.fabric.platform_cache {
+            fabric = fabric.with_child(ResourceNode::cache_node(pc));
+        }
+
+        for cl in &topo.clusters {
+            let mut cl_node = ResourceNode::new(ResourceKind::Cluster, format!("cluster{}", cl.id))
+                .with_attr("num_cores", ResourceAttr::StaticU64(cl.cores.len() as u64));
+            for spec in &cl.caches {
+                cl_node = cl_node.with_child(ResourceNode::cache_node(spec));
+            }
+            for &core_id in &cl.cores {
+                let core = &topo.cores[core_id];
+                let mut core_node = ResourceNode::new(ResourceKind::Core, format!("core{}", core.id))
+                    .with_attr("isa", ResourceAttr::StaticText(core.isa.clone()))
+                    .with_attr("simd", ResourceAttr::StaticU64(core.simd as u64));
+                for spec in &core.caches {
+                    core_node = core_node.with_child(ResourceNode::cache_node(spec));
+                }
+                for &tid in &core.hw_threads {
+                    let t = &topo.hw_threads[tid];
+                    core_node = core_node.with_child(
+                        ResourceNode::new(ResourceKind::HwThread, format!("cpu{}", t.id))
+                            .with_attr("smt_index", ResourceAttr::StaticU64(t.smt_index as u64))
+                            .with_attr(
+                                "utilization",
+                                ResourceAttr::DynamicU64(Arc::new(AtomicU64::new(0))),
+                            ),
+                    );
+                }
+                cl_node = cl_node.with_child(core_node);
+            }
+            fabric = fabric.with_child(cl_node);
+        }
+        root = root.with_child(fabric);
+        root = root.with_child(
+            ResourceNode::new(ResourceKind::Memory, "DDR")
+                .with_attr("size_bytes", ResourceAttr::StaticU64(topo.dram_bytes))
+                .with_attr(
+                    "bandwidth_bytes_per_s",
+                    ResourceAttr::StaticF64(topo.dram_bandwidth_bytes_per_s),
+                )
+                .with_attr("latency_ns", ResourceAttr::StaticF64(topo.dram_latency_ns)),
+        );
+        ResourceTree { root }
+    }
+
+    /// Filter: a tree containing only nodes of `kind` (plus the root), the
+    /// MRAPI "filtered resource tree" facility.
+    pub fn filter_kind(&self, kind: ResourceKind) -> ResourceTree {
+        let mut filtered = ResourceNode::new(self.root.kind, self.root.name.clone());
+        filtered.attrs = self.root.attrs.clone();
+        self.root.walk(&mut |n| {
+            if n.kind == kind {
+                let mut leaf = n.clone();
+                leaf.children.retain(|c| c.kind == kind);
+                filtered.children.push(leaf);
+            }
+        });
+        ResourceTree { root: filtered }
+    }
+
+    /// Count nodes of a given kind anywhere in the tree.
+    pub fn count_kind(&self, kind: ResourceKind) -> usize {
+        let mut n = 0;
+        self.root.walk(&mut |node| {
+            if node.kind == kind {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// The number of online processors — what the paper's runtime reads to
+    /// size its team (§5B.4).
+    pub fn online_processors(&self) -> usize {
+        self.count_kind(ResourceKind::HwThread)
+    }
+
+    /// Collect every dynamic attribute cell (key, handle) for updaters.
+    pub fn dynamic_cells(&self) -> Vec<(String, Arc<AtomicU64>)> {
+        let mut out = Vec::new();
+        self.root.walk(&mut |n| {
+            for (k, a) in &n.attrs {
+                if let ResourceAttr::DynamicU64(cell) = a {
+                    out.push((format!("{}/{}", n.name, k), Arc::clone(cell)));
+                }
+            }
+        });
+        out
+    }
+
+    /// Render the tree as indented text (used by the `resource_tree` example).
+    pub fn render(&self) -> String {
+        fn rec(n: &ResourceNode, depth: usize, out: &mut String) {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:?} {}", n.kind, n.name));
+            if !n.attrs.is_empty() {
+                out.push_str(" [");
+                for (i, (k, v)) in n.attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    match v {
+                        ResourceAttr::StaticU64(x) => out.push_str(&format!("{k}={x}")),
+                        ResourceAttr::StaticText(s) => out.push_str(&format!("{k}={s}")),
+                        ResourceAttr::StaticF64(f) => out.push_str(&format!("{k}={f:.3e}")),
+                        ResourceAttr::DynamicU64(c) => {
+                            out.push_str(&format!("{k}~{}", c.load(Ordering::Relaxed)))
+                        }
+                    }
+                }
+                out.push(']');
+            }
+            out.push('\n');
+            for c in &n.children {
+                rec(c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        rec(&self.root, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> ResourceTree {
+        ResourceTree::from_topology(&Topology::t4240rdb())
+    }
+
+    #[test]
+    fn counts_match_topology() {
+        let t = tree();
+        assert_eq!(t.count_kind(ResourceKind::Cluster), 3);
+        assert_eq!(t.count_kind(ResourceKind::Core), 12);
+        assert_eq!(t.count_kind(ResourceKind::HwThread), 24);
+        assert_eq!(t.online_processors(), 24);
+        // caches: 3 cluster L2 + 12*(L1I+L1D) + 1 L3 = 28
+        assert_eq!(t.count_kind(ResourceKind::Cache), 28);
+    }
+
+    #[test]
+    fn filter_returns_only_kind() {
+        let t = tree();
+        let cores = t.filter_kind(ResourceKind::Core);
+        assert_eq!(cores.root.children.len(), 12);
+        assert!(cores.root.children.iter().all(|c| c.kind == ResourceKind::Core));
+        // filtered children must not contain hw threads
+        for c in &cores.root.children {
+            assert!(c.children.iter().all(|g| g.kind == ResourceKind::Core));
+        }
+    }
+
+    #[test]
+    fn attributes_readable() {
+        let t = tree();
+        assert_eq!(t.root.attr("clock_hz").unwrap().as_u64(), Some(1_800_000_000));
+        assert_eq!(t.root.attr("num_hw_threads").unwrap().as_u64(), Some(24));
+        assert!(t.root.attr("missing").is_none());
+    }
+
+    #[test]
+    fn dynamic_attributes_update_in_place() {
+        let t = tree();
+        let cells = t.dynamic_cells();
+        assert_eq!(cells.len(), 24, "one utilization cell per hw thread");
+        cells[0].1.store(77, Ordering::Release);
+        // The same cell is observable through the tree.
+        let mut seen = None;
+        t.root.walk(&mut |n| {
+            if n.name == "cpu0" {
+                seen = n.attr("utilization").and_then(|a| a.as_u64());
+            }
+        });
+        assert_eq!(seen, Some(77));
+        let mut any_dynamic = false;
+        t.root.walk(&mut |n| {
+            any_dynamic |= n.attrs.iter().any(|(_, a)| a.is_dynamic());
+        });
+        assert!(any_dynamic);
+    }
+
+    #[test]
+    fn render_contains_key_rows() {
+        let s = tree().render();
+        assert!(s.contains("System T4240RDB"));
+        assert!(s.contains("Fabric CoreNet"));
+        assert!(s.contains("cluster2"));
+        assert!(s.contains("cpu23"));
+        assert!(s.contains("Memory DDR"));
+    }
+
+    #[test]
+    fn p4080_tree_has_no_cluster_l2() {
+        let t = ResourceTree::from_topology(&Topology::p4080ds());
+        assert_eq!(t.online_processors(), 8);
+        // 8 cores × (L1I+L1D+L2) + 1 L3 = 25 caches
+        assert_eq!(t.count_kind(ResourceKind::Cache), 25);
+    }
+}

@@ -1,0 +1,439 @@
+//! Hardware topology model: chips, clusters, cores, hardware threads, caches.
+//!
+//! The model is deliberately structural — it knows what the machine *looks
+//! like* (who shares which cache, how clusters attach to the fabric) and what
+//! its headline parameters are (clock, cache sizes, bandwidths).  Behavioural
+//! simulation (how long things take) is layered on top in [`crate::vtime`].
+
+use serde::{Deserialize, Serialize};
+
+/// Cache levels present in the modeled parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// Per-core instruction cache.
+    L1I,
+    /// Per-core data cache.
+    L1D,
+    /// Cluster-shared (T4240) or per-core backside (P4080) unified cache.
+    L2,
+    /// CoreNet platform cache, shared by every cluster on the fabric.
+    L3,
+}
+
+impl CacheLevel {
+    /// Short human-readable label (`"L1D"`, `"L2"`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheLevel::L1I => "L1I",
+            CacheLevel::L1D => "L1D",
+            CacheLevel::L2 => "L2",
+            CacheLevel::L3 => "L3",
+        }
+    }
+}
+
+/// Parameters of one cache in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSpec {
+    pub level: CacheLevel,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Associativity (ways).
+    pub ways: u32,
+    /// Typical load-to-use latency in core cycles.
+    pub latency_cycles: u32,
+}
+
+/// One hardware thread (what the OS sees as a logical CPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwThread {
+    /// Global logical CPU index, 0-based, dense.
+    pub id: usize,
+    /// Index of the owning core in [`Topology::cores`].
+    pub core: usize,
+    /// Thread index within the core (0 or 1 on the dual-threaded e6500).
+    pub smt_index: usize,
+}
+
+/// One physical core.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Core {
+    /// Global core index, 0-based, dense.
+    pub id: usize,
+    /// Index of the owning cluster in [`Topology::clusters`].
+    pub cluster: usize,
+    /// Hardware thread ids hosted by this core.
+    pub hw_threads: Vec<usize>,
+    /// Per-core caches (L1I/L1D and, on the P4080's e500mc, a backside L2).
+    pub caches: Vec<CacheSpec>,
+    /// ISA family marketing name, e.g. `"e6500"`.
+    pub isa: String,
+    /// Whether the core carries a SIMD unit (AltiVec on the e6500).
+    pub simd: bool,
+}
+
+/// A cluster of cores sharing a cache and a fabric port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Global cluster index, 0-based, dense.
+    pub id: usize,
+    /// Core ids belonging to this cluster.
+    pub cores: Vec<usize>,
+    /// Cluster-shared caches (the T4240's multibank L2); may be empty.
+    pub caches: Vec<CacheSpec>,
+}
+
+/// Interconnect fabric parameters (CoreNet on the modeled parts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricSpec {
+    /// Marketing name, e.g. `"CoreNet"`.
+    pub name: String,
+    /// Platform cache attached to the fabric, if any (the T4240's 1.5 MB L3).
+    pub platform_cache: Option<CacheSpec>,
+    /// Aggregate fabric bandwidth in bytes/second shared by all clusters.
+    pub bandwidth_bytes_per_s: f64,
+    /// One-way transfer latency between clusters, nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// A complete modeled machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Marketing name for the platform, e.g. `"T4240RDB"`.
+    pub name: String,
+    /// Core clock frequency in Hz.
+    pub clock_hz: u64,
+    pub clusters: Vec<Cluster>,
+    pub cores: Vec<Core>,
+    pub hw_threads: Vec<HwThread>,
+    pub fabric: FabricSpec,
+    /// Total DRAM bandwidth in bytes/second across all memory controllers.
+    pub dram_bandwidth_bytes_per_s: f64,
+    /// DRAM random-access latency in nanoseconds.
+    pub dram_latency_ns: f64,
+    /// Installed DRAM in bytes.
+    pub dram_bytes: u64,
+}
+
+impl Topology {
+    /// Build a homogeneous topology from shape parameters.
+    ///
+    /// `smt` is hardware threads per core; `cores_per_cluster` must divide
+    /// `cores` exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn homogeneous(
+        name: &str,
+        clock_hz: u64,
+        n_clusters: usize,
+        cores_per_cluster: usize,
+        smt: usize,
+        isa: &str,
+        core_caches: Vec<CacheSpec>,
+        cluster_caches: Vec<CacheSpec>,
+        fabric: FabricSpec,
+    ) -> Self {
+        assert!(n_clusters > 0 && cores_per_cluster > 0 && smt > 0);
+        let mut clusters = Vec::with_capacity(n_clusters);
+        let mut cores = Vec::with_capacity(n_clusters * cores_per_cluster);
+        let mut hw_threads = Vec::with_capacity(n_clusters * cores_per_cluster * smt);
+        for c in 0..n_clusters {
+            let mut member_cores = Vec::with_capacity(cores_per_cluster);
+            for _ in 0..cores_per_cluster {
+                let core_id = cores.len();
+                let mut threads = Vec::with_capacity(smt);
+                for s in 0..smt {
+                    let tid = hw_threads.len();
+                    hw_threads.push(HwThread { id: tid, core: core_id, smt_index: s });
+                    threads.push(tid);
+                }
+                cores.push(Core {
+                    id: core_id,
+                    cluster: c,
+                    hw_threads: threads,
+                    caches: core_caches.clone(),
+                    isa: isa.to_string(),
+                    simd: true,
+                });
+                member_cores.push(core_id);
+            }
+            clusters.push(Cluster { id: c, cores: member_cores, caches: cluster_caches.clone() });
+        }
+        Topology {
+            name: name.to_string(),
+            clock_hz,
+            clusters,
+            cores,
+            hw_threads,
+            fabric,
+            dram_bandwidth_bytes_per_s: 12.8e9,
+            dram_latency_ns: 80.0,
+            dram_bytes: 6 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// The paper's evaluation platform: Freescale T4240RDB.
+    ///
+    /// Twelve PowerPC e6500 dual-threaded cores at 1.8 GHz in three clusters
+    /// of four; per-core 32 KB L1I + 32 KB L1D; per-cluster 2 MB multibank
+    /// L2; 1.5 MB CoreNet platform (L3) cache; three DDR3 controllers.
+    pub fn t4240rdb() -> Self {
+        let l1i = CacheSpec { level: CacheLevel::L1I, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 3 };
+        let l1d = CacheSpec { level: CacheLevel::L1D, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 3 };
+        let l2 = CacheSpec { level: CacheLevel::L2, size_bytes: 2 * 1024 * 1024, line_bytes: 64, ways: 16, latency_cycles: 12 };
+        let l3 = CacheSpec { level: CacheLevel::L3, size_bytes: 1536 * 1024, line_bytes: 64, ways: 16, latency_cycles: 40 };
+        let fabric = FabricSpec {
+            name: "CoreNet".to_string(),
+            platform_cache: Some(l3),
+            // CoreNet on the T4240 is specified around 667 MHz with wide
+            // datapaths; we model an aggregate of ~42 GB/s.
+            bandwidth_bytes_per_s: 42.0e9,
+            latency_ns: 25.0,
+        };
+        let mut t = Topology::homogeneous(
+            "T4240RDB",
+            1_800_000_000,
+            3,
+            4,
+            2,
+            "e6500",
+            vec![l1i, l1d],
+            vec![l2],
+            fabric,
+        );
+        // Three DDR3-1866 controllers: ~14.9 GB/s each, ~44.8 GB/s aggregate
+        // peak; we model a realistic sustained ~60% of peak.
+        t.dram_bandwidth_bytes_per_s = 26.9e9;
+        t.dram_latency_ns = 85.0;
+        t.dram_bytes = 6 * 1024 * 1024 * 1024;
+        t
+    }
+
+    /// The paper's previous-generation platform (§4C): Freescale P4080DS.
+    ///
+    /// Eight e500mc single-threaded cores, each with a private 128 KB
+    /// backside L2, attached directly to CoreNet (no clusters), 2 MB
+    /// platform cache.
+    pub fn p4080ds() -> Self {
+        let l1i = CacheSpec { level: CacheLevel::L1I, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 3 };
+        let l1d = CacheSpec { level: CacheLevel::L1D, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 3 };
+        let l2 = CacheSpec { level: CacheLevel::L2, size_bytes: 128 * 1024, line_bytes: 64, ways: 8, latency_cycles: 11 };
+        let l3 = CacheSpec { level: CacheLevel::L3, size_bytes: 2 * 1024 * 1024, line_bytes: 64, ways: 32, latency_cycles: 45 };
+        let fabric = FabricSpec {
+            name: "CoreNet".to_string(),
+            platform_cache: Some(l3),
+            bandwidth_bytes_per_s: 32.0e9,
+            latency_ns: 30.0,
+        };
+        let mut t = Topology::homogeneous(
+            "P4080DS",
+            1_500_000_000,
+            8, // every core is its own "cluster": direct fabric attach
+            1,
+            1,
+            "e500mc",
+            vec![l1i, l1d, l2],
+            vec![],
+            fabric,
+        );
+        t.dram_bandwidth_bytes_per_s = 12.8e9;
+        t.dram_latency_ns = 90.0;
+        t.dram_bytes = 4 * 1024 * 1024 * 1024;
+        t
+    }
+
+    /// A model of the actual host: one cluster, `std::thread::available_parallelism`
+    /// cores, no SMT distinction.  Useful for tests that should not depend on
+    /// board parameters.
+    pub fn host() -> Self {
+        let n = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+        let l1d = CacheSpec { level: CacheLevel::L1D, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 4 };
+        let l1i = CacheSpec { level: CacheLevel::L1I, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 4 };
+        let l2 = CacheSpec { level: CacheLevel::L2, size_bytes: 1024 * 1024, line_bytes: 64, ways: 16, latency_cycles: 14 };
+        let fabric = FabricSpec {
+            name: "host".to_string(),
+            platform_cache: None,
+            bandwidth_bytes_per_s: 50.0e9,
+            latency_ns: 20.0,
+        };
+        Topology::homogeneous("host", 2_400_000_000, 1, n, 1, "host", vec![l1i, l1d, l2], vec![], fabric)
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of physical cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Number of hardware threads (logical CPUs).
+    pub fn num_hw_threads(&self) -> usize {
+        self.hw_threads.len()
+    }
+
+    /// The cluster a hardware thread belongs to.
+    pub fn cluster_of_hw_thread(&self, hw_thread: usize) -> usize {
+        self.cores[self.hw_threads[hw_thread].core].cluster
+    }
+
+    /// Default placement of `n` software workers onto hardware threads.
+    ///
+    /// Mirrors the Linux scheduling the paper relies on: workers fill one
+    /// hardware thread per core first (cycling clusters for L2 balance), and
+    /// only use second SMT threads once every core has one worker.  Indices
+    /// wrap when `n` exceeds the number of hardware threads (oversubscribed).
+    pub fn place_workers(&self, n: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = Vec::with_capacity(self.num_hw_threads());
+        let max_smt = self.cores.iter().map(|c| c.hw_threads.len()).max().unwrap_or(1);
+        for smt in 0..max_smt {
+            // Cycle clusters round-robin so that 3 workers land on 3 clusters.
+            let max_cpc = self.clusters.iter().map(|c| c.cores.len()).max().unwrap_or(1);
+            for slot in 0..max_cpc {
+                for cluster in &self.clusters {
+                    if let Some(&core_id) = cluster.cores.get(slot) {
+                        if let Some(&tid) = self.cores[core_id].hw_threads.get(smt) {
+                            order.push(tid);
+                        }
+                    }
+                }
+            }
+        }
+        (0..n).map(|i| order[i % order.len()]).collect()
+    }
+
+    /// How many distinct clusters a worker placement touches.
+    pub fn clusters_used(&self, placement: &[usize]) -> usize {
+        let mut seen = vec![false; self.num_clusters()];
+        for &tid in placement {
+            seen[self.cluster_of_hw_thread(tid)] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// Look up a cache spec by level, searching core, cluster, then fabric.
+    pub fn cache(&self, level: CacheLevel) -> Option<CacheSpec> {
+        self.cores
+            .first()
+            .and_then(|c| c.caches.iter().find(|s| s.level == level).copied())
+            .or_else(|| {
+                self.clusters
+                    .first()
+                    .and_then(|c| c.caches.iter().find(|s| s.level == level).copied())
+            })
+            .or_else(|| self.fabric.platform_cache.filter(|s| s.level == level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t4240_shape_matches_paper() {
+        let t = Topology::t4240rdb();
+        assert_eq!(t.num_clusters(), 3);
+        assert_eq!(t.num_cores(), 12);
+        assert_eq!(t.num_hw_threads(), 24);
+        assert_eq!(t.clock_hz, 1_800_000_000);
+        for cl in &t.clusters {
+            assert_eq!(cl.cores.len(), 4, "four e6500 cores per cluster");
+            assert_eq!(cl.caches[0].level, CacheLevel::L2);
+            assert_eq!(cl.caches[0].size_bytes, 2 * 1024 * 1024);
+        }
+        let l3 = t.fabric.platform_cache.expect("CoreNet platform cache");
+        assert_eq!(l3.size_bytes, 1536 * 1024, "1.5MB CoreNet cache");
+        assert!(t.cores.iter().all(|c| c.isa == "e6500" && c.simd));
+    }
+
+    #[test]
+    fn p4080_shape_matches_paper_section_4c() {
+        let p = Topology::p4080ds();
+        assert_eq!(p.num_cores(), 8);
+        assert_eq!(p.num_hw_threads(), 8, "e500mc is single threaded");
+        // Paper: same 32KB L1, per-core 128KB backside L2, direct fabric attach.
+        assert_eq!(p.cache(CacheLevel::L1D).unwrap().size_bytes, 32 * 1024);
+        assert_eq!(p.cache(CacheLevel::L2).unwrap().size_bytes, 128 * 1024);
+        assert!(p.clusters.iter().all(|c| c.cores.len() == 1));
+        // T4240's cluster L2 is much larger than P4080's backside L2.
+        let t = Topology::t4240rdb();
+        assert!(t.cache(CacheLevel::L2).unwrap().size_bytes > p.cache(CacheLevel::L2).unwrap().size_bytes);
+    }
+
+    #[test]
+    fn ids_are_dense_and_consistent() {
+        for t in [Topology::t4240rdb(), Topology::p4080ds(), Topology::host()] {
+            for (i, c) in t.cores.iter().enumerate() {
+                assert_eq!(c.id, i);
+                for &tid in &c.hw_threads {
+                    assert_eq!(t.hw_threads[tid].core, i);
+                }
+            }
+            for (i, cl) in t.clusters.iter().enumerate() {
+                assert_eq!(cl.id, i);
+                for &cid in &cl.cores {
+                    assert_eq!(t.cores[cid].cluster, i);
+                }
+            }
+            for (i, h) in t.hw_threads.iter().enumerate() {
+                assert_eq!(h.id, i);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_fills_cores_before_smt() {
+        let t = Topology::t4240rdb();
+        let p = t.place_workers(12);
+        // 12 workers on 12 cores: every core gets exactly one, all SMT0.
+        let mut cores_seen = vec![0usize; t.num_cores()];
+        for &tid in &p {
+            assert_eq!(t.hw_threads[tid].smt_index, 0);
+            cores_seen[t.hw_threads[tid].core] += 1;
+        }
+        assert!(cores_seen.iter().all(|&c| c == 1));
+        // 24 workers: every hardware thread exactly once.
+        let p24 = t.place_workers(24);
+        let mut seen = [false; 24];
+        for &tid in &p24 {
+            assert!(!seen[tid]);
+            seen[tid] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn placement_spreads_across_clusters() {
+        let t = Topology::t4240rdb();
+        assert_eq!(t.clusters_used(&t.place_workers(3)), 3, "3 workers → 3 clusters");
+        assert_eq!(t.clusters_used(&t.place_workers(1)), 1);
+    }
+
+    #[test]
+    fn placement_wraps_when_oversubscribed() {
+        let t = Topology::host();
+        let n = t.num_hw_threads();
+        let p = t.place_workers(n * 2 + 1);
+        assert_eq!(p.len(), n * 2 + 1);
+        assert!(p.iter().all(|&tid| tid < n));
+    }
+
+    #[test]
+    fn cache_lookup_searches_all_scopes() {
+        let t = Topology::t4240rdb();
+        assert_eq!(t.cache(CacheLevel::L1D).unwrap().size_bytes, 32 * 1024);
+        assert_eq!(t.cache(CacheLevel::L2).unwrap().latency_cycles, 12);
+        assert!(t.cache(CacheLevel::L3).is_some());
+        assert!(Topology::host().cache(CacheLevel::L3).is_none());
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let t = Topology::t4240rdb();
+        let u = t.clone();
+        assert_eq!(t, u);
+    }
+}

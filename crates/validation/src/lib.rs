@@ -1,0 +1,516 @@
+//! # romp-validation — the OpenMP validation suite analogue
+//!
+//! The paper's §6A: *"we used our OpenMP validation suite to identify if the
+//! enhancements made to the runtime did not cause a code to fail.  The
+//! results helped determine some bugs, and we fixed them, such as tracing
+//! potential issues with a non-functional synchronization primitive in
+//! MCA-libGOMP that caused an OpenMP critical construct to fail."*
+//!
+//! This crate reproduces that tool (modelled on the OpenMP 3.1 validation
+//! suite the authors published, the paper's ref.\[49\]): a battery of
+//! construct-conformance checks, each encoding the observable contract of
+//! one OpenMP construct, run against every backend and a range of team
+//! sizes.  Like the original suite, selected checks carry a **cross-check**
+//! — a deliberately broken variant (the construct removed) that must *fail*
+//! the same predicate, proving the check can actually detect a broken
+//! runtime rather than passing vacuously.
+//!
+//! ```
+//! use romp::{Runtime, BackendKind};
+//! use romp_validation::{run_suite, SuiteReport};
+//!
+//! let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+//! let report: SuiteReport = run_suite(&rt, &[1, 2, 4]);
+//! assert!(report.all_passed(), "{}", report.summary());
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use romp::{ReduceOp, Runtime, Schedule};
+
+/// One check's outcome at one team size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// Construct/check name.
+    pub name: &'static str,
+    pub threads: usize,
+    /// `None` = passed; `Some(reason)` = failed.
+    pub failure: Option<String>,
+    /// Whether the cross-check (deliberately broken variant) correctly
+    /// failed; `None` when the check has no cross-check.
+    pub crosscheck_detected: Option<bool>,
+}
+
+/// Results of a full suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    pub backend: &'static str,
+    pub results: Vec<CheckResult>,
+}
+
+impl SuiteReport {
+    /// Whether every check passed and every cross-check detected its broken
+    /// variant.
+    pub fn all_passed(&self) -> bool {
+        self.results
+            .iter()
+            .all(|r| r.failure.is_none() && r.crosscheck_detected.unwrap_or(true))
+    }
+
+    /// Human-readable summary of failures (empty when all passed).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for r in &self.results {
+            if let Some(f) = &r.failure {
+                s.push_str(&format!("{} @ {} threads: {}\n", r.name, r.threads, f));
+            }
+            if r.crosscheck_detected == Some(false) {
+                s.push_str(&format!(
+                    "{} @ {} threads: cross-check NOT detected (check is vacuous)\n",
+                    r.name, r.threads
+                ));
+            }
+        }
+        if s.is_empty() {
+            s = format!("{}: all {} checks passed", self.backend, self.results.len());
+        }
+        s
+    }
+
+    /// Count of (checks run, failures).
+    pub fn counts(&self) -> (usize, usize) {
+        let fails = self
+            .results
+            .iter()
+            .filter(|r| r.failure.is_some() || r.crosscheck_detected == Some(false))
+            .count();
+        (self.results.len(), fails)
+    }
+}
+
+type Check = fn(&Runtime, usize) -> Result<(), String>;
+/// A deliberately broken variant that must fail the check's predicate.
+pub type CrossCheck = fn(&Runtime, usize) -> bool;
+
+fn ok_if(cond: bool, msg: impl FnOnce() -> String) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg())
+    }
+}
+
+// ---------------------------------------------------------------------
+// checks
+// ---------------------------------------------------------------------
+
+fn check_parallel(rt: &Runtime, n: usize) -> Result<(), String> {
+    let mask = AtomicU64::new(0);
+    let sizes_ok = AtomicUsize::new(0);
+    rt.parallel(n, |w| {
+        mask.fetch_or(1 << w.thread_num(), Ordering::Relaxed);
+        if w.num_threads() == n {
+            sizes_ok.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    ok_if(
+        mask.load(Ordering::Relaxed) == (1u64 << n) - 1,
+        || format!("thread ids incomplete: mask {:b}", mask.load(Ordering::Relaxed)),
+    )?;
+    ok_if(sizes_ok.load(Ordering::Relaxed) == n, || "omp_get_num_threads wrong".into())
+}
+
+fn check_for_schedules(rt: &Runtime, n: usize) -> Result<(), String> {
+    for sched in [
+        Schedule::Static { chunk: None },
+        Schedule::Static { chunk: Some(2) },
+        Schedule::Dynamic { chunk: 3 },
+        Schedule::Guided { chunk: 1 },
+        Schedule::Auto,
+    ] {
+        let count = 701u64;
+        let marks: Vec<AtomicUsize> = (0..count).map(|_| AtomicUsize::new(0)).collect();
+        rt.parallel(n, |w| {
+            w.for_range(0..count, sched, |i| {
+                marks[i as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, m) in marks.iter().enumerate() {
+            let c = m.load(Ordering::Relaxed);
+            if c != 1 {
+                return Err(format!("{sched:?}: iteration {i} ran {c} times"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_barrier(rt: &Runtime, n: usize) -> Result<(), String> {
+    let before = AtomicUsize::new(0);
+    let violations = AtomicUsize::new(0);
+    rt.parallel(n, |w| {
+        for _ in 0..20 {
+            before.fetch_add(1, Ordering::SeqCst);
+            w.barrier();
+            if !before.load(Ordering::SeqCst).is_multiple_of(n) {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+            w.barrier();
+        }
+    });
+    ok_if(violations.load(Ordering::SeqCst) == 0, || {
+        format!("{} barrier phase violations", violations.load(Ordering::SeqCst))
+    })
+}
+
+fn check_single(rt: &Runtime, n: usize) -> Result<(), String> {
+    let runs = AtomicUsize::new(0);
+    rt.parallel(n, |w| {
+        for _ in 0..25 {
+            w.single(|| {
+                runs.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    ok_if(runs.load(Ordering::Relaxed) == 25, || {
+        format!("single ran {} times, want 25", runs.load(Ordering::Relaxed))
+    })
+}
+
+/// Cross-check for `single`: a broken runtime that lets every thread run
+/// the block must be detected by the same predicate.
+fn crosscheck_single(rt: &Runtime, n: usize) -> bool {
+    let runs = AtomicUsize::new(0);
+    rt.parallel(n, |w| {
+        for _ in 0..25 {
+            // The construct removed: everyone runs the block.
+            runs.fetch_add(1, Ordering::Relaxed);
+            w.barrier();
+        }
+    });
+    // Detected iff the predicate fails (for n > 1).
+    n == 1 || runs.load(Ordering::Relaxed) != 25
+}
+
+fn check_critical(rt: &Runtime, n: usize) -> Result<(), String> {
+    let value = AtomicU64::new(0);
+    let reps = 400u64;
+    rt.parallel(n, |w| {
+        for _ in 0..reps {
+            w.critical("validation", || {
+                // Deliberately non-atomic RMW: only mutual exclusion makes
+                // the final count exact — the §6A check that caught the
+                // paper's broken MCA mutex.
+                let v = value.load(Ordering::Relaxed);
+                std::hint::spin_loop();
+                value.store(v + 1, Ordering::Relaxed);
+            });
+        }
+    });
+    let got = value.load(Ordering::Relaxed);
+    ok_if(got == reps * n as u64, || format!("critical lost updates: {got}/{}", reps * n as u64))
+}
+
+/// Cross-check for `critical`: without the lock the same RMW must lose
+/// updates (on a team > 1).  Retried because a loss is probabilistic.
+fn crosscheck_critical(rt: &Runtime, n: usize) -> bool {
+    if n == 1 {
+        return true;
+    }
+    for _ in 0..20 {
+        let value = AtomicU64::new(0);
+        let reps = 200u64;
+        rt.parallel(n, |_w| {
+            for _ in 0..reps {
+                let v = value.load(Ordering::Relaxed);
+                // Widen the race window so the broken variant loses updates
+                // even on a single-core host where threads timeslice.
+                std::thread::yield_now();
+                value.store(v + 1, Ordering::Relaxed);
+            }
+        });
+        if value.load(Ordering::Relaxed) != reps * n as u64 {
+            return true; // lost update observed → a broken critical is detectable
+        }
+    }
+    false
+}
+
+fn check_master(rt: &Runtime, n: usize) -> Result<(), String> {
+    let who = Mutex::new(Vec::new());
+    rt.parallel(n, |w| {
+        w.master(|| who.lock().unwrap().push(w.thread_num()));
+    });
+    let who = who.into_inner().unwrap();
+    ok_if(who == vec![0], || format!("master ran on {who:?}"))
+}
+
+fn check_sections(rt: &Runtime, n: usize) -> Result<(), String> {
+    let marks: Vec<AtomicUsize> = (0..9).map(|_| AtomicUsize::new(0)).collect();
+    rt.parallel(n, |w| {
+        w.sections(9, |i| {
+            marks[i].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    for (i, m) in marks.iter().enumerate() {
+        if m.load(Ordering::Relaxed) != 1 {
+            return Err(format!("section {i} ran {} times", m.load(Ordering::Relaxed)));
+        }
+    }
+    Ok(())
+}
+
+fn check_reductions(rt: &Runtime, n: usize) -> Result<(), String> {
+    let out = Mutex::new((0u64, 0u64, 0.0f64, 0u64));
+    rt.parallel(n, |w| {
+        let tid = w.thread_num() as u64;
+        let sum = w.reduce_u64(tid + 1, ReduceOp::Sum);
+        let maxv = w.reduce_u64(tid, ReduceOp::Max);
+        let fsum = w.reduce_f64(0.5, ReduceOp::Sum);
+        let band = w.reduce_u64(!(1 << tid), ReduceOp::BitAnd);
+        if w.is_master() {
+            *out.lock().unwrap() = (sum, maxv, fsum, band);
+        }
+    });
+    let (sum, maxv, fsum, band) = *out.lock().unwrap();
+    let n64 = n as u64;
+    ok_if(sum == n64 * (n64 + 1) / 2, || format!("sum {sum}"))?;
+    ok_if(maxv == n64 - 1, || format!("max {maxv}"))?;
+    ok_if((fsum - 0.5 * n as f64).abs() < 1e-12, || format!("fsum {fsum}"))?;
+    // AND of !(1 << t) over t in 0..n clears exactly the low n bits.
+    let mut want = u64::MAX;
+    for t in 0..n64 {
+        want &= !(1 << t);
+    }
+    ok_if(band == want, || format!("band {band:b} want {want:b}"))
+}
+
+fn check_ordered(rt: &Runtime, n: usize) -> Result<(), String> {
+    let log = Mutex::new(Vec::new());
+    rt.parallel(n, |w| {
+        w.for_range_ordered(0..40, Schedule::Dynamic { chunk: 2 }, |i| {
+            w.ordered(i, || log.lock().unwrap().push(i));
+        });
+    });
+    let log = log.into_inner().unwrap();
+    ok_if(log == (0..40).collect::<Vec<u64>>(), || format!("ordered sequence broken: {log:?}"))
+}
+
+fn check_tasks(rt: &Runtime, n: usize) -> Result<(), String> {
+    let done = Arc::new(AtomicUsize::new(0));
+    let observed = AtomicUsize::new(0);
+    rt.parallel(n, |w| {
+        if w.is_master() {
+            for _ in 0..30 {
+                let d = Arc::clone(&done);
+                w.task(move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            w.taskwait();
+            observed.store(done.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    });
+    ok_if(observed.load(Ordering::Relaxed) == 30, || {
+        format!("taskwait saw {}/30 tasks", observed.load(Ordering::Relaxed))
+    })
+}
+
+fn check_locks(rt: &Runtime, n: usize) -> Result<(), String> {
+    let lock = rt.new_lock();
+    let value = AtomicU64::new(0);
+    rt.parallel(n, |_| {
+        for _ in 0..300 {
+            lock.with(|| {
+                let v = value.load(Ordering::Relaxed);
+                value.store(v + 1, Ordering::Relaxed);
+            });
+        }
+    });
+    let got = value.load(Ordering::Relaxed);
+    ok_if(got == 300 * n as u64, || format!("lock lost updates: {got}"))
+}
+
+fn check_single_copyprivate(rt: &Runtime, n: usize) -> Result<(), String> {
+    let distinct = Mutex::new(std::collections::HashSet::new());
+    rt.parallel(n, |w| {
+        for round in 0..5u64 {
+            let v: u64 = w.single_copy(|| round * 1000 + w.thread_num() as u64);
+            distinct.lock().unwrap().insert((round, v));
+        }
+    });
+    let distinct = distinct.into_inner().unwrap();
+    // One broadcast value per round: n threads × 5 rounds collapse to 5.
+    ok_if(distinct.len() == 5, || format!("copyprivate produced {} values, want 5", distinct.len()))
+}
+
+fn check_nested_serialization(rt: &Runtime, n: usize) -> Result<(), String> {
+    let inner_team_sizes = Mutex::new(Vec::new());
+    let rt2 = rt.clone();
+    rt.parallel(n, |_w| {
+        rt2.parallel(4, |iw| {
+            inner_team_sizes.lock().unwrap().push(iw.num_threads());
+        });
+    });
+    let sizes = inner_team_sizes.into_inner().unwrap();
+    ok_if(sizes.len() == n && sizes.iter().all(|&s| s == 1), || {
+        format!("nested regions not serialized: {sizes:?}")
+    })
+}
+
+fn check_taskloop(rt: &Runtime, n: usize) -> Result<(), String> {
+    let marks: Arc<Vec<AtomicUsize>> = Arc::new((0..333).map(|_| AtomicUsize::new(0)).collect());
+    let m_out = Arc::clone(&marks);
+    rt.parallel(n, move |w| {
+        if w.is_master() {
+            let m = Arc::clone(&m_out);
+            w.taskloop(0..333, 11, move |i| {
+                m[i as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    for (i, m) in marks.iter().enumerate() {
+        let c = m.load(Ordering::Relaxed);
+        if c != 1 {
+            return Err(format!("taskloop iteration {i} ran {c} times"));
+        }
+    }
+    Ok(())
+}
+
+fn check_runtime_schedule_env(rt: &Runtime, n: usize) -> Result<(), String> {
+    // schedule(runtime) must resolve to *some* valid schedule and still
+    // tile the space exactly.
+    let marks: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+    rt.parallel(n, |w| {
+        w.for_range(0..257, Schedule::Runtime, |i| {
+            marks[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    ok_if(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1), || {
+        "schedule(runtime) mis-tiled the loop".into()
+    })
+}
+
+fn check_generic_reduction(rt: &Runtime, n: usize) -> Result<(), String> {
+    let out = Mutex::new(0u64);
+    rt.parallel(n, |w| {
+        // Reduce a non-word type: (count, sum) pairs.
+        let pair = w.reduce_with((1u64, w.thread_num() as u64), |a, b| (a.0 + b.0, a.1 + b.1));
+        if w.is_master() {
+            *out.lock().unwrap() = pair.0 * 10_000 + pair.1;
+        }
+    });
+    let got = *out.lock().unwrap();
+    let n64 = n as u64;
+    let want = n64 * 10_000 + n64 * (n64 - 1) / 2;
+    ok_if(got == want, || format!("generic reduction got {got}, want {want}"))
+}
+
+fn check_atomics_visibility_after_flush(rt: &Runtime, n: usize) -> Result<(), String> {
+    // flush + barrier publishes plain atomic stores across the team.
+    let cell = AtomicU64::new(0);
+    let seen = AtomicUsize::new(0);
+    rt.parallel(n, |w| {
+        if w.thread_num() == 0 {
+            cell.store(0xFEED, Ordering::Relaxed);
+            w.flush();
+        }
+        w.barrier();
+        if cell.load(Ordering::Relaxed) == 0xFEED {
+            seen.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    ok_if(seen.load(Ordering::Relaxed) == n, || {
+        format!("{}/{} members saw the flushed store", seen.load(Ordering::Relaxed), n)
+    })
+}
+
+/// The checks the suite runs, with optional cross-checks.
+pub fn checks() -> Vec<(&'static str, Check, Option<CrossCheck>)> {
+    vec![
+        ("parallel", check_parallel as Check, None),
+        ("for-schedules", check_for_schedules, None),
+        ("barrier", check_barrier, None),
+        ("single", check_single, Some(crosscheck_single as CrossCheck)),
+        ("critical", check_critical, Some(crosscheck_critical)),
+        ("master", check_master, None),
+        ("sections", check_sections, None),
+        ("reductions", check_reductions, None),
+        ("ordered", check_ordered, None),
+        ("tasks", check_tasks, None),
+        ("locks", check_locks, None),
+        ("single-copyprivate", check_single_copyprivate, None),
+        ("nested-serialization", check_nested_serialization, None),
+        ("taskloop", check_taskloop, None),
+        ("schedule-runtime", check_runtime_schedule_env, None),
+        ("generic-reduction", check_generic_reduction, None),
+        ("flush-visibility", check_atomics_visibility_after_flush, None),
+    ]
+}
+
+/// Run the whole suite on `rt` at each team size.
+pub fn run_suite(rt: &Runtime, team_sizes: &[usize]) -> SuiteReport {
+    let mut results = Vec::new();
+    for &n in team_sizes {
+        for (name, check, crosscheck) in checks() {
+            let failure = check(rt, n).err();
+            let crosscheck_detected = crosscheck.map(|cc| cc(rt, n));
+            results.push(CheckResult { name, threads: n, failure, crosscheck_detected });
+        }
+    }
+    SuiteReport { backend: rt.backend_kind().label(), results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp::BackendKind;
+
+    #[test]
+    fn suite_passes_on_native_backend() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let report = run_suite(&rt, &[1, 2, 4]);
+        assert!(report.all_passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn suite_passes_on_mca_backend() {
+        // The paper's §6A run: the suite over MCA-libGOMP.  The broken
+        // critical it describes would fail `check_critical` here.
+        let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+        let report = run_suite(&rt, &[1, 3, 4]);
+        assert!(report.all_passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn suite_passes_at_board_scale_team() {
+        // 24 threads = the T4240's hardware thread count, oversubscribed on
+        // the host; the runtime must stay correct regardless.
+        let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+        let report = run_suite(&rt, &[24]);
+        assert!(report.all_passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn report_counts_and_summary() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let report = run_suite(&rt, &[2]);
+        let (total, failed) = report.counts();
+        assert_eq!(total, checks().len());
+        assert_eq!(failed, 0);
+        assert!(report.summary().contains("all"));
+    }
+
+    #[test]
+    fn crosschecks_fire_on_multithread_teams() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let report = run_suite(&rt, &[4]);
+        for r in &report.results {
+            if let Some(detected) = r.crosscheck_detected {
+                assert!(detected, "{} cross-check vacuous", r.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Dump the full MRAPI resource metadata tree (paper §2B.4 / Figure 1).
+//!
+//! ```text
+//! cargo run --example resource_tree [p4080]
+//! ```
+//!
+//! Prints the complete resource tree for the T4240RDB model (or the
+//! P4080DS predecessor with the `p4080` argument), the filtered per-kind
+//! views MRAPI supports, and a live dynamic-attribute update.
+
+use openmp_mca::mrapi::{DomainId, MrapiSystem, NodeId};
+use openmp_mca::platform::resource::ResourceKind;
+use openmp_mca::platform::Topology;
+
+fn main() {
+    let topo = if std::env::args().any(|a| a == "p4080") {
+        Topology::p4080ds()
+    } else {
+        Topology::t4240rdb()
+    };
+    println!("platform: {}\n", topo.name);
+
+    let sys = MrapiSystem::new(topo);
+    let node = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+    let tree = node.resources_get().unwrap();
+    println!("{}", tree.render());
+
+    println!("filtered views (mrapi_resources_get with a type filter):");
+    for kind in [ResourceKind::Cluster, ResourceKind::Core, ResourceKind::Cache] {
+        let filtered = node.resources_get_filtered(kind).unwrap();
+        println!("  {:?}: {} nodes", kind, filtered.root.children.len());
+    }
+
+    // Dynamic attributes: publish a utilization sample and observe it.
+    node.report_utilization(0, 93).unwrap();
+    println!("\ncpu0 utilization after publishing 93: {}", node.utilization(0).unwrap());
+}

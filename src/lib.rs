@@ -1,0 +1,34 @@
+//! # openmp-mca — facade crate
+//!
+//! Reproduction of *"OpenMP-MCA: Leveraging Multiprocessor Embedded Systems
+//! using industry standards"* (Sun, Chandrasekaran, Chapman; IPDPSW 2015) as
+//! a Rust workspace.  This facade re-exports every subsystem so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`platform`] — the simulated T4240RDB/P4080DS embedded platform;
+//! * [`mrapi`] — the MCA resource-management API (plus the paper's
+//!   thread-level node and `use_malloc` memory extensions);
+//! * [`mcapi`] — the MCA communications API;
+//! * [`mtapi`] — the MCA task-management API;
+//! * [`romp`] — the OpenMP-style runtime with native and MCA backends
+//!   (the paper's libGOMP vs. MCA-libGOMP pair);
+//! * [`epcc`] — the EPCC microbenchmark suite (Table I);
+//! * [`npb`] — NAS Parallel Benchmark kernels (Figure 4);
+//! * [`validation`] — the OpenMP validation suite analogue (§6A).
+//!
+//! ```
+//! use openmp_mca::romp::{Runtime, BackendKind};
+//!
+//! let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+//! let sum: u64 = rt.parallel_reduce_sum(4, 0..1000u64, |i| i);
+//! assert_eq!(sum, 499_500);
+//! ```
+
+pub use mca_mcapi as mcapi;
+pub use mca_mrapi as mrapi;
+pub use mca_mtapi as mtapi;
+pub use mca_platform as platform;
+pub use romp;
+pub use romp_epcc as epcc;
+pub use romp_npb as npb;
+pub use romp_validation as validation;

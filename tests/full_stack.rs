@@ -1,0 +1,109 @@
+//! Cross-crate integration: the whole reproduction stack end-to-end.
+//!
+//! These tests exercise the paper's complete story in one process: the
+//! simulated board, MRAPI plumbing, the MCA-backed OpenMP runtime, the
+//! validation suite (§6A), EPCC (Table I) and the NAS kernels (Figure 4).
+
+use openmp_mca::epcc::{measure, Construct, EpccConfig};
+use openmp_mca::npb::{Class, NpbKernel};
+use openmp_mca::platform::vtime::CostModel;
+use openmp_mca::romp::{BackendKind, Config, Runtime};
+use openmp_mca::validation::run_suite;
+
+#[test]
+fn validation_suite_passes_on_both_backends() {
+    for kind in BackendKind::all() {
+        let rt = Runtime::with_backend(kind).unwrap();
+        let report = run_suite(&rt, &[1, 4]);
+        assert!(report.all_passed(), "{}", report.summary());
+    }
+}
+
+#[test]
+fn nas_kernels_verify_on_the_mca_backend() {
+    // The paper's experiment: NAS workloads on the MCA-backed runtime.
+    // Class S keeps this fast enough for CI; the bench harness runs W/A.
+    let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+    for kernel in NpbKernel::all() {
+        let res = kernel.run(&rt, 4, Class::S);
+        assert!(res.verified(), "{} failed: {:?}", kernel.name(), res.verification);
+        assert!(res.wall_s > 0.0);
+        assert!(res.mops > 0.0);
+    }
+}
+
+#[test]
+fn nas_results_agree_across_backends() {
+    let native = Runtime::with_backend(BackendKind::Native).unwrap();
+    let mca = Runtime::with_backend(BackendKind::Mca).unwrap();
+    // EP's sums are integer-histogram exact across backends.
+    let a = openmp_mca::npb::ep::run_with_m(&native, 3, 17);
+    let b = openmp_mca::npb::ep::run_with_m(&mca, 3, 17);
+    assert_eq!(a.q, b.q);
+}
+
+#[test]
+fn epcc_overheads_measure_on_both_backends() {
+    let cfg = EpccConfig::quick(3);
+    for kind in BackendKind::all() {
+        let rt = Runtime::with_backend(kind).unwrap();
+        for c in Construct::table1() {
+            let m = measure(&rt, c, &cfg);
+            assert!(m.test_us.is_finite() && m.test_us > 0.0, "{kind:?}/{c:?}");
+        }
+    }
+}
+
+#[test]
+fn figure4_profile_feeds_the_board_model() {
+    // End-to-end virtual-time path: profile a real kernel run, model the
+    // board, and check the headline shapes (EP near-ideal at 24 threads;
+    // serial == baseline).
+    let rt = Runtime::with_config(
+        Config::default().with_backend(BackendKind::Mca).with_profiling(true),
+    )
+    .unwrap();
+    let model = CostModel::t4240rdb();
+
+    rt.reset_profile();
+    let _ = NpbKernel::Ep.run(&rt, 1, Class::S);
+    let serial = rt.take_profile();
+    let t1 = model.elapsed_ns(&serial, NpbKernel::Ep.beta());
+
+    rt.reset_profile();
+    let _ = NpbKernel::Ep.run(&rt, 24, Class::S);
+    let par = rt.take_profile();
+    assert_eq!(par.num_workers(), 24);
+    let t24 = model.elapsed_ns(&par, NpbKernel::Ep.beta());
+
+    let speedup = t1 / t24;
+    assert!(
+        speedup > 12.0 && speedup < 24.5,
+        "EP modeled speedup at 24 threads should be near-ideal (paper Fig. 4): {speedup}"
+    );
+}
+
+#[test]
+fn mca_backend_sizes_team_from_board_metadata() {
+    // §5B.4 end-to-end: the default team on the MCA backend is the modeled
+    // board's 24 hardware threads, regardless of the host.
+    let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
+    assert_eq!(rt.max_threads(), 24);
+    let counted = std::sync::atomic::AtomicUsize::new(0);
+    rt.parallel(0, |w| {
+        if w.is_master() {
+            counted.store(w.num_threads(), std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    assert_eq!(counted.load(std::sync::atomic::Ordering::Relaxed), 24);
+}
+
+#[test]
+fn environment_selects_the_backend() {
+    // ROMP_BACKEND is the reproduction's toolchain switch.
+    let cfg = Config::from_vars(|k| {
+        (k == "ROMP_BACKEND").then(|| "mca".to_string())
+    });
+    let rt = Runtime::with_config(cfg).unwrap();
+    assert_eq!(rt.backend_kind(), BackendKind::Mca);
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration of the three MCA substrates: MRAPI resources
+//! feeding MCAPI transport feeding MTAPI task execution — the full standard
+//! stack the paper's §2B describes, cooperating in one process.
+
+use openmp_mca::mcapi::{pktchan, sclchan, McapiDomain};
+use openmp_mca::mrapi::{DomainId, MrapiSystem, NodeId, ShmemAttributes, MRAPI_TIMEOUT_INFINITE};
+use openmp_mca::mrapi::sync::MutexAttributes;
+use openmp_mca::mtapi::Mtapi;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn mrapi_nodes_exchange_through_mcapi_channels() {
+    // Two MRAPI worker nodes, wired with an MCAPI packet channel: the
+    // consumer checks order and integrity.
+    let sys = MrapiSystem::new_t4240();
+    let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+
+    let dom = McapiDomain::new(9);
+    let prod_ep = dom.initialize(10).unwrap().create_endpoint(1).unwrap();
+    let cons_ep = dom.initialize(11).unwrap().create_endpoint(1).unwrap();
+    let (tx, rx) = pktchan::connect(&prod_ep, &cons_ep).unwrap();
+
+    let producer = master
+        .thread_create(NodeId(1), move |_| {
+            for i in 0..500u32 {
+                tx.send(&i.to_le_bytes()).unwrap();
+            }
+            tx.close();
+        })
+        .unwrap();
+    let consumer = master
+        .thread_create(NodeId(2), move |_| {
+            let mut next = 0u32;
+            while let Ok(p) = rx.recv_timeout(Duration::from_secs(10)) {
+                assert_eq!(p, next.to_le_bytes());
+                next += 1;
+            }
+            next
+        })
+        .unwrap();
+    producer.join().unwrap();
+    assert_eq!(consumer.join().unwrap(), 500);
+    assert_eq!(sys.node_count(DomainId(1)), 1, "worker nodes finalized");
+}
+
+#[test]
+fn mtapi_tasks_use_mrapi_shared_memory() {
+    // MTAPI actions accumulate into an MRAPI heap-backed segment guarded by
+    // an MRAPI mutex — three standards in one dataflow.
+    let sys = MrapiSystem::new_t4240();
+    let node = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+    let shm = Arc::new(
+        node.shmem_create(1, 8, &ShmemAttributes { use_malloc: true, ..Default::default() })
+            .unwrap(),
+    );
+    let mutex = Arc::new(node.mutex_create(1, &MutexAttributes::default()).unwrap());
+
+    let mt = Mtapi::initialize(1, 0, 3).unwrap();
+    let shm2 = Arc::clone(&shm);
+    let mutex2 = Arc::clone(&mutex);
+    mt.create_action(1, move |input| {
+        let add = u64::from_le_bytes(input.try_into().unwrap());
+        let key = mutex2.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        let v = shm2.read_u64(0);
+        shm2.write_u64(0, v + add);
+        mutex2.unlock(&key).unwrap();
+        vec![]
+    })
+    .unwrap();
+
+    let job = mt.job(1).unwrap();
+    let group = mt.create_group();
+    for i in 1..=100u64 {
+        job.start_in_group(&group, i.to_le_bytes().to_vec()).unwrap();
+    }
+    group.wait_all(Some(Duration::from_secs(30))).unwrap();
+    assert_eq!(shm.read_u64(0), 5050);
+    assert_eq!(mt.tasks_executed(), 100);
+}
+
+#[test]
+fn scalar_doorbells_synchronize_remote_memory_pipeline() {
+    // The heterogeneous-offload pattern from the example, as a test:
+    // rmem DMA staging + scalar-channel doorbells, repeated.
+    let sys = MrapiSystem::new_t4240();
+    let host = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+    let rmem = host.rmem_create(3, 1024, &Default::default()).unwrap();
+
+    let dom = McapiDomain::new(2);
+    let h = dom.initialize(0).unwrap();
+    let d = dom.initialize(1).unwrap();
+    let (go_tx, go_rx) =
+        sclchan::connect(&h.create_endpoint(1).unwrap(), &d.create_endpoint(1).unwrap()).unwrap();
+    let (done_tx, done_rx) =
+        sclchan::connect(&d.create_endpoint(2).unwrap(), &h.create_endpoint(2).unwrap()).unwrap();
+
+    let dsp = host
+        .thread_create(NodeId(1), move |me| {
+            let rmem = me.rmem_get(3).unwrap();
+            let mut sum = 0u64;
+            loop {
+                let n = go_rx.recv_u32(Some(Duration::from_secs(10))).unwrap();
+                if n == 0 {
+                    break;
+                }
+                let mut buf = vec![0u8; n as usize];
+                rmem.read(0, &mut buf).unwrap();
+                sum += buf.iter().map(|&b| b as u64).sum::<u64>();
+                done_tx.send_u64(sum).unwrap();
+            }
+            sum
+        })
+        .unwrap();
+
+    let mut expect = 0u64;
+    for round in 1..=5u32 {
+        let payload = vec![round as u8; 100 * round as usize];
+        expect += payload.iter().map(|&b| b as u64).sum::<u64>();
+        rmem.write(0, &payload).unwrap();
+        go_tx.send_u32(payload.len() as u32).unwrap();
+        let echoed = done_rx.recv_u64(Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(echoed, expect, "round {round}");
+    }
+    go_tx.send_u32(0).unwrap();
+    assert_eq!(dsp.join().unwrap(), expect);
+    assert!(sys.simulated_transfer_ns() > 0, "DMA costs were accounted");
+}
+
+#[test]
+fn hypervisor_partitions_and_metadata_stay_consistent() {
+    use openmp_mca::platform::partition::{GuestKind, Hypervisor, PartitionSpec};
+    use openmp_mca::platform::Topology;
+
+    let topo = Topology::t4240rdb();
+    let mut hv = Hypervisor::new(topo.clone());
+    hv.create_partition(&PartitionSpec {
+        name: "linux".into(),
+        hw_threads: 20,
+        memory_bytes: 1 << 30,
+        guest: GuestKind::Linux,
+    })
+    .unwrap();
+    hv.create_partition(&PartitionSpec {
+        name: "dsp".into(),
+        hw_threads: 4,
+        memory_bytes: 256 << 20,
+        guest: GuestKind::BareMetal,
+    })
+    .unwrap();
+    let used: usize = hv.partitions().iter().map(|p| p.hw_threads.len()).sum();
+    assert_eq!(used, topo.num_hw_threads());
+
+    // MRAPI metadata still reports the full machine (the hypervisor view
+    // is orthogonal to the resource tree).
+    let sys = MrapiSystem::new(topo);
+    let n = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+    assert_eq!(n.online_processors().unwrap(), 24);
+}

@@ -1,0 +1,150 @@
+//! Property-based integration tests: invariants that must hold for
+//! arbitrary inputs across the whole stack.
+
+use openmp_mca::mrapi::{DomainId, MrapiSystem, NodeId, ShmemAttributes};
+use openmp_mca::npb::is::{rank_keys, sort_protocol};
+use openmp_mca::romp::{BackendKind, ReduceOp, Runtime, Schedule};
+use proptest::prelude::*;
+
+fn native_rt() -> Runtime {
+    Runtime::with_backend(BackendKind::Native).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every schedule covers every iteration of an arbitrary range exactly
+    /// once, for arbitrary team sizes.
+    #[test]
+    fn worksharing_tiles_arbitrary_ranges(
+        start in 0u64..1000,
+        len in 0u64..400,
+        threads in 1usize..7,
+        sched_pick in 0usize..4,
+    ) {
+        let sched = [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(3) },
+            Schedule::Dynamic { chunk: 5 },
+            Schedule::Guided { chunk: 2 },
+        ][sched_pick];
+        let rt = native_rt();
+        let marks: Vec<std::sync::atomic::AtomicU32> =
+            (0..len).map(|_| std::sync::atomic::AtomicU32::new(0)).collect();
+        rt.parallel(threads, |w| {
+            w.for_range(start..start + len, sched, |i| {
+                marks[(i - start) as usize].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+        for (i, m) in marks.iter().enumerate() {
+            prop_assert_eq!(m.load(std::sync::atomic::Ordering::Relaxed), 1, "iteration {}", i);
+        }
+    }
+
+    /// Parallel reduction equals the serial fold for arbitrary data.
+    #[test]
+    fn reduction_equals_serial_fold(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let rt = native_rt();
+        let n = values.len() as u64;
+        let expect: u64 = values.iter().sum();
+        let got = rt.parallel_reduce_sum(4, 0..n, |i| values[i as usize]);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The worker-level min/max reductions agree with iterator folds.
+    #[test]
+    fn min_max_reductions(values in proptest::collection::vec(0u64..u64::MAX, 2..9)) {
+        let rt = native_rt();
+        let n = values.len();
+        let out = std::sync::Mutex::new((0u64, 0u64));
+        let vals = values.clone();
+        rt.parallel(n, |w| {
+            let mine = vals[w.thread_num()];
+            let mn = w.reduce_u64(mine, ReduceOp::Min);
+            let mx = w.reduce_u64(mine, ReduceOp::Max);
+            if w.is_master() {
+                *out.lock().unwrap() = (mn, mx);
+            }
+        });
+        let (mn, mx) = *out.lock().unwrap();
+        prop_assert_eq!(mn, *values.iter().min().unwrap());
+        prop_assert_eq!(mx, *values.iter().max().unwrap());
+    }
+
+    /// IS ranking sorts arbitrary key sets into a permutation, at any team
+    /// size.
+    #[test]
+    fn is_sorts_arbitrary_keys(
+        keys in proptest::collection::vec(0u32..512, 30..300),
+        threads in 1usize..5,
+    ) {
+        let rt = native_rt();
+        let max_key = 512usize;
+        let t = [1, 2, 3, 4, 5];
+        let out = sort_protocol(&rt, threads, keys.clone(), max_key, &t);
+        prop_assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut expect = keys.clone();
+        // Replay the perturbation protocol before comparing multisets.
+        for it in 1..=10usize {
+            expect[it] = it as u32;
+            expect[it + 10] = (max_key - it) as u32;
+        }
+        expect.sort_unstable();
+        prop_assert_eq!(out.sorted, expect);
+    }
+
+    /// Ranks really are "count of strictly smaller keys".
+    #[test]
+    fn ranks_are_exclusive_prefix_counts(keys in proptest::collection::vec(0u32..128, 1..200)) {
+        let rt = native_rt();
+        let ranks = rank_keys(&rt, 3, &keys, 128);
+        for k in 0..128u32 {
+            let want = keys.iter().filter(|&&x| x < k).count() as u32;
+            prop_assert_eq!(ranks[k as usize], want, "key {}", k);
+        }
+    }
+
+    /// MRAPI shared memory round-trips arbitrary byte strings at arbitrary
+    /// offsets.
+    #[test]
+    fn shmem_roundtrips_bytes(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        offset in 0usize..64,
+    ) {
+        let sys = MrapiSystem::new_t4240();
+        let node = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let shm = node
+            .shmem_create(1, offset + data.len(), &ShmemAttributes { use_malloc: true, ..Default::default() })
+            .unwrap();
+        shm.write_bytes(offset, &data);
+        let mut out = vec![0u8; data.len()];
+        shm.read_bytes(offset, &mut out);
+        prop_assert_eq!(out, data);
+    }
+
+    /// MCAPI messages preserve content and per-priority FIFO order.
+    #[test]
+    fn mcapi_fifo_per_priority(msgs in proptest::collection::vec((any::<u8>(), 0u8..4), 1..60)) {
+        use openmp_mca::mcapi::McapiDomain;
+        let dom = McapiDomain::new(1);
+        let a = dom.initialize(0).unwrap().create_endpoint(1).unwrap();
+        let b = dom.initialize(1).unwrap().create_endpoint_with_capacity(1, 256).unwrap();
+        for (byte, prio) in &msgs {
+            a.msg_send(b.addr(), &[*byte], *prio).unwrap();
+        }
+        // Drain: priorities ascend; within a priority, send order holds.
+        let mut received: Vec<(u8, u8)> = Vec::new();
+        while let Ok((data, prio)) = b.try_msg_recv() {
+            received.push((data[0], prio));
+        }
+        prop_assert_eq!(received.len(), msgs.len());
+        prop_assert!(received.windows(2).all(|w| w[0].1 <= w[1].1), "priority order");
+        for p in 0u8..4 {
+            let sent: Vec<u8> =
+                msgs.iter().filter(|(_, q)| *q == p).map(|(b, _)| *b).collect();
+            let got: Vec<u8> =
+                received.iter().filter(|(_, q)| *q == p).map(|(b, _)| *b).collect();
+            prop_assert_eq!(got, sent, "priority {}", p);
+        }
+    }
+}
