@@ -6,12 +6,15 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ompmca_bench::harness::BenchGroup;
 use romp::{BackendKind, BarrierKind, Config, Runtime};
 
-fn bench_barriers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("barrier_algorithms");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut group = BenchGroup::new("barrier_algorithms");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for (name, kind) in [
         ("centralized", BarrierKind::Centralized),
         ("tree4", BarrierKind::Tree { arity: 4 }),
@@ -19,7 +22,9 @@ fn bench_barriers(c: &mut Criterion) {
     ] {
         for team in [2usize, 4, 8] {
             let rt = Runtime::with_config(
-                Config::default().with_backend(BackendKind::Native).with_barrier(kind),
+                Config::default()
+                    .with_backend(BackendKind::Native)
+                    .with_barrier(kind),
             )
             .unwrap();
             group.bench_function(format!("{name}/t{team}"), |b| {
@@ -35,6 +40,3 @@ fn bench_barriers(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_barriers);
-criterion_main!(benches);

@@ -4,14 +4,17 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ompmca_bench::harness::BenchGroup;
 use romp::{BackendKind, ReduceOp, Runtime, Schedule};
 
 const TEAM: usize = 4;
 
-fn bench_constructs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("constructs");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut group = BenchGroup::new("constructs");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for kind in BackendKind::all() {
         let rt = Runtime::with_backend(kind).unwrap();
         let label = kind.label();
@@ -58,6 +61,3 @@ fn bench_constructs(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_constructs);
-criterion_main!(benches);

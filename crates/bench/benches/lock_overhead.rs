@@ -5,12 +5,15 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ompmca_bench::harness::BenchGroup;
 use romp::{BackendKind, Runtime};
 
-fn bench_locks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lock_overhead");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut group = BenchGroup::new("lock_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for kind in BackendKind::all() {
         let rt = Runtime::with_backend(kind).unwrap();
         let label = kind.label();
@@ -35,6 +38,3 @@ fn bench_locks(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_locks);
-criterion_main!(benches);

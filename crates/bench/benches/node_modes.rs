@@ -11,14 +11,17 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mca_mrapi::{DomainId, MrapiSystem, NodeId, ShmemAttributes};
+use ompmca_bench::harness::BenchGroup;
 
 const PAYLOAD: usize = 64 * 1024;
 
-fn bench_nodes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("node_modes");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+fn main() {
+    let mut group = BenchGroup::new("node_modes");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
 
     // Thread-level node: spawn, hand over an Arc (pointer passing), join.
     group.bench_function("thread_node/spawn_and_share", |b| {
@@ -29,7 +32,9 @@ fn bench_nodes(c: &mut Criterion) {
         b.iter(|| {
             let p = Arc::clone(&payload);
             let w = master
-                .thread_create(NodeId(next), move |_| p.iter().map(|&b| b as u64).sum::<u64>())
+                .thread_create(NodeId(next), move |_| {
+                    p.iter().map(|&b| b as u64).sum::<u64>()
+                })
                 .unwrap();
             next += 1;
             std::hint::black_box(w.join().unwrap());
@@ -64,6 +69,3 @@ fn bench_nodes(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_nodes);
-criterion_main!(benches);

@@ -5,19 +5,31 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mca_mrapi::{DomainId, MrapiSystem, NodeId, ShmemAttributes};
+use ompmca_bench::harness::BenchGroup;
 
-fn bench_shmem(c: &mut Criterion) {
+fn main() {
     let sys = MrapiSystem::new_t4240();
     let node = sys.initialize(DomainId(1), NodeId(0)).unwrap();
     let heap = node
-        .shmem_create(1, 4096, &ShmemAttributes { use_malloc: true, ..Default::default() })
+        .shmem_create(
+            1,
+            4096,
+            &ShmemAttributes {
+                use_malloc: true,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    let segment = node.shmem_create(2, 4096, &ShmemAttributes::default()).unwrap();
+    let segment = node
+        .shmem_create(2, 4096, &ShmemAttributes::default())
+        .unwrap();
 
-    let mut group = c.benchmark_group("shmem_modes");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    let mut group = BenchGroup::new("shmem_modes");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     group.bench_function("use_malloc/word_rw", |b| {
         b.iter(|| {
             for i in 0..64usize {
@@ -54,6 +66,3 @@ fn bench_shmem(c: &mut Criterion) {
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_shmem);
-criterion_main!(benches);

@@ -1,0 +1,334 @@
+//! Task-scheduler shape ablation: the pre-refactor single shared task
+//! queue versus the current two-level work-stealing scheduler (per-worker
+//! bounded rings + overflow injector + round-robin stealing), at the
+//! team sizes the paper's board exercises (1/4/8/24 workers).
+//!
+//! Both sides run the same workload — the `taskloop` pattern: each worker
+//! repeatedly queues a burst of trivial tasks and drains to completion —
+//! so the measured difference is purely the queue discipline.  The
+//! `single_queue` series routes every push and pop through one shared
+//! lock-protected FIFO (the old `TeamShared.tasks`); the `work_stealing`
+//! series is the scheduler the runtime now uses.  An imbalanced variant
+//! (one producer, everyone drains) shows stealing redistributing work.
+//!
+//! The second group hammers the lock-free construct ring through the real
+//! runtime: back-to-back `single nowait` and `sections` constructs, whose
+//! per-construct state lookup used to take a team-global backend lock on
+//! every encounter.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use mca_sync::deque::{Injector, RingQueue, Steal};
+use mca_sync::queue::SharedQueue;
+use mca_sync::CachePadded;
+use ompmca_bench::harness::BenchGroup;
+use romp::{BackendKind, Runtime, Schedule};
+
+type Task<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// Bursts per round and tasks per burst: the burst stays under the local
+/// ring capacity (256), matching `taskloop`'s queue-then-wait shape.
+const BURSTS: usize = 8;
+const BURST: usize = 200;
+
+/// Old discipline: every worker pushes to and pops from one shared FIFO.
+fn single_queue_round(workers: usize) -> u64 {
+    let executed = AtomicU64::new(0);
+    let outstanding = AtomicUsize::new(0);
+    let queue: SharedQueue<Task<'_>> = SharedQueue::new();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                for _ in 0..BURSTS {
+                    for _ in 0..BURST {
+                        let executed = &executed;
+                        outstanding.fetch_add(1, Ordering::AcqRel);
+                        queue.push(Box::new(move || {
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        }));
+                    }
+                    while outstanding.load(Ordering::Acquire) > 0 {
+                        match queue.pop() {
+                            Some(t) => {
+                                t();
+                                outstanding.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    executed.load(Ordering::Relaxed)
+}
+
+/// Current discipline: per-worker rings, shared injector, stealing.
+/// `producers` limits who queues work (everyone still drains), so the
+/// imbalanced variant exercises the steal path heavily.
+fn work_stealing_round(workers: usize, producers: usize) -> u64 {
+    let executed = AtomicU64::new(0);
+    let outstanding = AtomicUsize::new(0);
+    let rings: Vec<CachePadded<RingQueue<Task<'_>>>> = (0..workers)
+        .map(|_| CachePadded::new(RingQueue::new(256)))
+        .collect();
+    let injector: Injector<Task<'_>> = Injector::new();
+    let take = |tid: usize| -> Option<Task<'_>> {
+        if let Some(t) = rings[tid].pop() {
+            return Some(t);
+        }
+        loop {
+            match injector.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        for k in 1..workers {
+            if let Some(t) = rings[(tid + k) % workers].pop() {
+                return Some(t);
+            }
+        }
+        None
+    };
+    std::thread::scope(|s| {
+        for tid in 0..workers {
+            let rings = &rings;
+            let injector = &injector;
+            let executed = &executed;
+            let outstanding = &outstanding;
+            let take = &take;
+            s.spawn(move || {
+                // Producers queue the same total work as in the
+                // single-queue round, split across however many there are.
+                let my_bursts = if tid < producers {
+                    BURSTS * workers / producers
+                } else {
+                    0
+                };
+                for _ in 0..my_bursts {
+                    for _ in 0..BURST {
+                        outstanding.fetch_add(1, Ordering::AcqRel);
+                        let task: Task<'_> = Box::new(move || {
+                            executed.fetch_add(1, Ordering::Relaxed);
+                        });
+                        if let Err(t) = rings[tid].push(task) {
+                            injector.push(t);
+                        }
+                    }
+                    while outstanding.load(Ordering::Acquire) > 0 {
+                        match take(tid) {
+                            Some(t) => {
+                                t();
+                                outstanding.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                // Non-producers (and finished producers) help drain.
+                while outstanding.load(Ordering::Acquire) > 0 {
+                    match take(tid) {
+                        Some(t) => {
+                            t();
+                            outstanding.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+    executed.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let expect = |workers: usize| (workers * BURSTS * BURST) as u64;
+
+    // Per-operation cost of each queue discipline with a plain `u64`
+    // payload, so allocation stays out of the numbers.  Uncontended, the
+    // locked `VecDeque` is *cheaper* per op (one lock CAS + pointer bump
+    // versus the ring's sequenced slot atomics); what the refactor buys is
+    // the contended arm below — every shared-FIFO op serializes on one
+    // lock and one cache line, while private rings never touch a line
+    // another thread writes.
+    let mut ops = BenchGroup::new("queue_ops");
+    ops.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(500));
+    let shared: SharedQueue<u64> = SharedQueue::new();
+    ops.bench_function("shared_fifo/push_pop", |b| {
+        b.iter(|| {
+            for i in 0..64u64 {
+                shared.push(i);
+            }
+            let mut acc = 0u64;
+            while let Some(v) = shared.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        });
+    });
+    let ring: RingQueue<u64> = RingQueue::new(256);
+    ops.bench_function("local_ring/push_pop", |b| {
+        b.iter(|| {
+            for i in 0..64u64 {
+                let _ = ring.push(i);
+            }
+            let mut acc = 0u64;
+            while let Some(v) = ring.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        });
+    });
+    // Contended: 8 threads hammering the one shared FIFO, versus 8
+    // threads each owning a private ring.  Same total op count.  On a
+    // multi-core host the FIFO arm serializes every op through one lock
+    // word (an RFO per acquire); a single-core host timeshares instead —
+    // no line ever bounces — so both arms degenerate to their uncontended
+    // constant factors there and the ratio says nothing about scaling.
+    const CONTEND_THREADS: usize = 8;
+    const CONTEND_CYCLES: usize = 64;
+    ops.bench_function("shared_fifo/contended_x8", |b| {
+        b.iter(|| {
+            let q: SharedQueue<u64> = SharedQueue::new();
+            std::thread::scope(|s| {
+                for _ in 0..CONTEND_THREADS {
+                    s.spawn(|| {
+                        for _ in 0..CONTEND_CYCLES {
+                            for i in 0..64u64 {
+                                q.push(i);
+                            }
+                            for _ in 0..64 {
+                                while q.pop().is_none() {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        });
+    });
+    ops.bench_function("local_ring/contended_x8", |b| {
+        b.iter(|| {
+            let rings: Vec<RingQueue<u64>> =
+                (0..CONTEND_THREADS).map(|_| RingQueue::new(256)).collect();
+            std::thread::scope(|s| {
+                for r in &rings {
+                    s.spawn(move || {
+                        for _ in 0..CONTEND_CYCLES {
+                            for i in 0..64u64 {
+                                let _ = r.push(i);
+                            }
+                            while r.pop().is_some() {}
+                        }
+                    });
+                }
+            });
+        });
+    });
+    let ops_results = ops.finish();
+    let per_op = |label: &str, ops_per_iter: f64| {
+        ops_results
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.median_ns / ops_per_iter)
+    };
+    if let (Some(fifo), Some(local)) = (
+        per_op("shared_fifo/push_pop", 128.0),
+        per_op("local_ring/push_pop", 128.0),
+    ) {
+        println!("-- uncontended: shared fifo {fifo:.1} ns/op, local ring {local:.1} ns/op --");
+    }
+    let contended_ops = (CONTEND_THREADS * CONTEND_CYCLES * 128) as f64;
+    if let (Some(fifo), Some(local)) = (
+        per_op("shared_fifo/contended_x8", contended_ops),
+        per_op("local_ring/contended_x8", contended_ops),
+    ) {
+        println!(
+            "-- contended x8: shared fifo {fifo:.1} ns/op, local ring {local:.1} ns/op, \
+             ratio {:.2}x --\n",
+            fifo / local
+        );
+    }
+
+    let mut group = BenchGroup::new("task_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for workers in [1usize, 4, 8, 24] {
+        group.bench_function(format!("single_queue/w{workers}"), |b| {
+            b.iter(|| assert_eq!(single_queue_round(workers), expect(workers)));
+        });
+        group.bench_function(format!("work_stealing/w{workers}"), |b| {
+            b.iter(|| assert_eq!(work_stealing_round(workers, workers), expect(workers)));
+        });
+    }
+    group.bench_function("work_stealing_imbalanced/w8", |b| {
+        b.iter(|| assert_eq!(work_stealing_round(8, 1), expect(8)));
+    });
+    let results = group.finish();
+
+    // Headline comparison: tasks/s at each worker count, and the ratio the
+    // refactor is accountable for (≥ 2x at 8+ workers on multi-core hosts;
+    // still expected > 1 oversubscribed, where the win is fewer
+    // lock-holder preemptions rather than parallel pops).
+    println!("-- throughput summary (tasks/second, median) --");
+    for workers in [1usize, 4, 8, 24] {
+        let find = |prefix: &str| {
+            results
+                .iter()
+                .find(|r| r.label == format!("{prefix}/w{workers}"))
+                .map(|r| expect(workers) as f64 / (r.median_ns / 1e9))
+        };
+        if let (Some(sq), Some(ws)) = (find("single_queue"), find("work_stealing")) {
+            println!(
+                "  w{workers:<3} single_queue {:>12.0}/s   work_stealing {:>12.0}/s   ratio {:.2}x",
+                sq,
+                ws,
+                ws / sq
+            );
+        }
+    }
+
+    // Construct-ring contention: nowait constructs back-to-back through
+    // the full runtime; each encounter is one ring lookup + release.
+    let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    let mut ring = BenchGroup::new("construct_ring");
+    ring.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    for team in [4usize, 8] {
+        ring.bench_function(format!("single_nowait_x64/t{team}"), |b| {
+            b.iter(|| {
+                rt.parallel(team, |w| {
+                    for _ in 0..64 {
+                        w.single_nowait(|| ());
+                    }
+                })
+            });
+        });
+        ring.bench_function(format!("sections_x16/t{team}"), |b| {
+            b.iter(|| {
+                rt.parallel(team, |w| {
+                    for _ in 0..16 {
+                        w.sections(team, |_| ());
+                    }
+                })
+            });
+        });
+        ring.bench_function(format!("dynamic_for_x16/t{team}"), |b| {
+            b.iter(|| {
+                rt.parallel(team, |w| {
+                    for _ in 0..16 {
+                        w.for_range_nowait(0..64, Schedule::Dynamic { chunk: 4 }, |_| {});
+                    }
+                })
+            });
+        });
+    }
+    ring.finish();
+}

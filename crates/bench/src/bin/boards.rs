@@ -40,14 +40,23 @@ fn main() {
         (
             "P4080DS",
             CostModel::p4080ds(),
-            PowerModel { active_w: 1.3, uncore_w: 9.0, ..PowerModel::t4240() },
+            PowerModel {
+                active_w: 1.3,
+                uncore_w: 9.0,
+                ..PowerModel::t4240()
+            },
             8,
         ),
     ];
 
-    println!("== §4C portability: same MCA binary, two boards (class {}) ==", class.label());
+    println!(
+        "== §4C portability: same MCA binary, two boards (class {}) ==",
+        class.label()
+    );
     let rt = Runtime::with_config(
-        Config::default().with_backend(BackendKind::Mca).with_profiling(true),
+        Config::default()
+            .with_backend(BackendKind::Mca)
+            .with_profiling(true),
     )
     .unwrap();
 

@@ -16,7 +16,9 @@
 //! the paper-scale run.
 
 use mca_platform::vtime::CostModel;
-use ompmca_bench::{figure4_point, figure4_threads, parse_threads, render_figure4_kernel, runtime_pair, Fig4Point};
+use ompmca_bench::{
+    figure4_point, figure4_threads, parse_threads, render_figure4_kernel, runtime_pair, Fig4Point,
+};
 use romp_npb::{Class, NpbKernel};
 
 fn main() {
@@ -61,7 +63,10 @@ fn main() {
     }
 
     let model = CostModel::t4240rdb();
-    println!("== OpenMP-MCA reproduction: Figure 4 (NAS benchmarks, class {}) ==", class.label());
+    println!(
+        "== OpenMP-MCA reproduction: Figure 4 (NAS benchmarks, class {}) ==",
+        class.label()
+    );
     println!(
         "cost model: T4240RDB @1.8GHz, {} hw threads, SMT eff {:.2}, 1-thread BW {:.1} GB/s,",
         model.topo.num_hw_threads(),
@@ -75,9 +80,14 @@ fn main() {
         model.barrier_per_thread_ns,
         model.host_to_board_scale
     );
-    println!("kernel β (memory intensity): EP {:.2}, CG {:.2}, IS {:.2}, MG {:.2}, FT {:.2}\n",
-        NpbKernel::Ep.beta(), NpbKernel::Cg.beta(), NpbKernel::Is.beta(),
-        NpbKernel::Mg.beta(), NpbKernel::Ft.beta());
+    println!(
+        "kernel β (memory intensity): EP {:.2}, CG {:.2}, IS {:.2}, MG {:.2}, FT {:.2}\n",
+        NpbKernel::Ep.beta(),
+        NpbKernel::Cg.beta(),
+        NpbKernel::Is.beta(),
+        NpbKernel::Mg.beta(),
+        NpbKernel::Ft.beta()
+    );
 
     let (native, mca) = runtime_pair(true);
     let mut points: Vec<Fig4Point> = Vec::new();
@@ -107,9 +117,19 @@ fn main() {
     if failures.is_empty() {
         println!("all {} kernel runs verified.", points.len());
     } else {
-        println!("{} of {} kernel runs FAILED verification:", failures.len(), points.len());
+        println!(
+            "{} of {} kernel runs FAILED verification:",
+            failures.len(),
+            points.len()
+        );
         for f in failures {
-            println!("  {} {} @{}: {}", f.kernel.name(), f.backend.label(), f.threads, f.verification);
+            println!(
+                "  {} {} @{}: {}",
+                f.kernel.name(),
+                f.backend.label(),
+                f.threads,
+                f.verification
+            );
         }
         std::process::exit(1);
     }

@@ -46,7 +46,10 @@ fn main() {
     println!("\n-- speedup at 24 threads vs SMT efficiency (β fixed at 0.02, EP-like) --");
     println!("{:>8} {:>10}", "smt_eff", "speedup24");
     for eff in [0.5, 0.6, 0.7, 0.8, 0.9, 0.92, 0.95, 1.0] {
-        let m = CostModel { smt_efficiency: eff, ..CostModel::t4240rdb() };
+        let m = CostModel {
+            smt_efficiency: eff,
+            ..CostModel::t4240rdb()
+        };
         let s = m.elapsed_ns(&even(total, 1), 0.02) / m.elapsed_ns(&even(total, 24), 0.02);
         println!("{eff:>8.2} {s:>10.2}");
     }
@@ -61,6 +64,10 @@ fn main() {
         };
         let e = model.elapsed_ns(&prof, 0.3);
         let sync = barriers as f64 * model.barrier_cost_ns(24);
-        println!("{barriers:>10} {:>12.2} {:>9.1}%", e / 1e6, sync / e * 100.0);
+        println!(
+            "{barriers:>10} {:>12.2} {:>9.1}%",
+            e / 1e6,
+            sync / e * 100.0
+        );
     }
 }

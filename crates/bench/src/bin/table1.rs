@@ -3,22 +3,27 @@
 //!
 //! ```text
 //! cargo run -p ompmca-bench --release --bin table1 [-- --threads 4,8,12,16,20,24 \
-//!     --outer 20 --inner 256 | --quick]
+//!     --outer 20 --inner 256 | --quick] [--json PATH]
 //! ```
 //!
 //! The paper normalises each construct's EPCC overhead on MCA-libGOMP by
 //! the stock libGOMP overhead; values around 1.0 mean the MCA layer costs
 //! nothing.  This harness measures both backends with the same EPCC
 //! methodology and prints absolute overheads plus the ratio table.
+//! `--json PATH` additionally writes the grid as machine-readable JSON
+//! (the repo commits one run as `BENCH_table1.json`, the baseline later
+//! sessions diff against).
 
 use ompmca_bench::{
-    measure_table1_grid, parse_threads, render_table1, runtime_pair, table1_threads,
+    measure_table1_grid, parse_threads, render_table1, render_table1_json, runtime_pair,
+    table1_threads,
 };
 
 fn main() {
     let mut threads = table1_threads();
     let mut outer = 10usize;
     let mut inner = 128usize;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -33,6 +38,7 @@ fn main() {
                 outer = 3;
                 inner = 16;
             }
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -43,7 +49,9 @@ fn main() {
     println!("== OpenMP-MCA reproduction: Table I (EPCC overheads) ==");
     println!(
         "host parallelism: {}; team sizes {:?}; outer={outer} inner={inner}",
-        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
         threads
     );
     println!("note: team sizes above the host parallelism run oversubscribed;");
@@ -76,4 +84,10 @@ fn main() {
     println!(
         "Barrier≈1.11, Single≈1.15, Critical≈1.01, Reduction≈1.00 (ratios ≈ 1 ⇒ no overhead)."
     );
+
+    if let Some(path) = json_path {
+        let json = render_table1_json(&cells, &threads, outer, inner);
+        std::fs::write(&path, json).expect("write --json output");
+        println!("\nwrote {path}");
+    }
 }

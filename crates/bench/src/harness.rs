@@ -1,0 +1,216 @@
+//! A small self-contained benchmark harness (criterion-style API).
+//!
+//! The workspace builds hermetically with no external crates, so the
+//! ablation benches under `benches/` drive this harness instead of
+//! criterion.  The shape is deliberately criterion-like — groups, labeled
+//! bench functions, a [`Bencher::iter`] callback — so the benches read the
+//! same; the statistics are simpler: per-sample nanoseconds-per-iteration,
+//! reported as median/mean/min over a fixed sample count.
+//!
+//! Methodology: a calibration pass during the warm-up window estimates the
+//! cost of one iteration, the iteration count is then chosen so each sample
+//! runs long enough to dominate timer noise, and `sample_size` samples are
+//! taken.  The median is the headline number (robust against scheduler
+//! hiccups on oversubscribed hosts, the reproduction's usual habitat).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier the benches use.
+pub use std::hint::black_box;
+
+/// Passed to each bench function; [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for this sample's iteration count and record the elapsed
+    /// time.  The closure's result is passed through [`black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+/// One bench function's summary statistics (nanoseconds per iteration).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub label: String,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub samples: usize,
+}
+
+/// A named group of related bench functions.
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup {
+    /// A group with criterion-like defaults (10 samples, 300 ms warm-up,
+    /// 1 s measurement budget).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Samples per bench function.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Calibration/warm-up window per bench function.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per bench function (split across samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Measure one labeled bench function and print its summary line.
+    pub fn bench_function(
+        &mut self,
+        label: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = label.into();
+        // Calibration: single-iteration samples until the warm-up budget is
+        // spent; the *minimum* estimates the true per-iteration cost.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter_ns = f64::INFINITY;
+        loop {
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as f64;
+            if ns > 0.0 {
+                per_iter_ns = per_iter_ns.min(ns);
+            }
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        if !per_iter_ns.is_finite() {
+            per_iter_ns = 1.0;
+        }
+        // Pick an iteration count so one sample consumes roughly its share
+        // of the measurement budget.
+        let per_sample_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((per_sample_ns / per_iter_ns).round() as u64).clamp(1, 1_000_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let min_ns = samples_ns[0];
+        let mid = samples_ns.len() / 2;
+        let median_ns = if samples_ns.len() % 2 == 1 {
+            samples_ns[mid]
+        } else {
+            (samples_ns[mid - 1] + samples_ns[mid]) / 2.0
+        };
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+        println!(
+            "{}/{:<40} time: [{} median] (mean {}, min {}, {} iters x {} samples)",
+            self.name,
+            label,
+            fmt_ns(median_ns),
+            fmt_ns(mean_ns),
+            fmt_ns(min_ns),
+            iters,
+            samples_ns.len(),
+        );
+        self.results.push(BenchResult {
+            label,
+            median_ns,
+            mean_ns,
+            min_ns,
+            samples: samples_ns.len(),
+        });
+        self
+    }
+
+    /// Finish the group and return its results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        println!();
+        self.results
+    }
+
+    /// Results collected so far (without consuming the group).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Human-readable nanosecond quantity.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn measures_something_plausible() {
+        let counter = AtomicU64::new(0);
+        let mut g = BenchGroup::new("harness_self_test");
+        g.sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(50));
+        g.bench_function("fetch_add", |b| {
+            b.iter(|| counter.fetch_add(1, Ordering::Relaxed));
+        });
+        let results = g.finish();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(r.min_ns > 0.0 && r.min_ns <= r.median_ns && r.median_ns.is_finite());
+        assert!(counter.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

@@ -11,8 +11,12 @@
 //!   the measured per-worker CPU profiles fed through the T4240 cost model
 //!   (see `mca-platform::vtime`).
 //!
-//! The criterion benches under `benches/` cover the ablations DESIGN.md
-//! lists (barrier algorithms, lock substitution, shmem modes, node modes).
+//! The benches under `benches/` (driven by the in-tree [`harness`]) cover
+//! the ablations DESIGN.md lists (barrier algorithms, lock substitution,
+//! shmem modes, node modes, task-scheduler shape, construct-ring
+//! contention).
+
+pub mod harness;
 
 use mca_platform::vtime::CostModel;
 use romp::{BackendKind, Config, Runtime};
@@ -22,7 +26,8 @@ use romp_npb::{Class, NpbKernel};
 /// Parse a comma-separated list of thread counts.
 pub fn parse_threads(s: &str) -> Option<Vec<usize>> {
     let v: Result<Vec<usize>, _> = s.split(',').map(|t| t.trim().parse::<usize>()).collect();
-    v.ok().filter(|v| !v.is_empty() && v.iter().all(|&n| (1..=256).contains(&n)))
+    v.ok()
+        .filter(|v| !v.is_empty() && v.iter().all(|&n| (1..=256).contains(&n)))
 }
 
 /// The paper's Table I team sizes.
@@ -39,11 +44,15 @@ pub fn figure4_threads() -> Vec<usize> {
 /// paper's libGOMP vs MCA-libGOMP comparison.
 pub fn runtime_pair(profiling: bool) -> (Runtime, Runtime) {
     let native = Runtime::with_config(
-        Config::default().with_backend(BackendKind::Native).with_profiling(profiling),
+        Config::default()
+            .with_backend(BackendKind::Native)
+            .with_profiling(profiling),
     )
     .expect("native runtime");
     let mca = Runtime::with_config(
-        Config::default().with_backend(BackendKind::Mca).with_profiling(profiling),
+        Config::default()
+            .with_backend(BackendKind::Mca)
+            .with_profiling(profiling),
     )
     .expect("mca runtime");
     (native, mca)
@@ -87,7 +96,12 @@ pub fn measure_table1_grid(
         for c in Construct::table1() {
             let nat = romp_epcc::measure(native, c, &cfg);
             let mc = romp_epcc::measure(mca, c, &cfg);
-            cells.push(Table1Cell { construct: c, threads: n, native: nat, mca: mc });
+            cells.push(Table1Cell {
+                construct: c,
+                threads: n,
+                native: nat,
+                mca: mc,
+            });
         }
     }
     cells
@@ -114,6 +128,55 @@ pub fn render_table1(cells: &[Table1Cell], threads: &[usize]) -> String {
         }
         s.push('\n');
     }
+    s
+}
+
+/// Render the Table I grid as a JSON document (hand-rolled — the workspace
+/// carries no serde), for committing machine-readable baselines
+/// (`BENCH_table1.json`) that later sessions can diff against.
+pub fn render_table1_json(
+    cells: &[Table1Cell],
+    threads: &[usize],
+    outer: usize,
+    inner: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"benchmark\": \"table1\",\n");
+    s.push_str("  \"unit\": \"relative overhead (mca_us / native_us)\",\n");
+    s.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    ));
+    s.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(&format!("  \"outer_reps\": {outer},\n"));
+    s.push_str(&format!("  \"inner_reps\": {inner},\n"));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"construct\": \"{}\", \"threads\": {}, \"native_us\": {:.4}, \
+             \"native_sd_us\": {:.4}, \"mca_us\": {:.4}, \"mca_sd_us\": {:.4}, \
+             \"ratio\": {:.4}}}{}\n",
+            c.construct.label(),
+            c.threads,
+            c.native.overhead_us,
+            c.native.sd_us,
+            c.mca.overhead_us,
+            c.mca.sd_us,
+            c.ratio(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
     s
 }
 
@@ -158,7 +221,9 @@ pub fn figure4_point(
 /// Render one kernel's Figure 4 block (times + speedups, both backends).
 pub fn render_figure4_kernel(points: &[Fig4Point], kernel: NpbKernel, threads: &[usize]) -> String {
     let find = |bk: BackendKind, t: usize| {
-        points.iter().find(|p| p.kernel == kernel && p.backend == bk && p.threads == t)
+        points
+            .iter()
+            .find(|p| p.kernel == kernel && p.backend == bk && p.threads == t)
     };
     let base = |bk: BackendKind| find(bk, threads[0]).map(|p| p.board_s).unwrap_or(f64::NAN);
     let mut s = String::new();
@@ -212,6 +277,10 @@ mod tests {
         for c in &cells {
             assert!(c.ratio().is_finite() && c.ratio() > 0.0);
         }
+        let json = render_table1_json(&cells, &[2], 2, 8);
+        assert!(json.contains("\"construct\": \"Parallel\""));
+        assert!(json.contains("\"ratio\":"));
+        assert_eq!(json.matches("{\"construct\"").count(), 7);
     }
 
     #[test]
@@ -248,6 +317,9 @@ mod tests {
         ];
         let s = render_figure4_kernel(&pts, NpbKernel::Ep, &[1]);
         assert!(s.contains("EP"));
-        assert!(s.contains("1.02") || s.contains("1.03"), "ratio column rendered: {s}");
+        assert!(
+            s.contains("1.02") || s.contains("1.03"),
+            "ratio column rendered: {s}"
+        );
     }
 }

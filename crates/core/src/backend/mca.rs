@@ -23,7 +23,7 @@ use mca_mrapi::sync::MutexAttributes;
 use mca_mrapi::{
     DomainId, MrapiSystem, Node, NodeId, ShmemHandle, WorkerNode, MRAPI_TIMEOUT_INFINITE,
 };
-use parking_lot::Mutex as PlMutex;
+use mca_sync::Mutex as PlMutex;
 
 use super::{Backend, BackendKind, RegionLock, SharedWords, WorkerJoin};
 use crate::RompError;
@@ -138,8 +138,13 @@ impl Backend for McaBackend {
         body: Box<dyn FnOnce() + Send>,
     ) -> Result<Box<dyn WorkerJoin>, RompError> {
         let id = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
-        let attrs = mca_mrapi::NodeAttributes { affinity_hw_thread: None, name: Some(label) };
-        let worker = self.master.thread_create_with_attrs(id, attrs, move |_node| body())?;
+        let attrs = mca_mrapi::NodeAttributes {
+            affinity_hw_thread: None,
+            name: Some(label),
+        };
+        let worker = self
+            .master
+            .thread_create_with_attrs(id, attrs, move |_node| body())?;
         Ok(Box::new(McaJoin(worker)))
     }
 
@@ -148,12 +153,18 @@ impl Backend for McaBackend {
             .master
             .mutex_create(0x4000_0000 | self.fresh_key(), &MutexAttributes::default())
             .expect("MRAPI mutex create failed");
-        Arc::new(McaLock { mutex, key_slot: PlMutex::new(None) })
+        Arc::new(McaLock {
+            mutex,
+            key_slot: PlMutex::new(None),
+        })
     }
 
     fn alloc_shared_words(&self, words: usize) -> Arc<dyn SharedWords> {
         // Listing 3: shm_attr.use_malloc = MCA_TRUE.
-        let attrs = ShmemAttributes { use_malloc: true, ..Default::default() };
+        let attrs = ShmemAttributes {
+            use_malloc: true,
+            ..Default::default()
+        };
         let handle = self
             .master
             .shmem_create(0x8000_0000 | self.fresh_key(), (words * 8).max(8), &attrs)
@@ -183,16 +194,23 @@ mod tests {
         let gate = Arc::new(std::sync::Barrier::new(2));
         let g2 = Arc::clone(&gate);
         let j = be
-            .spawn_worker("w".into(), Box::new(move || {
-                g2.wait(); // hold the node alive until counted
-                g2.wait();
-            }))
+            .spawn_worker(
+                "w".into(),
+                Box::new(move || {
+                    g2.wait(); // hold the node alive until counted
+                    g2.wait();
+                }),
+            )
             .unwrap();
         gate.wait();
         assert_eq!(sys.node_count(OMP_DOMAIN), 2, "worker node registered");
         gate.wait();
         j.join();
-        assert_eq!(sys.node_count(OMP_DOMAIN), 1, "worker node finalized on join");
+        assert_eq!(
+            sys.node_count(OMP_DOMAIN),
+            1,
+            "worker node finalized on join"
+        );
     }
 
     #[test]

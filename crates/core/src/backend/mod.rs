@@ -156,9 +156,12 @@ mod tests {
             let flag = Arc::new(AtomicU64::new(0));
             let f2 = Arc::clone(&flag);
             let j = be
-                .spawn_worker("contract-test".into(), Box::new(move || {
-                    f2.store(7, Ordering::Release);
-                }))
+                .spawn_worker(
+                    "contract-test".into(),
+                    Box::new(move || {
+                        f2.store(7, Ordering::Release);
+                    }),
+                )
                 .unwrap();
             j.join();
             assert_eq!(flag.load(Ordering::Acquire), 7, "{}", be.name());

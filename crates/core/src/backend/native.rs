@@ -62,7 +62,9 @@ impl Backend for NativeBackend {
     }
 
     fn online_processors(&self) -> usize {
-        thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
     }
 
     fn spawn_worker(
@@ -82,7 +84,10 @@ impl Backend for NativeBackend {
     }
 
     fn alloc_shared_words(&self, words: usize) -> Arc<dyn SharedWords> {
-        let buf = (0..words).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice();
+        let buf = (0..words)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Arc::new(HeapWords(buf))
     }
 }

@@ -22,7 +22,7 @@ use std::hint;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex as PlMutex};
+use mca_sync::{CachePadded, Condvar, Mutex as PlMutex};
 
 /// Barrier algorithm selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,16 +34,23 @@ pub enum BarrierKind {
     Tree { arity: usize },
 }
 
-/// Shared release machinery: generation word + sleep support.
+/// Shared release machinery: generation word + sleep support.  The
+/// generation is cache-padded away from the arrival counters: every waiter
+/// spins reading it, and sharing its line with a counter that every
+/// arriver writes would turn each arrival into a team-wide invalidation.
 struct Release {
-    gen: AtomicU64,
+    gen: CachePadded<AtomicU64>,
     lock: PlMutex<()>,
     cv: Condvar,
 }
 
 impl Release {
     fn new() -> Self {
-        Release { gen: AtomicU64::new(0), lock: PlMutex::new(()), cv: Condvar::new() }
+        Release {
+            gen: CachePadded::new(AtomicU64::new(0)),
+            lock: PlMutex::new(()),
+            cv: Condvar::new(),
+        }
     }
 
     #[inline]
@@ -97,11 +104,15 @@ pub struct Barrier {
 }
 
 enum Algo {
-    Central { arrived: AtomicUsize },
+    Central {
+        arrived: CachePadded<AtomicUsize>,
+    },
     Tree {
         arity: usize,
-        /// `levels[l][node]` counts arrivals at that tree node.
-        levels: Vec<Vec<AtomicUsize>>,
+        /// `levels[l][node]` counts arrivals at that tree node.  Nodes are
+        /// cache-padded so sibling subtrees combine without stealing each
+        /// other's lines (the point of the tree shape in the first place).
+        levels: Vec<Vec<CachePadded<AtomicUsize>>>,
         /// Expected arrivals per node (the last level expects the number of
         /// children that actually exist).
         expected: Vec<Vec<usize>>,
@@ -113,7 +124,9 @@ impl Barrier {
     pub fn new(n: usize, kind: BarrierKind) -> Self {
         assert!(n > 0, "a barrier needs at least one participant");
         let algo = match kind {
-            BarrierKind::Centralized => Algo::Central { arrived: AtomicUsize::new(0) },
+            BarrierKind::Centralized => Algo::Central {
+                arrived: CachePadded::new(AtomicUsize::new(0)),
+            },
             BarrierKind::Tree { arity } => {
                 let arity = arity.max(2);
                 let mut levels = Vec::new();
@@ -121,7 +134,11 @@ impl Barrier {
                 let mut width = n;
                 loop {
                     let nodes = width.div_ceil(arity);
-                    levels.push((0..nodes).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+                    levels.push(
+                        (0..nodes)
+                            .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                            .collect::<Vec<_>>(),
+                    );
                     expected.push(
                         (0..nodes)
                             .map(|i| {
@@ -136,10 +153,18 @@ impl Barrier {
                     }
                     width = nodes;
                 }
-                Algo::Tree { arity, levels, expected }
+                Algo::Tree {
+                    arity,
+                    levels,
+                    expected,
+                }
             }
         };
-        Barrier { n, release: Release::new(), algo }
+        Barrier {
+            n,
+            release: Release::new(),
+            algo,
+        }
     }
 
     /// Number of participants.
@@ -167,7 +192,11 @@ impl Barrier {
                     false
                 }
             }
-            Algo::Tree { arity, levels, expected } => {
+            Algo::Tree {
+                arity,
+                levels,
+                expected,
+            } => {
                 let mut idx = tid;
                 let mut level = 0;
                 loop {
@@ -233,7 +262,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(errs.load(Ordering::SeqCst), 0, "{kind:?} leaked a thread through");
+        assert_eq!(
+            errs.load(Ordering::SeqCst),
+            0,
+            "{kind:?} leaked a thread through"
+        );
         assert_eq!(phase.load(Ordering::SeqCst), rounds * n as u64);
     }
 
@@ -277,7 +310,10 @@ mod tests {
         thread::sleep(Duration::from_millis(30));
         b.wait(0);
         h.join().unwrap();
-        assert!(ran.load(Ordering::Relaxed) > 0, "idle callback should have run");
+        assert!(
+            ran.load(Ordering::Relaxed) > 0,
+            "idle callback should have run"
+        );
     }
 
     #[test]

@@ -115,7 +115,12 @@ mod tests {
     use super::*;
 
     fn vars<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
-        move |k| pairs.iter().find(|(n, _)| *n == k).map(|(_, v)| v.to_string())
+        move |k| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| v.to_string())
+        }
     }
 
     #[test]
@@ -153,7 +158,11 @@ mod tests {
         assert_eq!(c.backend, BackendKind::Native);
         assert_eq!(c.num_threads, None);
         assert_eq!(c.runtime_schedule, Schedule::Static { chunk: None });
-        assert_eq!(c.barrier, BarrierKind::Tree { arity: 4 }, "bad arity falls back to 4");
+        assert_eq!(
+            c.barrier,
+            BarrierKind::Tree { arity: 4 },
+            "bad arity falls back to 4"
+        );
     }
 
     #[test]

@@ -3,11 +3,10 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::queue::SegQueue;
-use parking_lot::{Condvar, Mutex as PlMutex};
+use mca_sync::Mutex as PlMutex;
 
 use crate::backend::{make_backend, Backend, BackendKind, RegionLock, WorkerJoin};
 use crate::barrier::Barrier;
@@ -105,19 +104,12 @@ impl RtInner {
     }
 
     fn new_team(&self, size: usize) -> Arc<TeamShared> {
-        Arc::new(TeamShared {
+        Arc::new(TeamShared::new(
             size,
-            barrier: Barrier::new(size, self.cfg.barrier),
-            constructs: BackendMutex::new(self.backend.new_lock(), HashMap::new()),
-            reduce_words: self.backend.alloc_shared_words(size + 1),
-            tasks: SegQueue::new(),
-            outstanding_tasks: AtomicUsize::new(0),
-            ordered_cursor: PlMutex::new(0),
-            ordered_cv: Condvar::new(),
-            panic: PlMutex::new(None),
-            cpu_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
-            counters: Default::default(),
-        })
+            Barrier::new(size, self.cfg.barrier),
+            self.backend
+                .alloc_shared_words(TeamShared::reduce_words_len(size)),
+        ))
     }
 
     /// Grow the dock to at least `n` slots.
@@ -127,7 +119,9 @@ impl RtInner {
             let slot = PoolSlot::new();
             let s2 = Arc::clone(&slot);
             let label = format!("romp-worker-{}", pool.len() + 1);
-            let join = self.backend.spawn_worker(label, Box::new(move || s2.worker_loop()))?;
+            let join = self
+                .backend
+                .spawn_worker(label, Box::new(move || s2.worker_loop()))?;
             self.joins.lock().push(join);
             pool.push(slot);
         }
@@ -202,7 +196,10 @@ impl Runtime {
     /// backend's online-processor count (§5B.4 metadata on the MCA
     /// backend).
     pub fn max_threads(&self) -> usize {
-        self.inner.cfg.num_threads.unwrap_or_else(|| self.inner.backend.online_processors())
+        self.inner
+            .cfg
+            .num_threads
+            .unwrap_or_else(|| self.inner.backend.online_processors())
     }
 
     /// `omp_in_parallel` for the calling thread.
@@ -211,7 +208,11 @@ impl Runtime {
     }
 
     fn normalize_team(&self, requested: usize) -> usize {
-        let n = if requested == 0 { self.max_threads() } else { requested };
+        let n = if requested == 0 {
+            self.max_threads()
+        } else {
+            requested
+        };
         let n = if self.inner.cfg.dynamic {
             n.min(self.inner.backend.online_processors())
         } else {
@@ -237,7 +238,9 @@ impl Runtime {
         let _gate = self.inner.region_gate.lock();
         self.inner.stats.regions.fetch_add(1, Ordering::Relaxed);
         let team = self.inner.new_team(n);
-        self.inner.ensure_pool(n.saturating_sub(1)).expect("worker spawn failed");
+        self.inner
+            .ensure_pool(n.saturating_sub(1))
+            .expect("worker spawn failed");
         let profiling = self.inner.profiling.load(Ordering::Relaxed);
         let func = erase_region_fn(&f);
         {
@@ -263,23 +266,32 @@ impl Runtime {
         // counters into the runtime totals.
         let barriers = team.counters.barriers.load(Ordering::Relaxed);
         let criticals = team.counters.criticals.load(Ordering::Relaxed);
-        self.inner.stats.barriers.fetch_add(barriers, Ordering::Relaxed);
-        self.inner.stats.criticals.fetch_add(criticals, Ordering::Relaxed);
         self.inner
             .stats
-            .singles
-            .fetch_add(team.counters.singles.load(Ordering::Relaxed), Ordering::Relaxed);
+            .barriers
+            .fetch_add(barriers, Ordering::Relaxed);
         self.inner
             .stats
-            .loops
-            .fetch_add(team.counters.loops.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.inner
-            .stats
-            .tasks
-            .fetch_add(team.counters.tasks.load(Ordering::Relaxed), Ordering::Relaxed);
+            .criticals
+            .fetch_add(criticals, Ordering::Relaxed);
+        self.inner.stats.singles.fetch_add(
+            team.counters.singles.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.inner.stats.loops.fetch_add(
+            team.counters.loops.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.inner.stats.tasks.fetch_add(
+            team.counters.tasks.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         if profiling {
-            let cpu: Vec<u64> =
-                team.cpu_ns.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            let cpu: Vec<u64> = team
+                .cpu_ns
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect();
             self.inner.profile.lock().merge(&cpu, barriers, criticals);
         }
         let payload = team.panic.lock().take();
@@ -324,8 +336,13 @@ impl Runtime {
     }
 
     /// `#pragma omp parallel for` — fork a team and workshare `range`.
-    pub fn parallel_for<F>(&self, num_threads: usize, range: std::ops::Range<u64>, sched: Schedule, f: F)
-    where
+    pub fn parallel_for<F>(
+        &self,
+        num_threads: usize,
+        range: std::ops::Range<u64>,
+        sched: Schedule,
+        f: F,
+    ) where
         F: Fn(u64) + Sync,
     {
         self.parallel(num_threads, |w| {
@@ -334,7 +351,12 @@ impl Runtime {
     }
 
     /// `#pragma omp parallel for reduction(+:sum)` over u64.
-    pub fn parallel_reduce_sum<F>(&self, num_threads: usize, range: std::ops::Range<u64>, f: F) -> u64
+    pub fn parallel_reduce_sum<F>(
+        &self,
+        num_threads: usize,
+        range: std::ops::Range<u64>,
+        f: F,
+    ) -> u64
     where
         F: Fn(u64) -> u64 + Sync,
     {

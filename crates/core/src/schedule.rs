@@ -36,8 +36,12 @@ impl Schedule {
         };
         match kind.as_str() {
             "static" => Some(Schedule::Static { chunk }),
-            "dynamic" => Some(Schedule::Dynamic { chunk: chunk.unwrap_or(1) }),
-            "guided" => Some(Schedule::Guided { chunk: chunk.unwrap_or(1) }),
+            "dynamic" => Some(Schedule::Dynamic {
+                chunk: chunk.unwrap_or(1),
+            }),
+            "guided" => Some(Schedule::Guided {
+                chunk: chunk.unwrap_or(1),
+            }),
             "auto" => Some(Schedule::Auto),
             _ => None,
         }
@@ -97,7 +101,6 @@ pub fn guided_chunk(remaining: u64, nthreads: usize, min_chunk: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn static_block_examples() {
@@ -108,7 +111,11 @@ mod tests {
         assert_eq!(static_block(10, 4, 3), (8, 10));
         // Fewer iterations than threads.
         assert_eq!(static_block(2, 4, 0), (0, 1));
-        assert_eq!(static_block(2, 4, 3), (2, 2), "trailing threads get empty blocks");
+        assert_eq!(
+            static_block(2, 4, 3),
+            (2, 2),
+            "trailing threads get empty blocks"
+        );
         // Empty loop.
         assert_eq!(static_block(0, 3, 1), (0, 0));
     }
@@ -134,82 +141,123 @@ mod tests {
             sizes.push(c);
             remaining -= c;
         }
-        assert!(sizes.windows(2).all(|w| w[1] <= w[0]), "monotone non-increasing: {sizes:?}");
+        assert!(
+            sizes.windows(2).all(|w| w[1] <= w[0]),
+            "monotone non-increasing: {sizes:?}"
+        );
         assert_eq!(sizes.iter().sum::<u64>(), 1000);
-        assert!(sizes[..sizes.len() - 1].iter().all(|&c| c >= 5), "min chunk respected");
+        assert!(
+            sizes[..sizes.len() - 1].iter().all(|&c| c >= 5),
+            "min chunk respected"
+        );
         assert_eq!(sizes[0], 125, "first chunk = n/(2*threads)");
     }
 
     #[test]
     fn parse_omp_schedule_syntax() {
-        assert_eq!(Schedule::parse("static"), Some(Schedule::Static { chunk: None }));
-        assert_eq!(Schedule::parse("static,4"), Some(Schedule::Static { chunk: Some(4) }));
-        assert_eq!(Schedule::parse(" DYNAMIC , 16 "), Some(Schedule::Dynamic { chunk: 16 }));
-        assert_eq!(Schedule::parse("guided"), Some(Schedule::Guided { chunk: 1 }));
+        assert_eq!(
+            Schedule::parse("static"),
+            Some(Schedule::Static { chunk: None })
+        );
+        assert_eq!(
+            Schedule::parse("static,4"),
+            Some(Schedule::Static { chunk: Some(4) })
+        );
+        assert_eq!(
+            Schedule::parse(" DYNAMIC , 16 "),
+            Some(Schedule::Dynamic { chunk: 16 })
+        );
+        assert_eq!(
+            Schedule::parse("guided"),
+            Some(Schedule::Guided { chunk: 1 })
+        );
         assert_eq!(Schedule::parse("auto"), Some(Schedule::Auto));
         assert_eq!(Schedule::parse("bogus"), None);
         assert_eq!(Schedule::parse("static,0"), None, "zero chunk invalid");
         assert_eq!(Schedule::parse("static,x"), None);
     }
 
-    proptest! {
-        /// Blocked static scheduling tiles [0, n) exactly.
-        #[test]
-        fn static_block_tiles_exactly(n in 0u64..10_000, nthreads in 1usize..64) {
+    // Randomized properties over a fixed-seed SmallRng: deterministic,
+    // reproducible, and dependency-free (the workspace builds hermetically).
+
+    /// Blocked static scheduling tiles [0, n) exactly.
+    #[test]
+    fn static_block_tiles_exactly() {
+        let mut rng = mca_sync::rng::SmallRng::seed_from_u64(0x5eed_0001);
+        for _ in 0..256 {
+            let n = rng.gen_range(0, 10_000);
+            let nthreads = rng.gen_index(1, 64);
             let mut covered = 0u64;
             let mut prev_end = 0u64;
             for tid in 0..nthreads {
                 let (s, e) = static_block(n, nthreads, tid);
-                prop_assert!(s <= e);
-                prop_assert_eq!(s, prev_end, "blocks must be contiguous");
+                assert!(s <= e);
+                assert_eq!(s, prev_end, "blocks must be contiguous");
                 covered += e - s;
                 prev_end = e;
             }
-            prop_assert_eq!(covered, n);
-            prop_assert_eq!(prev_end, n);
+            assert_eq!(covered, n);
+            assert_eq!(prev_end, n);
         }
+    }
 
-        /// Blocked static is balanced: sizes differ by at most one.
-        #[test]
-        fn static_block_balanced(n in 0u64..10_000, nthreads in 1usize..64) {
-            let sizes: Vec<u64> =
-                (0..nthreads).map(|t| { let (s, e) = static_block(n, nthreads, t); e - s }).collect();
+    /// Blocked static is balanced: sizes differ by at most one.
+    #[test]
+    fn static_block_balanced() {
+        let mut rng = mca_sync::rng::SmallRng::seed_from_u64(0x5eed_0002);
+        for _ in 0..256 {
+            let n = rng.gen_range(0, 10_000);
+            let nthreads = rng.gen_index(1, 64);
+            let sizes: Vec<u64> = (0..nthreads)
+                .map(|t| {
+                    let (s, e) = static_block(n, nthreads, t);
+                    e - s
+                })
+                .collect();
             let min = *sizes.iter().min().unwrap();
             let max = *sizes.iter().max().unwrap();
-            prop_assert!(max - min <= 1);
+            assert!(max - min <= 1);
         }
+    }
 
-        /// Chunked static tiles [0, n) exactly with no overlap.
-        #[test]
-        fn static_chunks_tile_exactly(
-            n in 0u64..5_000,
-            chunk in 1usize..97,
-            nthreads in 1usize..17,
-        ) {
+    /// Chunked static tiles [0, n) exactly with no overlap.
+    #[test]
+    fn static_chunks_tile_exactly() {
+        let mut rng = mca_sync::rng::SmallRng::seed_from_u64(0x5eed_0003);
+        for _ in 0..128 {
+            let n = rng.gen_range(0, 5_000);
+            let chunk = rng.gen_index(1, 97);
+            let nthreads = rng.gen_index(1, 17);
             let mut seen = vec![false; n as usize];
             for tid in 0..nthreads {
                 for (s, e) in static_chunk_starts(n, chunk, nthreads, tid) {
-                    prop_assert!(e <= n);
+                    assert!(e <= n);
                     for i in s..e {
-                        prop_assert!(!seen[i as usize], "iteration {} assigned twice", i);
+                        assert!(!seen[i as usize], "iteration {i} assigned twice");
                         seen[i as usize] = true;
                     }
                 }
             }
-            prop_assert!(seen.iter().all(|&b| b));
+            assert!(seen.iter().all(|&b| b));
         }
+    }
 
-        /// Guided chunking always terminates and covers everything.
-        #[test]
-        fn guided_consumes_everything(n in 1u64..100_000, nthreads in 1usize..33, min in 1usize..65) {
+    /// Guided chunking always terminates and covers everything.
+    #[test]
+    fn guided_consumes_everything() {
+        let mut rng = mca_sync::rng::SmallRng::seed_from_u64(0x5eed_0004);
+        for _ in 0..256 {
+            let n = rng.gen_range(1, 100_000);
+            let nthreads = rng.gen_index(1, 33);
+            let min = rng.gen_index(1, 65);
             let mut remaining = n;
             let mut steps = 0u32;
             while remaining > 0 {
                 let c = guided_chunk(remaining, nthreads, min);
-                prop_assert!(c >= 1 && c <= remaining);
+                assert!(c >= 1 && c <= remaining);
                 remaining -= c;
                 steps += 1;
-                prop_assert!(steps < 1_000_000);
+                assert!(steps < 1_000_000);
             }
         }
     }

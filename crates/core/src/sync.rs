@@ -157,7 +157,10 @@ unsafe impl<T: Send> Sync for BackendMutex<T> {}
 impl<T> BackendMutex<T> {
     /// Wrap `value` under `lock`.
     pub fn new(lock: std::sync::Arc<dyn crate::backend::RegionLock>, value: T) -> Self {
-        BackendMutex { lock, cell: std::cell::UnsafeCell::new(value) }
+        BackendMutex {
+            lock,
+            cell: std::cell::UnsafeCell::new(value),
+        }
     }
 
     /// Run `f` with exclusive access to the value.

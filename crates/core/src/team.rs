@@ -7,43 +7,66 @@
 //! joins at the implicit end-of-region barrier.  Workers go back to sleep in
 //! their dock slot afterwards, so steady-state region launch costs no thread
 //! creation — the behaviour EPCC's `parallel` overhead measures.
+//!
+//! Two lock-free structures carry the region's hot paths:
+//!
+//! * the **construct ring** ([`ConstructRing`]) hands out shared
+//!   per-construct state (dynamic/guided cursors, `single` arbitration,
+//!   reduction staging) without a team-global lock — see the type docs for
+//!   the claim/ready protocol;
+//! * the **two-level task scheduler** gives every member a bounded local
+//!   ring ([`mca_sync::deque::RingQueue`]) plus a shared overflow
+//!   [`Injector`]; idle members pop locally, then drain the injector, then
+//!   steal round-robin from their teammates.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::queue::SegQueue;
-use parking_lot::{Condvar, Mutex as PlMutex};
+use mca_sync::deque::{Injector, RingQueue, Steal};
+use mca_sync::{CachePadded, Condvar, Mutex as PlMutex};
 
 use crate::backend::SharedWords;
 use crate::barrier::Barrier;
-use crate::sync::BackendMutex;
 
 /// A queued explicit task.  Lifetime-erased to the region (see the SAFETY
 /// discussion in [`crate::worker::Worker::task`]).
 pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Capacity of each member's local task ring; overflow spills into the
+/// team-wide injector, so this only bounds the lock-free fast path.
+const LOCAL_TASK_RING: usize = 256;
+
+/// Reduction scratch is strided so each member's slot owns a full
+/// 128-byte prefetch pair: slot `i` lives at word `i * REDUCE_STRIDE`.
+pub(crate) const REDUCE_STRIDE: usize = 16;
+
+/// Slots in the lock-free construct ring.  Bounds how many worksharing
+/// constructs the fastest member may run ahead of the slowest before the
+/// fast member has to wait (a lap); 64 is far beyond any real nowait chain.
+pub(crate) const CONSTRUCT_RING: usize = 64;
+
 /// Shared per-construct state (dynamic/guided loop cursors, `single`
 /// arbitration, copyprivate staging), keyed by construct sequence number.
 pub(crate) struct ConstructState {
     /// Next unclaimed iteration (dynamic/guided/sections cursor).
-    pub cursor: AtomicU64,
+    pub cursor: CachePadded<AtomicU64>,
     /// Iterations not yet handed out (guided's shrinking share).
-    pub remaining: AtomicU64,
+    pub remaining: CachePadded<AtomicU64>,
     /// `single`'s first-arriver flag.
     pub claimed: AtomicBool,
     /// Copyprivate / generic-reduction staging slot.
     pub stage: PlMutex<Option<Box<dyn Any + Send>>>,
-    /// Members that completed the construct (for table GC).
+    /// Members that completed the construct (for slot release).
     pub finished: AtomicUsize,
 }
 
 impl ConstructState {
     pub(crate) fn new(start: u64, total: u64) -> Self {
         ConstructState {
-            cursor: AtomicU64::new(start),
-            remaining: AtomicU64::new(total),
+            cursor: CachePadded::new(AtomicU64::new(start)),
+            remaining: CachePadded::new(AtomicU64::new(total)),
             claimed: AtomicBool::new(false),
             stage: PlMutex::new(None),
             finished: AtomicUsize::new(0),
@@ -51,14 +74,132 @@ impl ConstructState {
     }
 }
 
+/// One construct-ring slot.  `claim` and `ready` hold `seq + 1` of the
+/// construct occupying the slot (0 = vacant); storing the full sequence
+/// number rather than a parity bit makes lapped slots unambiguous.
+struct ConstructSlot {
+    /// Who owns the slot: CAS'd `0 → seq + 1` by the member that arrives
+    /// first; reset to 0 only after the construct is fully released.
+    claim: AtomicU64,
+    /// Publication flag: set to `seq + 1` *after* `state` is written, so a
+    /// reader that observes it acquires the initialized state.
+    ready: AtomicU64,
+    state: UnsafeCell<Option<Arc<ConstructState>>>,
+}
+
+// SAFETY: `state` is written by exactly one thread at a time — the claim
+// winner before `ready` is published, or the last finisher after every
+// other member has passed its `finished` increment — and only read between
+// an Acquire of `ready == seq + 1` and that reader's own `finished`
+// increment.
+unsafe impl Sync for ConstructSlot {}
+
+/// Lock-free table of in-flight worksharing constructs.
+///
+/// OpenMP requires every team member to encounter worksharing constructs in
+/// the same order, so a construct is fully named by its per-member sequence
+/// number, and at most `size` constructs are live at once (members can't be
+/// more than the ring's length apart without someone having finished).  The
+/// table is therefore a fixed ring indexed by `seq % CONSTRUCT_RING`:
+///
+/// * **lookup/insert** — spin on `ready == seq + 1` (already published), or
+///   win the `claim` CAS and publish the state yourself; no team lock, no
+///   allocation beyond the state `Arc` itself;
+/// * **release** — the last member through the construct clears the slot
+///   (`state`, then `ready`, then `claim`), making it claimable for
+///   `seq + CONSTRUCT_RING`;
+/// * **backpressure** — a member lapping the ring (its `seq` maps onto a
+///   slot still owned by `seq - CONSTRUCT_RING`) waits for the stragglers,
+///   running queued tasks meanwhile so task-starved laggards still make
+///   progress.
+pub(crate) struct ConstructRing {
+    slots: Box<[ConstructSlot]>,
+}
+
+impl ConstructRing {
+    fn new() -> Self {
+        let slots = (0..CONSTRUCT_RING)
+            .map(|_| ConstructSlot {
+                claim: AtomicU64::new(0),
+                ready: AtomicU64::new(0),
+                state: UnsafeCell::new(None),
+            })
+            .collect();
+        ConstructRing { slots }
+    }
+
+    /// Fetch-or-create the state for construct `seq`.  `stall` is invoked
+    /// while waiting (on another member's initialization, or on a lapped
+    /// slot); it should do useful work or yield.
+    fn get(
+        &self,
+        seq: u64,
+        init: impl FnOnce() -> ConstructState,
+        mut stall: impl FnMut(),
+    ) -> Arc<ConstructState> {
+        let slot = &self.slots[(seq as usize) % CONSTRUCT_RING];
+        let tag = seq + 1;
+        let mut init = Some(init);
+        loop {
+            if slot.ready.load(Ordering::Acquire) == tag {
+                // Published by a teammate: the Acquire above pairs with the
+                // Release in the publisher, so the state write is visible.
+                // SAFETY: see ConstructSlot — the slot can't be released or
+                // reused until this member increments `finished`.
+                let state = unsafe { (*slot.state.get()).as_ref() };
+                return Arc::clone(state.expect("ready slot holds a state"));
+            }
+            match slot
+                .claim
+                .compare_exchange(0, tag, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    // This member initializes the construct.
+                    let state = Arc::new((init.take().expect("claim won once"))());
+                    // SAFETY: winning the CAS makes this thread the slot's
+                    // unique writer until `ready` is published.
+                    unsafe { *slot.state.get() = Some(Arc::clone(&state)) };
+                    slot.ready.store(tag, Ordering::Release);
+                    return state;
+                }
+                Err(current) if current == tag => {
+                    // A teammate won the claim; its publication is imminent.
+                    std::hint::spin_loop();
+                }
+                Err(_lapped) => {
+                    // The slot still belongs to construct seq - RING: this
+                    // member lapped the ring ahead of stragglers.
+                    stall();
+                }
+            }
+        }
+    }
+
+    /// Release the slot for construct `seq`; call only from the last member
+    /// through the construct.
+    fn release(&self, seq: u64) {
+        let slot = &self.slots[(seq as usize) % CONSTRUCT_RING];
+        debug_assert_eq!(slot.ready.load(Ordering::Relaxed), seq + 1);
+        // SAFETY: every member has incremented `finished` (AcqRel), so no
+        // reader can still be dereferencing the cell.
+        unsafe { *slot.state.get() = None };
+        slot.ready.store(0, Ordering::Release);
+        // Clearing `claim` last re-opens the slot: a claimant for
+        // seq + RING CASes 0 → its tag and only then writes the cell.
+        slot.claim.store(0, Ordering::Release);
+    }
+}
+
 /// Per-team always-on counters; folded into the runtime's totals at join.
+/// Each counter is cache-padded: they are bumped from different members on
+/// different constructs and must not ping-pong one line between them.
 #[derive(Default)]
 pub(crate) struct TeamCounters {
-    pub barriers: AtomicU64,
-    pub criticals: AtomicU64,
-    pub singles: AtomicU64,
-    pub loops: AtomicU64,
-    pub tasks: AtomicU64,
+    pub barriers: CachePadded<AtomicU64>,
+    pub criticals: CachePadded<AtomicU64>,
+    pub singles: CachePadded<AtomicU64>,
+    pub loops: CachePadded<AtomicU64>,
+    pub tasks: CachePadded<AtomicU64>,
 }
 
 /// Everything a team shares for the duration of one parallel region.
@@ -67,14 +208,16 @@ pub(crate) struct TeamShared {
     pub size: usize,
     /// The team barrier (implicit and explicit uses).
     pub barrier: Barrier,
-    /// Construct table: seq → state.  Guarded by a *backend* lock — the
-    /// gomp_mutex substitution of §5B.3.
-    pub constructs: BackendMutex<HashMap<u64, Arc<ConstructState>>>,
-    /// Reduction scratch: `size` value slots + one result slot, allocated
-    /// through the backend — the gomp_malloc substitution of §5B.2.
+    /// In-flight worksharing constructs, indexed by sequence number.
+    pub constructs: ConstructRing,
+    /// Reduction scratch: `size` value slots + one result slot, each strided
+    /// to [`REDUCE_STRIDE`] words, allocated through the backend — the
+    /// gomp_malloc substitution of §5B.2.
     pub reduce_words: Arc<dyn SharedWords>,
-    /// Explicit task queue (barriers are task scheduling points).
-    pub tasks: SegQueue<Task>,
+    /// Per-member local task rings (work-stealing fast path).
+    pub task_rings: Box<[CachePadded<RingQueue<Task>>]>,
+    /// Overflow + external submission queue for tasks.
+    pub task_injector: Injector<Task>,
     /// Tasks queued or running, not yet finished.
     pub outstanding_tasks: AtomicUsize,
     /// `ordered` cursor: the loop index allowed to run its ordered block.
@@ -88,14 +231,107 @@ pub(crate) struct TeamShared {
 }
 
 impl TeamShared {
-    /// Run queued tasks until the queue is momentarily empty; returns `true`
-    /// if at least one task ran.
-    pub(crate) fn drain_tasks(&self) -> bool {
+    pub(crate) fn new(size: usize, barrier: Barrier, reduce_words: Arc<dyn SharedWords>) -> Self {
+        TeamShared {
+            size,
+            barrier,
+            constructs: ConstructRing::new(),
+            reduce_words,
+            task_rings: (0..size)
+                .map(|_| CachePadded::new(RingQueue::new(LOCAL_TASK_RING)))
+                .collect(),
+            task_injector: Injector::new(),
+            outstanding_tasks: AtomicUsize::new(0),
+            ordered_cursor: PlMutex::new(0),
+            ordered_cv: Condvar::new(),
+            panic: PlMutex::new(None),
+            cpu_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            counters: TeamCounters::default(),
+        }
+    }
+
+    /// Words the reduction scratch needs for a team of `size`.
+    pub(crate) fn reduce_words_len(size: usize) -> usize {
+        (size + 1) * REDUCE_STRIDE
+    }
+
+    /// Fetch-or-create the state for construct `seq`, as member `tid`.
+    pub(crate) fn construct(
+        &self,
+        tid: usize,
+        seq: u64,
+        init: impl FnOnce() -> ConstructState,
+    ) -> Arc<ConstructState> {
+        self.constructs.get(seq, init, || {
+            // Lapped the ring: help stragglers along by running their
+            // queued tasks (a laggard may be stuck in taskwait behind work
+            // sitting in a queue) instead of burning the core.
+            if !self.run_one_task(tid) {
+                std::thread::yield_now();
+            }
+        })
+    }
+
+    /// Mark member done with construct `seq`; the last one releases the
+    /// ring slot.
+    pub(crate) fn construct_done(&self, seq: u64, state: &Arc<ConstructState>) {
+        if state.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.size {
+            self.constructs.release(seq);
+        }
+    }
+
+    /// Queue a task on behalf of member `tid`: local ring first, injector
+    /// on overflow.
+    pub(crate) fn push_task(&self, tid: usize, task: Task) {
+        self.outstanding_tasks.fetch_add(1, Ordering::AcqRel);
+        if let Err(task) = self.task_rings[tid].push(task) {
+            self.task_injector.push(task);
+        }
+    }
+
+    /// Take one queued task as member `tid`: own ring, then the injector,
+    /// then steal round-robin from teammates.
+    pub(crate) fn take_task(&self, tid: usize) -> Option<Task> {
+        if let Some(t) = self.task_rings[tid].pop() {
+            return Some(t);
+        }
+        loop {
+            match self.task_injector.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        for k in 1..self.size {
+            let victim = (tid + k) % self.size;
+            if let Some(t) = self.task_rings[victim].pop() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Run one queued task as member `tid`; returns whether one ran.  Task
+    /// panics are captured into the team's panic slot (first wins) so a
+    /// panic inside a *stolen* task still reaches the master, and
+    /// `outstanding_tasks` still reaches zero so barriers don't hang.
+    pub(crate) fn run_one_task(&self, tid: usize) -> bool {
+        let Some(t) = self.take_task(tid) else {
+            return false;
+        };
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(t)) {
+            self.record_panic(payload);
+        }
+        self.outstanding_tasks.fetch_sub(1, Ordering::AcqRel);
+        self.counters.tasks.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Run queued tasks until none are reachable; returns `true` if at
+    /// least one task ran.
+    pub(crate) fn drain_tasks(&self, tid: usize) -> bool {
         let mut any = false;
-        while let Some(t) = self.tasks.pop() {
-            t();
-            self.outstanding_tasks.fetch_sub(1, Ordering::AcqRel);
-            self.counters.tasks.fetch_add(1, Ordering::Relaxed);
+        while self.run_one_task(tid) {
             any = true;
         }
         any
@@ -153,14 +389,27 @@ impl RegionFn {
 }
 
 /// One dock slot: a mailbox between the master and a pool worker.
+///
+/// Two condition variables, one per direction: `cv_assign` wakes the worker
+/// when a job (or exit) lands, `cv_idle` wakes the master when the slot
+/// returns to idle.  With a single shared condvar every region launch
+/// cross-woke the other side's waiters — measurable on the EPCC `parallel`
+/// overhead at larger team sizes.
 pub(crate) struct PoolSlot {
     pub state: PlMutex<SlotState>,
-    pub cv: Condvar,
+    /// Signalled master → worker (new job / exit).
+    cv_assign: Condvar,
+    /// Signalled worker → master (slot back to idle).
+    cv_idle: Condvar,
 }
 
 impl PoolSlot {
     pub(crate) fn new() -> Arc<Self> {
-        Arc::new(PoolSlot { state: PlMutex::new(SlotState::Idle), cv: Condvar::new() })
+        Arc::new(PoolSlot {
+            state: PlMutex::new(SlotState::Idle),
+            cv_assign: Condvar::new(),
+            cv_idle: Condvar::new(),
+        })
     }
 
     /// Master side: hand a job to this slot (waits for the slot to be idle,
@@ -168,22 +417,22 @@ impl PoolSlot {
     pub(crate) fn assign(&self, job: JobMsg) {
         let mut st = self.state.lock();
         while !matches!(*st, SlotState::Idle) {
-            self.cv.wait(&mut st);
+            self.cv_idle.wait(&mut st);
         }
         *st = SlotState::Job(job);
         drop(st);
-        self.cv.notify_all();
+        self.cv_assign.notify_one();
     }
 
     /// Master side at shutdown.
     pub(crate) fn send_exit(&self) {
         let mut st = self.state.lock();
         while !matches!(*st, SlotState::Idle) {
-            self.cv.wait(&mut st);
+            self.cv_idle.wait(&mut st);
         }
         *st = SlotState::Exit;
         drop(st);
-        self.cv.notify_all();
+        self.cv_assign.notify_one();
     }
 
     /// Worker side: the dock loop.
@@ -193,7 +442,7 @@ impl PoolSlot {
                 let mut st = self.state.lock();
                 loop {
                     match &*st {
-                        SlotState::Idle => self.cv.wait(&mut st),
+                        SlotState::Idle => self.cv_assign.wait(&mut st),
                         SlotState::Exit => return,
                         SlotState::Job(_) => break,
                     }
@@ -207,7 +456,7 @@ impl PoolSlot {
             // member fully completes, so the master's next assign can't
             // overlap this region.
             run_region_member(&job);
-            self.cv.notify_all();
+            self.cv_idle.notify_one();
         }
     }
 }
@@ -221,7 +470,11 @@ pub(crate) fn run_region_member(job: &JobMsg) {
     let rt = unsafe { &*job.rt };
     let in_parallel_prev = crate::runtime::enter_region_flag();
     let w = crate::worker::Worker::new(team, rt, job.tid);
-    let start = if job.profiling { Some(mca_platform::vtime::thread_cpu_ns()) } else { None };
+    let start = if job.profiling {
+        Some(mca_platform::vtime::thread_cpu_ns())
+    } else {
+        None
+    };
     // SAFETY: the closure outlives the region; see RegionFn.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
         job.func.call(&w)
@@ -247,19 +500,11 @@ mod tests {
 
     pub(crate) fn mk_team(size: usize) -> Arc<TeamShared> {
         let be = NativeBackend::new();
-        Arc::new(TeamShared {
+        Arc::new(TeamShared::new(
             size,
-            barrier: Barrier::new(size, BarrierKind::Centralized),
-            constructs: BackendMutex::new(be.new_lock(), HashMap::new()),
-            reduce_words: be.alloc_shared_words(size + 1),
-            tasks: SegQueue::new(),
-            outstanding_tasks: AtomicUsize::new(0),
-            ordered_cursor: PlMutex::new(0),
-            ordered_cv: Condvar::new(),
-            panic: PlMutex::new(None),
-            cpu_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
-            counters: TeamCounters::default(),
-        })
+            Barrier::new(size, BarrierKind::Centralized),
+            be.alloc_shared_words(TeamShared::reduce_words_len(size)),
+        ))
     }
 
     #[test]
@@ -268,15 +513,114 @@ mod tests {
         let hits = Arc::new(AtomicU64::new(0));
         for _ in 0..5 {
             let h = Arc::clone(&hits);
-            team.outstanding_tasks.fetch_add(1, Ordering::AcqRel);
-            team.tasks.push(Box::new(move || {
-                h.fetch_add(1, Ordering::Relaxed);
-            }));
+            team.push_task(
+                0,
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
         }
-        assert!(team.drain_tasks());
+        assert!(team.drain_tasks(0));
         assert_eq!(hits.load(Ordering::Relaxed), 5);
         assert_eq!(team.outstanding_tasks.load(Ordering::Relaxed), 0);
-        assert!(!team.drain_tasks(), "second drain finds nothing");
+        assert!(!team.drain_tasks(0), "second drain finds nothing");
+    }
+
+    #[test]
+    fn drain_steals_from_other_members() {
+        let team = mk_team(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        // Queue on members 1..3; member 0 must reach all of them by
+        // stealing.
+        for tid in 1..4 {
+            for _ in 0..3 {
+                let h = Arc::clone(&hits);
+                team.push_task(
+                    tid,
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+            }
+        }
+        assert!(team.drain_tasks(0));
+        assert_eq!(hits.load(Ordering::Relaxed), 9);
+        assert_eq!(team.outstanding_tasks.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn task_overflow_spills_to_injector() {
+        let team = mk_team(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let n = (LOCAL_TASK_RING + 50) as u64;
+        for _ in 0..n {
+            let h = Arc::clone(&hits);
+            team.push_task(
+                0,
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        assert!(
+            !team.task_injector.is_empty(),
+            "overflow reached the injector"
+        );
+        assert!(team.drain_tasks(0));
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn tasks_spawned_from_tasks_all_complete() {
+        // A queued task that queues more tasks (OpenMP allows arbitrary
+        // nesting); a barrier-style drain loop must see all of them,
+        // including grandchildren queued mid-drain.
+        let team = mk_team(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..4 {
+            let team2 = Arc::clone(&team);
+            let h = Arc::clone(&hits);
+            team.push_task(
+                0,
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..3 {
+                        let team3 = Arc::clone(&team2);
+                        let h = Arc::clone(&h);
+                        team2.push_task(
+                            1,
+                            Box::new(move || {
+                                h.fetch_add(1, Ordering::Relaxed);
+                                let h = Arc::clone(&h);
+                                team3.push_task(
+                                    0,
+                                    Box::new(move || {
+                                        h.fetch_add(1, Ordering::Relaxed);
+                                    }),
+                                );
+                            }),
+                        );
+                    }
+                }),
+            );
+        }
+        // The worker barrier's completion loop: drain until outstanding
+        // hits zero, which must include tasks spawned *during* the drain.
+        while team.outstanding_tasks.load(Ordering::Acquire) > 0 {
+            team.drain_tasks(0);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 4 + 4 * 3 + 4 * 3);
+    }
+
+    #[test]
+    fn panicking_task_is_recorded_not_propagated() {
+        let team = mk_team(2);
+        team.push_task(1, Box::new(|| panic!("task boom")));
+        // Member 0 steals and runs it; the panic must be captured.
+        assert!(team.drain_tasks(0));
+        assert_eq!(team.outstanding_tasks.load(Ordering::Relaxed), 0);
+        let p = team.panic.lock().take().expect("panic recorded");
+        assert_eq!(*p.downcast_ref::<&str>().unwrap(), "task boom");
     }
 
     #[test]
@@ -286,6 +630,32 @@ mod tests {
         team.record_panic(Box::new("second"));
         let p = team.panic.lock().take().unwrap();
         assert_eq!(*p.downcast_ref::<&str>().unwrap(), "first");
+    }
+
+    #[test]
+    fn construct_ring_shares_state_per_seq() {
+        let team = mk_team(2);
+        let a = team.construct(0, 0, || ConstructState::new(0, 10));
+        let b = team.construct(1, 0, || ConstructState::new(99, 99));
+        assert!(Arc::ptr_eq(&a, &b), "same seq names the same construct");
+        assert_eq!(a.cursor.load(Ordering::Relaxed), 0, "first init wins");
+        team.construct_done(0, &a);
+        team.construct_done(0, &b);
+        // Slot released: seq CONSTRUCT_RING reuses it with fresh state.
+        let c = team.construct(0, CONSTRUCT_RING as u64, || ConstructState::new(7, 7));
+        assert_eq!(c.cursor.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn construct_ring_lap_waits_for_release() {
+        // Size-1 team: every construct is released immediately, so a long
+        // seq chain must wrap the ring cleanly.
+        let team = mk_team(1);
+        for seq in 0..(CONSTRUCT_RING as u64 * 3) {
+            let st = team.construct(0, seq, || ConstructState::new(seq, 1));
+            assert_eq!(st.cursor.load(Ordering::Relaxed), seq);
+            team.construct_done(seq, &st);
+        }
     }
 
     #[test]

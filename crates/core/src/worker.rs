@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use crate::runtime::RtInner;
 use crate::schedule::{guided_chunk, static_block, static_chunk_starts, Schedule};
-use crate::team::{ConstructState, TeamShared};
+use crate::team::{ConstructState, TeamShared, REDUCE_STRIDE};
 
 /// Reduction combiners for the word-typed fast paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +86,12 @@ pub struct Worker<'a> {
 
 impl<'a> Worker<'a> {
     pub(crate) fn new(team: &'a Arc<TeamShared>, rt: &'a RtInner, tid: usize) -> Self {
-        Worker { team, rt, tid, seq: Cell::new(0) }
+        Worker {
+            team,
+            rt,
+            tid,
+            seq: Cell::new(0),
+        }
     }
 
     /// `omp_get_thread_num`.
@@ -113,21 +118,17 @@ impl<'a> Worker<'a> {
         s
     }
 
-    /// Fetch-or-create the shared state for construct `key`.
+    /// Fetch-or-create the shared state for construct `key` — a lock-free
+    /// construct-ring lookup (see [`crate::team::ConstructRing`]); no team
+    /// lock on any worksharing fast path.
     fn construct(&self, key: u64, init: impl FnOnce() -> ConstructState) -> Arc<ConstructState> {
-        self.team.constructs.with(|map| {
-            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(init())))
-        })
+        self.team.construct(self.tid, key, init)
     }
 
-    /// Mark this member done with construct `key`; the last one removes the
-    /// table entry.
+    /// Mark this member done with construct `key`; the last one releases
+    /// the ring slot.
     fn construct_done(&self, key: u64, state: &Arc<ConstructState>) {
-        if state.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.team.size {
-            self.team.constructs.with(|map| {
-                map.remove(&key);
-            });
-        }
+        self.team.construct_done(key, state);
     }
 
     // ------------------------------------------------------------------
@@ -140,13 +141,14 @@ impl<'a> Worker<'a> {
         if self.tid == 0 {
             self.team.counters.barriers.fetch_add(1, Ordering::Relaxed);
         }
-        self.team.drain_tasks();
+        self.team.drain_tasks(self.tid);
         let team = self.team;
-        self.team.barrier.wait_idle(self.tid, || team.drain_tasks());
+        let tid = self.tid;
+        self.team.barrier.wait_idle(tid, || team.drain_tasks(tid));
         // Tasks spawned by tasks during the wait: finish them before
         // proceeding, so the OpenMP completion guarantee holds.
         while self.team.outstanding_tasks.load(Ordering::Acquire) > 0 {
-            if !self.team.drain_tasks() {
+            if !self.team.drain_tasks(tid) {
                 std::thread::yield_now();
             }
         }
@@ -276,12 +278,7 @@ impl<'a> Worker<'a> {
     /// Ordered worksharing loop: `body` receives each owned iteration index;
     /// inside it, [`Worker::ordered`] blocks until every lower iteration's
     /// ordered block has run (`#pragma omp for ordered`).
-    pub fn for_range_ordered(
-        &self,
-        range: Range<u64>,
-        sched: Schedule,
-        body: impl Fn(u64),
-    ) {
+    pub fn for_range_ordered(&self, range: Range<u64>, sched: Schedule, body: impl Fn(u64)) {
         self.barrier();
         if self.tid == 0 {
             *self.team.ordered_cursor.lock() = range.start;
@@ -410,18 +407,22 @@ impl<'a> Worker<'a> {
     // ------------------------------------------------------------------
 
     fn reduce_bits(&self, bits: u64, combine: impl Fn(u64, u64) -> u64) -> u64 {
+        // Contribution slots are strided so each member writes its own
+        // 128-byte line pair; without the stride, 16 members share two
+        // lines and the stores ping-pong them around the team.
         let words = self.team.reduce_words.words();
-        words[self.tid].store(bits, Ordering::Release);
+        let result = self.team.size * REDUCE_STRIDE;
+        words[self.tid * REDUCE_STRIDE].store(bits, Ordering::Release);
         self.barrier();
         if self.tid == 0 {
             let mut acc = words[0].load(Ordering::Acquire);
-            for w in words.iter().take(self.team.size).skip(1) {
-                acc = combine(acc, w.load(Ordering::Acquire));
+            for t in 1..self.team.size {
+                acc = combine(acc, words[t * REDUCE_STRIDE].load(Ordering::Acquire));
             }
-            words[self.team.size].store(acc, Ordering::Release);
+            words[result].store(acc, Ordering::Release);
         }
         self.barrier();
-        words[self.team.size].load(Ordering::Acquire)
+        words[result].load(Ordering::Acquire)
     }
 
     /// `reduction(op: f64)` — every member contributes `value`, every member
@@ -480,20 +481,14 @@ impl<'a> Worker<'a> {
     /// `'static` captures (move `Arc`s/atomics in), since tasks may run on
     /// another member's stack.
     pub fn task(&self, f: impl FnOnce() + Send + 'static) {
-        self.team.outstanding_tasks.fetch_add(1, Ordering::AcqRel);
-        self.team.tasks.push(Box::new(f));
+        self.team.push_task(self.tid, Box::new(f));
     }
 
     /// `#pragma omp taskloop`: split `range` into tasks of `grain`
     /// iterations each, queue them for the team, and wait for completion.
     /// The body is shared by all tasks (wrapped in an `Arc`), so it needs
     /// only `Fn` — but like [`Worker::task`] it must be `'static`.
-    pub fn taskloop(
-        &self,
-        range: Range<u64>,
-        grain: u64,
-        f: impl Fn(u64) + Send + Sync + 'static,
-    ) {
+    pub fn taskloop(&self, range: Range<u64>, grain: u64, f: impl Fn(u64) + Send + Sync + 'static) {
         let grain = grain.max(1);
         let f = std::sync::Arc::new(f);
         let mut start = range.start;
@@ -511,9 +506,11 @@ impl<'a> Worker<'a> {
     }
 
     /// `#pragma omp taskwait`: run/await queued tasks until none remain.
+    /// Pops this member's own ring first, then steals, so the common case
+    /// (wait for tasks you just queued) never touches a shared line.
     pub fn taskwait(&self) {
         while self.team.outstanding_tasks.load(Ordering::Acquire) > 0 {
-            if !self.team.drain_tasks() {
+            if !self.team.drain_tasks(self.tid) {
                 std::thread::yield_now();
             }
         }

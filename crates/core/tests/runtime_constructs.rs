@@ -6,10 +6,13 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use romp::{BackendKind, Config, BarrierKind, ReduceOp, Runtime, Schedule};
+use romp::{BackendKind, BarrierKind, Config, ReduceOp, Runtime, Schedule};
 
 fn runtimes() -> Vec<Runtime> {
-    BackendKind::all().iter().map(|&k| Runtime::with_backend(k).unwrap()).collect()
+    BackendKind::all()
+        .iter()
+        .map(|&k| Runtime::with_backend(k).unwrap())
+        .collect()
 }
 
 #[test]
@@ -21,7 +24,12 @@ fn parallel_runs_requested_team() {
             assert!(w.thread_num() < 6);
             seen.fetch_add(1 << w.thread_num(), Ordering::Relaxed);
         });
-        assert_eq!(seen.load(Ordering::Relaxed), 0b111111, "{:?}", rt.backend_kind());
+        assert_eq!(
+            seen.load(Ordering::Relaxed),
+            0b111111,
+            "{:?}",
+            rt.backend_kind()
+        );
     }
 }
 
@@ -195,7 +203,12 @@ fn critical_provides_mutual_exclusion() {
                 });
             }
         });
-        assert_eq!(value.load(Ordering::Relaxed), 1600, "{:?}", rt.backend_kind());
+        assert_eq!(
+            value.load(Ordering::Relaxed),
+            1600,
+            "{:?}",
+            rt.backend_kind()
+        );
         assert_eq!(rt.stats().criticals, 1600);
     }
 }
@@ -225,7 +238,11 @@ fn differently_named_criticals_are_independent() {
                 });
             }
         });
-        assert_eq!(in_a.load(Ordering::SeqCst), 2, "named criticals must not alias");
+        assert_eq!(
+            in_a.load(Ordering::SeqCst),
+            2,
+            "named criticals must not alias"
+        );
     }
 }
 
@@ -303,7 +320,12 @@ fn ordered_loop_runs_ordered_blocks_in_sequence() {
             });
         });
         let log = log.into_inner().unwrap();
-        assert_eq!(log, (0..64).collect::<Vec<u64>>(), "{:?}", rt.backend_kind());
+        assert_eq!(
+            log,
+            (0..64).collect::<Vec<u64>>(),
+            "{:?}",
+            rt.backend_kind()
+        );
     }
 }
 
@@ -349,7 +371,11 @@ fn tasks_spawned_by_tasks_finish_before_region_end() {
                 w.task(team_spawner);
             }
         });
-        assert_eq!(done.load(Ordering::Relaxed), 2, "implicit barrier completes tasks");
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            2,
+            "implicit barrier completes tasks"
+        );
     }
 }
 
@@ -366,7 +392,10 @@ fn nested_parallel_serializes() {
         });
         let sizes = inner_sizes.into_inner().unwrap();
         assert_eq!(sizes.len(), 3, "each member ran the nested region");
-        assert!(sizes.iter().all(|&s| s == 1), "nested teams serialize to size 1");
+        assert!(
+            sizes.iter().all(|&s| s == 1),
+            "nested teams serialize to size 1"
+        );
     }
 }
 
@@ -394,7 +423,9 @@ fn worker_panic_propagates_to_caller() {
 fn tree_barrier_configuration_works_end_to_end() {
     for kind in BackendKind::all() {
         let rt = Runtime::with_config(
-            Config::default().with_backend(kind).with_barrier(BarrierKind::Tree { arity: 2 }),
+            Config::default()
+                .with_backend(kind)
+                .with_barrier(BarrierKind::Tree { arity: 2 }),
         )
         .unwrap();
         let sum = rt.parallel_reduce_sum(9, 0..10_000u64, |i| i);

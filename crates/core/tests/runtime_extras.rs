@@ -24,7 +24,11 @@ fn parallel_sections_runs_each_body_once() {
         };
         rt.parallel_sections(2, &[s1, s2, s3]);
         assert_eq!(
-            (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed), c.load(Ordering::Relaxed)),
+            (
+                a.load(Ordering::Relaxed),
+                b.load(Ordering::Relaxed),
+                c.load(Ordering::Relaxed)
+            ),
             (1, 1, 1)
         );
     }
@@ -57,7 +61,11 @@ fn num_procs_reflects_backend_metadata() {
         }
     });
     assert!(*got_native.lock().unwrap() >= 1);
-    assert_eq!(*got_mca.lock().unwrap(), 24, "MRAPI metadata of the modeled board");
+    assert_eq!(
+        *got_mca.lock().unwrap(),
+        24,
+        "MRAPI metadata of the modeled board"
+    );
 }
 
 #[test]
@@ -149,7 +157,10 @@ fn taskloop_covers_range_and_waits() {
                 assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
             }
         });
-        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1), "{kind:?}");
+        assert!(
+            marks.iter().all(|m| m.load(Ordering::Relaxed) == 1),
+            "{kind:?}"
+        );
     }
 }
 

@@ -1,0 +1,166 @@
+//! Stress tests for the work-stealing task scheduler and the lock-free
+//! worksharing construct ring, at the public runtime API.
+//!
+//! The scheduler's contract: tasks queued anywhere run exactly once, are
+//! all complete when a barrier (or `taskwait`, or the implicit region-end
+//! barrier) returns, and a panic inside a task surfaces from
+//! [`Runtime::parallel`] no matter which member's stack the task actually
+//! ran on.  The construct ring's contract: concurrently encountered
+//! worksharing constructs never alias, even thousands of constructs deep —
+//! many laps past the 64-slot ring capacity.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mca_sync::rng::SmallRng;
+use romp::{BackendKind, Runtime, Schedule};
+
+fn native_rt() -> Runtime {
+    Runtime::with_backend(BackendKind::Native).unwrap()
+}
+
+/// One member queues far more tasks than its 256-slot local ring holds
+/// (forcing the injector path) while every other member is already idle in
+/// `taskwait` (forcing the steal path); each task must run exactly once
+/// and `taskwait` must not return early.
+#[test]
+fn taskwait_completes_under_heavy_stealing() {
+    let rt = native_rt();
+    const TASKS: usize = 2000;
+    for _ in 0..5 {
+        let ran: Arc<Vec<AtomicU32>> = Arc::new((0..TASKS).map(|_| AtomicU32::new(0)).collect());
+        let queued = std::sync::atomic::AtomicBool::new(false);
+        rt.parallel(6, |w| {
+            if w.thread_num() == 0 {
+                for i in 0..TASKS {
+                    let ran = Arc::clone(&ran);
+                    w.task(move || {
+                        ran[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                queued.store(true, Ordering::Release);
+            } else {
+                // Enter taskwait only once work is really outstanding, so
+                // this member drains exclusively by stealing.
+                while !queued.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+            w.taskwait();
+            for (i, r) in ran.iter().enumerate() {
+                assert_eq!(r.load(Ordering::Relaxed), 1, "task {i} ran exactly once");
+            }
+        });
+    }
+}
+
+/// Tasks queued by every member are all complete once the explicit
+/// barrier returns — the OpenMP barrier-as-task-scheduling-point rule.
+#[test]
+fn barrier_completes_all_members_tasks() {
+    let rt = native_rt();
+    let hits = Arc::new(AtomicU64::new(0));
+    let per_member = 300u64;
+    let team = 4u64;
+    rt.parallel(team as usize, |w| {
+        for _ in 0..per_member {
+            let hits = Arc::clone(&hits);
+            w.task(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        w.barrier();
+        assert_eq!(hits.load(Ordering::Relaxed), per_member * team);
+    });
+}
+
+/// A panic inside a task reaches the caller of `parallel()` even when the
+/// task was queued by one member and stolen by another.  Member 0 queues
+/// the bomb and then spins inside the region, so the bomb is necessarily
+/// executed by a thief (or by member 0's own barrier drain at region end —
+/// either way the payload must surface).
+#[test]
+fn stolen_task_panic_propagates_from_parallel() {
+    let rt = native_rt();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rt.parallel(4, |w| {
+            if w.thread_num() == 0 {
+                w.task(|| panic!("stolen task boom"));
+            }
+            w.barrier();
+        });
+    }));
+    let payload = result.expect_err("panic must propagate");
+    assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "stolen task boom");
+    // The runtime must stay usable after a task panic.
+    let ok = AtomicU64::new(0);
+    rt.parallel(4, |_| {
+        ok.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 4);
+}
+
+/// Randomized ring-wrap stress: a parallel region runs hundreds of nowait
+/// constructs back-to-back — many laps of the 64-slot construct ring — at
+/// arbitrary team sizes.  If the ring ever aliased two live constructs
+/// (one member on seq N reading state initialized for seq N+64), a
+/// `single` would run twice or not at all, or a loop would drop or repeat
+/// iterations.
+#[test]
+fn construct_ring_never_aliases_across_wraps() {
+    let mut rng = SmallRng::seed_from_u64(0x41a5_0001);
+    for _ in 0..6 {
+        let threads = rng.gen_index(1, 7);
+        let constructs = rng.gen_index(150, 400);
+        let iters_per_loop = rng.gen_range(1, 40);
+        let rt = native_rt();
+        let singles = AtomicU64::new(0);
+        let loop_hits = AtomicU64::new(0);
+        rt.parallel(threads, |w| {
+            for _ in 0..constructs {
+                w.single_nowait(|| {
+                    singles.fetch_add(1, Ordering::Relaxed);
+                });
+                w.for_range_nowait(0..iters_per_loop, Schedule::Dynamic { chunk: 3 }, |_| {
+                    loop_hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            singles.load(Ordering::Relaxed),
+            constructs as u64,
+            "each of {constructs} singles ran exactly once (team {threads})"
+        );
+        assert_eq!(
+            loop_hits.load(Ordering::Relaxed),
+            constructs as u64 * iters_per_loop,
+            "every loop iteration covered exactly once (team {threads})"
+        );
+    }
+}
+
+/// Task-scheduler churn across many short regions: rings and counters are
+/// per-team, so nothing may leak from one region into the next.
+#[test]
+fn taskloop_churn_across_regions() {
+    let rt = native_rt();
+    let mut rng = SmallRng::seed_from_u64(0x41a5_0002);
+    for _ in 0..12 {
+        let n = rng.gen_range(1, 500);
+        let grain = rng.gen_range(1, 32);
+        let threads = rng.gen_index(1, 6);
+        let sum = Arc::new(AtomicU64::new(0));
+        rt.parallel(threads, |w| {
+            if w.thread_num() == 0 {
+                let sum = Arc::clone(&sum);
+                w.taskloop(0..n, grain, move |i| {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+            // Idle members reach the implicit region-end barrier and steal
+            // taskloop chunks from there.
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+}

@@ -2,7 +2,7 @@
 //! primitives — the pieces that must survive heavy oversubscription on the
 //! reproduction's single-core-to-many-thread setups.
 
-use proptest::prelude::*;
+use mca_sync::rng::SmallRng;
 use romp::barrier::{Barrier, BarrierKind};
 use romp::sync::RawMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,21 +92,34 @@ fn barrier_round_trip(kind: BarrierKind, n: usize, rounds: u64) -> bool {
     ok.load(Ordering::SeqCst) == 1 && phase.load(Ordering::SeqCst) == rounds * n as u64
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// The centralized barrier is correct for arbitrary team sizes.
-    #[test]
-    fn centralized_barrier_arbitrary_teams(n in 1usize..12, rounds in 1u64..20) {
-        prop_assert!(barrier_round_trip(BarrierKind::Centralized, n, rounds));
+/// The centralized barrier is correct for arbitrary team sizes.
+#[test]
+fn centralized_barrier_arbitrary_teams() {
+    let mut rng = SmallRng::seed_from_u64(0xba11_0001);
+    for _ in 0..12 {
+        let n = rng.gen_index(1, 12);
+        let rounds = rng.gen_range(1, 20);
+        assert!(
+            barrier_round_trip(BarrierKind::Centralized, n, rounds),
+            "centralized barrier failed at n={n}, rounds={rounds}"
+        );
     }
+}
 
-    /// The tree barrier is correct for arbitrary team sizes and arities,
-    /// including sizes that do not divide the arity.
-    #[test]
-    fn tree_barrier_arbitrary_teams(n in 1usize..12, arity in 2usize..6, rounds in 1u64..20) {
+/// The tree barrier is correct for arbitrary team sizes and arities,
+/// including sizes that do not divide the arity.
+#[test]
+fn tree_barrier_arbitrary_teams() {
+    let mut rng = SmallRng::seed_from_u64(0xba11_0002);
+    for _ in 0..12 {
+        let n = rng.gen_index(1, 12);
+        let arity = rng.gen_index(2, 6);
+        let rounds = rng.gen_range(1, 20);
         let kind = BarrierKind::Tree { arity };
-        prop_assert!(barrier_round_trip(kind, n, rounds));
+        assert!(
+            barrier_round_trip(kind, n, rounds),
+            "tree barrier failed at n={n}, arity={arity}, rounds={rounds}"
+        );
     }
 }
 

@@ -26,7 +26,11 @@ pub enum ArrayClause {
 impl ArrayClause {
     /// All clauses, suite order.
     pub fn all() -> [ArrayClause; 3] {
-        [ArrayClause::Private, ArrayClause::FirstPrivate, ArrayClause::CopyPrivate]
+        [
+            ArrayClause::Private,
+            ArrayClause::FirstPrivate,
+            ArrayClause::CopyPrivate,
+        ]
     }
 
     /// Display label.
@@ -148,7 +152,12 @@ mod tests {
     use romp::BackendKind;
 
     fn cfg(threads: usize) -> EpccConfig {
-        EpccConfig { threads, outer_reps: 3, inner_reps: 4, delay_len: 8 }
+        EpccConfig {
+            threads,
+            outer_reps: 3,
+            inner_reps: 4,
+            delay_len: 8,
+        }
     }
 
     #[test]
@@ -164,7 +173,12 @@ mod tests {
     #[test]
     fn firstprivate_cost_grows_with_size() {
         let rt = Runtime::with_backend(BackendKind::Native).unwrap();
-        let c = EpccConfig { threads: 2, outer_reps: 5, inner_reps: 8, delay_len: 4 };
+        let c = EpccConfig {
+            threads: 2,
+            outer_reps: 5,
+            inner_reps: 8,
+            delay_len: 4,
+        };
         // Copying a 64k-element array per thread per region must cost
         // measurably more than a 1-element one; compare region times
         // directly (reference cancels).

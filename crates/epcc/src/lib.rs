@@ -100,12 +100,22 @@ pub struct EpccConfig {
 impl EpccConfig {
     /// EPCC-like defaults: 20 outer reps, calibrated ~0.1 µs delay.
     pub fn standard(threads: usize) -> Self {
-        EpccConfig { threads, outer_reps: 20, inner_reps: 256, delay_len: calibrate_delay(100) }
+        EpccConfig {
+            threads,
+            outer_reps: 20,
+            inner_reps: 256,
+            delay_len: calibrate_delay(100),
+        }
     }
 
     /// Small configuration for tests and smoke runs.
     pub fn quick(threads: usize) -> Self {
-        EpccConfig { threads, outer_reps: 3, inner_reps: 16, delay_len: 32 }
+        EpccConfig {
+            threads,
+            outer_reps: 3,
+            inner_reps: 16,
+            delay_len: 32,
+        }
     }
 }
 
@@ -188,13 +198,17 @@ pub fn measure(rt: &Runtime, construct: Construct, cfg: &EpccConfig) -> Measurem
         Construct::For => time_block(cfg, || {
             rt.parallel(n, |w| {
                 for _ in 0..inner {
-                    w.for_range(0..n as u64, Schedule::Static { chunk: None }, |_| delay(len));
+                    w.for_range(0..n as u64, Schedule::Static { chunk: None }, |_| {
+                        delay(len)
+                    });
                 }
             });
         }),
         Construct::ParallelFor => time_block(cfg, || {
             for _ in 0..inner {
-                rt.parallel_for(n, 0..n as u64, Schedule::Static { chunk: None }, |_| delay(len));
+                rt.parallel_for(n, 0..n as u64, Schedule::Static { chunk: None }, |_| {
+                    delay(len)
+                });
             }
         }),
         Construct::Barrier => time_block(cfg, || {
@@ -256,7 +270,10 @@ pub fn measure(rt: &Runtime, construct: Construct, cfg: &EpccConfig) -> Measurem
 
 /// Measure every Table I construct at one team size.
 pub fn measure_table1(rt: &Runtime, cfg: &EpccConfig) -> Vec<Measurement> {
-    Construct::table1().iter().map(|&c| measure(rt, c, cfg)).collect()
+    Construct::table1()
+        .iter()
+        .map(|&c| measure(rt, c, cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -275,7 +292,10 @@ mod tests {
         t(1 << 12);
         let one = t(1 << 14);
         let eight = t(1 << 17);
-        assert!(eight > one * 3.0, "8x work should take clearly longer ({one} vs {eight})");
+        assert!(
+            eight > one * 3.0,
+            "8x work should take clearly longer ({one} vs {eight})"
+        );
     }
 
     #[test]
@@ -307,7 +327,10 @@ mod tests {
             let m = measure(&rt, c, &cfg);
             assert_eq!(m.construct, c);
             assert!(m.test_us > 0.0, "{c:?} produced non-positive test time");
-            assert!(m.test_us >= m.reference_us * 0.1, "{c:?} wildly below reference");
+            assert!(
+                m.test_us >= m.reference_us * 0.1,
+                "{c:?} wildly below reference"
+            );
         }
     }
 
@@ -324,7 +347,12 @@ mod tests {
     fn barrier_overhead_exceeds_nothing_burner() {
         // A barrier in a 4-thread team must cost more than the pure delay.
         let rt = Runtime::with_backend(BackendKind::Native).unwrap();
-        let cfg = EpccConfig { threads: 4, outer_reps: 5, inner_reps: 64, delay_len: 16 };
+        let cfg = EpccConfig {
+            threads: 4,
+            outer_reps: 5,
+            inner_reps: 64,
+            delay_len: 16,
+        };
         let m = measure(&rt, Construct::Barrier, &cfg);
         assert!(
             m.test_us > m.reference_us,
@@ -339,7 +367,15 @@ mod tests {
         let labels: Vec<&str> = Construct::table1().iter().map(|c| c.label()).collect();
         assert_eq!(
             labels,
-            vec!["Parallel", "For", "Parallel for", "Barrier", "Single", "Critical", "Reduction"]
+            vec![
+                "Parallel",
+                "For",
+                "Parallel for",
+                "Barrier",
+                "Single",
+                "Critical",
+                "Reduction"
+            ]
         );
     }
 }

@@ -88,7 +88,11 @@ pub fn measure_schedule(rt: &Runtime, sched: Schedule, cfg: &EpccConfig) -> Sche
 pub fn sweep(rt: &Runtime, cfg: &EpccConfig) -> Vec<SchedMeasurement> {
     let mut out = vec![measure_schedule(rt, Schedule::Static { chunk: None }, cfg)];
     for &chunk in &standard_chunks() {
-        out.push(measure_schedule(rt, Schedule::Static { chunk: Some(chunk) }, cfg));
+        out.push(measure_schedule(
+            rt,
+            Schedule::Static { chunk: Some(chunk) },
+            cfg,
+        ));
         out.push(measure_schedule(rt, Schedule::Dynamic { chunk }, cfg));
         out.push(measure_schedule(rt, Schedule::Guided { chunk }, cfg));
     }
@@ -101,7 +105,12 @@ mod tests {
     use romp::BackendKind;
 
     fn quick_cfg(threads: usize) -> EpccConfig {
-        EpccConfig { threads, outer_reps: 3, inner_reps: 4, delay_len: 16 }
+        EpccConfig {
+            threads,
+            outer_reps: 3,
+            inner_reps: 4,
+            delay_len: 16,
+        }
     }
 
     #[test]
@@ -127,7 +136,12 @@ mod tests {
         // The loop body is empty (delay_len 1) so scheduling dominates;
         // retried because wall-clock noise on a loaded host can mask it.
         let rt = Runtime::with_backend(BackendKind::Native).unwrap();
-        let cfg = EpccConfig { threads: 4, outer_reps: 7, inner_reps: 8, delay_len: 1 };
+        let cfg = EpccConfig {
+            threads: 4,
+            outer_reps: 7,
+            inner_reps: 8,
+            delay_len: 1,
+        };
         for attempt in 0..5 {
             let stat = measure_schedule(&rt, Schedule::Static { chunk: None }, &cfg);
             let dyn1 = measure_schedule(&rt, Schedule::Dynamic { chunk: 1 }, &cfg);
@@ -145,7 +159,12 @@ mod tests {
     #[test]
     fn sweep_covers_all_schedules() {
         let rt = Runtime::with_backend(BackendKind::Native).unwrap();
-        let cfg = EpccConfig { threads: 2, outer_reps: 2, inner_reps: 2, delay_len: 4 };
+        let cfg = EpccConfig {
+            threads: 2,
+            outer_reps: 2,
+            inner_reps: 2,
+            delay_len: 4,
+        };
         let rows = sweep(&rt, &cfg);
         assert_eq!(rows.len(), 1 + 3 * standard_chunks().len());
     }

@@ -36,7 +36,11 @@ pub fn trimmed_mean(xs: &[f64], k: f64) -> f64 {
     if sd == 0.0 {
         return m;
     }
-    let kept: Vec<f64> = xs.iter().copied().filter(|x| (x - m).abs() <= k * sd).collect();
+    let kept: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|x| (x - m).abs() <= k * sd)
+        .collect();
     if kept.is_empty() {
         m
     } else {
@@ -62,7 +66,13 @@ pub fn median(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mca_sync::rng::SmallRng;
+
+    /// A random sample of `len in [min_len, max_len)` values in ±1e6.
+    fn sample(rng: &mut SmallRng, min_len: usize, max_len: usize) -> Vec<f64> {
+        let len = rng.gen_index(min_len, max_len);
+        (0..len).map(|_| rng.gen_f64_range(-1e6, 1e6)).collect()
+    }
 
     #[test]
     fn basics() {
@@ -88,28 +98,41 @@ mod tests {
         let mut xs = vec![10.0; 20];
         xs.push(10_000.0);
         let t = trimmed_mean(&xs, 3.0);
-        assert!((t - 10.0).abs() < 1e-9, "outlier should be rejected, got {t}");
+        assert!(
+            (t - 10.0).abs() < 1e-9,
+            "outlier should be rejected, got {t}"
+        );
     }
 
-    proptest! {
-        #[test]
-        fn mean_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+    #[test]
+    fn mean_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(0xe9cc_0001);
+        for _ in 0..256 {
+            let xs = sample(&mut rng, 1, 50);
             let m = mean(&xs);
-            prop_assert!(m >= min(&xs) - 1e-9 && m <= max(&xs) + 1e-9);
+            assert!(m >= min(&xs) - 1e-9 && m <= max(&xs) + 1e-9);
         }
+    }
 
-        #[test]
-        fn sd_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 2..50)) {
-            prop_assert!(std_dev(&xs) >= 0.0);
+    #[test]
+    fn sd_nonnegative() {
+        let mut rng = SmallRng::seed_from_u64(0xe9cc_0002);
+        for _ in 0..256 {
+            let xs = sample(&mut rng, 2, 50);
+            assert!(std_dev(&xs) >= 0.0);
         }
+    }
 
-        #[test]
-        fn median_is_order_statistic(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+    #[test]
+    fn median_is_order_statistic() {
+        let mut rng = SmallRng::seed_from_u64(0xe9cc_0003);
+        for _ in 0..256 {
+            let xs = sample(&mut rng, 1, 50);
             let med = median(&xs);
             let below = xs.iter().filter(|&&x| x <= med + 1e-12).count();
             let above = xs.iter().filter(|&&x| x >= med - 1e-12).count();
-            prop_assert!(below * 2 >= xs.len());
-            prop_assert!(above * 2 >= xs.len());
+            assert!(below * 2 >= xs.len());
+            assert!(above * 2 >= xs.len());
         }
     }
 }

@@ -35,7 +35,14 @@ impl Endpoint {
         ensure(priority <= MCAPI_MAX_PRIORITY, McapiStatus::ErrParameter)?;
         let target = self.domain.lookup(dest)?;
         ensure(target.chan.lock().is_none(), McapiStatus::ErrChanConnected)?;
-        Endpoint::deliver(&target, Item::Msg { data: data.to_vec(), prio: priority }, timeout)
+        Endpoint::deliver(
+            &target,
+            Item::Msg {
+                data: data.to_vec(),
+                prio: priority,
+            },
+            timeout,
+        )
     }
 
     /// `mcapi_msg_send_i`-style non-blocking send: fails with
@@ -46,7 +53,13 @@ impl Endpoint {
         ensure(priority <= MCAPI_MAX_PRIORITY, McapiStatus::ErrParameter)?;
         let target = self.domain.lookup(dest)?;
         ensure(target.chan.lock().is_none(), McapiStatus::ErrChanConnected)?;
-        Endpoint::try_deliver(&target, Item::Msg { data: data.to_vec(), prio: priority })
+        Endpoint::try_deliver(
+            &target,
+            Item::Msg {
+                data: data.to_vec(),
+                prio: priority,
+            },
+        )
     }
 
     /// `mcapi_msg_recv` — blocking receive; returns `(data, priority)`.
@@ -142,7 +155,9 @@ mod tests {
             McapiStatus::ErrParameter
         );
         assert_eq!(
-            a.msg_send(EndpointAddr { node: 9, port: 9 }, b"x", 0).unwrap_err().0,
+            a.msg_send(EndpointAddr { node: 9, port: 9 }, b"x", 0)
+                .unwrap_err()
+                .0,
             McapiStatus::ErrEndpointInvalid
         );
     }
@@ -151,10 +166,17 @@ mod tests {
     fn backpressure_blocks_then_times_out() {
         let dom = McapiDomain::new(1);
         let a = dom.initialize(0).unwrap().create_endpoint(1).unwrap();
-        let b = dom.initialize(1).unwrap().create_endpoint_with_capacity(1, 2).unwrap();
+        let b = dom
+            .initialize(1)
+            .unwrap()
+            .create_endpoint_with_capacity(1, 2)
+            .unwrap();
         a.msg_send(b.addr(), b"1", 0).unwrap();
         a.msg_send(b.addr(), b"2", 0).unwrap();
-        assert_eq!(a.try_msg_send(b.addr(), b"3", 0).unwrap_err().0, McapiStatus::ErrQueueFull);
+        assert_eq!(
+            a.try_msg_send(b.addr(), b"3", 0).unwrap_err().0,
+            McapiStatus::ErrQueueFull
+        );
         assert_eq!(
             a.msg_send_timeout(b.addr(), b"3", 0, Some(Duration::from_millis(10)))
                 .unwrap_err()
@@ -185,14 +207,19 @@ mod tests {
     #[test]
     fn concurrent_senders_deliver_everything() {
         let dom = McapiDomain::new(1);
-        let rx = dom.initialize(99).unwrap().create_endpoint_with_capacity(1, 512).unwrap();
+        let rx = dom
+            .initialize(99)
+            .unwrap()
+            .create_endpoint_with_capacity(1, 512)
+            .unwrap();
         let handles: Vec<_> = (0..4u32)
             .map(|n| {
                 let tx = dom.initialize(n).unwrap().create_endpoint(1).unwrap();
                 let dest = rx.addr();
                 std::thread::spawn(move || {
                     for i in 0..100u32 {
-                        tx.msg_send(dest, &(n * 1000 + i).to_le_bytes(), (n % 8) as u8).unwrap();
+                        tx.msg_send(dest, &(n * 1000 + i).to_le_bytes(), (n % 8) as u8)
+                            .unwrap();
                     }
                 })
             })
@@ -205,8 +232,9 @@ mod tests {
             got.push(u32::from_le_bytes(d.try_into().unwrap()));
         }
         got.sort_unstable();
-        let mut expect: Vec<u32> =
-            (0..4).flat_map(|n| (0..100).map(move |i| n * 1000 + i)).collect();
+        let mut expect: Vec<u32> = (0..4)
+            .flat_map(|n| (0..100).map(move |i| n * 1000 + i))
+            .collect();
         expect.sort_unstable();
         assert_eq!(got, expect);
     }

@@ -15,7 +15,9 @@ use crate::status::{ensure, McapiResult, McapiStatus};
 /// Sending half of a packet channel.
 impl std::fmt::Debug for PktTx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PktTx").field("ep", &self.ep.addr()).finish()
+        f.debug_struct("PktTx")
+            .field("ep", &self.ep.addr())
+            .finish()
     }
 }
 
@@ -27,7 +29,9 @@ pub struct PktTx {
 /// Receiving half of a packet channel.
 impl std::fmt::Debug for PktRx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PktRx").field("ep", &self.ep.addr()).finish()
+        f.debug_struct("PktRx")
+            .field("ep", &self.ep.addr())
+            .finish()
     }
 }
 
@@ -45,17 +49,34 @@ pub struct PktRx {
 pub fn connect(tx: &Endpoint, rx: &Endpoint) -> McapiResult<(PktTx, PktRx)> {
     tx.check_live()?;
     rx.check_live()?;
-    ensure(tx.queued() == 0 && rx.queued() == 0, McapiStatus::ErrChanInvalid)?;
+    ensure(
+        tx.queued() == 0 && rx.queued() == 0,
+        McapiStatus::ErrChanInvalid,
+    )?;
     let mut tc = tx.inner.chan.lock();
     let mut rc = rx.inner.chan.lock();
     ensure(tc.is_none() && rc.is_none(), McapiStatus::ErrChanConnected)?;
-    *tc = Some(ChanState { kind: ChanKind::Packet, role: ChanRole::Sender, peer: rx.addr() });
-    *rc = Some(ChanState { kind: ChanKind::Packet, role: ChanRole::Receiver, peer: tx.addr() });
+    *tc = Some(ChanState {
+        kind: ChanKind::Packet,
+        role: ChanRole::Sender,
+        peer: rx.addr(),
+    });
+    *rc = Some(ChanState {
+        kind: ChanKind::Packet,
+        role: ChanRole::Receiver,
+        peer: tx.addr(),
+    });
     drop(tc);
     drop(rc);
     Ok((
-        PktTx { ep: tx.clone(), peer: rx.clone() },
-        PktRx { ep: rx.clone(), peer: tx.clone() },
+        PktTx {
+            ep: tx.clone(),
+            peer: rx.clone(),
+        },
+        PktRx {
+            ep: rx.clone(),
+            peer: tx.clone(),
+        },
     ))
 }
 
@@ -68,7 +89,11 @@ impl PktTx {
         )?;
         let c = self.ep.inner.chan.lock();
         match *c {
-            Some(ChanState { kind: ChanKind::Packet, role: ChanRole::Sender, .. }) => Ok(()),
+            Some(ChanState {
+                kind: ChanKind::Packet,
+                role: ChanRole::Sender,
+                ..
+            }) => Ok(()),
             _ => Err(crate::McapiError(McapiStatus::ErrChanInvalid)),
         }
     }
@@ -100,7 +125,11 @@ impl PktRx {
         self.ep.check_live()?;
         let c = self.ep.inner.chan.lock();
         match *c {
-            Some(ChanState { kind: ChanKind::Packet, role: ChanRole::Receiver, .. }) => Ok(()),
+            Some(ChanState {
+                kind: ChanKind::Packet,
+                role: ChanRole::Receiver,
+                ..
+            }) => Ok(()),
             _ => Err(crate::McapiError(McapiStatus::ErrChanInvalid)),
         }
     }
@@ -203,7 +232,10 @@ mod tests {
         let rx = dom.initialize(1).unwrap().create_endpoint(1).unwrap();
         let _c = connect(&tx, &rx).unwrap();
         let rx2 = dom.get_endpoint(EndpointAddr { node: 1, port: 1 }).unwrap();
-        assert_eq!(connect(&tx, &rx2).unwrap_err().0, McapiStatus::ErrChanConnected);
+        assert_eq!(
+            connect(&tx, &rx2).unwrap_err().0,
+            McapiStatus::ErrChanConnected
+        );
     }
 
     #[test]

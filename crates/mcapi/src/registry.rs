@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex as PlMutex, RwLock};
+use mca_sync::{Condvar, Mutex as PlMutex, RwLock};
 
 use crate::status::{ensure, McapiResult, McapiStatus};
 use crate::{DEFAULT_QUEUE_CAPACITY, MCAPI_MAX_PRIORITY};
@@ -65,7 +65,9 @@ pub(crate) struct Queues {
 impl Queues {
     fn new() -> Self {
         Queues {
-            by_prio: (0..=MCAPI_MAX_PRIORITY as usize).map(|_| VecDeque::new()).collect(),
+            by_prio: (0..=MCAPI_MAX_PRIORITY as usize)
+                .map(|_| VecDeque::new())
+                .collect(),
             len: 0,
         }
     }
@@ -141,7 +143,10 @@ impl McapiDomain {
         let mut nodes = self.inner.nodes.write();
         ensure(!nodes.contains_key(&node), McapiStatus::ErrNodeInitFailed)?;
         nodes.insert(node, ());
-        Ok(McapiNode { domain: self.clone(), id: node })
+        Ok(McapiNode {
+            domain: self.clone(),
+            id: node,
+        })
     }
 
     /// Look up an endpoint by address (`mcapi_endpoint_get`).
@@ -153,8 +158,14 @@ impl McapiDomain {
             .get(&(addr.node, addr.port))
             .cloned()
             .ok_or(crate::McapiError(McapiStatus::ErrEndpointInvalid))?;
-        ensure(!inner.deleted.load(Ordering::Acquire), McapiStatus::ErrEndpointInvalid)?;
-        Ok(Endpoint { domain: self.clone(), inner })
+        ensure(
+            !inner.deleted.load(Ordering::Acquire),
+            McapiStatus::ErrEndpointInvalid,
+        )?;
+        Ok(Endpoint {
+            domain: self.clone(),
+            inner,
+        })
     }
 
     pub(crate) fn lookup(&self, addr: EndpointAddr) -> McapiResult<Arc<EpInner>> {
@@ -165,7 +176,10 @@ impl McapiDomain {
             .get(&(addr.node, addr.port))
             .cloned()
             .ok_or(crate::McapiError(McapiStatus::ErrEndpointInvalid))?;
-        ensure(!inner.deleted.load(Ordering::Acquire), McapiStatus::ErrEndpointInvalid)?;
+        ensure(
+            !inner.deleted.load(Ordering::Acquire),
+            McapiStatus::ErrEndpointInvalid,
+        )?;
         Ok(inner)
     }
 }
@@ -206,7 +220,10 @@ impl McapiNode {
         capacity: usize,
     ) -> McapiResult<Endpoint> {
         ensure(capacity > 0, McapiStatus::ErrParameter)?;
-        let addr = EndpointAddr { node: self.id, port };
+        let addr = EndpointAddr {
+            node: self.id,
+            port,
+        };
         let inner = Arc::new(EpInner {
             addr,
             queue: PlMutex::new(Queues::new()),
@@ -217,9 +234,15 @@ impl McapiNode {
             deleted: AtomicBool::new(false),
         });
         let mut eps = self.domain.inner.endpoints.write();
-        ensure(!eps.contains_key(&(addr.node, addr.port)), McapiStatus::ErrEndpointExists)?;
+        ensure(
+            !eps.contains_key(&(addr.node, addr.port)),
+            McapiStatus::ErrEndpointExists,
+        )?;
         eps.insert((addr.node, addr.port), Arc::clone(&inner));
-        Ok(Endpoint { domain: self.domain.clone(), inner })
+        Ok(Endpoint {
+            domain: self.domain.clone(),
+            inner,
+        })
     }
 
     /// `mcapi_finalize` — deregister the node.  Its endpoints are deleted.
@@ -291,7 +314,10 @@ impl Endpoint {
     }
 
     pub(crate) fn check_live(&self) -> McapiResult<()> {
-        ensure(!self.inner.deleted.load(Ordering::Acquire), McapiStatus::ErrEndpointInvalid)
+        ensure(
+            !self.inner.deleted.load(Ordering::Acquire),
+            McapiStatus::ErrEndpointInvalid,
+        )
     }
 
     /// Deliver `item` into `dest`'s queue, blocking while full (bounded by
@@ -304,7 +330,10 @@ impl Endpoint {
         let deadline = timeout.map(|t| std::time::Instant::now() + t);
         let mut q = dest.queue.lock();
         while q.len >= dest.capacity {
-            ensure(!dest.deleted.load(Ordering::Acquire), McapiStatus::ErrEndpointInvalid)?;
+            ensure(
+                !dest.deleted.load(Ordering::Acquire),
+                McapiStatus::ErrEndpointInvalid,
+            )?;
             match deadline {
                 None => dest.cv.wait(&mut q),
                 Some(d) => {
@@ -315,7 +344,10 @@ impl Endpoint {
                 }
             }
         }
-        ensure(!dest.deleted.load(Ordering::Acquire), McapiStatus::ErrEndpointInvalid)?;
+        ensure(
+            !dest.deleted.load(Ordering::Acquire),
+            McapiStatus::ErrEndpointInvalid,
+        )?;
         q.push(item);
         drop(q);
         dest.cv.notify_all();
@@ -324,7 +356,10 @@ impl Endpoint {
 
     /// Try to deliver without blocking (`ErrQueueFull` when at capacity).
     pub(crate) fn try_deliver(dest: &Arc<EpInner>, item: Item) -> McapiResult<()> {
-        ensure(!dest.deleted.load(Ordering::Acquire), McapiStatus::ErrEndpointInvalid)?;
+        ensure(
+            !dest.deleted.load(Ordering::Acquire),
+            McapiStatus::ErrEndpointInvalid,
+        )?;
         let mut q = dest.queue.lock();
         ensure(q.len < dest.capacity, McapiStatus::ErrQueueFull)?;
         q.push(item);
@@ -410,14 +445,22 @@ mod tests {
     fn node_and_endpoint_registration() {
         let dom = McapiDomain::new(3);
         let n = dom.initialize(5).unwrap();
-        assert_eq!(dom.initialize(5).unwrap_err().0, McapiStatus::ErrNodeInitFailed);
+        assert_eq!(
+            dom.initialize(5).unwrap_err().0,
+            McapiStatus::ErrNodeInitFailed
+        );
         let ep = n.create_endpoint(1).unwrap();
         assert_eq!(ep.addr(), EndpointAddr { node: 5, port: 1 });
-        assert_eq!(n.create_endpoint(1).unwrap_err().0, McapiStatus::ErrEndpointExists);
+        assert_eq!(
+            n.create_endpoint(1).unwrap_err().0,
+            McapiStatus::ErrEndpointExists
+        );
         let found = dom.get_endpoint(EndpointAddr { node: 5, port: 1 }).unwrap();
         assert_eq!(found.addr(), ep.addr());
         assert_eq!(
-            dom.get_endpoint(EndpointAddr { node: 5, port: 99 }).unwrap_err().0,
+            dom.get_endpoint(EndpointAddr { node: 5, port: 99 })
+                .unwrap_err()
+                .0,
             McapiStatus::ErrEndpointInvalid
         );
     }
@@ -429,7 +472,9 @@ mod tests {
         let _ep = n.create_endpoint(1).unwrap();
         n.finalize();
         assert_eq!(
-            dom.get_endpoint(EndpointAddr { node: 1, port: 1 }).unwrap_err().0,
+            dom.get_endpoint(EndpointAddr { node: 1, port: 1 })
+                .unwrap_err()
+                .0,
             McapiStatus::ErrEndpointInvalid
         );
         // The node id is reusable afterwards.
@@ -439,12 +484,40 @@ mod tests {
     #[test]
     fn queue_priorities_order_pops() {
         let mut q = Queues::new();
-        q.push(Item::Msg { data: vec![3], prio: 3 });
-        q.push(Item::Msg { data: vec![1], prio: 1 });
-        q.push(Item::Msg { data: vec![2], prio: 1 });
-        assert_eq!(q.pop(), Some(Item::Msg { data: vec![1], prio: 1 }));
-        assert_eq!(q.pop(), Some(Item::Msg { data: vec![2], prio: 1 }), "FIFO within a priority");
-        assert_eq!(q.pop(), Some(Item::Msg { data: vec![3], prio: 3 }));
+        q.push(Item::Msg {
+            data: vec![3],
+            prio: 3,
+        });
+        q.push(Item::Msg {
+            data: vec![1],
+            prio: 1,
+        });
+        q.push(Item::Msg {
+            data: vec![2],
+            prio: 1,
+        });
+        assert_eq!(
+            q.pop(),
+            Some(Item::Msg {
+                data: vec![1],
+                prio: 1
+            })
+        );
+        assert_eq!(
+            q.pop(),
+            Some(Item::Msg {
+                data: vec![2],
+                prio: 1
+            }),
+            "FIFO within a priority"
+        );
+        assert_eq!(
+            q.pop(),
+            Some(Item::Msg {
+                data: vec![3],
+                prio: 3
+            })
+        );
         assert_eq!(q.pop(), None);
         assert_eq!(q.len, 0);
     }
@@ -480,7 +553,9 @@ mod tests {
         let ep = n.create_endpoint(1).unwrap();
         let ep2 = ep.clone();
         let h = std::thread::spawn(move || {
-            ep2.take_next(Some(Duration::from_secs(5)), |_| Ok(()), |i| i).unwrap_err().0
+            ep2.take_next(Some(Duration::from_secs(5)), |_| Ok(()), |i| i)
+                .unwrap_err()
+                .0
         });
         std::thread::sleep(Duration::from_millis(30));
         ep.delete();

@@ -39,7 +39,10 @@ impl<T> std::fmt::Debug for RecvRequest<T> {
             State::Done(_) => "done",
             State::Cancelled => "cancelled",
         };
-        f.debug_struct("RecvRequest").field("ep", &self.ep.addr()).field("state", &state).finish()
+        f.debug_struct("RecvRequest")
+            .field("ep", &self.ep.addr())
+            .field("state", &state)
+            .finish()
     }
 }
 
@@ -49,7 +52,12 @@ impl<T> RecvRequest<T> {
         accept: impl Fn(&Item) -> McapiResult<()> + Send + 'static,
         convert: impl Fn(Item) -> T + Send + 'static,
     ) -> Self {
-        RecvRequest { ep, accept: Box::new(accept), convert: Box::new(convert), state: State::Pending }
+        RecvRequest {
+            ep,
+            accept: Box::new(accept),
+            convert: Box::new(convert),
+            state: State::Pending,
+        }
     }
 
     /// `mcapi_test`: poll once; `Ok(true)` when the result is ready,
@@ -187,6 +195,9 @@ mod tests {
         let tx = dom.initialize(0).unwrap().create_endpoint(1).unwrap();
         let rx = dom.initialize(1).unwrap().create_endpoint(1).unwrap();
         let _c = crate::pktchan::connect(&tx, &rx).unwrap();
-        assert_eq!(rx.msg_recv_i().unwrap_err().0, McapiStatus::ErrChanConnected);
+        assert_eq!(
+            rx.msg_recv_i().unwrap_err().0,
+            McapiStatus::ErrChanConnected
+        );
     }
 }

@@ -15,7 +15,9 @@ use crate::status::{ensure, McapiResult, McapiStatus};
 /// Sending half of a scalar channel.
 impl std::fmt::Debug for SclTx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SclTx").field("ep", &self.ep.addr()).finish()
+        f.debug_struct("SclTx")
+            .field("ep", &self.ep.addr())
+            .finish()
     }
 }
 
@@ -27,7 +29,9 @@ pub struct SclTx {
 /// Receiving half of a scalar channel.
 impl std::fmt::Debug for SclRx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SclRx").field("ep", &self.ep.addr()).finish()
+        f.debug_struct("SclRx")
+            .field("ep", &self.ep.addr())
+            .finish()
     }
 }
 
@@ -41,17 +45,34 @@ pub struct SclRx {
 pub fn connect(tx: &Endpoint, rx: &Endpoint) -> McapiResult<(SclTx, SclRx)> {
     tx.check_live()?;
     rx.check_live()?;
-    ensure(tx.queued() == 0 && rx.queued() == 0, McapiStatus::ErrChanInvalid)?;
+    ensure(
+        tx.queued() == 0 && rx.queued() == 0,
+        McapiStatus::ErrChanInvalid,
+    )?;
     let mut tc = tx.inner.chan.lock();
     let mut rc = rx.inner.chan.lock();
     ensure(tc.is_none() && rc.is_none(), McapiStatus::ErrChanConnected)?;
-    *tc = Some(ChanState { kind: ChanKind::Scalar, role: ChanRole::Sender, peer: rx.addr() });
-    *rc = Some(ChanState { kind: ChanKind::Scalar, role: ChanRole::Receiver, peer: tx.addr() });
+    *tc = Some(ChanState {
+        kind: ChanKind::Scalar,
+        role: ChanRole::Sender,
+        peer: rx.addr(),
+    });
+    *rc = Some(ChanState {
+        kind: ChanKind::Scalar,
+        role: ChanRole::Receiver,
+        peer: tx.addr(),
+    });
     drop(tc);
     drop(rc);
     Ok((
-        SclTx { ep: tx.clone(), peer: rx.clone() },
-        SclRx { ep: rx.clone(), peer: tx.clone() },
+        SclTx {
+            ep: tx.clone(),
+            peer: rx.clone(),
+        },
+        SclRx {
+            ep: rx.clone(),
+            peer: tx.clone(),
+        },
     ))
 }
 
@@ -64,7 +85,11 @@ impl SclTx {
         )?;
         let c = self.ep.inner.chan.lock();
         match *c {
-            Some(ChanState { kind: ChanKind::Scalar, role: ChanRole::Sender, .. }) => Ok(()),
+            Some(ChanState {
+                kind: ChanKind::Scalar,
+                role: ChanRole::Sender,
+                ..
+            }) => Ok(()),
             _ => Err(crate::McapiError(McapiStatus::ErrChanInvalid)),
         }
     }
@@ -107,7 +132,11 @@ impl SclRx {
         self.ep.check_live()?;
         let c = self.ep.inner.chan.lock();
         match *c {
-            Some(ChanState { kind: ChanKind::Scalar, role: ChanRole::Receiver, .. }) => Ok(()),
+            Some(ChanState {
+                kind: ChanKind::Scalar,
+                role: ChanRole::Receiver,
+                ..
+            }) => Ok(()),
             _ => Err(crate::McapiError(McapiStatus::ErrChanInvalid)),
         }
     }

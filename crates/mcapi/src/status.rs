@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn names_and_display() {
         assert_eq!(McapiStatus::Success.spec_name(), "MCAPI_SUCCESS");
-        assert_eq!(McapiError(McapiStatus::Timeout).to_string(), "MCAPI_TIMEOUT");
+        assert_eq!(
+            McapiError(McapiStatus::Timeout).to_string(),
+            "MCAPI_TIMEOUT"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, OnceLock};
 
 use mca_platform::{MemoryMap, Topology};
-use parking_lot::RwLock;
+use mca_sync::RwLock;
 
 use crate::node::{DomainId, Node, NodeId, NodeRecord};
 use crate::rmem::RmemBuffer;
@@ -68,7 +68,9 @@ impl MrapiSystem {
     /// A system over an arbitrary platform topology.
     pub fn new(topo: Topology) -> Self {
         let mem_map = MemoryMap::for_topology(&topo);
-        let utilization = (0..topo.num_hw_threads()).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let utilization = (0..topo.num_hw_threads())
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
         MrapiSystem {
             inner: Arc::new(SystemInner {
                 topo,
@@ -117,7 +119,10 @@ impl MrapiSystem {
         let record = Arc::new(NodeRecord::new(node_id));
         {
             let mut nodes = domain.nodes.write();
-            ensure(!nodes.contains_key(&node_id.0), MrapiStatus::ErrNodeInitFailed)?;
+            ensure(
+                !nodes.contains_key(&node_id.0),
+                MrapiStatus::ErrNodeInitFailed,
+            )?;
             nodes.insert(node_id.0, Arc::clone(&record));
         }
         Ok(Node::from_parts(self.clone(), domain, record))
@@ -145,7 +150,9 @@ impl MrapiSystem {
 
     /// Charge simulated transfer time to the ledger.
     pub(crate) fn charge_sim_ns(&self, ns: f64) {
-        self.inner.sim_ns.fetch_add(ns as u64, std::sync::atomic::Ordering::Relaxed);
+        self.inner
+            .sim_ns
+            .fetch_add(ns as u64, std::sync::atomic::Ordering::Relaxed);
     }
 }
 

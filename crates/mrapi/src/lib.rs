@@ -65,4 +65,5 @@ pub use status::{MrapiError, MrapiStatus};
 pub use sync::{Mutex as MrapiMutex, MutexKey, RwLock as MrapiRwLock, Semaphore as MrapiSemaphore};
 
 /// MRAPI's "wait forever" timeout sentinel.
-pub const MRAPI_TIMEOUT_INFINITE: std::time::Duration = std::time::Duration::from_secs(u64::MAX / 4);
+pub const MRAPI_TIMEOUT_INFINITE: std::time::Duration =
+    std::time::Duration::from_secs(u64::MAX / 4);

@@ -16,7 +16,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use mca_platform::resource::{ResourceAttr, ResourceKind, ResourceTree};
-use parking_lot::Mutex as PlMutex;
+use mca_sync::Mutex as PlMutex;
 
 use crate::node::Node;
 use crate::status::{ensure, MrapiResult, MrapiStatus};
@@ -40,7 +40,11 @@ impl Node {
         // repeated calls observe updates.
         let cells = self.system().inner.utilization.clone();
         let mut idx = 0usize;
-        fn splice(node: &mut mca_platform::resource::ResourceNode, cells: &[Arc<std::sync::atomic::AtomicU64>], idx: &mut usize) {
+        fn splice(
+            node: &mut mca_platform::resource::ResourceNode,
+            cells: &[Arc<std::sync::atomic::AtomicU64>],
+            idx: &mut usize,
+        ) {
             if node.kind == ResourceKind::HwThread {
                 for (k, a) in node.attrs.iter_mut() {
                     if k == "utilization" {
@@ -63,7 +67,10 @@ impl Node {
     pub fn resources_get_filtered(&self, kind: ResourceKind) -> MrapiResult<ResourceTree> {
         let tree = self.resources_get()?;
         let filtered = tree.filter_kind(kind);
-        ensure(!filtered.root.children.is_empty(), MrapiStatus::ErrResourceInvalid)?;
+        ensure(
+            !filtered.root.children.is_empty(),
+            MrapiStatus::ErrResourceInvalid,
+        )?;
         Ok(filtered)
     }
 
@@ -87,19 +94,29 @@ impl Node {
     pub fn utilization(&self, hw_thread: usize) -> MrapiResult<u64> {
         self.check_alive()?;
         let cells = &self.system().inner.utilization;
-        Ok(cells.get(hw_thread).ok_or(MrapiStatus::ErrParameter)?.load(Ordering::Acquire))
+        Ok(cells
+            .get(hw_thread)
+            .ok_or(MrapiStatus::ErrParameter)?
+            .load(Ordering::Acquire))
     }
 
     /// `mrapi_resource_register_callback` — build a watch object; callbacks
     /// fire from [`ResourceWatch::publish`], the simulation's event source.
     pub fn resource_watch(&self) -> ResourceWatch {
-        ResourceWatch { node: self.clone(), callbacks: PlMutex::new(Vec::new()) }
+        ResourceWatch {
+            node: self.clone(),
+            callbacks: PlMutex::new(Vec::new()),
+        }
     }
 }
 
 impl ResourceWatch {
     /// Watch one hardware thread's utilization attribute.
-    pub fn register(&self, hw_thread: usize, cb: impl Fn(usize, u64) + Send + Sync + 'static) -> MrapiResult<()> {
+    pub fn register(
+        &self,
+        hw_thread: usize,
+        cb: impl Fn(usize, u64) + Send + Sync + 'static,
+    ) -> MrapiResult<()> {
         ensure(
             hw_thread < self.node.system().topology().num_hw_threads(),
             MrapiStatus::ErrParameter,
@@ -128,7 +145,9 @@ mod tests {
     use std::sync::atomic::AtomicU64;
 
     fn node() -> Node {
-        MrapiSystem::new_t4240().initialize(DomainId(1), NodeId(0)).unwrap()
+        MrapiSystem::new_t4240()
+            .initialize(DomainId(1), NodeId(0))
+            .unwrap()
     }
 
     #[test]
@@ -176,7 +195,10 @@ mod tests {
     #[test]
     fn out_of_range_cpu_rejected() {
         let n = node();
-        assert_eq!(n.report_utilization(24, 1).unwrap_err().0, MrapiStatus::ErrParameter);
+        assert_eq!(
+            n.report_utilization(24, 1).unwrap_err().0,
+            MrapiStatus::ErrParameter
+        );
         assert_eq!(n.utilization(99).unwrap_err().0, MrapiStatus::ErrParameter);
     }
 
@@ -203,6 +225,9 @@ mod tests {
         let n = node();
         let c = n.clone();
         n.finalize().unwrap();
-        assert_eq!(c.online_processors().unwrap_err().0, MrapiStatus::ErrNodeNotInit);
+        assert_eq!(
+            c.online_processors().unwrap_err().0,
+            MrapiStatus::ErrNodeNotInit
+        );
     }
 }

@@ -91,8 +91,16 @@ pub struct Node {
 }
 
 impl Node {
-    pub(crate) fn from_parts(sys: MrapiSystem, domain: Arc<DomainDb>, record: Arc<NodeRecord>) -> Self {
-        Node { sys, domain, record }
+    pub(crate) fn from_parts(
+        sys: MrapiSystem,
+        domain: Arc<DomainDb>,
+        record: Arc<NodeRecord>,
+    ) -> Self {
+        Node {
+            sys,
+            domain,
+            record,
+        }
     }
 
     /// This node's id.
@@ -175,12 +183,18 @@ impl Node {
     {
         self.check_alive()?;
         if let Some(cpu) = attrs.affinity_hw_thread {
-            ensure(cpu < self.sys.topology().num_hw_threads(), MrapiStatus::ErrParameter)?;
+            ensure(
+                cpu < self.sys.topology().num_hw_threads(),
+                MrapiStatus::ErrParameter,
+            )?;
         }
         let record = Arc::new(NodeRecord::new_worker(new_id, attrs));
         {
             let mut nodes = self.domain.nodes.write();
-            ensure(!nodes.contains_key(&new_id.0), MrapiStatus::ErrNodeInitFailed)?;
+            ensure(
+                !nodes.contains_key(&new_id.0),
+                MrapiStatus::ErrNodeInitFailed,
+            )?;
             nodes.insert(new_id.0, Arc::clone(&record));
         }
         let child = Node {
@@ -198,7 +212,11 @@ impl Node {
             .name(label)
             .spawn(move || f(child))
             .map_err(|_| MrapiStatus::ErrNodeInitFailed)?;
-        Ok(WorkerNode { handle, record, domain: Arc::clone(&self.domain) })
+        Ok(WorkerNode {
+            handle,
+            record,
+            domain: Arc::clone(&self.domain),
+        })
     }
 
     /// `mrapi_finalize`: deregister this node from the domain database.
@@ -260,7 +278,9 @@ impl<T> WorkerNode<T> {
 
 impl<T> std::fmt::Debug for WorkerNode<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerNode").field("node", &self.record.id.0).finish()
+        f.debug_struct("WorkerNode")
+            .field("node", &self.record.id.0)
+            .finish()
     }
 }
 
@@ -285,7 +305,11 @@ mod tests {
                 me.node_id().0 * 10
             })
             .unwrap();
-        assert_eq!(s.node_count(DomainId(1)), 2, "worker registered in global database");
+        assert_eq!(
+            s.node_count(DomainId(1)),
+            2,
+            "worker registered in global database"
+        );
         assert_eq!(w.join().unwrap(), 10);
         assert_eq!(s.node_count(DomainId(1)), 1, "worker finalized on join");
     }
@@ -304,12 +328,20 @@ mod tests {
     fn duplicate_worker_id_rejected() {
         let s = sys();
         let master = s.initialize(DomainId(1), NodeId(0)).unwrap();
-        let w = master.thread_create(NodeId(7), |_| std::thread::sleep(std::time::Duration::from_millis(20))).unwrap();
+        let w = master
+            .thread_create(NodeId(7), |_| {
+                std::thread::sleep(std::time::Duration::from_millis(20))
+            })
+            .unwrap();
         let err = master.thread_create(NodeId(7), |_| ()).unwrap_err();
         assert_eq!(err.0, MrapiStatus::ErrNodeInitFailed);
         w.join().unwrap();
         // After join the id is free again.
-        master.thread_create(NodeId(7), |_| ()).unwrap().join().unwrap();
+        master
+            .thread_create(NodeId(7), |_| ())
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]
@@ -334,12 +366,21 @@ mod tests {
     fn affinity_hint_validated_against_platform() {
         let s = sys();
         let master = s.initialize(DomainId(1), NodeId(0)).unwrap();
-        let bad = NodeAttributes { affinity_hw_thread: Some(99), name: None };
+        let bad = NodeAttributes {
+            affinity_hw_thread: Some(99),
+            name: None,
+        };
         assert_eq!(
-            master.thread_create_with_attrs(NodeId(1), bad, |_| ()).unwrap_err().0,
+            master
+                .thread_create_with_attrs(NodeId(1), bad, |_| ())
+                .unwrap_err()
+                .0,
             MrapiStatus::ErrParameter
         );
-        let good = NodeAttributes { affinity_hw_thread: Some(23), name: Some("w23".into()) };
+        let good = NodeAttributes {
+            affinity_hw_thread: Some(23),
+            name: Some("w23".into()),
+        };
         let w = master
             .thread_create_with_attrs(NodeId(1), good, |me| {
                 me.attributes().affinity_hw_thread.unwrap()

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mca_platform::MemoryRegion;
-use parking_lot::Mutex as PlMutex;
+use mca_sync::Mutex as PlMutex;
 
 use crate::node::Node;
 use crate::status::{ensure, MrapiResult, MrapiStatus};
@@ -45,7 +45,10 @@ pub struct RmemAttributes {
 
 impl Default for RmemAttributes {
     fn default() -> Self {
-        RmemAttributes { access: RmemAccess::Dma, region: None }
+        RmemAttributes {
+            access: RmemAccess::Dma,
+            region: None,
+        }
     }
 }
 
@@ -98,14 +101,17 @@ impl RmemTransfer {
 
 impl Node {
     /// `mrapi_rmem_create` — allocate a remote buffer of `size` bytes.
-    pub fn rmem_create(&self, id: u32, size: usize, attrs: &RmemAttributes) -> MrapiResult<RmemHandle> {
+    pub fn rmem_create(
+        &self,
+        id: u32,
+        size: usize,
+        attrs: &RmemAttributes,
+    ) -> MrapiResult<RmemHandle> {
         self.check_alive()?;
         ensure(size > 0, MrapiStatus::ErrParameter)?;
-        let region_name = attrs.region.clone().unwrap_or_else(|| {
-            match attrs.access {
-                RmemAccess::Dma => "accel-window".to_string(),
-                RmemAccess::Direct => "ddr0".to_string(),
-            }
+        let region_name = attrs.region.clone().unwrap_or_else(|| match attrs.access {
+            RmemAccess::Dma => "accel-window".to_string(),
+            RmemAccess::Direct => "ddr0".to_string(),
         });
         let region = self
             .system()
@@ -115,7 +121,10 @@ impl Node {
             .clone();
         ensure(size as u64 <= region.size, MrapiStatus::ErrMemLimit)?;
         if attrs.access == RmemAccess::Direct {
-            ensure(region.class.directly_addressable(), MrapiStatus::ErrRmemInvalid)?;
+            ensure(
+                region.class.directly_addressable(),
+                MrapiStatus::ErrRmemInvalid,
+            )?;
         }
         let buf = Arc::new(RmemBuffer {
             id,
@@ -127,7 +136,10 @@ impl Node {
         let mut map = self.domain_db().rmems.write();
         ensure(!map.contains_key(&id), MrapiStatus::ErrRmemExists)?;
         map.insert(id, Arc::clone(&buf));
-        Ok(RmemHandle { node: self.clone(), buf })
+        Ok(RmemHandle {
+            node: self.clone(),
+            buf,
+        })
     }
 
     /// `mrapi_rmem_get` + `attach`.
@@ -140,8 +152,14 @@ impl Node {
             .get(&id)
             .cloned()
             .ok_or(MrapiStatus::ErrRmemInvalid)?;
-        ensure(!buf.deleted.load(Ordering::Acquire), MrapiStatus::ErrRmemInvalid)?;
-        Ok(RmemHandle { node: self.clone(), buf })
+        ensure(
+            !buf.deleted.load(Ordering::Acquire),
+            MrapiStatus::ErrRmemInvalid,
+        )?;
+        Ok(RmemHandle {
+            node: self.clone(),
+            buf,
+        })
     }
 }
 
@@ -168,13 +186,19 @@ impl RmemHandle {
 
     fn check_live(&self) -> MrapiResult<()> {
         self.node.check_alive()?;
-        ensure(!self.buf.deleted.load(Ordering::Acquire), MrapiStatus::ErrRmemInvalid)
+        ensure(
+            !self.buf.deleted.load(Ordering::Acquire),
+            MrapiStatus::ErrRmemInvalid,
+        )
     }
 
     fn transfer(&self, bytes: usize) -> RmemTransfer {
         let ns = self.buf.region.transfer_ns(bytes as u64);
         self.node.system().charge_sim_ns(ns);
-        RmemTransfer { sim_ns: ns, done: false }
+        RmemTransfer {
+            sim_ns: ns,
+            done: false,
+        }
     }
 
     /// `mrapi_rmem_read` — blocking read of `out.len()` bytes at `offset`.
@@ -194,7 +218,9 @@ impl RmemHandle {
         self.check_live()?;
         let data = self.buf.data.lock();
         ensure(
-            offset.checked_add(out.len()).is_some_and(|e| e <= data.len()),
+            offset
+                .checked_add(out.len())
+                .is_some_and(|e| e <= data.len()),
             MrapiStatus::ErrRmemBounds,
         )?;
         out.copy_from_slice(&data[offset..offset + out.len()]);
@@ -207,7 +233,9 @@ impl RmemHandle {
         self.check_live()?;
         let mut data = self.buf.data.lock();
         ensure(
-            offset.checked_add(src.len()).is_some_and(|e| e <= data.len()),
+            offset
+                .checked_add(src.len())
+                .is_some_and(|e| e <= data.len()),
             MrapiStatus::ErrRmemBounds,
         )?;
         data[offset..offset + src.len()].copy_from_slice(src);
@@ -264,8 +292,14 @@ mod tests {
         let n = node_on(&sys);
         let r = n.rmem_create(1, 16, &RmemAttributes::default()).unwrap();
         let mut buf = [0u8; 8];
-        assert_eq!(r.read(12, &mut buf).unwrap_err().0, MrapiStatus::ErrRmemBounds);
-        assert_eq!(r.write(usize::MAX, &buf).unwrap_err().0, MrapiStatus::ErrRmemBounds);
+        assert_eq!(
+            r.read(12, &mut buf).unwrap_err().0,
+            MrapiStatus::ErrRmemBounds
+        );
+        assert_eq!(
+            r.write(usize::MAX, &buf).unwrap_err().0,
+            MrapiStatus::ErrRmemBounds
+        );
         r.read(8, &mut buf).unwrap();
     }
 
@@ -277,12 +311,26 @@ mod tests {
             .rmem_create(
                 1,
                 16,
-                &RmemAttributes { access: RmemAccess::Direct, region: Some("accel-window".into()) },
+                &RmemAttributes {
+                    access: RmemAccess::Direct,
+                    region: Some("accel-window".into()),
+                },
             )
             .unwrap_err();
-        assert_eq!(err.0, MrapiStatus::ErrRmemInvalid, "DMA-only window is not direct");
+        assert_eq!(
+            err.0,
+            MrapiStatus::ErrRmemInvalid,
+            "DMA-only window is not direct"
+        );
         let ok = n
-            .rmem_create(1, 16, &RmemAttributes { access: RmemAccess::Direct, region: None })
+            .rmem_create(
+                1,
+                16,
+                &RmemAttributes {
+                    access: RmemAccess::Direct,
+                    region: None,
+                },
+            )
             .unwrap();
         assert_eq!(ok.access(), RmemAccess::Direct);
     }
@@ -306,7 +354,9 @@ mod tests {
     fn cross_node_sharing_and_delete() {
         let sys = MrapiSystem::new_t4240();
         let master = node_on(&sys);
-        let r = master.rmem_create(5, 32, &RmemAttributes::default()).unwrap();
+        let r = master
+            .rmem_create(5, 32, &RmemAttributes::default())
+            .unwrap();
         r.write(0, &[9; 8]).unwrap();
         let w = master
             .thread_create(NodeId(1), |me| {
@@ -318,7 +368,10 @@ mod tests {
             .unwrap();
         assert_eq!(w.join().unwrap(), 9);
         r.delete().unwrap();
-        assert_eq!(master.rmem_get(5).unwrap_err().0, MrapiStatus::ErrRmemInvalid);
+        assert_eq!(
+            master.rmem_get(5).unwrap_err().0,
+            MrapiStatus::ErrRmemInvalid
+        );
     }
 
     #[test]
@@ -327,11 +380,15 @@ mod tests {
         let n = node_on(&sys);
         let _a = n.rmem_create(1, 8, &RmemAttributes::default()).unwrap();
         assert_eq!(
-            n.rmem_create(1, 8, &RmemAttributes::default()).unwrap_err().0,
+            n.rmem_create(1, 8, &RmemAttributes::default())
+                .unwrap_err()
+                .0,
             MrapiStatus::ErrRmemExists
         );
         assert_eq!(
-            n.rmem_create(2, 0, &RmemAttributes::default()).unwrap_err().0,
+            n.rmem_create(2, 0, &RmemAttributes::default())
+                .unwrap_err()
+                .0,
             MrapiStatus::ErrParameter
         );
     }
@@ -340,7 +397,9 @@ mod tests {
     fn larger_transfers_cost_more() {
         let sys = MrapiSystem::new_t4240();
         let n = node_on(&sys);
-        let r = n.rmem_create(1, 1 << 20, &RmemAttributes::default()).unwrap();
+        let r = n
+            .rmem_create(1, 1 << 20, &RmemAttributes::default())
+            .unwrap();
         let small = r.write(0, &[0u8; 64]).unwrap();
         let big = r.write(0, &vec![0u8; 1 << 20]).unwrap(); // heap: 1 MiB
         assert!(big > small * 10.0);

@@ -59,7 +59,10 @@ pub struct ShmemSegment {
 impl ShmemSegment {
     fn new(key: u32, size: usize, attrs: ShmemAttributes) -> Self {
         let n_words = size.div_ceil(8);
-        let words = (0..n_words).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice();
+        let words = (0..n_words)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         ShmemSegment {
             key,
             size,
@@ -113,7 +116,10 @@ impl Node {
             self.system().charge_sim_ns(SEGMENT_MAP_NS);
         }
         seg.attach_count.fetch_add(1, Ordering::AcqRel);
-        Ok(ShmemHandle { node: self.clone(), seg })
+        Ok(ShmemHandle {
+            node: self.clone(),
+            seg,
+        })
     }
 
     /// `mrapi_shmem_get` + `mrapi_shmem_attach` — find a segment by key and
@@ -128,12 +134,18 @@ impl Node {
             .get(&key)
             .cloned()
             .ok_or(MrapiStatus::ErrShmInvalid)?;
-        ensure(!seg.deleted.load(Ordering::Acquire), MrapiStatus::ErrShmInvalid)?;
+        ensure(
+            !seg.deleted.load(Ordering::Acquire),
+            MrapiStatus::ErrShmInvalid,
+        )?;
         if !seg.attrs.use_malloc {
             self.system().charge_sim_ns(SEGMENT_MAP_NS);
         }
         seg.attach_count.fetch_add(1, Ordering::AcqRel);
-        Ok(ShmemHandle { node: self.clone(), seg })
+        Ok(ShmemHandle {
+            node: self.clone(),
+            seg,
+        })
     }
 }
 
@@ -166,7 +178,10 @@ impl ShmemHandle {
     #[inline]
     fn word(&self, byte_offset: usize) -> &AtomicU64 {
         assert_eq!(byte_offset % 8, 0, "word access requires 8-byte alignment");
-        assert!(byte_offset + 8 <= self.seg.words.len() * 8, "shmem word access out of bounds");
+        assert!(
+            byte_offset + 8 <= self.seg.words.len() * 8,
+            "shmem word access out of bounds"
+        );
         &self.seg.words[byte_offset / 8]
     }
 
@@ -228,7 +243,10 @@ impl ShmemHandle {
     /// Copy bytes into the segment.  Panics if the range exceeds the
     /// segment size.
     pub fn write_bytes(&self, off: usize, data: &[u8]) {
-        assert!(off + data.len() <= self.seg.size, "shmem write out of bounds");
+        assert!(
+            off + data.len() <= self.seg.size,
+            "shmem write out of bounds"
+        );
         self.charge_access();
         let mut i = 0;
         while i < data.len() {
@@ -301,7 +319,9 @@ mod tests {
     use crate::{DomainId, MrapiSystem, NodeId};
 
     fn node() -> Node {
-        MrapiSystem::new_t4240().initialize(DomainId(1), NodeId(0)).unwrap()
+        MrapiSystem::new_t4240()
+            .initialize(DomainId(1), NodeId(0))
+            .unwrap()
     }
 
     #[test]
@@ -320,7 +340,9 @@ mod tests {
         let n = node();
         let _a = n.shmem_create(9, 8, &ShmemAttributes::default()).unwrap();
         assert_eq!(
-            n.shmem_create(9, 8, &ShmemAttributes::default()).unwrap_err().0,
+            n.shmem_create(9, 8, &ShmemAttributes::default())
+                .unwrap_err()
+                .0,
             MrapiStatus::ErrShmExists
         );
         assert_eq!(n.shmem_get(1234).unwrap_err().0, MrapiStatus::ErrShmInvalid);
@@ -369,7 +391,16 @@ mod tests {
     #[test]
     fn byte_access_any_alignment() {
         let n = node();
-        let h = n.shmem_create(7, 32, &ShmemAttributes { use_malloc: true, ..Default::default() }).unwrap();
+        let h = n
+            .shmem_create(
+                7,
+                32,
+                &ShmemAttributes {
+                    use_malloc: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let msg = b"hello, embedded world";
         h.write_bytes(3, msg);
         let mut out = vec![0u8; msg.len()];
@@ -398,20 +429,33 @@ mod tests {
         let sys = MrapiSystem::new_t4240();
         let n = sys.initialize(DomainId(1), NodeId(0)).unwrap();
         let heap = n
-            .shmem_create(1, 8, &ShmemAttributes { use_malloc: true, ..Default::default() })
+            .shmem_create(
+                1,
+                8,
+                &ShmemAttributes {
+                    use_malloc: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         heap.write_u64(0, 1);
         let _ = heap.read_u64(0);
         assert_eq!(sys.simulated_transfer_ns(), 0, "heap path charges nothing");
         let seg = n.shmem_create(2, 8, &ShmemAttributes::default()).unwrap();
         seg.write_u64(0, 1);
-        assert!(sys.simulated_transfer_ns() > 0, "segment path charges map+access");
+        assert!(
+            sys.simulated_transfer_ns() > 0,
+            "segment path charges map+access"
+        );
     }
 
     #[test]
     fn on_chip_respects_sram_capacity() {
         let n = node();
-        let attrs = ShmemAttributes { on_chip: true, ..Default::default() };
+        let attrs = ShmemAttributes {
+            on_chip: true,
+            ..Default::default()
+        };
         assert!(n.shmem_create(1, 128 * 1024, &attrs).is_ok());
         assert_eq!(
             n.shmem_create(2, 10 * 1024 * 1024, &attrs).unwrap_err().0,
@@ -423,7 +467,9 @@ mod tests {
     fn zero_size_rejected() {
         let n = node();
         assert_eq!(
-            n.shmem_create(1, 0, &ShmemAttributes::default()).unwrap_err().0,
+            n.shmem_create(1, 0, &ShmemAttributes::default())
+                .unwrap_err()
+                .0,
             MrapiStatus::ErrParameter
         );
     }
@@ -449,7 +495,14 @@ mod tests {
         let sys = MrapiSystem::new_t4240();
         let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
         let h = master
-            .shmem_create(1, 8, &ShmemAttributes { use_malloc: true, ..Default::default() })
+            .shmem_create(
+                1,
+                8,
+                &ShmemAttributes {
+                    use_malloc: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let workers: Vec<_> = (0..8)
             .map(|i| {

@@ -137,7 +137,10 @@ mod tests {
     fn spec_names_match_listing_2() {
         // The two codes the paper's Listing 2 checks explicitly.
         assert_eq!(MrapiStatus::Success.spec_name(), "MRAPI_SUCCESS");
-        assert_eq!(MrapiStatus::ErrNodeNotInit.spec_name(), "MRAPI_ERR_NODE_NOTINIT");
+        assert_eq!(
+            MrapiStatus::ErrNodeNotInit.spec_name(),
+            "MRAPI_ERR_NODE_NOTINIT"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::thread::ThreadId;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex as PlMutex};
+use mca_sync::{Condvar, Mutex as PlMutex};
 
 use crate::node::Node;
 use crate::status::{ensure, MrapiResult, MrapiStatus};
@@ -55,7 +55,10 @@ impl Node {
         let inner = Arc::new(MutexInner {
             key,
             recursive: attrs.recursive,
-            state: PlMutex::new(State { owner: None, depth: 0 }),
+            state: PlMutex::new(State {
+                owner: None,
+                depth: 0,
+            }),
             cv: Condvar::new(),
             deleted: AtomicBool::new(false),
             acquisitions: AtomicU64::new(0),
@@ -64,7 +67,10 @@ impl Node {
         let mut map = self.domain_db().mutexes.write();
         ensure(!map.contains_key(&key), MrapiStatus::ErrMutexExists)?;
         map.insert(key, Arc::clone(&inner));
-        Ok(Mutex { node: self.clone(), inner })
+        Ok(Mutex {
+            node: self.clone(),
+            inner,
+        })
     }
 
     /// `mrapi_mutex_get` — look up a mutex created by any node in the
@@ -78,8 +84,14 @@ impl Node {
             .get(&key)
             .cloned()
             .ok_or(MrapiStatus::ErrMutexInvalid)?;
-        ensure(!inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrMutexInvalid)?;
-        Ok(Mutex { node: self.clone(), inner })
+        ensure(
+            !inner.deleted.load(Ordering::Acquire),
+            MrapiStatus::ErrMutexInvalid,
+        )?;
+        Ok(Mutex {
+            node: self.clone(),
+            inner,
+        })
     }
 }
 
@@ -91,7 +103,10 @@ impl Mutex {
 
     fn check_live(&self) -> MrapiResult<()> {
         self.node.check_alive()?;
-        ensure(!self.inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrMutexInvalid)
+        ensure(
+            !self.inner.deleted.load(Ordering::Acquire),
+            MrapiStatus::ErrMutexInvalid,
+        )
     }
 
     /// `mrapi_mutex_lock`.  Blocks up to `timeout`
@@ -196,7 +211,11 @@ impl Mutex {
     pub fn delete(self) -> MrapiResult<()> {
         self.check_live()?;
         self.inner.deleted.store(true, Ordering::Release);
-        self.node.domain_db().mutexes.write().remove(&self.inner.key);
+        self.node
+            .domain_db()
+            .mutexes
+            .write()
+            .remove(&self.inner.key);
         self.inner.cv.notify_all();
         Ok(())
     }
@@ -217,7 +236,9 @@ mod tests {
     use crate::{DomainId, MrapiSystem, NodeId, MRAPI_TIMEOUT_INFINITE};
 
     fn node() -> Node {
-        MrapiSystem::new_t4240().initialize(DomainId(1), NodeId(0)).unwrap()
+        MrapiSystem::new_t4240()
+            .initialize(DomainId(1), NodeId(0))
+            .unwrap()
     }
 
     #[test]
@@ -232,7 +253,9 @@ mod tests {
     #[test]
     fn recursion_requires_lifo_keys() {
         let n = node();
-        let m = n.mutex_create(1, &MutexAttributes { recursive: true }).unwrap();
+        let m = n
+            .mutex_create(1, &MutexAttributes { recursive: true })
+            .unwrap();
         let k1 = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
         let k2 = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
         assert_ne!(k1, k2);
@@ -258,7 +281,10 @@ mod tests {
     fn unlock_without_hold_rejected() {
         let n = node();
         let m = n.mutex_create(1, &MutexAttributes::default()).unwrap();
-        assert_eq!(m.unlock(&MutexKey(1)).unwrap_err().0, MrapiStatus::ErrMutexNotLocked);
+        assert_eq!(
+            m.unlock(&MutexKey(1)).unwrap_err().0,
+            MrapiStatus::ErrMutexNotLocked
+        );
     }
 
     #[test]
@@ -289,7 +315,14 @@ mod tests {
         let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
         let _m = master.mutex_create(1, &MutexAttributes::default()).unwrap();
         let shm = master
-            .shmem_create(99, 8, &crate::ShmemAttributes { use_malloc: true, ..Default::default() })
+            .shmem_create(
+                99,
+                8,
+                &crate::ShmemAttributes {
+                    use_malloc: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let workers: Vec<_> = (0..6)
             .map(|i| {
@@ -320,7 +353,10 @@ mod tests {
         let n = node();
         let m = n.mutex_create(1, &MutexAttributes::default()).unwrap();
         let k = m.try_lock().unwrap();
-        assert_eq!(m.try_lock().unwrap_err().0, MrapiStatus::ErrMutexAlreadyLocked);
+        assert_eq!(
+            m.try_lock().unwrap_err().0,
+            MrapiStatus::ErrMutexAlreadyLocked
+        );
         m.unlock(&k).unwrap();
         assert_eq!(m.acquisitions(), 1);
     }
@@ -331,7 +367,10 @@ mod tests {
         let a = n.mutex_create(1, &MutexAttributes::default()).unwrap();
         let b = n.mutex_get(1).unwrap();
         a.delete().unwrap();
-        assert_eq!(b.lock(MRAPI_TIMEOUT_INFINITE).unwrap_err().0, MrapiStatus::ErrMutexInvalid);
+        assert_eq!(
+            b.lock(MRAPI_TIMEOUT_INFINITE).unwrap_err().0,
+            MrapiStatus::ErrMutexInvalid
+        );
         assert_eq!(n.mutex_get(1).unwrap_err().0, MrapiStatus::ErrMutexInvalid);
         // Key is reusable after delete.
         n.mutex_create(1, &MutexAttributes::default()).unwrap();

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex as PlMutex};
+use mca_sync::{Condvar, Mutex as PlMutex};
 
 use crate::node::Node;
 use crate::status::{ensure, MrapiResult, MrapiStatus};
@@ -24,7 +24,9 @@ pub struct RwLockAttributes {
 
 impl Default for RwLockAttributes {
     fn default() -> Self {
-        RwLockAttributes { max_readers: u32::MAX }
+        RwLockAttributes {
+            max_readers: u32::MAX,
+        }
     }
 }
 
@@ -57,14 +59,21 @@ impl Node {
         let inner = Arc::new(RwLockInner {
             key,
             max_readers: attrs.max_readers,
-            state: PlMutex::new(State { active_readers: 0, writer_active: false, writers_waiting: 0 }),
+            state: PlMutex::new(State {
+                active_readers: 0,
+                writer_active: false,
+                writers_waiting: 0,
+            }),
             cv: Condvar::new(),
             deleted: AtomicBool::new(false),
         });
         let mut map = self.domain_db().rwlocks.write();
         ensure(!map.contains_key(&key), MrapiStatus::ErrRwlExists)?;
         map.insert(key, Arc::clone(&inner));
-        Ok(RwLock { node: self.clone(), inner })
+        Ok(RwLock {
+            node: self.clone(),
+            inner,
+        })
     }
 
     /// `mrapi_rwl_get`.
@@ -77,8 +86,14 @@ impl Node {
             .get(&key)
             .cloned()
             .ok_or(MrapiStatus::ErrRwlInvalid)?;
-        ensure(!inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrRwlInvalid)?;
-        Ok(RwLock { node: self.clone(), inner })
+        ensure(
+            !inner.deleted.load(Ordering::Acquire),
+            MrapiStatus::ErrRwlInvalid,
+        )?;
+        Ok(RwLock {
+            node: self.clone(),
+            inner,
+        })
     }
 }
 
@@ -90,7 +105,10 @@ impl RwLock {
 
     fn check_live(&self) -> MrapiResult<()> {
         self.node.check_alive()?;
-        ensure(!self.inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrRwlInvalid)
+        ensure(
+            !self.inner.deleted.load(Ordering::Acquire),
+            MrapiStatus::ErrRwlInvalid,
+        )
     }
 
     /// `mrapi_rwl_lock(MRAPI_RWL_READER)` — shared acquire.
@@ -111,7 +129,10 @@ impl RwLock {
                 let deadline = std::time::Instant::now() + budget;
                 while !admissible(&st, self.inner.max_readers) {
                     if self.inner.cv.wait_until(&mut st, deadline).timed_out() {
-                        ensure(admissible(&st, self.inner.max_readers), MrapiStatus::Timeout)?;
+                        ensure(
+                            admissible(&st, self.inner.max_readers),
+                            MrapiStatus::Timeout,
+                        )?;
                         break;
                     }
                     self.check_live()?;
@@ -200,7 +221,11 @@ impl RwLock {
     pub fn delete(self) -> MrapiResult<()> {
         self.check_live()?;
         self.inner.deleted.store(true, Ordering::Release);
-        self.node.domain_db().rwlocks.write().remove(&self.inner.key);
+        self.node
+            .domain_db()
+            .rwlocks
+            .write()
+            .remove(&self.inner.key);
         self.inner.cv.notify_all();
         Ok(())
     }
@@ -208,7 +233,9 @@ impl RwLock {
 
 impl std::fmt::Debug for RwLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MrapiRwLock").field("key", &self.inner.key).finish()
+        f.debug_struct("MrapiRwLock")
+            .field("key", &self.inner.key)
+            .finish()
     }
 }
 
@@ -218,7 +245,9 @@ mod tests {
     use crate::{DomainId, MrapiSystem, NodeId, MRAPI_TIMEOUT_INFINITE};
 
     fn node() -> Node {
-        MrapiSystem::new_t4240().initialize(DomainId(1), NodeId(0)).unwrap()
+        MrapiSystem::new_t4240()
+            .initialize(DomainId(1), NodeId(0))
+            .unwrap()
     }
 
     #[test]
@@ -264,7 +293,9 @@ mod tests {
     #[test]
     fn reader_limit_enforced() {
         let n = node();
-        let l = n.rwl_create(1, &RwLockAttributes { max_readers: 2 }).unwrap();
+        let l = n
+            .rwl_create(1, &RwLockAttributes { max_readers: 2 })
+            .unwrap();
         l.try_read_lock().unwrap();
         l.try_read_lock().unwrap();
         assert_eq!(l.try_read_lock().unwrap_err().0, MrapiStatus::Timeout);
@@ -288,7 +319,14 @@ mod tests {
         // Shared cells: [0]=value copy A, [8]=value copy B. Writers keep them
         // equal under the write lock; readers must never see them differ.
         let _shm = master
-            .shmem_create(2, 16, &crate::ShmemAttributes { use_malloc: true, ..Default::default() })
+            .shmem_create(
+                2,
+                16,
+                &crate::ShmemAttributes {
+                    use_malloc: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let workers: Vec<_> = (0..6)
             .map(|i| {

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex as PlMutex};
+use mca_sync::{Condvar, Mutex as PlMutex};
 
 use crate::node::Node;
 use crate::status::{ensure, MrapiResult, MrapiStatus};
@@ -20,7 +20,9 @@ pub struct SemaphoreAttributes {
 
 impl Default for SemaphoreAttributes {
     fn default() -> Self {
-        SemaphoreAttributes { max_count: u32::MAX }
+        SemaphoreAttributes {
+            max_count: u32::MAX,
+        }
     }
 }
 
@@ -59,7 +61,10 @@ impl Node {
         let mut map = self.domain_db().sems.write();
         ensure(!map.contains_key(&key), MrapiStatus::ErrSemExists)?;
         map.insert(key, Arc::clone(&inner));
-        Ok(Semaphore { node: self.clone(), inner })
+        Ok(Semaphore {
+            node: self.clone(),
+            inner,
+        })
     }
 
     /// `mrapi_sem_get`.
@@ -72,8 +77,14 @@ impl Node {
             .get(&key)
             .cloned()
             .ok_or(MrapiStatus::ErrSemInvalid)?;
-        ensure(!inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrSemInvalid)?;
-        Ok(Semaphore { node: self.clone(), inner })
+        ensure(
+            !inner.deleted.load(Ordering::Acquire),
+            MrapiStatus::ErrSemInvalid,
+        )?;
+        Ok(Semaphore {
+            node: self.clone(),
+            inner,
+        })
     }
 }
 
@@ -85,7 +96,10 @@ impl Semaphore {
 
     fn check_live(&self) -> MrapiResult<()> {
         self.node.check_alive()?;
-        ensure(!self.inner.deleted.load(Ordering::Acquire), MrapiStatus::ErrSemInvalid)
+        ensure(
+            !self.inner.deleted.load(Ordering::Acquire),
+            MrapiStatus::ErrSemInvalid,
+        )
     }
 
     /// `mrapi_sem_lock` (P / wait): decrement, blocking up to `timeout`
@@ -167,7 +181,9 @@ mod tests {
     use crate::{DomainId, MrapiSystem, NodeId, MRAPI_TIMEOUT_INFINITE};
 
     fn node() -> Node {
-        MrapiSystem::new_t4240().initialize(DomainId(1), NodeId(0)).unwrap()
+        MrapiSystem::new_t4240()
+            .initialize(DomainId(1), NodeId(0))
+            .unwrap()
     }
 
     #[test]
@@ -184,10 +200,14 @@ mod tests {
     #[test]
     fn max_count_enforced() {
         let n = node();
-        let s = n.sem_create(1, 1, &SemaphoreAttributes { max_count: 1 }).unwrap();
+        let s = n
+            .sem_create(1, 1, &SemaphoreAttributes { max_count: 1 })
+            .unwrap();
         assert_eq!(s.release().unwrap_err().0, MrapiStatus::ErrParameter);
         assert_eq!(
-            n.sem_create(2, 5, &SemaphoreAttributes { max_count: 3 }).unwrap_err().0,
+            n.sem_create(2, 5, &SemaphoreAttributes { max_count: 3 })
+                .unwrap_err()
+                .0,
             MrapiStatus::ErrParameter,
             "initial beyond max"
         );
@@ -197,8 +217,13 @@ mod tests {
     fn timeout_then_success() {
         let sys = MrapiSystem::new_t4240();
         let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
-        let s = master.sem_create(1, 0, &SemaphoreAttributes::default()).unwrap();
-        assert_eq!(s.acquire(Duration::from_millis(5)).unwrap_err().0, MrapiStatus::Timeout);
+        let s = master
+            .sem_create(1, 0, &SemaphoreAttributes::default())
+            .unwrap();
+        assert_eq!(
+            s.acquire(Duration::from_millis(5)).unwrap_err().0,
+            MrapiStatus::Timeout
+        );
         let poster = master
             .thread_create(NodeId(1), |me| {
                 std::thread::sleep(Duration::from_millis(30));
@@ -214,9 +239,18 @@ mod tests {
         // Classic: a sem of 3 must never admit more than 3 at once.
         let sys = MrapiSystem::new_t4240();
         let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
-        let _s = master.sem_create(1, 3, &SemaphoreAttributes::default()).unwrap();
+        let _s = master
+            .sem_create(1, 3, &SemaphoreAttributes::default())
+            .unwrap();
         let gauge = master
-            .shmem_create(9, 16, &crate::ShmemAttributes { use_malloc: true, ..Default::default() })
+            .shmem_create(
+                9,
+                16,
+                &crate::ShmemAttributes {
+                    use_malloc: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let workers: Vec<_> = (0..8)
             .map(|i| {
@@ -234,12 +268,7 @@ mod tests {
                                     break;
                                 }
                                 if g.as_words()[1]
-                                    .compare_exchange(
-                                        hi,
-                                        now,
-                                        Ordering::AcqRel,
-                                        Ordering::Acquire,
-                                    )
+                                    .compare_exchange(hi, now, Ordering::AcqRel, Ordering::Acquire)
                                     .is_ok()
                                 {
                                     break;
@@ -256,7 +285,11 @@ mod tests {
         for w in workers {
             w.join().unwrap();
         }
-        assert!(gauge.read_u64(8) <= 3, "high-water {} exceeded sem count", gauge.read_u64(8));
+        assert!(
+            gauge.read_u64(8) <= 3,
+            "high-water {} exceeded sem count",
+            gauge.read_u64(8)
+        );
         assert_eq!(gauge.read_u64(0), 0);
     }
 
@@ -264,7 +297,9 @@ mod tests {
     fn delete_wakes_waiters_with_invalid() {
         let sys = MrapiSystem::new_t4240();
         let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
-        let s = master.sem_create(1, 0, &SemaphoreAttributes::default()).unwrap();
+        let s = master
+            .sem_create(1, 0, &SemaphoreAttributes::default())
+            .unwrap();
         let waiter = master
             .thread_create(NodeId(1), |me| {
                 let s = me.sem_get(1).unwrap();

@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use crossbeam::deque::{Injector, Steal};
-use parking_lot::{Condvar, Mutex as PlMutex, RwLock};
+use mca_sync::deque::{Injector, Steal};
+use mca_sync::{Condvar, Mutex as PlMutex, RwLock};
 
 use crate::status::{ensure, MtapiResult, MtapiStatus};
 use crate::{MtapiError, MTAPI_PRIORITIES};
@@ -91,16 +91,11 @@ impl Task {
                         if matches!(st.0, TaskState::Pending | TaskState::Running) {
                             match deadline {
                                 None => {
-                                    self.inner
-                                        .cv
-                                        .wait_for(&mut st, Duration::from_millis(1));
+                                    self.inner.cv.wait_for(&mut st, Duration::from_millis(1));
                                 }
                                 Some(d) => {
                                     if self.inner.cv.wait_until(&mut st, d).timed_out()
-                                        && matches!(
-                                            st.0,
-                                            TaskState::Pending | TaskState::Running
-                                        )
+                                        && matches!(st.0, TaskState::Pending | TaskState::Running)
                                     {
                                         return Err(MtapiError(MtapiStatus::Timeout));
                                     }
@@ -133,7 +128,9 @@ impl Task {
 
 impl std::fmt::Debug for Task {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Task").field("state", &self.state()).finish()
+        f.debug_struct("Task")
+            .field("state", &self.state())
+            .finish()
     }
 }
 
@@ -190,7 +187,9 @@ impl Group {
 
 impl std::fmt::Debug for Group {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Group").field("outstanding", &self.outstanding()).finish()
+        f.debug_struct("Group")
+            .field("outstanding", &self.outstanding())
+            .finish()
     }
 }
 
@@ -231,7 +230,10 @@ impl Queue {
     /// `mtapi_task_enqueue` — run the job on `input`, after every earlier
     /// task from this queue has finished.
     pub fn enqueue(&self, input: Vec<u8>) -> MtapiResult<Task> {
-        ensure(!self.inner.deleted.load(Ordering::Acquire), MtapiStatus::ErrQueueInvalid)?;
+        ensure(
+            !self.inner.deleted.load(Ordering::Acquire),
+            MtapiStatus::ErrQueueInvalid,
+        )?;
         let action = self.rt.action_for(self.inner.job)?;
         let task = Arc::new(TaskInner {
             state: PlMutex::new((TaskState::Pending, None)),
@@ -253,7 +255,10 @@ impl Queue {
                 self.inner.advance(&self.rt);
             }
         }
-        Ok(Task { inner: task, rt: Arc::clone(&self.rt) })
+        Ok(Task {
+            inner: task,
+            rt: Arc::clone(&self.rt),
+        })
     }
 
     /// `mtapi_queue_delete` — later enqueues fail; queued tasks still run.
@@ -264,7 +269,9 @@ impl Queue {
 
 impl std::fmt::Debug for Queue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Queue").field("job", &self.inner.job).finish()
+        f.debug_struct("Queue")
+            .field("job", &self.inner.job)
+            .finish()
     }
 }
 
@@ -293,7 +300,10 @@ impl Job {
         priority: u8,
         group: Option<&Group>,
     ) -> MtapiResult<Task> {
-        ensure((priority as usize) < MTAPI_PRIORITIES, MtapiStatus::ErrParameter)?;
+        ensure(
+            (priority as usize) < MTAPI_PRIORITIES,
+            MtapiStatus::ErrParameter,
+        )?;
         let action = self.rt.action_for(self.id)?;
         if let Some(g) = group {
             g.inner.outstanding.fetch_add(1, Ordering::AcqRel);
@@ -308,7 +318,10 @@ impl Job {
             priority,
         });
         self.rt.inject(Arc::clone(&task));
-        Ok(Task { inner: task, rt: Arc::clone(&self.rt) })
+        Ok(Task {
+            inner: task,
+            rt: Arc::clone(&self.rt),
+        })
     }
 }
 
@@ -333,7 +346,10 @@ struct RtInner {
 
 impl RtInner {
     fn action_for(&self, job: u32) -> MtapiResult<ActionFn> {
-        ensure(!self.shutdown.load(Ordering::Acquire), MtapiStatus::ErrShutdown)?;
+        ensure(
+            !self.shutdown.load(Ordering::Acquire),
+            MtapiStatus::ErrShutdown,
+        )?;
         self.actions
             .read()
             .get(&job)
@@ -430,7 +446,10 @@ impl Mtapi {
                     .expect("worker spawn")
             })
             .collect();
-        Ok(Mtapi { inner, workers: PlMutex::new(handles) })
+        Ok(Mtapi {
+            inner,
+            workers: PlMutex::new(handles),
+        })
     }
 
     /// `mtapi_action_create` — attach an implementation to `job_id`.
@@ -451,7 +470,10 @@ impl Mtapi {
             self.inner.actions.read().contains_key(&job_id),
             MtapiStatus::ErrJobInvalid,
         )?;
-        Ok(Job { id: job_id, rt: Arc::clone(&self.inner) })
+        Ok(Job {
+            id: job_id,
+            rt: Arc::clone(&self.inner),
+        })
     }
 
     /// `mtapi_group_create`.
@@ -532,7 +554,11 @@ mod tests {
     #[test]
     fn task_lifecycle_to_done() {
         let mt = square_runtime(2);
-        let t = mt.job(1).unwrap().start(5u64.to_le_bytes().to_vec()).unwrap();
+        let t = mt
+            .job(1)
+            .unwrap()
+            .start(5u64.to_le_bytes().to_vec())
+            .unwrap();
         assert_eq!(as_u64(t.wait(None).unwrap()), 25);
         assert_eq!(t.state(), TaskState::Done);
     }
@@ -551,8 +577,9 @@ mod tests {
     fn many_tasks_all_complete() {
         let mt = square_runtime(4);
         let job = mt.job(1).unwrap();
-        let tasks: Vec<Task> =
-            (0..200u64).map(|i| job.start(i.to_le_bytes().to_vec()).unwrap()).collect();
+        let tasks: Vec<Task> = (0..200u64)
+            .map(|i| job.start(i.to_le_bytes().to_vec()).unwrap())
+            .collect();
         for (i, t) in tasks.into_iter().enumerate() {
             assert_eq!(as_u64(t.wait(None).unwrap()), (i * i) as u64);
         }
@@ -584,12 +611,17 @@ mod tests {
         })
         .unwrap();
         let q = mt.create_queue(2).unwrap();
-        let tasks: Vec<Task> =
-            (0..100u64).map(|i| q.enqueue(i.to_le_bytes().to_vec()).unwrap()).collect();
+        let tasks: Vec<Task> = (0..100u64)
+            .map(|i| q.enqueue(i.to_le_bytes().to_vec()).unwrap())
+            .collect();
         for t in tasks {
             t.wait(Some(Duration::from_secs(10))).unwrap();
         }
-        assert_eq!(*log.lock(), (0..100).collect::<Vec<u64>>(), "strict queue order");
+        assert_eq!(
+            *log.lock(),
+            (0..100).collect::<Vec<u64>>(),
+            "strict queue order"
+        );
     }
 
     #[test]
@@ -622,9 +654,16 @@ mod tests {
         thread::sleep(Duration::from_millis(20)); // let the worker claim it
         let victim = job.start(b"fast".to_vec()).unwrap();
         victim.cancel().unwrap();
-        assert_eq!(victim.wait(None).unwrap_err().0, MtapiStatus::ErrTaskCancelled);
+        assert_eq!(
+            victim.wait(None).unwrap_err().0,
+            MtapiStatus::ErrTaskCancelled
+        );
         slow.wait(None).unwrap();
-        assert_eq!(victim.cancel().unwrap_err().0, MtapiStatus::ErrParameter, "already cancelled");
+        assert_eq!(
+            victim.cancel().unwrap_err().0,
+            MtapiStatus::ErrParameter,
+            "already cancelled"
+        );
     }
 
     #[test]
@@ -635,7 +674,15 @@ mod tests {
         assert_eq!(t.wait(None).unwrap_err().0, MtapiStatus::ErrActionFailed);
         // The pool survives.
         mt.create_action(6, |_| vec![9]).unwrap();
-        assert_eq!(mt.job(6).unwrap().start(vec![]).unwrap().wait(None).unwrap(), vec![9]);
+        assert_eq!(
+            mt.job(6)
+                .unwrap()
+                .start(vec![])
+                .unwrap()
+                .wait(None)
+                .unwrap(),
+            vec![9]
+        );
     }
 
     #[test]

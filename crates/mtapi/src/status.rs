@@ -74,6 +74,9 @@ mod tests {
     #[test]
     fn names_and_display() {
         assert_eq!(MtapiStatus::Success.spec_name(), "MTAPI_SUCCESS");
-        assert_eq!(MtapiError(MtapiStatus::Timeout).to_string(), "MTAPI_TIMEOUT");
+        assert_eq!(
+            MtapiError(MtapiStatus::Timeout).to_string(),
+            "MTAPI_TIMEOUT"
+        );
     }
 }

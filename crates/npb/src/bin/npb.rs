@@ -25,8 +25,12 @@ fn main() {
         "FT" => NpbKernel::Ft,
         _ => usage(),
     };
-    let Some(class) = Class::parse(&args[1]) else { usage() };
-    let Ok(threads) = args[2].parse::<usize>() else { usage() };
+    let Some(class) = Class::parse(&args[1]) else {
+        usage()
+    };
+    let Ok(threads) = args[2].parse::<usize>() else {
+        usage()
+    };
     let backend = match args.get(3).map(|s| s.as_str()) {
         None | Some("mca") => BackendKind::Mca,
         Some("native") => BackendKind::Native,
@@ -38,13 +42,22 @@ fn main() {
         " NAS Parallel Benchmarks (romp reproduction) — {} Benchmark",
         kernel.name()
     );
-    println!(" Class: {}   Threads: {}   Backend: {}", class.label(), threads, backend.label());
+    println!(
+        " Class: {}   Threads: {}   Backend: {}",
+        class.label(),
+        threads,
+        backend.label()
+    );
     let res = kernel.run(&rt, threads, class);
     println!(" Time in seconds    = {:>12.4}", res.wall_s);
     println!(" Mop/s total        = {:>12.2}", res.mops);
     println!(
         " Verification       = {}",
-        if res.verified() { "SUCCESSFUL" } else { "FAILED" }
+        if res.verified() {
+            "SUCCESSFUL"
+        } else {
+            "FAILED"
+        }
     );
     println!(" Detail             = {:?}", res.verification);
     if !res.verified() {

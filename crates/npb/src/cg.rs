@@ -134,7 +134,12 @@ pub fn makea(n: usize, nonzer: usize, shift: f64) -> Csr {
         }
         rowstr.push(colidx.len());
     }
-    Csr { n, rowstr, colidx, a }
+    Csr {
+        n,
+        rowstr,
+        colidx,
+        a,
+    }
 }
 
 /// Per-worker static row range.
@@ -174,11 +179,18 @@ pub fn power_iterations(
     let mut p = vec![0.0f64; n];
     let mut q = vec![0.0f64; n];
     let mut r = vec![0.0f64; n];
-    let out = std::sync::Mutex::new(CgOutcome { zeta: 0.0, rnorm: 0.0 });
+    let out = std::sync::Mutex::new(CgOutcome {
+        zeta: 0.0,
+        rnorm: 0.0,
+    });
 
-    run_region(rt, threads, mat, 1, shift, &mut x, &mut z, &mut p, &mut q, &mut r, &out);
+    run_region(
+        rt, threads, mat, 1, shift, &mut x, &mut z, &mut p, &mut q, &mut r, &out,
+    );
     x.iter_mut().for_each(|v| *v = 1.0);
-    run_region(rt, threads, mat, niter, shift, &mut x, &mut z, &mut p, &mut q, &mut r, &out);
+    run_region(
+        rt, threads, mat, niter, shift, &mut x, &mut z, &mut p, &mut q, &mut r, &out,
+    );
     out.into_inner().unwrap()
 }
 
@@ -299,10 +311,18 @@ pub fn run(rt: &Runtime, threads: usize, class: Class) -> KernelResult {
     let ops = 2.0
         * niter as f64
         * na as f64
-        * (3.0 + (nonzer * (nonzer + 1)) as f64
+        * (3.0
+            + (nonzer * (nonzer + 1)) as f64
             + 25.0 * (5.0 + (nonzer * (nonzer + 1)) as f64)
             + 3.0);
-    KernelResult { name: "CG", class, threads, wall_s, mops: ops / wall_s / 1e6, verification }
+    KernelResult {
+        name: "CG",
+        class,
+        threads,
+        wall_s,
+        mops: ops / wall_s / 1e6,
+        verification,
+    }
 }
 
 #[cfg(test)]
@@ -375,8 +395,13 @@ mod tests {
         let (na, nonzer, _, shift, _) = params(Class::S);
         let m = makea(na, nonzer, shift);
         let a = power_iterations(&rt(), 3, &m, 3, shift);
-        let b =
-            power_iterations(&Runtime::with_backend(BackendKind::Mca).unwrap(), 3, &m, 3, shift);
+        let b = power_iterations(
+            &Runtime::with_backend(BackendKind::Mca).unwrap(),
+            3,
+            &m,
+            3,
+            shift,
+        );
         assert!((a.zeta - b.zeta).abs() < 1e-11);
     }
 

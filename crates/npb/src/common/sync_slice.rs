@@ -32,7 +32,11 @@ impl<'a, T> SyncSlice<'a, T> {
     /// Wrap a mutable slice.  The borrow keeps the underlying storage
     /// exclusively reserved for this view's lifetime.
     pub fn new(slice: &'a mut [T]) -> Self {
-        SyncSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _borrow: PhantomData }
+        SyncSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _borrow: PhantomData,
+        }
     }
 
     /// Element count.

@@ -66,7 +66,11 @@ fn compute_block(block: u64, x: &mut [f64]) -> EpSums {
     let nk = 1u64 << MK;
     let mut seed = skip_ahead(EP_SEED, 2 * nk * block);
     vranlc(&mut seed, NPB_A, x);
-    let mut sums = EpSums { sx: 0.0, sy: 0.0, q: [0.0; NQ] };
+    let mut sums = EpSums {
+        sx: 0.0,
+        sy: 0.0,
+        q: [0.0; NQ],
+    };
     for i in 0..nk as usize {
         let x1 = 2.0 * x[2 * i] - 1.0;
         let x2 = 2.0 * x[2 * i + 1] - 1.0;
@@ -96,10 +100,18 @@ pub fn run_with_m(rt: &Runtime, threads: usize, m: u32) -> EpSums {
 /// The parallel sweep: dynamic blocks, per-worker partials, tree reduction
 /// through the runtime (sx, sy, and each histogram bin).
 fn parallel_sweep(rt: &Runtime, threads: usize, nn: u64, nk: usize) -> EpSums {
-    let result = std::sync::Mutex::new(EpSums { sx: 0.0, sy: 0.0, q: [0.0; NQ] });
+    let result = std::sync::Mutex::new(EpSums {
+        sx: 0.0,
+        sy: 0.0,
+        q: [0.0; NQ],
+    });
     rt.parallel(threads, |w| {
         let mut x = vec![0.0f64; 2 * nk];
-        let mut local = EpSums { sx: 0.0, sy: 0.0, q: [0.0; NQ] };
+        let mut local = EpSums {
+            sx: 0.0,
+            sy: 0.0,
+            q: [0.0; NQ],
+        };
         w.for_chunks_nowait(0..nn, Schedule::Dynamic { chunk: 1 }, |blocks| {
             for b in blocks {
                 let s = compute_block(b, &mut x);
@@ -172,7 +184,10 @@ mod tests {
             let par = run_with_m(&rt, threads, 18);
             // Summation order differs across team sizes; the histogram is
             // integer-exact, the sums match to reduction-roundoff.
-            assert!(((par.sx - serial.sx) / serial.sx).abs() < 1e-12, "threads={threads}");
+            assert!(
+                ((par.sx - serial.sx) / serial.sx).abs() < 1e-12,
+                "threads={threads}"
+            );
             assert!(((par.sy - serial.sy) / serial.sy).abs() < 1e-12);
             assert_eq!(par.q, serial.q);
         }
@@ -186,7 +201,10 @@ mod tests {
         let accepted = s.gaussian_count();
         // Polar-method acceptance rate is π/4 ≈ 0.785.
         let rate = accepted / total_pairs;
-        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.01,
+            "rate {rate}"
+        );
         // Bin 0 dominates a gaussian magnitude histogram.
         assert!(s.q[0] > s.q[1] && s.q[1] > s.q[2]);
     }

@@ -42,22 +42,34 @@ pub struct C64 {
 impl C64 {
     #[inline]
     fn mul(self, o: C64) -> C64 {
-        C64 { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
+        C64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
     }
 
     #[inline]
     fn add(self, o: C64) -> C64 {
-        C64 { re: self.re + o.re, im: self.im + o.im }
+        C64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 
     #[inline]
     fn sub(self, o: C64) -> C64 {
-        C64 { re: self.re - o.re, im: self.im - o.im }
+        C64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 
     #[inline]
     fn scale(self, s: f64) -> C64 {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     #[inline]
@@ -88,7 +100,10 @@ pub fn fft_line(line: &mut [C64], sign: f64) {
     let mut len = 2;
     while len <= n {
         let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = C64 { re: ang.cos(), im: ang.sin() };
+        let wlen = C64 {
+            re: ang.cos(),
+            im: ang.sin(),
+        };
         let mut i = 0;
         while i < n {
             let mut w = C64 { re: 1.0, im: 0.0 };
@@ -115,7 +130,12 @@ pub struct Field {
 
 impl Field {
     fn new(nx: usize, ny: usize, nz: usize) -> Self {
-        Field { nx, ny, nz, data: vec![C64::default(); nx * ny * nz] }
+        Field {
+            nx,
+            ny,
+            nz,
+            data: vec![C64::default(); nx * ny * nz],
+        }
     }
 
     #[inline]
@@ -173,49 +193,61 @@ pub fn twiddle_table(nx: usize, ny: usize, nz: usize) -> Vec<f64> {
 fn fft3d(w: &Worker, f: &SyncSlice<C64>, nx: usize, ny: usize, nz: usize, sign: f64) {
     // x lines: contiguous; partition (j,k) pairs.
     let mut scratch = vec![C64::default(); nx.max(ny).max(nz)];
-    w.for_chunks_nowait(0..(ny * nz) as u64, Schedule::Static { chunk: None }, |lines| {
-        for l in lines {
-            let base = l as usize * nx;
-            // SAFETY: line `l` is owned by this worker this phase.
-            let line = unsafe { f.slice_mut(base, nx) };
-            fft_line(line, sign);
-        }
-    });
+    w.for_chunks_nowait(
+        0..(ny * nz) as u64,
+        Schedule::Static { chunk: None },
+        |lines| {
+            for l in lines {
+                let base = l as usize * nx;
+                // SAFETY: line `l` is owned by this worker this phase.
+                let line = unsafe { f.slice_mut(base, nx) };
+                fft_line(line, sign);
+            }
+        },
+    );
     w.barrier();
     // y lines: stride nx; partition (i,k) pairs.
-    w.for_chunks_nowait(0..(nx * nz) as u64, Schedule::Static { chunk: None }, |lines| {
-        for l in lines {
-            let (i, k) = (l as usize % nx, l as usize / nx);
-            let base = k * nx * ny + i;
-            // SAFETY: the (i,k) column is owned by this worker this phase.
-            unsafe {
-                for (j, slot) in scratch[..ny].iter_mut().enumerate() {
-                    *slot = f.get(base + j * nx);
-                }
-                fft_line(&mut scratch[..ny], sign);
-                for (j, &v) in scratch[..ny].iter().enumerate() {
-                    f.set(base + j * nx, v);
+    w.for_chunks_nowait(
+        0..(nx * nz) as u64,
+        Schedule::Static { chunk: None },
+        |lines| {
+            for l in lines {
+                let (i, k) = (l as usize % nx, l as usize / nx);
+                let base = k * nx * ny + i;
+                // SAFETY: the (i,k) column is owned by this worker this phase.
+                unsafe {
+                    for (j, slot) in scratch[..ny].iter_mut().enumerate() {
+                        *slot = f.get(base + j * nx);
+                    }
+                    fft_line(&mut scratch[..ny], sign);
+                    for (j, &v) in scratch[..ny].iter().enumerate() {
+                        f.set(base + j * nx, v);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     w.barrier();
     // z lines: stride nx*ny; partition (i,j) pairs.
-    w.for_chunks_nowait(0..(nx * ny) as u64, Schedule::Static { chunk: None }, |lines| {
-        for l in lines {
-            let base = l as usize;
-            // SAFETY: the (i,j) pillar is owned by this worker this phase.
-            unsafe {
-                for (k, slot) in scratch[..nz].iter_mut().enumerate() {
-                    *slot = f.get(base + k * nx * ny);
-                }
-                fft_line(&mut scratch[..nz], sign);
-                for (k, &v) in scratch[..nz].iter().enumerate() {
-                    f.set(base + k * nx * ny, v);
+    w.for_chunks_nowait(
+        0..(nx * ny) as u64,
+        Schedule::Static { chunk: None },
+        |lines| {
+            for l in lines {
+                let base = l as usize;
+                // SAFETY: the (i,j) pillar is owned by this worker this phase.
+                unsafe {
+                    for (k, slot) in scratch[..nz].iter_mut().enumerate() {
+                        *slot = f.get(base + k * nx * ny);
+                    }
+                    fft_line(&mut scratch[..nz], sign);
+                    for (k, &v) in scratch[..nz].iter().enumerate() {
+                        f.set(base + k * nx * ny, v);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     w.barrier();
 }
 
@@ -316,7 +348,10 @@ pub fn spectral_evolution(
             }
         });
     }
-    FtOutcome { sums: sums.into_inner().unwrap(), timed_s: t0.elapsed().as_secs_f64() }
+    FtOutcome {
+        sums: sums.into_inner().unwrap(),
+        timed_s: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// Checksum without the extra 1/N (for an already-normalised field);
@@ -393,7 +428,10 @@ mod tests {
     fn fft_line_matches_dft_small() {
         // Compare against a naive DFT on length 8.
         let mut line: Vec<C64> = (0..8)
-            .map(|i| C64 { re: (i as f64 * 0.7).sin(), im: (i as f64 * 1.3).cos() })
+            .map(|i| C64 {
+                re: (i as f64 * 0.7).sin(),
+                im: (i as f64 * 1.3).cos(),
+            })
             .collect();
         let orig = line.clone();
         fft_line(&mut line, -1.0);
@@ -401,7 +439,10 @@ mod tests {
             let mut want = C64::default();
             for (n, &x) in orig.iter().enumerate() {
                 let ang = -2.0 * std::f64::consts::PI * (k * n) as f64 / 8.0;
-                want = want.add(x.mul(C64 { re: ang.cos(), im: ang.sin() }));
+                want = want.add(x.mul(C64 {
+                    re: ang.cos(),
+                    im: ang.sin(),
+                }));
             }
             assert!((got.re - want.re).abs() < 1e-12, "k={k}");
             assert!((got.im - want.im).abs() < 1e-12);
@@ -410,8 +451,12 @@ mod tests {
 
     #[test]
     fn fft_roundtrip_restores_input() {
-        let mut line: Vec<C64> =
-            (0..64).map(|i| C64 { re: (i as f64).sin(), im: (i as f64 * 0.5).cos() }).collect();
+        let mut line: Vec<C64> = (0..64)
+            .map(|i| C64 {
+                re: (i as f64).sin(),
+                im: (i as f64 * 0.5).cos(),
+            })
+            .collect();
         let orig = line.clone();
         fft_line(&mut line, -1.0);
         fft_line(&mut line, 1.0);
@@ -423,8 +468,12 @@ mod tests {
 
     #[test]
     fn parseval_holds_for_forward_transform() {
-        let mut line: Vec<C64> =
-            (0..128).map(|i| C64 { re: (i as f64 * 0.3).sin(), im: 0.0 }).collect();
+        let mut line: Vec<C64> = (0..128)
+            .map(|i| C64 {
+                re: (i as f64 * 0.3).sin(),
+                im: 0.0,
+            })
+            .collect();
         let time_energy: f64 = line.iter().map(|c| c.norm_sq()).sum();
         fft_line(&mut line, -1.0);
         let freq_energy: f64 = line.iter().map(|c| c.norm_sq()).sum::<f64>() / 128.0;
@@ -481,7 +530,12 @@ mod tests {
     fn checksum_uses_unnormalised_convention_consistently() {
         let f = initial_conditions(8, 8, 8);
         let a = checksum(&f);
-        let mut g = Field { nx: 8, ny: 8, nz: 8, data: f.data.clone() };
+        let mut g = Field {
+            nx: 8,
+            ny: 8,
+            nz: 8,
+            data: f.data.clone(),
+        };
         let scale = 1.0 / g.len() as f64;
         for c in g.data.iter_mut() {
             *c = c.scale(scale);

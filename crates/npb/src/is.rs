@@ -64,7 +64,10 @@ pub fn rank_keys(rt: &Runtime, threads: usize, keys: &[u32], max_key: usize) -> 
     let mut locals: Vec<Vec<u32>> = (0..threads).map(|_| vec![0u32; max_key]).collect();
     let mut merged = vec![0u32; max_key];
     {
-        let local_views: Vec<SyncSlice<u32>> = locals.iter_mut().map(|l| SyncSlice::new(l.as_mut_slice())).collect();
+        let local_views: Vec<SyncSlice<u32>> = locals
+            .iter_mut()
+            .map(|l| SyncSlice::new(l.as_mut_slice()))
+            .collect();
         let merged_view = SyncSlice::new(merged.as_mut_slice());
         rt.parallel(threads, |w| {
             let tid = w.thread_num();
@@ -83,15 +86,19 @@ pub fn rank_keys(rt: &Runtime, threads: usize, keys: &[u32], max_key: usize) -> 
             // Phase 2: merge across workers, partitioned by key range.
             // SAFETY: each key index is written by exactly one worker; the
             // locals are read-only after the barrier.
-            w.for_chunks_nowait(0..max_key as u64, Schedule::Static { chunk: None }, |chunk| {
-                for k in chunk {
-                    let mut sum = 0u32;
-                    for lv in &local_views {
-                        sum += unsafe { lv.get(k as usize) };
+            w.for_chunks_nowait(
+                0..max_key as u64,
+                Schedule::Static { chunk: None },
+                |chunk| {
+                    for k in chunk {
+                        let mut sum = 0u32;
+                        for lv in &local_views {
+                            sum += unsafe { lv.get(k as usize) };
+                        }
+                        unsafe { merged_view.set(k as usize, sum) };
                     }
-                    unsafe { merged_view.set(k as usize, sum) };
-                }
-            });
+                },
+            );
             w.barrier();
         });
     }
@@ -149,7 +156,12 @@ pub fn sort_protocol(
         sorted[cursor[k as usize] as usize] = k;
         cursor[k as usize] += 1;
     }
-    IsOutcome { ranks, probe_ranks, sorted, timed_s }
+    IsOutcome {
+        ranks,
+        probe_ranks,
+        sorted,
+        timed_s,
+    }
 }
 
 /// Run IS for a class with NPB verification.
@@ -279,7 +291,11 @@ mod tests {
         let keys = create_seq(n, max_key);
         let serial = rank_keys(&rt, 1, &keys, max_key);
         for threads in [2, 5] {
-            assert_eq!(rank_keys(&rt, threads, &keys, max_key), serial, "threads={threads}");
+            assert_eq!(
+                rank_keys(&rt, threads, &keys, max_key),
+                serial,
+                "threads={threads}"
+            );
         }
         let mca = Runtime::with_backend(BackendKind::Mca).unwrap();
         assert_eq!(rank_keys(&mca, 3, &keys, max_key), serial);
@@ -287,11 +303,11 @@ mod tests {
 
     #[test]
     fn full_sort_is_correct_for_random_input() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = mca_sync::rng::SmallRng::seed_from_u64(42);
         let max_key = 1 << 8;
-        let keys: Vec<u32> =
-            (0..5000).map(|_| rng.gen_range(0..max_key as u32)).collect();
+        let keys: Vec<u32> = (0..5000)
+            .map(|_| rng.gen_range(0, max_key as u64) as u32)
+            .collect();
         let t = [100, 200, 300, 400, 500];
         let out = sort_protocol(&rt(), 3, keys.clone(), max_key, &t);
         assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));

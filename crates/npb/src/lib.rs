@@ -57,7 +57,13 @@ pub enum NpbKernel {
 impl NpbKernel {
     /// All kernels, Figure 4 order.
     pub fn all() -> [NpbKernel; 5] {
-        [NpbKernel::Ep, NpbKernel::Cg, NpbKernel::Is, NpbKernel::Mg, NpbKernel::Ft]
+        [
+            NpbKernel::Ep,
+            NpbKernel::Cg,
+            NpbKernel::Is,
+            NpbKernel::Mg,
+            NpbKernel::Ft,
+        ]
     }
 
     /// Uppercase NPB name.

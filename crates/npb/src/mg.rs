@@ -50,7 +50,10 @@ pub struct Grid {
 
 impl Grid {
     fn new(n: usize) -> Self {
-        Grid { m: n + 2, data: vec![0.0; (n + 2).pow(3)] }
+        Grid {
+            m: n + 2,
+            data: vec![0.0; (n + 2).pow(3)],
+        }
     }
 
     /// Flat index from 1-based Fortran-style coordinates.
@@ -258,32 +261,45 @@ fn interp(w: &Worker, z: &SyncSlice<f64>, mmj: usize, u: &SyncSlice<f64>, mk: us
                 for i1 in 1..mm {
                     let zi = z.get(at(mmj, i1, i2, i3));
                     let f = |a, b, c| at(mk, a, b, c);
-                    u.set(f(2 * i1 - 1, 2 * i2 - 1, 2 * i3 - 1),
-                        u.get(f(2 * i1 - 1, 2 * i2 - 1, 2 * i3 - 1)) + zi);
-                    u.set(f(2 * i1, 2 * i2 - 1, 2 * i3 - 1),
+                    u.set(
+                        f(2 * i1 - 1, 2 * i2 - 1, 2 * i3 - 1),
+                        u.get(f(2 * i1 - 1, 2 * i2 - 1, 2 * i3 - 1)) + zi,
+                    );
+                    u.set(
+                        f(2 * i1, 2 * i2 - 1, 2 * i3 - 1),
                         u.get(f(2 * i1, 2 * i2 - 1, 2 * i3 - 1))
-                            + 0.5 * (z.get(at(mmj, i1 + 1, i2, i3)) + zi));
+                            + 0.5 * (z.get(at(mmj, i1 + 1, i2, i3)) + zi),
+                    );
                 }
                 for i1 in 1..mm {
-                    u.set(at(mk, 2 * i1 - 1, 2 * i2, 2 * i3 - 1),
-                        u.get(at(mk, 2 * i1 - 1, 2 * i2, 2 * i3 - 1)) + 0.5 * z1[i1]);
-                    u.set(at(mk, 2 * i1, 2 * i2, 2 * i3 - 1),
-                        u.get(at(mk, 2 * i1, 2 * i2, 2 * i3 - 1))
-                            + 0.25 * (z1[i1] + z1[i1 + 1]));
+                    u.set(
+                        at(mk, 2 * i1 - 1, 2 * i2, 2 * i3 - 1),
+                        u.get(at(mk, 2 * i1 - 1, 2 * i2, 2 * i3 - 1)) + 0.5 * z1[i1],
+                    );
+                    u.set(
+                        at(mk, 2 * i1, 2 * i2, 2 * i3 - 1),
+                        u.get(at(mk, 2 * i1, 2 * i2, 2 * i3 - 1)) + 0.25 * (z1[i1] + z1[i1 + 1]),
+                    );
                 }
                 for i1 in 1..mm {
-                    u.set(at(mk, 2 * i1 - 1, 2 * i2 - 1, 2 * i3),
-                        u.get(at(mk, 2 * i1 - 1, 2 * i2 - 1, 2 * i3)) + 0.5 * z2[i1]);
-                    u.set(at(mk, 2 * i1, 2 * i2 - 1, 2 * i3),
-                        u.get(at(mk, 2 * i1, 2 * i2 - 1, 2 * i3))
-                            + 0.25 * (z2[i1] + z2[i1 + 1]));
+                    u.set(
+                        at(mk, 2 * i1 - 1, 2 * i2 - 1, 2 * i3),
+                        u.get(at(mk, 2 * i1 - 1, 2 * i2 - 1, 2 * i3)) + 0.5 * z2[i1],
+                    );
+                    u.set(
+                        at(mk, 2 * i1, 2 * i2 - 1, 2 * i3),
+                        u.get(at(mk, 2 * i1, 2 * i2 - 1, 2 * i3)) + 0.25 * (z2[i1] + z2[i1 + 1]),
+                    );
                 }
                 for i1 in 1..mm {
-                    u.set(at(mk, 2 * i1 - 1, 2 * i2, 2 * i3),
-                        u.get(at(mk, 2 * i1 - 1, 2 * i2, 2 * i3)) + 0.25 * z3[i1]);
-                    u.set(at(mk, 2 * i1, 2 * i2, 2 * i3),
-                        u.get(at(mk, 2 * i1, 2 * i2, 2 * i3))
-                            + 0.125 * (z3[i1] + z3[i1 + 1]));
+                    u.set(
+                        at(mk, 2 * i1 - 1, 2 * i2, 2 * i3),
+                        u.get(at(mk, 2 * i1 - 1, 2 * i2, 2 * i3)) + 0.25 * z3[i1],
+                    );
+                    u.set(
+                        at(mk, 2 * i1, 2 * i2, 2 * i3),
+                        u.get(at(mk, 2 * i1, 2 * i2, 2 * i3)) + 0.125 * (z3[i1] + z3[i1 + 1]),
+                    );
                 }
             }
         }
@@ -394,10 +410,14 @@ pub fn v_cycles(rt: &Runtime, threads: usize, lt: u32, nit: usize) -> MgOutcome 
     zran3(&mut v);
 
     let run_pass = |u_lv: &mut [Grid], r_lv: &mut [Grid], v: &Grid, iters: usize| -> (f64, f64) {
-        let us: Vec<SyncSlice<f64>> =
-            u_lv.iter_mut().map(|g| SyncSlice::new(g.data.as_mut_slice())).collect();
-        let rs: Vec<SyncSlice<f64>> =
-            r_lv.iter_mut().map(|g| SyncSlice::new(g.data.as_mut_slice())).collect();
+        let us: Vec<SyncSlice<f64>> = u_lv
+            .iter_mut()
+            .map(|g| SyncSlice::new(g.data.as_mut_slice()))
+            .collect();
+        let rs: Vec<SyncSlice<f64>> = r_lv
+            .iter_mut()
+            .map(|g| SyncSlice::new(g.data.as_mut_slice()))
+            .collect();
         let mut vdata = v.data.clone();
         let vv = SyncSlice::new(vdata.as_mut_slice());
         let top = (lt - 1) as usize; // index of the finest level
@@ -448,7 +468,11 @@ pub fn v_cycles(rt: &Runtime, threads: usize, lt: u32, nit: usize) -> MgOutcome 
     let t0 = std::time::Instant::now();
     let (rnm2_initial, rnm2_final) = run_pass(&mut u_lv, &mut r_lv, &v, nit);
     let timed_s = t0.elapsed().as_secs_f64();
-    MgOutcome { rnm2_initial, rnm2_final, timed_s }
+    MgOutcome {
+        rnm2_initial,
+        rnm2_final,
+        timed_s,
+    }
 }
 
 /// Run MG for a class with verification.
@@ -465,8 +489,7 @@ pub fn run(rt: &Runtime, threads: usize, class: Class) -> KernelResult {
         // Fall back to self-consistency: the serial run must agree and the
         // V-cycles must have contracted the residual strongly.
         let serial = v_cycles(rt, 1, lt, nit);
-        let agrees =
-            ((outcome.rnm2_final - serial.rnm2_final) / serial.rnm2_final).abs() < 1e-10;
+        let agrees = ((outcome.rnm2_final - serial.rnm2_final) / serial.rnm2_final).abs() < 1e-10;
         // One NPB V-cycle contracts the residual by roughly an order of
         // magnitude; four cycles give ~1e-2..1e-3 overall on small grids.
         let contracted = outcome.rnm2_final < outcome.rnm2_initial * 1e-2;
@@ -474,11 +497,7 @@ pub fn run(rt: &Runtime, threads: usize, class: Class) -> KernelResult {
             Verification::SelfConsistent(format!(
                 "rnm2={:.13e} (published {:.13e} not matched, rel {:.2e}); serial-parallel \
                  agreement and residual contraction {:.2e}→{:.2e} hold",
-                outcome.rnm2_final,
-                rnm2_ref,
-                rel,
-                outcome.rnm2_initial,
-                outcome.rnm2_final
+                outcome.rnm2_final, rnm2_ref, rel, outcome.rnm2_initial, outcome.rnm2_final
             ))
         } else {
             Verification::Failed(format!(

@@ -62,19 +62,41 @@ impl Default for BootConfig {
 /// config leaves either network service blank — the equivalent of the
 /// default NOR-flash configuration the paper replaced, where every reset
 /// wiped the filesystem.
-pub fn bring_up(topo: &Topology, cfg: &BootConfig) -> Result<Vec<BootEvent>, (Vec<BootEvent>, BootStage)> {
+pub fn bring_up(
+    topo: &Topology,
+    cfg: &BootConfig,
+) -> Result<Vec<BootEvent>, (Vec<BootEvent>, BootStage)> {
     let mut log = Vec::new();
     let push = |stage: BootStage, msg: String, log: &mut Vec<BootEvent>| {
-        log.push(BootEvent { stage, message: msg });
+        log.push(BootEvent {
+            stage,
+            message: msg,
+        });
     };
-    push(BootStage::PowerOn, format!("Reset: {} ({} cores, {} hw threads)", topo.name, topo.num_cores(), topo.num_hw_threads()), &mut log);
-    push(BootStage::UBoot, "U-Boot 2014.01 (NOR flash bank 0)".to_string(), &mut log);
+    push(
+        BootStage::PowerOn,
+        format!(
+            "Reset: {} ({} cores, {} hw threads)",
+            topo.name,
+            topo.num_cores(),
+            topo.num_hw_threads()
+        ),
+        &mut log,
+    );
+    push(
+        BootStage::UBoot,
+        "U-Boot 2014.01 (NOR flash bank 0)".to_string(),
+        &mut log,
+    );
     if cfg.tftp_server.is_empty() || cfg.kernel_image.is_empty() {
         return Err((log, BootStage::TftpKernelLoaded));
     }
     push(
         BootStage::TftpKernelLoaded,
-        format!("tftpboot 0x1000000 {}:{} ... done", cfg.tftp_server, cfg.kernel_image),
+        format!(
+            "tftpboot 0x1000000 {}:{} ... done",
+            cfg.tftp_server, cfg.kernel_image
+        ),
         &mut log,
     );
     push(
@@ -88,13 +110,21 @@ pub fn bring_up(topo: &Topology, cfg: &BootConfig) -> Result<Vec<BootEvent>, (Ve
     if cfg.nfs_root.is_empty() {
         return Err((log, BootStage::NfsRootMounted));
     }
-    push(BootStage::NfsRootMounted, format!("VFS: Mounted root (nfs) on {}", cfg.nfs_root), &mut log);
+    push(
+        BootStage::NfsRootMounted,
+        format!("VFS: Mounted root (nfs) on {}", cfg.nfs_root),
+        &mut log,
+    );
     for t in 0..topo.num_hw_threads() {
         if t > 0 && (t == 1 || t == topo.num_hw_threads() - 1) {
             push(BootStage::Ready, format!("smp: CPU{t} online"), &mut log);
         }
     }
-    push(BootStage::Ready, format!("{} login:", topo.name.to_lowercase()), &mut log);
+    push(
+        BootStage::Ready,
+        format!("{} login:", topo.name.to_lowercase()),
+        &mut log,
+    );
     Ok(log)
 }
 
@@ -110,12 +140,17 @@ mod tests {
         sorted.sort();
         assert_eq!(stages, sorted, "stages must be monotone");
         assert_eq!(*stages.last().unwrap(), BootStage::Ready);
-        assert!(log.iter().any(|e| e.message.contains("nfsroot=192.168.1.1")));
+        assert!(log
+            .iter()
+            .any(|e| e.message.contains("nfsroot=192.168.1.1")));
     }
 
     #[test]
     fn missing_tftp_fails_at_kernel_load() {
-        let cfg = BootConfig { tftp_server: String::new(), ..BootConfig::default() };
+        let cfg = BootConfig {
+            tftp_server: String::new(),
+            ..BootConfig::default()
+        };
         let (partial, failed) = bring_up(&Topology::t4240rdb(), &cfg).unwrap_err();
         assert_eq!(failed, BootStage::TftpKernelLoaded);
         assert_eq!(partial.last().unwrap().stage, BootStage::UBoot);
@@ -123,7 +158,10 @@ mod tests {
 
     #[test]
     fn missing_nfs_fails_at_mount() {
-        let cfg = BootConfig { nfs_root: String::new(), ..BootConfig::default() };
+        let cfg = BootConfig {
+            nfs_root: String::new(),
+            ..BootConfig::default()
+        };
         let (_, failed) = bring_up(&Topology::t4240rdb(), &cfg).unwrap_err();
         assert_eq!(failed, BootStage::NfsRootMounted);
     }

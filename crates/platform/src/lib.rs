@@ -58,7 +58,7 @@ pub mod vtime;
 
 pub use memory::{MemoryMap, MemoryRegion, RegionClass};
 pub use partition::{Hypervisor, Partition, PartitionSpec};
+pub use power::{EnergyEstimate, PowerModel, PowerState};
 pub use resource::{ResourceAttr, ResourceKind, ResourceNode, ResourceTree};
 pub use topology::{CacheLevel, CacheSpec, Cluster, Core, HwThread, Topology};
-pub use power::{EnergyEstimate, PowerModel, PowerState};
 pub use vtime::{CostModel, RegionProfile, VirtualTimer};

@@ -6,12 +6,10 @@
 //! regions behind both: every region has an address window, a class, and
 //! latency/bandwidth parameters the simulation uses to cost accesses.
 
-use serde::{Deserialize, Serialize};
-
 use crate::topology::Topology;
 
 /// What kind of physical memory a region is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionClass {
     /// Off-chip DDR visible to every core — the default shared memory.
     Dram,
@@ -35,7 +33,7 @@ impl RegionClass {
 }
 
 /// One region in the platform memory map.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryRegion {
     /// Stable name, e.g. `"ddr0"`, `"cpc-sram"`, `"dsp-window"`.
     pub name: String,
@@ -55,7 +53,9 @@ impl MemoryRegion {
     pub fn contains(&self, addr: u64, len: u64) -> bool {
         addr >= self.base
             && len <= self.size
-            && addr.checked_add(len).is_some_and(|end| end <= self.base + self.size)
+            && addr
+                .checked_add(len)
+                .is_some_and(|end| end <= self.base + self.size)
     }
 
     /// Modeled time to move `bytes` to/from this region in nanoseconds:
@@ -66,7 +66,7 @@ impl MemoryRegion {
 }
 
 /// The full memory map of a modeled platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryMap {
     pub regions: Vec<MemoryRegion>,
 }
@@ -140,10 +140,16 @@ mod tests {
     fn default_map_shapes() {
         let m = MemoryMap::for_topology(&Topology::t4240rdb());
         assert!(m.by_name("ddr0").is_some());
-        assert!(m.by_name("cpc-sram").is_some(), "T4240 has a platform cache to carve");
+        assert!(
+            m.by_name("cpc-sram").is_some(),
+            "T4240 has a platform cache to carve"
+        );
         assert!(m.by_name("accel-window").is_some());
         let host = MemoryMap::for_topology(&Topology::host());
-        assert!(host.by_name("cpc-sram").is_none(), "host model has no platform cache");
+        assert!(
+            host.by_name("cpc-sram").is_none(),
+            "host model has no platform cache"
+        );
     }
 
     #[test]
@@ -167,7 +173,10 @@ mod tests {
             latency_ns: 1.0,
             bandwidth_bytes_per_s: 1.0,
         };
-        assert!(!r.contains(u64::MAX - 2, 5), "end computation must not wrap");
+        assert!(
+            !r.contains(u64::MAX - 2, 5),
+            "end computation must not wrap"
+        );
     }
 
     #[test]

@@ -9,10 +9,9 @@
 
 use crate::memory::{MemoryMap, MemoryRegion, RegionClass};
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 
 /// Requested shape of one partition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionSpec {
     /// Partition name, e.g. `"linux0"`, `"rtos"`, `"baremetal-dsp"`.
     pub name: String,
@@ -25,7 +24,7 @@ pub struct PartitionSpec {
 }
 
 /// What runs inside a partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GuestKind {
     /// Full embedded Linux (the paper's SMP configuration).
     Linux,
@@ -36,7 +35,7 @@ pub enum GuestKind {
 }
 
 /// A realized partition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     pub name: String,
     pub guest: GuestKind,
@@ -63,10 +62,16 @@ pub enum PartitionError {
 impl std::fmt::Display for PartitionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PartitionError::InsufficientCpus { requested, available } => {
+            PartitionError::InsufficientCpus {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} hw threads, only {available} free")
             }
-            PartitionError::InsufficientMemory { requested, available } => {
+            PartitionError::InsufficientMemory {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} bytes, only {available} free")
             }
             PartitionError::DuplicateName(n) => write!(f, "duplicate partition name {n:?}"),
@@ -93,7 +98,13 @@ impl Hypervisor {
     /// by creating a `"hv"` partition first.
     pub fn new(topo: Topology) -> Self {
         let map = MemoryMap::for_topology(&topo);
-        Hypervisor { topo, map, partitions: Vec::new(), next_cpu: 0, mem_cursor: 0 }
+        Hypervisor {
+            topo,
+            map,
+            partitions: Vec::new(),
+            next_cpu: 0,
+            mem_cursor: 0,
+        }
     }
 
     /// Underlying topology.
@@ -133,7 +144,10 @@ impl Hypervisor {
         }
         let avail = self.free_hw_threads();
         if spec.hw_threads > avail {
-            return Err(PartitionError::InsufficientCpus { requested: spec.hw_threads, available: avail });
+            return Err(PartitionError::InsufficientCpus {
+                requested: spec.hw_threads,
+                available: avail,
+            });
         }
         let free_mem = self.free_memory();
         if spec.memory_bytes > free_mem {
@@ -204,7 +218,10 @@ mod tests {
         let mut hv = Hypervisor::new(Topology::t4240rdb());
         hv.create_partition(&spec("big", 24, 1024)).unwrap();
         let err = hv.create_partition(&spec("more", 1, 1)).unwrap_err();
-        assert!(matches!(err, PartitionError::InsufficientCpus { available: 0, .. }));
+        assert!(matches!(
+            err,
+            PartitionError::InsufficientCpus { available: 0, .. }
+        ));
     }
 
     #[test]
@@ -253,7 +270,10 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        let e = PartitionError::InsufficientCpus { requested: 30, available: 24 };
+        let e = PartitionError::InsufficientCpus {
+            requested: 30,
+            available: 24,
+        };
         assert!(e.to_string().contains("30"));
         let e2 = PartitionError::DuplicateName("x".into());
         assert!(e2.to_string().contains('x'));

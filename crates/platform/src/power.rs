@@ -113,16 +113,19 @@ pub fn energy_for_profile(
     let shallow_ns = idle_core_ns.min(n_cores * power.pw20_entry_ns);
     let deep_ns = idle_core_ns - shallow_ns;
 
-    let core_j = (active_core_ns * power.active_w
-        + shallow_ns * power.pw10_w
-        + deep_ns * power.pw20_w)
-        / 1e9;
+    let core_j =
+        (active_core_ns * power.active_w + shallow_ns * power.pw10_w + deep_ns * power.pw20_w)
+            / 1e9;
     let uncore_j = elapsed_ns / 1e9 * power.uncore_w;
     let joules = core_j + uncore_j;
     let elapsed_s = elapsed_ns / 1e9;
     EnergyEstimate {
         joules,
-        avg_watts: if elapsed_s > 0.0 { joules / elapsed_s } else { 0.0 },
+        avg_watts: if elapsed_s > 0.0 {
+            joules / elapsed_s
+        } else {
+            0.0
+        },
         elapsed_s,
         utilization: if elapsed_ns > 0.0 {
             active_core_ns / (n_cores * elapsed_ns)
@@ -158,7 +161,11 @@ mod tests {
         let e = energy_for_profile(&power, &cost, &even_profile(1_000_000_000, 12), 0.0);
         assert!(e.joules > 0.0);
         let peak = 12.0 * power.active_w + power.uncore_w;
-        assert!(e.avg_watts <= peak + 1e-9, "avg {} vs peak {peak}", e.avg_watts);
+        assert!(
+            e.avg_watts <= peak + 1e-9,
+            "avg {} vs peak {peak}",
+            e.avg_watts
+        );
         assert!(e.avg_watts >= power.uncore_w, "uncore is always on");
         assert!(e.utilization > 0.0 && e.utilization <= 1.0);
     }
@@ -178,7 +185,10 @@ mod tests {
             parallel.joules,
             serial.joules
         );
-        assert!(parallel.avg_watts > serial.avg_watts, "peak power rises, energy falls");
+        assert!(
+            parallel.avg_watts > serial.avg_watts,
+            "peak power rises, energy falls"
+        );
     }
 
     #[test]
@@ -191,7 +201,11 @@ mod tests {
         let e = energy_for_profile(&power, &cost, &even_profile(4_000_000_000, 1), 0.0);
         let ceiling = power.uncore_w + power.active_w + 11.0 * power.pw10_w;
         let floor = power.uncore_w + 11.0 * power.pw20_w;
-        assert!(e.avg_watts < ceiling, "deep idle should beat all-PW10: {}", e.avg_watts);
+        assert!(
+            e.avg_watts < ceiling,
+            "deep idle should beat all-PW10: {}",
+            e.avg_watts
+        );
         assert!(e.avg_watts > floor);
     }
 
@@ -202,7 +216,11 @@ mod tests {
         let e = energy_for_profile(
             &power,
             &cost,
-            &RegionProfile { worker_cpu_ns: vec![], barriers: 0, criticals: 0 },
+            &RegionProfile {
+                worker_cpu_ns: vec![],
+                barriers: 0,
+                criticals: 0,
+            },
             0.0,
         );
         assert_eq!(e.joules, 0.0);

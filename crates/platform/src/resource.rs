@@ -116,7 +116,12 @@ pub struct ResourceNode {
 impl ResourceNode {
     /// Create a leaf node with no attributes.
     pub fn new(kind: ResourceKind, name: impl Into<String>) -> Self {
-        ResourceNode { kind, name: name.into(), attrs: Vec::new(), children: Vec::new() }
+        ResourceNode {
+            kind,
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder-style attribute attach.
@@ -147,9 +152,15 @@ impl ResourceNode {
     fn cache_node(spec: &CacheSpec) -> ResourceNode {
         ResourceNode::new(ResourceKind::Cache, spec.level.label())
             .with_attr("size_bytes", ResourceAttr::StaticU64(spec.size_bytes))
-            .with_attr("line_bytes", ResourceAttr::StaticU64(spec.line_bytes as u64))
+            .with_attr(
+                "line_bytes",
+                ResourceAttr::StaticU64(spec.line_bytes as u64),
+            )
             .with_attr("ways", ResourceAttr::StaticU64(spec.ways as u64))
-            .with_attr("latency_cycles", ResourceAttr::StaticU64(spec.latency_cycles as u64))
+            .with_attr(
+                "latency_cycles",
+                ResourceAttr::StaticU64(spec.latency_cycles as u64),
+            )
     }
 }
 
@@ -168,15 +179,24 @@ impl ResourceTree {
     pub fn from_topology(topo: &Topology) -> Self {
         let mut root = ResourceNode::new(ResourceKind::System, topo.name.clone())
             .with_attr("clock_hz", ResourceAttr::StaticU64(topo.clock_hz))
-            .with_attr("num_cores", ResourceAttr::StaticU64(topo.num_cores() as u64))
-            .with_attr("num_hw_threads", ResourceAttr::StaticU64(topo.num_hw_threads() as u64));
+            .with_attr(
+                "num_cores",
+                ResourceAttr::StaticU64(topo.num_cores() as u64),
+            )
+            .with_attr(
+                "num_hw_threads",
+                ResourceAttr::StaticU64(topo.num_hw_threads() as u64),
+            );
 
         let mut fabric = ResourceNode::new(ResourceKind::Fabric, topo.fabric.name.clone())
             .with_attr(
                 "bandwidth_bytes_per_s",
                 ResourceAttr::StaticF64(topo.fabric.bandwidth_bytes_per_s),
             )
-            .with_attr("latency_ns", ResourceAttr::StaticF64(topo.fabric.latency_ns));
+            .with_attr(
+                "latency_ns",
+                ResourceAttr::StaticF64(topo.fabric.latency_ns),
+            );
         if let Some(pc) = &topo.fabric.platform_cache {
             fabric = fabric.with_child(ResourceNode::cache_node(pc));
         }
@@ -189,9 +209,10 @@ impl ResourceTree {
             }
             for &core_id in &cl.cores {
                 let core = &topo.cores[core_id];
-                let mut core_node = ResourceNode::new(ResourceKind::Core, format!("core{}", core.id))
-                    .with_attr("isa", ResourceAttr::StaticText(core.isa.clone()))
-                    .with_attr("simd", ResourceAttr::StaticU64(core.simd as u64));
+                let mut core_node =
+                    ResourceNode::new(ResourceKind::Core, format!("core{}", core.id))
+                        .with_attr("isa", ResourceAttr::StaticText(core.isa.clone()))
+                        .with_attr("simd", ResourceAttr::StaticU64(core.simd as u64));
                 for spec in &core.caches {
                     core_node = core_node.with_child(ResourceNode::cache_node(spec));
                 }
@@ -327,7 +348,11 @@ mod tests {
         let t = tree();
         let cores = t.filter_kind(ResourceKind::Core);
         assert_eq!(cores.root.children.len(), 12);
-        assert!(cores.root.children.iter().all(|c| c.kind == ResourceKind::Core));
+        assert!(cores
+            .root
+            .children
+            .iter()
+            .all(|c| c.kind == ResourceKind::Core));
         // filtered children must not contain hw threads
         for c in &cores.root.children {
             assert!(c.children.iter().all(|g| g.kind == ResourceKind::Core));
@@ -337,7 +362,10 @@ mod tests {
     #[test]
     fn attributes_readable() {
         let t = tree();
-        assert_eq!(t.root.attr("clock_hz").unwrap().as_u64(), Some(1_800_000_000));
+        assert_eq!(
+            t.root.attr("clock_hz").unwrap().as_u64(),
+            Some(1_800_000_000)
+        );
         assert_eq!(t.root.attr("num_hw_threads").unwrap().as_u64(), Some(24));
         assert!(t.root.attr("missing").is_none());
     }

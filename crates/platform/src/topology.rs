@@ -5,10 +5,8 @@
 //! its headline parameters are (clock, cache sizes, bandwidths).  Behavioural
 //! simulation (how long things take) is layered on top in [`crate::vtime`].
 
-use serde::{Deserialize, Serialize};
-
 /// Cache levels present in the modeled parts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CacheLevel {
     /// Per-core instruction cache.
     L1I,
@@ -33,7 +31,7 @@ impl CacheLevel {
 }
 
 /// Parameters of one cache in the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSpec {
     pub level: CacheLevel,
     /// Total capacity in bytes.
@@ -47,7 +45,7 @@ pub struct CacheSpec {
 }
 
 /// One hardware thread (what the OS sees as a logical CPU).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HwThread {
     /// Global logical CPU index, 0-based, dense.
     pub id: usize,
@@ -58,7 +56,7 @@ pub struct HwThread {
 }
 
 /// One physical core.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Core {
     /// Global core index, 0-based, dense.
     pub id: usize,
@@ -75,7 +73,7 @@ pub struct Core {
 }
 
 /// A cluster of cores sharing a cache and a fabric port.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cluster {
     /// Global cluster index, 0-based, dense.
     pub id: usize,
@@ -86,7 +84,7 @@ pub struct Cluster {
 }
 
 /// Interconnect fabric parameters (CoreNet on the modeled parts).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricSpec {
     /// Marketing name, e.g. `"CoreNet"`.
     pub name: String,
@@ -99,7 +97,7 @@ pub struct FabricSpec {
 }
 
 /// A complete modeled machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     /// Marketing name for the platform, e.g. `"T4240RDB"`.
     pub name: String,
@@ -145,7 +143,11 @@ impl Topology {
                 let mut threads = Vec::with_capacity(smt);
                 for s in 0..smt {
                     let tid = hw_threads.len();
-                    hw_threads.push(HwThread { id: tid, core: core_id, smt_index: s });
+                    hw_threads.push(HwThread {
+                        id: tid,
+                        core: core_id,
+                        smt_index: s,
+                    });
                     threads.push(tid);
                 }
                 cores.push(Core {
@@ -158,7 +160,11 @@ impl Topology {
                 });
                 member_cores.push(core_id);
             }
-            clusters.push(Cluster { id: c, cores: member_cores, caches: cluster_caches.clone() });
+            clusters.push(Cluster {
+                id: c,
+                cores: member_cores,
+                caches: cluster_caches.clone(),
+            });
         }
         Topology {
             name: name.to_string(),
@@ -179,10 +185,34 @@ impl Topology {
     /// of four; per-core 32 KB L1I + 32 KB L1D; per-cluster 2 MB multibank
     /// L2; 1.5 MB CoreNet platform (L3) cache; three DDR3 controllers.
     pub fn t4240rdb() -> Self {
-        let l1i = CacheSpec { level: CacheLevel::L1I, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 3 };
-        let l1d = CacheSpec { level: CacheLevel::L1D, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 3 };
-        let l2 = CacheSpec { level: CacheLevel::L2, size_bytes: 2 * 1024 * 1024, line_bytes: 64, ways: 16, latency_cycles: 12 };
-        let l3 = CacheSpec { level: CacheLevel::L3, size_bytes: 1536 * 1024, line_bytes: 64, ways: 16, latency_cycles: 40 };
+        let l1i = CacheSpec {
+            level: CacheLevel::L1I,
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            latency_cycles: 3,
+        };
+        let l1d = CacheSpec {
+            level: CacheLevel::L1D,
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            latency_cycles: 3,
+        };
+        let l2 = CacheSpec {
+            level: CacheLevel::L2,
+            size_bytes: 2 * 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+            latency_cycles: 12,
+        };
+        let l3 = CacheSpec {
+            level: CacheLevel::L3,
+            size_bytes: 1536 * 1024,
+            line_bytes: 64,
+            ways: 16,
+            latency_cycles: 40,
+        };
         let fabric = FabricSpec {
             name: "CoreNet".to_string(),
             platform_cache: Some(l3),
@@ -216,10 +246,34 @@ impl Topology {
     /// backside L2, attached directly to CoreNet (no clusters), 2 MB
     /// platform cache.
     pub fn p4080ds() -> Self {
-        let l1i = CacheSpec { level: CacheLevel::L1I, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 3 };
-        let l1d = CacheSpec { level: CacheLevel::L1D, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 3 };
-        let l2 = CacheSpec { level: CacheLevel::L2, size_bytes: 128 * 1024, line_bytes: 64, ways: 8, latency_cycles: 11 };
-        let l3 = CacheSpec { level: CacheLevel::L3, size_bytes: 2 * 1024 * 1024, line_bytes: 64, ways: 32, latency_cycles: 45 };
+        let l1i = CacheSpec {
+            level: CacheLevel::L1I,
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            latency_cycles: 3,
+        };
+        let l1d = CacheSpec {
+            level: CacheLevel::L1D,
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            latency_cycles: 3,
+        };
+        let l2 = CacheSpec {
+            level: CacheLevel::L2,
+            size_bytes: 128 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            latency_cycles: 11,
+        };
+        let l3 = CacheSpec {
+            level: CacheLevel::L3,
+            size_bytes: 2 * 1024 * 1024,
+            line_bytes: 64,
+            ways: 32,
+            latency_cycles: 45,
+        };
         let fabric = FabricSpec {
             name: "CoreNet".to_string(),
             platform_cache: Some(l3),
@@ -247,17 +301,47 @@ impl Topology {
     /// cores, no SMT distinction.  Useful for tests that should not depend on
     /// board parameters.
     pub fn host() -> Self {
-        let n = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-        let l1d = CacheSpec { level: CacheLevel::L1D, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 4 };
-        let l1i = CacheSpec { level: CacheLevel::L1I, size_bytes: 32 * 1024, line_bytes: 64, ways: 8, latency_cycles: 4 };
-        let l2 = CacheSpec { level: CacheLevel::L2, size_bytes: 1024 * 1024, line_bytes: 64, ways: 16, latency_cycles: 14 };
+        let n = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        let l1d = CacheSpec {
+            level: CacheLevel::L1D,
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            latency_cycles: 4,
+        };
+        let l1i = CacheSpec {
+            level: CacheLevel::L1I,
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            latency_cycles: 4,
+        };
+        let l2 = CacheSpec {
+            level: CacheLevel::L2,
+            size_bytes: 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+            latency_cycles: 14,
+        };
         let fabric = FabricSpec {
             name: "host".to_string(),
             platform_cache: None,
             bandwidth_bytes_per_s: 50.0e9,
             latency_ns: 20.0,
         };
-        Topology::homogeneous("host", 2_400_000_000, 1, n, 1, "host", vec![l1i, l1d, l2], vec![], fabric)
+        Topology::homogeneous(
+            "host",
+            2_400_000_000,
+            1,
+            n,
+            1,
+            "host",
+            vec![l1i, l1d, l2],
+            vec![],
+            fabric,
+        )
     }
 
     /// Number of clusters.
@@ -288,10 +372,20 @@ impl Topology {
     /// wrap when `n` exceeds the number of hardware threads (oversubscribed).
     pub fn place_workers(&self, n: usize) -> Vec<usize> {
         let mut order: Vec<usize> = Vec::with_capacity(self.num_hw_threads());
-        let max_smt = self.cores.iter().map(|c| c.hw_threads.len()).max().unwrap_or(1);
+        let max_smt = self
+            .cores
+            .iter()
+            .map(|c| c.hw_threads.len())
+            .max()
+            .unwrap_or(1);
         for smt in 0..max_smt {
             // Cycle clusters round-robin so that 3 workers land on 3 clusters.
-            let max_cpc = self.clusters.iter().map(|c| c.cores.len()).max().unwrap_or(1);
+            let max_cpc = self
+                .clusters
+                .iter()
+                .map(|c| c.cores.len())
+                .max()
+                .unwrap_or(1);
             for slot in 0..max_cpc {
                 for cluster in &self.clusters {
                     if let Some(&core_id) = cluster.cores.get(slot) {
@@ -360,7 +454,10 @@ mod tests {
         assert!(p.clusters.iter().all(|c| c.cores.len() == 1));
         // T4240's cluster L2 is much larger than P4080's backside L2.
         let t = Topology::t4240rdb();
-        assert!(t.cache(CacheLevel::L2).unwrap().size_bytes > p.cache(CacheLevel::L2).unwrap().size_bytes);
+        assert!(
+            t.cache(CacheLevel::L2).unwrap().size_bytes
+                > p.cache(CacheLevel::L2).unwrap().size_bytes
+        );
     }
 
     #[test]
@@ -408,7 +505,11 @@ mod tests {
     #[test]
     fn placement_spreads_across_clusters() {
         let t = Topology::t4240rdb();
-        assert_eq!(t.clusters_used(&t.place_workers(3)), 3, "3 workers → 3 clusters");
+        assert_eq!(
+            t.clusters_used(&t.place_workers(3)),
+            3,
+            "3 workers → 3 clusters"
+        );
         assert_eq!(t.clusters_used(&t.place_workers(1)), 1);
     }
 

@@ -28,16 +28,34 @@
 
 use crate::topology::Topology;
 
+/// `struct timespec` as the kernel ABI defines it on the 64-bit Linux
+/// targets this crate supports (both fields are 64-bit there).
+#[repr(C)]
+struct Timespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+extern "C" {
+    fn clock_gettime(clockid: i32, ts: *mut Timespec) -> i32;
+}
+
+/// Linux `CLOCK_THREAD_CPUTIME_ID`.
+const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
 /// Read this thread's consumed CPU time in nanoseconds.
 ///
 /// Uses `clock_gettime(CLOCK_THREAD_CPUTIME_ID)`: time the calling thread has
 /// actually spent executing, unaffected by preemption or oversubscription —
 /// the key property that makes single-core hosts usable for this experiment.
 pub fn thread_cpu_ns() -> u64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: ts is a valid, writable timespec; the clock id is a constant
     // supported on every Linux the crate targets.
-    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
     debug_assert_eq!(rc, 0);
     ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
 }
@@ -251,7 +269,11 @@ mod tests {
     /// A synthetic profile: `total` CPU ns split evenly over `t` workers,
     /// with `b` barriers.
     fn even(total: u64, t: usize, b: u64) -> RegionProfile {
-        RegionProfile { worker_cpu_ns: vec![total / t as u64; t], barriers: b, criticals: 0 }
+        RegionProfile {
+            worker_cpu_ns: vec![total / t as u64; t],
+            barriers: b,
+            criticals: 0,
+        }
     }
 
     #[test]
@@ -290,10 +312,16 @@ mod tests {
         let serial = even(1_000_000_000, 1, 0);
         let par12 = even(1_000_000_000, 12, 10);
         let s12 = m.speedup(&serial, &par12, 0.0);
-        assert!(s12 > 10.0 && s12 <= 12.01, "12 dedicated cores, beta=0: got {s12}");
+        assert!(
+            s12 > 10.0 && s12 <= 12.01,
+            "12 dedicated cores, beta=0: got {s12}"
+        );
         let par24 = even(1_000_000_000, 24, 10);
         let s24 = m.speedup(&serial, &par24, 0.0);
-        assert!(s24 > 18.0 && s24 < 24.01, "SMT-limited near-ideal: got {s24}");
+        assert!(
+            s24 > 18.0 && s24 < 24.01,
+            "SMT-limited near-ideal: got {s24}"
+        );
     }
 
     #[test]
@@ -336,9 +364,15 @@ mod tests {
         let f12 = m.smt_factors(12);
         assert!(f12.iter().all(|&f| f == 1.0), "12 workers → one per core");
         let f24 = m.smt_factors(24);
-        assert!(f24.iter().all(|&f| f > 1.0), "24 workers → every core shared");
+        assert!(
+            f24.iter().all(|&f| f > 1.0),
+            "24 workers → every core shared"
+        );
         let f13 = m.smt_factors(13);
-        assert!(f13.iter().filter(|&&f| f > 1.0).count() == 2, "one core shared by 2 workers");
+        assert!(
+            f13.iter().filter(|&&f| f > 1.0).count() == 2,
+            "one core shared by 2 workers"
+        );
     }
 
     #[test]
@@ -356,9 +390,17 @@ mod tests {
     #[test]
     fn passthrough_model_is_identity_on_max_worker() {
         let m = CostModel::host_passthrough();
-        let p = RegionProfile { worker_cpu_ns: vec![5, 9, 7], barriers: 3, criticals: 2 };
+        let p = RegionProfile {
+            worker_cpu_ns: vec![5, 9, 7],
+            barriers: 3,
+            criticals: 2,
+        };
         assert_eq!(m.elapsed_ns(&p, 0.0), 9.0);
-        assert_eq!(m.elapsed_ns(&p, 1.0), 9.0, "no bandwidth model → beta irrelevant");
+        assert_eq!(
+            m.elapsed_ns(&p, 1.0),
+            9.0,
+            "no bandwidth model → beta irrelevant"
+        );
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! [`SharedQueue`] — an unbounded MPMC FIFO queue.
+//!
+//! This is the *shared* (slow) path of the two-level task scheduler: local
+//! task rings absorb almost all traffic, so the shared queue sees only
+//! overflow and cross-member handoff.  A short spin lock around a
+//! `VecDeque` is therefore the right trade: no allocation-per-node, no
+//! reclamation protocol, and the critical section is a couple of pointer
+//! moves.  (The old design routed *every* task through one shared
+//! lock-free queue; the bench in `ompmca-bench/benches/task_throughput.rs`
+//! measures how much that cost.)
+
+use std::collections::VecDeque;
+
+use crate::SpinMutex;
+
+/// An unbounded MPMC FIFO queue.
+pub struct SharedQueue<T> {
+    lock: SpinMutex,
+    items: std::cell::UnsafeCell<VecDeque<T>>,
+}
+
+// SAFETY: `items` is only touched under `lock` (see `with`), which provides
+// mutual exclusion.
+unsafe impl<T: Send> Send for SharedQueue<T> {}
+unsafe impl<T: Send> Sync for SharedQueue<T> {}
+
+impl<T> Default for SharedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SharedQueue<T> {
+    /// An empty queue.
+    pub const fn new() -> Self {
+        SharedQueue {
+            lock: SpinMutex::new(),
+            items: std::cell::UnsafeCell::new(VecDeque::new()),
+        }
+    }
+
+    fn with<U>(&self, f: impl FnOnce(&mut VecDeque<T>) -> U) -> U {
+        // SAFETY: the spin lock grants exclusive access for the closure.
+        self.lock.with(|| f(unsafe { &mut *self.items.get() }))
+    }
+
+    /// Append `value` at the back.
+    pub fn push(&self, value: T) {
+        self.with(|q| q.push_back(value));
+    }
+
+    /// Take the front element, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.with(|q| q.pop_front())
+    }
+
+    /// Whether the queue is momentarily empty (racy by nature; used as a
+    /// cheap pre-check before paying for the lock).
+    pub fn is_empty(&self) -> bool {
+        self.with(|q| q.is_empty())
+    }
+
+    /// Momentary length.
+    pub fn len(&self) -> usize {
+        self.with(|q| q.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = SharedQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mpmc_conserves_items() {
+        let q = Arc::new(SharedQueue::new());
+        let sum = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        q.push(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                std::thread::spawn(move || {
+                    let mut got = 0u32;
+                    while got < 1000 {
+                        if let Some(v) = q.pop() {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            got += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producers.into_iter().chain(consumers) {
+            h.join().unwrap();
+        }
+        let expect: u64 = (0..4u64)
+            .map(|p| (0..1000u64).map(|i| p * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+}

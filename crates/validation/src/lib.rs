@@ -114,11 +114,15 @@ fn check_parallel(rt: &Runtime, n: usize) -> Result<(), String> {
             sizes_ok.fetch_add(1, Ordering::Relaxed);
         }
     });
-    ok_if(
-        mask.load(Ordering::Relaxed) == (1u64 << n) - 1,
-        || format!("thread ids incomplete: mask {:b}", mask.load(Ordering::Relaxed)),
-    )?;
-    ok_if(sizes_ok.load(Ordering::Relaxed) == n, || "omp_get_num_threads wrong".into())
+    ok_if(mask.load(Ordering::Relaxed) == (1u64 << n) - 1, || {
+        format!(
+            "thread ids incomplete: mask {:b}",
+            mask.load(Ordering::Relaxed)
+        )
+    })?;
+    ok_if(sizes_ok.load(Ordering::Relaxed) == n, || {
+        "omp_get_num_threads wrong".into()
+    })
 }
 
 fn check_for_schedules(rt: &Runtime, n: usize) -> Result<(), String> {
@@ -160,7 +164,10 @@ fn check_barrier(rt: &Runtime, n: usize) -> Result<(), String> {
         }
     });
     ok_if(violations.load(Ordering::SeqCst) == 0, || {
-        format!("{} barrier phase violations", violations.load(Ordering::SeqCst))
+        format!(
+            "{} barrier phase violations",
+            violations.load(Ordering::SeqCst)
+        )
     })
 }
 
@@ -209,7 +216,9 @@ fn check_critical(rt: &Runtime, n: usize) -> Result<(), String> {
         }
     });
     let got = value.load(Ordering::Relaxed);
-    ok_if(got == reps * n as u64, || format!("critical lost updates: {got}/{}", reps * n as u64))
+    ok_if(got == reps * n as u64, || {
+        format!("critical lost updates: {got}/{}", reps * n as u64)
+    })
 }
 
 /// Cross-check for `critical`: without the lock the same RMW must lose
@@ -255,7 +264,10 @@ fn check_sections(rt: &Runtime, n: usize) -> Result<(), String> {
     });
     for (i, m) in marks.iter().enumerate() {
         if m.load(Ordering::Relaxed) != 1 {
-            return Err(format!("section {i} ran {} times", m.load(Ordering::Relaxed)));
+            return Err(format!(
+                "section {i} ran {} times",
+                m.load(Ordering::Relaxed)
+            ));
         }
     }
     Ok(())
@@ -277,7 +289,9 @@ fn check_reductions(rt: &Runtime, n: usize) -> Result<(), String> {
     let n64 = n as u64;
     ok_if(sum == n64 * (n64 + 1) / 2, || format!("sum {sum}"))?;
     ok_if(maxv == n64 - 1, || format!("max {maxv}"))?;
-    ok_if((fsum - 0.5 * n as f64).abs() < 1e-12, || format!("fsum {fsum}"))?;
+    ok_if((fsum - 0.5 * n as f64).abs() < 1e-12, || {
+        format!("fsum {fsum}")
+    })?;
     // AND of !(1 << t) over t in 0..n clears exactly the low n bits.
     let mut want = u64::MAX;
     for t in 0..n64 {
@@ -294,7 +308,9 @@ fn check_ordered(rt: &Runtime, n: usize) -> Result<(), String> {
         });
     });
     let log = log.into_inner().unwrap();
-    ok_if(log == (0..40).collect::<Vec<u64>>(), || format!("ordered sequence broken: {log:?}"))
+    ok_if(log == (0..40).collect::<Vec<u64>>(), || {
+        format!("ordered sequence broken: {log:?}")
+    })
 }
 
 fn check_tasks(rt: &Runtime, n: usize) -> Result<(), String> {
@@ -329,7 +345,9 @@ fn check_locks(rt: &Runtime, n: usize) -> Result<(), String> {
         }
     });
     let got = value.load(Ordering::Relaxed);
-    ok_if(got == 300 * n as u64, || format!("lock lost updates: {got}"))
+    ok_if(got == 300 * n as u64, || {
+        format!("lock lost updates: {got}")
+    })
 }
 
 fn check_single_copyprivate(rt: &Runtime, n: usize) -> Result<(), String> {
@@ -342,7 +360,9 @@ fn check_single_copyprivate(rt: &Runtime, n: usize) -> Result<(), String> {
     });
     let distinct = distinct.into_inner().unwrap();
     // One broadcast value per round: n threads × 5 rounds collapse to 5.
-    ok_if(distinct.len() == 5, || format!("copyprivate produced {} values, want 5", distinct.len()))
+    ok_if(distinct.len() == 5, || {
+        format!("copyprivate produced {} values, want 5", distinct.len())
+    })
 }
 
 fn check_nested_serialization(rt: &Runtime, n: usize) -> Result<(), String> {
@@ -405,7 +425,9 @@ fn check_generic_reduction(rt: &Runtime, n: usize) -> Result<(), String> {
     let got = *out.lock().unwrap();
     let n64 = n as u64;
     let want = n64 * 10_000 + n64 * (n64 - 1) / 2;
-    ok_if(got == want, || format!("generic reduction got {got}, want {want}"))
+    ok_if(got == want, || {
+        format!("generic reduction got {got}, want {want}")
+    })
 }
 
 fn check_atomics_visibility_after_flush(rt: &Runtime, n: usize) -> Result<(), String> {
@@ -423,7 +445,11 @@ fn check_atomics_visibility_after_flush(rt: &Runtime, n: usize) -> Result<(), St
         }
     });
     ok_if(seen.load(Ordering::Relaxed) == n, || {
-        format!("{}/{} members saw the flushed store", seen.load(Ordering::Relaxed), n)
+        format!(
+            "{}/{} members saw the flushed store",
+            seen.load(Ordering::Relaxed),
+            n
+        )
     })
 }
 
@@ -433,7 +459,11 @@ pub fn checks() -> Vec<(&'static str, Check, Option<CrossCheck>)> {
         ("parallel", check_parallel as Check, None),
         ("for-schedules", check_for_schedules, None),
         ("barrier", check_barrier, None),
-        ("single", check_single, Some(crosscheck_single as CrossCheck)),
+        (
+            "single",
+            check_single,
+            Some(crosscheck_single as CrossCheck),
+        ),
         ("critical", check_critical, Some(crosscheck_critical)),
         ("master", check_master, None),
         ("sections", check_sections, None),
@@ -446,7 +476,11 @@ pub fn checks() -> Vec<(&'static str, Check, Option<CrossCheck>)> {
         ("taskloop", check_taskloop, None),
         ("schedule-runtime", check_runtime_schedule_env, None),
         ("generic-reduction", check_generic_reduction, None),
-        ("flush-visibility", check_atomics_visibility_after_flush, None),
+        (
+            "flush-visibility",
+            check_atomics_visibility_after_flush,
+            None,
+        ),
     ]
 }
 
@@ -457,10 +491,18 @@ pub fn run_suite(rt: &Runtime, team_sizes: &[usize]) -> SuiteReport {
         for (name, check, crosscheck) in checks() {
             let failure = check(rt, n).err();
             let crosscheck_detected = crosscheck.map(|cc| cc(rt, n));
-            results.push(CheckResult { name, threads: n, failure, crosscheck_detected });
+            results.push(CheckResult {
+                name,
+                threads: n,
+                failure,
+                crosscheck_detected,
+            });
         }
     }
-    SuiteReport { backend: rt.backend_kind().label(), results }
+    SuiteReport {
+        backend: rt.backend_kind().label(),
+        results,
+    }
 }
 
 #[cfg(test)]

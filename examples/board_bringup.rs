@@ -9,10 +9,10 @@
 //! partitioning of Figure 2, and the block-diagram resources of Figure 1
 //! (as the MRAPI metadata tree the runtime actually reads).
 
+use openmp_mca::mrapi::{DomainId, MrapiSystem, NodeId};
 use openmp_mca::platform::boot::{bring_up, BootConfig};
 use openmp_mca::platform::partition::{GuestKind, Hypervisor, PartitionSpec};
 use openmp_mca::platform::Topology;
-use openmp_mca::mrapi::{DomainId, MrapiSystem, NodeId};
 
 fn main() {
     let board = Topology::t4240rdb();
@@ -37,9 +37,24 @@ fn main() {
     println!("\n== Figure 2: embedded hypervisor partitions ==");
     let mut hv = Hypervisor::new(board);
     for spec in [
-        PartitionSpec { name: "linux-smp".into(), hw_threads: 16, memory_bytes: 4 << 30, guest: GuestKind::Linux },
-        PartitionSpec { name: "rtos-dataplane".into(), hw_threads: 6, memory_bytes: 1 << 30, guest: GuestKind::Rtos },
-        PartitionSpec { name: "baremetal-dsp".into(), hw_threads: 2, memory_bytes: 512 << 20, guest: GuestKind::BareMetal },
+        PartitionSpec {
+            name: "linux-smp".into(),
+            hw_threads: 16,
+            memory_bytes: 4 << 30,
+            guest: GuestKind::Linux,
+        },
+        PartitionSpec {
+            name: "rtos-dataplane".into(),
+            hw_threads: 6,
+            memory_bytes: 1 << 30,
+            guest: GuestKind::Rtos,
+        },
+        PartitionSpec {
+            name: "baremetal-dsp".into(),
+            hw_threads: 2,
+            memory_bytes: 512 << 20,
+            guest: GuestKind::BareMetal,
+        },
     ] {
         let p = hv.create_partition(&spec).expect("partition fits");
         println!(
@@ -51,8 +66,14 @@ fn main() {
             p.mem_size >> 20
         );
     }
-    let window = hv.shared_window("linux-smp", "baremetal-dsp", 1 << 20).unwrap();
-    println!("shared window for MCAPI traffic: {} ({} KiB)", window.name, window.size >> 10);
+    let window = hv
+        .shared_window("linux-smp", "baremetal-dsp", 1 << 20)
+        .unwrap();
+    println!(
+        "shared window for MCAPI traffic: {} ({} KiB)",
+        window.name,
+        window.size >> 10
+    );
 
     println!("\n== Figure 1: the platform as MRAPI metadata (what the runtime reads) ==");
     let sys = MrapiSystem::new_t4240();

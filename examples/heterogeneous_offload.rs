@@ -54,7 +54,11 @@ fn main() {
     let as_bytes = |v: &[f64]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
     let dma1 = rmem.write(0, &as_bytes(&inputs)).unwrap();
     let dma2 = rmem.write(N * 8, &as_bytes(&weights)).unwrap();
-    println!("host: staged {} KiB of operands (modeled DMA {:.1} µs)", 2 * N * 8 / 1024, (dma1 + dma2) / 1e3);
+    println!(
+        "host: staged {} KiB of operands (modeled DMA {:.1} µs)",
+        2 * N * 8 / 1024,
+        (dma1 + dma2) / 1e3
+    );
 
     // The "DSP": an MRAPI worker node with its own view of everything.
     let dsp = host
@@ -73,7 +77,11 @@ fn main() {
             let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
             // Write the result back and ring the completion doorbell.
             let out_ns = rmem.write(2 * N * 8, &dot.to_le_bytes()).unwrap();
-            println!("dsp : dot product computed (DMA in {:.1} µs, out {:.2} µs)", in_ns / 1e3, out_ns / 1e3);
+            println!(
+                "dsp : dot product computed (DMA in {:.1} µs, out {:.2} µs)",
+                in_ns / 1e3,
+                out_ns / 1e3
+            );
             done_tx.send_u32(0xD0E).unwrap();
         })
         .unwrap();

@@ -27,7 +27,9 @@ fn synthesize() -> Vec<u8> {
             let dx = (x as f64 - W as f64 / 2.0) / (W as f64 / 3.0);
             let dy = (y as f64 - H as f64 / 2.0) / (H as f64 / 4.0);
             let body = if dx * dx + dy * dy < 1.0 { 160.0 } else { 40.0 };
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = ((lcg >> 33) % 64) as f64 - 32.0;
             img[y * W + x] = (body + noise).clamp(0.0, 255.0) as u8;
         }
@@ -117,12 +119,21 @@ fn main() {
     assert_eq!(hist, hist_ref, "parallel histogram must equal serial");
 
     let total: u64 = hist.iter().sum();
-    println!("{}x{} frame filtered on the MCA backend in {par_t:?} (6 workers)", W, H);
+    println!(
+        "{}x{} frame filtered on the MCA backend in {par_t:?} (6 workers)",
+        W, H
+    );
     println!("edge-magnitude histogram ({} pixels):", total);
     let max = *hist.iter().max().unwrap() as f64;
     for (bin, &count) in hist.iter().enumerate() {
         let bar = "#".repeat((count as f64 / max * 40.0) as usize);
-        println!("  [{:>3}-{:>3}] {:>8} {}", bin * 16, bin * 16 + 15, count, bar);
+        println!(
+            "  [{:>3}-{:>3}] {:>8} {}",
+            bin * 16,
+            bin * 16 + 15,
+            count,
+            bar
+        );
     }
     println!("parallel output verified against serial reference.");
 }

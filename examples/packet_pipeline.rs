@@ -39,7 +39,9 @@ fn main() {
     let ingress = dom.initialize(0).unwrap();
     let dataplane = dom.initialize(1).unwrap();
     let tx_ep = ingress.create_endpoint(100).unwrap();
-    let rx_ep = dataplane.create_endpoint_with_capacity(200, 2 * BATCH).unwrap();
+    let rx_ep = dataplane
+        .create_endpoint_with_capacity(200, 2 * BATCH)
+        .unwrap();
     let (tx, rx) = pktchan::connect(&tx_ep, &rx_ep).unwrap();
 
     // Ingress runs on its own thread, streaming frames into the channel.
@@ -125,6 +127,10 @@ fn main() {
     for (r, t) in totals.iter().enumerate() {
         println!("  route {r}: {t} frames");
     }
-    assert_eq!(totals.iter().sum::<u64>(), FRAMES, "every frame routed exactly once");
+    assert_eq!(
+        totals.iter().sum::<u64>(),
+        FRAMES,
+        "every frame routed exactly once"
+    );
     println!("dataplane stats: {:?}", rt.stats());
 }

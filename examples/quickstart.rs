@@ -26,7 +26,11 @@ fn main() {
 
     for kind in BackendKind::all() {
         let rt = Runtime::with_backend(kind).unwrap();
-        println!("\n== {} backend (default team: {} threads) ==", kind.label(), rt.max_threads());
+        println!(
+            "\n== {} backend (default team: {} threads) ==",
+            kind.label(),
+            rt.max_threads()
+        );
 
         // #pragma omp parallel for reduction(+:pi) — estimate π by midpoint
         // integration of 4/(1+x²).
@@ -36,7 +40,10 @@ fn main() {
             let x = h * (i as f64 + 0.5);
             4.0 / (1.0 + x * x)
         }) * h;
-        println!("pi ≈ {pi:.12}   (error {:.2e})", (pi - std::f64::consts::PI).abs());
+        println!(
+            "pi ≈ {pi:.12}   (error {:.2e})",
+            (pi - std::f64::consts::PI).abs()
+        );
 
         // Worksharing + single + barrier + critical in one region.
         let hits = AtomicU64::new(0);

@@ -26,12 +26,19 @@ fn main() {
     println!("{}", tree.render());
 
     println!("filtered views (mrapi_resources_get with a type filter):");
-    for kind in [ResourceKind::Cluster, ResourceKind::Core, ResourceKind::Cache] {
+    for kind in [
+        ResourceKind::Cluster,
+        ResourceKind::Core,
+        ResourceKind::Cache,
+    ] {
         let filtered = node.resources_get_filtered(kind).unwrap();
         println!("  {:?}: {} nodes", kind, filtered.root.children.len());
     }
 
     // Dynamic attributes: publish a utilization sample and observe it.
     node.report_utilization(0, 93).unwrap();
-    println!("\ncpu0 utilization after publishing 93: {}", node.utilization(0).unwrap());
+    println!(
+        "\ncpu0 utilization after publishing 93: {}",
+        node.utilization(0).unwrap()
+    );
 }

@@ -44,7 +44,10 @@ fn main() {
 
     // Job 3: urgent control message (priority 0 jumps the queue of work).
     mt.create_action(3, |input| {
-        println!("  !! control message handled: {:?}", std::str::from_utf8(input).unwrap());
+        println!(
+            "  !! control message handled: {:?}",
+            std::str::from_utf8(input).unwrap()
+        );
         vec![]
     })
     .unwrap();
@@ -65,7 +68,9 @@ fn main() {
         }
         if s == SAMPLES / 2 {
             // Mid-stream urgent event.
-            control.start_prio(b"recalibrate".to_vec(), 0, None).unwrap();
+            control
+                .start_prio(b"recalibrate".to_vec(), 0, None)
+                .unwrap();
         }
         group.wait_all(Some(Duration::from_secs(10))).unwrap();
         for t in fir_tasks {
@@ -79,7 +84,12 @@ fn main() {
         last[out[0] as usize] = out[1];
     }
 
-    println!("processed {} samples × {} channels; {} tasks executed", SAMPLES, CHANNELS, mt.tasks_executed());
+    println!(
+        "processed {} samples × {} channels; {} tasks executed",
+        SAMPLES,
+        CHANNELS,
+        mt.tasks_executed()
+    );
     for (ch, v) in last.iter().enumerate() {
         println!("  channel {ch}: smoothed level {v}");
     }

@@ -26,7 +26,12 @@ fn nas_kernels_verify_on_the_mca_backend() {
     let rt = Runtime::with_backend(BackendKind::Mca).unwrap();
     for kernel in NpbKernel::all() {
         let res = kernel.run(&rt, 4, Class::S);
-        assert!(res.verified(), "{} failed: {:?}", kernel.name(), res.verification);
+        assert!(
+            res.verified(),
+            "{} failed: {:?}",
+            kernel.name(),
+            res.verification
+        );
         assert!(res.wall_s > 0.0);
         assert!(res.mops > 0.0);
     }
@@ -60,7 +65,9 @@ fn figure4_profile_feeds_the_board_model() {
     // board, and check the headline shapes (EP near-ideal at 24 threads;
     // serial == baseline).
     let rt = Runtime::with_config(
-        Config::default().with_backend(BackendKind::Mca).with_profiling(true),
+        Config::default()
+            .with_backend(BackendKind::Mca)
+            .with_profiling(true),
     )
     .unwrap();
     let model = CostModel::t4240rdb();
@@ -101,9 +108,7 @@ fn mca_backend_sizes_team_from_board_metadata() {
 #[test]
 fn environment_selects_the_backend() {
     // ROMP_BACKEND is the reproduction's toolchain switch.
-    let cfg = Config::from_vars(|k| {
-        (k == "ROMP_BACKEND").then(|| "mca".to_string())
-    });
+    let cfg = Config::from_vars(|k| (k == "ROMP_BACKEND").then(|| "mca".to_string()));
     let rt = Runtime::with_config(cfg).unwrap();
     assert_eq!(rt.backend_kind(), BackendKind::Mca);
 }

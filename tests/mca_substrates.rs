@@ -3,8 +3,8 @@
 //! stack the paper's §2B describes, cooperating in one process.
 
 use openmp_mca::mcapi::{pktchan, sclchan, McapiDomain};
-use openmp_mca::mrapi::{DomainId, MrapiSystem, NodeId, ShmemAttributes, MRAPI_TIMEOUT_INFINITE};
 use openmp_mca::mrapi::sync::MutexAttributes;
+use openmp_mca::mrapi::{DomainId, MrapiSystem, NodeId, ShmemAttributes, MRAPI_TIMEOUT_INFINITE};
 use openmp_mca::mtapi::Mtapi;
 use std::sync::Arc;
 use std::time::Duration;
@@ -51,8 +51,15 @@ fn mtapi_tasks_use_mrapi_shared_memory() {
     let sys = MrapiSystem::new_t4240();
     let node = sys.initialize(DomainId(1), NodeId(0)).unwrap();
     let shm = Arc::new(
-        node.shmem_create(1, 8, &ShmemAttributes { use_malloc: true, ..Default::default() })
-            .unwrap(),
+        node.shmem_create(
+            1,
+            8,
+            &ShmemAttributes {
+                use_malloc: true,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
     );
     let mutex = Arc::new(node.mutex_create(1, &MutexAttributes::default()).unwrap());
 
@@ -72,7 +79,8 @@ fn mtapi_tasks_use_mrapi_shared_memory() {
     let job = mt.job(1).unwrap();
     let group = mt.create_group();
     for i in 1..=100u64 {
-        job.start_in_group(&group, i.to_le_bytes().to_vec()).unwrap();
+        job.start_in_group(&group, i.to_le_bytes().to_vec())
+            .unwrap();
     }
     group.wait_all(Some(Duration::from_secs(30))).unwrap();
     assert_eq!(shm.read_u64(0), 5050);
@@ -90,10 +98,16 @@ fn scalar_doorbells_synchronize_remote_memory_pipeline() {
     let dom = McapiDomain::new(2);
     let h = dom.initialize(0).unwrap();
     let d = dom.initialize(1).unwrap();
-    let (go_tx, go_rx) =
-        sclchan::connect(&h.create_endpoint(1).unwrap(), &d.create_endpoint(1).unwrap()).unwrap();
-    let (done_tx, done_rx) =
-        sclchan::connect(&d.create_endpoint(2).unwrap(), &h.create_endpoint(2).unwrap()).unwrap();
+    let (go_tx, go_rx) = sclchan::connect(
+        &h.create_endpoint(1).unwrap(),
+        &d.create_endpoint(1).unwrap(),
+    )
+    .unwrap();
+    let (done_tx, done_rx) = sclchan::connect(
+        &d.create_endpoint(2).unwrap(),
+        &h.create_endpoint(2).unwrap(),
+    )
+    .unwrap();
 
     let dsp = host
         .thread_create(NodeId(1), move |me| {

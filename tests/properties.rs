@@ -1,59 +1,85 @@
 //! Property-based integration tests: invariants that must hold for
-//! arbitrary inputs across the whole stack.
+//! arbitrary inputs across the whole stack.  Inputs are drawn from a
+//! fixed-seed [`SmallRng`], so every run explores the same case set —
+//! reproducible and free of external test-framework dependencies.
 
+use mca_sync::rng::SmallRng;
 use openmp_mca::mrapi::{DomainId, MrapiSystem, NodeId, ShmemAttributes};
 use openmp_mca::npb::is::{rank_keys, sort_protocol};
 use openmp_mca::romp::{BackendKind, ReduceOp, Runtime, Schedule};
-use proptest::prelude::*;
+
+const CASES: usize = 16;
 
 fn native_rt() -> Runtime {
     Runtime::with_backend(BackendKind::Native).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+fn vec_u64(rng: &mut SmallRng, lo: u64, hi: u64, min_len: usize, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_index(min_len, max_len);
+    (0..len).map(|_| rng.gen_range(lo, hi)).collect()
+}
 
-    /// Every schedule covers every iteration of an arbitrary range exactly
-    /// once, for arbitrary team sizes.
-    #[test]
-    fn worksharing_tiles_arbitrary_ranges(
-        start in 0u64..1000,
-        len in 0u64..400,
-        threads in 1usize..7,
-        sched_pick in 0usize..4,
-    ) {
+fn vec_u32(rng: &mut SmallRng, hi: u32, min_len: usize, max_len: usize) -> Vec<u32> {
+    let len = rng.gen_index(min_len, max_len);
+    (0..len)
+        .map(|_| rng.gen_range(0, hi as u64) as u32)
+        .collect()
+}
+
+/// Every schedule covers every iteration of an arbitrary range exactly
+/// once, for arbitrary team sizes.
+#[test]
+fn worksharing_tiles_arbitrary_ranges() {
+    let mut rng = SmallRng::seed_from_u64(0x9a09_0001);
+    for _ in 0..CASES {
+        let start = rng.gen_range(0, 1000);
+        let len = rng.gen_range(0, 400);
+        let threads = rng.gen_index(1, 7);
         let sched = [
             Schedule::Static { chunk: None },
             Schedule::Static { chunk: Some(3) },
             Schedule::Dynamic { chunk: 5 },
             Schedule::Guided { chunk: 2 },
-        ][sched_pick];
+        ][rng.gen_index(0, 4)];
         let rt = native_rt();
-        let marks: Vec<std::sync::atomic::AtomicU32> =
-            (0..len).map(|_| std::sync::atomic::AtomicU32::new(0)).collect();
+        let marks: Vec<std::sync::atomic::AtomicU32> = (0..len)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
         rt.parallel(threads, |w| {
             w.for_range(start..start + len, sched, |i| {
                 marks[(i - start) as usize].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             });
         });
         for (i, m) in marks.iter().enumerate() {
-            prop_assert_eq!(m.load(std::sync::atomic::Ordering::Relaxed), 1, "iteration {}", i);
+            assert_eq!(
+                m.load(std::sync::atomic::Ordering::Relaxed),
+                1,
+                "iteration {i} under {sched:?} x{threads}"
+            );
         }
     }
+}
 
-    /// Parallel reduction equals the serial fold for arbitrary data.
-    #[test]
-    fn reduction_equals_serial_fold(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Parallel reduction equals the serial fold for arbitrary data.
+#[test]
+fn reduction_equals_serial_fold() {
+    let mut rng = SmallRng::seed_from_u64(0x9a09_0002);
+    for _ in 0..CASES {
+        let values = vec_u64(&mut rng, 0, 1_000_000, 1, 200);
         let rt = native_rt();
         let n = values.len() as u64;
         let expect: u64 = values.iter().sum();
         let got = rt.parallel_reduce_sum(4, 0..n, |i| values[i as usize]);
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// The worker-level min/max reductions agree with iterator folds.
-    #[test]
-    fn min_max_reductions(values in proptest::collection::vec(0u64..u64::MAX, 2..9)) {
+/// The worker-level min/max reductions agree with iterator folds.
+#[test]
+fn min_max_reductions() {
+    let mut rng = SmallRng::seed_from_u64(0x9a09_0003);
+    for _ in 0..CASES {
+        let values = vec_u64(&mut rng, 0, u64::MAX, 2, 9);
         let rt = native_rt();
         let n = values.len();
         let out = std::sync::Mutex::new((0u64, 0u64));
@@ -67,22 +93,24 @@ proptest! {
             }
         });
         let (mn, mx) = *out.lock().unwrap();
-        prop_assert_eq!(mn, *values.iter().min().unwrap());
-        prop_assert_eq!(mx, *values.iter().max().unwrap());
+        assert_eq!(mn, *values.iter().min().unwrap());
+        assert_eq!(mx, *values.iter().max().unwrap());
     }
+}
 
-    /// IS ranking sorts arbitrary key sets into a permutation, at any team
-    /// size.
-    #[test]
-    fn is_sorts_arbitrary_keys(
-        keys in proptest::collection::vec(0u32..512, 30..300),
-        threads in 1usize..5,
-    ) {
+/// IS ranking sorts arbitrary key sets into a permutation, at any team
+/// size.
+#[test]
+fn is_sorts_arbitrary_keys() {
+    let mut rng = SmallRng::seed_from_u64(0x9a09_0004);
+    for _ in 0..CASES {
+        let keys = vec_u32(&mut rng, 512, 30, 300);
+        let threads = rng.gen_index(1, 5);
         let rt = native_rt();
         let max_key = 512usize;
         let t = [1, 2, 3, 4, 5];
         let out = sort_protocol(&rt, threads, keys.clone(), max_key, &t);
-        prop_assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
         let mut expect = keys.clone();
         // Replay the perturbation protocol before comparing multisets.
         for it in 1..=10usize {
@@ -90,45 +118,70 @@ proptest! {
             expect[it + 10] = (max_key - it) as u32;
         }
         expect.sort_unstable();
-        prop_assert_eq!(out.sorted, expect);
+        assert_eq!(out.sorted, expect);
     }
+}
 
-    /// Ranks really are "count of strictly smaller keys".
-    #[test]
-    fn ranks_are_exclusive_prefix_counts(keys in proptest::collection::vec(0u32..128, 1..200)) {
+/// Ranks really are "count of strictly smaller keys".
+#[test]
+fn ranks_are_exclusive_prefix_counts() {
+    let mut rng = SmallRng::seed_from_u64(0x9a09_0005);
+    for _ in 0..CASES {
+        let keys = vec_u32(&mut rng, 128, 1, 200);
         let rt = native_rt();
         let ranks = rank_keys(&rt, 3, &keys, 128);
         for k in 0..128u32 {
             let want = keys.iter().filter(|&&x| x < k).count() as u32;
-            prop_assert_eq!(ranks[k as usize], want, "key {}", k);
+            assert_eq!(ranks[k as usize], want, "key {k}");
         }
     }
+}
 
-    /// MRAPI shared memory round-trips arbitrary byte strings at arbitrary
-    /// offsets.
-    #[test]
-    fn shmem_roundtrips_bytes(
-        data in proptest::collection::vec(any::<u8>(), 1..256),
-        offset in 0usize..64,
-    ) {
+/// MRAPI shared memory round-trips arbitrary byte strings at arbitrary
+/// offsets.
+#[test]
+fn shmem_roundtrips_bytes() {
+    let mut rng = SmallRng::seed_from_u64(0x9a09_0006);
+    for _ in 0..CASES {
+        let len = rng.gen_index(1, 256);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen_range(0, 256) as u8).collect();
+        let offset = rng.gen_index(0, 64);
         let sys = MrapiSystem::new_t4240();
         let node = sys.initialize(DomainId(1), NodeId(0)).unwrap();
         let shm = node
-            .shmem_create(1, offset + data.len(), &ShmemAttributes { use_malloc: true, ..Default::default() })
+            .shmem_create(
+                1,
+                offset + data.len(),
+                &ShmemAttributes {
+                    use_malloc: true,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         shm.write_bytes(offset, &data);
         let mut out = vec![0u8; data.len()];
         shm.read_bytes(offset, &mut out);
-        prop_assert_eq!(out, data);
+        assert_eq!(out, data);
     }
+}
 
-    /// MCAPI messages preserve content and per-priority FIFO order.
-    #[test]
-    fn mcapi_fifo_per_priority(msgs in proptest::collection::vec((any::<u8>(), 0u8..4), 1..60)) {
+/// MCAPI messages preserve content and per-priority FIFO order.
+#[test]
+fn mcapi_fifo_per_priority() {
+    let mut rng = SmallRng::seed_from_u64(0x9a09_0007);
+    for _ in 0..CASES {
         use openmp_mca::mcapi::McapiDomain;
+        let n_msgs = rng.gen_index(1, 60);
+        let msgs: Vec<(u8, u8)> = (0..n_msgs)
+            .map(|_| (rng.gen_range(0, 256) as u8, rng.gen_range(0, 4) as u8))
+            .collect();
         let dom = McapiDomain::new(1);
         let a = dom.initialize(0).unwrap().create_endpoint(1).unwrap();
-        let b = dom.initialize(1).unwrap().create_endpoint_with_capacity(1, 256).unwrap();
+        let b = dom
+            .initialize(1)
+            .unwrap()
+            .create_endpoint_with_capacity(1, 256)
+            .unwrap();
         for (byte, prio) in &msgs {
             a.msg_send(b.addr(), &[*byte], *prio).unwrap();
         }
@@ -137,14 +190,23 @@ proptest! {
         while let Ok((data, prio)) = b.try_msg_recv() {
             received.push((data[0], prio));
         }
-        prop_assert_eq!(received.len(), msgs.len());
-        prop_assert!(received.windows(2).all(|w| w[0].1 <= w[1].1), "priority order");
+        assert_eq!(received.len(), msgs.len());
+        assert!(
+            received.windows(2).all(|w| w[0].1 <= w[1].1),
+            "priority order"
+        );
         for p in 0u8..4 {
-            let sent: Vec<u8> =
-                msgs.iter().filter(|(_, q)| *q == p).map(|(b, _)| *b).collect();
-            let got: Vec<u8> =
-                received.iter().filter(|(_, q)| *q == p).map(|(b, _)| *b).collect();
-            prop_assert_eq!(got, sent, "priority {}", p);
+            let sent: Vec<u8> = msgs
+                .iter()
+                .filter(|(_, q)| *q == p)
+                .map(|(b, _)| *b)
+                .collect();
+            let got: Vec<u8> = received
+                .iter()
+                .filter(|(_, q)| *q == p)
+                .map(|(b, _)| *b)
+                .collect();
+            assert_eq!(got, sent, "priority {p}");
         }
     }
 }
