@@ -11,27 +11,133 @@
 //!   attribute — the paper's `gomp_malloc` replacement;
 //! * **Synchronization** (§5B.3, Listing 4): [`RegionLock`]s are MRAPI
 //!   mutexes; lock/unlock run the exact `mrapi_mutex_lock(handle, &key,
-//!   MRAPI_TIMEOUT_INFINITE, &status)` protocol;
+//!   timeout, &status)` protocol;
 //! * **Metadata** (§5B.4): the online-processor count comes from the MRAPI
 //!   resource tree of the modeled board.
+//!
+//! # Fault model (DESIGN.md §5)
+//!
+//! No MRAPI status ever panics.  Transient statuses (`Timeout`, key/id
+//! clashes) are retried with bounded exponential backoff — id-clash
+//! retries pick a fresh key, so two backends racing on a shared system
+//! converge instead of failing.  Lock waits are *timed*: an attempt that
+//! exceeds [`McaOptions::lock_timeout`] cuts a [`DeadlockReport`] (which
+//! node holds which key, how long the waiter has waited) and keeps
+//! waiting — pure contention never degrades anything.  A *persistent*
+//! failure (invalid handle, memory limit, retry exhaustion) poisons the
+//! backend for runtime-level fallback and, on the lock path, flips the
+//! individual lock over to a native mutex embedded in it, preserving
+//! mutual exclusion through the transition (see [`McaLock`]).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use mca_mrapi::shmem::ShmemAttributes;
 use mca_mrapi::sync::MutexAttributes;
 use mca_mrapi::{
-    DomainId, MrapiSystem, Node, NodeId, ShmemHandle, WorkerNode, MRAPI_TIMEOUT_INFINITE,
+    DomainId, MrapiError, MrapiStatus, MrapiSystem, Node, NodeId, ShmemHandle, WorkerNode,
 };
 use mca_sync::Mutex as PlMutex;
 
-use super::{Backend, BackendKind, RegionLock, SharedWords, WorkerJoin};
+use super::{
+    Backend, BackendKind, DeadlockReport, NativeBackend, RegionLock, SharedWords, WorkerJoin,
+};
+use crate::config::RetryPolicy;
+use crate::sync::RawMutex;
 use crate::RompError;
 
 /// Domain the OpenMP runtime occupies, one per backend instance.
 const OMP_DOMAIN: DomainId = DomainId(0x0E0);
 /// The master (initial) node id.
 const MASTER_NODE: NodeId = NodeId(0);
+/// Most deadlock reports retained between drains.
+const MAX_REPORTS: usize = 64;
+
+/// Recovery policy for the MCA backend: how long one lock attempt may
+/// wait before a [`DeadlockReport`] is cut, and how transient MRAPI
+/// statuses are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McaOptions {
+    /// Per-attempt MRAPI lock wait before a deadlock report.
+    pub lock_timeout: Duration,
+    /// Bounded exponential backoff for transient statuses.
+    pub retry: RetryPolicy,
+}
+
+impl Default for McaOptions {
+    fn default() -> Self {
+        McaOptions {
+            lock_timeout: Duration::from_millis(100),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// State shared between the backend and every lock it handed out.
+struct McaShared {
+    lock_timeout: Duration,
+    retry: RetryPolicy,
+    /// Set on the first persistent failure; the runtime checks it at
+    /// region boundaries and swaps in [`Backend::fallback`].
+    poisoned: AtomicBool,
+    /// The failure that poisoned the backend (first one wins).
+    reason: PlMutex<Option<RompError>>,
+    /// Over-long lock-wait diagnostics, capped at [`MAX_REPORTS`].
+    reports: PlMutex<Vec<DeadlockReport>>,
+    /// Whether the one-shot over-long-wait warning has been printed.
+    warned: AtomicBool,
+}
+
+impl McaShared {
+    fn poison(&self, err: &RompError) {
+        let mut reason = self.reason.lock();
+        if reason.is_none() {
+            *reason = Some(err.clone());
+        }
+        drop(reason);
+        self.poisoned.store(true, Ordering::Release);
+    }
+}
+
+/// Statuses worth retrying: timed waits and id clashes (clash retries use
+/// a fresh key/id, so they resolve unless the registry is truly wedged).
+fn retryable(s: MrapiStatus) -> bool {
+    matches!(
+        s,
+        MrapiStatus::Timeout
+            | MrapiStatus::ErrMutexAlreadyLocked
+            | MrapiStatus::ErrMutexExists
+            | MrapiStatus::ErrShmExists
+            | MrapiStatus::ErrNodeInitFailed
+    )
+}
+
+/// Run `attempt` under the backend's retry policy.  Transient statuses
+/// back off exponentially; persistent statuses return immediately as
+/// [`RompError::Mrapi`]; running out of attempts returns
+/// [`RompError::Exhausted`].
+fn with_retries<T>(
+    policy: &RetryPolicy,
+    op: &'static str,
+    mut attempt: impl FnMut() -> Result<T, MrapiError>,
+) -> Result<T, RompError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = MrapiError(MrapiStatus::Timeout);
+    for n in 1..=attempts {
+        match attempt() {
+            Ok(v) => return Ok(v),
+            Err(e) if retryable(e.0) => {
+                last = e;
+                if n < attempts {
+                    std::thread::sleep(policy.backoff_delay(n));
+                }
+            }
+            Err(e) => return Err(RompError::Mrapi(e)),
+        }
+    }
+    Err(RompError::Exhausted { op, attempts, last })
+}
 
 /// The MCA-libGOMP backend.
 pub struct McaBackend {
@@ -40,25 +146,45 @@ pub struct McaBackend {
     master: Node,
     next_node: AtomicU32,
     next_key: AtomicU32,
+    shared: Arc<McaShared>,
 }
 
 impl McaBackend {
     /// Initialize on a fresh MRAPI system modeling the T4240RDB (each
     /// runtime gets its own domain database, like each process on the
-    /// board).
+    /// board), with default recovery options.
     pub fn new() -> Result<Self, RompError> {
         Self::on_system(MrapiSystem::new_t4240())
     }
 
     /// Initialize on a caller-provided MRAPI system (shared-system setups,
-    /// tests with other topologies).
+    /// tests with other topologies), with default recovery options.
     pub fn on_system(system: MrapiSystem) -> Result<Self, RompError> {
-        let master = system.initialize(OMP_DOMAIN, MASTER_NODE)?;
+        Self::with_options(system, McaOptions::default())
+    }
+
+    /// Initialize with an explicit recovery policy.
+    pub fn with_options(system: MrapiSystem, opts: McaOptions) -> Result<Self, RompError> {
+        // Master initialization itself retries: a fault plan may inject
+        // ErrNodeInitFailed here, and a bounded retry is the difference
+        // between a chaos run that starts degraded-to-native and one that
+        // never starts at all.
+        let master = with_retries(&opts.retry, "mrapi_initialize", || {
+            system.initialize(OMP_DOMAIN, MASTER_NODE)
+        })?;
         Ok(McaBackend {
             system,
             master,
             next_node: AtomicU32::new(1),
             next_key: AtomicU32::new(1),
+            shared: Arc::new(McaShared {
+                lock_timeout: opts.lock_timeout,
+                retry: opts.retry,
+                poisoned: AtomicBool::new(false),
+                reason: PlMutex::new(None),
+                reports: PlMutex::new(Vec::new()),
+                warned: AtomicBool::new(false),
+            }),
         })
     }
 
@@ -72,33 +198,217 @@ impl McaBackend {
     }
 }
 
+/// Who currently holds an [`McaLock`].
+enum HeldBy {
+    None,
+    /// Held through MRAPI; the key must be returned to `mrapi_mutex_unlock`.
+    Mrapi(mca_mrapi::sync::MutexKey),
+    /// Held through the embedded native mutex (degraded mode).
+    Native,
+}
+
+/// Lock is serviced by MRAPI (the normal state).
+const MODE_MCA: u8 = 0;
+/// Lock has degraded to its embedded native mutex.
+const MODE_NATIVE: u8 = 1;
+
 /// An MRAPI-mutex-backed lock, carrying the outstanding lock key as MRAPI
-/// requires (Listing 4's `mrapi_key_t`).
+/// requires (Listing 4's `mrapi_key_t`) — plus a one-way escape hatch.
+///
+/// When MRAPI fails persistently the lock flips `mode` to
+/// [`MODE_NATIVE`] and services all later acquisitions from the embedded
+/// [`RawMutex`].  Mutual exclusion holds *through* the flip:
+///
+/// * every MRAPI acquirer bumps `mrapi_holder` (SeqCst RMW) and then
+///   re-checks `mode`; if the flip landed first it undoes the MRAPI
+///   acquisition and takes the native path instead;
+/// * every native acquirer takes the native mutex and then spins until
+///   `mrapi_holder` is zero before entering the critical section.
+///
+/// In the SeqCst total order either the acquirer's increment precedes the
+/// flip — then the native locker's drain observes it and waits for the
+/// matching decrement — or the flip precedes the mode re-check, and the
+/// MRAPI acquirer stands down.  Either way two threads are never inside
+/// the critical section at once.
 struct McaLock {
+    shared: Arc<McaShared>,
     mutex: mca_mrapi::MrapiMutex,
-    key_slot: PlMutex<Option<mca_mrapi::MutexKey>>,
+    held: PlMutex<HeldBy>,
+    mode: AtomicU8,
+    /// Number of threads holding (or briefly over-holding) the MRAPI mutex.
+    mrapi_holder: AtomicUsize,
+    native: RawMutex,
+}
+
+impl McaLock {
+    fn new(mutex: mca_mrapi::MrapiMutex, shared: Arc<McaShared>) -> Self {
+        McaLock {
+            shared,
+            mutex,
+            held: PlMutex::new(HeldBy::None),
+            mode: AtomicU8::new(MODE_MCA),
+            mrapi_holder: AtomicUsize::new(0),
+            native: RawMutex::new(),
+        }
+    }
+
+    fn degraded(&self) -> bool {
+        self.mode.load(Ordering::SeqCst) == MODE_NATIVE
+    }
+
+    /// Flip to native servicing (one-way) and poison the backend.
+    #[cold]
+    fn degrade(&self, err: &RompError) {
+        self.shared.poison(err);
+        self.mode.store(MODE_NATIVE, Ordering::SeqCst);
+    }
+
+    /// Acquire through the embedded native mutex, draining any MRAPI
+    /// holder that slipped in before the mode flip.
+    fn lock_native(&self) {
+        self.native.lock();
+        while self.mrapi_holder.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        *self.held.lock() = HeldBy::Native;
+    }
+
+    /// Record one over-long wait; first one per backend also warns.
+    #[cold]
+    fn note_timeout(&self, waited: Duration) {
+        let report = DeadlockReport {
+            mutex_key: self.mutex.key(),
+            holder_node: self.mutex.holder_node().map(|n| n.0),
+            waiter: std::thread::current()
+                .name()
+                .unwrap_or("<unnamed>")
+                .to_string(),
+            waited,
+        };
+        let mut reports = self.shared.reports.lock();
+        if reports.len() < MAX_REPORTS {
+            reports.push(report.clone());
+        }
+        drop(reports);
+        if !self.shared.warned.swap(true, Ordering::Relaxed) {
+            eprintln!("romp[WARN] backend=mca {report}");
+        }
+    }
 }
 
 impl RegionLock for McaLock {
     fn lock(&self) {
-        let k = self
-            .mutex
-            .lock(MRAPI_TIMEOUT_INFINITE)
-            .expect("MRAPI mutex lock failed");
-        *self.key_slot.lock() = Some(k);
+        let mut waited = Duration::ZERO;
+        let mut failures = 0u32;
+        loop {
+            if self.degraded() {
+                return self.lock_native();
+            }
+            match self.mutex.lock(self.shared.lock_timeout) {
+                Ok(k) => {
+                    self.mrapi_holder.fetch_add(1, Ordering::SeqCst);
+                    if self.degraded() {
+                        // The flip landed while we were acquiring: stand
+                        // down and take the native path.
+                        let _ = self.mutex.unlock(&k);
+                        self.mrapi_holder.fetch_sub(1, Ordering::SeqCst);
+                        return self.lock_native();
+                    }
+                    *self.held.lock() = HeldBy::Mrapi(k);
+                    return;
+                }
+                // A timed-out wait is contention (or a wedged holder),
+                // never a reason to degrade: report and keep waiting.
+                // If the holder wedged, its own failed unlock flips the
+                // mode and the next iteration goes native.
+                Err(MrapiError(MrapiStatus::Timeout))
+                | Err(MrapiError(MrapiStatus::ErrMutexAlreadyLocked)) => {
+                    waited += self.shared.lock_timeout;
+                    self.note_timeout(waited);
+                }
+                Err(e) => {
+                    failures += 1;
+                    if failures < self.shared.retry.max_attempts {
+                        std::thread::sleep(self.shared.retry.backoff_delay(failures));
+                    } else {
+                        self.degrade(&RompError::Exhausted {
+                            op: "mrapi_mutex_lock",
+                            attempts: failures,
+                            last: e,
+                        });
+                        return self.lock_native();
+                    }
+                }
+            }
+        }
     }
 
-    fn unlock(&self) {
-        let k = self.key_slot.lock().take().expect("unlock without lock");
-        self.mutex.unlock(&k).expect("MRAPI mutex unlock failed");
+    fn unlock(&self) -> Result<(), RompError> {
+        let prev = std::mem::replace(&mut *self.held.lock(), HeldBy::None);
+        match prev {
+            HeldBy::None => Err(RompError::Lock(MrapiError(MrapiStatus::ErrMutexNotLocked))),
+            HeldBy::Native => {
+                self.native.unlock();
+                Ok(())
+            }
+            HeldBy::Mrapi(k) => {
+                let mut failures = 0u32;
+                loop {
+                    match self.mutex.unlock(&k) {
+                        Ok(()) => {
+                            self.mrapi_holder.fetch_sub(1, Ordering::SeqCst);
+                            return Ok(());
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            if failures < self.shared.retry.max_attempts {
+                                std::thread::sleep(self.shared.retry.backoff_delay(failures));
+                            } else {
+                                // The MRAPI mutex is wedged: abandon it.
+                                // Degrading first means every waiter that
+                                // times out on the wedged mutex finds the
+                                // native path; decrementing the holder
+                                // count afterwards releases their drain.
+                                let err = RompError::Exhausted {
+                                    op: "mrapi_mutex_unlock",
+                                    attempts: failures,
+                                    last: e,
+                                };
+                                self.degrade(&err);
+                                self.mrapi_holder.fetch_sub(1, Ordering::SeqCst);
+                                return Err(err);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn try_lock(&self) -> bool {
+        if self.degraded() {
+            if self.native.try_lock() {
+                while self.mrapi_holder.load(Ordering::SeqCst) != 0 {
+                    std::thread::yield_now();
+                }
+                *self.held.lock() = HeldBy::Native;
+                return true;
+            }
+            return false;
+        }
         match self.mutex.try_lock() {
             Ok(k) => {
-                *self.key_slot.lock() = Some(k);
+                self.mrapi_holder.fetch_add(1, Ordering::SeqCst);
+                if self.degraded() {
+                    let _ = self.mutex.unlock(&k);
+                    self.mrapi_holder.fetch_sub(1, Ordering::SeqCst);
+                    return false;
+                }
+                *self.held.lock() = HeldBy::Mrapi(k);
                 true
             }
+            // Contention and injected statuses alike: a failed try_lock
+            // is always a legal answer.
             Err(_) => false,
         }
     }
@@ -137,39 +447,83 @@ impl Backend for McaBackend {
         label: String,
         body: Box<dyn FnOnce() + Send>,
     ) -> Result<Box<dyn WorkerJoin>, RompError> {
-        let id = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
-        let attrs = mca_mrapi::NodeAttributes {
-            affinity_hw_thread: None,
-            name: Some(label),
-        };
-        let worker = self
-            .master
-            .thread_create_with_attrs(id, attrs, move |_node| body())?;
-        Ok(Box::new(McaJoin(worker)))
+        // A failed creation attempt consumes the closure it was given, so
+        // the body lives in a shared slot each attempt's wrapper drains.
+        type BodySlot = Arc<PlMutex<Option<Box<dyn FnOnce() + Send>>>>;
+        let slot: BodySlot = Arc::new(PlMutex::new(Some(body)));
+        let res = with_retries(&self.shared.retry, "mrapi_thread_create", || {
+            // Fresh node id per attempt: ErrNodeInitFailed means the id
+            // was taken (or an injected clash), and ids are never reused.
+            let id = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
+            let attrs = mca_mrapi::NodeAttributes {
+                affinity_hw_thread: None,
+                name: Some(label.clone()),
+            };
+            let slot = Arc::clone(&slot);
+            self.master
+                .thread_create_with_attrs(id, attrs, move |_node| {
+                    if let Some(b) = slot.lock().take() {
+                        b()
+                    }
+                })
+        });
+        match res {
+            Ok(worker) => Ok(Box::new(McaJoin(worker))),
+            Err(e) => {
+                self.shared.poison(&e);
+                Err(e)
+            }
+        }
     }
 
-    fn new_lock(&self) -> Arc<dyn RegionLock> {
-        let mutex = self
-            .master
-            .mutex_create(0x4000_0000 | self.fresh_key(), &MutexAttributes::default())
-            .expect("MRAPI mutex create failed");
-        Arc::new(McaLock {
-            mutex,
-            key_slot: PlMutex::new(None),
-        })
+    fn new_lock(&self) -> Result<Arc<dyn RegionLock>, RompError> {
+        let res = with_retries(&self.shared.retry, "mrapi_mutex_create", || {
+            // Fresh key per attempt (clash recovery).
+            self.master
+                .mutex_create(0x4000_0000 | self.fresh_key(), &MutexAttributes::default())
+        });
+        match res {
+            Ok(mutex) => Ok(Arc::new(McaLock::new(mutex, Arc::clone(&self.shared)))),
+            Err(e) => {
+                self.shared.poison(&e);
+                Err(e)
+            }
+        }
     }
 
-    fn alloc_shared_words(&self, words: usize) -> Arc<dyn SharedWords> {
+    fn alloc_shared_words(&self, words: usize) -> Result<Arc<dyn SharedWords>, RompError> {
         // Listing 3: shm_attr.use_malloc = MCA_TRUE.
         let attrs = ShmemAttributes {
             use_malloc: true,
             ..Default::default()
         };
-        let handle = self
-            .master
-            .shmem_create(0x8000_0000 | self.fresh_key(), (words * 8).max(8), &attrs)
-            .expect("MRAPI shmem create failed");
-        Arc::new(ShmemWords(handle))
+        let res = with_retries(&self.shared.retry, "mrapi_shmem_create", || {
+            self.master
+                .shmem_create(0x8000_0000 | self.fresh_key(), (words * 8).max(8), &attrs)
+        });
+        match res {
+            Ok(handle) => Ok(Arc::new(ShmemWords(handle))),
+            Err(e) => {
+                self.shared.poison(&e);
+                Err(e)
+            }
+        }
+    }
+
+    fn fallback(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(NativeBackend::new()))
+    }
+
+    fn poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
+    }
+
+    fn failure_reason(&self) -> Option<RompError> {
+        self.shared.reason.lock().clone()
+    }
+
+    fn take_deadlock_reports(&self) -> Vec<DeadlockReport> {
+        std::mem::take(&mut *self.shared.reports.lock())
     }
 
     fn shutdown(&self) {
@@ -185,6 +539,15 @@ impl Backend for McaBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mca_mrapi::{FaultPlan, FaultProbe, FaultSite};
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(100),
+        }
+    }
 
     #[test]
     fn workers_register_in_domain_database() {
@@ -217,7 +580,7 @@ mod tests {
     fn shared_words_are_malloc_backed_shmem() {
         let be = McaBackend::new().unwrap();
         let before = be.system.simulated_transfer_ns();
-        let buf = be.alloc_shared_words(8);
+        let buf = be.alloc_shared_words(8).unwrap();
         buf.words()[0].store(1, Ordering::Release);
         assert_eq!(
             be.system.simulated_transfer_ns(),
@@ -229,23 +592,23 @@ mod tests {
     #[test]
     fn listing_4_lock_protocol() {
         let be = McaBackend::new().unwrap();
-        let lock = be.new_lock();
+        let lock = be.new_lock().unwrap();
         lock.lock();
         assert!(!lock.try_lock());
-        lock.unlock();
+        lock.unlock().unwrap();
         assert!(lock.try_lock());
-        lock.unlock();
+        lock.unlock().unwrap();
     }
 
     #[test]
     fn distinct_locks_do_not_alias() {
         let be = McaBackend::new().unwrap();
-        let a = be.new_lock();
-        let b = be.new_lock();
+        let a = be.new_lock().unwrap();
+        let b = be.new_lock().unwrap();
         a.lock();
         assert!(b.try_lock(), "b must be independent of a");
-        b.unlock();
-        a.unlock();
+        b.unlock().unwrap();
+        a.unlock().unwrap();
     }
 
     #[test]
@@ -256,5 +619,178 @@ mod tests {
         // Master slot freed: a second backend can claim it.
         let be2 = McaBackend::on_system(sys).unwrap();
         be2.shutdown();
+    }
+
+    #[test]
+    fn double_unlock_reports_not_locked() {
+        let be = McaBackend::new().unwrap();
+        let lock = be.new_lock().unwrap();
+        lock.lock();
+        lock.unlock().unwrap();
+        let err = lock.unlock().unwrap_err();
+        assert_eq!(err.status(), Some(MrapiStatus::ErrMutexNotLocked));
+        // The lock stays usable after the misuse report.
+        lock.lock();
+        lock.unlock().unwrap();
+        assert!(!be.poisoned(), "misuse is recoverable, not poisoning");
+    }
+
+    #[test]
+    fn transient_create_faults_are_retried_with_fresh_keys() {
+        let sys = MrapiSystem::new_t4240();
+        // 20% injected clash rate on both creation sites; the seeded
+        // schedule is deterministic, so this test is not flaky.
+        let plan = Arc::new(
+            FaultPlan::new(0x5EED_0001)
+                .with_fail_rate(FaultSite::MutexCreate, 200_000)
+                .with_fail_rate(FaultSite::NodeCreate, 200_000),
+        );
+        sys.set_fault_probe(Some(plan as Arc<dyn FaultProbe>));
+        let be = McaBackend::with_options(
+            sys,
+            McaOptions {
+                lock_timeout: Duration::from_millis(50),
+                retry: fast_retry(),
+            },
+        )
+        .unwrap();
+        for _ in 0..20 {
+            let lock = be.new_lock().unwrap();
+            lock.lock();
+            lock.unlock().unwrap();
+        }
+        let ran = Arc::new(AtomicU64::new(0));
+        let joins: Vec<_> = (0..8)
+            .map(|i| {
+                let r = Arc::clone(&ran);
+                be.spawn_worker(
+                    format!("w{i}"),
+                    Box::new(move || {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    }),
+                )
+                .unwrap()
+            })
+            .collect();
+        for j in joins {
+            j.join();
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+        assert!(!be.poisoned(), "transient faults never poison the backend");
+    }
+
+    #[test]
+    fn over_long_waits_produce_deadlock_reports() {
+        let be = McaBackend::with_options(
+            MrapiSystem::new_t4240(),
+            McaOptions {
+                lock_timeout: Duration::from_millis(2),
+                retry: fast_retry(),
+            },
+        )
+        .unwrap();
+        let lock = be.new_lock().unwrap();
+        lock.lock();
+        let l2 = Arc::clone(&lock);
+        let waiter = std::thread::Builder::new()
+            .name("waiter-1".into())
+            .spawn(move || {
+                l2.lock();
+                l2.unlock().unwrap();
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        lock.unlock().unwrap();
+        waiter.join().unwrap();
+        let reports = be.take_deadlock_reports();
+        assert!(!reports.is_empty(), "over-long wait must be reported");
+        let r = &reports[0];
+        assert_eq!(r.holder_node, Some(MASTER_NODE.0), "holder identified");
+        assert_eq!(r.waiter, "waiter-1");
+        assert!(r.waited >= Duration::from_millis(2));
+        assert!(!be.poisoned(), "timeouts alone never poison the backend");
+        assert!(be.take_deadlock_reports().is_empty(), "drain empties");
+    }
+
+    #[test]
+    fn persistent_unlock_failure_degrades_lock_but_preserves_exclusion() {
+        let sys = MrapiSystem::new_t4240();
+        // Every MRAPI unlock fails: the first unlocker wedges the MRAPI
+        // mutex, degrades the lock, and all traffic — including threads
+        // mid-wait on the wedged mutex — must migrate to the native path
+        // without ever breaking mutual exclusion.
+        let plan = Arc::new(FaultPlan::new(0x5EED_0002).with_persistent(
+            FaultSite::MutexUnlock,
+            MrapiStatus::ErrMutexInvalid,
+            0,
+        ));
+        sys.set_fault_probe(Some(plan as Arc<dyn FaultProbe>));
+        let be = McaBackend::with_options(
+            sys,
+            McaOptions {
+                lock_timeout: Duration::from_millis(5),
+                retry: fast_retry(),
+            },
+        )
+        .unwrap();
+        let lock = be.new_lock().unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        lock.lock();
+                        // Non-atomic read-modify-write: only mutual
+                        // exclusion makes the final count exact.
+                        let v = c.load(Ordering::Relaxed);
+                        c.store(v + 1, Ordering::Relaxed);
+                        let _ = lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 400, "exclusion preserved");
+        assert!(be.poisoned(), "persistent failure poisons the backend");
+        assert!(
+            be.failure_reason().is_some(),
+            "the poisoning failure is recorded"
+        );
+        // The degraded lock keeps working.
+        lock.lock();
+        assert!(!lock.try_lock());
+        lock.unlock().unwrap();
+    }
+
+    #[test]
+    fn persistent_create_failure_poisons_for_fallback() {
+        let sys = MrapiSystem::new_t4240();
+        let plan = Arc::new(FaultPlan::new(0x5EED_0003).with_persistent(
+            FaultSite::ShmemCreate,
+            MrapiStatus::ErrMemLimit,
+            0,
+        ));
+        sys.set_fault_probe(Some(plan as Arc<dyn FaultProbe>));
+        let be = McaBackend::with_options(
+            sys,
+            McaOptions {
+                lock_timeout: Duration::from_millis(50),
+                retry: fast_retry(),
+            },
+        )
+        .unwrap();
+        let err = match be.alloc_shared_words(4) {
+            Ok(_) => panic!("allocation must fail under the persistent fault"),
+            Err(e) => e,
+        };
+        assert_eq!(err.status(), Some(MrapiStatus::ErrMemLimit));
+        assert!(be.poisoned());
+        let fb = be.fallback().expect("mca degrades to native");
+        assert_eq!(fb.kind(), BackendKind::Native);
+        assert!(fb.alloc_shared_words(4).is_ok(), "fallback serves the op");
     }
 }

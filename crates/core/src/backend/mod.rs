@@ -10,12 +10,14 @@
 mod mca;
 mod native;
 
-pub use mca::McaBackend;
+pub use mca::{McaBackend, McaOptions};
 pub use native::NativeBackend;
 
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::Duration;
 
+use crate::config::Config;
 use crate::RompError;
 
 /// Which backend a runtime uses.
@@ -52,13 +54,43 @@ impl BackendKind {
     }
 }
 
+/// One over-long MRAPI lock wait, as reported by the MCA backend: which
+/// node held which lock key and how long the waiter had been waiting when
+/// the report was cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// The MRAPI mutex registry key being waited on.
+    pub mutex_key: u32,
+    /// The MRAPI node holding the mutex at report time (`None` when the
+    /// holder released between the timeout and the snapshot).
+    pub holder_node: Option<u32>,
+    /// Name of the waiting thread.
+    pub waiter: String,
+    /// Cumulative wait at report time.
+    pub waited: Duration,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lock wait: mutex_key={:#x} holder_node={:?} waiter={:?} waited={:?}",
+            self.mutex_key, self.holder_node, self.waiter, self.waited
+        )
+    }
+}
+
 /// A mutual-exclusion lock supplied by the backend — the `gomp_mutex`
 /// replacement seam of §5B.3.
 pub trait RegionLock: Send + Sync {
-    /// Acquire, blocking as needed.
+    /// Acquire, blocking as needed.  Never panics: on the MCA backend a
+    /// persistent MRAPI failure degrades the lock to native services
+    /// internally, preserving mutual exclusion.
     fn lock(&self);
-    /// Release; caller must hold the lock.
-    fn unlock(&self);
+    /// Release.  Misuse (double unlock, stale key) and MRAPI unlock
+    /// failures are reported as `Err`; in every case the caller no longer
+    /// holds the lock afterwards.
+    fn unlock(&self) -> Result<(), RompError>;
     /// Acquire without blocking; `true` on success.
     fn try_lock(&self) -> bool;
 }
@@ -100,20 +132,58 @@ pub trait Backend: Send + Sync + 'static {
     ) -> Result<Box<dyn WorkerJoin>, RompError>;
 
     /// A fresh mutual-exclusion lock — §5B.3's synchronization mapping.
-    fn new_lock(&self) -> Arc<dyn RegionLock>;
+    fn new_lock(&self) -> Result<Arc<dyn RegionLock>, RompError>;
 
     /// A shared buffer of `words` u64 cells — §5B.2's memory mapping.
-    fn alloc_shared_words(&self, words: usize) -> Arc<dyn SharedWords>;
+    fn alloc_shared_words(&self, words: usize) -> Result<Arc<dyn SharedWords>, RompError>;
+
+    /// The backend to degrade to when this one fails persistently
+    /// (MCA→native); `None` means there is no further fallback.
+    fn fallback(&self) -> Option<Box<dyn Backend>> {
+        None
+    }
+
+    /// Whether this backend has recorded a persistent, unrecoverable
+    /// failure and should be replaced by [`Backend::fallback`] at the next
+    /// region boundary.
+    fn poisoned(&self) -> bool {
+        false
+    }
+
+    /// The failure that set [`Backend::poisoned`], for the degradation
+    /// warning.
+    fn failure_reason(&self) -> Option<RompError> {
+        None
+    }
+
+    /// Drain accumulated over-long lock-wait diagnostics.
+    fn take_deadlock_reports(&self) -> Vec<DeadlockReport> {
+        Vec::new()
+    }
 
     /// Called once when the runtime shuts down.
     fn shutdown(&self) {}
 }
 
-/// Construct a backend of the given kind.
-pub fn make_backend(kind: BackendKind) -> Result<Box<dyn Backend>, RompError> {
-    match kind {
+/// Construct the backend `cfg` asks for, wiring in its recovery policy
+/// (lock timeout, retry backoff) and — on the MCA backend — the seeded
+/// fault plan, when `cfg.fault_seed` is set.
+pub fn make_backend(cfg: &Config) -> Result<Box<dyn Backend>, RompError> {
+    match cfg.backend {
         BackendKind::Native => Ok(Box::new(NativeBackend::new())),
-        BackendKind::Mca => Ok(Box::new(McaBackend::new()?)),
+        BackendKind::Mca => {
+            let system = mca_mrapi::MrapiSystem::new_t4240();
+            if let Some(seed) = cfg.fault_seed {
+                system.set_fault_probe(Some(Arc::new(mca_mrapi::FaultPlan::from_seed(seed))));
+            }
+            Ok(Box::new(McaBackend::with_options(
+                system,
+                mca::McaOptions {
+                    lock_timeout: cfg.lock_timeout,
+                    retry: cfg.retry,
+                },
+            )?))
+        }
     }
 }
 
@@ -134,20 +204,22 @@ mod tests {
     #[test]
     fn backend_contract_matrix() {
         for kind in BackendKind::all() {
-            let be = make_backend(kind).unwrap();
+            let be = make_backend(&Config::default().with_backend(kind)).unwrap();
             assert_eq!(be.kind(), kind);
             assert!(be.online_processors() >= 1, "{}", be.name());
+            assert!(!be.poisoned(), "{}: fresh backend is healthy", be.name());
 
-            // Locks exclude.
-            let lock = be.new_lock();
+            // Locks exclude, and double unlock is a recoverable error.
+            let lock = be.new_lock().unwrap();
             lock.lock();
             assert!(!lock.try_lock(), "{}: relock must fail", be.name());
-            lock.unlock();
+            lock.unlock().unwrap();
+            assert!(lock.unlock().is_err(), "{}: double unlock errs", be.name());
             assert!(lock.try_lock());
-            lock.unlock();
+            lock.unlock().unwrap();
 
             // Shared words are shared and atomic.
-            let buf = be.alloc_shared_words(4);
+            let buf = be.alloc_shared_words(4).unwrap();
             assert_eq!(buf.words().len(), 4);
             buf.words()[2].store(99, Ordering::Release);
             assert_eq!(buf.words()[2].load(Ordering::Acquire), 99);

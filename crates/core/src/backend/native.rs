@@ -5,9 +5,11 @@
 //! and `std::thread::available_parallelism` for processor discovery.  This
 //! is the baseline every Table I ratio divides by.
 
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+
+use mca_mrapi::{MrapiError, MrapiStatus};
 
 use super::{Backend, BackendKind, RegionLock, SharedWords, WorkerJoin};
 use crate::sync::RawMutex;
@@ -26,17 +28,33 @@ impl NativeBackend {
     }
 }
 
-struct NativeLock(RawMutex);
+struct NativeLock {
+    raw: RawMutex,
+    /// Tracks holding so double unlock is a reportable error (in the MRAPI
+    /// status vocabulary, like the MCA backend) instead of silent state
+    /// corruption.  Flipped only while `raw` is held, so no extra race.
+    held: AtomicBool,
+}
 
 impl RegionLock for NativeLock {
     fn lock(&self) {
-        self.0.lock();
+        self.raw.lock();
+        self.held.store(true, Ordering::Relaxed);
     }
-    fn unlock(&self) {
-        self.0.unlock();
+    fn unlock(&self) -> Result<(), RompError> {
+        if !self.held.swap(false, Ordering::Relaxed) {
+            return Err(RompError::Lock(MrapiError(MrapiStatus::ErrMutexNotLocked)));
+        }
+        self.raw.unlock();
+        Ok(())
     }
     fn try_lock(&self) -> bool {
-        self.0.try_lock()
+        if self.raw.try_lock() {
+            self.held.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -79,16 +97,19 @@ impl Backend for NativeBackend {
         Ok(Box::new(NativeJoin(handle)))
     }
 
-    fn new_lock(&self) -> Arc<dyn RegionLock> {
-        Arc::new(NativeLock(RawMutex::new()))
+    fn new_lock(&self) -> Result<Arc<dyn RegionLock>, RompError> {
+        Ok(Arc::new(NativeLock {
+            raw: RawMutex::new(),
+            held: AtomicBool::new(false),
+        }))
     }
 
-    fn alloc_shared_words(&self, words: usize) -> Arc<dyn SharedWords> {
+    fn alloc_shared_words(&self, words: usize) -> Result<Arc<dyn SharedWords>, RompError> {
         let buf = (0..words)
             .map(|_| AtomicU64::new(0))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        Arc::new(HeapWords(buf))
+        Ok(Arc::new(HeapWords(buf)))
     }
 }
 
@@ -100,7 +121,7 @@ mod tests {
     #[test]
     fn lock_excludes_across_threads() {
         let be = NativeBackend::new();
-        let lock = be.new_lock();
+        let lock = be.new_lock().unwrap();
         let counter = Arc::new(AtomicU64::new(0));
         let handles: Vec<_> = (0..4)
             .map(|_| {
@@ -111,7 +132,7 @@ mod tests {
                         lock.lock();
                         let v = c.load(Ordering::Relaxed);
                         c.store(v + 1, Ordering::Relaxed);
-                        lock.unlock();
+                        lock.unlock().unwrap();
                     }
                 })
             })
@@ -125,7 +146,7 @@ mod tests {
     #[test]
     fn shared_words_zero_initialized() {
         let be = NativeBackend::new();
-        let b = be.alloc_shared_words(16);
+        let b = be.alloc_shared_words(16).unwrap();
         assert!(b.words().iter().all(|w| w.load(Ordering::Relaxed) == 0));
     }
 }

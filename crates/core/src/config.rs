@@ -9,10 +9,45 @@
 //! | `OMP_DYNAMIC`      | allow the runtime to shrink teams         |
 //! | `ROMP_BACKEND`     | `native` or `mca` (reproduction's switch) |
 //! | `ROMP_BARRIER`     | `centralized` or `tree[:arity]`           |
+//! | `ROMP_LOCK_TIMEOUT_MS` | per-attempt MRAPI lock wait before a deadlock report |
+//! | `ROMP_RETRY_ATTEMPTS`  | bounded retries for transient MRAPI statuses |
+//! | `ROMP_FAULT_SEED`  | seed a deterministic MRAPI fault schedule |
+
+use std::time::Duration;
 
 use crate::backend::BackendKind;
 use crate::barrier::BarrierKind;
 use crate::schedule::Schedule;
+
+/// Bounded exponential backoff for transient MRAPI statuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (1-based): `base * 2^(retry-1)`
+    /// capped at `max_delay`.
+    pub fn backoff_delay(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        (self.base_delay * factor).min(self.max_delay)
+    }
+}
 
 /// Construction-time configuration for a [`crate::Runtime`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +65,17 @@ pub struct Config {
     pub barrier: BarrierKind,
     /// Collect per-worker CPU-time profiles for the virtual-time engine.
     pub profiling: bool,
+    /// How long one MRAPI lock acquisition may wait before the runtime
+    /// emits a deadlock report (holder node, lock key, wait time) and
+    /// retries the wait (`ROMP_LOCK_TIMEOUT_MS`).
+    pub lock_timeout: Duration,
+    /// Bounded exponential backoff for transient MRAPI statuses.
+    pub retry: RetryPolicy,
+    /// Seed a deterministic MRAPI fault-injection schedule
+    /// ([`mca_mrapi::FaultPlan::from_seed`]) on the MCA backend — the chaos
+    /// harness's knob.  `None` (the default) installs no probe; the native
+    /// backend ignores it.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for Config {
@@ -41,6 +87,9 @@ impl Default for Config {
             dynamic: false,
             barrier: BarrierKind::Centralized,
             profiling: false,
+            lock_timeout: Duration::from_millis(100),
+            retry: RetryPolicy::default(),
+            fault_seed: None,
         }
     }
 }
@@ -68,6 +117,25 @@ impl Config {
         }
         if let Some(d) = get("OMP_DYNAMIC") {
             cfg.dynamic = matches!(d.trim().to_ascii_lowercase().as_str(), "true" | "1" | "yes");
+        }
+        if let Some(ms) = get("ROMP_LOCK_TIMEOUT_MS").and_then(|s| s.trim().parse::<u64>().ok()) {
+            if ms > 0 {
+                cfg.lock_timeout = Duration::from_millis(ms);
+            }
+        }
+        if let Some(n) = get("ROMP_RETRY_ATTEMPTS").and_then(|s| s.trim().parse::<u32>().ok()) {
+            if n > 0 {
+                cfg.retry.max_attempts = n;
+            }
+        }
+        if let Some(seed) = get("ROMP_FAULT_SEED").and_then(|s| {
+            let s = s.trim();
+            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse::<u64>().ok(),
+            }
+        }) {
+            cfg.fault_seed = Some(seed);
         }
         if let Some(b) = get("ROMP_BARRIER") {
             let b = b.trim().to_ascii_lowercase();
@@ -106,6 +174,24 @@ impl Config {
     /// Builder: enable per-worker CPU profiling.
     pub fn with_profiling(mut self, on: bool) -> Self {
         self.profiling = on;
+        self
+    }
+
+    /// Builder: set the per-attempt MRAPI lock wait.
+    pub fn with_lock_timeout(mut self, t: Duration) -> Self {
+        self.lock_timeout = t;
+        self
+    }
+
+    /// Builder: set the transient-status retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: seed a deterministic MRAPI fault schedule.
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
         self
     }
 }
@@ -163,6 +249,30 @@ mod tests {
             BarrierKind::Tree { arity: 4 },
             "bad arity falls back to 4"
         );
+    }
+
+    #[test]
+    fn fault_and_recovery_vars() {
+        let c = Config::from_vars(vars(&[
+            ("ROMP_LOCK_TIMEOUT_MS", "250"),
+            ("ROMP_RETRY_ATTEMPTS", "3"),
+            ("ROMP_FAULT_SEED", "0xC0FFEE"),
+        ]));
+        assert_eq!(c.lock_timeout, Duration::from_millis(250));
+        assert_eq!(c.retry.max_attempts, 3);
+        assert_eq!(c.fault_seed, Some(0xC0FFEE));
+        let d = Config::from_vars(vars(&[("ROMP_FAULT_SEED", "12345")]));
+        assert_eq!(d.fault_seed, Some(12345));
+        assert_eq!(d.lock_timeout, Duration::from_millis(100), "default");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.backoff_delay(1), Duration::from_micros(50));
+        assert_eq!(r.backoff_delay(2), Duration::from_micros(100));
+        assert_eq!(r.backoff_delay(3), Duration::from_micros(200));
+        assert_eq!(r.backoff_delay(30), r.max_delay, "capped");
     }
 
     #[test]

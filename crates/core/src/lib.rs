@@ -70,9 +70,11 @@ pub mod worker;
 
 mod runtime;
 
-pub use backend::{Backend, BackendKind, RegionLock, SharedWords};
+pub use backend::{
+    Backend, BackendKind, DeadlockReport, McaBackend, McaOptions, RegionLock, SharedWords,
+};
 pub use barrier::BarrierKind;
-pub use config::Config;
+pub use config::{Config, RetryPolicy};
 pub use lock::OmpLock;
 pub use runtime::Runtime;
 pub use schedule::Schedule;
@@ -88,13 +90,42 @@ pub fn wtime() -> f64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
 }
 
-/// Error type for runtime construction.
-#[derive(Debug)]
+/// The typed error every fallible runtime operation reports.
+///
+/// The fault model (DESIGN.md §5) requires that no MRAPI status ever
+/// aborts the process: statuses become `Mrapi`/`Exhausted` values, lock
+/// misuse becomes `Lock`, and only the caller decides what is fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RompError {
-    /// The MCA backend failed to initialize its MRAPI node.
+    /// An MRAPI operation failed with a non-transient status.
     Mrapi(mca_mrapi::MrapiError),
     /// Invalid configuration value (message explains).
     Config(String),
+    /// An MRAPI operation still failed after bounded retries with backoff.
+    Exhausted {
+        /// The spec-level operation that gave up (`"mrapi_mutex_create"`…).
+        op: &'static str,
+        /// How many attempts were made.
+        attempts: u32,
+        /// The status of the final attempt.
+        last: mca_mrapi::MrapiError,
+    },
+    /// A pool worker could not be spawned on any available backend.
+    Spawn(String),
+    /// Recoverable lock misuse (double unlock, stale key), reported in the
+    /// MRAPI status vocabulary on both backends.
+    Lock(mca_mrapi::MrapiError),
+}
+
+impl RompError {
+    /// The underlying MRAPI status, when there is one.
+    pub fn status(&self) -> Option<mca_mrapi::MrapiStatus> {
+        match self {
+            RompError::Mrapi(e) | RompError::Lock(e) => Some(e.0),
+            RompError::Exhausted { last, .. } => Some(last.0),
+            RompError::Config(_) | RompError::Spawn(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for RompError {
@@ -102,6 +133,11 @@ impl std::fmt::Display for RompError {
         match self {
             RompError::Mrapi(e) => write!(f, "MRAPI error: {e}"),
             RompError::Config(m) => write!(f, "configuration error: {m}"),
+            RompError::Exhausted { op, attempts, last } => {
+                write!(f, "{op} failed after {attempts} attempts: {last}")
+            }
+            RompError::Spawn(m) => write!(f, "worker spawn failed: {m}"),
+            RompError::Lock(e) => write!(f, "lock misuse: {e}"),
         }
     }
 }

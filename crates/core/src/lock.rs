@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use crate::backend::RegionLock;
+use crate::RompError;
 
 /// An explicit OpenMP-style lock.
 ///
@@ -27,9 +28,18 @@ impl OmpLock {
         self.inner.lock();
     }
 
-    /// `omp_unset_lock`: release; the caller must hold the lock.
+    /// `omp_unset_lock`: release; the caller must hold the lock.  Misuse
+    /// (unsetting a lock not held) is silently absorbed, matching the
+    /// undefined-but-not-fatal OpenMP behaviour; use
+    /// [`OmpLock::try_unset`] to observe it.
     pub fn unset(&self) {
-        self.inner.unlock();
+        let _ = self.inner.unlock();
+    }
+
+    /// Release, reporting misuse (double unset, stale MRAPI key) as a
+    /// recoverable [`RompError`] instead of swallowing it.
+    pub fn try_unset(&self) -> Result<(), RompError> {
+        self.inner.unlock()
     }
 
     /// `omp_test_lock`: acquire without blocking; `true` on success.

@@ -8,7 +8,10 @@ use std::sync::Arc;
 
 use mca_sync::Mutex as PlMutex;
 
-use crate::backend::{make_backend, Backend, BackendKind, RegionLock, WorkerJoin};
+use crate::backend::{
+    make_backend, Backend, BackendKind, DeadlockReport, NativeBackend, RegionLock, SharedWords,
+    WorkerJoin,
+};
 use crate::barrier::Barrier;
 use crate::config::Config;
 use crate::lock::OmpLock;
@@ -55,8 +58,25 @@ fn erase_region_fn<F: Fn(&Worker) + Sync>(f: &F) -> RegionFn {
     RegionFn(long as *const _)
 }
 
+/// A native lock, for the last-resort paths where the active backend
+/// cannot produce one (native lock creation itself cannot fail).
+fn native_lock() -> Arc<dyn RegionLock> {
+    NativeBackend::new()
+        .new_lock()
+        .expect("native lock creation is infallible")
+}
+
 pub(crate) struct RtInner {
-    pub backend: Box<dyn Backend>,
+    /// The active backend.  Swapped (under the mutex) for its
+    /// [`Backend::fallback`] when it reports itself poisoned — the
+    /// MCA→native graceful-degradation path of DESIGN.md §5.
+    backend: PlMutex<Arc<dyn Backend>>,
+    /// Backends replaced by a fallback swap.  Kept alive — locks and pool
+    /// workers created through them may still be in use — and shut down
+    /// when the runtime drops.
+    retired: PlMutex<Vec<Arc<dyn Backend>>>,
+    /// Whether a fallback swap has ever happened.
+    degraded: AtomicBool,
     pub cfg: Config,
     pool: PlMutex<Vec<Arc<PoolSlot>>>,
     joins: PlMutex<Vec<Box<dyn WorkerJoin>>>,
@@ -72,13 +92,76 @@ pub(crate) struct RtInner {
 }
 
 impl RtInner {
+    /// The active backend (cheap Arc clone).
+    pub(crate) fn backend(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.backend.lock())
+    }
+
+    /// If the active backend has poisoned itself, swap in its fallback,
+    /// logging one structured warning.  Returns whether a swap happened.
+    fn heal_backend(&self) -> bool {
+        let mut cur = self.backend.lock();
+        if !cur.poisoned() {
+            return false;
+        }
+        let Some(fb) = cur.fallback() else {
+            return false;
+        };
+        let fb: Arc<dyn Backend> = Arc::from(fb);
+        let reason = cur
+            .failure_reason()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "unspecified persistent failure".to_string());
+        eprintln!(
+            "romp[WARN] backend={} degraded ({reason}); falling back to backend={}",
+            cur.name(),
+            fb.name()
+        );
+        let old = std::mem::replace(&mut *cur, fb);
+        drop(cur);
+        self.retired.lock().push(old);
+        self.degraded.store(true, Ordering::Release);
+        true
+    }
+
+    /// Create a lock through the active backend, swapping in the fallback
+    /// backend and retrying once on persistent failure.
+    pub(crate) fn backend_new_lock(&self) -> Result<Arc<dyn RegionLock>, RompError> {
+        match self.backend().new_lock() {
+            Ok(l) => Ok(l),
+            Err(e) => {
+                if self.heal_backend() {
+                    self.backend().new_lock()
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Allocate shared words, with the same heal-and-retry policy.
+    fn backend_alloc(&self, words: usize) -> Result<Arc<dyn SharedWords>, RompError> {
+        match self.backend().alloc_shared_words(words) {
+            Ok(w) => Ok(w),
+            Err(e) => {
+                if self.heal_backend() {
+                    self.backend().alloc_shared_words(words)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
     /// The lock backing `critical(name)`, created through the backend on
     /// first use (Listing 4's `mrapi_mutex_create` initialization step).
+    /// Infallible: a backend that cannot produce a lock has already
+    /// poisoned itself, and the native last resort cannot fail.
     pub(crate) fn critical_lock(&self, name: &str) -> Arc<dyn RegionLock> {
         self.criticals.with(|map| match map.get(name) {
             Some(l) => Arc::clone(l),
             None => {
-                let l = self.backend.new_lock();
+                let l = self.backend_new_lock().unwrap_or_else(|_| native_lock());
                 map.insert(name.to_string(), Arc::clone(&l));
                 l
             }
@@ -88,10 +171,12 @@ impl RtInner {
     /// A minimal native-backed inner for unit tests in sibling modules.
     #[cfg(test)]
     pub(crate) fn for_tests() -> Arc<RtInner> {
-        let backend: Box<dyn Backend> = Box::new(crate::backend::NativeBackend::new());
-        let criticals = BackendMutex::new(backend.new_lock(), HashMap::new());
+        let backend: Arc<dyn Backend> = Arc::new(crate::backend::NativeBackend::new());
+        let criticals = BackendMutex::new(backend.new_lock().unwrap(), HashMap::new());
         Arc::new(RtInner {
-            backend,
+            backend: PlMutex::new(backend),
+            retired: PlMutex::new(Vec::new()),
+            degraded: AtomicBool::new(false),
             cfg: Config::default(),
             pool: PlMutex::new(Vec::new()),
             joins: PlMutex::new(Vec::new()),
@@ -103,25 +188,39 @@ impl RtInner {
         })
     }
 
-    fn new_team(&self, size: usize) -> Arc<TeamShared> {
-        Arc::new(TeamShared::new(
+    fn new_team(&self, size: usize) -> Result<Arc<TeamShared>, RompError> {
+        Ok(Arc::new(TeamShared::new(
             size,
             Barrier::new(size, self.cfg.barrier),
-            self.backend
-                .alloc_shared_words(TeamShared::reduce_words_len(size)),
-        ))
+            self.backend_alloc(TeamShared::reduce_words_len(size))?,
+        )))
     }
 
-    /// Grow the dock to at least `n` slots.
+    /// Grow the dock to at least `n` slots, swapping in the fallback
+    /// backend if a spawn fails persistently.  Workers already docked stay
+    /// valid across the swap — the pool loop is backend-agnostic.
     fn ensure_pool(self: &Arc<Self>, n: usize) -> Result<(), RompError> {
         let mut pool = self.pool.lock();
         while pool.len() < n {
             let slot = PoolSlot::new();
-            let s2 = Arc::clone(&slot);
             let label = format!("romp-worker-{}", pool.len() + 1);
-            let join = self
-                .backend
-                .spawn_worker(label, Box::new(move || s2.worker_loop()))?;
+            let s2 = Arc::clone(&slot);
+            let join = match self
+                .backend()
+                .spawn_worker(label.clone(), Box::new(move || s2.worker_loop()))
+            {
+                Ok(j) => j,
+                Err(e) => {
+                    if !self.heal_backend() {
+                        return Err(e);
+                    }
+                    // A failed creation consumed its closure; rebuild it
+                    // around the same slot for the fallback backend.
+                    let s3 = Arc::clone(&slot);
+                    self.backend()
+                        .spawn_worker(label, Box::new(move || s3.worker_loop()))?
+                }
+            };
             self.joins.lock().push(join);
             pool.push(slot);
         }
@@ -137,7 +236,10 @@ impl Drop for RtInner {
         for join in self.joins.lock().drain(..) {
             join.join();
         }
-        self.backend.shutdown();
+        self.backend.lock().shutdown();
+        for be in self.retired.lock().drain(..) {
+            be.shutdown();
+        }
     }
 }
 
@@ -162,14 +264,49 @@ impl Runtime {
         Self::with_config(Config::default().with_backend(kind))
     }
 
-    /// Fully explicit construction.
+    /// Fully explicit construction.  A non-native backend that fails to
+    /// initialize persistently (e.g. under an injected fault schedule)
+    /// degrades to the native backend with a warning instead of failing
+    /// construction.
     pub fn with_config(cfg: Config) -> Result<Self, RompError> {
-        let backend = make_backend(cfg.backend)?;
-        let criticals = BackendMutex::new(backend.new_lock(), HashMap::new());
+        let mut started_degraded = false;
+        let backend: Arc<dyn Backend> = match make_backend(&cfg) {
+            Ok(be) => Arc::from(be),
+            Err(e) if cfg.backend != BackendKind::Native => {
+                eprintln!(
+                    "romp[WARN] backend={} failed to initialize ({e}); \
+                     falling back to backend=native",
+                    cfg.backend.label()
+                );
+                started_degraded = true;
+                Arc::new(NativeBackend::new())
+            }
+            Err(e) => return Err(e),
+        };
+        Self::assemble(cfg, backend, started_degraded)
+    }
+
+    /// Construction on a caller-built backend (targeted fault tests,
+    /// shared MRAPI systems).  `cfg.backend` is ignored in favour of the
+    /// given backend's kind.
+    pub fn with_config_and_backend(
+        cfg: Config,
+        backend: Box<dyn Backend>,
+    ) -> Result<Self, RompError> {
+        Self::assemble(cfg, Arc::from(backend), false)
+    }
+
+    fn assemble(cfg: Config, backend: Arc<dyn Backend>, degraded: bool) -> Result<Self, RompError> {
+        // If the backend cannot even produce the criticals guard it is
+        // poisoned already; the first region boundary will swap it out.
+        let guard = backend.new_lock().unwrap_or_else(|_| native_lock());
+        let criticals = BackendMutex::new(guard, HashMap::new());
         let profiling = cfg.profiling;
         Ok(Runtime {
             inner: Arc::new(RtInner {
-                backend,
+                backend: PlMutex::new(backend),
+                retired: PlMutex::new(Vec::new()),
+                degraded: AtomicBool::new(degraded),
                 cfg,
                 pool: PlMutex::new(Vec::new()),
                 joins: PlMutex::new(Vec::new()),
@@ -182,9 +319,26 @@ impl Runtime {
         })
     }
 
-    /// Which backend this runtime uses.
+    /// Which backend this runtime currently uses (reflects degradation:
+    /// after an MCA→native fallback this reports `Native`).
     pub fn backend_kind(&self) -> BackendKind {
-        self.inner.backend.kind()
+        self.inner.backend().kind()
+    }
+
+    /// Whether the runtime has degraded away from its configured backend
+    /// (at construction or mid-run).
+    pub fn degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Acquire)
+    }
+
+    /// Drain over-long lock-wait diagnostics from the active backend and
+    /// any retired (degraded-away) backends.
+    pub fn take_deadlock_reports(&self) -> Vec<DeadlockReport> {
+        let mut out = self.inner.backend().take_deadlock_reports();
+        for be in self.inner.retired.lock().iter() {
+            out.extend(be.take_deadlock_reports());
+        }
+        out
     }
 
     /// The construction configuration.
@@ -199,7 +353,7 @@ impl Runtime {
         self.inner
             .cfg
             .num_threads
-            .unwrap_or_else(|| self.inner.backend.online_processors())
+            .unwrap_or_else(|| self.inner.backend().online_processors())
     }
 
     /// `omp_in_parallel` for the calling thread.
@@ -214,7 +368,7 @@ impl Runtime {
             requested
         };
         let n = if self.inner.cfg.dynamic {
-            n.min(self.inner.backend.online_processors())
+            n.min(self.inner.backend().online_processors())
         } else {
             n
         };
@@ -225,24 +379,59 @@ impl Runtime {
     /// members (0 = default size).  Thread 0 is the calling thread; the
     /// region ends with an implicit barrier; member panics propagate to the
     /// caller after the region completes.
+    ///
+    /// Never aborts on backend failure: persistent MRAPI trouble degrades
+    /// to the native backend, and if even forking is impossible the region
+    /// runs on a team of one.  Use [`Runtime::try_parallel`] to observe
+    /// the failure instead.
     pub fn parallel<F>(&self, num_threads: usize, f: F)
     where
         F: Fn(&Worker) + Sync,
     {
         if Self::in_parallel() {
             // Nested region: OpenMP default is a team of one (serialized).
-            self.run_inline_team(&f);
+            if self.run_inline_team(&f).is_err() {
+                self.run_inline_native(&f);
+            }
             return;
         }
+        if let Err(e) = self.fork_join(num_threads, &f) {
+            eprintln!("romp[WARN] parallel region fell back to a team of one: {e}");
+            if self.run_inline_team(&f).is_err() {
+                self.run_inline_native(&f);
+            }
+        }
+    }
+
+    /// Fallible [`Runtime::parallel`]: on persistent backend failure the
+    /// typed error is returned instead of degrading to a team of one.
+    /// (The MCA→native backend swap still happens transparently; only an
+    /// error the fallback cannot absorb surfaces.)
+    pub fn try_parallel<F>(&self, num_threads: usize, f: F) -> Result<(), RompError>
+    where
+        F: Fn(&Worker) + Sync,
+    {
+        if Self::in_parallel() {
+            return self.run_inline_team(&f);
+        }
+        self.fork_join(num_threads, &f)
+    }
+
+    /// The fork/join engine behind `parallel`/`try_parallel`.
+    fn fork_join<F>(&self, num_threads: usize, f: &F) -> Result<(), RompError>
+    where
+        F: Fn(&Worker) + Sync,
+    {
         let n = self.normalize_team(num_threads);
         let _gate = self.inner.region_gate.lock();
+        // Region boundary: if the backend poisoned itself mid-run, swap
+        // in its fallback before forking the next team.
+        self.inner.heal_backend();
         self.inner.stats.regions.fetch_add(1, Ordering::Relaxed);
-        let team = self.inner.new_team(n);
-        self.inner
-            .ensure_pool(n.saturating_sub(1))
-            .expect("worker spawn failed");
+        let team = self.inner.new_team(n)?;
+        self.inner.ensure_pool(n.saturating_sub(1))?;
         let profiling = self.inner.profiling.load(Ordering::Relaxed);
-        let func = erase_region_fn(&f);
+        let func = erase_region_fn(f);
         {
             let pool = self.inner.pool.lock();
             for tid in 1..n {
@@ -298,11 +487,10 @@ impl Runtime {
         if let Some(payload) = payload {
             panic::resume_unwind(payload);
         }
+        Ok(())
     }
 
-    fn run_inline_team<F: Fn(&Worker) + Sync>(&self, f: &F) {
-        let team = self.inner.new_team(1);
-        let func = erase_region_fn(f);
+    fn run_team_of_one(&self, team: Arc<TeamShared>, func: RegionFn) {
         run_region_member(&JobMsg {
             team: Arc::clone(&team),
             tid: 0,
@@ -316,8 +504,30 @@ impl Runtime {
         }
     }
 
+    fn run_inline_team<F: Fn(&Worker) + Sync>(&self, f: &F) -> Result<(), RompError> {
+        let team = self.inner.new_team(1)?;
+        self.run_team_of_one(team, erase_region_fn(f));
+        Ok(())
+    }
+
+    /// Last resort when even a team-of-one allocation fails through the
+    /// backend: build the team from native services directly (which cannot
+    /// fail) so `parallel` still completes.
+    fn run_inline_native<F: Fn(&Worker) + Sync>(&self, f: &F) {
+        let words = NativeBackend::new()
+            .alloc_shared_words(TeamShared::reduce_words_len(1))
+            .expect("native allocation is infallible");
+        let team = Arc::new(TeamShared::new(
+            1,
+            Barrier::new(1, self.inner.cfg.barrier),
+            words,
+        ));
+        self.run_team_of_one(team, erase_region_fn(f));
+    }
+
     /// Run a region and collect each member's return value (indexed by
-    /// thread number).
+    /// thread number; if the region degraded to a smaller team, only the
+    /// members that ran contribute).
     pub fn parallel_map<T, F>(&self, num_threads: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -329,10 +539,7 @@ impl Runtime {
             let v = f(w);
             *slots[w.thread_num()].lock() = Some(v);
         });
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("every member stores a value"))
-            .collect()
+        slots.into_iter().filter_map(|s| s.into_inner()).collect()
     }
 
     /// `#pragma omp parallel for` — fork a team and workshare `range`.
@@ -412,9 +619,20 @@ impl Runtime {
     }
 
     /// An OpenMP-style lock (`omp_init_lock`), backed by the runtime's
-    /// backend — an MRAPI mutex on the MCA backend.
+    /// backend — an MRAPI mutex on the MCA backend.  Never aborts: on
+    /// persistent backend failure the lock comes from the fallback chain.
     pub fn new_lock(&self) -> OmpLock {
-        OmpLock::new(self.inner.backend.new_lock())
+        OmpLock::new(
+            self.inner
+                .backend_new_lock()
+                .unwrap_or_else(|_| native_lock()),
+        )
+    }
+
+    /// Fallible [`Runtime::new_lock`]: surfaces the creation failure
+    /// instead of silently degrading to a native lock.
+    pub fn try_new_lock(&self) -> Result<OmpLock, RompError> {
+        Ok(OmpLock::new(self.inner.backend_new_lock()?))
     }
 
     /// Always-on construct counters.
@@ -450,7 +668,7 @@ impl Runtime {
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
-            .field("backend", &self.inner.backend.name())
+            .field("backend", &self.inner.backend().name())
             .field("max_threads", &self.max_threads())
             .finish()
     }

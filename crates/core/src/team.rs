@@ -503,7 +503,8 @@ mod tests {
         Arc::new(TeamShared::new(
             size,
             Barrier::new(size, BarrierKind::Centralized),
-            be.alloc_shared_words(TeamShared::reduce_words_len(size)),
+            be.alloc_shared_words(TeamShared::reduce_words_len(size))
+                .unwrap(),
         ))
     }
 

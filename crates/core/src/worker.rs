@@ -398,7 +398,9 @@ impl<'a> Worker<'a> {
         let lock = self.rt.critical_lock(name);
         lock.lock();
         let out = f();
-        lock.unlock();
+        // The guard was held; residual unlock errors were already retried
+        // inside the lock and must not unwind user code.
+        let _ = lock.unlock();
         out
     }
 
@@ -531,7 +533,7 @@ impl<'a> Worker<'a> {
     /// `omp_get_num_procs`: the backend's online-processor count (the
     /// MRAPI metadata value on the MCA backend, §5B.4).
     pub fn num_procs(&self) -> usize {
-        self.rt.backend.online_processors()
+        self.rt.backend().online_processors()
     }
 }
 

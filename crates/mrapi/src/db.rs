@@ -6,16 +6,17 @@
 //! module owns those registries; the public entry point is [`MrapiSystem`].
 
 use std::collections::HashMap;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use mca_platform::{MemoryMap, Topology};
 use mca_sync::RwLock;
 
+use crate::fault::{FaultProbe, FaultSite};
 use crate::node::{DomainId, Node, NodeId, NodeRecord};
 use crate::rmem::RmemBuffer;
 use crate::shmem::ShmemSegment;
-use crate::status::{ensure, MrapiResult, MrapiStatus};
+use crate::status::{ensure, MrapiError, MrapiResult, MrapiStatus};
 use crate::sync::{MutexInner, RwLockInner, SemInner};
 
 /// Registries for one MRAPI domain.
@@ -53,6 +54,10 @@ pub(crate) struct SystemInner {
     pub sim_ns: AtomicU64,
     /// Per-hw-thread utilization cells surfaced as dynamic metadata.
     pub utilization: Vec<Arc<AtomicU64>>,
+    /// Fast gate: true only while a fault probe is installed, so the
+    /// boundary checks cost one relaxed load in production.
+    pub fault_enabled: AtomicBool,
+    pub fault_probe: RwLock<Option<Arc<dyn FaultProbe>>>,
 }
 
 /// One MRAPI "system": a board plus its domain databases.
@@ -78,6 +83,8 @@ impl MrapiSystem {
                 domains: RwLock::new(HashMap::new()),
                 sim_ns: AtomicU64::new(0),
                 utilization,
+                fault_enabled: AtomicBool::new(false),
+                fault_probe: RwLock::new(None),
             }),
         }
     }
@@ -109,12 +116,53 @@ impl MrapiSystem {
         self.inner.sim_ns.load(std::sync::atomic::Ordering::Relaxed)
     }
 
+    /// Install (or clear, with `None`) the fault probe consulted at every
+    /// MRAPI boundary on this system.  With no probe installed the boundary
+    /// check is a single relaxed atomic load.
+    pub fn set_fault_probe(&self, probe: Option<Arc<dyn FaultProbe>>) {
+        let enabled = probe.is_some();
+        *self.inner.fault_probe.write() = probe;
+        self.inner.fault_enabled.store(enabled, Ordering::Release);
+    }
+
+    /// Whether a fault probe is currently installed.
+    pub fn fault_injection_enabled(&self) -> bool {
+        self.inner.fault_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Consult the fault probe at `site`: sleep out any ordered latency
+    /// spike, then fail with the ordered status, if any.  The disabled
+    /// path is one relaxed load.
+    #[inline]
+    pub(crate) fn fault_check(&self, site: FaultSite) -> MrapiResult<()> {
+        if !self.inner.fault_enabled.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        self.fault_check_slow(site)
+    }
+
+    #[cold]
+    fn fault_check_slow(&self, site: FaultSite) -> MrapiResult<()> {
+        let decision = match self.inner.fault_probe.read().as_ref() {
+            Some(probe) => probe.decide(site),
+            None => return Ok(()),
+        };
+        if let Some(delay) = decision.delay {
+            std::thread::sleep(delay);
+        }
+        match decision.fail {
+            Some(status) => Err(MrapiError(status)),
+            None => Ok(()),
+        }
+    }
+
     /// `mrapi_initialize`: register `node_id` in `domain_id` and return the
     /// node handle every other operation hangs off.
     ///
     /// Fails with `MRAPI_ERR_NODE_INITFAILED` if the node id is already live
     /// in the domain.
     pub fn initialize(&self, domain_id: DomainId, node_id: NodeId) -> MrapiResult<Node> {
+        self.fault_check(FaultSite::NodeInit)?;
         let domain = self.domain(domain_id);
         let record = Arc::new(NodeRecord::new(node_id));
         {
@@ -204,6 +252,26 @@ mod tests {
         let g = MrapiSystem::global();
         assert_eq!(g.topology().name, "T4240RDB");
         assert_eq!(g.topology().num_hw_threads(), 24);
+    }
+
+    #[test]
+    fn fault_probe_gates_initialize() {
+        use crate::fault::FaultPlan;
+        let sys = MrapiSystem::new_t4240();
+        assert!(!sys.fault_injection_enabled());
+        let plan = Arc::new(FaultPlan::new(0).with_persistent(
+            FaultSite::NodeInit,
+            MrapiStatus::ErrNodeInitFailed,
+            0,
+        ));
+        sys.set_fault_probe(Some(plan));
+        assert!(sys.fault_injection_enabled());
+        let err = sys.initialize(DomainId(1), NodeId(0)).unwrap_err();
+        assert_eq!(err.0, MrapiStatus::ErrNodeInitFailed);
+        // Clearing the probe restores normal operation.
+        sys.set_fault_probe(None);
+        assert!(!sys.fault_injection_enabled());
+        sys.initialize(DomainId(1), NodeId(0)).unwrap();
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Deterministic fault injection at the MRAPI boundaries.
+//!
+//! MRAPI's defining property is that every operation reports an
+//! `mrapi_status_t` — a runtime built on it must survive any status the
+//! spec allows at a call site.  This module makes those statuses
+//! *producible on demand*: a [`FaultProbe`] installed on an
+//! [`crate::MrapiSystem`] is consulted at every API boundary (node
+//! init/create, mutex create/lock/unlock, shmem create/get) and may order
+//! a spec-legal failure or a latency spike (a straggler) before the real
+//! operation runs.
+//!
+//! The stock probe, [`FaultPlan`], is seeded by a single `u64` through
+//! `mca-sync`'s SplitMix64: every decision is a pure function of
+//! `(seed, site, per-site probe counter)`, so a schedule is reproducible
+//! from the seed alone regardless of thread interleaving — the k-th probe
+//! of a given site always gets the same answer.
+//!
+//! When no probe is installed the check is one relaxed atomic load
+//! (see [`crate::MrapiSystem::set_fault_probe`]), so the facility is free
+//! on production hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mca_sync::SmallRng;
+
+use crate::status::MrapiStatus;
+
+/// Number of instrumented boundaries.
+pub const NUM_SITES: usize = 7;
+
+/// An instrumented MRAPI boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `mrapi_initialize` (node registration).
+    NodeInit,
+    /// `mrapi_thread_create` (the paper's worker-node extension).
+    NodeCreate,
+    /// `mrapi_mutex_create`.
+    MutexCreate,
+    /// `mrapi_mutex_lock` / `mrapi_mutex_trylock`.
+    MutexLock,
+    /// `mrapi_mutex_unlock`.
+    MutexUnlock,
+    /// `mrapi_shmem_create`.
+    ShmemCreate,
+    /// `mrapi_shmem_get`.
+    ShmemGet,
+}
+
+impl FaultSite {
+    /// Every instrumented site, for iteration.
+    pub const ALL: [FaultSite; NUM_SITES] = [
+        FaultSite::NodeInit,
+        FaultSite::NodeCreate,
+        FaultSite::MutexCreate,
+        FaultSite::MutexLock,
+        FaultSite::MutexUnlock,
+        FaultSite::ShmemCreate,
+        FaultSite::ShmemGet,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::NodeInit => 0,
+            FaultSite::NodeCreate => 1,
+            FaultSite::MutexCreate => 2,
+            FaultSite::MutexLock => 3,
+            FaultSite::MutexUnlock => 4,
+            FaultSite::ShmemCreate => 5,
+            FaultSite::ShmemGet => 6,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::NodeInit => "node_init",
+            FaultSite::NodeCreate => "node_create",
+            FaultSite::MutexCreate => "mutex_create",
+            FaultSite::MutexLock => "mutex_lock",
+            FaultSite::MutexUnlock => "mutex_unlock",
+            FaultSite::ShmemCreate => "shmem_create",
+            FaultSite::ShmemGet => "shmem_get",
+        }
+    }
+
+    /// The statuses the MRAPI spec allows this boundary to report; random
+    /// injection draws from this set only, so consumers never see a status
+    /// the real call could not produce.
+    pub fn legal_statuses(self) -> &'static [MrapiStatus] {
+        match self {
+            FaultSite::NodeInit => &[MrapiStatus::ErrNodeInitFailed],
+            FaultSite::NodeCreate => &[MrapiStatus::ErrNodeInitFailed],
+            FaultSite::MutexCreate => &[MrapiStatus::ErrMutexExists],
+            FaultSite::MutexLock => &[MrapiStatus::Timeout, MrapiStatus::ErrMutexInvalid],
+            FaultSite::MutexUnlock => &[MrapiStatus::ErrMutexKey, MrapiStatus::ErrMutexInvalid],
+            FaultSite::ShmemCreate => &[MrapiStatus::ErrShmExists, MrapiStatus::ErrMemLimit],
+            FaultSite::ShmemGet => &[MrapiStatus::ErrShmInvalid],
+        }
+    }
+}
+
+/// What a probe ordered for one boundary crossing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Fail the operation with this status instead of performing it.
+    pub fail: Option<MrapiStatus>,
+    /// Sleep this long first (straggler / latency-spike model); applies
+    /// whether or not the operation also fails.
+    pub delay: Option<Duration>,
+}
+
+impl FaultDecision {
+    /// A decision that lets the operation through untouched.
+    pub const PASS: FaultDecision = FaultDecision {
+        fail: None,
+        delay: None,
+    };
+}
+
+/// A fault oracle the MRAPI boundaries consult.
+///
+/// Implementations must be cheap and lock-free where possible: `decide` is
+/// called on lock/unlock hot paths whenever a probe is installed.
+pub trait FaultProbe: Send + Sync {
+    /// Rule on the next crossing of `site`.
+    fn decide(&self, site: FaultSite) -> FaultDecision;
+}
+
+/// Per-site injection rates (probabilities in parts-per-million).
+#[derive(Debug, Clone, Copy, Default)]
+struct SiteSpec {
+    fail_ppm: u32,
+    delay_ppm: u32,
+    delay: Duration,
+}
+
+/// Per-site distinct salt so sites draw from independent SplitMix64
+/// streams.
+const SITE_SALT: [u64; NUM_SITES] = [
+    0x9A3C_F0E1_11D4_A3B7,
+    0x5E21_88C9_73AD_06F1,
+    0xD7B4_4A60_2F9E_5C83,
+    0x31F8_BD15_E604_972D,
+    0x8C5D_0E7A_B9F2_4461,
+    0x46A9_63D8_50C7_EF19,
+    0xEF12_7B36_984D_A0C5,
+];
+
+/// The seeded deterministic fault plan.
+///
+/// A plan is a set of per-site failure/latency rates plus (optionally) one
+/// *persistent* fault: after its site has been probed `after` times, every
+/// further probe of that site fails with a fixed status — modeling a
+/// resource that dies mid-run and stays dead, the schedule shape that
+/// drives MCA→native fallback.
+pub struct FaultPlan {
+    seed: u64,
+    sites: [SiteSpec; NUM_SITES],
+    persistent: Option<(FaultSite, MrapiStatus, u64)>,
+    counters: [AtomicU64; NUM_SITES],
+    injected: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A quiet plan (no faults) carrying `seed`; configure with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sites: [SiteSpec::default(); NUM_SITES],
+            persistent: None,
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        }
+    }
+
+    /// Derive a complete chaos schedule from a single seed: moderate
+    /// random failure and latency rates at every site, and (for one seed
+    /// in four) a persistent fault of one resource class.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new(seed);
+        for (i, spec) in plan.sites.iter_mut().enumerate() {
+            let _ = i;
+            // Up to 6% failures and 3% stragglers (of up to 2 ms) per site.
+            spec.fail_ppm = rng.gen_range(0, 60_001) as u32;
+            spec.delay_ppm = rng.gen_range(0, 30_001) as u32;
+            spec.delay = Duration::from_micros(rng.gen_range(50, 2_000));
+        }
+        if rng.gen_range(0, 4) == 0 {
+            // Persistent faults use only statuses the consumers classify as
+            // non-transient, so recovery is fallback, not an endless retry.
+            let choices: [(FaultSite, MrapiStatus); 4] = [
+                (FaultSite::MutexLock, MrapiStatus::ErrMutexInvalid),
+                (FaultSite::MutexUnlock, MrapiStatus::ErrMutexInvalid),
+                (FaultSite::ShmemCreate, MrapiStatus::ErrMemLimit),
+                (FaultSite::NodeCreate, MrapiStatus::ErrNodeInitFailed),
+            ];
+            let (site, status) = choices[rng.gen_index(0, choices.len())];
+            let after = rng.gen_range(10, 200);
+            plan.persistent = Some((site, status, after));
+        }
+        plan
+    }
+
+    /// Builder: fail `site` with probability `ppm`/1e6 (status drawn from
+    /// [`FaultSite::legal_statuses`]).
+    pub fn with_fail_rate(mut self, site: FaultSite, ppm: u32) -> Self {
+        self.sites[site.index()].fail_ppm = ppm.min(1_000_000);
+        self
+    }
+
+    /// Builder: delay `site` by `delay` with probability `ppm`/1e6.
+    pub fn with_delay(mut self, site: FaultSite, ppm: u32, delay: Duration) -> Self {
+        self.sites[site.index()].delay_ppm = ppm.min(1_000_000);
+        self.sites[site.index()].delay = delay;
+        self
+    }
+
+    /// Builder: after `after` probes of `site`, fail every further probe
+    /// with `status` (a resource that dies and stays dead).
+    pub fn with_persistent(mut self, site: FaultSite, status: MrapiStatus, after: u64) -> Self {
+        self.persistent = Some((site, status, after));
+        self
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total latency spikes injected so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
+    }
+
+    /// The persistent fault, if the plan has one.
+    pub fn persistent_fault(&self) -> Option<(FaultSite, MrapiStatus, u64)> {
+        self.persistent
+    }
+
+    /// Human-readable schedule description (for logs and EXPERIMENTS.md).
+    pub fn describe(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for site in FaultSite::ALL {
+            let s = &self.sites[site.index()];
+            if s.fail_ppm > 0 || s.delay_ppm > 0 {
+                parts.push(format!(
+                    "{} fail={:.2}% delay={:.2}%x{}us",
+                    site.label(),
+                    s.fail_ppm as f64 / 10_000.0,
+                    s.delay_ppm as f64 / 10_000.0,
+                    s.delay.as_micros()
+                ));
+            }
+        }
+        if let Some((site, status, after)) = self.persistent {
+            parts.push(format!(
+                "persistent {}->{} after {}",
+                site.label(),
+                status.spec_name(),
+                after
+            ));
+        }
+        format!("seed={:#x}: {}", self.seed, parts.join(", "))
+    }
+
+    /// The decision for the `n`-th probe of `site` — pure in
+    /// `(seed, site, n)`, which is what makes schedules reproducible.
+    fn decision_for(&self, site: FaultSite, n: u64) -> FaultDecision {
+        if let Some((psite, status, after)) = self.persistent {
+            if psite == site && n >= after {
+                return FaultDecision {
+                    fail: Some(status),
+                    delay: None,
+                };
+            }
+        }
+        let spec = self.sites[site.index()];
+        if spec.fail_ppm == 0 && spec.delay_ppm == 0 {
+            return FaultDecision::PASS;
+        }
+        let stream = self.seed ^ SITE_SALT[site.index()] ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = SmallRng::seed_from_u64(stream);
+        let mut d = FaultDecision::PASS;
+        if rng.gen_range(0, 1_000_000) < spec.fail_ppm as u64 {
+            let legal = site.legal_statuses();
+            d.fail = Some(legal[rng.gen_index(0, legal.len())]);
+        }
+        if rng.gen_range(0, 1_000_000) < spec.delay_ppm as u64 {
+            d.delay = Some(spec.delay);
+        }
+        d
+    }
+}
+
+impl FaultProbe for FaultPlan {
+    fn decide(&self, site: FaultSite) -> FaultDecision {
+        let n = self.counters[site.index()].fetch_add(1, Ordering::Relaxed);
+        let d = self.decision_for(site, n);
+        if d.fail.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        if d.delay.is_some() {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        d
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &format_args!("{:#x}", self.seed))
+            .field("persistent", &self.persistent)
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let plan = FaultPlan::new(42);
+        for site in FaultSite::ALL {
+            for _ in 0..1000 {
+                assert_eq!(plan.decide(site), FaultDecision::PASS);
+            }
+        }
+        assert_eq!(plan.injected(), 0);
+        assert_eq!(plan.delayed(), 0);
+    }
+
+    #[test]
+    fn schedules_are_reproducible_per_seed() {
+        // Two plans from one seed hand out identical decision sequences
+        // per site, even when the sites are probed in different orders.
+        let a = FaultPlan::from_seed(0xDEAD_BEEF);
+        let b = FaultPlan::from_seed(0xDEAD_BEEF);
+        let mut a_hist = Vec::new();
+        for site in FaultSite::ALL {
+            for _ in 0..200 {
+                a_hist.push((site, a.decide(site)));
+            }
+        }
+        // Probe b site-interleaved instead of site-major.
+        let mut b_hist = vec![FaultDecision::PASS; a_hist.len()];
+        for k in 0..200 {
+            for (s_idx, site) in FaultSite::ALL.iter().enumerate() {
+                b_hist[s_idx * 200 + k] = b.decide(*site);
+            }
+        }
+        for (i, (_, d)) in a_hist.iter().enumerate() {
+            assert_eq!(*d, b_hist[i], "probe {i} diverged");
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_schedules() {
+        let a = FaultPlan::from_seed(1);
+        let b = FaultPlan::from_seed(2);
+        let diverged =
+            (0..500).any(|_| a.decide(FaultSite::MutexLock) != b.decide(FaultSite::MutexLock));
+        assert!(diverged, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn injected_statuses_are_spec_legal() {
+        let plan = FaultPlan::from_seed(7);
+        for site in FaultSite::ALL {
+            for _ in 0..2000 {
+                if let Some(status) = plan.decide(site).fail {
+                    assert!(
+                        site.legal_statuses().contains(&status),
+                        "{status:?} illegal at {site:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_fault_fires_forever_after_threshold() {
+        let plan = FaultPlan::new(0).with_persistent(
+            FaultSite::MutexLock,
+            MrapiStatus::ErrMutexInvalid,
+            5,
+        );
+        for i in 0..5 {
+            assert_eq!(
+                plan.decide(FaultSite::MutexLock).fail,
+                None,
+                "probe {i} before threshold"
+            );
+        }
+        for _ in 0..100 {
+            assert_eq!(
+                plan.decide(FaultSite::MutexLock).fail,
+                Some(MrapiStatus::ErrMutexInvalid)
+            );
+        }
+        // Other sites are unaffected.
+        assert_eq!(plan.decide(FaultSite::ShmemGet), FaultDecision::PASS);
+    }
+
+    #[test]
+    fn builder_rates_fire_at_roughly_the_requested_rate() {
+        let plan = FaultPlan::new(3).with_fail_rate(FaultSite::ShmemCreate, 500_000);
+        let fired = (0..2000)
+            .filter(|_| plan.decide(FaultSite::ShmemCreate).fail.is_some())
+            .count();
+        assert!(
+            (600..1400).contains(&fired),
+            "50% rate fired {fired}/2000 times"
+        );
+        assert_eq!(plan.injected(), fired as u64);
+    }
+
+    #[test]
+    fn describe_names_the_persistent_fault() {
+        let plan = FaultPlan::new(0x10).with_persistent(
+            FaultSite::ShmemCreate,
+            MrapiStatus::ErrMemLimit,
+            9,
+        );
+        let d = plan.describe();
+        assert!(d.contains("shmem_create"), "{d}");
+        assert!(d.contains("MRAPI_ERR_MEM_LIMIT"), "{d}");
+        assert!(d.contains("0x10"), "{d}");
+    }
+}

@@ -48,6 +48,7 @@
 //! assert_eq!(shm.read_u64(0), 7);
 //! ```
 
+pub mod fault;
 pub mod metadata;
 pub mod node;
 pub mod rmem;
@@ -58,6 +59,7 @@ pub mod sync;
 mod db;
 
 pub use db::MrapiSystem;
+pub use fault::{FaultDecision, FaultPlan, FaultProbe, FaultSite};
 pub use node::{DomainId, Node, NodeAttributes, NodeId, WorkerNode};
 pub use rmem::{RmemAccess, RmemAttributes, RmemHandle};
 pub use shmem::{ShmemAttributes, ShmemHandle, ShmemKey};

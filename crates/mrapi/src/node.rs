@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::thread;
 
 use crate::db::{DomainDb, MrapiSystem};
+use crate::fault::FaultSite;
 use crate::status::{ensure, MrapiResult, MrapiStatus};
 
 /// MRAPI domain identifier (`mrapi_domain_t`).
@@ -182,6 +183,7 @@ impl Node {
         F: FnOnce(Node) -> T + Send + 'static,
     {
         self.check_alive()?;
+        self.sys.fault_check(FaultSite::NodeCreate)?;
         if let Some(cpu) = attrs.affinity_hw_thread {
             ensure(
                 cpu < self.sys.topology().num_hw_threads(),

@@ -21,6 +21,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::fault::FaultSite;
 use crate::node::Node;
 use crate::status::{ensure, MrapiResult, MrapiStatus};
 
@@ -98,6 +99,7 @@ impl Node {
     ) -> MrapiResult<ShmemHandle> {
         self.check_alive()?;
         ensure(size > 0, MrapiStatus::ErrParameter)?;
+        self.system().fault_check(FaultSite::ShmemCreate)?;
         if attrs.on_chip {
             let sram = self
                 .system()
@@ -127,6 +129,7 @@ impl Node {
     /// deleted keys.
     pub fn shmem_get(&self, key: u32) -> MrapiResult<ShmemHandle> {
         self.check_alive()?;
+        self.system().fault_check(FaultSite::ShmemGet)?;
         let seg = self
             .domain_db()
             .shmems

@@ -7,7 +7,8 @@ use std::time::Duration;
 
 use mca_sync::{Condvar, Mutex as PlMutex};
 
-use crate::node::Node;
+use crate::fault::FaultSite;
+use crate::node::{Node, NodeId};
 use crate::status::{ensure, MrapiResult, MrapiStatus};
 use crate::sync::finite_timeout;
 
@@ -27,6 +28,9 @@ pub struct MutexKey(pub(crate) u64);
 
 struct State {
     owner: Option<ThreadId>,
+    /// The MRAPI node the owning thread locked through — the "which node
+    /// holds this lock" half of a deadlock report.
+    owner_node: Option<NodeId>,
     depth: u64,
 }
 
@@ -52,11 +56,13 @@ impl Node {
     /// clash.
     pub fn mutex_create(&self, key: u32, attrs: &MutexAttributes) -> MrapiResult<Mutex> {
         self.check_alive()?;
+        self.system().fault_check(FaultSite::MutexCreate)?;
         let inner = Arc::new(MutexInner {
             key,
             recursive: attrs.recursive,
             state: PlMutex::new(State {
                 owner: None,
+                owner_node: None,
                 depth: 0,
             }),
             cv: Condvar::new(),
@@ -117,6 +123,7 @@ impl Mutex {
     /// key is returned), `MRAPI_ERR_MUTEX_LOCKED` otherwise.
     pub fn lock(&self, timeout: Duration) -> MrapiResult<MutexKey> {
         self.check_live()?;
+        self.node.system().fault_check(FaultSite::MutexLock)?;
         let me = std::thread::current().id();
         let mut st = self.inner.state.lock();
         if st.owner == Some(me) {
@@ -147,6 +154,7 @@ impl Mutex {
             }
         }
         st.owner = Some(me);
+        st.owner_node = Some(self.node.node_id());
         st.depth = 1;
         self.inner.acquisitions.fetch_add(1, Ordering::Relaxed);
         Ok(MutexKey(1))
@@ -156,6 +164,7 @@ impl Mutex {
     /// `MRAPI_ERR_MUTEX_LOCKED`.
     pub fn try_lock(&self) -> MrapiResult<MutexKey> {
         self.check_live()?;
+        self.node.system().fault_check(FaultSite::MutexLock)?;
         let me = std::thread::current().id();
         let mut st = self.inner.state.lock();
         if st.owner == Some(me) && self.inner.recursive {
@@ -165,6 +174,7 @@ impl Mutex {
         }
         ensure(st.owner.is_none(), MrapiStatus::ErrMutexAlreadyLocked)?;
         st.owner = Some(me);
+        st.owner_node = Some(self.node.node_id());
         st.depth = 1;
         self.inner.acquisitions.fetch_add(1, Ordering::Relaxed);
         Ok(MutexKey(1))
@@ -175,6 +185,9 @@ impl Mutex {
     /// the lock (`MRAPI_ERR_MUTEX_NOTLOCKED`).
     pub fn unlock(&self, key: &MutexKey) -> MrapiResult<()> {
         self.check_live()?;
+        // An injected unlock failure leaves the mutex held — the wedged-lock
+        // scenario recovery code must handle (waiters time out and degrade).
+        self.node.system().fault_check(FaultSite::MutexUnlock)?;
         let me = std::thread::current().id();
         let mut st = self.inner.state.lock();
         ensure(st.owner == Some(me), MrapiStatus::ErrMutexNotLocked)?;
@@ -182,10 +195,17 @@ impl Mutex {
         st.depth -= 1;
         if st.depth == 0 {
             st.owner = None;
+            st.owner_node = None;
             drop(st);
             self.inner.cv.notify_one();
         }
         Ok(())
+    }
+
+    /// Which MRAPI node currently holds the mutex (`None` when free) — the
+    /// diagnostic a deadlock report wants.
+    pub fn holder_node(&self) -> Option<NodeId> {
+        self.inner.state.lock().owner_node
     }
 
     /// Run `f` under the mutex (convenience; not part of the C API).
@@ -374,6 +394,82 @@ mod tests {
         assert_eq!(n.mutex_get(1).unwrap_err().0, MrapiStatus::ErrMutexInvalid);
         // Key is reusable after delete.
         n.mutex_create(1, &MutexAttributes::default()).unwrap();
+    }
+
+    #[test]
+    fn holder_node_reports_the_locking_node() {
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let m = master.mutex_create(1, &MutexAttributes::default()).unwrap();
+        assert_eq!(m.holder_node(), None);
+        let w = master
+            .thread_create(NodeId(9), |me| {
+                let m = me.mutex_get(1).unwrap();
+                let k = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+                let seen = m.holder_node();
+                m.unlock(&k).unwrap();
+                seen
+            })
+            .unwrap();
+        assert_eq!(w.join().unwrap(), Some(NodeId(9)));
+        assert_eq!(m.holder_node(), None);
+    }
+
+    #[test]
+    fn injected_lock_timeouts_are_transient() {
+        use crate::fault::FaultPlan;
+        use std::sync::Arc;
+        // 60% injected Timeout on the lock site: a bounded retry loop must
+        // still get through, and the schedule is deterministic per seed.
+        let sys = MrapiSystem::new_t4240();
+        let plan = Arc::new(FaultPlan::new(11).with_fail_rate(FaultSite::MutexLock, 600_000));
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let m = master.mutex_create(1, &MutexAttributes::default()).unwrap();
+        sys.set_fault_probe(Some(Arc::clone(&plan) as Arc<dyn crate::fault::FaultProbe>));
+        let mut succeeded = 0;
+        for _ in 0..50 {
+            loop {
+                match m.lock(MRAPI_TIMEOUT_INFINITE) {
+                    Ok(k) => {
+                        m.unlock(&k).unwrap_or_else(|_| {
+                            // Injected unlock failures are off (rate 0), so
+                            // this cannot happen.
+                            unreachable!()
+                        });
+                        succeeded += 1;
+                        break;
+                    }
+                    Err(e) => assert!(FaultSite::MutexLock.legal_statuses().contains(&e.0), "{e}"),
+                }
+            }
+        }
+        assert_eq!(succeeded, 50);
+        assert!(plan.injected() > 0, "rate 60% must have fired");
+        sys.set_fault_probe(None);
+    }
+
+    #[test]
+    fn injected_unlock_failure_leaves_mutex_wedged() {
+        use crate::fault::FaultPlan;
+        use std::sync::Arc;
+        let sys = MrapiSystem::new_t4240();
+        let master = sys.initialize(DomainId(1), NodeId(0)).unwrap();
+        let m = master.mutex_create(1, &MutexAttributes::default()).unwrap();
+        let k = m.lock(MRAPI_TIMEOUT_INFINITE).unwrap();
+        sys.set_fault_probe(Some(Arc::new(FaultPlan::new(0).with_persistent(
+            FaultSite::MutexUnlock,
+            MrapiStatus::ErrMutexInvalid,
+            0,
+        ))));
+        assert_eq!(m.unlock(&k).unwrap_err().0, MrapiStatus::ErrMutexInvalid);
+        assert_eq!(
+            m.holder_node(),
+            Some(NodeId(0)),
+            "still held after failed unlock"
+        );
+        sys.set_fault_probe(None);
+        m.unlock(&k).unwrap();
+        assert_eq!(m.holder_node(), None);
     }
 
     #[test]

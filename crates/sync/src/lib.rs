@@ -27,6 +27,7 @@ pub mod queue;
 pub mod rng;
 
 pub use mutex::{Condvar, Mutex, MutexGuard, RwLock, WaitTimeoutResult};
+pub use rng::SmallRng;
 
 use std::ops::{Deref, DerefMut};
 

@@ -1,0 +1,212 @@
+//! Chaos mode: the construct matrix under seeded MRAPI fault schedules.
+//!
+//! The fault-tolerance contract (DESIGN.md §5) is behavioural, not
+//! structural: under *any* spec-legal MRAPI failure pattern the runtime
+//! must either complete a construct with correct results (possibly after
+//! degrading to the native backend) or surface a typed [`romp::RompError`]
+//! — it must never panic, abort, or complete with wrong answers.  This
+//! module reruns the §6A validation checks under deterministic
+//! [`mca_mrapi::FaultPlan`] schedules and classifies every run.
+//!
+//! Cross-checks (the deliberately broken construct variants of
+//! [`crate::checks`]) are *not* run here: they prove detectability by
+//! racing, and an injected latency spike can serialize the race and make
+//! the broken variant pass by accident — a false "vacuous check" signal
+//! that has nothing to do with fault tolerance.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use romp::{BackendKind, Config, RetryPolicy, Runtime};
+
+use crate::checks;
+
+/// How one check ended under one fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// The check completed and its correctness predicate held.
+    Correct,
+    /// The check completed with wrong results — a safety violation.
+    CheckFailed(String),
+    /// The check (or the runtime under it) panicked — a safety violation.
+    Panicked(String),
+    /// The run did not complete, but failed with a typed error — the
+    /// contract's permitted non-completion.
+    TypedError(String),
+}
+
+/// One (seed, team size, check) execution.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    pub seed: u64,
+    pub threads: usize,
+    pub check: &'static str,
+    pub outcome: ChaosOutcome,
+}
+
+impl ChaosRun {
+    /// Whether this run violated the fault-tolerance contract.
+    pub fn violation(&self) -> bool {
+        matches!(
+            self.outcome,
+            ChaosOutcome::CheckFailed(_) | ChaosOutcome::Panicked(_)
+        )
+    }
+}
+
+/// Results of a chaos campaign on one backend.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    pub backend: &'static str,
+    pub runs: Vec<ChaosRun>,
+    /// Seeds whose runtime degraded away from the configured backend
+    /// (MCA→native fallback observed).
+    pub degraded_seeds: Vec<u64>,
+    /// Over-long lock waits observed across all seeds.
+    pub deadlock_reports: usize,
+}
+
+impl ChaosReport {
+    /// Whether no run panicked or produced wrong results.
+    pub fn all_safe(&self) -> bool {
+        self.runs.iter().all(|r| !r.violation())
+    }
+
+    /// The violating runs.
+    pub fn violations(&self) -> Vec<&ChaosRun> {
+        self.runs.iter().filter(|r| r.violation()).collect()
+    }
+
+    /// Human-readable summary (violations listed; counts otherwise).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        for r in self.violations() {
+            s.push_str(&format!(
+                "seed {:#x} / {} @ {} threads: {:?}\n",
+                r.seed, r.check, r.threads, r.outcome
+            ));
+        }
+        let typed = self
+            .runs
+            .iter()
+            .filter(|r| matches!(r.outcome, ChaosOutcome::TypedError(_)))
+            .count();
+        s.push_str(&format!(
+            "{}: {} runs, {} violations, {} typed errors, {} degraded seeds, {} lock-wait reports",
+            self.backend,
+            self.runs.len(),
+            self.violations().len(),
+            typed,
+            self.degraded_seeds.len(),
+            self.deadlock_reports
+        ));
+        s
+    }
+}
+
+/// The chaos configuration for `seed`: short lock timeout so wedged-lock
+/// schedules degrade in milliseconds, a tight retry ladder, and the
+/// seeded fault plan itself.
+pub fn chaos_config(kind: BackendKind, seed: u64) -> Config {
+    Config::default()
+        .with_backend(kind)
+        .with_fault_seed(seed)
+        .with_lock_timeout(Duration::from_millis(10))
+        .with_retry(RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_micros(20),
+            max_delay: Duration::from_micros(500),
+        })
+}
+
+/// Run the construct matrix under each seeded fault schedule on `kind`.
+///
+/// Every check runs under `catch_unwind`: a panic is recorded as a
+/// violation, never propagated, so one bad schedule cannot mask the rest
+/// of the campaign.
+pub fn run_chaos(kind: BackendKind, seeds: &[u64], team_sizes: &[usize]) -> ChaosReport {
+    let mut runs = Vec::new();
+    let mut degraded_seeds = Vec::new();
+    let mut deadlock_reports = 0usize;
+    for &seed in seeds {
+        let rt = match Runtime::with_config(chaos_config(kind, seed)) {
+            Ok(rt) => rt,
+            Err(e) => {
+                // Typed construction failure: a permitted non-completion
+                // covering every check of this seed.
+                runs.push(ChaosRun {
+                    seed,
+                    threads: 0,
+                    check: "construct-runtime",
+                    outcome: ChaosOutcome::TypedError(e.to_string()),
+                });
+                continue;
+            }
+        };
+        for &n in team_sizes {
+            for (name, check, _crosscheck) in checks() {
+                let outcome = match catch_unwind(AssertUnwindSafe(|| check(&rt, n))) {
+                    Ok(Ok(())) => ChaosOutcome::Correct,
+                    Ok(Err(msg)) => ChaosOutcome::CheckFailed(msg),
+                    Err(payload) => ChaosOutcome::Panicked(panic_message(&payload)),
+                };
+                runs.push(ChaosRun {
+                    seed,
+                    threads: n,
+                    check: name,
+                    outcome,
+                });
+            }
+        }
+        if rt.degraded() {
+            degraded_seeds.push(seed);
+        }
+        deadlock_reports += rt.take_deadlock_reports().len();
+    }
+    ChaosReport {
+        backend: kind.label(),
+        runs,
+        degraded_seeds,
+        deadlock_reports,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_seed_matches_plain_suite() {
+        // A chaos run whose schedule happens to be quiet must behave like
+        // the plain suite: all correct, nothing degraded.
+        let report = run_chaos(BackendKind::Native, &[1], &[2]);
+        assert!(report.all_safe(), "{}", report.summary());
+        assert!(report
+            .runs
+            .iter()
+            .all(|r| r.outcome == ChaosOutcome::Correct));
+    }
+
+    #[test]
+    fn mca_chaos_single_seed_is_safe() {
+        let report = run_chaos(BackendKind::Mca, &[0xC0FFEE], &[1, 4]);
+        assert!(report.all_safe(), "{}", report.summary());
+    }
+
+    #[test]
+    fn summary_counts_runs() {
+        let report = run_chaos(BackendKind::Native, &[7], &[1]);
+        assert_eq!(report.runs.len(), checks().len());
+        assert!(report.summary().contains("0 violations"));
+    }
+}

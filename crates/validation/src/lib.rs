@@ -29,6 +29,9 @@ use std::sync::{Arc, Mutex};
 
 use romp::{ReduceOp, Runtime, Schedule};
 
+pub mod chaos;
+pub use chaos::{run_chaos, ChaosOutcome, ChaosReport, ChaosRun};
+
 /// One check's outcome at one team size.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckResult {

@@ -1,0 +1,183 @@
+//! Fault-tolerance integration tests: seeded chaos schedules over the
+//! construct matrix, timed-lock diagnostics, and the MCA→native
+//! graceful-degradation path (DESIGN.md §5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mca_mrapi::{FaultPlan, FaultProbe, FaultSite, MrapiStatus, MrapiSystem};
+use romp::{BackendKind, Config, McaBackend, McaOptions, RetryPolicy, Runtime};
+use romp_validation::chaos::{run_chaos, ChaosOutcome};
+
+/// The CI chaos matrix: eight fixed seeds, both backends, teams of 1 and
+/// 4.  The contract: zero panics, zero wrong results — typed errors and
+/// degradations are permitted and reported.
+#[test]
+fn chaos_matrix_is_safe_on_both_backends() {
+    let seeds: Vec<u64> = (0..8).map(|k| 0xC0FFEE + k).collect();
+    for kind in BackendKind::all() {
+        let report = run_chaos(kind, &seeds, &[1, 4]);
+        assert!(report.all_safe(), "{}", report.summary());
+        assert!(
+            report.runs.len() >= 8 * 2,
+            "{}: matrix actually ran",
+            report.backend
+        );
+        if kind == BackendKind::Native {
+            // The native backend has no MRAPI boundaries: every run must
+            // be plainly correct, nothing degraded.
+            assert!(report
+                .runs
+                .iter()
+                .all(|r| r.outcome == ChaosOutcome::Correct));
+            assert!(report.degraded_seeds.is_empty());
+        }
+    }
+}
+
+/// A persistent injected failure mid-run must flip the runtime over to
+/// the native backend — and every region, before and after the flip,
+/// must still produce correct results.
+#[test]
+fn mca_runtime_falls_back_to_native_after_persistent_failure() {
+    let sys = MrapiSystem::new_t4240();
+    // The third shared-memory allocation (and everything after) fails
+    // with a genuinely persistent status.
+    let plan = Arc::new(FaultPlan::new(42).with_persistent(
+        FaultSite::ShmemCreate,
+        MrapiStatus::ErrMemLimit,
+        2,
+    ));
+    sys.set_fault_probe(Some(plan as Arc<dyn FaultProbe>));
+    let be = McaBackend::with_options(
+        sys,
+        McaOptions {
+            lock_timeout: Duration::from_millis(10),
+            retry: RetryPolicy::default(),
+        },
+    )
+    .unwrap();
+    let rt = Runtime::with_config_and_backend(
+        Config::default().with_backend(BackendKind::Mca),
+        Box::new(be),
+    )
+    .unwrap();
+    assert_eq!(rt.backend_kind(), BackendKind::Mca);
+    assert!(!rt.degraded());
+
+    for round in 0..6 {
+        let sum = rt.parallel_reduce_sum(4, 0..10_000u64, |i| i);
+        assert_eq!(sum, 49_995_000, "round {round} correct across the swap");
+    }
+    assert!(
+        rt.degraded(),
+        "persistent failure must trigger the fallback"
+    );
+    assert_eq!(
+        rt.backend_kind(),
+        BackendKind::Native,
+        "runtime now reports the fallback backend"
+    );
+    // The degraded runtime keeps serving constructs.
+    let counter = AtomicU64::new(0);
+    rt.parallel(4, |w| {
+        w.critical("post-degrade", || {
+            let v = counter.load(Ordering::Relaxed);
+            counter.store(v + 1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 4);
+}
+
+/// Timed lock waits under genuine contention: the region completes on
+/// both backends, and the MCA backend documents the over-long wait with
+/// a holder/waiter report instead of degrading.
+#[test]
+fn contended_timed_locks_report_and_recover() {
+    for kind in BackendKind::all() {
+        let rt = Runtime::with_config(
+            Config::default()
+                .with_backend(kind)
+                .with_lock_timeout(Duration::from_millis(5)),
+        )
+        .unwrap();
+        let lock = rt.new_lock();
+        lock.set();
+        let entered = AtomicU64::new(0);
+        rt.parallel(2, |w| {
+            if w.thread_num() == 0 {
+                // Hold the lock well past the configured timeout, so the
+                // contender's wait is cut into multiple timed rounds.
+                std::thread::sleep(Duration::from_millis(25));
+                lock.unset();
+            } else {
+                lock.with(|| {
+                    entered.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            entered.load(Ordering::Relaxed),
+            1,
+            "{}: contender eventually acquired",
+            kind.label()
+        );
+        assert!(
+            !rt.degraded(),
+            "{}: contention never degrades",
+            kind.label()
+        );
+        let reports = rt.take_deadlock_reports();
+        match kind {
+            BackendKind::Mca => {
+                assert!(
+                    !reports.is_empty(),
+                    "mca: over-long wait must produce a report"
+                );
+                assert!(reports[0].waited >= Duration::from_millis(5));
+            }
+            BackendKind::Native => assert!(reports.is_empty()),
+        }
+    }
+}
+
+/// Transient injected faults at every MRAPI boundary: bounded retries
+/// absorb them, the runtime stays on the MCA backend, and results are
+/// exact.
+#[test]
+fn transient_faults_are_retried_without_degradation() {
+    let sys = MrapiSystem::new_t4240();
+    let plan = Arc::new(
+        FaultPlan::new(0xFEED)
+            .with_fail_rate(FaultSite::MutexCreate, 150_000)
+            .with_fail_rate(FaultSite::NodeCreate, 150_000)
+            .with_delay(FaultSite::MutexLock, 100_000, Duration::from_micros(200)),
+    );
+    sys.set_fault_probe(Some(plan as Arc<dyn FaultProbe>));
+    let be = McaBackend::with_options(
+        sys,
+        McaOptions {
+            lock_timeout: Duration::from_millis(50),
+            retry: RetryPolicy::default(),
+        },
+    )
+    .unwrap();
+    let rt = Runtime::with_config_and_backend(
+        Config::default().with_backend(BackendKind::Mca),
+        Box::new(be),
+    )
+    .unwrap();
+    let value = AtomicU64::new(0);
+    rt.parallel(4, |w| {
+        for _ in 0..50 {
+            w.critical("retry-path", || {
+                let v = value.load(Ordering::Relaxed);
+                value.store(v + 1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(value.load(Ordering::Relaxed), 200);
+    assert!(!rt.degraded(), "transient faults never degrade the runtime");
+    assert_eq!(rt.backend_kind(), BackendKind::Mca);
+}
