@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p ompmca-bench --release --bin table1 [-- --threads 4,8,12,16,20,24 \
-//!     --outer 20 --inner 256 | --quick] [--json PATH]
+//!     --outer 20 --inner 256 | --quick] [--json PATH] [--report]
 //! ```
 //!
 //! The paper normalises each construct's EPCC overhead on MCA-libGOMP by
@@ -12,7 +12,9 @@
 //! methodology and prints absolute overheads plus the ratio table.
 //! `--json PATH` additionally writes the grid as machine-readable JSON
 //! (the repo commits one run as `BENCH_table1.json`, the baseline later
-//! sessions diff against).
+//! sessions diff against).  `--report` prints each runtime's observability
+//! summary after the grid — arm it with `ROMP_TRACE=1` to also get event
+//! counts, not just runtime statistics.
 
 use ompmca_bench::{
     measure_table1_grid, parse_threads, render_table1, render_table1_json, runtime_pair,
@@ -24,6 +26,7 @@ fn main() {
     let mut outer = 10usize;
     let mut inner = 128usize;
     let mut json_path: Option<String> = None;
+    let mut report = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -39,6 +42,7 @@ fn main() {
                 inner = 16;
             }
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--report" => report = true,
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -89,5 +93,12 @@ fn main() {
         let json = render_table1_json(&cells, &threads, outer, inner);
         std::fs::write(&path, json).expect("write --json output");
         println!("\nwrote {path}");
+    }
+
+    if report {
+        println!("\n-- native runtime observability summary --");
+        print!("{}", native.run_summary().render());
+        println!("\n-- mca runtime observability summary --");
+        print!("{}", mca.run_summary().render());
     }
 }

@@ -41,20 +41,27 @@ pub fn figure4_threads() -> Vec<usize> {
 }
 
 /// A runtime pair: the baseline and the MCA-backed runtime, as in the
-/// paper's libGOMP vs MCA-libGOMP comparison.
+/// paper's libGOMP vs MCA-libGOMP comparison.  Tracing follows the
+/// environment (`ROMP_TRACE`/`ROMP_TRACE_OUT`); when a trace file is
+/// requested it is suffixed per backend so the pair doesn't clobber it.
 pub fn runtime_pair(profiling: bool) -> (Runtime, Runtime) {
-    let native = Runtime::with_config(
-        Config::default()
-            .with_backend(BackendKind::Native)
-            .with_profiling(profiling),
-    )
-    .expect("native runtime");
-    let mca = Runtime::with_config(
-        Config::default()
-            .with_backend(BackendKind::Mca)
-            .with_profiling(profiling),
-    )
-    .expect("mca runtime");
+    let env = Config::from_env();
+    let mk = |kind: BackendKind| {
+        let mut cfg = Config::default()
+            .with_backend(kind)
+            .with_profiling(profiling)
+            .with_tracing(env.trace);
+        cfg.trace_out = env.trace_out.as_ref().map(|p| {
+            let (stem, ext) = match p.rsplit_once('.') {
+                Some((s, e)) => (s, format!(".{e}")),
+                None => (p.as_str(), String::new()),
+            };
+            format!("{stem}-{}{ext}", kind.label())
+        });
+        Runtime::with_config(cfg)
+    };
+    let native = mk(BackendKind::Native).expect("native runtime");
+    let mca = mk(BackendKind::Mca).expect("mca runtime");
     (native, mca)
 }
 

@@ -31,14 +31,16 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mca_mrapi::shmem::ShmemAttributes;
 use mca_mrapi::sync::MutexAttributes;
 use mca_mrapi::{
-    DomainId, MrapiError, MrapiStatus, MrapiSystem, Node, NodeId, ShmemHandle, WorkerNode,
+    DomainId, FaultSite, MrapiError, MrapiStatus, MrapiSystem, Node, NodeId, ShmemHandle,
+    SiteObserver, WorkerNode,
 };
 use mca_sync::Mutex as PlMutex;
+use romp_trace::{Counter, EventKind, Histogram, Tracer};
 
 use super::{
     Backend, BackendKind, DeadlockReport, NativeBackend, RegionLock, SharedWords, WorkerJoin,
@@ -87,6 +89,11 @@ struct McaShared {
     reports: PlMutex<Vec<DeadlockReport>>,
     /// Whether the one-shot over-long-wait warning has been printed.
     warned: AtomicBool,
+    /// Fast gate for `trace`: the hot paths pay one relaxed load when
+    /// tracing is disarmed (mirroring the MRAPI fault-probe gate).
+    trace_armed: AtomicBool,
+    /// Armed-mode instruments, installed by `attach_tracer`.
+    trace: PlMutex<Option<Arc<McaTrace>>>,
 }
 
 impl McaShared {
@@ -97,6 +104,69 @@ impl McaShared {
         }
         drop(reason);
         self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// The armed trace instruments, or `None` (one relaxed load) when
+    /// tracing is disarmed.
+    #[inline]
+    fn trace(&self) -> Option<Arc<McaTrace>> {
+        if !self.trace_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.trace.lock().clone()
+    }
+}
+
+/// The MCA backend's armed-mode instruments: the tracer plus pre-resolved
+/// metric handles, so hot paths never take the registry's name lookup.
+struct McaTrace {
+    tracer: Arc<Tracer>,
+    /// Lock wait-time distribution, nanoseconds.
+    lock_wait: Arc<Histogram>,
+    /// Lock-wait timeouts reported (one per `lock_timeout` expiry).
+    lock_timeouts: Arc<Counter>,
+    /// Transient-status retries across every MRAPI call site.
+    retries: Arc<Counter>,
+    /// Bytes allocated through MRAPI shared memory.
+    shmem_bytes: Arc<Counter>,
+    /// Deadlock reports cut (capped copies of `McaShared::reports`).
+    deadlocks: Arc<Counter>,
+}
+
+impl McaTrace {
+    fn new(tracer: &Arc<Tracer>) -> Self {
+        let m = tracer.metrics();
+        McaTrace {
+            tracer: Arc::clone(tracer),
+            lock_wait: m.histogram_ns("mca.lock_wait_ns"),
+            lock_timeouts: m.counter("mca.lock_timeouts"),
+            retries: m.counter("mrapi.retries"),
+            shmem_bytes: m.counter("mca.shmem_bytes"),
+            deadlocks: m.counter("mca.deadlock_reports"),
+        }
+    }
+}
+
+/// Forwards MRAPI boundary crossings into the trace: every crossing is an
+/// [`EventKind::Mrapi`] instant, and an injected failure additionally cuts
+/// an [`EventKind::Fault`] instant.
+struct McaObserver {
+    trace: Arc<McaTrace>,
+}
+
+impl SiteObserver for McaObserver {
+    fn observe(&self, site: FaultSite, injected: Option<MrapiStatus>) {
+        let t = &self.trace.tracer;
+        let code = injected.map(|s| s as u64).unwrap_or(u64::MAX);
+        t.instant(EventKind::Mrapi, u32::MAX, site.index() as u64, code);
+        if let Some(status) = injected {
+            t.instant(
+                EventKind::Fault,
+                u32::MAX,
+                site.index() as u64,
+                status as u64,
+            );
+        }
     }
 }
 
@@ -116,10 +186,13 @@ fn retryable(s: MrapiStatus) -> bool {
 /// Run `attempt` under the backend's retry policy.  Transient statuses
 /// back off exponentially; persistent statuses return immediately as
 /// [`RompError::Mrapi`]; running out of attempts returns
-/// [`RompError::Exhausted`].
+/// [`RompError::Exhausted`].  When `shared` is given and tracing is armed,
+/// every backed-off retry bumps the `mrapi.retries` counter (`None` only
+/// during master initialization, before the shared state exists).
 fn with_retries<T>(
     policy: &RetryPolicy,
     op: &'static str,
+    shared: Option<&McaShared>,
     mut attempt: impl FnMut() -> Result<T, MrapiError>,
 ) -> Result<T, RompError> {
     let attempts = policy.max_attempts.max(1);
@@ -130,6 +203,9 @@ fn with_retries<T>(
             Err(e) if retryable(e.0) => {
                 last = e;
                 if n < attempts {
+                    if let Some(tr) = shared.and_then(|s| s.trace()) {
+                        tr.retries.incr();
+                    }
                     std::thread::sleep(policy.backoff_delay(n));
                 }
             }
@@ -141,7 +217,6 @@ fn with_retries<T>(
 
 /// The MCA-libGOMP backend.
 pub struct McaBackend {
-    #[allow(dead_code)]
     system: MrapiSystem,
     master: Node,
     next_node: AtomicU32,
@@ -169,7 +244,7 @@ impl McaBackend {
         // ErrNodeInitFailed here, and a bounded retry is the difference
         // between a chaos run that starts degraded-to-native and one that
         // never starts at all.
-        let master = with_retries(&opts.retry, "mrapi_initialize", || {
+        let master = with_retries(&opts.retry, "mrapi_initialize", None, || {
             system.initialize(OMP_DOMAIN, MASTER_NODE)
         })?;
         Ok(McaBackend {
@@ -184,6 +259,8 @@ impl McaBackend {
                 reason: PlMutex::new(None),
                 reports: PlMutex::new(Vec::new()),
                 warned: AtomicBool::new(false),
+                trace_armed: AtomicBool::new(false),
+                trace: PlMutex::new(None),
             }),
         })
     }
@@ -261,6 +338,12 @@ impl McaLock {
     fn degrade(&self, err: &RompError) {
         self.shared.poison(err);
         self.mode.store(MODE_NATIVE, Ordering::SeqCst);
+        if let Some(tr) = self.shared.trace() {
+            // `a` = the abandoned mutex's key; distinguishes a single-lock
+            // degradation from the runtime-level backend swap (a = 0).
+            tr.tracer
+                .instant(EventKind::Fallback, u32::MAX, self.mutex.key() as u64, 0);
+        }
     }
 
     /// Acquire through the embedded native mutex, draining any MRAPI
@@ -290,6 +373,9 @@ impl McaLock {
             reports.push(report.clone());
         }
         drop(reports);
+        if let Some(tr) = self.shared.trace() {
+            tr.deadlocks.incr();
+        }
         if !self.shared.warned.swap(true, Ordering::Relaxed) {
             eprintln!("romp[WARN] backend=mca {report}");
         }
@@ -298,11 +384,31 @@ impl McaLock {
 
 impl RegionLock for McaLock {
     fn lock(&self) {
+        let tr = self.shared.trace();
+        let t0 = tr.as_ref().map(|_| Instant::now());
+        let key = self.mutex.key() as u64;
+        // True once this acquisition has opened a LockContend span (first
+        // timed-out wait); the span closes when the lock is finally taken.
+        let mut contended = false;
+        // Close out the acquisition in the trace: end any contention span,
+        // cut the LockAcquire instant, feed the wait-time histogram.
+        let finish = |contended: bool| {
+            if let (Some(tr), Some(t0)) = (tr.as_ref(), t0) {
+                let wait_ns = t0.elapsed().as_nanos() as u64;
+                if contended {
+                    tr.tracer.end(EventKind::LockContend, u32::MAX, key);
+                }
+                tr.tracer
+                    .instant(EventKind::LockAcquire, u32::MAX, key, wait_ns);
+                tr.lock_wait.record(wait_ns);
+            }
+        };
         let mut waited = Duration::ZERO;
         let mut failures = 0u32;
         loop {
             if self.degraded() {
-                return self.lock_native();
+                self.lock_native();
+                return finish(contended);
             }
             match self.mutex.lock(self.shared.lock_timeout) {
                 Ok(k) => {
@@ -312,10 +418,11 @@ impl RegionLock for McaLock {
                         // down and take the native path.
                         let _ = self.mutex.unlock(&k);
                         self.mrapi_holder.fetch_sub(1, Ordering::SeqCst);
-                        return self.lock_native();
+                        self.lock_native();
+                        return finish(contended);
                     }
                     *self.held.lock() = HeldBy::Mrapi(k);
-                    return;
+                    return finish(contended);
                 }
                 // A timed-out wait is contention (or a wedged holder),
                 // never a reason to degrade: report and keep waiting.
@@ -324,6 +431,19 @@ impl RegionLock for McaLock {
                 Err(MrapiError(MrapiStatus::Timeout))
                 | Err(MrapiError(MrapiStatus::ErrMutexAlreadyLocked)) => {
                     waited += self.shared.lock_timeout;
+                    if let Some(tr) = tr.as_ref() {
+                        if !contended {
+                            tr.tracer.begin(EventKind::LockContend, u32::MAX, key);
+                            contended = true;
+                        }
+                        tr.tracer.instant(
+                            EventKind::LockTimeout,
+                            u32::MAX,
+                            key,
+                            waited.as_nanos() as u64,
+                        );
+                        tr.lock_timeouts.incr();
+                    }
                     self.note_timeout(waited);
                 }
                 Err(e) => {
@@ -336,7 +456,8 @@ impl RegionLock for McaLock {
                             attempts: failures,
                             last: e,
                         });
-                        return self.lock_native();
+                        self.lock_native();
+                        return finish(contended);
                     }
                 }
             }
@@ -451,22 +572,27 @@ impl Backend for McaBackend {
         // the body lives in a shared slot each attempt's wrapper drains.
         type BodySlot = Arc<PlMutex<Option<Box<dyn FnOnce() + Send>>>>;
         let slot: BodySlot = Arc::new(PlMutex::new(Some(body)));
-        let res = with_retries(&self.shared.retry, "mrapi_thread_create", || {
-            // Fresh node id per attempt: ErrNodeInitFailed means the id
-            // was taken (or an injected clash), and ids are never reused.
-            let id = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
-            let attrs = mca_mrapi::NodeAttributes {
-                affinity_hw_thread: None,
-                name: Some(label.clone()),
-            };
-            let slot = Arc::clone(&slot);
-            self.master
-                .thread_create_with_attrs(id, attrs, move |_node| {
-                    if let Some(b) = slot.lock().take() {
-                        b()
-                    }
-                })
-        });
+        let res = with_retries(
+            &self.shared.retry,
+            "mrapi_thread_create",
+            Some(&self.shared),
+            || {
+                // Fresh node id per attempt: ErrNodeInitFailed means the id
+                // was taken (or an injected clash), and ids are never reused.
+                let id = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
+                let attrs = mca_mrapi::NodeAttributes {
+                    affinity_hw_thread: None,
+                    name: Some(label.clone()),
+                };
+                let slot = Arc::clone(&slot);
+                self.master
+                    .thread_create_with_attrs(id, attrs, move |_node| {
+                        if let Some(b) = slot.lock().take() {
+                            b()
+                        }
+                    })
+            },
+        );
         match res {
             Ok(worker) => Ok(Box::new(McaJoin(worker))),
             Err(e) => {
@@ -477,11 +603,16 @@ impl Backend for McaBackend {
     }
 
     fn new_lock(&self) -> Result<Arc<dyn RegionLock>, RompError> {
-        let res = with_retries(&self.shared.retry, "mrapi_mutex_create", || {
-            // Fresh key per attempt (clash recovery).
-            self.master
-                .mutex_create(0x4000_0000 | self.fresh_key(), &MutexAttributes::default())
-        });
+        let res = with_retries(
+            &self.shared.retry,
+            "mrapi_mutex_create",
+            Some(&self.shared),
+            || {
+                // Fresh key per attempt (clash recovery).
+                self.master
+                    .mutex_create(0x4000_0000 | self.fresh_key(), &MutexAttributes::default())
+            },
+        );
         match res {
             Ok(mutex) => Ok(Arc::new(McaLock::new(mutex, Arc::clone(&self.shared)))),
             Err(e) => {
@@ -497,12 +628,23 @@ impl Backend for McaBackend {
             use_malloc: true,
             ..Default::default()
         };
-        let res = with_retries(&self.shared.retry, "mrapi_shmem_create", || {
-            self.master
-                .shmem_create(0x8000_0000 | self.fresh_key(), (words * 8).max(8), &attrs)
-        });
+        let bytes = (words * 8).max(8);
+        let res = with_retries(
+            &self.shared.retry,
+            "mrapi_shmem_create",
+            Some(&self.shared),
+            || {
+                self.master
+                    .shmem_create(0x8000_0000 | self.fresh_key(), bytes, &attrs)
+            },
+        );
         match res {
-            Ok(handle) => Ok(Arc::new(ShmemWords(handle))),
+            Ok(handle) => {
+                if let Some(tr) = self.shared.trace() {
+                    tr.shmem_bytes.add(bytes as u64);
+                }
+                Ok(Arc::new(ShmemWords(handle)))
+            }
             Err(e) => {
                 self.shared.poison(&e);
                 Err(e)
@@ -524,6 +666,21 @@ impl Backend for McaBackend {
 
     fn take_deadlock_reports(&self) -> Vec<DeadlockReport> {
         std::mem::take(&mut *self.shared.reports.lock())
+    }
+
+    fn attach_tracer(&self, tracer: &Arc<Tracer>) {
+        if !tracer.armed() {
+            // Keep the disarmed hot paths at a single relaxed load: no
+            // instruments, no MRAPI observer, gate stays cold.
+            return;
+        }
+        let trace = Arc::new(McaTrace::new(tracer));
+        *self.shared.trace.lock() = Some(Arc::clone(&trace));
+        self.shared.trace_armed.store(true, Ordering::Release);
+        // Every MRAPI boundary crossing now lands in the trace, riding the
+        // same gated slow path as fault injection.
+        self.system
+            .set_site_observer(Some(Arc::new(McaObserver { trace })));
     }
 
     fn shutdown(&self) {

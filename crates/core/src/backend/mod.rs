@@ -161,6 +161,12 @@ pub trait Backend: Send + Sync + 'static {
         Vec::new()
     }
 
+    /// Hand the backend the runtime's tracer so backend internals (MRAPI
+    /// calls, lock waits, degradations) can record events and metrics.
+    /// Called once from runtime assembly, before any worker spawns.  The
+    /// default keeps backends that have nothing extra to report untraced.
+    fn attach_tracer(&self, _tracer: &Arc<romp_trace::Tracer>) {}
+
     /// Called once when the runtime shuts down.
     fn shutdown(&self) {}
 }

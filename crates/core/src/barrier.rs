@@ -31,7 +31,10 @@ pub enum BarrierKind {
     #[default]
     Centralized,
     /// Combining tree with the given arity (≥ 2).
-    Tree { arity: usize },
+    Tree {
+        /// Children combined per tree node (clamped to ≥ 2).
+        arity: usize,
+    },
 }
 
 /// Shared release machinery: generation word + sleep support.  The

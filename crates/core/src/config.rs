@@ -12,6 +12,8 @@
 //! | `ROMP_LOCK_TIMEOUT_MS` | per-attempt MRAPI lock wait before a deadlock report |
 //! | `ROMP_RETRY_ATTEMPTS`  | bounded retries for transient MRAPI statuses |
 //! | `ROMP_FAULT_SEED`  | seed a deterministic MRAPI fault schedule |
+//! | `ROMP_TRACE`       | `1`/`true` arms the [`romp_trace`] recorder  |
+//! | `ROMP_TRACE_OUT`   | chrome://tracing JSON path written on runtime drop |
 
 use std::time::Duration;
 
@@ -76,6 +78,13 @@ pub struct Config {
     /// harness's knob.  `None` (the default) installs no probe; the native
     /// backend ignores it.
     pub fault_seed: Option<u64>,
+    /// Arm the [`romp_trace`] event recorder (`ROMP_TRACE`).  Disarmed
+    /// (the default), every trace site is a single relaxed load.
+    pub trace: bool,
+    /// Where [`crate::Runtime`] writes the chrome://tracing JSON when the
+    /// runtime is dropped with tracing armed (`ROMP_TRACE_OUT`).  `None`
+    /// keeps the trace in memory for [`crate::Runtime::take_trace`].
+    pub trace_out: Option<String>,
 }
 
 impl Default for Config {
@@ -90,6 +99,8 @@ impl Default for Config {
             lock_timeout: Duration::from_millis(100),
             retry: RetryPolicy::default(),
             fault_seed: None,
+            trace: false,
+            trace_out: None,
         }
     }
 }
@@ -136,6 +147,15 @@ impl Config {
             }
         }) {
             cfg.fault_seed = Some(seed);
+        }
+        if let Some(t) = get("ROMP_TRACE") {
+            cfg.trace = matches!(t.trim().to_ascii_lowercase().as_str(), "true" | "1" | "yes");
+        }
+        if let Some(path) = get("ROMP_TRACE_OUT") {
+            let path = path.trim().to_string();
+            if !path.is_empty() {
+                cfg.trace_out = Some(path);
+            }
         }
         if let Some(b) = get("ROMP_BARRIER") {
             let b = b.trim().to_ascii_lowercase();
@@ -192,6 +212,33 @@ impl Config {
     /// Builder: seed a deterministic MRAPI fault schedule.
     pub fn with_fault_seed(mut self, seed: u64) -> Self {
         self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Builder: arm (or disarm) the trace recorder.
+    ///
+    /// ```
+    /// use romp::{BackendKind, Config, Runtime};
+    /// use romp::trace::{EventKind, Phase};
+    ///
+    /// let rt = Runtime::with_config(
+    ///     Config::default().with_backend(BackendKind::Mca).with_tracing(true),
+    /// ).unwrap();
+    /// rt.parallel(2, |w| w.barrier());
+    /// let trace = rt.take_trace();
+    /// assert_eq!(trace.count(EventKind::Region, Phase::Begin), 2);
+    /// assert!(trace.balanced(EventKind::Barrier));
+    /// ```
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Builder: arm tracing and write the chrome trace to `path` when the
+    /// runtime is dropped.
+    pub fn with_trace_out(mut self, path: impl Into<String>) -> Self {
+        self.trace = true;
+        self.trace_out = Some(path.into());
         self
     }
 }
@@ -264,6 +311,21 @@ mod tests {
         let d = Config::from_vars(vars(&[("ROMP_FAULT_SEED", "12345")]));
         assert_eq!(d.fault_seed, Some(12345));
         assert_eq!(d.lock_timeout, Duration::from_millis(100), "default");
+    }
+
+    #[test]
+    fn trace_vars() {
+        let c = Config::from_vars(vars(&[
+            ("ROMP_TRACE", "1"),
+            ("ROMP_TRACE_OUT", "/tmp/romp-trace.json"),
+        ]));
+        assert!(c.trace);
+        assert_eq!(c.trace_out.as_deref(), Some("/tmp/romp-trace.json"));
+        let d = Config::from_vars(vars(&[("ROMP_TRACE", "off"), ("ROMP_TRACE_OUT", "  ")]));
+        assert!(!d.trace);
+        assert_eq!(d.trace_out, None, "blank path ignored");
+        let e = Config::default().with_trace_out("x.json");
+        assert!(e.trace, "with_trace_out arms tracing");
     }
 
     #[test]

@@ -58,6 +58,8 @@
 //!   `OMP_SCHEDULE`, `OMP_DYNAMIC`, plus `ROMP_BACKEND=native|mca` to pick
 //!   the backend (the reproduction's switch between the two toolchains).
 
+#![warn(missing_docs)]
+
 pub mod backend;
 pub mod barrier;
 pub mod config;
@@ -69,6 +71,10 @@ pub mod team;
 pub mod worker;
 
 mod runtime;
+
+/// The observability layer ([`romp_trace`]), re-exported so downstream
+/// crates can name trace types without a separate dependency edge.
+pub use romp_trace as trace;
 
 pub use backend::{
     Backend, BackendKind, DeadlockReport, McaBackend, McaOptions, RegionLock, SharedWords,

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mca_sync::Mutex as PlMutex;
+use romp_trace::{EventKind, RunSummary, Trace, Tracer};
 
 use crate::backend::{
     make_backend, Backend, BackendKind, DeadlockReport, NativeBackend, RegionLock, SharedWords,
@@ -89,6 +90,9 @@ pub(crate) struct RtInner {
     pub stats: RuntimeStats,
     profile: PlMutex<ProfileAccum>,
     profiling: AtomicBool,
+    /// The event recorder.  Armed by `cfg.trace`; disarmed, every trace
+    /// site in the runtime costs one relaxed load.
+    pub(crate) tracer: Arc<Tracer>,
 }
 
 impl RtInner {
@@ -108,6 +112,7 @@ impl RtInner {
             return false;
         };
         let fb: Arc<dyn Backend> = Arc::from(fb);
+        fb.attach_tracer(&self.tracer);
         let reason = cur
             .failure_reason()
             .map(|e| e.to_string())
@@ -121,6 +126,10 @@ impl RtInner {
         drop(cur);
         self.retired.lock().push(old);
         self.degraded.store(true, Ordering::Release);
+        self.tracer.instant(EventKind::Fallback, u32::MAX, 0, 0);
+        if self.tracer.armed() {
+            self.tracer.metrics().counter("backend.fallback").incr();
+        }
         true
     }
 
@@ -136,6 +145,16 @@ impl RtInner {
                     Err(e)
                 }
             }
+        }
+    }
+
+    /// Wait until no pool worker is mid-region, so a trace drain observes
+    /// every member's trailing events.  Must not be called from inside a
+    /// parallel region (the caller's own member would never go idle).
+    pub(crate) fn quiesce_pool(&self) {
+        let slots: Vec<_> = self.pool.lock().iter().map(Arc::clone).collect();
+        for slot in slots {
+            slot.wait_idle();
         }
     }
 
@@ -185,6 +204,7 @@ impl RtInner {
             stats: RuntimeStats::default(),
             profile: PlMutex::new(ProfileAccum::default()),
             profiling: AtomicBool::new(false),
+            tracer: Arc::new(Tracer::new(false)),
         })
     }
 
@@ -193,6 +213,7 @@ impl RtInner {
             size,
             Barrier::new(size, self.cfg.barrier),
             self.backend_alloc(TeamShared::reduce_words_len(size))?,
+            Arc::clone(&self.tracer),
         )))
     }
 
@@ -239,6 +260,16 @@ impl Drop for RtInner {
         self.backend.lock().shutdown();
         for be in self.retired.lock().drain(..) {
             be.shutdown();
+        }
+        // With `ROMP_TRACE_OUT` set, the runtime's last act is writing the
+        // chrome://tracing view of everything still buffered.
+        if let Some(path) = self.cfg.trace_out.as_deref() {
+            if self.tracer.armed() {
+                let json = self.tracer.drain().chrome_json();
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("romp[WARN] could not write trace to {path}: {e}");
+                }
+            }
         }
     }
 }
@@ -302,6 +333,8 @@ impl Runtime {
         let guard = backend.new_lock().unwrap_or_else(|_| native_lock());
         let criticals = BackendMutex::new(guard, HashMap::new());
         let profiling = cfg.profiling;
+        let tracer = Arc::new(Tracer::new(cfg.trace));
+        backend.attach_tracer(&tracer);
         Ok(Runtime {
             inner: Arc::new(RtInner {
                 backend: PlMutex::new(backend),
@@ -315,6 +348,7 @@ impl Runtime {
                 stats: RuntimeStats::default(),
                 profile: PlMutex::new(ProfileAccum::default()),
                 profiling: AtomicBool::new(profiling),
+                tracer,
             }),
         })
     }
@@ -521,6 +555,7 @@ impl Runtime {
             1,
             Barrier::new(1, self.inner.cfg.barrier),
             words,
+            Arc::clone(&self.inner.tracer),
         ));
         self.run_team_of_one(team, erase_region_fn(f));
     }
@@ -638,6 +673,59 @@ impl Runtime {
     /// Always-on construct counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// The runtime's event recorder.  Armed via [`Config::with_tracing`]
+    /// or `ROMP_TRACE=1`; disarmed (the default) it records nothing and
+    /// each instrumentation site costs one relaxed atomic load.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.inner.tracer
+    }
+
+    /// Drain every buffered trace event into a [`Trace`] (per-thread
+    /// lanes, drop accounting).  Empty when tracing is disarmed.
+    ///
+    /// Waits for every pool worker to finish its in-flight region member
+    /// first (post-barrier epilogues included), so a drain right after
+    /// [`Runtime::parallel`] returns sees complete spans.  Do not call
+    /// from inside a parallel region.
+    pub fn take_trace(&self) -> Trace {
+        self.inner.quiesce_pool();
+        self.inner.tracer.drain()
+    }
+
+    /// A non-consuming observability summary: trace event totals plus the
+    /// metrics registry, with the always-on construct counters
+    /// ([`Runtime::stats`]) folded in as `stats.*` counters.
+    ///
+    /// ```
+    /// use romp::{BackendKind, Runtime};
+    ///
+    /// let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    /// rt.parallel(2, |w| w.barrier());
+    /// let summary = rt.run_summary();
+    /// assert_eq!(summary.events, 0, "tracing disarmed by default");
+    /// assert!(summary.metrics.counters.iter().any(|(n, v)| n == "stats.regions" && *v == 1));
+    /// println!("{}", summary.render());
+    /// ```
+    pub fn run_summary(&self) -> RunSummary {
+        self.inner.quiesce_pool();
+        let mut s = self.inner.tracer.summary();
+        let st = self.stats();
+        for (name, v) in [
+            ("stats.regions", st.regions),
+            ("stats.barriers", st.barriers),
+            ("stats.criticals", st.criticals),
+            ("stats.singles", st.singles),
+            ("stats.loops", st.loops),
+            ("stats.tasks", st.tasks),
+        ] {
+            if v > 0 {
+                s.metrics.counters.push((name.to_string(), v));
+            }
+        }
+        s.metrics.counters.sort();
+        s
     }
 
     /// Zero the construct counters.

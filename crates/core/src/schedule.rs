@@ -11,11 +11,20 @@
 pub enum Schedule {
     /// Iterations divided into near-equal contiguous blocks, one per thread
     /// (`chunk = None`), or round-robin chunks of the given size.
-    Static { chunk: Option<usize> },
+    Static {
+        /// Round-robin chunk size; `None` = one contiguous block per thread.
+        chunk: Option<usize>,
+    },
     /// Threads grab fixed-size chunks from a shared cursor.
-    Dynamic { chunk: usize },
+    Dynamic {
+        /// Iterations taken per grab (≥ 1).
+        chunk: usize,
+    },
     /// Threads grab shrinking chunks: `max(remaining / (2·nthreads), chunk)`.
-    Guided { chunk: usize },
+    Guided {
+        /// The floor a shrinking chunk never goes below (≥ 1).
+        chunk: usize,
+    },
     /// Implementation-defined; this runtime maps it to blocked static,
     /// which is what libGOMP does for balanced loops.
     Auto,

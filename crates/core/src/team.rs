@@ -10,7 +10,7 @@
 //!
 //! Two lock-free structures carry the region's hot paths:
 //!
-//! * the **construct ring** ([`ConstructRing`]) hands out shared
+//! * the **construct ring** (`ConstructRing`) hands out shared
 //!   per-construct state (dynamic/guided cursors, `single` arbitration,
 //!   reduction staging) without a team-global lock — see the type docs for
 //!   the claim/ready protocol;
@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use mca_sync::deque::{Injector, RingQueue, Steal};
 use mca_sync::{CachePadded, Condvar, Mutex as PlMutex};
+use romp_trace::{EventKind, Tracer};
 
 use crate::backend::SharedWords;
 use crate::barrier::Barrier;
@@ -228,10 +229,18 @@ pub(crate) struct TeamShared {
     /// Per-member CPU time for this region (profiling only).
     pub cpu_ns: Vec<AtomicU64>,
     pub counters: TeamCounters,
+    /// The runtime's event recorder; disarmed it costs one relaxed load
+    /// per would-be event.
+    pub tracer: Arc<Tracer>,
 }
 
 impl TeamShared {
-    pub(crate) fn new(size: usize, barrier: Barrier, reduce_words: Arc<dyn SharedWords>) -> Self {
+    pub(crate) fn new(
+        size: usize,
+        barrier: Barrier,
+        reduce_words: Arc<dyn SharedWords>,
+        tracer: Arc<Tracer>,
+    ) -> Self {
         TeamShared {
             size,
             barrier,
@@ -247,6 +256,7 @@ impl TeamShared {
             panic: PlMutex::new(None),
             cpu_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
             counters: TeamCounters::default(),
+            tracer,
         }
     }
 
@@ -283,6 +293,7 @@ impl TeamShared {
     /// Queue a task on behalf of member `tid`: local ring first, injector
     /// on overflow.
     pub(crate) fn push_task(&self, tid: usize, task: Task) {
+        self.tracer.instant(EventKind::TaskSpawn, tid as u32, 0, 0);
         self.outstanding_tasks.fetch_add(1, Ordering::AcqRel);
         if let Err(task) = self.task_rings[tid].push(task) {
             self.task_injector.push(task);
@@ -295,6 +306,10 @@ impl TeamShared {
         if let Some(t) = self.task_rings[tid].pop() {
             return Some(t);
         }
+        let armed = self.tracer.armed();
+        if armed {
+            self.tracer.metrics().counter("task.steal.attempt").incr();
+        }
         loop {
             match self.task_injector.steal() {
                 Steal::Success(t) => return Some(t),
@@ -305,6 +320,11 @@ impl TeamShared {
         for k in 1..self.size {
             let victim = (tid + k) % self.size;
             if let Some(t) = self.task_rings[victim].pop() {
+                if armed {
+                    self.tracer
+                        .instant(EventKind::TaskSteal, tid as u32, victim as u64, 0);
+                    self.tracer.metrics().counter("task.steal.hit").incr();
+                }
                 return Some(t);
             }
         }
@@ -319,6 +339,7 @@ impl TeamShared {
         let Some(t) = self.take_task(tid) else {
             return false;
         };
+        self.tracer.instant(EventKind::TaskRun, tid as u32, 0, 0);
         if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(t)) {
             self.record_panic(payload);
         }
@@ -352,6 +373,9 @@ pub(crate) enum SlotState {
     Idle,
     /// Run this region member.
     Job(JobMsg),
+    /// A taken job is still executing; the slot returns to `Idle` when the
+    /// member (and its post-barrier epilogue) fully completes.
+    Running,
     /// Exit the worker loop (runtime shutdown).
     Exit,
 }
@@ -424,6 +448,16 @@ impl PoolSlot {
         self.cv_assign.notify_one();
     }
 
+    /// Block until this slot is idle — i.e. any taken job has fully
+    /// completed, trailing trace events included.  Used by trace drains,
+    /// which need real quiescence, not just "job accepted".
+    pub(crate) fn wait_idle(&self) {
+        let mut st = self.state.lock();
+        while !matches!(*st, SlotState::Idle | SlotState::Exit) {
+            self.cv_idle.wait(&mut st);
+        }
+    }
+
     /// Master side at shutdown.
     pub(crate) fn send_exit(&self) {
         let mut st = self.state.lock();
@@ -442,20 +476,21 @@ impl PoolSlot {
                 let mut st = self.state.lock();
                 loop {
                     match &*st {
-                        SlotState::Idle => self.cv_assign.wait(&mut st),
+                        SlotState::Idle | SlotState::Running => self.cv_assign.wait(&mut st),
                         SlotState::Exit => return,
                         SlotState::Job(_) => break,
                     }
                 }
-                match std::mem::replace(&mut *st, SlotState::Idle) {
+                match std::mem::replace(&mut *st, SlotState::Running) {
                     SlotState::Job(j) => j,
                     _ => unreachable!("checked above"),
                 }
             };
             // Run outside the slot lock. Mark idle only after the region
-            // member fully completes, so the master's next assign can't
-            // overlap this region.
+            // member fully completes — its trailing trace events included —
+            // so `wait_idle` observers see a quiescent member.
             run_region_member(&job);
+            *self.state.lock() = SlotState::Idle;
             self.cv_idle.notify_one();
         }
     }
@@ -470,6 +505,8 @@ pub(crate) fn run_region_member(job: &JobMsg) {
     let rt = unsafe { &*job.rt };
     let in_parallel_prev = crate::runtime::enter_region_flag();
     let w = crate::worker::Worker::new(team, rt, job.tid);
+    team.tracer
+        .begin(EventKind::Region, job.tid as u32, team.size as u64);
     let start = if job.profiling {
         Some(mca_platform::vtime::thread_cpu_ns())
     } else {
@@ -489,6 +526,8 @@ pub(crate) fn run_region_member(job: &JobMsg) {
     // Implicit end-of-region barrier: also guarantees all explicit tasks
     // complete (OpenMP's rule), via the worker's task-draining barrier.
     w.barrier();
+    team.tracer
+        .end(EventKind::Region, job.tid as u32, team.size as u64);
     crate::runtime::restore_region_flag(in_parallel_prev);
 }
 
@@ -505,6 +544,7 @@ mod tests {
             Barrier::new(size, BarrierKind::Centralized),
             be.alloc_shared_words(TeamShared::reduce_words_len(size))
                 .unwrap(),
+            Arc::new(Tracer::new(false)),
         ))
     }
 

@@ -23,6 +23,16 @@ use crate::runtime::RtInner;
 use crate::schedule::{guided_chunk, static_block, static_chunk_starts, Schedule};
 use crate::team::{ConstructState, TeamShared, REDUCE_STRIDE};
 
+/// FNV-1a over `bytes` — stable tag for named criticals in trace events.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// Reduction combiners for the word-typed fast paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
@@ -141,6 +151,9 @@ impl<'a> Worker<'a> {
         if self.tid == 0 {
             self.team.counters.barriers.fetch_add(1, Ordering::Relaxed);
         }
+        self.team
+            .tracer
+            .begin(romp_trace::EventKind::Barrier, self.tid as u32, 0);
         self.team.drain_tasks(self.tid);
         let team = self.team;
         let tid = self.tid;
@@ -152,6 +165,9 @@ impl<'a> Worker<'a> {
                 std::thread::yield_now();
             }
         }
+        self.team
+            .tracer
+            .end(romp_trace::EventKind::Barrier, self.tid as u32, 0);
     }
 
     // ------------------------------------------------------------------
@@ -395,12 +411,21 @@ impl<'a> Worker<'a> {
     /// the backend (MRAPI mutexes under the MCA backend; §5B.3).
     pub fn critical<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
         self.team.counters.criticals.fetch_add(1, Ordering::Relaxed);
+        // The span covers acquisition + body, tagged with a stable hash of
+        // the critical's name so traces can tell sections apart.
+        let name_tag = fnv1a(name.as_bytes());
+        self.team
+            .tracer
+            .begin(romp_trace::EventKind::Critical, self.tid as u32, name_tag);
         let lock = self.rt.critical_lock(name);
         lock.lock();
         let out = f();
         // The guard was held; residual unlock errors were already retried
         // inside the lock and must not unwind user code.
         let _ = lock.unlock();
+        self.team
+            .tracer
+            .end(romp_trace::EventKind::Critical, self.tid as u32, name_tag);
         out
     }
 

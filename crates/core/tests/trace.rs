@@ -1,0 +1,172 @@
+//! Integration tests for the observability layer (`romp-trace`) as wired
+//! through the runtime: armed runtimes must produce balanced spans for
+//! every bracketed construct on both backends, a disarmed runtime must
+//! record nothing, and a forced MCA→native fallback must leave a
+//! `backend.fallback` event in the trace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mca_mrapi::{FaultPlan, FaultProbe, FaultSite, MrapiStatus, MrapiSystem};
+use romp::trace::{EventKind, Phase};
+use romp::{BackendKind, Config, McaBackend, McaOptions, RetryPolicy, Runtime};
+
+/// One armed region exercising every bracketed construct: barrier,
+/// named critical, and explicit tasks.
+fn traced_workload(rt: &Runtime) {
+    let sum = AtomicU64::new(0);
+    rt.parallel(4, |w| {
+        w.critical("counter", || {
+            sum.fetch_add(1, Ordering::Relaxed);
+        });
+        w.barrier();
+        for _ in 0..2 {
+            w.task(|| {});
+        }
+        w.taskwait();
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+fn armed_runtime_produces_balanced_spans_on_both_backends() {
+    for kind in [BackendKind::Native, BackendKind::Mca] {
+        let rt =
+            Runtime::with_config(Config::default().with_backend(kind).with_tracing(true)).unwrap();
+        traced_workload(&rt);
+        let trace = rt.take_trace();
+
+        for span_kind in [EventKind::Region, EventKind::Barrier, EventKind::Critical] {
+            assert!(
+                trace.balanced(span_kind),
+                "{}: unbalanced {} spans",
+                kind.label(),
+                span_kind.label()
+            );
+            assert!(
+                trace.count(span_kind, Phase::Begin) > 0,
+                "{}: no {} begins recorded",
+                kind.label(),
+                span_kind.label()
+            );
+        }
+        // Four members of one team open one region span each.
+        assert_eq!(trace.count(EventKind::Region, Phase::Begin), 4);
+        assert_eq!(
+            trace.count(EventKind::TaskSpawn, Phase::Instant),
+            8,
+            "{}: 4 members × 2 tasks each",
+            kind.label()
+        );
+        assert_eq!(trace.count(EventKind::TaskRun, Phase::Instant), 8);
+        assert_eq!(trace.dropped, 0, "default ring must not overflow here");
+    }
+}
+
+#[test]
+fn armed_mca_runtime_records_mrapi_calls_and_lock_metrics() {
+    let rt = Runtime::with_config(
+        Config::default()
+            .with_backend(BackendKind::Mca)
+            .with_tracing(true),
+    )
+    .unwrap();
+    traced_workload(&rt);
+    let summary = rt.run_summary();
+    let trace = rt.take_trace();
+    assert!(
+        trace.count(EventKind::Mrapi, Phase::Instant) > 0,
+        "MRAPI status sites must appear in an armed MCA trace"
+    );
+    assert!(
+        trace.count(EventKind::LockAcquire, Phase::Instant) > 0,
+        "critical sections acquire MRAPI locks"
+    );
+    let names: Vec<&str> = summary
+        .metrics
+        .histograms
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert!(
+        names.contains(&"mca.lock_wait_ns"),
+        "lock-wait histogram registered: {names:?}"
+    );
+}
+
+#[test]
+fn disarmed_runtime_records_nothing() {
+    let rt = Runtime::with_config(
+        Config::default()
+            .with_backend(BackendKind::Mca)
+            .with_tracing(false),
+    )
+    .unwrap();
+    traced_workload(&rt);
+    let trace = rt.take_trace();
+    assert_eq!(trace.total_events(), 0);
+    assert_eq!(trace.dropped, 0);
+    let summary = rt.run_summary();
+    assert_eq!(summary.events, 0);
+    // Always-on construct counters still fold into the summary.
+    assert!(summary
+        .metrics
+        .counters
+        .iter()
+        .any(|(n, v)| n == "stats.regions" && *v > 0));
+}
+
+#[test]
+fn forced_fallback_leaves_a_trace_event() {
+    // Every shmem creation fails persistently: the first region's reduce
+    // scratch allocation poisons the MCA backend and the runtime swaps in
+    // the native fallback at the heal point.
+    let sys = MrapiSystem::new_t4240();
+    let plan = Arc::new(FaultPlan::new(0x7AC3).with_persistent(
+        FaultSite::ShmemCreate,
+        MrapiStatus::ErrMemLimit,
+        0,
+    ));
+    sys.set_fault_probe(Some(plan as Arc<dyn FaultProbe>));
+    let be = McaBackend::with_options(
+        sys,
+        McaOptions {
+            lock_timeout: Duration::from_millis(50),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::from_micros(10),
+                max_delay: Duration::from_micros(100),
+            },
+        },
+    )
+    .unwrap();
+    let rt = Runtime::with_config_and_backend(Config::default().with_tracing(true), Box::new(be))
+        .unwrap();
+
+    traced_workload(&rt);
+    assert!(rt.degraded(), "persistent shmem failure must degrade");
+    assert_eq!(rt.backend_kind(), BackendKind::Native);
+
+    let summary = rt.run_summary();
+    let trace = rt.take_trace();
+    assert!(
+        trace.count(EventKind::Fallback, Phase::Instant) > 0,
+        "the MCA→native swap must be visible in the trace"
+    );
+    assert!(
+        trace.count(EventKind::Fault, Phase::Instant) > 0,
+        "injected faults are recorded at their MRAPI sites"
+    );
+    assert!(trace.balanced(EventKind::Region), "spans survive the swap");
+    assert!(trace.balanced(EventKind::Barrier));
+    assert!(trace.balanced(EventKind::Critical));
+    assert!(
+        summary
+            .metrics
+            .counters
+            .iter()
+            .any(|(n, v)| n == "backend.fallback" && *v > 0),
+        "fallback counter incremented"
+    );
+}

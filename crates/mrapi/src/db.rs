@@ -6,13 +6,13 @@
 //! module owns those registries; the public entry point is [`MrapiSystem`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use mca_platform::{MemoryMap, Topology};
 use mca_sync::RwLock;
 
-use crate::fault::{FaultProbe, FaultSite};
+use crate::fault::{FaultDecision, FaultProbe, FaultSite, SiteObserver};
 use crate::node::{DomainId, Node, NodeId, NodeRecord};
 use crate::rmem::RmemBuffer;
 use crate::shmem::ShmemSegment;
@@ -54,11 +54,18 @@ pub(crate) struct SystemInner {
     pub sim_ns: AtomicU64,
     /// Per-hw-thread utilization cells surfaced as dynamic metadata.
     pub utilization: Vec<Arc<AtomicU64>>,
-    /// Fast gate: true only while a fault probe is installed, so the
-    /// boundary checks cost one relaxed load in production.
-    pub fault_enabled: AtomicBool,
+    /// Fast gate: a bitmask of [`HOOK_FAULTS`] / [`HOOK_OBSERVER`],
+    /// nonzero only while a fault probe or site observer is installed, so
+    /// the boundary checks still cost one relaxed load in production.
+    pub hooks: AtomicU8,
     pub fault_probe: RwLock<Option<Arc<dyn FaultProbe>>>,
+    pub site_observer: RwLock<Option<Arc<dyn SiteObserver>>>,
 }
+
+/// [`SystemInner::hooks`] bit: a fault probe is installed.
+const HOOK_FAULTS: u8 = 1;
+/// [`SystemInner::hooks`] bit: a site observer is installed.
+const HOOK_OBSERVER: u8 = 2;
 
 /// One MRAPI "system": a board plus its domain databases.
 ///
@@ -83,8 +90,9 @@ impl MrapiSystem {
                 domains: RwLock::new(HashMap::new()),
                 sim_ns: AtomicU64::new(0),
                 utilization,
-                fault_enabled: AtomicBool::new(false),
+                hooks: AtomicU8::new(0),
                 fault_probe: RwLock::new(None),
+                site_observer: RwLock::new(None),
             }),
         }
     }
@@ -122,12 +130,32 @@ impl MrapiSystem {
     pub fn set_fault_probe(&self, probe: Option<Arc<dyn FaultProbe>>) {
         let enabled = probe.is_some();
         *self.inner.fault_probe.write() = probe;
-        self.inner.fault_enabled.store(enabled, Ordering::Release);
+        if enabled {
+            self.inner.hooks.fetch_or(HOOK_FAULTS, Ordering::Release);
+        } else {
+            self.inner.hooks.fetch_and(!HOOK_FAULTS, Ordering::Release);
+        }
+    }
+
+    /// Install (or clear, with `None`) a passive [`SiteObserver`] notified
+    /// at every MRAPI boundary crossing.  Shares the fault probe's fast
+    /// gate: with neither installed the boundary check is a single relaxed
+    /// atomic load.
+    pub fn set_site_observer(&self, observer: Option<Arc<dyn SiteObserver>>) {
+        let enabled = observer.is_some();
+        *self.inner.site_observer.write() = observer;
+        if enabled {
+            self.inner.hooks.fetch_or(HOOK_OBSERVER, Ordering::Release);
+        } else {
+            self.inner
+                .hooks
+                .fetch_and(!HOOK_OBSERVER, Ordering::Release);
+        }
     }
 
     /// Whether a fault probe is currently installed.
     pub fn fault_injection_enabled(&self) -> bool {
-        self.inner.fault_enabled.load(Ordering::Relaxed)
+        self.inner.hooks.load(Ordering::Relaxed) & HOOK_FAULTS != 0
     }
 
     /// Consult the fault probe at `site`: sleep out any ordered latency
@@ -135,7 +163,7 @@ impl MrapiSystem {
     /// path is one relaxed load.
     #[inline]
     pub(crate) fn fault_check(&self, site: FaultSite) -> MrapiResult<()> {
-        if !self.inner.fault_enabled.load(Ordering::Relaxed) {
+        if self.inner.hooks.load(Ordering::Relaxed) == 0 {
             return Ok(());
         }
         self.fault_check_slow(site)
@@ -145,8 +173,11 @@ impl MrapiSystem {
     fn fault_check_slow(&self, site: FaultSite) -> MrapiResult<()> {
         let decision = match self.inner.fault_probe.read().as_ref() {
             Some(probe) => probe.decide(site),
-            None => return Ok(()),
+            None => FaultDecision::PASS,
         };
+        if let Some(obs) = self.inner.site_observer.read().as_ref() {
+            obs.observe(site, decision.fail);
+        }
         if let Some(delay) = decision.delay {
             std::thread::sleep(delay);
         }

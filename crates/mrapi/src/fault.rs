@@ -60,7 +60,8 @@ impl FaultSite {
         FaultSite::ShmemGet,
     ];
 
-    fn index(self) -> usize {
+    /// Dense index of this site (for per-site tables).
+    pub fn index(self) -> usize {
         match self {
             FaultSite::NodeInit => 0,
             FaultSite::NodeCreate => 1,
@@ -126,6 +127,21 @@ impl FaultDecision {
 pub trait FaultProbe: Send + Sync {
     /// Rule on the next crossing of `site`.
     fn decide(&self, site: FaultSite) -> FaultDecision;
+}
+
+/// A passive listener notified at every MRAPI boundary crossing — the
+/// observability counterpart of [`FaultProbe`], sharing its sites and its
+/// one-relaxed-load disabled gate (see
+/// [`crate::MrapiSystem::set_site_observer`]).
+///
+/// `observe` runs *before* the boundary's real operation (and before any
+/// injected delay), on the caller's thread; implementations must be cheap
+/// and must not call back into MRAPI.
+pub trait SiteObserver: Send + Sync {
+    /// `site` is being crossed; `injected` carries the status a fault
+    /// probe ordered for this crossing, or `None` when the call proceeds
+    /// normally.
+    fn observe(&self, site: FaultSite, injected: Option<MrapiStatus>);
 }
 
 /// Per-site injection rates (probabilities in parts-per-million).

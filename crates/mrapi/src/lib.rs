@@ -59,7 +59,7 @@ pub mod sync;
 mod db;
 
 pub use db::MrapiSystem;
-pub use fault::{FaultDecision, FaultPlan, FaultProbe, FaultSite};
+pub use fault::{FaultDecision, FaultPlan, FaultProbe, FaultSite, SiteObserver};
 pub use node::{DomainId, Node, NodeAttributes, NodeId, WorkerNode};
 pub use rmem::{RmemAccess, RmemAttributes, RmemHandle};
 pub use shmem::{ShmemAttributes, ShmemHandle, ShmemKey};

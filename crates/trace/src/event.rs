@@ -1,0 +1,128 @@
+//! The fixed-size event record the per-thread rings carry.
+
+/// Number of distinct [`EventKind`]s (sizes the per-kind counters).
+pub const NUM_KINDS: usize = 12;
+
+/// What an event describes.
+///
+/// The set covers every hot-path episode the runtime wants to explain
+/// after the fact: region and barrier spans, the lock life cycle on the
+/// MCA backend, the task scheduler, MRAPI boundary crossings, injected
+/// faults, and backend fallback handovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// One parallel region (span on the master, one per team member).
+    Region = 0,
+    /// One barrier episode (span per member).
+    Barrier = 1,
+    /// One named critical section (span per entry; `a` = name hash).
+    Critical = 2,
+    /// A lock was acquired (`a` = mutex key, `b` = wait in nanoseconds).
+    LockAcquire = 3,
+    /// A contended lock wait (span: begin at first timeout, end at
+    /// acquisition; `a` = mutex key).
+    LockContend = 4,
+    /// One lock-wait timeout was reported (`a` = mutex key, `b` =
+    /// cumulative wait in nanoseconds).
+    LockTimeout = 5,
+    /// An explicit task was queued.
+    TaskSpawn = 6,
+    /// An explicit task ran.
+    TaskRun = 7,
+    /// A task was stolen from a teammate (`a` = victim thread number).
+    TaskSteal = 8,
+    /// An MRAPI boundary crossing (`a` = fault-site index, `b` = injected
+    /// status code, or `u64::MAX` when the call passed clean).
+    Mrapi = 9,
+    /// A fault probe injected a failure (`a` = fault-site index, `b` =
+    /// status code).
+    Fault = 10,
+    /// A backend (or single lock) degraded to its fallback.
+    Fallback = 11,
+}
+
+impl EventKind {
+    /// Every kind, in index order.
+    pub const ALL: [EventKind; NUM_KINDS] = [
+        EventKind::Region,
+        EventKind::Barrier,
+        EventKind::Critical,
+        EventKind::LockAcquire,
+        EventKind::LockContend,
+        EventKind::LockTimeout,
+        EventKind::TaskSpawn,
+        EventKind::TaskRun,
+        EventKind::TaskSteal,
+        EventKind::Mrapi,
+        EventKind::Fault,
+        EventKind::Fallback,
+    ];
+
+    /// Dense index (for per-kind counters).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Display label (also the chrome-trace event name).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Region => "region",
+            EventKind::Barrier => "barrier",
+            EventKind::Critical => "critical",
+            EventKind::LockAcquire => "lock.acquire",
+            EventKind::LockContend => "lock.contend",
+            EventKind::LockTimeout => "lock.timeout",
+            EventKind::TaskSpawn => "task.spawn",
+            EventKind::TaskRun => "task.run",
+            EventKind::TaskSteal => "task.steal",
+            EventKind::Mrapi => "mrapi",
+            EventKind::Fault => "fault.injected",
+            EventKind::Fallback => "backend.fallback",
+        }
+    }
+}
+
+/// Whether an event opens a span, closes one, or stands alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Span start (chrome-trace `"B"`).
+    Begin,
+    /// Span end (chrome-trace `"E"`).
+    End,
+    /// A point event (chrome-trace `"i"`).
+    Instant,
+}
+
+/// One recorded event: a fixed-size `Copy` record so ring writes are a
+/// handful of stores with no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the owning tracer's epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Span begin/end or instant.
+    pub phase: Phase,
+    /// OpenMP thread number inside the team, or `u32::MAX` when the event
+    /// did not happen in a team context (backend internals).
+    pub tid: u32,
+    /// Kind-specific argument (see [`EventKind`] variants).
+    pub a: u64,
+    /// Second kind-specific argument.
+    pub b: u64,
+}
+
+impl Default for TraceEvent {
+    fn default() -> Self {
+        TraceEvent {
+            ts_ns: 0,
+            kind: EventKind::Region,
+            phase: Phase::Instant,
+            tid: u32::MAX,
+            a: 0,
+            b: 0,
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Exporters: chrome://tracing JSON, the human report table, and the
+//! embeddable [`RunSummary`].
+
+use crate::event::Phase;
+use crate::metrics::MetricsSnapshot;
+use crate::tracer::Trace;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// the same hand-rolled discipline as the bench harness's JSON writer;
+/// no serializer dependency.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Trace {
+    /// Render as chrome://tracing "Trace Event Format" JSON (load the
+    /// string from a file via `chrome://tracing` or <https://ui.perfetto.dev>).
+    ///
+    /// Lanes become `tid`s (with thread-name metadata records); span
+    /// begin/ends become `"B"`/`"E"` events, instants become `"i"`; the
+    /// two per-event arguments are carried under `args`.
+    ///
+    /// ```
+    /// use romp_trace::{EventKind, Tracer};
+    /// let t = Tracer::new(true);
+    /// t.begin(EventKind::Region, 0, 1);
+    /// t.end(EventKind::Region, 0, 1);
+    /// let json = t.drain().chrome_json();
+    /// assert!(json.starts_with("{\"traceEvents\":["));
+    /// assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+    /// ```
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        // Thread-name metadata first, one per lane.
+        let mut body = String::new();
+        for (lane_idx, lane) in self.lanes.iter().enumerate() {
+            if !first {
+                body.push(',');
+            }
+            first = false;
+            body.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                lane_idx,
+                json_escape(&lane.label)
+            ));
+        }
+        for (lane_idx, lane) in self.lanes.iter().enumerate() {
+            for e in &lane.events {
+                if !first {
+                    body.push(',');
+                }
+                first = false;
+                let ph = match e.phase {
+                    Phase::Begin => "B",
+                    Phase::End => "E",
+                    Phase::Instant => "i",
+                };
+                // ts is microseconds; keep nanosecond precision as a
+                // 3-decimal fraction without float formatting.
+                let ts = format!("{}.{:03}", e.ts_ns / 1_000, e.ts_ns % 1_000);
+                body.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"romp\",\"ph\":\"{}\",\"ts\":{},\
+                     \"pid\":1,\"tid\":{}",
+                    e.kind.label(),
+                    ph,
+                    ts,
+                    lane_idx
+                ));
+                if e.phase == Phase::Instant {
+                    body.push_str(",\"s\":\"t\"");
+                }
+                body.push_str(&format!(
+                    ",\"args\":{{\"tid\":{},\"a\":{},\"b\":{}}}}}",
+                    e.tid as i64, e.a, e.b
+                ));
+            }
+        }
+        out.push_str(&body);
+        out.push_str("],\"displayTimeUnit\":\"ns\"");
+        out.push_str(&format!(",\"romp\":{{\"dropped\":{}}}", self.dropped));
+        out.push('}');
+        out
+    }
+}
+
+/// The embeddable per-run observability summary: event totals, drop
+/// accounting, and a full metrics snapshot.  Produced by
+/// [`crate::Tracer::summary`]; the chaos harness attaches one per seed
+/// and `table1 --report` prints one per backend.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Events recorded (including ones later dropped by a full ring).
+    pub events: u64,
+    /// Events dropped by full rings.
+    pub dropped: u64,
+    /// Nonzero per-kind event counts, in kind order.
+    pub by_kind: Vec<(&'static str, u64)>,
+    /// Snapshot of every named metric.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunSummary {
+    /// Render the human `--report` table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "trace: {} events recorded, {} dropped\n",
+            self.events, self.dropped
+        ));
+        if !self.by_kind.is_empty() {
+            s.push_str("  events by kind:\n");
+            for (name, n) in &self.by_kind {
+                s.push_str(&format!("    {name:<18} {n:>10}\n"));
+            }
+        }
+        if !self.metrics.counters.is_empty() {
+            s.push_str("  counters:\n");
+            for (name, v) in &self.metrics.counters {
+                s.push_str(&format!("    {name:<28} {v:>10}\n"));
+            }
+        }
+        if !self.metrics.gauges.is_empty() {
+            s.push_str("  gauges:\n");
+            for (name, v) in &self.metrics.gauges {
+                s.push_str(&format!("    {name:<28} {v:>10}\n"));
+            }
+        }
+        for (name, h) in &self.metrics.histograms {
+            s.push_str(&format!(
+                "  histogram {name}: n={} mean={}ns p50≤{} p99≤{}\n",
+                h.count,
+                h.mean(),
+                h.quantile(0.50)
+                    .map(|v| format!("{v}ns"))
+                    .unwrap_or_else(|| "overflow".into()),
+                h.quantile(0.99)
+                    .map(|v| format!("{v}ns"))
+                    .unwrap_or_else(|| "overflow".into()),
+            ));
+        }
+        s
+    }
+
+    /// Render as a JSON object (for embedding in bench output).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"events\":{},\"dropped\":{},\"by_kind\":{{",
+            self.events, self.dropped
+        );
+        for (i, (name, n)) in self.by_kind.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", json_escape(name), n));
+        }
+        s.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.metrics.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", json_escape(name), v));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn chrome_json_is_structurally_sound() {
+        let t = Tracer::new(true);
+        t.begin(EventKind::Region, 0, 1);
+        t.instant(EventKind::Fault, 0, 3, 7);
+        t.end(EventKind::Region, 0, 1);
+        let json = t.drain().chrome_json();
+        // Braces/brackets balance (no nested strings carry them here).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "braces balance in {json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"name\":\"region\""));
+        assert!(json.contains("\"name\":\"fault.injected\""));
+        assert!(json.contains("\"ph\":\"M\""), "thread metadata present");
+        assert!(json.contains("\"s\":\"t\""), "instants carry scope");
+        assert!(json.contains("\"a\":3") && json.contains("\"b\":7"));
+        assert!(json.ends_with('}') && json.starts_with('{'));
+    }
+
+    #[test]
+    fn chrome_json_escapes_labels() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_ts_keeps_ns_precision() {
+        let trace = Trace {
+            lanes: vec![crate::Lane {
+                label: "main".into(),
+                events: vec![crate::TraceEvent {
+                    ts_ns: 1_234_567,
+                    ..Default::default()
+                }],
+            }],
+            dropped: 0,
+        };
+        assert!(trace.chrome_json().contains("\"ts\":1234.567"));
+    }
+
+    #[test]
+    fn summary_renders_and_jsons() {
+        let t = Tracer::new(true);
+        t.instant(EventKind::Barrier, 0, 0, 0);
+        t.metrics().counter("task.steal.hit").add(5);
+        t.metrics().histogram_ns("mca.lock_wait_ns").record(2_000);
+        let s = t.summary();
+        let rendered = s.render();
+        assert!(rendered.contains("1 events recorded"));
+        assert!(rendered.contains("barrier"));
+        assert!(rendered.contains("task.steal.hit"));
+        assert!(rendered.contains("histogram mca.lock_wait_ns"));
+        let json = s.to_json();
+        assert!(json.contains("\"barrier\":1"));
+        assert!(json.contains("\"task.steal.hit\":5"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

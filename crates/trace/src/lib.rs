@@ -1,0 +1,62 @@
+//! # romp-trace — structured observability for the romp runtime
+//!
+//! A zero-dependency tracing and metrics layer, built so the runtime can be
+//! *seen into* (was a slow run contention, a retry storm, or a backend
+//! handover?) without perturbing what it measures:
+//!
+//! * **Event recorder** ([`Tracer`]) — lock-free, per-thread ring-buffered
+//!   spans and instants (region begin/end, barrier episodes, lock
+//!   acquire/contend/timeout, task spawn/steal/run, MRAPI boundary
+//!   crossings, fault injections, backend fallback).  Each thread writes
+//!   its own cache-padded SPSC ring; a drain-on-quiesce reader collects
+//!   them into a [`Trace`].  The **unarmed cost is one relaxed atomic
+//!   load** — the same gate discipline as the MRAPI `FaultProbe`.
+//! * **Metrics registry** ([`MetricsRegistry`]) — named counters, gauges
+//!   and fixed-bucket histograms (steal success rate, lock wait-time
+//!   distribution, retry counts, shmem bytes, ...), generalizing the
+//!   runtime's always-on `RuntimeStats`.
+//! * **Exporters** — chrome://tracing JSON ([`Trace::chrome_json`]), a
+//!   human-readable report table ([`RunSummary::render`]), and the
+//!   [`RunSummary`] struct the chaos harness and benches embed in their
+//!   output.
+//!
+//! ## Example
+//!
+//! ```
+//! use romp_trace::{EventKind, Phase, Tracer};
+//!
+//! let tracer = Tracer::new(true); // armed
+//! tracer.begin(EventKind::Region, 0, 1);
+//! tracer.instant(EventKind::TaskSpawn, 0, 7, 0);
+//! tracer.end(EventKind::Region, 0, 1);
+//!
+//! let trace = tracer.drain();
+//! assert_eq!(trace.count(EventKind::Region, Phase::Begin), 1);
+//! assert_eq!(trace.count(EventKind::Region, Phase::End), 1);
+//! let json = trace.chrome_json(); // load this in chrome://tracing
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+//!
+//! A disarmed tracer records nothing and costs one relaxed load per
+//! call site:
+//!
+//! ```
+//! use romp_trace::{EventKind, Tracer};
+//! let tracer = Tracer::new(false);
+//! tracer.instant(EventKind::Barrier, 0, 0, 0);
+//! assert_eq!(tracer.drain().total_events(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod export;
+mod metrics;
+mod ring;
+mod tracer;
+
+pub use event::{EventKind, Phase, TraceEvent, NUM_KINDS};
+pub use export::RunSummary;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use ring::EventRing;
+pub use tracer::{Lane, Trace, Tracer};

@@ -1,0 +1,382 @@
+//! Named counters, gauges and fixed-bucket histograms.
+//!
+//! The registry generalizes the runtime's always-on `RuntimeStats`: any
+//! subsystem can mint a named instrument once (get-or-create under a
+//! short registry lock), cache the `Arc`, and bump it from hot paths with
+//! relaxed atomics.  Snapshots are taken without stopping writers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mca_sync::{CachePadded, Mutex};
+
+/// A monotonically increasing named count.
+///
+/// ```
+/// use romp_trace::MetricsRegistry;
+/// let reg = MetricsRegistry::new();
+/// let hits = reg.counter("task.steal.hit");
+/// hits.add(3);
+/// hits.incr();
+/// assert_eq!(reg.counter("task.steal.hit").get(), 4); // same instrument
+/// ```
+pub struct Counter(CachePadded<AtomicU64>);
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter(CachePadded::new(AtomicU64::new(0)))
+    }
+}
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0 .0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0 .0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-write-wins value (queue depths, team sizes, ...).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to at least `v` (running maximum).
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples (typically nanoseconds).
+///
+/// Bucket upper bounds are fixed at construction; recording is two
+/// relaxed adds plus a binary search over the bounds — no floats, no
+/// allocation, writers never block.
+///
+/// ```
+/// use romp_trace::Histogram;
+/// let h = Histogram::new(&[10, 100, 1_000]);
+/// h.record(5);      // bucket ≤ 10
+/// h.record(10);     // still ≤ 10 (bounds are inclusive)
+/// h.record(99);     // bucket ≤ 100
+/// h.record(40_000); // overflow bucket
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 4);
+/// assert_eq!(snap.buckets[0], (Some(10), 2));
+/// assert_eq!(snap.buckets[3], (None, 1)); // +inf bucket
+/// assert_eq!(snap.quantile(0.5), Some(10));
+/// ```
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing; the final bucket
+    /// (index `bounds.len()`) is the implicit +inf overflow.
+    bounds: Box<[u64]>,
+    buckets: Box<[CachePadded<AtomicU64>]>,
+    count: CachePadded<AtomicU64>,
+    sum: CachePadded<AtomicU64>,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds (must be
+    /// strictly increasing); an overflow bucket is added automatically.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..bounds.len() + 1)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            count: CachePadded::new(AtomicU64::new(0)),
+            sum: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The default latency histogram: power-of-two bounds from 1 µs to
+    /// ~1 s (21 buckets plus overflow), wide enough for lock waits and
+    /// retry backoffs without float bucketing.
+    pub fn exponential_ns() -> Self {
+        let bounds: Vec<u64> = (10..=30).map(|p| 1u64 << p).collect();
+        Histogram::new(&bounds)
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].0.fetch_add(1, Ordering::Relaxed);
+        self.count.0.fetch_add(1, Ordering::Relaxed);
+        self.sum.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copy out the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.0.load(Ordering::Relaxed),
+            sum: self.sum.0.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (self.bounds.get(i).copied(), b.0.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// `(inclusive upper bound, count)` per bucket; `None` bound is the
+    /// +inf overflow bucket.
+    pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The inclusive upper bound of the bucket containing quantile `q`
+    /// (`0.0 ..= 1.0`); `None` when empty or when the quantile lands in
+    /// the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return *bound;
+            }
+        }
+        None
+    }
+}
+
+/// The named-instrument registry: get-or-create [`Counter`]s, [`Gauge`]s
+/// and [`Histogram`]s by name, snapshot them all at once.
+///
+/// Lookup takes a short lock; hot paths should resolve their instrument
+/// once and cache the `Arc`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// The nanosecond-latency histogram named `name`
+    /// ([`Histogram::exponential_ns`] buckets), created on first use.
+    pub fn histogram_ns(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::exponential_ns());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Copy out every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`MetricsRegistry`], sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The snapshot of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").incr();
+        reg.counter("b").incr();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), Some(3));
+        assert_eq!(snap.counter("b"), Some(1));
+        assert_eq!(snap.counter("c"), None);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.record_max(3);
+        assert_eq!(g.get(), 5, "max does not lower");
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_inclusive_upper_bound() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [0, 10, 11, 100, 101, 5_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(Some(10), 2), (Some(100), 2), (None, 2)]);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 10 + 11 + 100 + 101 + 5_000);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::new(&[10, 100, 1_000]);
+        for _ in 0..90 {
+            h.record(7); // ≤ 10
+        }
+        for _ in 0..10 {
+            h.record(500); // ≤ 1_000
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(10));
+        assert_eq!(s.quantile(0.9), Some(10));
+        assert_eq!(s.quantile(0.95), Some(1_000));
+        assert_eq!(s.quantile(1.0), Some(1_000));
+        assert_eq!(s.mean(), (90 * 7 + 10 * 500) / 100);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_is_none() {
+        let h = Histogram::new(&[10]);
+        h.record(1_000_000);
+        assert_eq!(h.snapshot().quantile(0.5), None, "overflow has no bound");
+        let empty = Histogram::new(&[10]);
+        assert_eq!(empty.snapshot().quantile(0.5), None);
+    }
+
+    #[test]
+    fn exponential_ns_covers_microsecond_to_second() {
+        let h = Histogram::exponential_ns();
+        h.record(1_500); // ~1.5 µs
+        h.record(2_000_000); // 2 ms
+        h.record(2_000_000_000); // 2 s → overflow
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets.last().unwrap().0, None);
+        assert_eq!(s.buckets.last().unwrap().1, 1, "2 s lands in overflow");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(&[10, 10]);
+    }
+}

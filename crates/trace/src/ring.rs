@@ -1,0 +1,204 @@
+//! The per-thread SPSC event ring.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::ThreadId;
+
+use mca_sync::CachePadded;
+
+use crate::event::TraceEvent;
+
+/// A bounded single-producer/single-consumer ring of [`TraceEvent`]s.
+///
+/// One ring per (tracer, thread): the owning thread is the only producer,
+/// and the only consumer is [`crate::Tracer::drain`], which serializes
+/// readers behind the tracer's ring registry lock.  Head and tail live on
+/// their own cache lines so the producer never shares a line with the
+/// drain.
+///
+/// **Drop policy**: a full ring drops the *new* event and counts it in
+/// [`EventRing::dropped`] — the recorded prefix stays contiguous from the
+/// start of the window, which keeps span begin/ends paired for as long as
+/// recording kept up.  Capacity is fixed at construction (a power of two)
+/// so the hot path is mask-and-store, never allocation.
+pub struct EventRing {
+    slots: Box<[UnsafeCell<TraceEvent>]>,
+    mask: u64,
+    /// Next write position (producer-owned; Release on publish).
+    head: CachePadded<AtomicU64>,
+    /// Next read position (consumer-owned; Release after a drain).
+    tail: CachePadded<AtomicU64>,
+    /// Events discarded because the ring was full.
+    dropped: CachePadded<AtomicU64>,
+    owner: ThreadId,
+    label: String,
+}
+
+// SAFETY: `slots` is only written by the owner thread (the single
+// producer) in the `[tail + cap, head]` window and only read by one
+// drainer at a time in `[tail, head)`; the head/tail Acquire/Release
+// pairs order the slot accesses (see `push`/`drain`).
+unsafe impl Sync for EventRing {}
+unsafe impl Send for EventRing {}
+
+impl EventRing {
+    /// A ring with `capacity` slots (rounded up to a power of two),
+    /// owned by the calling thread and labeled for trace lanes.
+    pub fn new(capacity: usize, label: String) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(TraceEvent::default()))
+            .collect();
+        EventRing {
+            slots,
+            mask: (cap - 1) as u64,
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            dropped: CachePadded::new(AtomicU64::new(0)),
+            owner: std::thread::current().id(),
+            label,
+        }
+    }
+
+    /// The thread that owns the producer side.
+    pub fn owner(&self) -> ThreadId {
+        self.owner
+    }
+
+    /// The lane label (thread name at registration).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.0.load(Ordering::Relaxed)
+    }
+
+    /// Events currently buffered (not yet drained).
+    pub fn len(&self) -> usize {
+        let head = self.head.0.load(Ordering::Acquire);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        head.wrapping_sub(tail) as usize
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer side: append `ev`, or drop it (counting) if the ring is
+    /// full.  Must only be called from the owning thread.
+    pub fn push(&self, ev: TraceEvent) -> bool {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) > self.mask {
+            self.dropped.0.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // SAFETY: only the owner thread writes, and the slot at `head` is
+        // outside the `[tail, head)` window any drainer reads; the
+        // Release store below publishes the write.
+        unsafe { *self.slots[(head & self.mask) as usize].get() = ev };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: move every buffered event into `out`.  Callers must
+    /// serialize drains (the tracer's registry lock does).
+    pub fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        let head = self.head.0.load(Ordering::Acquire);
+        let mut tail = self.tail.0.load(Ordering::Relaxed);
+        while tail != head {
+            // SAFETY: `[tail, head)` slots were published by the Release
+            // store in `push` (paired with the Acquire above) and cannot
+            // be overwritten until `tail` advances past them.
+            out.push(unsafe { *self.slots[(tail & self.mask) as usize].get() });
+            tail = tail.wrapping_add(1);
+        }
+        self.tail.0.store(tail, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Phase};
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: ts,
+            kind: EventKind::Barrier,
+            phase: Phase::Instant,
+            tid: 0,
+            a: ts,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn push_drain_roundtrip() {
+        let ring = EventRing::new(8, "t".into());
+        for i in 0..5 {
+            assert!(ring.push(ev(i)));
+        }
+        assert_eq!(ring.len(), 5);
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().enumerate().all(|(i, e)| e.ts_ns == i as u64));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_newest_and_counts() {
+        let ring = EventRing::new(4, "t".into());
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 4, "ring keeps the oldest window");
+        assert_eq!(ring.dropped(), 6, "every overflow is accounted");
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        // Drop-newest: the contiguous prefix 0..4 survives.
+        assert_eq!(
+            out.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // Space freed by the drain is writable again.
+        assert!(ring.push(ev(99)));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 6, "drain does not reset the counter");
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(EventRing::new(3, String::new()).capacity(), 4);
+        assert_eq!(EventRing::new(0, String::new()).capacity(), 2);
+        assert_eq!(EventRing::new(16, String::new()).capacity(), 16);
+    }
+
+    #[test]
+    fn drain_then_refill_wraps_cleanly() {
+        let ring = EventRing::new(4, "t".into());
+        let mut out = Vec::new();
+        // Cycle several capacities' worth through the ring.
+        for round in 0..5u64 {
+            for i in 0..3 {
+                assert!(ring.push(ev(round * 10 + i)));
+            }
+            out.clear();
+            ring.drain_into(&mut out);
+            assert_eq!(out.len(), 3);
+            assert_eq!(out[0].ts_ns, round * 10);
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The armed-gated recorder and the drained [`Trace`].
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mca_sync::{CachePadded, Mutex};
+
+use crate::event::{EventKind, Phase, TraceEvent, NUM_KINDS};
+use crate::export::RunSummary;
+use crate::metrics::MetricsRegistry;
+use crate::ring::EventRing;
+
+/// Default per-thread ring capacity (events).  16 Ki × 32 B = 512 KiB per
+/// participating thread — generous for a chaos seed, bounded for a bench.
+pub(crate) const DEFAULT_RING_CAPACITY: usize = 16 * 1024;
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The calling thread's ring for the tracer it touched last.  One
+    /// entry (not a map): threads overwhelmingly record against a single
+    /// runtime's tracer, and a miss only costs the registry lock.
+    static THREAD_RING: RefCell<Option<(u64, Arc<EventRing>)>> = const { RefCell::new(None) };
+}
+
+/// The event recorder: per-thread SPSC rings behind one relaxed-load
+/// armed gate, plus the [`MetricsRegistry`] that rides along.
+///
+/// A `Tracer` is cheap to share (`Arc` it into every subsystem).  While
+/// disarmed, every `record`/`begin`/`end`/`instant` call is a single
+/// relaxed atomic load and an early return — the same zero-overhead
+/// discipline as the MRAPI fault-probe gate, and the property the
+/// re-measured Table I in EXPERIMENTS.md pins down.
+pub struct Tracer {
+    id: u64,
+    armed: AtomicBool,
+    epoch: Instant,
+    ring_capacity: usize,
+    rings: Mutex<Vec<Arc<EventRing>>>,
+    /// Events recorded per kind (includes events later dropped by a full
+    /// ring), so summaries don't need to drain.
+    kind_counts: [CachePadded<AtomicU64>; NUM_KINDS],
+    metrics: MetricsRegistry,
+}
+
+impl Tracer {
+    /// A tracer with the default per-thread ring capacity; `armed`
+    /// decides whether it records.
+    pub fn new(armed: bool) -> Self {
+        Self::with_capacity(armed, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A tracer whose per-thread rings hold `ring_capacity` events
+    /// (rounded up to a power of two).
+    pub fn with_capacity(armed: bool, ring_capacity: usize) -> Self {
+        Tracer {
+            id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            armed: AtomicBool::new(armed),
+            epoch: Instant::now(),
+            ring_capacity,
+            rings: Mutex::new(Vec::new()),
+            kind_counts: std::array::from_fn(|_| CachePadded::new(AtomicU64::new(0))),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Whether recording is on.  This is the one relaxed load every
+    /// instrumented hot path pays when tracing is off.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Arm or disarm recording.  Subsystems that install deeper hooks at
+    /// construction (e.g. the MRAPI site observer) only do so when the
+    /// tracer was armed at that point; prefer deciding via configuration.
+    pub fn set_armed(&self, on: bool) {
+        self.armed.store(on, Ordering::Release);
+    }
+
+    /// Nanoseconds since this tracer's epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The metrics registry riding along with this tracer.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Record one event (no-op while disarmed).
+    #[inline]
+    pub fn record(&self, kind: EventKind, phase: Phase, tid: u32, a: u64, b: u64) {
+        if !self.armed() {
+            return;
+        }
+        self.record_armed(kind, phase, tid, a, b);
+    }
+
+    /// Open a span (`tid` = team thread number, or `u32::MAX` outside a
+    /// team context).
+    #[inline]
+    pub fn begin(&self, kind: EventKind, tid: u32, a: u64) {
+        self.record(kind, Phase::Begin, tid, a, 0);
+    }
+
+    /// Close a span.
+    #[inline]
+    pub fn end(&self, kind: EventKind, tid: u32, a: u64) {
+        self.record(kind, Phase::End, tid, a, 0);
+    }
+
+    /// Record a point event.
+    #[inline]
+    pub fn instant(&self, kind: EventKind, tid: u32, a: u64, b: u64) {
+        self.record(kind, Phase::Instant, tid, a, b);
+    }
+
+    fn record_armed(&self, kind: EventKind, phase: Phase, tid: u32, a: u64, b: u64) {
+        let ev = TraceEvent {
+            ts_ns: self.now_ns(),
+            kind,
+            phase,
+            tid,
+            a,
+            b,
+        };
+        self.kind_counts[kind.index()]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+        THREAD_RING.with(|cell| {
+            let mut cached = cell.borrow_mut();
+            match cached.as_ref() {
+                Some((id, ring)) if *id == self.id => {
+                    ring.push(ev);
+                }
+                _ => {
+                    let ring = self.ring_for_current_thread();
+                    ring.push(ev);
+                    *cached = Some((self.id, ring));
+                }
+            }
+        });
+    }
+
+    /// The calling thread's ring on this tracer, registering one on first
+    /// use (cache-miss path of `record_armed`).
+    fn ring_for_current_thread(&self) -> Arc<EventRing> {
+        let me = std::thread::current();
+        let mut rings = self.rings.lock();
+        if let Some(r) = rings.iter().find(|r| r.owner() == me.id()) {
+            return Arc::clone(r);
+        }
+        let label = me
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{}", rings.len()));
+        let ring = Arc::new(EventRing::new(self.ring_capacity, label));
+        rings.push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Total events recorded so far (including ring-dropped ones).
+    pub fn events_recorded(&self) -> u64 {
+        self.kind_counts
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total events dropped by full rings so far.
+    pub fn events_dropped(&self) -> u64 {
+        self.rings.lock().iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Drain every thread's ring into a [`Trace`].  Call at a quiescent
+    /// point (no region in flight) — the reader side is serialized, but
+    /// events recorded concurrently with the drain land in the next one.
+    pub fn drain(&self) -> Trace {
+        let rings = self.rings.lock();
+        let mut lanes = Vec::with_capacity(rings.len());
+        let mut dropped = 0;
+        for ring in rings.iter() {
+            let mut events = Vec::with_capacity(ring.len());
+            ring.drain_into(&mut events);
+            dropped += ring.dropped();
+            lanes.push(Lane {
+                label: ring.label().to_string(),
+                events,
+            });
+        }
+        Trace { lanes, dropped }
+    }
+
+    /// A non-consuming summary: per-kind event counts, drop accounting,
+    /// and a snapshot of every metric.  This is what the chaos harness
+    /// and the benches embed in their output.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            events: self.events_recorded(),
+            dropped: self.events_dropped(),
+            by_kind: EventKind::ALL
+                .iter()
+                .map(|k| {
+                    (
+                        k.label(),
+                        self.kind_counts[k.index()].0.load(Ordering::Relaxed),
+                    )
+                })
+                .filter(|(_, n)| *n > 0)
+                .collect(),
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("armed", &self.armed())
+            .field("events", &self.events_recorded())
+            .field("dropped", &self.events_dropped())
+            .finish()
+    }
+}
+
+/// One thread's drained events, in recording order.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// The recording thread's name at ring registration.
+    pub label: String,
+    /// The events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A drained trace: one [`Lane`] per participating thread.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Per-thread event lanes.
+    pub lanes: Vec<Lane>,
+    /// Cumulative events dropped by full rings (see the drop policy on
+    /// [`EventRing`]).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Total drained events across all lanes.
+    pub fn total_events(&self) -> usize {
+        self.lanes.iter().map(|l| l.events.len()).sum()
+    }
+
+    /// How many events match `kind` and `phase`.
+    pub fn count(&self, kind: EventKind, phase: Phase) -> usize {
+        self.lanes
+            .iter()
+            .flat_map(|l| &l.events)
+            .filter(|e| e.kind == kind && e.phase == phase)
+            .count()
+    }
+
+    /// Whether every `Begin` of `kind` has a matching `End` *on the same
+    /// lane* (spans never migrate threads), with no `End` before its
+    /// `Begin`.
+    pub fn balanced(&self, kind: EventKind) -> bool {
+        self.lanes.iter().all(|lane| {
+            let mut depth = 0i64;
+            for e in &lane.events {
+                if e.kind != kind {
+                    continue;
+                }
+                match e.phase {
+                    Phase::Begin => depth += 1,
+                    Phase::End => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return false;
+                        }
+                    }
+                    Phase::Instant => {}
+                }
+            }
+            depth == 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_records_nothing() {
+        let t = Tracer::new(false);
+        t.begin(EventKind::Region, 0, 0);
+        t.instant(EventKind::Mrapi, 0, 0, 0);
+        assert_eq!(t.events_recorded(), 0);
+        assert_eq!(t.drain().total_events(), 0);
+        assert!(!t.armed());
+    }
+
+    #[test]
+    fn armed_records_and_drains_in_order() {
+        let t = Tracer::new(true);
+        t.begin(EventKind::Region, 0, 42);
+        t.instant(EventKind::TaskSpawn, 0, 1, 2);
+        t.end(EventKind::Region, 0, 42);
+        assert_eq!(t.events_recorded(), 3);
+        let trace = t.drain();
+        assert_eq!(trace.lanes.len(), 1);
+        let evs = &trace.lanes[0].events;
+        assert_eq!(evs.len(), 3);
+        assert!(evs.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(evs[0].phase, Phase::Begin);
+        assert_eq!(evs[2].phase, Phase::End);
+        assert_eq!(evs[0].a, 42);
+        // Drained: a second drain is empty, counts persist.
+        assert_eq!(t.drain().total_events(), 0);
+        assert_eq!(t.events_recorded(), 3);
+    }
+
+    #[test]
+    fn each_thread_gets_its_own_lane() {
+        let t = Arc::new(Tracer::new(true));
+        t.instant(EventKind::Barrier, 0, 0, 0);
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let t = Arc::clone(&t);
+                std::thread::Builder::new()
+                    .name(format!("lane-test-{i}"))
+                    .spawn(move || {
+                        for _ in 0..10 {
+                            t.instant(EventKind::Barrier, i, 0, 0);
+                        }
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let trace = t.drain();
+        assert_eq!(trace.lanes.len(), 4, "main + 3 workers");
+        assert_eq!(trace.total_events(), 31);
+        assert!(trace
+            .lanes
+            .iter()
+            .any(|l| l.label.starts_with("lane-test-")));
+    }
+
+    #[test]
+    fn overflow_accounted_in_summary() {
+        let t = Tracer::with_capacity(true, 4);
+        for i in 0..20 {
+            t.instant(EventKind::Mrapi, 0, i, 0);
+        }
+        assert_eq!(t.events_recorded(), 20, "attempts counted");
+        assert_eq!(t.events_dropped(), 16, "overflow counted");
+        let s = t.summary();
+        assert_eq!(s.events, 20);
+        assert_eq!(s.dropped, 16);
+        assert_eq!(s.by_kind, vec![("mrapi", 20)]);
+        assert_eq!(t.drain().dropped, 16);
+    }
+
+    #[test]
+    fn balanced_detects_mismatches() {
+        let t = Tracer::new(true);
+        t.begin(EventKind::Barrier, 0, 0);
+        assert!(!t.drain().balanced(EventKind::Barrier), "open span");
+        t.end(EventKind::Barrier, 0, 0);
+        assert!(
+            !t.drain().balanced(EventKind::Barrier),
+            "end without begin (begin was drained away)"
+        );
+        t.begin(EventKind::Barrier, 0, 0);
+        t.end(EventKind::Barrier, 0, 0);
+        assert!(t.drain().balanced(EventKind::Barrier));
+    }
+
+    #[test]
+    fn two_tracers_on_one_thread_do_not_mix() {
+        let a = Tracer::new(true);
+        let b = Tracer::new(true);
+        a.instant(EventKind::Mrapi, 0, 1, 0);
+        b.instant(EventKind::Barrier, 0, 2, 0);
+        a.instant(EventKind::Mrapi, 0, 3, 0);
+        let ta = a.drain();
+        let tb = b.drain();
+        assert_eq!(ta.total_events(), 2);
+        assert_eq!(tb.total_events(), 1);
+        assert!(ta
+            .lanes
+            .iter()
+            .flat_map(|l| &l.events)
+            .all(|e| e.kind == EventKind::Mrapi));
+    }
+}

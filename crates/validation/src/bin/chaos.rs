@@ -92,6 +92,12 @@ fn main() {
                     .collect::<Vec<_>>()
             );
         }
+        for (seed, summary) in &report.summaries {
+            println!("  -- trace summary, seed {seed:#x} --");
+            for line in summary.render().lines() {
+                println!("  {line}");
+            }
+        }
         if !report.all_safe() {
             failed = true;
         }

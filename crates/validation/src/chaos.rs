@@ -17,6 +17,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
+use romp::trace::RunSummary;
 use romp::{BackendKind, Config, RetryPolicy, Runtime};
 
 use crate::checks;
@@ -64,6 +65,9 @@ pub struct ChaosReport {
     pub degraded_seeds: Vec<u64>,
     /// Over-long lock waits observed across all seeds.
     pub deadlock_reports: usize,
+    /// Per-seed observability summaries, collected only when the campaign
+    /// ran with tracing armed (`ROMP_TRACE=1`); empty otherwise.
+    pub summaries: Vec<(u64, RunSummary)>,
 }
 
 impl ChaosReport {
@@ -100,15 +104,28 @@ impl ChaosReport {
             self.degraded_seeds.len(),
             self.deadlock_reports
         ));
+        if !self.summaries.is_empty() {
+            let events: u64 = self.summaries.iter().map(|(_, s)| s.events).sum();
+            let dropped: u64 = self.summaries.iter().map(|(_, s)| s.dropped).sum();
+            s.push_str(&format!(
+                ", {} trace events ({} dropped) across {} traced seeds",
+                events,
+                dropped,
+                self.summaries.len()
+            ));
+        }
         s
     }
 }
 
 /// The chaos configuration for `seed`: short lock timeout so wedged-lock
 /// schedules degrade in milliseconds, a tight retry ladder, and the
-/// seeded fault plan itself.
+/// seeded fault plan itself.  Tracing follows the environment
+/// (`ROMP_TRACE`/`ROMP_TRACE_OUT`), so a chaos campaign can be replayed
+/// with a chrome trace per seed.
 pub fn chaos_config(kind: BackendKind, seed: u64) -> Config {
-    Config::default()
+    let env = Config::from_env();
+    let mut cfg = Config::default()
         .with_backend(kind)
         .with_fault_seed(seed)
         .with_lock_timeout(Duration::from_millis(10))
@@ -117,6 +134,26 @@ pub fn chaos_config(kind: BackendKind, seed: u64) -> Config {
             base_delay: Duration::from_micros(20),
             max_delay: Duration::from_micros(500),
         })
+        .with_tracing(env.trace);
+    cfg.trace_out = env.trace_out;
+    cfg
+}
+
+/// `chaos_config` with the trace output redirected to a per-seed file
+/// (`foo.json` → `foo-seed-0xSEED.json`) so a multi-seed campaign does not
+/// overwrite one trace with the next.
+fn seeded_config(kind: BackendKind, seed: u64, many_seeds: bool) -> Config {
+    let mut cfg = chaos_config(kind, seed);
+    if many_seeds {
+        if let Some(path) = cfg.trace_out.take() {
+            let (stem, ext) = match path.rsplit_once('.') {
+                Some((s, e)) => (s.to_string(), format!(".{e}")),
+                None => (path, String::new()),
+            };
+            cfg.trace_out = Some(format!("{stem}-seed-{seed:#x}{ext}"));
+        }
+    }
+    cfg
 }
 
 /// Run the construct matrix under each seeded fault schedule on `kind`.
@@ -128,8 +165,9 @@ pub fn run_chaos(kind: BackendKind, seeds: &[u64], team_sizes: &[usize]) -> Chao
     let mut runs = Vec::new();
     let mut degraded_seeds = Vec::new();
     let mut deadlock_reports = 0usize;
+    let mut summaries = Vec::new();
     for &seed in seeds {
-        let rt = match Runtime::with_config(chaos_config(kind, seed)) {
+        let rt = match Runtime::with_config(seeded_config(kind, seed, seeds.len() > 1)) {
             Ok(rt) => rt,
             Err(e) => {
                 // Typed construction failure: a permitted non-completion
@@ -162,12 +200,18 @@ pub fn run_chaos(kind: BackendKind, seeds: &[u64], team_sizes: &[usize]) -> Chao
             degraded_seeds.push(seed);
         }
         deadlock_reports += rt.take_deadlock_reports().len();
+        if rt.tracer().armed() {
+            // `run_summary` does not consume the buffered events, so the
+            // runtime's drop still writes the full chrome trace.
+            summaries.push((seed, rt.run_summary()));
+        }
     }
     ChaosReport {
         backend: kind.label(),
         runs,
         degraded_seeds,
         deadlock_reports,
+        summaries,
     }
 }
 

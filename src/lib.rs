@@ -12,6 +12,8 @@
 //! * [`mtapi`] — the MCA task-management API;
 //! * [`romp`] — the OpenMP-style runtime with native and MCA backends
 //!   (the paper's libGOMP vs. MCA-libGOMP pair);
+//! * [`trace`] — the observability layer: ring-buffered trace spans, a
+//!   metrics registry, and the chrome://tracing exporter;
 //! * [`epcc`] — the EPCC microbenchmark suite (Table I);
 //! * [`npb`] — NAS Parallel Benchmark kernels (Figure 4);
 //! * [`validation`] — the OpenMP validation suite analogue (§6A).
@@ -29,6 +31,7 @@ pub use mca_mrapi as mrapi;
 pub use mca_mtapi as mtapi;
 pub use mca_platform as platform;
 pub use romp;
+pub use romp::trace;
 pub use romp_epcc as epcc;
 pub use romp_npb as npb;
 pub use romp_validation as validation;
