@@ -1,0 +1,423 @@
+//! `loadgen` — the romp-serve load generator and latency reporter.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16] [--requests N]
+//!         [--rate R] [--mix epcc|npb|mixed] [--json]
+//! loadgen --addr HOST:PORT --ping
+//! loadgen --addr HOST:PORT --shutdown
+//! ```
+//!
+//! Each client thread owns one connection and drives submit → poll →
+//! fetch round trips.  With `--rate R` the generator is **open-loop**:
+//! arrivals follow a fixed schedule of `R` requests/second per client,
+//! and latency is measured from the *scheduled* arrival, so time spent
+//! catching up after a slow response is charged to the server
+//! (coordinated-omission-free, the wrk2 discipline).  Without `--rate`
+//! it is closed-loop maximum throughput and latency is submit → result.
+//!
+//! `Rejected { retry_after_ms }` answers are counted, honoured (bounded
+//! sleep) and retried — a full-queue episode shows up as rejections and
+//! latency, never as a lost request.  Any protocol-level surprise is a
+//! hard error counted in `protocol_errors`; the process exits non-zero
+//! if any occurred (the CI smoke's assertion).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mca_sync::Mutex;
+use romp_epcc::Construct;
+use romp_npb::{Class, NpbKernel};
+use romp_serve::{Client, JobSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16] \
+         [--requests N] [--rate R] [--mix epcc|npb|mixed] [--json]\n\
+         \x20      loadgen --addr HOST:PORT --ping | --shutdown"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mix {
+    Epcc,
+    Npb,
+    Mixed,
+}
+
+impl Mix {
+    fn parse(s: &str) -> Option<Mix> {
+        match s {
+            "epcc" => Some(Mix::Epcc),
+            "npb" => Some(Mix::Npb),
+            "mixed" => Some(Mix::Mixed),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Mix::Epcc => "epcc",
+            Mix::Npb => "npb",
+            Mix::Mixed => "mixed",
+        }
+    }
+
+    /// The k-th request's job.  EPCC constructs rotate so the stream
+    /// exercises the whole construct matrix; the mixed stream folds in an
+    /// NPB kernel every 16th request.
+    fn job(self, k: u64) -> JobSpec {
+        const CONSTRUCTS: [Construct; 6] = [
+            Construct::Barrier,
+            Construct::Parallel,
+            Construct::Reduction,
+            Construct::Critical,
+            Construct::Single,
+            Construct::ParallelFor,
+        ];
+        let epcc = JobSpec::Epcc {
+            construct: CONSTRUCTS[(k % CONSTRUCTS.len() as u64) as usize],
+            threads: 2,
+            inner_reps: 8,
+        };
+        let npb = JobSpec::Npb {
+            kernel: if k.is_multiple_of(2) {
+                NpbKernel::Ep
+            } else {
+                NpbKernel::Is
+            },
+            class: Class::S,
+            threads: 2,
+        };
+        match self {
+            Mix::Epcc => epcc,
+            Mix::Npb => npb,
+            Mix::Mixed => {
+                if k % 16 == 15 {
+                    npb
+                } else {
+                    epcc
+                }
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct PhaseTally {
+    latencies_ns: Mutex<Vec<u64>>,
+    completed: AtomicU64,
+    failed_verification: AtomicU64,
+    rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+struct PhaseReport {
+    clients: usize,
+    completed: u64,
+    failed_verification: u64,
+    rejections: u64,
+    protocol_errors: u64,
+    wall_s: f64,
+    latencies_ns: Vec<u64>,
+}
+
+impl PhaseReport {
+    fn throughput_rps(&self) -> f64 {
+        self.completed as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn quantile_us(&self, q: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let n = self.latencies_ns.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_ns[rank - 1] as f64 / 1_000.0
+    }
+
+    fn mean_us(&self) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.latencies_ns.iter().sum();
+        sum as f64 / self.latencies_ns.len() as f64 / 1_000.0
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"clients\": {}, \"completed\": {}, \"failed_verification\": {}, \
+             \"rejections\": {}, \"protocol_errors\": {}, \"wall_s\": {:.4}, \
+             \"throughput_rps\": {:.2}, \"mean_us\": {:.1}, \"p50_us\": {:.1}, \
+             \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}}",
+            self.clients,
+            self.completed,
+            self.failed_verification,
+            self.rejections,
+            self.protocol_errors,
+            self.wall_s,
+            self.throughput_rps(),
+            self.mean_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.90),
+            self.quantile_us(0.99),
+            self.quantile_us(0.999),
+        )
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "clients={:<3} completed={:<6} rejected={:<5} proto_err={:<3} \
+             {:>8.1} req/s   p50={:.1}us p90={:.1}us p99={:.1}us p999={:.1}us",
+            self.clients,
+            self.completed,
+            self.rejections,
+            self.protocol_errors,
+            self.throughput_rps(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.90),
+            self.quantile_us(0.99),
+            self.quantile_us(0.999),
+        )
+    }
+}
+
+/// One client thread's share of a phase.
+#[allow(clippy::too_many_arguments)]
+fn client_worker(
+    addr: String,
+    mix: Mix,
+    client_idx: u64,
+    requests: u64,
+    rate: f64,
+    tally: Arc<PhaseTally>,
+) {
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: connect failed: {e}");
+            tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let start = Instant::now();
+    let interval = if rate > 0.0 {
+        Some(Duration::from_secs_f64(1.0 / rate))
+    } else {
+        None
+    };
+    let mut local_lat = Vec::with_capacity(requests as usize);
+    for k in 0..requests {
+        // Open-loop: the k-th request is *due* at start + k·interval;
+        // latency accrues from the due time even if we are behind.
+        let due = interval.map(|iv| start + iv * (k as u32));
+        if let Some(due) = due {
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let t0 = due.unwrap_or_else(Instant::now);
+        let spec = mix.job(client_idx.wrapping_mul(7919).wrapping_add(k));
+        let submitted = match client.submit_with_retry(&spec, Duration::from_secs(60)) {
+            Ok(Some((id, rejections))) => {
+                tally
+                    .rejections
+                    .fetch_add(rejections as u64, Ordering::Relaxed);
+                Some(id)
+            }
+            Ok(None) => {
+                eprintln!("loadgen: server draining mid-phase");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(e) => {
+                eprintln!("loadgen: submit failed: {e}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        };
+        let Some(id) = submitted else { break };
+        match client.wait_result(id, Duration::from_secs(120)) {
+            Ok(out) => {
+                local_lat.push(t0.elapsed().as_nanos() as u64);
+                tally.completed.fetch_add(1, Ordering::Relaxed);
+                if !out.ok {
+                    tally.failed_verification.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: result failed for job {id}: {e}");
+                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+    tally.latencies_ns.lock().extend_from_slice(&local_lat);
+}
+
+fn run_phase(addr: &str, mix: Mix, clients: usize, requests: u64, rate: f64) -> PhaseReport {
+    let tally = Arc::new(PhaseTally::default());
+    let per = requests / clients as u64;
+    let extra = requests % clients as u64;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let tally = Arc::clone(&tally);
+            let n = per + u64::from((c as u64) < extra);
+            std::thread::spawn(move || client_worker(addr, mix, c as u64, n, rate, tally))
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut latencies_ns = std::mem::take(&mut *tally.latencies_ns.lock());
+    latencies_ns.sort_unstable();
+    PhaseReport {
+        clients,
+        completed: tally.completed.load(Ordering::Relaxed),
+        failed_verification: tally.failed_verification.load(Ordering::Relaxed),
+        rejections: tally.rejections.load(Ordering::Relaxed),
+        protocol_errors: tally.protocol_errors.load(Ordering::Relaxed),
+        wall_s,
+        latencies_ns,
+    }
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut clients = 4usize;
+    let mut sweep: Option<Vec<usize>> = None;
+    let mut requests = 200u64;
+    let mut rate = 0.0f64;
+    let mut mix = Mix::Epcc;
+    let mut json = false;
+    let mut ping = false;
+    let mut shutdown = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |j: usize| args.get(j).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(need(i + 1));
+                i += 2;
+            }
+            "--clients" => {
+                clients = need(i + 1)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--sweep" => {
+                let v: Option<Vec<usize>> = need(i + 1)
+                    .split(',')
+                    .map(|t| t.trim().parse().ok().filter(|&n| n >= 1))
+                    .collect();
+                sweep = Some(v.unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--requests" => {
+                requests = need(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--rate" => {
+                rate = need(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--mix" => {
+                mix = Mix::parse(&need(i + 1)).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--ping" => {
+                ping = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                shutdown = true;
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+
+    if ping {
+        match Client::connect(addr.as_str()).and_then(|mut c| c.ping()) {
+            Ok(()) => {
+                eprintln!("loadgen: {addr} is alive");
+                return;
+            }
+            Err(e) => {
+                eprintln!("loadgen: ping {addr} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if shutdown {
+        match Client::connect(addr.as_str()).and_then(|mut c| c.shutdown()) {
+            Ok(outstanding) => {
+                eprintln!("loadgen: drain requested, {outstanding} jobs outstanding");
+                return;
+            }
+            Err(e) => {
+                eprintln!("loadgen: shutdown {addr} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let concurrencies = sweep.unwrap_or_else(|| vec![clients]);
+    let mut reports = Vec::new();
+    for &c in &concurrencies {
+        if !json {
+            eprintln!("loadgen: phase clients={c} requests={requests} ...");
+        }
+        reports.push(run_phase(&addr, mix, c, requests, rate));
+    }
+
+    if json {
+        let mut s = String::from("{\n  \"benchmark\": \"serve_loadgen\",\n");
+        s.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+        ));
+        s.push_str(&format!("  \"mix\": \"{}\",\n", mix.label()));
+        s.push_str(&format!("  \"requests_per_phase\": {requests},\n"));
+        s.push_str(&format!("  \"open_loop_rate_per_client\": {rate},\n"));
+        s.push_str("  \"phases\": [\n");
+        for (i, r) in reports.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&r.to_json());
+            s.push_str(if i + 1 == reports.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  ]\n}");
+        println!("{s}");
+    } else {
+        for r in &reports {
+            println!("{}", r.render());
+        }
+    }
+
+    let bad: u64 = reports.iter().map(|r| r.protocol_errors).sum();
+    let incomplete = reports
+        .iter()
+        .any(|r| r.completed != requests || r.failed_verification != 0);
+    if bad > 0 || incomplete {
+        eprintln!("loadgen: FAILED (protocol_errors={bad}, incomplete={incomplete})");
+        std::process::exit(1);
+    }
+}

@@ -670,6 +670,22 @@ impl Runtime {
         Ok(OmpLock::new(self.inner.backend_new_lock()?))
     }
 
+    /// Wait until every pool worker has fully finished its in-flight
+    /// region member (post-barrier epilogues included).
+    ///
+    /// This is the runtime's quiescence hook: long-lived hosts that share
+    /// one runtime across many submitted jobs — the `romp-serve` drain
+    /// path in particular — call it between "last job completed" and
+    /// "report shutdown", so no worker is still running a trailing
+    /// epilogue when the process exits.  [`Runtime::take_trace`] and
+    /// [`Runtime::run_summary`] quiesce implicitly.
+    ///
+    /// Must not be called from inside a parallel region (the caller's own
+    /// team member would never go idle).
+    pub fn quiesce(&self) {
+        self.inner.quiesce_pool();
+    }
+
     /// Always-on construct counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()

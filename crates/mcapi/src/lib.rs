@@ -38,6 +38,8 @@
 //! assert_eq!(&data[..], b"halt");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod msg;
 pub mod pktchan;
 pub mod request;

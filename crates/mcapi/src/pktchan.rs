@@ -12,7 +12,6 @@ use std::time::Duration;
 use crate::registry::{ChanKind, ChanRole, ChanState, Endpoint, Item};
 use crate::status::{ensure, McapiResult, McapiStatus};
 
-/// Sending half of a packet channel.
 impl std::fmt::Debug for PktTx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PktTx")
@@ -21,12 +20,12 @@ impl std::fmt::Debug for PktTx {
     }
 }
 
+/// Sending half of a packet channel.
 pub struct PktTx {
     ep: Endpoint,
     peer: Endpoint,
 }
 
-/// Receiving half of a packet channel.
 impl std::fmt::Debug for PktRx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PktRx")
@@ -35,6 +34,7 @@ impl std::fmt::Debug for PktRx {
     }
 }
 
+/// Receiving half of a packet channel.
 pub struct PktRx {
     ep: Endpoint,
     peer: Endpoint,

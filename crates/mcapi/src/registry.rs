@@ -14,7 +14,9 @@ use crate::{DEFAULT_QUEUE_CAPACITY, MCAPI_MAX_PRIORITY};
 /// (`mcapi_endpoint_t` identity: node + port).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EndpointAddr {
+    /// Owning node id within the domain.
     pub node: u32,
+    /// Port number on that node (unique per node).
     pub port: u32,
 }
 

@@ -12,7 +12,6 @@ use std::time::Duration;
 use crate::registry::{ChanKind, ChanRole, ChanState, Endpoint, Item};
 use crate::status::{ensure, McapiResult, McapiStatus};
 
-/// Sending half of a scalar channel.
 impl std::fmt::Debug for SclTx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SclTx")
@@ -21,12 +20,12 @@ impl std::fmt::Debug for SclTx {
     }
 }
 
+/// Sending half of a scalar channel.
 pub struct SclTx {
     ep: Endpoint,
     peer: Endpoint,
 }
 
-/// Receiving half of a scalar channel.
 impl std::fmt::Debug for SclRx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SclRx")
@@ -35,6 +34,7 @@ impl std::fmt::Debug for SclRx {
     }
 }
 
+/// Receiving half of a scalar channel.
 pub struct SclRx {
     ep: Endpoint,
     peer: Endpoint,

@@ -34,6 +34,8 @@
 //! assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 81);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod runtime;
 pub mod status;
 

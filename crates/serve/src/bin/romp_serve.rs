@@ -1,0 +1,97 @@
+//! The `romp-serve` server binary.
+//!
+//! ```text
+//! romp-serve [--addr 127.0.0.1:7171] [--backend native|mca]
+//!            [--queue-cap N] [--max-job-threads N] [--threads N]
+//! ```
+//!
+//! Binds, prints `romp-serve listening on <addr>`, and serves until a
+//! client sends `shutdown`; then drains every accepted job, quiesces the
+//! pool, and prints the drain report as JSON on stdout.  Exits non-zero
+//! if the drain dropped anything (it cannot, by construction — the exit
+//! code is the CI assertion).
+
+use romp::{BackendKind, Config, Runtime};
+use romp_serve::{JobLimits, ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: romp-serve [--addr HOST:PORT] [--backend native|mca] \
+         [--queue-cap N] [--max-job-threads N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut backend = BackendKind::Native;
+    let mut queue_cap = 64usize;
+    let mut max_job_threads = 16u8;
+    let mut num_threads: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |j: usize| args.get(j).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--addr" => {
+                addr = need(i + 1);
+                i += 2;
+            }
+            "--backend" => {
+                backend = BackendKind::parse(&need(i + 1)).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--queue-cap" => {
+                queue_cap = need(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--max-job-threads" => {
+                max_job_threads = need(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--threads" => {
+                num_threads = Some(need(i + 1).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let mut cfg = Config::from_env().with_backend(backend);
+    if let Some(n) = num_threads {
+        cfg = cfg.with_num_threads(n);
+    }
+    let rt = match Runtime::with_config(cfg) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("romp-serve: runtime construction failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let serve_cfg = ServeConfig {
+        queue_cap,
+        limits: JobLimits {
+            max_threads: max_job_threads,
+            ..JobLimits::default()
+        },
+    };
+    let handle = match Server::start(&addr, serve_cfg, rt) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("romp-serve: bind {addr} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The readiness line scripts wait for (flushed by println's newline).
+    println!("romp-serve listening on {}", handle.addr());
+
+    let report = handle.join();
+    println!("{}", report.to_json());
+    if report.dropped != 0 {
+        eprintln!("romp-serve: drain dropped {} accepted jobs", report.dropped);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,213 @@
+//! The blocking client: one TCP connection, request/response framing,
+//! and the submit-retry-poll-fetch convenience loop `loadgen` and the
+//! tests drive.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::job::{JobOutcome, JobSpec, JobState};
+use crate::protocol::{read_frame, write_frame, ErrorCode, FrameError, Request, Response};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, truncated frame).
+    Io(std::io::Error),
+    /// The server answered with bytes the protocol cannot decode.
+    Proto(String),
+    /// The server closed the connection mid-conversation.
+    Closed,
+    /// A structurally valid response that makes no sense for the request
+    /// (e.g. `Pong` to `Submit`).
+    Unexpected(Response),
+    /// The server refused with a typed error.
+    Server {
+        /// The refusal code.
+        code: ErrorCode,
+        /// Server-provided detail.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(m) => write!(f, "protocol: {m}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Unexpected(r) => write!(f, "unexpected response: {r:?}"),
+            ClientError::Server { code, msg } => write!(f, "server error {code:?}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// What `submit` can come back with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted under this id.
+    Accepted(u64),
+    /// Backpressured; retry after the given delay.
+    Rejected {
+        /// Server's backoff hint, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The server is draining and takes no new work.
+    Draining,
+}
+
+/// A connected client (one TCP stream, used serially).
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let body = match read_frame(&mut self.reader) {
+            Ok(Some(b)) => b,
+            Ok(None) => return Err(ClientError::Closed),
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(FrameError::Proto(e)) => return Err(ClientError::Proto(e.to_string())),
+        };
+        Response::decode(&body).map_err(|e| ClientError::Proto(e.to_string()))
+    }
+
+    /// Submit a job (does not retry; see [`Client::submit_with_retry`]).
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<SubmitOutcome, ClientError> {
+        match self.call(&Request::Submit(*spec))? {
+            Response::Accepted { job } => Ok(SubmitOutcome::Accepted(job)),
+            Response::Rejected { retry_after_ms } => Ok(SubmitOutcome::Rejected { retry_after_ms }),
+            Response::Error {
+                code: ErrorCode::Draining,
+                ..
+            } => Ok(SubmitOutcome::Draining),
+            Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Submit with bounded backoff on `Rejected`.  Returns the job id and
+    /// how many rejections were absorbed, or `None` for a draining server.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        max_wait: Duration,
+    ) -> Result<Option<(u64, u32)>, ClientError> {
+        let deadline = Instant::now() + max_wait;
+        let mut rejections = 0u32;
+        loop {
+            match self.submit(spec)? {
+                SubmitOutcome::Accepted(id) => return Ok(Some((id, rejections))),
+                SubmitOutcome::Draining => return Ok(None),
+                SubmitOutcome::Rejected { retry_after_ms } => {
+                    rejections += 1;
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Server {
+                            code: ErrorCode::Draining,
+                            msg: format!(
+                                "admission retry budget exhausted after {rejections} rejections"
+                            ),
+                        });
+                    }
+                    // Honour the hint, capped so tests stay fast.
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 250) as u64));
+                }
+            }
+        }
+    }
+
+    /// Poll a job's state.
+    pub fn poll(&mut self, job: u64) -> Result<JobState, ClientError> {
+        match self.call(&Request::Poll { job })? {
+            Response::Status { state, .. } => Ok(state),
+            Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Fetch (and consume) a finished job's result.
+    pub fn fetch(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
+        match self.call(&Request::Fetch { job })? {
+            Response::JobResult {
+                ok,
+                wall_us,
+                detail,
+                ..
+            } => Ok(JobOutcome {
+                ok,
+                wall_us,
+                detail,
+            }),
+            Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Block until the job finishes, then fetch its result.  Polls with a
+    /// short sleep; `timeout` bounds the total wait.
+    pub fn wait_result(&mut self, job: u64, timeout: Duration) -> Result<JobOutcome, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.poll(job)? {
+                JobState::Done | JobState::Failed => return self.fetch(job),
+                JobState::Queued | JobState::Running => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Server {
+                            code: ErrorCode::NotReady,
+                            msg: format!("job {job} still pending after {timeout:?}"),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// The server's stats JSON.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { json } => Ok(json),
+            Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Request the graceful drain; returns the jobs still outstanding.
+    pub fn shutdown(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Draining { outstanding } => Ok(outstanding),
+            Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+}

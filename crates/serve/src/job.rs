@@ -1,0 +1,362 @@
+//! Job specifications and their execution on the shared runtime.
+//!
+//! A *job* is one of the workloads the reproduction already knows how to
+//! run — an EPCC construct exercise or an NPB kernel at a small class —
+//! so the server doubles as a realistic mixed-workload driver: the same
+//! kernels the paper measures, now arriving as concurrent requests.
+
+use std::time::Instant;
+
+use romp::{Runtime, Schedule, Worker};
+use romp_epcc::{delay, Construct};
+use romp_npb::{Class, NpbKernel};
+
+/// What a client asks the server to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobSpec {
+    /// One EPCC construct, exercised `inner_reps` times on a team of
+    /// `threads` (the syncbench inner loop, without the measurement
+    /// scaffolding).
+    Epcc {
+        /// Which construct to exercise.
+        construct: Construct,
+        /// Team size.
+        threads: u8,
+        /// Construct executions per job.
+        inner_reps: u16,
+    },
+    /// One NPB kernel run, verification included.
+    Npb {
+        /// Which kernel.
+        kernel: NpbKernel,
+        /// Problem class (keep to S/W for serving; A is a batch job).
+        class: Class,
+        /// Team size.
+        threads: u8,
+    },
+}
+
+/// Admission limits a [`JobSpec`] must satisfy (checked server-side so a
+/// hand-rolled client cannot request a 200-thread team or a day of work).
+#[derive(Debug, Clone, Copy)]
+pub struct JobLimits {
+    /// Largest team a job may request.
+    pub max_threads: u8,
+    /// Largest EPCC `inner_reps`.
+    pub max_inner_reps: u16,
+    /// Largest NPB class admitted while serving.
+    pub max_class: Class,
+}
+
+impl Default for JobLimits {
+    fn default() -> Self {
+        JobLimits {
+            max_threads: 16,
+            max_inner_reps: 4096,
+            max_class: Class::W,
+        }
+    }
+}
+
+fn class_rank(c: Class) -> u8 {
+    match c {
+        Class::S => 0,
+        Class::W => 1,
+        Class::A => 2,
+    }
+}
+
+impl JobSpec {
+    /// Validate against the server's limits.
+    pub fn validate(&self, limits: &JobLimits) -> Result<(), &'static str> {
+        match *self {
+            JobSpec::Epcc {
+                threads,
+                inner_reps,
+                ..
+            } => {
+                if threads == 0 || threads > limits.max_threads {
+                    return Err("threads out of range");
+                }
+                if inner_reps == 0 || inner_reps > limits.max_inner_reps {
+                    return Err("inner_reps out of range");
+                }
+                Ok(())
+            }
+            JobSpec::Npb { class, threads, .. } => {
+                if threads == 0 || threads > limits.max_threads {
+                    return Err("threads out of range");
+                }
+                if class_rank(class) > class_rank(limits.max_class) {
+                    return Err("class too large for serving");
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Short label for stats (`epcc.barrier`, `npb.ep.w`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            JobSpec::Epcc { construct, .. } => {
+                format!(
+                    "epcc.{}",
+                    construct.label().to_ascii_lowercase().replace(' ', "_")
+                )
+            }
+            JobSpec::Npb { kernel, class, .. } => format!(
+                "npb.{}.{}",
+                kernel.name().to_ascii_lowercase(),
+                class.label().to_ascii_lowercase()
+            ),
+        }
+    }
+}
+
+/// Where a submitted job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting in the queue.
+    Queued,
+    /// Executing on the shared runtime.
+    Running,
+    /// Finished with a passing verification.
+    Done,
+    /// Finished but verification failed (result still fetchable).
+    Failed,
+}
+
+impl JobState {
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Option<JobState> {
+        Some(match v {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Failed,
+            _ => return None,
+        })
+    }
+}
+
+/// A finished job's result.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Whether the workload's own verification passed.
+    pub ok: bool,
+    /// Execution wall time, microseconds (queue wait excluded).
+    pub wall_us: u64,
+    /// Kernel-specific summary.
+    pub detail: String,
+}
+
+/// Busy-work units inside each EPCC construct execution (the syncbench
+/// `delaylength` analogue; fixed — serving measures the service, not the
+/// construct, so no calibration loop per job).
+const EPCC_DELAY: u64 = 32;
+
+/// Execute `spec` on the shared runtime.
+///
+/// Never panics and never aborts the service: the runtime's own fault
+/// model applies (persistent MCA trouble degrades the backend under this
+/// job, which then completes on the fallback), and a kernel whose
+/// verification fails reports `ok = false` rather than erroring.
+pub fn execute(rt: &Runtime, spec: &JobSpec) -> JobOutcome {
+    let t0 = Instant::now();
+    match *spec {
+        JobSpec::Epcc {
+            construct,
+            threads,
+            inner_reps,
+        } => {
+            let n = threads as usize;
+            let inner = inner_reps as u64;
+            run_epcc(rt, construct, n, inner);
+            JobOutcome {
+                ok: true,
+                wall_us: t0.elapsed().as_micros() as u64,
+                detail: format!("{} x{inner} on {n} threads", construct.label()),
+            }
+        }
+        JobSpec::Npb {
+            kernel,
+            class,
+            threads,
+        } => {
+            let res = kernel.run(rt, threads as usize, class);
+            JobOutcome {
+                ok: res.verified(),
+                wall_us: t0.elapsed().as_micros() as u64,
+                detail: format!(
+                    "{}.{} mops={:.2} {:?}",
+                    res.name,
+                    class.label(),
+                    res.mops,
+                    res.verification
+                ),
+            }
+        }
+    }
+}
+
+/// The EPCC construct bodies, mirroring `romp_epcc::measure`'s inner
+/// loops without the timing scaffolding.
+fn run_epcc(rt: &Runtime, construct: Construct, n: usize, inner: u64) {
+    let len = EPCC_DELAY;
+    // Criticals/locks split the inner repetitions across the team the way
+    // syncbench does.
+    let share =
+        |w: &Worker| inner / n as u64 + u64::from((w.thread_num() as u64) < inner % n as u64);
+    match construct {
+        Construct::Parallel => {
+            for _ in 0..inner {
+                rt.parallel(n, |_| delay(len));
+            }
+        }
+        Construct::For => rt.parallel(n, |w| {
+            for _ in 0..inner {
+                w.for_range(0..n as u64, Schedule::Static { chunk: None }, |_| {
+                    delay(len)
+                });
+            }
+        }),
+        Construct::ParallelFor => {
+            for _ in 0..inner {
+                rt.parallel_for(n, 0..n as u64, Schedule::Static { chunk: None }, |_| {
+                    delay(len)
+                });
+            }
+        }
+        Construct::Barrier => rt.parallel(n, |w| {
+            for _ in 0..inner {
+                delay(len);
+                w.barrier();
+            }
+        }),
+        Construct::Single => rt.parallel(n, |w| {
+            for _ in 0..inner {
+                w.single(|| delay(len));
+            }
+        }),
+        Construct::Critical => rt.parallel(n, |w| {
+            for _ in 0..share(w) {
+                w.critical("serve-epcc", || delay(len));
+            }
+        }),
+        Construct::Lock => {
+            let lock = rt.new_lock();
+            rt.parallel(n, |w| {
+                for _ in 0..share(w) {
+                    lock.with(|| delay(len));
+                }
+            });
+        }
+        Construct::Reduction => {
+            for _ in 0..inner {
+                rt.parallel(n, |w| {
+                    delay(len);
+                    std::hint::black_box(w.reduce_u64(1, romp::ReduceOp::Sum));
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp::{BackendKind, Runtime};
+
+    #[test]
+    fn limits_reject_out_of_range_specs() {
+        let limits = JobLimits::default();
+        let ok = JobSpec::Epcc {
+            construct: Construct::Barrier,
+            threads: 4,
+            inner_reps: 8,
+        };
+        assert!(ok.validate(&limits).is_ok());
+        let zero = JobSpec::Epcc {
+            construct: Construct::Barrier,
+            threads: 0,
+            inner_reps: 8,
+        };
+        assert!(zero.validate(&limits).is_err());
+        let wide = JobSpec::Npb {
+            kernel: NpbKernel::Ep,
+            class: Class::S,
+            threads: 200,
+        };
+        assert!(wide.validate(&limits).is_err());
+        let big = JobSpec::Npb {
+            kernel: NpbKernel::Ep,
+            class: Class::A,
+            threads: 2,
+        };
+        assert!(big.validate(&limits).is_err(), "class A not served");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let s = JobSpec::Epcc {
+            construct: Construct::ParallelFor,
+            threads: 2,
+            inner_reps: 1,
+        };
+        assert_eq!(s.label(), "epcc.parallel_for");
+        let n = JobSpec::Npb {
+            kernel: NpbKernel::Cg,
+            class: Class::S,
+            threads: 2,
+        };
+        assert_eq!(n.label(), "npb.cg.s");
+    }
+
+    #[test]
+    fn every_epcc_construct_executes() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        for c in [
+            Construct::Parallel,
+            Construct::For,
+            Construct::ParallelFor,
+            Construct::Barrier,
+            Construct::Single,
+            Construct::Critical,
+            Construct::Reduction,
+            Construct::Lock,
+        ] {
+            let out = execute(
+                &rt,
+                &JobSpec::Epcc {
+                    construct: c,
+                    threads: 2,
+                    inner_reps: 4,
+                },
+            );
+            assert!(out.ok, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn npb_job_verifies() {
+        let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+        let out = execute(
+            &rt,
+            &JobSpec::Npb {
+                kernel: NpbKernel::Ep,
+                class: Class::S,
+                threads: 2,
+            },
+        );
+        assert!(out.ok, "{}", out.detail);
+        assert!(out.wall_us > 0);
+    }
+}

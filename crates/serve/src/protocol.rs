@@ -1,0 +1,777 @@
+//! The `romp-serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | u32 BE length  |  body (length bytes)      |
+//! +----------------+---------------------------+
+//!                    body[0] = opcode, rest = payload
+//! ```
+//!
+//! The length counts the body only, must be at least 1 (the opcode) and
+//! at most [`MAX_FRAME`]; anything else is a protocol error, reported as
+//! a typed [`ProtoError`] — decoding never panics, whatever the bytes.
+//! Integers are big-endian; strings are UTF-8 and occupy the rest of the
+//! body (every message has at most one string, always last).
+//!
+//! The protocol is deliberately tiny — five request kinds drive the whole
+//! service — and hand-rolled over `std` only, like every other byte
+//! format in this workspace (no serde in the hermetic build).
+
+use std::io::{self, Read, Write};
+
+use romp_epcc::Construct;
+use romp_npb::{Class, NpbKernel};
+
+use crate::job::{JobSpec, JobState};
+
+/// Upper bound on a frame body, protecting the peer from hostile or
+/// corrupt length prefixes.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// A malformed frame or payload (the decoding side's typed rejection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The frame body was empty (no opcode byte).
+    EmptyFrame,
+    /// The length prefix exceeded [`MAX_FRAME`].
+    Oversized(usize),
+    /// The body ended before the payload a message of this opcode needs.
+    Truncated {
+        /// Opcode whose payload was cut short.
+        opcode: u8,
+    },
+    /// An opcode neither side defines.
+    UnknownOpcode(u8),
+    /// Structurally sound frame with an out-of-range field.
+    BadPayload(&'static str),
+    /// Bytes left over after a fixed-size payload was fully read.
+    TrailingBytes(u8),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::EmptyFrame => write!(f, "empty frame (no opcode)"),
+            ProtoError::Oversized(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
+            ProtoError::Truncated { opcode } => {
+                write!(f, "truncated payload for opcode {opcode:#04x}")
+            }
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtoError::BadPayload(m) => write!(f, "bad payload: {m}"),
+            ProtoError::TrailingBytes(op) => {
+                write!(f, "trailing bytes after payload of opcode {op:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job for execution; answered by `Accepted`, `Rejected`
+    /// (queue full — retry later) or `Error(Draining)`.
+    Submit(JobSpec),
+    /// Ask for a job's current [`JobState`].
+    Poll {
+        /// Job id from `Accepted`.
+        job: u64,
+    },
+    /// Fetch (and consume) a finished job's result.
+    Fetch {
+        /// Job id from `Accepted`.
+        job: u64,
+    },
+    /// Request the server's stats snapshot (JSON).
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain: no new submissions; every accepted job still
+    /// runs to completion before the server exits.
+    Shutdown,
+}
+
+/// Error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame itself was malformed.
+    BadFrame,
+    /// The payload failed validation (limits, unknown enum value).
+    BadPayload,
+    /// No job with the given id (never accepted, or already fetched).
+    UnknownJob,
+    /// The server is draining and takes no new submissions.
+    Draining,
+    /// The job exists but has not finished; poll again.
+    NotReady,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::BadPayload => 2,
+            ErrorCode::UnknownJob => 3,
+            ErrorCode::Draining => 4,
+            ErrorCode::NotReady => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtoError> {
+        Ok(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadPayload,
+            3 => ErrorCode::UnknownJob,
+            4 => ErrorCode::Draining,
+            5 => ErrorCode::NotReady,
+            _ => return Err(ProtoError::BadPayload("unknown error code")),
+        })
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Job admitted; use the id with `Poll`/`Fetch`.
+    Accepted {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// Queue full: backpressure.  Retry after the given delay.
+    Rejected {
+        /// Suggested client backoff before resubmitting, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Answer to `Poll`.
+    Status {
+        /// The polled job.
+        job: u64,
+        /// Its current state.
+        state: JobState,
+    },
+    /// Answer to `Fetch`: the job's outcome (the entry is consumed).
+    JobResult {
+        /// The fetched job.
+        job: u64,
+        /// Whether the job's own verification passed.
+        ok: bool,
+        /// Execution wall time, microseconds (queue wait excluded).
+        wall_us: u64,
+        /// Kernel-specific detail (verification summary).
+        detail: String,
+    },
+    /// Answer to `Stats`: the JSON snapshot.
+    Stats {
+        /// Stats document (see `Server` docs for the schema).
+        json: String,
+    },
+    /// Answer to `Ping`.
+    Pong,
+    /// Answer to `Shutdown`: drain has begun.
+    Draining {
+        /// Jobs accepted but not yet finished; all will complete.
+        outstanding: u64,
+    },
+    /// A typed refusal.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+// ---- opcodes ----
+
+const OP_SUBMIT: u8 = 0x01;
+const OP_POLL: u8 = 0x02;
+const OP_FETCH: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_PING: u8 = 0x05;
+const OP_SHUTDOWN: u8 = 0x06;
+
+const OP_ACCEPTED: u8 = 0x81;
+const OP_REJECTED: u8 = 0x82;
+const OP_STATUS: u8 = 0x83;
+const OP_JOB_RESULT: u8 = 0x84;
+const OP_STATS_BODY: u8 = 0x85;
+const OP_PONG: u8 = 0x86;
+const OP_DRAINING: u8 = 0x87;
+const OP_ERROR: u8 = 0x8F;
+
+// ---- byte cursor (decode side) ----
+
+struct Cur<'a> {
+    body: &'a [u8],
+    off: usize,
+    opcode: u8,
+}
+
+impl<'a> Cur<'a> {
+    fn new(body: &'a [u8], opcode: u8) -> Self {
+        Cur {
+            body,
+            off: 1,
+            opcode,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.off + n > self.body.len() {
+            return Err(ProtoError::Truncated {
+                opcode: self.opcode,
+            });
+        }
+        let s = &self.body[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// The rest of the body as UTF-8 (the one string field, always last).
+    fn rest_str(&mut self) -> Result<String, ProtoError> {
+        let rest = &self.body[self.off..];
+        self.off = self.body.len();
+        String::from_utf8(rest.to_vec()).map_err(|_| ProtoError::BadPayload("invalid utf-8"))
+    }
+
+    /// Assert the payload was consumed exactly.
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.off == self.body.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(self.opcode))
+        }
+    }
+}
+
+// ---- enum <-> u8 tables ----
+
+fn construct_to_u8(c: Construct) -> u8 {
+    match c {
+        Construct::Parallel => 0,
+        Construct::For => 1,
+        Construct::ParallelFor => 2,
+        Construct::Barrier => 3,
+        Construct::Single => 4,
+        Construct::Critical => 5,
+        Construct::Reduction => 6,
+        Construct::Lock => 7,
+    }
+}
+
+fn construct_from_u8(v: u8) -> Result<Construct, ProtoError> {
+    Ok(match v {
+        0 => Construct::Parallel,
+        1 => Construct::For,
+        2 => Construct::ParallelFor,
+        3 => Construct::Barrier,
+        4 => Construct::Single,
+        5 => Construct::Critical,
+        6 => Construct::Reduction,
+        7 => Construct::Lock,
+        _ => return Err(ProtoError::BadPayload("unknown EPCC construct")),
+    })
+}
+
+fn kernel_to_u8(k: NpbKernel) -> u8 {
+    match k {
+        NpbKernel::Ep => 0,
+        NpbKernel::Cg => 1,
+        NpbKernel::Is => 2,
+        NpbKernel::Mg => 3,
+        NpbKernel::Ft => 4,
+    }
+}
+
+fn kernel_from_u8(v: u8) -> Result<NpbKernel, ProtoError> {
+    Ok(match v {
+        0 => NpbKernel::Ep,
+        1 => NpbKernel::Cg,
+        2 => NpbKernel::Is,
+        3 => NpbKernel::Mg,
+        4 => NpbKernel::Ft,
+        _ => return Err(ProtoError::BadPayload("unknown NPB kernel")),
+    })
+}
+
+fn class_to_u8(c: Class) -> u8 {
+    match c {
+        Class::S => 0,
+        Class::W => 1,
+        Class::A => 2,
+    }
+}
+
+fn class_from_u8(v: u8) -> Result<Class, ProtoError> {
+    Ok(match v {
+        0 => Class::S,
+        1 => Class::W,
+        2 => Class::A,
+        _ => return Err(ProtoError::BadPayload("unknown NPB class")),
+    })
+}
+
+const SPEC_EPCC: u8 = 0;
+const SPEC_NPB: u8 = 1;
+
+fn encode_spec(out: &mut Vec<u8>, spec: &JobSpec) {
+    match spec {
+        JobSpec::Epcc {
+            construct,
+            threads,
+            inner_reps,
+        } => {
+            out.push(SPEC_EPCC);
+            out.push(construct_to_u8(*construct));
+            out.push(*threads);
+            out.extend_from_slice(&inner_reps.to_be_bytes());
+        }
+        JobSpec::Npb {
+            kernel,
+            class,
+            threads,
+        } => {
+            out.push(SPEC_NPB);
+            out.push(kernel_to_u8(*kernel));
+            out.push(class_to_u8(*class));
+            out.push(*threads);
+        }
+    }
+}
+
+fn decode_spec(cur: &mut Cur<'_>) -> Result<JobSpec, ProtoError> {
+    match cur.u8()? {
+        SPEC_EPCC => Ok(JobSpec::Epcc {
+            construct: construct_from_u8(cur.u8()?)?,
+            threads: cur.u8()?,
+            inner_reps: cur.u16()?,
+        }),
+        SPEC_NPB => Ok(JobSpec::Npb {
+            kernel: kernel_from_u8(cur.u8()?)?,
+            class: class_from_u8(cur.u8()?)?,
+            threads: cur.u8()?,
+        }),
+        _ => Err(ProtoError::BadPayload("unknown job-spec tag")),
+    }
+}
+
+impl Request {
+    /// Encode as a complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(16);
+        match self {
+            Request::Submit(spec) => {
+                body.push(OP_SUBMIT);
+                encode_spec(&mut body, spec);
+            }
+            Request::Poll { job } => {
+                body.push(OP_POLL);
+                body.extend_from_slice(&job.to_be_bytes());
+            }
+            Request::Fetch { job } => {
+                body.push(OP_FETCH);
+                body.extend_from_slice(&job.to_be_bytes());
+            }
+            Request::Stats => body.push(OP_STATS),
+            Request::Ping => body.push(OP_PING),
+            Request::Shutdown => body.push(OP_SHUTDOWN),
+        }
+        finish_frame(body)
+    }
+
+    /// Decode a frame body (without the length prefix).
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let &opcode = body.first().ok_or(ProtoError::EmptyFrame)?;
+        let mut cur = Cur::new(body, opcode);
+        let req = match opcode {
+            OP_SUBMIT => Request::Submit(decode_spec(&mut cur)?),
+            OP_POLL => Request::Poll { job: cur.u64()? },
+            OP_FETCH => Request::Fetch { job: cur.u64()? },
+            OP_STATS => Request::Stats,
+            OP_PING => Request::Ping,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtoError::UnknownOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode as a complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        match self {
+            Response::Accepted { job } => {
+                body.push(OP_ACCEPTED);
+                body.extend_from_slice(&job.to_be_bytes());
+            }
+            Response::Rejected { retry_after_ms } => {
+                body.push(OP_REJECTED);
+                body.extend_from_slice(&retry_after_ms.to_be_bytes());
+            }
+            Response::Status { job, state } => {
+                body.push(OP_STATUS);
+                body.extend_from_slice(&job.to_be_bytes());
+                body.push(state.to_u8());
+            }
+            Response::JobResult {
+                job,
+                ok,
+                wall_us,
+                detail,
+            } => {
+                body.push(OP_JOB_RESULT);
+                body.extend_from_slice(&job.to_be_bytes());
+                body.push(u8::from(*ok));
+                body.extend_from_slice(&wall_us.to_be_bytes());
+                body.extend_from_slice(truncate_str(detail).as_bytes());
+            }
+            Response::Stats { json } => {
+                body.push(OP_STATS_BODY);
+                body.extend_from_slice(truncate_str(json).as_bytes());
+            }
+            Response::Pong => body.push(OP_PONG),
+            Response::Draining { outstanding } => {
+                body.push(OP_DRAINING);
+                body.extend_from_slice(&outstanding.to_be_bytes());
+            }
+            Response::Error { code, msg } => {
+                body.push(OP_ERROR);
+                body.push(code.to_u8());
+                body.extend_from_slice(truncate_str(msg).as_bytes());
+            }
+        }
+        finish_frame(body)
+    }
+
+    /// Decode a frame body (without the length prefix).
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let &opcode = body.first().ok_or(ProtoError::EmptyFrame)?;
+        let mut cur = Cur::new(body, opcode);
+        let resp = match opcode {
+            OP_ACCEPTED => Response::Accepted { job: cur.u64()? },
+            OP_REJECTED => Response::Rejected {
+                retry_after_ms: cur.u32()?,
+            },
+            OP_STATUS => Response::Status {
+                job: cur.u64()?,
+                state: JobState::from_u8(cur.u8()?)
+                    .ok_or(ProtoError::BadPayload("unknown job state"))?,
+            },
+            OP_JOB_RESULT => Response::JobResult {
+                job: cur.u64()?,
+                ok: cur.u8()? != 0,
+                wall_us: cur.u64()?,
+                detail: cur.rest_str()?,
+            },
+            OP_STATS_BODY => Response::Stats {
+                json: cur.rest_str()?,
+            },
+            OP_PONG => Response::Pong,
+            OP_DRAINING => Response::Draining {
+                outstanding: cur.u64()?,
+            },
+            OP_ERROR => Response::Error {
+                code: ErrorCode::from_u8(cur.u8()?)?,
+                msg: cur.rest_str()?,
+            },
+            other => return Err(ProtoError::UnknownOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Cap a string field so the frame stays under [`MAX_FRAME`] (fields
+/// before the string never exceed 32 bytes).
+fn truncate_str(s: &str) -> &str {
+    let limit = MAX_FRAME - 64;
+    if s.len() <= limit {
+        return s;
+    }
+    // Back off to a char boundary.
+    let mut end = limit;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
+fn finish_frame(body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Read one frame body from `r`.
+///
+/// * `Ok(Some(body))` — a complete frame;
+/// * `Ok(None)` — clean EOF at a frame boundary (peer closed);
+/// * `Err(FrameError::Proto)` — a hostile length prefix (oversized or
+///   zero); the connection should be dropped, the stream is out of sync;
+/// * `Err(FrameError::Io)` — transport error, including EOF mid-frame
+///   (`UnexpectedEof`), i.e. a truncated frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled first-byte read so EOF *between* frames is clean.
+    match r.read(&mut len_buf[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    r.read_exact(&mut len_buf[1..]).map_err(FrameError::Io)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(FrameError::Proto(ProtoError::EmptyFrame));
+    }
+    if len > MAX_FRAME {
+        return Err(FrameError::Proto(ProtoError::Oversized(len)));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    Ok(Some(body))
+}
+
+/// Write one already-encoded frame.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// What [`read_frame`] can fail with.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (including truncation mid-frame).
+    Io(io::Error),
+    /// A length prefix the protocol forbids.
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport: {e}"),
+            FrameError::Proto(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_sync::SmallRng;
+
+    fn arb_spec(rng: &mut SmallRng) -> JobSpec {
+        if rng.next_u64().is_multiple_of(2) {
+            JobSpec::Epcc {
+                construct: construct_from_u8((rng.next_u64() % 8) as u8).unwrap(),
+                threads: (rng.gen_range(1, 33)) as u8,
+                inner_reps: rng.gen_range(1, 4097) as u16,
+            }
+        } else {
+            JobSpec::Npb {
+                kernel: kernel_from_u8((rng.next_u64() % 5) as u8).unwrap(),
+                class: class_from_u8((rng.next_u64() % 3) as u8).unwrap(),
+                threads: (rng.gen_range(1, 33)) as u8,
+            }
+        }
+    }
+
+    fn arb_string(rng: &mut SmallRng) -> String {
+        let len = rng.gen_index(0, 64);
+        (0..len)
+            .map(|_| char::from_u32(rng.gen_range(0x20, 0x7F) as u32).unwrap())
+            .collect()
+    }
+
+    fn arb_request(rng: &mut SmallRng) -> Request {
+        match rng.next_u64() % 6 {
+            0 => Request::Submit(arb_spec(rng)),
+            1 => Request::Poll {
+                job: rng.next_u64(),
+            },
+            2 => Request::Fetch {
+                job: rng.next_u64(),
+            },
+            3 => Request::Stats,
+            4 => Request::Ping,
+            _ => Request::Shutdown,
+        }
+    }
+
+    fn arb_response(rng: &mut SmallRng) -> Response {
+        match rng.next_u64() % 8 {
+            0 => Response::Accepted {
+                job: rng.next_u64(),
+            },
+            1 => Response::Rejected {
+                retry_after_ms: rng.next_u64() as u32,
+            },
+            2 => Response::Status {
+                job: rng.next_u64(),
+                state: JobState::from_u8((rng.next_u64() % 4) as u8).unwrap(),
+            },
+            3 => Response::JobResult {
+                job: rng.next_u64(),
+                ok: rng.next_u64().is_multiple_of(2),
+                wall_us: rng.next_u64(),
+                detail: arb_string(rng),
+            },
+            4 => Response::Stats {
+                json: arb_string(rng),
+            },
+            5 => Response::Pong,
+            6 => Response::Draining {
+                outstanding: rng.next_u64(),
+            },
+            _ => Response::Error {
+                code: ErrorCode::from_u8(1 + (rng.next_u64() % 5) as u8).unwrap(),
+                msg: arb_string(rng),
+            },
+        }
+    }
+
+    /// Strip the length prefix of an encoded frame.
+    fn body(frame: &[u8]) -> &[u8] {
+        &frame[4..]
+    }
+
+    #[test]
+    fn request_roundtrip_property() {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0001);
+        for _ in 0..2_000 {
+            let req = arb_request(&mut rng);
+            let frame = req.encode();
+            let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, frame.len() - 4);
+            assert_eq!(Request::decode(body(&frame)), Ok(req.clone()), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_property() {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0002);
+        for _ in 0..2_000 {
+            let resp = arb_response(&mut rng);
+            let frame = resp.encode();
+            assert_eq!(Response::decode(body(&frame)), Ok(resp.clone()), "{resp:?}");
+        }
+    }
+
+    /// Random byte soup must produce typed errors, never a panic.
+    #[test]
+    fn random_bytes_never_panic_decoders() {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0003);
+        for _ in 0..10_000 {
+            let len = rng.gen_index(0, 40);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        }
+    }
+
+    /// Truncating any valid frame at every split point must produce a
+    /// typed error (or, for a shorter valid prefix, never a panic).
+    #[test]
+    fn truncated_frames_yield_typed_errors() {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0004);
+        for _ in 0..200 {
+            let req = arb_request(&mut rng);
+            let frame = req.encode();
+            let b = body(&frame);
+            for cut in 0..b.len() {
+                let _ = Request::decode(&b[..cut]);
+            }
+            // And through the framed reader: a cut byte stream is an
+            // UnexpectedEof, not a panic or a bogus frame.
+            for cut in 0..frame.len() {
+                let mut r = io::Cursor::new(&frame[..cut]);
+                match read_frame(&mut r) {
+                    Ok(None) => assert_eq!(cut, 0, "only an empty stream is clean EOF"),
+                    Ok(Some(_)) => panic!("cut {cut} of {} parsed", frame.len()),
+                    Err(FrameError::Io(e)) => {
+                        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof)
+                    }
+                    Err(FrameError::Proto(_)) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        assert_eq!(
+            Request::decode(&[OP_PING, 0xAA]),
+            Err(ProtoError::TrailingBytes(OP_PING))
+        );
+    }
+
+    #[test]
+    fn oversized_and_empty_prefixes_rejected() {
+        let mut r = io::Cursor::new(((MAX_FRAME + 1) as u32).to_be_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Proto(ProtoError::Oversized(_)))
+        ));
+        let mut r = io::Cursor::new(0u32.to_be_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::Proto(ProtoError::EmptyFrame))
+        ));
+    }
+
+    #[test]
+    fn frame_reader_roundtrips_a_pipelined_stream() {
+        let mut rng = SmallRng::seed_from_u64(0x5EED_0005);
+        let reqs: Vec<Request> = (0..50).map(|_| arb_request(&mut rng)).collect();
+        let mut stream = Vec::new();
+        for r in &reqs {
+            stream.extend_from_slice(&r.encode());
+        }
+        let mut cur = io::Cursor::new(stream);
+        let mut seen = Vec::new();
+        while let Some(b) = read_frame(&mut cur).unwrap() {
+            seen.push(Request::decode(&b).unwrap());
+        }
+        assert_eq!(seen, reqs);
+    }
+
+    #[test]
+    fn long_strings_are_truncated_to_fit() {
+        let resp = Response::Stats {
+            json: "x".repeat(MAX_FRAME * 2),
+        };
+        let frame = resp.encode();
+        assert!(frame.len() <= MAX_FRAME + 4);
+        let decoded = Response::decode(body(&frame)).unwrap();
+        match decoded {
+            Response::Stats { json } => assert_eq!(json.len(), MAX_FRAME - 64),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

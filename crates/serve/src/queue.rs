@@ -1,0 +1,206 @@
+//! The admission-controlled job queue.
+//!
+//! A bounded FIFO between the connection handlers (producers) and the
+//! dispatcher (consumer).  Admission is a *non-blocking* `try_push`: a
+//! full queue refuses immediately — the server turns the refusal into a
+//! `Rejected { retry_after_ms }` response so backpressure reaches the
+//! client as a retry hint instead of an ever-growing queue or a hung
+//! connection.  `close()` starts the drain: producers are refused from
+//! then on, while the consumer keeps popping until the queue is empty,
+//! which is exactly the "no accepted job is ever dropped" guarantee.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use mca_sync::{Condvar, Mutex};
+
+use crate::job::JobSpec;
+
+/// One accepted job riding the queue.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Server-assigned id.
+    pub id: u64,
+    /// What to run.
+    pub spec: JobSpec,
+    /// When admission succeeded (queue-wait latency measurement).
+    pub enqueued: Instant,
+}
+
+/// Why `try_push` refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity: back off and retry.
+    Full,
+    /// Draining: no new work, ever.
+    Closed,
+}
+
+struct QueueInner {
+    q: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// The bounded MPSC job queue (see module docs).
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `cap` jobs (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                q: VecDeque::with_capacity(cap.max(1)),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().q.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission.  Returns the depth *after* the push.
+    pub fn try_push(&self, job: QueuedJob) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.q.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        inner.q.push_back(job);
+        let depth = inner.q.len();
+        drop(inner);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Consumer side: block for the next job.  `None` means the queue is
+    /// closed *and* fully drained — the dispatcher's exit signal.
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(job) = inner.q.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Begin the drain: refuse producers, let the consumer run dry.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether `close()` has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp_epcc::Construct;
+    use std::sync::Arc;
+
+    fn job(id: u64) -> QueuedJob {
+        QueuedJob {
+            id,
+            spec: JobSpec::Epcc {
+                construct: Construct::Barrier,
+                threads: 2,
+                inner_reps: 1,
+            },
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn admission_refuses_when_full_without_blocking() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.try_push(job(1)), Ok(1));
+        assert_eq!(q.try_push(job(2)), Ok(2));
+        assert_eq!(q.try_push(job(3)).unwrap_err(), PushError::Full);
+        assert_eq!(q.len(), 2, "refused push did not enqueue");
+        // Draining one slot re-admits.
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.try_push(job(4)), Ok(2));
+    }
+
+    #[test]
+    fn close_refuses_producers_but_drains_consumers() {
+        let q = JobQueue::new(8);
+        q.try_push(job(1)).unwrap();
+        q.try_push(job(2)).unwrap();
+        q.close();
+        assert_eq!(q.try_push(job(3)).unwrap_err(), PushError::Closed);
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert!(q.pop().is_none(), "drained and closed");
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let q = Arc::new(JobQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_under_concurrency() {
+        let q = Arc::new(JobQueue::new(1024));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        while q.try_push(job(p * 1000 + i)).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut last_per_producer = [None::<u64>; 4];
+        let mut total = 0;
+        while let Some(j) = q.pop() {
+            let p = (j.id / 1000) as usize;
+            let seq = j.id % 1000;
+            if let Some(prev) = last_per_producer[p] {
+                assert!(seq > prev, "per-producer FIFO holds");
+            }
+            last_per_producer[p] = Some(seq);
+            total += 1;
+        }
+        assert_eq!(total, 400);
+    }
+}

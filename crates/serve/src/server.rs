@@ -1,0 +1,530 @@
+//! The TCP front-end and its dispatcher.
+//!
+//! Architecture (DESIGN.md §5.7): connection handlers are plain blocking
+//! threads — they only parse frames and touch shared state, so thread-
+//! per-*connection* is cheap — while all **compute** funnels through one
+//! bounded queue into a single dispatcher thread that runs each job on
+//! the one persistent [`Runtime`].  Intra-job parallelism comes from the
+//! runtime's work-stealing pool; the server never spins up a team per
+//! request, so sixteen concurrent clients contend on an admission
+//! decision, not on sixteen rival thread pools.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mca_sync::Mutex;
+use romp::Runtime;
+use romp_trace::{json_escape, Counter, Gauge, Histogram};
+
+use crate::job::{execute, JobLimits, JobOutcome, JobSpec, JobState};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, ProtoError, Request, Response,
+};
+use crate::queue::{JobQueue, PushError, QueuedJob};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bound on jobs queued awaiting dispatch (admission control).
+    pub queue_cap: usize,
+    /// Per-job limits enforced at submission.
+    pub limits: JobLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_cap: 64,
+            limits: JobLimits::default(),
+        }
+    }
+}
+
+/// Cached metric instruments (resolved once; bumped lock-free).
+struct Metrics {
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    invalid: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    proto_errors: Arc<Counter>,
+    req_submit: Arc<Counter>,
+    req_poll: Arc<Counter>,
+    req_fetch: Arc<Counter>,
+    req_stats: Arc<Counter>,
+    req_ping: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    queue_peak: Arc<Gauge>,
+    lat_queue: Arc<Histogram>,
+    lat_exec: Arc<Histogram>,
+    lat_total: Arc<Histogram>,
+    lat_handle: Arc<Histogram>,
+}
+
+impl Metrics {
+    fn new(rt: &Runtime) -> Self {
+        let reg = rt.tracer().metrics();
+        Metrics {
+            accepted: reg.counter("serve.submit.accepted"),
+            rejected: reg.counter("serve.submit.rejected"),
+            invalid: reg.counter("serve.submit.invalid"),
+            completed: reg.counter("serve.jobs.completed"),
+            failed: reg.counter("serve.jobs.failed"),
+            proto_errors: reg.counter("serve.proto.errors"),
+            req_submit: reg.counter("serve.req.submit"),
+            req_poll: reg.counter("serve.req.poll"),
+            req_fetch: reg.counter("serve.req.fetch"),
+            req_stats: reg.counter("serve.req.stats"),
+            req_ping: reg.counter("serve.req.ping"),
+            queue_depth: reg.gauge("serve.queue.depth"),
+            queue_peak: reg.gauge("serve.queue.peak"),
+            lat_queue: reg.histogram_ns("serve.latency.queue_ns"),
+            lat_exec: reg.histogram_ns("serve.latency.exec_ns"),
+            lat_total: reg.histogram_ns("serve.latency.total_ns"),
+            lat_handle: reg.histogram_ns("serve.latency.handle_ns"),
+        }
+    }
+}
+
+struct JobEntry {
+    state: JobState,
+    outcome: Option<JobOutcome>,
+    submitted: Instant,
+}
+
+struct Shared {
+    rt: Runtime,
+    cfg: ServeConfig,
+    queue: JobQueue,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+    metrics: Metrics,
+    /// EWMA of job execution time, nanoseconds — the retry-after basis.
+    exec_ewma_ns: AtomicU64,
+}
+
+impl Shared {
+    /// Jobs accepted but not yet finished.
+    fn outstanding(&self) -> u64 {
+        let accepted = self.metrics.accepted.get();
+        let done = self.metrics.completed.get() + self.metrics.failed.get();
+        accepted.saturating_sub(done)
+    }
+
+    /// The backpressure hint: how long a refused client should wait for
+    /// a queue slot to likely open — the queue's current length times the
+    /// smoothed per-job service time.
+    fn retry_after_ms(&self) -> u32 {
+        let ewma_ns = self.exec_ewma_ns.load(Ordering::Relaxed).max(1_000_000);
+        let depth = self.queue.len() as u64 + 1;
+        ((depth * ewma_ns) / 1_000_000).clamp(1, 10_000) as u32
+    }
+
+    fn note_exec_time(&self, ns: u64) {
+        // EWMA with alpha = 1/8; seeded by the first sample.
+        let prev = self.exec_ewma_ns.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            ns
+        } else {
+            prev - prev / 8 + ns / 8
+        };
+        self.exec_ewma_ns.store(next, Ordering::Relaxed);
+    }
+
+    fn stats_json(&self) -> String {
+        let m = &self.metrics;
+        format!(
+            "{{\"backend\":\"{}\",\"degraded\":{},\"draining\":{},\
+             \"queue_depth\":{},\"queue_cap\":{},\"outstanding\":{},\
+             \"accepted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\
+             \"metrics\":{}}}",
+            json_escape(self.rt.backend_kind().label()),
+            self.rt.degraded(),
+            self.draining.load(Ordering::Acquire),
+            self.queue.len(),
+            self.queue.cap(),
+            self.outstanding(),
+            m.accepted.get(),
+            m.rejected.get(),
+            m.completed.get(),
+            m.failed.get(),
+            self.rt.tracer().metrics().snapshot().to_json(),
+        )
+    }
+}
+
+/// What the drained server reports when it exits (the CI smoke asserts
+/// `dropped == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs admitted over the server's lifetime.
+    pub accepted: u64,
+    /// Jobs finished with passing verification.
+    pub completed: u64,
+    /// Jobs finished with failing verification.
+    pub failed: u64,
+    /// Submissions refused by admission control (backpressure worked).
+    pub rejected: u64,
+    /// Malformed frames/payloads refused.
+    pub proto_errors: u64,
+    /// Accepted jobs that never finished.  **Always zero on a graceful
+    /// drain** — the queue completes every accepted job before closing.
+    pub dropped: u64,
+}
+
+impl DrainReport {
+    /// Render as a one-object JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"accepted\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\
+             \"proto_errors\":{},\"dropped\":{}}}",
+            self.accepted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.proto_errors,
+            self.dropped
+        )
+    }
+}
+
+/// A running server.  Obtain with [`Server::start`]; drive with a
+/// [`crate::Client`]; finish with [`ServerHandle::join`].
+pub struct Server;
+
+/// Handle to a started server: its bound address and the join path.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    dispatcher: JoinHandle<()>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// the accept and dispatcher threads over the given runtime.
+    ///
+    /// The runtime is *shared*: the caller may keep a clone (it is a
+    /// cheap handle) to inspect degradation or drain traces while the
+    /// server runs; all jobs execute on its one persistent pool.
+    pub fn start(addr: &str, cfg: ServeConfig, rt: Runtime) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let metrics = Metrics::new(&rt);
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_cap),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            metrics,
+            exec_ewma_ns: AtomicU64::new(0),
+            cfg,
+            rt,
+        });
+
+        let disp_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("serve-dispatch".into())
+            .spawn(move || dispatch_loop(&disp_shared))?;
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            accept,
+            dispatcher,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared runtime (cheap clone of the handle).
+    pub fn runtime(&self) -> Runtime {
+        self.shared.rt.clone()
+    }
+
+    /// The live stats document (same JSON a `Stats` request returns).
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_json()
+    }
+
+    /// Begin the drain without a wire request (equivalent to a client
+    /// sending `Shutdown`).
+    pub fn request_drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.queue.close();
+    }
+
+    /// Wait for the graceful drain to finish and tear the server down.
+    ///
+    /// Blocks until a `Shutdown` request (or [`ServerHandle::request_drain`])
+    /// has closed the queue **and** the dispatcher has finished every
+    /// accepted job; then quiesces the runtime pool, stops the accept
+    /// loop, and reports the final accounting.
+    pub fn join(self) -> DrainReport {
+        let _ = self.dispatcher.join();
+        // Every accepted job has run; let trailing region epilogues finish
+        // before reporting (the PR 3 pool-quiescence hook).
+        self.shared.rt.quiesce();
+        self.shared.stopped.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        let m = &self.shared.metrics;
+        let accepted = m.accepted.get();
+        let completed = m.completed.get();
+        let failed = m.failed.get();
+        DrainReport {
+            accepted,
+            completed,
+            failed,
+            rejected: m.rejected.get(),
+            proto_errors: m.proto_errors.get(),
+            dropped: accepted.saturating_sub(completed + failed),
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.stopped.load(Ordering::Acquire) {
+                    return;
+                }
+                let conn_shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || connection_loop(stream, conn_shared));
+            }
+            Err(_) if shared.stopped.load(Ordering::Acquire) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// One connection: read frames, answer them, until the peer closes or
+/// the framing desynchronizes.
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(Some(b)) => b,
+            Ok(None) => return, // clean close
+            Err(FrameError::Proto(e)) => {
+                // Hostile length prefix: answer once, then drop the
+                // connection — the byte stream cannot be trusted again.
+                shared.metrics.proto_errors.incr();
+                let resp = Response::Error {
+                    code: ErrorCode::BadFrame,
+                    msg: e.to_string(),
+                };
+                let _ = write_frame(&mut writer, &resp.encode());
+                return;
+            }
+            Err(FrameError::Io(_)) => return, // truncated/reset mid-frame
+        };
+        let t0 = Instant::now();
+        let resp = match Request::decode(&body) {
+            Ok(req) => handle_request(&shared, req),
+            Err(e) => {
+                // Frame boundaries are intact; the payload is bad.  Answer
+                // and keep the connection — the next frame may be fine.
+                shared.metrics.proto_errors.incr();
+                Response::Error {
+                    code: match e {
+                        ProtoError::BadPayload(_) => ErrorCode::BadPayload,
+                        _ => ErrorCode::BadFrame,
+                    },
+                    msg: e.to_string(),
+                }
+            }
+        };
+        shared
+            .metrics
+            .lat_handle
+            .record(t0.elapsed().as_nanos() as u64);
+        if write_frame(&mut writer, &resp.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, req: Request) -> Response {
+    match req {
+        Request::Submit(spec) => handle_submit(shared, spec),
+        Request::Poll { job } => {
+            shared.metrics.req_poll.incr();
+            match shared.jobs.lock().get(&job) {
+                Some(entry) => Response::Status {
+                    job,
+                    state: entry.state,
+                },
+                None => Response::Error {
+                    code: ErrorCode::UnknownJob,
+                    msg: format!("job {job}"),
+                },
+            }
+        }
+        Request::Fetch { job } => {
+            shared.metrics.req_fetch.incr();
+            let mut jobs = shared.jobs.lock();
+            match jobs.get(&job) {
+                Some(entry) if entry.outcome.is_some() => {
+                    let entry = jobs.remove(&job).expect("checked present");
+                    let out = entry.outcome.expect("checked some");
+                    Response::JobResult {
+                        job,
+                        ok: out.ok,
+                        wall_us: out.wall_us,
+                        detail: out.detail,
+                    }
+                }
+                Some(_) => Response::Error {
+                    code: ErrorCode::NotReady,
+                    msg: format!("job {job} still pending"),
+                },
+                None => Response::Error {
+                    code: ErrorCode::UnknownJob,
+                    msg: format!("job {job}"),
+                },
+            }
+        }
+        Request::Stats => {
+            shared.metrics.req_stats.incr();
+            Response::Stats {
+                json: shared.stats_json(),
+            }
+        }
+        Request::Ping => {
+            shared.metrics.req_ping.incr();
+            Response::Pong
+        }
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::Release);
+            shared.queue.close();
+            Response::Draining {
+                outstanding: shared.outstanding(),
+            }
+        }
+    }
+}
+
+fn handle_submit(shared: &Shared, spec: JobSpec) -> Response {
+    shared.metrics.req_submit.incr();
+    if shared.draining.load(Ordering::Acquire) {
+        return Response::Error {
+            code: ErrorCode::Draining,
+            msg: "server is draining".into(),
+        };
+    }
+    if let Err(why) = spec.validate(&shared.cfg.limits) {
+        shared.metrics.invalid.incr();
+        return Response::Error {
+            code: ErrorCode::BadPayload,
+            msg: why.into(),
+        };
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    // Insert the table entry *before* the queue push so a client that
+    // polls immediately after `Accepted` always finds the job; remove it
+    // again if admission refuses.
+    shared.jobs.lock().insert(
+        id,
+        JobEntry {
+            state: JobState::Queued,
+            outcome: None,
+            submitted: Instant::now(),
+        },
+    );
+    match shared.queue.try_push(QueuedJob {
+        id,
+        spec,
+        enqueued: Instant::now(),
+    }) {
+        Ok(depth) => {
+            shared.metrics.accepted.incr();
+            shared.metrics.queue_depth.set(depth as u64);
+            shared.metrics.queue_peak.record_max(depth as u64);
+            Response::Accepted { job: id }
+        }
+        Err(PushError::Full) => {
+            shared.jobs.lock().remove(&id);
+            shared.metrics.rejected.incr();
+            Response::Rejected {
+                retry_after_ms: shared.retry_after_ms(),
+            }
+        }
+        Err(PushError::Closed) => {
+            shared.jobs.lock().remove(&id);
+            Response::Error {
+                code: ErrorCode::Draining,
+                msg: "server is draining".into(),
+            }
+        }
+    }
+}
+
+/// The dispatcher: the queue's single consumer, running every job on the
+/// shared runtime's persistent pool.  Exits only when the queue is closed
+/// *and* empty — i.e. after the graceful drain has completed every
+/// accepted job.
+fn dispatch_loop(shared: &Shared) {
+    while let Some(qjob) = shared.queue.pop() {
+        let started = Instant::now();
+        shared
+            .metrics
+            .lat_queue
+            .record(started.duration_since(qjob.enqueued).as_nanos() as u64);
+        shared.metrics.queue_depth.set(shared.queue.len() as u64);
+        if let Some(entry) = shared.jobs.lock().get_mut(&qjob.id) {
+            entry.state = JobState::Running;
+        }
+        // `execute` never panics and never aborts: backend trouble under
+        // the job degrades the runtime (MCA→native) and the job completes
+        // on the fallback — the service's graceful-degradation story.
+        let outcome = execute(&shared.rt, &qjob.spec);
+        let exec_ns = started.elapsed().as_nanos() as u64;
+        shared.metrics.lat_exec.record(exec_ns);
+        shared.note_exec_time(exec_ns);
+        if outcome.ok {
+            shared.metrics.completed.incr();
+        } else {
+            shared.metrics.failed.incr();
+        }
+        let mut jobs = shared.jobs.lock();
+        if let Some(entry) = jobs.get_mut(&qjob.id) {
+            shared
+                .metrics
+                .lat_total
+                .record(entry.submitted.elapsed().as_nanos() as u64);
+            entry.state = if outcome.ok {
+                JobState::Done
+            } else {
+                JobState::Failed
+            };
+            entry.outcome = Some(outcome);
+        }
+    }
+}

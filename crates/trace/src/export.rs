@@ -6,9 +6,11 @@ use crate::metrics::MetricsSnapshot;
 use crate::tracer::Trace;
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars) —
-/// the same hand-rolled discipline as the bench harness's JSON writer;
-/// no serializer dependency.
-fn json_escape(s: &str) -> String {
+/// the same hand-rolled discipline as the bench harness's JSON writer; no
+/// serializer dependency.  Public because every hand-rolled JSON writer
+/// in the workspace (bench baselines, `romp-serve` stats responses) needs
+/// exactly this and nothing more.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -94,6 +96,70 @@ impl Trace {
         out.push_str(&format!(",\"romp\":{{\"dropped\":{}}}", self.dropped));
         out.push('}');
         out
+    }
+}
+
+impl crate::metrics::HistogramSnapshot {
+    /// Render as a JSON object: count, sum, mean, and the standard
+    /// latency quantiles (`null` when the quantile falls in the +inf
+    /// overflow bucket or the histogram is empty).
+    ///
+    /// ```
+    /// use romp_trace::Histogram;
+    /// let h = Histogram::exponential_ns();
+    /// h.record(1_500);
+    /// let json = h.snapshot().to_json();
+    /// assert!(json.contains("\"count\":1"));
+    /// assert!(json.contains("\"p99\":"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        let q = |p: f64| {
+            self.quantile(p)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "null".into())
+        };
+        format!(
+            "{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+            self.count,
+            self.sum,
+            self.mean(),
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            q(0.999)
+        )
+    }
+}
+
+impl MetricsSnapshot {
+    /// Render the whole snapshot as one JSON object with `counters`,
+    /// `gauges` and `histograms` members — the payload a `romp-serve`
+    /// `stats` response embeds, and the machine-readable form of
+    /// [`RunSummary::render`]'s instrument sections.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", json_escape(name), v));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", json_escape(name), v));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", json_escape(name), h.to_json()));
+        }
+        s.push_str("}}");
+        s
     }
 }
 
@@ -224,6 +290,31 @@ mod tests {
             dropped: 0,
         };
         assert!(trace.chrome_json().contains("\"ts\":1234.567"));
+    }
+
+    #[test]
+    fn metrics_snapshot_json_is_balanced_and_complete() {
+        let t = Tracer::new(true);
+        t.metrics().counter("serve.submit.accepted").add(7);
+        t.metrics().gauge("serve.queue.depth").set(3);
+        let h = t.metrics().histogram_ns("serve.latency.total_ns");
+        for _ in 0..100 {
+            h.record(2_000);
+        }
+        let json = t.metrics().snapshot().to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"serve.submit.accepted\":7"));
+        assert!(json.contains("\"serve.queue.depth\":3"));
+        assert!(json.contains("\"count\":100"));
+        assert!(json.contains("\"p999\":2048"), "{json}");
+    }
+
+    #[test]
+    fn empty_histogram_json_has_null_quantiles() {
+        let h = crate::metrics::Histogram::new(&[10]);
+        let json = h.snapshot().to_json();
+        assert!(json.contains("\"p50\":null"));
+        assert!(json.contains("\"count\":0"));
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod ring;
 mod tracer;
 
 pub use event::{EventKind, Phase, TraceEvent, NUM_KINDS};
-pub use export::RunSummary;
+pub use export::{json_escape, RunSummary};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use ring::EventRing;
 pub use tracer::{Lane, Trace, Tracer};

@@ -30,7 +30,9 @@ use std::sync::{Arc, Mutex};
 use romp::{ReduceOp, Runtime, Schedule};
 
 pub mod chaos;
+pub mod serveload;
 pub use chaos::{run_chaos, ChaosOutcome, ChaosReport, ChaosRun};
+pub use serveload::{drive_mixed_load, mixed_specs, LoadReport};
 
 /// One check's outcome at one team size.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,136 @@
+//! Mixed-load driver for `romp-serve` integration tests.
+//!
+//! The chaos and validation suites need to hold a serving endpoint under
+//! realistic concurrent load — several clients, a mixed EPCC/NPB job
+//! rotation, admission-control retries — while something else (a fault
+//! plan, a drain request) happens to the server.  This module packages
+//! that driver so each test does not re-implement it.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use romp_epcc::Construct;
+use romp_npb::{Class, NpbKernel};
+use romp_serve::{Client, ClientError, JobSpec};
+
+/// Aggregate result of one [`drive_mixed_load`] run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Jobs the server accepted (admission granted).
+    pub accepted: u64,
+    /// Accepted jobs whose results came back with `ok == true`.
+    pub completed: u64,
+    /// Accepted jobs whose results came back with `ok == false`.
+    pub failed: u64,
+    /// Admission rejections absorbed by retry before acceptance.
+    pub rejections: u64,
+    /// Submissions refused because the server was draining.
+    pub drain_refusals: u64,
+}
+
+impl LoadReport {
+    /// Accepted jobs that never produced a result — the quantity every
+    /// serving test asserts is zero.
+    pub fn lost(&self) -> u64 {
+        self.accepted - self.completed - self.failed
+    }
+
+    fn absorb(&mut self, other: LoadReport) {
+        self.accepted += other.accepted;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.rejections += other.rejections;
+        self.drain_refusals += other.drain_refusals;
+    }
+}
+
+/// The job rotation: every EPCC construct family plus both fast NPB
+/// kernels, all sized to finish in milliseconds so a load run exercises
+/// queueing rather than kernel arithmetic.
+pub fn mixed_specs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::Epcc {
+            construct: Construct::Parallel,
+            threads: 2,
+            inner_reps: 4,
+        },
+        JobSpec::Epcc {
+            construct: Construct::Barrier,
+            threads: 2,
+            inner_reps: 8,
+        },
+        JobSpec::Epcc {
+            construct: Construct::Critical,
+            threads: 2,
+            inner_reps: 4,
+        },
+        JobSpec::Epcc {
+            construct: Construct::Reduction,
+            threads: 2,
+            inner_reps: 4,
+        },
+        JobSpec::Npb {
+            kernel: NpbKernel::Ep,
+            class: Class::S,
+            threads: 2,
+        },
+        JobSpec::Npb {
+            kernel: NpbKernel::Is,
+            class: Class::S,
+            threads: 2,
+        },
+    ]
+}
+
+/// Drive `clients` concurrent connections, each submitting
+/// `requests_per_client` jobs from the [`mixed_specs`] rotation (offset
+/// per client so the wire sees interleaved job kinds), waiting for every
+/// result.  Admission rejections are retried until accepted; only a
+/// draining server makes a submission count as refused.
+///
+/// Panics on transport or protocol errors — in a test, those are
+/// failures, not data.
+pub fn drive_mixed_load(
+    addr: SocketAddr,
+    clients: usize,
+    requests_per_client: usize,
+) -> LoadReport {
+    let handles: Vec<_> = (0..clients)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let specs = mixed_specs();
+                let mut c = Client::connect(addr).expect("connect");
+                let mut local = LoadReport::default();
+                for r in 0..requests_per_client {
+                    let spec = specs[(k + r) % specs.len()];
+                    match c.submit_with_retry(&spec, Duration::from_secs(60)) {
+                        Ok(Some((id, rejections))) => {
+                            local.accepted += 1;
+                            local.rejections += u64::from(rejections);
+                            let out = c
+                                .wait_result(id, Duration::from_secs(120))
+                                .expect("result for accepted job");
+                            if out.ok {
+                                local.completed += 1;
+                            } else {
+                                local.failed += 1;
+                            }
+                        }
+                        Ok(None) => local.drain_refusals += 1,
+                        Err(ClientError::Closed) => {
+                            // Server went away mid-run; stop this client.
+                            break;
+                        }
+                        Err(e) => panic!("client {k} request {r}: {e}"),
+                    }
+                }
+                local
+            })
+        })
+        .collect();
+    let mut report = LoadReport::default();
+    for h in handles {
+        report.absorb(h.join().expect("load client panicked"));
+    }
+    report
+}

@@ -1,0 +1,106 @@
+//! Serving under injected faults: a persistent MRAPI failure armed while
+//! the server is under concurrent mixed load must flip the runtime from
+//! the MCA backend to native (DESIGN.md §5) without losing a single
+//! accepted job — clients keep getting correct results across the swap.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mca_mrapi::{FaultPlan, FaultProbe, FaultSite, MrapiStatus, MrapiSystem};
+use romp::{BackendKind, Config, McaBackend, McaOptions, RetryPolicy, Runtime};
+use romp_serve::{Client, JobLimits, ServeConfig, Server};
+use romp_validation::serveload::drive_mixed_load;
+
+#[test]
+fn mid_load_fault_degrades_backend_without_losing_jobs() {
+    // An MCA-backed runtime whose MRAPI system we keep a handle to, so a
+    // fault plan can be armed *after* the server is already serving.
+    let sys = MrapiSystem::new_t4240();
+    let be = McaBackend::with_options(
+        sys.clone(),
+        McaOptions {
+            lock_timeout: Duration::from_millis(10),
+            retry: RetryPolicy::default(),
+        },
+    )
+    .unwrap();
+    let rt = Runtime::with_config_and_backend(
+        Config::default().with_backend(BackendKind::Mca),
+        Box::new(be),
+    )
+    .unwrap();
+
+    let handle = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            queue_cap: 64,
+            limits: JobLimits::default(),
+        },
+        rt,
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Phase A — healthy MCA serving: everything completes, nothing
+    // degraded.
+    let calm = drive_mixed_load(addr, 4, 6);
+    assert_eq!(calm.lost(), 0, "healthy phase lost jobs: {calm:?}");
+    assert_eq!(calm.failed, 0, "healthy phase failed jobs: {calm:?}");
+    assert!(!handle.runtime().degraded(), "no faults injected yet");
+    assert_eq!(handle.runtime().backend_kind(), BackendKind::Mca);
+
+    // Phase B — arm a genuinely persistent shared-memory failure while a
+    // bigger load wave is in flight.  Every shmem_create from that moment
+    // on reports ERR_MEM_LIMIT, which retries cannot absorb; the runtime
+    // must heal by swapping to the native backend mid-wave.
+    let loader = std::thread::spawn(move || drive_mixed_load(addr, 4, 20));
+    std::thread::sleep(Duration::from_millis(50));
+    let plan = Arc::new(FaultPlan::new(0x5E12_7E57).with_persistent(
+        FaultSite::ShmemCreate,
+        MrapiStatus::ErrMemLimit,
+        0,
+    ));
+    sys.set_fault_probe(Some(plan as Arc<dyn FaultProbe>));
+    let stormy = loader.join().expect("load wave panicked");
+    assert_eq!(stormy.lost(), 0, "fault wave lost jobs: {stormy:?}");
+    assert_eq!(
+        stormy.failed, 0,
+        "fallback must keep results correct: {stormy:?}"
+    );
+
+    // Phase C — a follow-up wave guarantees post-arming traffic even if
+    // wave B raced the probe installation, and proves the degraded
+    // server still serves.
+    let after = drive_mixed_load(addr, 2, 6);
+    assert_eq!(after.lost(), 0, "degraded phase lost jobs: {after:?}");
+    assert_eq!(after.failed, 0, "degraded phase failed jobs: {after:?}");
+
+    assert!(
+        handle.runtime().degraded(),
+        "persistent fault under load must degrade the runtime"
+    );
+    assert_eq!(
+        handle.runtime().backend_kind(),
+        BackendKind::Native,
+        "runtime reports the fallback backend"
+    );
+
+    // The stats endpoint documents the degradation for operators.
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.contains("\"degraded\": true") || stats.contains("\"degraded\":true"),
+        "stats must surface the degradation: {stats}"
+    );
+
+    // Graceful drain: the fault never costs an accepted job.
+    c.shutdown().unwrap();
+    let report = handle.join();
+    assert_eq!(report.dropped, 0, "drain dropped jobs: {report:?}");
+    assert_eq!(report.failed, 0);
+    assert_eq!(
+        report.accepted,
+        calm.accepted + stormy.accepted + after.accepted
+    );
+    assert_eq!(report.completed, report.accepted);
+}
