@@ -445,6 +445,15 @@ impl RegionLock for McaLock {
                         tr.lock_timeouts.incr();
                     }
                     self.note_timeout(waited);
+                    // Escalation escape hatch: a supervisor that poisoned
+                    // the whole backend (watchdog grace-period expiry) is
+                    // declaring the wedge permanent.  Flip this lock to
+                    // native; the next iteration takes the handover path,
+                    // which still drains `mrapi_holder` before admitting a
+                    // native acquirer, so mutual exclusion holds.
+                    if self.shared.poisoned.load(Ordering::Acquire) {
+                        self.mode.store(MODE_NATIVE, Ordering::SeqCst);
+                    }
                 }
                 Err(e) => {
                     failures += 1;
@@ -658,6 +667,11 @@ impl Backend for McaBackend {
 
     fn poisoned(&self) -> bool {
         self.shared.poisoned.load(Ordering::Acquire)
+    }
+
+    fn poison(&self, reason: RompError) -> bool {
+        self.shared.poison(&reason);
+        true
     }
 
     fn failure_reason(&self) -> Option<RompError> {

@@ -150,6 +150,15 @@ pub trait Backend: Send + Sync + 'static {
         false
     }
 
+    /// Externally poison this backend: a supervisor (the serving watchdog's
+    /// escalation path) has decided it must be replaced at the next region
+    /// boundary, typically because work is wedged inside it.  Returns
+    /// whether the backend accepted — `false` for backends with no
+    /// fallback to degrade to (the native backend ignores poisoning).
+    fn poison(&self, _reason: RompError) -> bool {
+        false
+    }
+
     /// The failure that set [`Backend::poisoned`], for the degradation
     /// warning.
     fn failure_reason(&self) -> Option<RompError> {

@@ -19,7 +19,7 @@
 //! core) from melting down in spin loops.
 
 use std::hint;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use mca_sync::{CachePadded, Condvar, Mutex as PlMutex};
@@ -45,6 +45,11 @@ struct Release {
     gen: CachePadded<AtomicU64>,
     lock: PlMutex<()>,
     cv: Condvar,
+    /// Set by [`Barrier::cancel`].  Checked inside the wait loop (not just
+    /// once before it) because a waiter can load the flag as clear, then
+    /// the canceller sets it and fires — a one-shot release would race; the
+    /// in-loop check cannot miss it.
+    cancelled: AtomicBool,
 }
 
 impl Release {
@@ -53,6 +58,7 @@ impl Release {
             gen: CachePadded::new(AtomicU64::new(0)),
             lock: PlMutex::new(()),
             cv: Condvar::new(),
+            cancelled: AtomicBool::new(false),
         }
     }
 
@@ -77,6 +83,9 @@ impl Release {
     fn await_change(&self, gen: u64, mut idle: impl FnMut() -> bool) {
         let mut spins = 0u32;
         while self.current() == gen {
+            if self.cancelled.load(Ordering::Acquire) {
+                return;
+            }
             if idle() {
                 continue;
             }
@@ -175,6 +184,26 @@ impl Barrier {
         self.n
     }
 
+    /// Break the barrier permanently: current and future waiters return
+    /// immediately without blocking.  Used when the owning team is
+    /// cancelled — members unwinding past their remaining barriers must not
+    /// leave late arrivers stranded on a count that will never fill.  The
+    /// barrier is per-region, so a broken barrier dies with its team.
+    pub fn cancel(&self) {
+        self.release.cancelled.store(true, Ordering::Release);
+        // Take the sleep lock so a waiter between its generation check and
+        // its `cv` wait cannot miss the wake-up.
+        {
+            let _g = self.release.lock.lock();
+        }
+        self.release.cv.notify_all();
+    }
+
+    /// Has [`Barrier::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.release.cancelled.load(Ordering::Acquire)
+    }
+
     /// Arrive and wait until all `n` participants have arrived.  `tid` is
     /// the caller's dense team index (needed by the tree to find its leaf).
     /// `idle` is invoked while waiting; return `true` from it after doing
@@ -182,6 +211,12 @@ impl Barrier {
     pub fn wait_idle(&self, tid: usize, idle: impl FnMut() -> bool) {
         debug_assert!(tid < self.n);
         if self.n == 1 {
+            return;
+        }
+        // A cancelled barrier admits nobody new: skipping the arrival
+        // increment keeps the counts coherent for members that already
+        // left, and `await_change` would return immediately anyway.
+        if self.is_cancelled() {
             return;
         }
         let gen = self.release.current();

@@ -62,6 +62,7 @@
 
 pub mod backend;
 pub mod barrier;
+pub mod cancel;
 pub mod config;
 pub mod lock;
 pub mod schedule;
@@ -80,6 +81,7 @@ pub use backend::{
     Backend, BackendKind, DeadlockReport, McaBackend, McaOptions, RegionLock, SharedWords,
 };
 pub use barrier::BarrierKind;
+pub use cancel::{CancelReason, CancelToken};
 pub use config::{Config, RetryPolicy};
 pub use lock::OmpLock;
 pub use runtime::Runtime;
@@ -121,6 +123,9 @@ pub enum RompError {
     /// Recoverable lock misuse (double unlock, stale key), reported in the
     /// MRAPI status vocabulary on both backends.
     Lock(mca_mrapi::MrapiError),
+    /// The region was asked to stop via a [`CancelToken`] and unwound at a
+    /// cooperative checkpoint before completing.
+    Cancelled,
 }
 
 impl RompError {
@@ -129,7 +134,7 @@ impl RompError {
         match self {
             RompError::Mrapi(e) | RompError::Lock(e) => Some(e.0),
             RompError::Exhausted { last, .. } => Some(last.0),
-            RompError::Config(_) | RompError::Spawn(_) => None,
+            RompError::Config(_) | RompError::Spawn(_) | RompError::Cancelled => None,
         }
     }
 }
@@ -144,6 +149,7 @@ impl std::fmt::Display for RompError {
             }
             RompError::Spawn(m) => write!(f, "worker spawn failed: {m}"),
             RompError::Lock(e) => write!(f, "lock misuse: {e}"),
+            RompError::Cancelled => write!(f, "region cancelled at a cooperative checkpoint"),
         }
     }
 }

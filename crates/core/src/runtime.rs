@@ -14,6 +14,7 @@ use crate::backend::{
     WorkerJoin,
 };
 use crate::barrier::Barrier;
+use crate::cancel::CancelToken;
 use crate::config::Config;
 use crate::lock::OmpLock;
 use crate::schedule::Schedule;
@@ -93,6 +94,11 @@ pub(crate) struct RtInner {
     /// The event recorder.  Armed by `cfg.trace`; disarmed, every trace
     /// site in the runtime costs one relaxed load.
     pub(crate) tracer: Arc<Tracer>,
+    /// The ambient cancel token: armed by a supervisor (the serving
+    /// dispatcher) before running a job, cloned into every team forked
+    /// while armed.  Ambient rather than a `parallel` parameter because
+    /// kernels fork regions internally and cannot thread one through.
+    cancel: PlMutex<Option<CancelToken>>,
 }
 
 impl RtInner {
@@ -205,7 +211,13 @@ impl RtInner {
             profile: PlMutex::new(ProfileAccum::default()),
             profiling: AtomicBool::new(false),
             tracer: Arc::new(Tracer::new(false)),
+            cancel: PlMutex::new(None),
         })
+    }
+
+    /// The currently armed ambient cancel token, if any.
+    pub(crate) fn current_cancel(&self) -> Option<CancelToken> {
+        self.cancel.lock().clone()
     }
 
     fn new_team(&self, size: usize) -> Result<Arc<TeamShared>, RompError> {
@@ -214,6 +226,7 @@ impl RtInner {
             Barrier::new(size, self.cfg.barrier),
             self.backend_alloc(TeamShared::reduce_words_len(size))?,
             Arc::clone(&self.tracer),
+            self.current_cancel(),
         )))
     }
 
@@ -349,6 +362,7 @@ impl Runtime {
                 profile: PlMutex::new(ProfileAccum::default()),
                 profiling: AtomicBool::new(profiling),
                 tracer,
+                cancel: PlMutex::new(None),
             }),
         })
     }
@@ -424,15 +438,25 @@ impl Runtime {
     {
         if Self::in_parallel() {
             // Nested region: OpenMP default is a team of one (serialized).
-            if self.run_inline_team(&f).is_err() {
-                self.run_inline_native(&f);
+            match self.run_inline_team(&f) {
+                // A cancelled nested region must not re-run on the native
+                // inline path — the whole point is to stop.
+                Ok(()) | Err(RompError::Cancelled) => {}
+                Err(_) => self.run_inline_native(&f),
             }
             return;
         }
-        if let Err(e) = self.fork_join(num_threads, &f) {
-            eprintln!("romp[WARN] parallel region fell back to a team of one: {e}");
-            if self.run_inline_team(&f).is_err() {
-                self.run_inline_native(&f);
+        match self.fork_join(num_threads, &f) {
+            Ok(()) => {}
+            // Cancellation is not a failure to absorb: the region was asked
+            // to stop, so stop — no team-of-one retry.
+            Err(RompError::Cancelled) => {}
+            Err(e) => {
+                eprintln!("romp[WARN] parallel region fell back to a team of one: {e}");
+                match self.run_inline_team(&f) {
+                    Ok(()) | Err(RompError::Cancelled) => {}
+                    Err(_) => self.run_inline_native(&f),
+                }
             }
         }
     }
@@ -461,6 +485,15 @@ impl Runtime {
         // Region boundary: if the backend poisoned itself mid-run, swap
         // in its fallback before forking the next team.
         self.inner.heal_backend();
+        // An already-fired token means the job this region belongs to was
+        // cancelled between regions: don't fork at all.
+        if self
+            .inner
+            .current_cancel()
+            .is_some_and(|t| t.is_cancelled())
+        {
+            return Err(RompError::Cancelled);
+        }
         self.inner.stats.regions.fetch_add(1, Ordering::Relaxed);
         let team = self.inner.new_team(n)?;
         self.inner.ensure_pool(n.saturating_sub(1))?;
@@ -521,10 +554,15 @@ impl Runtime {
         if let Some(payload) = payload {
             panic::resume_unwind(payload);
         }
+        // A user panic outranks cancellation (it is the more informative
+        // outcome); a cleanly-cancelled team reports the typed error.
+        if team.cancelled.load(Ordering::Acquire) {
+            return Err(RompError::Cancelled);
+        }
         Ok(())
     }
 
-    fn run_team_of_one(&self, team: Arc<TeamShared>, func: RegionFn) {
+    fn run_team_of_one(&self, team: Arc<TeamShared>, func: RegionFn) -> Result<(), RompError> {
         run_region_member(&JobMsg {
             team: Arc::clone(&team),
             tid: 0,
@@ -536,12 +574,15 @@ impl Runtime {
         if let Some(payload) = payload {
             panic::resume_unwind(payload);
         }
+        if team.cancelled.load(Ordering::Acquire) {
+            return Err(RompError::Cancelled);
+        }
+        Ok(())
     }
 
     fn run_inline_team<F: Fn(&Worker) + Sync>(&self, f: &F) -> Result<(), RompError> {
         let team = self.inner.new_team(1)?;
-        self.run_team_of_one(team, erase_region_fn(f));
-        Ok(())
+        self.run_team_of_one(team, erase_region_fn(f))
     }
 
     /// Last resort when even a team-of-one allocation fails through the
@@ -556,8 +597,9 @@ impl Runtime {
             Barrier::new(1, self.inner.cfg.barrier),
             words,
             Arc::clone(&self.inner.tracer),
+            self.inner.current_cancel(),
         ));
-        self.run_team_of_one(team, erase_region_fn(f));
+        let _ = self.run_team_of_one(team, erase_region_fn(f));
     }
 
     /// Run a region and collect each member's return value (indexed by
@@ -670,6 +712,39 @@ impl Runtime {
         Ok(OmpLock::new(self.inner.backend_new_lock()?))
     }
 
+    /// Arm (or clear, with `None`) the ambient [`CancelToken`]: every
+    /// region forked while a token is armed carries a clone and unwinds at
+    /// its cooperative checkpoints once the token fires, surfacing as
+    /// [`RompError::Cancelled`] from [`Runtime::try_parallel`] (and a
+    /// silent early return from [`Runtime::parallel`]).
+    ///
+    /// This is how a supervisor cancels work that forks regions
+    /// internally (served kernels, benchmarks): arm a fresh token before
+    /// dispatch, fire it from any thread, clear it afterwards.  Unarmed,
+    /// checkpoints cost one branch.
+    pub fn set_cancel_token(&self, token: Option<CancelToken>) {
+        *self.inner.cancel.lock() = token;
+    }
+
+    /// Externally poison the active backend so the next region boundary
+    /// swaps in its fallback ([`Backend::poison`]).  The watchdog's
+    /// escalation path: work wedged inside backend primitives (e.g. an
+    /// MRAPI mutex timing out forever) is cut loose — poisoning also flips
+    /// in-flight MCA lock waits onto their native escape hatch.  Returns
+    /// whether the backend accepted the poisoning.
+    pub fn poison_backend(&self, reason: &str) -> bool {
+        self.inner
+            .backend()
+            .poison(RompError::Config(format!("externally poisoned: {reason}")))
+    }
+
+    /// If the active backend is poisoned, swap in its fallback *now*
+    /// instead of waiting for the next region boundary.  Returns whether a
+    /// swap happened.
+    pub fn heal_backend_now(&self) -> bool {
+        self.inner.heal_backend()
+    }
+
     /// Wait until every pool worker has fully finished its in-flight
     /// region member (post-barrier epilogues included).
     ///
@@ -689,6 +764,19 @@ impl Runtime {
     /// Always-on construct counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// A monotonically increasing liveness signal: bumped every time a
+    /// worker *enters* a synchronization construct (barrier, worksharing
+    /// loop, critical), live from inside running regions.  A supervisor
+    /// watching a cancelled job can distinguish "still unwinding toward a
+    /// checkpoint" (value advancing) from "wedged inside the backend"
+    /// (value flat) and escalate only the latter.
+    pub fn activity(&self) -> u64 {
+        self.inner
+            .stats
+            .activity
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The runtime's event recorder.  Armed via [`Config::with_tracing`]

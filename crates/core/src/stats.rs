@@ -23,6 +23,11 @@ pub struct RuntimeStats {
     pub(crate) singles: AtomicU64,
     pub(crate) loops: AtomicU64,
     pub(crate) tasks: AtomicU64,
+    /// Live liveness signal: bumped at construct *entry* (unlike the
+    /// per-team counters above, which fold in only at region end), so an
+    /// external supervisor can tell a region that is still reaching
+    /// synchronization points from one wedged inside the backend.
+    pub(crate) activity: AtomicU64,
 }
 
 /// A point-in-time copy of [`RuntimeStats`].

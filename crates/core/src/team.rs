@@ -30,6 +30,7 @@ use romp_trace::{EventKind, Tracer};
 
 use crate::backend::SharedWords;
 use crate::barrier::Barrier;
+use crate::cancel::{CancelToken, CancelUnwind};
 
 /// A queued explicit task.  Lifetime-erased to the region (see the SAFETY
 /// discussion in [`crate::worker::Worker::task`]).
@@ -226,6 +227,19 @@ pub(crate) struct TeamShared {
     pub ordered_cv: Condvar,
     /// First panic payload from any member (re-thrown by the master).
     pub panic: PlMutex<Option<Box<dyn Any + Send>>>,
+    /// The supervisor's cancel token, if this region was launched with one
+    /// armed.  `None` costs checkpoints a single branch.
+    pub cancel: Option<CancelToken>,
+    /// Team-local cancellation latch: set once by the first member to
+    /// observe a fired token (or a cancelled nested region), so teammates
+    /// see the decision without re-reading the shared token.
+    pub cancelled: AtomicBool,
+    /// End-of-region join latch.  Every member increments it after its
+    /// implicit barrier (or after unwinding, on a cancelled team); the
+    /// master waits for `size` before returning, which is what keeps the
+    /// lifetime-erased region closure alive for every dereference even
+    /// when cancellation breaks the normal barrier protocol.
+    pub joined: CachePadded<AtomicUsize>,
     /// Per-member CPU time for this region (profiling only).
     pub cpu_ns: Vec<AtomicU64>,
     pub counters: TeamCounters,
@@ -240,6 +254,7 @@ impl TeamShared {
         barrier: Barrier,
         reduce_words: Arc<dyn SharedWords>,
         tracer: Arc<Tracer>,
+        cancel: Option<CancelToken>,
     ) -> Self {
         TeamShared {
             size,
@@ -254,6 +269,9 @@ impl TeamShared {
             ordered_cursor: PlMutex::new(0),
             ordered_cv: Condvar::new(),
             panic: PlMutex::new(None),
+            cancel,
+            cancelled: AtomicBool::new(false),
+            joined: CachePadded::new(AtomicUsize::new(0)),
             cpu_ns: (0..size).map(|_| AtomicU64::new(0)).collect(),
             counters: TeamCounters::default(),
             tracer,
@@ -273,6 +291,9 @@ impl TeamShared {
         init: impl FnOnce() -> ConstructState,
     ) -> Arc<ConstructState> {
         self.constructs.get(seq, init, || {
+            // A lapped member could stall forever behind teammates that
+            // have already unwound; cancellation must reach this loop too.
+            self.cancel_checkpoint();
             // Lapped the ring: help stragglers along by running their
             // queued tasks (a laggard may be stuck in taskwait behind work
             // sitting in a queue) instead of burning the core.
@@ -280,6 +301,54 @@ impl TeamShared {
                 std::thread::yield_now();
             }
         })
+    }
+
+    /// Has cancellation been requested for this team — via the supervisor
+    /// token or the team-local latch?  One branch when no token is armed.
+    #[inline]
+    pub(crate) fn cancel_pending(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+            || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Latch the cancellation team-wide: breaks the barrier so blocked
+    /// teammates wake and observe the latch.  Idempotent.
+    pub(crate) fn latch_cancel(&self) {
+        if !self.cancelled.swap(true, Ordering::AcqRel) {
+            self.barrier.cancel();
+        }
+    }
+
+    /// A cooperative cancellation point: if cancellation is pending, latch
+    /// it and unwind with the [`CancelUnwind`] sentinel (caught by the
+    /// region's `catch_unwind` net and filtered by [`record_panic`]).
+    ///
+    /// [`record_panic`]: TeamShared::record_panic
+    #[inline]
+    pub(crate) fn cancel_checkpoint(&self) {
+        if self.cancel_pending() {
+            self.latch_cancel();
+            crate::cancel::silence_cancel_unwind_reports();
+            std::panic::panic_any(CancelUnwind);
+        }
+    }
+
+    /// End-of-region join: every member checks in once; the master (tid 0)
+    /// does not return until all have, because the region closure and the
+    /// runtime pointer die with the master's frame.
+    pub(crate) fn join_member(&self, tid: usize) {
+        self.joined.fetch_add(1, Ordering::AcqRel);
+        if tid == 0 {
+            let mut spins = 0u32;
+            while self.joined.load(Ordering::Acquire) < self.size {
+                if spins < 64 {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
     }
 
     /// Mark member done with construct `seq`; the last one releases the
@@ -358,8 +427,13 @@ impl TeamShared {
         any
     }
 
-    /// Record a panic payload (first wins).
+    /// Record a panic payload (first wins).  The [`CancelUnwind`] sentinel
+    /// is *not* a panic — a cancelled member unwinds with it by design —
+    /// so it is filtered here rather than stored and re-thrown.
     pub(crate) fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        if payload.is::<CancelUnwind>() {
+            return;
+        }
         let mut slot = self.panic.lock();
         if slot.is_none() {
             *slot = Some(payload);
@@ -525,7 +599,18 @@ pub(crate) fn run_region_member(job: &JobMsg) {
     }
     // Implicit end-of-region barrier: also guarantees all explicit tasks
     // complete (OpenMP's rule), via the worker's task-draining barrier.
-    w.barrier();
+    // Never the unwinding kind — nothing past this point may panic.  On a
+    // cancelled team the barrier is broken (members may have unwound past
+    // mid-region barriers, so its counts no longer mean anything); the
+    // join latch below is then the only synchronization.
+    if !team.cancel_pending() {
+        w.barrier_quiet();
+    } else {
+        team.latch_cancel();
+    }
+    // Unconditional join: the master must not drop the region closure (or
+    // let the runtime pointer dangle) while any member can still touch it.
+    team.join_member(job.tid);
     team.tracer
         .end(EventKind::Region, job.tid as u32, team.size as u64);
     crate::runtime::restore_region_flag(in_parallel_prev);
@@ -545,6 +630,7 @@ mod tests {
             be.alloc_shared_words(TeamShared::reduce_words_len(size))
                 .unwrap(),
             Arc::new(Tracer::new(false)),
+            None,
         ))
     }
 

@@ -147,9 +147,23 @@ impl<'a> Worker<'a> {
 
     /// `#pragma omp barrier` — also a task scheduling point: queued explicit
     /// tasks are guaranteed complete when the barrier returns.
+    ///
+    /// Barriers are also *cancellation points*: a member whose team has
+    /// been cancelled unwinds here instead of arriving, both on entry (the
+    /// common case) and after release (a member woken by a broken barrier).
     pub fn barrier(&self) {
+        self.team.cancel_checkpoint();
+        self.barrier_quiet();
+        self.team.cancel_checkpoint();
+    }
+
+    /// The barrier body without cancellation points — never unwinds.  The
+    /// end-of-region epilogue uses this directly: nothing outside the
+    /// region's `catch_unwind` net may panic.
+    pub(crate) fn barrier_quiet(&self) {
         if self.tid == 0 {
             self.team.counters.barriers.fetch_add(1, Ordering::Relaxed);
+            self.rt.stats.activity.fetch_add(1, Ordering::Relaxed);
         }
         self.team
             .tracer
@@ -159,8 +173,13 @@ impl<'a> Worker<'a> {
         let tid = self.tid;
         self.team.barrier.wait_idle(tid, || team.drain_tasks(tid));
         // Tasks spawned by tasks during the wait: finish them before
-        // proceeding, so the OpenMP completion guarantee holds.
+        // proceeding, so the OpenMP completion guarantee holds.  A
+        // cancelled team forfeits that guarantee — unwound members will
+        // never run their share, so waiting would hang.
         while self.team.outstanding_tasks.load(Ordering::Acquire) > 0 {
+            if self.team.cancel_pending() {
+                break;
+            }
             if !self.team.drain_tasks(tid) {
                 std::thread::yield_now();
             }
@@ -196,7 +215,9 @@ impl<'a> Worker<'a> {
     ) {
         if self.tid == 0 {
             self.team.counters.loops.fetch_add(1, Ordering::Relaxed);
+            self.rt.stats.activity.fetch_add(1, Ordering::Relaxed);
         }
+        self.team.cancel_checkpoint();
         let n = range.end.saturating_sub(range.start);
         let nthreads = self.team.size;
         match self.resolve(sched) {
@@ -216,6 +237,7 @@ impl<'a> Worker<'a> {
                 let key = self.next_seq();
                 let state = self.construct(key, || ConstructState::new(range.start, n));
                 loop {
+                    self.team.cancel_checkpoint();
                     let s = state.cursor.fetch_add(chunk, Ordering::AcqRel);
                     if s >= range.end {
                         break;
@@ -228,6 +250,7 @@ impl<'a> Worker<'a> {
                 let key = self.next_seq();
                 let state = self.construct(key, || ConstructState::new(range.start, n));
                 loop {
+                    self.team.cancel_checkpoint();
                     let rem = state.remaining.load(Ordering::Acquire);
                     if rem == 0 {
                         break;
@@ -313,7 +336,12 @@ impl<'a> Worker<'a> {
     pub fn ordered<R>(&self, index: u64, f: impl FnOnce() -> R) -> R {
         let mut cur = self.team.ordered_cursor.lock();
         while *cur != index {
-            self.team.ordered_cv.wait(&mut cur);
+            // Bounded wait with a cancellation point: a lower iteration's
+            // owner may have unwound and will never notify.
+            self.team.cancel_checkpoint();
+            self.team
+                .ordered_cv
+                .wait_for(&mut cur, std::time::Duration::from_millis(1));
         }
         let out = f();
         *cur = index + 1;
@@ -393,6 +421,7 @@ impl<'a> Worker<'a> {
         let key = self.next_seq();
         let state = self.construct(key, || ConstructState::new(0, n as u64));
         loop {
+            self.team.cancel_checkpoint();
             let i = state.cursor.fetch_add(1, Ordering::AcqRel);
             if i >= n as u64 {
                 break;
@@ -410,7 +439,11 @@ impl<'a> Worker<'a> {
     /// `#pragma omp critical(name)` — one global lock per name, provided by
     /// the backend (MRAPI mutexes under the MCA backend; §5B.3).
     pub fn critical<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        // Cancellation point *before* acquisition only: never unwind while
+        // holding the lock, and never between acquire and release.
+        self.team.cancel_checkpoint();
         self.team.counters.criticals.fetch_add(1, Ordering::Relaxed);
+        self.rt.stats.activity.fetch_add(1, Ordering::Relaxed);
         // The span covers acquisition + body, tagged with a stable hash of
         // the critical's name so traces can tell sections apart.
         let name_tag = fnv1a(name.as_bytes());
@@ -537,6 +570,7 @@ impl<'a> Worker<'a> {
     /// (wait for tasks you just queued) never touches a shared line.
     pub fn taskwait(&self) {
         while self.team.outstanding_tasks.load(Ordering::Acquire) > 0 {
+            self.team.cancel_checkpoint();
             if !self.team.drain_tasks(self.tid) {
                 std::thread::yield_now();
             }

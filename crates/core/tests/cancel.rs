@@ -1,0 +1,241 @@
+//! Cooperative cancellation: the core half of the lifecycle-supervision
+//! story.  These tests drive [`romp::CancelToken`] through every checkpoint
+//! family — barriers, worksharing grabs, criticals, taskwait, ordered —
+//! and assert the invariants the serving layer builds on: regions unwind
+//! to `RompError::Cancelled`, the pool survives and serves the next
+//! region, user panics still outrank cancellation, and an unarmed runtime
+//! behaves exactly as before.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use romp::{BackendKind, CancelReason, CancelToken, RompError, Runtime, Schedule};
+
+fn rt() -> Runtime {
+    Runtime::with_backend(BackendKind::Native).unwrap()
+}
+
+/// Fire `token` from another thread once `entered` flips, so the cancel
+/// lands while the region is provably mid-flight.
+fn fire_when_entered(
+    token: &CancelToken,
+    entered: &Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    let token = token.clone();
+    let entered = Arc::clone(entered);
+    std::thread::spawn(move || {
+        while !entered.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        token.cancel();
+    })
+}
+
+#[test]
+fn cancelled_region_unwinds_at_barrier() {
+    let rt = rt();
+    let token = CancelToken::new();
+    rt.set_cancel_token(Some(token.clone()));
+    let entered = Arc::new(AtomicBool::new(false));
+    let killer = fire_when_entered(&token, &entered);
+    let e2 = Arc::clone(&entered);
+    let err = rt.try_parallel(4, move |w| {
+        e2.store(true, Ordering::Release);
+        // Barrier forever: only cancellation can end this region.
+        loop {
+            w.barrier();
+        }
+    });
+    killer.join().unwrap();
+    assert!(matches!(err, Err(RompError::Cancelled)), "got {err:?}");
+    rt.set_cancel_token(None);
+    // The pool must be fully reusable afterwards.
+    let sum = rt.parallel_reduce_sum(4, 0..1000u64, |i| i);
+    assert_eq!(sum, 499_500);
+}
+
+#[test]
+fn cancelled_dynamic_loop_stops_grabbing_chunks() {
+    let rt = rt();
+    let token = CancelToken::new();
+    rt.set_cancel_token(Some(token.clone()));
+    let done = Arc::new(AtomicU64::new(0));
+    let d2 = Arc::clone(&done);
+    let t2 = token.clone();
+    let err = rt.try_parallel(4, move |w| {
+        w.for_range_nowait(0..1_000_000u64, Schedule::Dynamic { chunk: 1 }, |i| {
+            if i == 10 {
+                t2.cancel();
+            }
+            d2.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert!(matches!(err, Err(RompError::Cancelled)), "got {err:?}");
+    let ran = done.load(Ordering::Relaxed);
+    assert!(
+        ran < 1_000_000,
+        "cancellation should stop the loop early, ran {ran}"
+    );
+    rt.set_cancel_token(None);
+}
+
+#[test]
+fn cancelled_taskwait_and_critical_unwind() {
+    let rt = rt();
+    for construct in ["taskwait", "critical"] {
+        let token = CancelToken::new();
+        rt.set_cancel_token(Some(token.clone()));
+        let t2 = token.clone();
+        let err = rt.try_parallel(2, move |w| {
+            if w.is_master() {
+                t2.cancel();
+            }
+            w.barrier();
+            match construct {
+                "taskwait" => {
+                    w.task(|| {});
+                    w.taskwait();
+                }
+                _ => {
+                    w.critical("cancel-test", || {});
+                }
+            }
+        });
+        assert!(
+            matches!(err, Err(RompError::Cancelled)),
+            "{construct}: got {err:?}"
+        );
+        rt.set_cancel_token(None);
+    }
+}
+
+#[test]
+fn pre_fired_token_skips_the_fork() {
+    let rt = rt();
+    let token = CancelToken::new();
+    token.cancel();
+    rt.set_cancel_token(Some(token));
+    let ran = Arc::new(AtomicU64::new(0));
+    let r2 = Arc::clone(&ran);
+    let err = rt.try_parallel(4, move |_w| {
+        r2.fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(matches!(err, Err(RompError::Cancelled)));
+    assert_eq!(ran.load(Ordering::Relaxed), 0, "closure must never run");
+    rt.set_cancel_token(None);
+}
+
+#[test]
+fn parallel_swallows_cancellation_without_team_of_one() {
+    // `parallel()` must treat Cancelled as "stop", not as a failure that
+    // warrants the team-of-one fallback (which would re-run the closure).
+    let rt = rt();
+    let token = CancelToken::new();
+    token.cancel();
+    rt.set_cancel_token(Some(token));
+    let runs = Arc::new(AtomicU64::new(0));
+    let r2 = Arc::clone(&runs);
+    rt.parallel(4, move |_w| {
+        r2.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(runs.load(Ordering::Relaxed), 0);
+    rt.set_cancel_token(None);
+}
+
+#[test]
+fn user_panic_outranks_cancellation() {
+    let rt = rt();
+    let token = CancelToken::new();
+    rt.set_cancel_token(Some(token.clone()));
+    let t2 = token.clone();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.try_parallel(2, move |w| {
+            if w.is_master() {
+                t2.cancel();
+                panic!("user panic wins");
+            }
+            w.barrier();
+        })
+    }));
+    let payload = caught.expect_err("panic must propagate, not Cancelled");
+    assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "user panic wins");
+    rt.set_cancel_token(None);
+    rt.parallel(2, |w| {
+        w.barrier();
+    });
+}
+
+#[test]
+fn cancel_reason_is_first_wins() {
+    let t = CancelToken::new();
+    assert!(t.cancel_deadline());
+    assert!(!t.cancel());
+    assert_eq!(t.reason(), Some(CancelReason::Deadline));
+}
+
+#[test]
+fn ordered_loop_cancels_cleanly() {
+    let rt = rt();
+    let token = CancelToken::new();
+    rt.set_cancel_token(Some(token.clone()));
+    let t2 = token.clone();
+    let err = rt.try_parallel(2, move |w| {
+        w.for_range_ordered(0..100u64, Schedule::Static { chunk: Some(1) }, |i| {
+            if i == 3 {
+                t2.cancel();
+            }
+            w.ordered(i, || {});
+        });
+    });
+    assert!(matches!(err, Err(RompError::Cancelled)), "got {err:?}");
+    rt.set_cancel_token(None);
+}
+
+#[test]
+fn cancellation_latency_is_bounded() {
+    // The serving watchdog's premise: a fired token unwinds a barrier-heavy
+    // region promptly (checkpoints are on every hot construct).  Allow a
+    // generous bound — CI machines stall — but it must not take seconds.
+    let rt = rt();
+    let token = CancelToken::new();
+    rt.set_cancel_token(Some(token.clone()));
+    let entered = Arc::new(AtomicBool::new(false));
+    let killer = fire_when_entered(&token, &entered);
+    let e2 = Arc::clone(&entered);
+    let t0 = Instant::now();
+    let err = rt.try_parallel(4, move |w| {
+        e2.store(true, Ordering::Release);
+        loop {
+            w.barrier();
+        }
+    });
+    let elapsed = t0.elapsed();
+    killer.join().unwrap();
+    assert!(matches!(err, Err(RompError::Cancelled)));
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "cancel took {elapsed:?} to unwind"
+    );
+    rt.set_cancel_token(None);
+}
+
+#[test]
+fn unarmed_runtime_runs_identically() {
+    let rt = rt();
+    // No token armed: full construct sweep must behave exactly as before.
+    let sum = rt.parallel_reduce_sum(4, 0..10_000u64, |i| i);
+    assert_eq!(sum, 49_995_000);
+    let hits = Arc::new(AtomicU64::new(0));
+    let h = Arc::clone(&hits);
+    rt.parallel(4, move |w| {
+        w.for_range(0..100u64, Schedule::Guided { chunk: 4 }, |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        w.single(|| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        w.critical("unarmed", || {});
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 101);
+}

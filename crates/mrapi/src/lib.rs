@@ -48,6 +48,8 @@
 //! assert_eq!(shm.read_u64(0), 7);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod fault;
 pub mod metadata;
 pub mod node;

@@ -37,6 +37,7 @@ pub enum RmemAccess {
 /// Creation attributes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RmemAttributes {
+    /// How nodes reach the buffer: directly addressable or via DMA.
     pub access: RmemAccess,
     /// Which platform memory window hosts the buffer.  Defaults to the
     /// modeled accelerator window for DMA, DDR for direct.

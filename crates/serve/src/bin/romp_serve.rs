@@ -3,6 +3,7 @@
 //! ```text
 //! romp-serve [--addr 127.0.0.1:7171] [--backend native|mca]
 //!            [--queue-cap N] [--max-job-threads N] [--threads N]
+//!            [--deadline-ms N] [--grace-ms N] [--allow-diag]
 //! ```
 //!
 //! Binds, prints `romp-serve listening on <addr>`, and serves until a
@@ -17,7 +18,8 @@ use romp_serve::{JobLimits, ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: romp-serve [--addr HOST:PORT] [--backend native|mca] \
-         [--queue-cap N] [--max-job-threads N] [--threads N]"
+         [--queue-cap N] [--max-job-threads N] [--threads N] \
+         [--deadline-ms N] [--grace-ms N] [--allow-diag]"
     );
     std::process::exit(2);
 }
@@ -28,6 +30,9 @@ fn main() {
     let mut queue_cap = 64usize;
     let mut max_job_threads = 16u8;
     let mut num_threads: Option<usize> = None;
+    let mut default_deadline_ms = 0u32;
+    let mut escalation_grace_ms: Option<u64> = None;
+    let mut allow_diag = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -54,6 +59,18 @@ fn main() {
                 num_threads = Some(need(i + 1).parse().unwrap_or_else(|_| usage()));
                 i += 2;
             }
+            "--deadline-ms" => {
+                default_deadline_ms = need(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--grace-ms" => {
+                escalation_grace_ms = Some(need(i + 1).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--allow-diag" => {
+                allow_diag = true;
+                i += 1;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -71,13 +88,19 @@ fn main() {
         }
     };
 
-    let serve_cfg = ServeConfig {
+    let mut serve_cfg = ServeConfig {
         queue_cap,
         limits: JobLimits {
             max_threads: max_job_threads,
+            allow_diag,
             ..JobLimits::default()
         },
+        default_deadline_ms,
+        ..ServeConfig::default()
     };
+    if let Some(grace) = escalation_grace_ms {
+        serve_cfg.escalation_grace_ms = grace;
+    }
     let handle = match Server::start(&addr, serve_cfg, rt) {
         Ok(h) => h,
         Err(e) => {

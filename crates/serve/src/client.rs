@@ -3,11 +3,30 @@
 //! tests drive.
 
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+use mca_sync::SmallRng;
 
 use crate::job::{JobOutcome, JobSpec, JobState};
 use crate::protocol::{read_frame, write_frame, ErrorCode, FrameError, Request, Response};
+
+/// A jitter source seeded from wall-clock entropy and `salt`, so many
+/// clients backing off from the same event do not re-collide in lockstep.
+fn jitter_rng(salt: u64) -> SmallRng {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()))
+        .unwrap_or(0);
+    SmallRng::seed_from_u64(
+        salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ nanos ^ u64::from(std::process::id()),
+    )
+}
+
+/// `base/2 + uniform(0, base)` — ±50% jitter around `base`.
+fn jittered(rng: &mut SmallRng, base: u64) -> u64 {
+    base / 2 + rng.gen_range(0, base.max(1))
+}
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -64,8 +83,20 @@ pub enum SubmitOutcome {
     Draining,
 }
 
+/// Per-submission options (see [`crate::Request::Submit`] for the wire
+/// semantics of each field).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Deadline in milliseconds from admission; `0` = server default.
+    pub deadline_ms: u32,
+    /// Idempotency key; non-zero makes the submission safely retryable
+    /// (a duplicate returns the original job id).  `0` disables it.
+    pub idem_key: u64,
+}
+
 /// A connected client (one TCP stream, used serially).
 pub struct Client {
+    addr: SocketAddr,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
@@ -75,11 +106,22 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        let addr = stream.peer_addr()?;
         let writer = stream.try_clone()?;
         Ok(Client {
+            addr,
             writer,
             reader: BufReader::new(stream),
         })
+    }
+
+    /// Replace a broken stream with a fresh connection to the same server.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
     }
 
     /// One request/response round trip.
@@ -94,15 +136,74 @@ impl Client {
         Response::decode(&body).map_err(|e| ClientError::Proto(e.to_string()))
     }
 
-    /// Submit a job (does not retry; see [`Client::submit_with_retry`]).
+    /// `call` for requests that are safe to repeat (polls, cancels,
+    /// keyed submits): a transient transport failure reconnects with
+    /// jittered exponential backoff and resends, a few times, before
+    /// giving up.  Server-level errors are returned immediately.
+    fn call_retrying(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut rng = jitter_rng(0xC0FF_EE00);
+        let mut backoff_ms = 1u64;
+        let mut last = ClientError::Closed;
+        for _ in 0..4 {
+            match self.call(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e @ (ClientError::Io(_) | ClientError::Closed)) => {
+                    last = e;
+                    std::thread::sleep(Duration::from_millis(jittered(&mut rng, backoff_ms)));
+                    backoff_ms = (backoff_ms * 2).min(100);
+                    // A failed reconnect leaves the old (broken) stream in
+                    // place; the next attempt's `call` fails fast and we
+                    // back off again.
+                    let _ = self.reconnect();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Submit a job with default options (no deadline override, no
+    /// idempotency key; does not retry — see [`Client::submit_with_retry`]).
     pub fn submit(&mut self, spec: &JobSpec) -> Result<SubmitOutcome, ClientError> {
-        match self.call(&Request::Submit(*spec))? {
+        self.submit_opts(spec, SubmitOptions::default())
+    }
+
+    /// Submit a job with explicit options.  With a non-zero
+    /// `opts.idem_key` the request is resent across transient transport
+    /// failures — the key guarantees at-most-once admission server-side.
+    pub fn submit_opts(
+        &mut self,
+        spec: &JobSpec,
+        opts: SubmitOptions,
+    ) -> Result<SubmitOutcome, ClientError> {
+        let req = Request::Submit {
+            spec: *spec,
+            deadline_ms: opts.deadline_ms,
+            idem_key: opts.idem_key,
+        };
+        let resp = if opts.idem_key != 0 {
+            self.call_retrying(&req)?
+        } else {
+            self.call(&req)?
+        };
+        match resp {
             Response::Accepted { job } => Ok(SubmitOutcome::Accepted(job)),
             Response::Rejected { retry_after_ms } => Ok(SubmitOutcome::Rejected { retry_after_ms }),
             Response::Error {
                 code: ErrorCode::Draining,
                 ..
             } => Ok(SubmitOutcome::Draining),
+            Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Request cancellation; returns the job's state after the request
+    /// took effect (`Cancelled`, `Cancelling`, or an unchanged terminal
+    /// state — cancel is idempotent).
+    pub fn cancel(&mut self, job: u64) -> Result<JobState, ClientError> {
+        match self.call_retrying(&Request::Cancel { job })? {
+            Response::Status { state, .. } => Ok(state),
             Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
             other => Err(ClientError::Unexpected(other)),
         }
@@ -115,10 +216,20 @@ impl Client {
         spec: &JobSpec,
         max_wait: Duration,
     ) -> Result<Option<(u64, u32)>, ClientError> {
+        self.submit_with_retry_opts(spec, SubmitOptions::default(), max_wait)
+    }
+
+    /// [`Client::submit_with_retry`] with explicit [`SubmitOptions`].
+    pub fn submit_with_retry_opts(
+        &mut self,
+        spec: &JobSpec,
+        opts: SubmitOptions,
+        max_wait: Duration,
+    ) -> Result<Option<(u64, u32)>, ClientError> {
         let deadline = Instant::now() + max_wait;
         let mut rejections = 0u32;
         loop {
-            match self.submit(spec)? {
+            match self.submit_opts(spec, opts)? {
                 SubmitOutcome::Accepted(id) => return Ok(Some((id, rejections))),
                 SubmitOutcome::Draining => return Ok(None),
                 SubmitOutcome::Rejected { retry_after_ms } => {
@@ -140,7 +251,7 @@ impl Client {
 
     /// Poll a job's state.
     pub fn poll(&mut self, job: u64) -> Result<JobState, ClientError> {
-        match self.call(&Request::Poll { job })? {
+        match self.call_retrying(&Request::Poll { job })? {
             Response::Status { state, .. } => Ok(state),
             Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
             other => Err(ClientError::Unexpected(other)),
@@ -165,23 +276,28 @@ impl Client {
         }
     }
 
-    /// Block until the job finishes, then fetch its result.  Polls with a
-    /// short sleep; `timeout` bounds the total wait.
+    /// Block until the job reaches a terminal state, then fetch its
+    /// result.  Polls with jittered exponential backoff (100µs doubling
+    /// to a 50ms cap) rather than a fixed-rate busy-poll, so a fleet of
+    /// waiting clients does not hammer the server in lockstep; `timeout`
+    /// bounds the total wait.
     pub fn wait_result(&mut self, job: u64, timeout: Duration) -> Result<JobOutcome, ClientError> {
         let deadline = Instant::now() + timeout;
+        let mut rng = jitter_rng(job);
+        let mut backoff_us = 100u64;
         loop {
-            match self.poll(job)? {
-                JobState::Done | JobState::Failed => return self.fetch(job),
-                JobState::Queued | JobState::Running => {
-                    if Instant::now() >= deadline {
-                        return Err(ClientError::Server {
-                            code: ErrorCode::NotReady,
-                            msg: format!("job {job} still pending after {timeout:?}"),
-                        });
-                    }
-                    std::thread::sleep(Duration::from_micros(200));
-                }
+            let state = self.poll(job)?;
+            if state.terminal() {
+                return self.fetch(job);
             }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Server {
+                    code: ErrorCode::NotReady,
+                    msg: format!("job {job} still {state:?} after {timeout:?}"),
+                });
+            }
+            std::thread::sleep(Duration::from_micros(jittered(&mut rng, backoff_us)));
+            backoff_us = (backoff_us * 2).min(50_000);
         }
     }
 

@@ -5,11 +5,36 @@
 //! so the server doubles as a realistic mixed-workload driver: the same
 //! kernels the paper measures, now arriving as concurrent requests.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use romp::{Runtime, Schedule, Worker};
 use romp_epcc::{delay, Construct};
 use romp_npb::{Class, NpbKernel};
+
+/// A supervision-diagnostic workload: misbehaves on purpose so the kill
+/// paths (deadline, cancel, panic isolation, watchdog escalation) can be
+/// exercised end-to-end against a live server.  Rejected at admission
+/// unless [`JobLimits::allow_diag`] is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagSpec {
+    /// Panic inside the parallel region — exercises the dispatcher's
+    /// panic isolation.
+    Panic,
+    /// Spin for `ms` milliseconds crossing a barrier checkpoint each
+    /// iteration — a long job that cancels promptly.
+    Spin {
+        /// How long to spin.
+        ms: u32,
+    },
+    /// Loop through a named critical for `ms` milliseconds — the
+    /// backend-lock path, which a persistent MRAPI fault can wedge (the
+    /// watchdog-escalation scenario).
+    CriticalLoop {
+        /// How long to loop.
+        ms: u32,
+    },
+}
 
 /// What a client asks the server to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +59,13 @@ pub enum JobSpec {
         /// Team size.
         threads: u8,
     },
+    /// A supervision diagnostic (see [`DiagSpec`]); admission-gated.
+    Diag {
+        /// Which misbehaviour.
+        diag: DiagSpec,
+        /// Team size.
+        threads: u8,
+    },
 }
 
 /// Admission limits a [`JobSpec`] must satisfy (checked server-side so a
@@ -46,6 +78,10 @@ pub struct JobLimits {
     pub max_inner_reps: u16,
     /// Largest NPB class admitted while serving.
     pub max_class: Class,
+    /// Whether [`JobSpec::Diag`] workloads are admitted.  Off by default:
+    /// they exist to exercise the supervision machinery in tests and soak
+    /// runs, not for production clients.
+    pub allow_diag: bool,
 }
 
 impl Default for JobLimits {
@@ -54,9 +90,14 @@ impl Default for JobLimits {
             max_threads: 16,
             max_inner_reps: 4096,
             max_class: Class::W,
+            allow_diag: false,
         }
     }
 }
+
+/// Longest diag spin/loop admitted (keeps a hostile client from parking a
+/// dispatcher for minutes even when diagnostics are enabled).
+const MAX_DIAG_MS: u32 = 120_000;
 
 fn class_rank(c: Class) -> u8 {
     match c {
@@ -92,6 +133,23 @@ impl JobSpec {
                 }
                 Ok(())
             }
+            JobSpec::Diag { diag, threads } => {
+                if !limits.allow_diag {
+                    return Err("diagnostic jobs not admitted");
+                }
+                if threads == 0 || threads > limits.max_threads {
+                    return Err("threads out of range");
+                }
+                match diag {
+                    DiagSpec::Panic => Ok(()),
+                    DiagSpec::Spin { ms } | DiagSpec::CriticalLoop { ms } => {
+                        if ms == 0 || ms > MAX_DIAG_MS {
+                            return Err("diag duration out of range");
+                        }
+                        Ok(())
+                    }
+                }
+            }
         }
     }
 
@@ -109,11 +167,20 @@ impl JobSpec {
                 kernel.name().to_ascii_lowercase(),
                 class.label().to_ascii_lowercase()
             ),
+            JobSpec::Diag { diag, .. } => match diag {
+                DiagSpec::Panic => "diag.panic".to_string(),
+                DiagSpec::Spin { .. } => "diag.spin".to_string(),
+                DiagSpec::CriticalLoop { .. } => "diag.critical_loop".to_string(),
+            },
         }
     }
 }
 
 /// Where a submitted job is in its lifecycle.
+///
+/// Terminal states are `Done`, `Failed`, `Cancelled` and `TimedOut`; every
+/// accepted job reaches exactly one of them (`Failed` also covers panics —
+/// the payload message lands in the outcome detail).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
     /// Accepted, waiting in the queue.
@@ -122,8 +189,16 @@ pub enum JobState {
     Running,
     /// Finished with a passing verification.
     Done,
-    /// Finished but verification failed (result still fetchable).
+    /// Finished but verification failed, or the job panicked (result
+    /// still fetchable).
     Failed,
+    /// A cancel was requested while running; the region is unwinding to
+    /// its next cooperative checkpoint.
+    Cancelling,
+    /// Terminal: the deadline fired and the job unwound.
+    TimedOut,
+    /// Terminal: a client cancel (or pre-run cancel) took effect.
+    Cancelled,
 }
 
 impl JobState {
@@ -133,6 +208,9 @@ impl JobState {
             JobState::Running => 1,
             JobState::Done => 2,
             JobState::Failed => 3,
+            JobState::Cancelling => 4,
+            JobState::TimedOut => 5,
+            JobState::Cancelled => 6,
         }
     }
 
@@ -142,8 +220,20 @@ impl JobState {
             1 => JobState::Running,
             2 => JobState::Done,
             3 => JobState::Failed,
+            4 => JobState::Cancelling,
+            5 => JobState::TimedOut,
+            6 => JobState::Cancelled,
             _ => return None,
         })
+    }
+
+    /// Whether this state is final — the job will never change state
+    /// again and its outcome (if any) is fetchable.
+    pub fn terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled | JobState::TimedOut
+        )
     }
 }
 
@@ -203,6 +293,53 @@ pub fn execute(rt: &Runtime, spec: &JobSpec) -> JobOutcome {
                     res.verification
                 ),
             }
+        }
+        JobSpec::Diag { diag, threads } => {
+            let n = threads as usize;
+            run_diag(rt, diag, n);
+            JobOutcome {
+                ok: true,
+                wall_us: t0.elapsed().as_micros() as u64,
+                detail: format!("diag {diag:?} on {n} threads"),
+            }
+        }
+    }
+}
+
+/// The misbehaving diagnostic bodies.  Each keeps its loop *inside* a
+/// single parallel region so a fired cancel token unwinds the whole job
+/// at the next checkpoint (a loop of short regions would restart between
+/// cancels).
+fn run_diag(rt: &Runtime, diag: DiagSpec, n: usize) {
+    match diag {
+        // Every member panics (none left stranded at an explicit barrier
+        // the panicker skipped); the first payload surfaces at the master.
+        DiagSpec::Panic => rt.parallel(n, |_| panic!("diag: deliberate panic")),
+        DiagSpec::Spin { ms } => {
+            let until = Instant::now() + Duration::from_millis(u64::from(ms));
+            // Master decides when to stop and the decision crosses the
+            // barrier with everyone, so all members run the same number of
+            // barrier phases (per-member clock reads would desync them).
+            let done = AtomicBool::new(false);
+            rt.parallel(n, |w| loop {
+                if w.is_master() && Instant::now() >= until {
+                    done.store(true, Ordering::Release);
+                }
+                delay(EPCC_DELAY);
+                w.barrier();
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+            });
+        }
+        DiagSpec::CriticalLoop { ms } => {
+            let until = Instant::now() + Duration::from_millis(u64::from(ms));
+            rt.parallel(n, move |w| {
+                while Instant::now() < until {
+                    w.critical("diag-critical", || delay(EPCC_DELAY));
+                }
+                w.barrier();
+            });
         }
     }
 }

@@ -67,8 +67,8 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, ClientError, SubmitOutcome};
-pub use job::{JobLimits, JobOutcome, JobSpec, JobState};
+pub use client::{Client, ClientError, SubmitOptions, SubmitOutcome};
+pub use job::{DiagSpec, JobLimits, JobOutcome, JobSpec, JobState};
 pub use protocol::{ErrorCode, ProtoError, Request, Response, MAX_FRAME};
 pub use queue::{JobQueue, PushError};
 pub use server::{DrainReport, ServeConfig, Server, ServerHandle};

@@ -24,7 +24,7 @@ use std::io::{self, Read, Write};
 use romp_epcc::Construct;
 use romp_npb::{Class, NpbKernel};
 
-use crate::job::{JobSpec, JobState};
+use crate::job::{DiagSpec, JobSpec, JobState};
 
 /// Upper bound on a frame body, protecting the peer from hostile or
 /// corrupt length prefixes.
@@ -74,7 +74,17 @@ impl std::error::Error for ProtoError {}
 pub enum Request {
     /// Submit a job for execution; answered by `Accepted`, `Rejected`
     /// (queue full — retry later) or `Error(Draining)`.
-    Submit(JobSpec),
+    Submit {
+        /// What to run.
+        spec: JobSpec,
+        /// Per-job deadline in milliseconds from admission; `0` means
+        /// "use the server default" (which may itself be none).
+        deadline_ms: u32,
+        /// Idempotency key: a non-zero key makes resubmission safe — a
+        /// second `Submit` carrying the same key returns the original
+        /// job id instead of enqueueing a duplicate.  `0` disables it.
+        idem_key: u64,
+    },
     /// Ask for a job's current [`JobState`].
     Poll {
         /// Job id from `Accepted`.
@@ -82,6 +92,15 @@ pub enum Request {
     },
     /// Fetch (and consume) a finished job's result.
     Fetch {
+        /// Job id from `Accepted`.
+        job: u64,
+    },
+    /// Request cancellation of a job.  Queued jobs become `Cancelled`
+    /// immediately; running jobs move to `Cancelling` and unwind at the
+    /// next cooperative checkpoint.  Answered by `Status` with the state
+    /// after the request took effect (terminal jobs report their state
+    /// unchanged — cancel is idempotent and never un-finishes a job).
+    Cancel {
         /// Job id from `Accepted`.
         job: u64,
     },
@@ -192,6 +211,7 @@ const OP_FETCH: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_PING: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
+const OP_CANCEL: u8 = 0x07;
 
 const OP_ACCEPTED: u8 = 0x81;
 const OP_REJECTED: u8 = 0x82;
@@ -332,6 +352,11 @@ fn class_from_u8(v: u8) -> Result<Class, ProtoError> {
 
 const SPEC_EPCC: u8 = 0;
 const SPEC_NPB: u8 = 1;
+const SPEC_DIAG: u8 = 2;
+
+const DIAG_PANIC: u8 = 0;
+const DIAG_SPIN: u8 = 1;
+const DIAG_CRITICAL_LOOP: u8 = 2;
 
 fn encode_spec(out: &mut Vec<u8>, spec: &JobSpec) {
     match spec {
@@ -355,6 +380,17 @@ fn encode_spec(out: &mut Vec<u8>, spec: &JobSpec) {
             out.push(class_to_u8(*class));
             out.push(*threads);
         }
+        JobSpec::Diag { diag, threads } => {
+            out.push(SPEC_DIAG);
+            let (tag, ms) = match diag {
+                DiagSpec::Panic => (DIAG_PANIC, 0u32),
+                DiagSpec::Spin { ms } => (DIAG_SPIN, *ms),
+                DiagSpec::CriticalLoop { ms } => (DIAG_CRITICAL_LOOP, *ms),
+            };
+            out.push(tag);
+            out.extend_from_slice(&ms.to_be_bytes());
+            out.push(*threads);
+        }
     }
 }
 
@@ -370,6 +406,18 @@ fn decode_spec(cur: &mut Cur<'_>) -> Result<JobSpec, ProtoError> {
             class: class_from_u8(cur.u8()?)?,
             threads: cur.u8()?,
         }),
+        SPEC_DIAG => {
+            let tag = cur.u8()?;
+            let ms = cur.u32()?;
+            let threads = cur.u8()?;
+            let diag = match tag {
+                DIAG_PANIC => DiagSpec::Panic,
+                DIAG_SPIN => DiagSpec::Spin { ms },
+                DIAG_CRITICAL_LOOP => DiagSpec::CriticalLoop { ms },
+                _ => return Err(ProtoError::BadPayload("unknown diag tag")),
+            };
+            Ok(JobSpec::Diag { diag, threads })
+        }
         _ => Err(ProtoError::BadPayload("unknown job-spec tag")),
     }
 }
@@ -379,8 +427,14 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut body = Vec::with_capacity(16);
         match self {
-            Request::Submit(spec) => {
+            Request::Submit {
+                spec,
+                deadline_ms,
+                idem_key,
+            } => {
                 body.push(OP_SUBMIT);
+                body.extend_from_slice(&deadline_ms.to_be_bytes());
+                body.extend_from_slice(&idem_key.to_be_bytes());
                 encode_spec(&mut body, spec);
             }
             Request::Poll { job } => {
@@ -389,6 +443,10 @@ impl Request {
             }
             Request::Fetch { job } => {
                 body.push(OP_FETCH);
+                body.extend_from_slice(&job.to_be_bytes());
+            }
+            Request::Cancel { job } => {
+                body.push(OP_CANCEL);
                 body.extend_from_slice(&job.to_be_bytes());
             }
             Request::Stats => body.push(OP_STATS),
@@ -403,9 +461,18 @@ impl Request {
         let &opcode = body.first().ok_or(ProtoError::EmptyFrame)?;
         let mut cur = Cur::new(body, opcode);
         let req = match opcode {
-            OP_SUBMIT => Request::Submit(decode_spec(&mut cur)?),
+            OP_SUBMIT => {
+                let deadline_ms = cur.u32()?;
+                let idem_key = cur.u64()?;
+                Request::Submit {
+                    spec: decode_spec(&mut cur)?,
+                    deadline_ms,
+                    idem_key,
+                }
+            }
             OP_POLL => Request::Poll { job: cur.u64()? },
             OP_FETCH => Request::Fetch { job: cur.u64()? },
+            OP_CANCEL => Request::Cancel { job: cur.u64()? },
             OP_STATS => Request::Stats,
             OP_PING => Request::Ping,
             OP_SHUTDOWN => Request::Shutdown,
@@ -587,18 +654,29 @@ mod tests {
     use mca_sync::SmallRng;
 
     fn arb_spec(rng: &mut SmallRng) -> JobSpec {
-        if rng.next_u64().is_multiple_of(2) {
-            JobSpec::Epcc {
+        match rng.next_u64() % 3 {
+            0 => JobSpec::Epcc {
                 construct: construct_from_u8((rng.next_u64() % 8) as u8).unwrap(),
                 threads: (rng.gen_range(1, 33)) as u8,
                 inner_reps: rng.gen_range(1, 4097) as u16,
-            }
-        } else {
-            JobSpec::Npb {
+            },
+            1 => JobSpec::Npb {
                 kernel: kernel_from_u8((rng.next_u64() % 5) as u8).unwrap(),
                 class: class_from_u8((rng.next_u64() % 3) as u8).unwrap(),
                 threads: (rng.gen_range(1, 33)) as u8,
-            }
+            },
+            _ => JobSpec::Diag {
+                diag: match rng.next_u64() % 3 {
+                    0 => DiagSpec::Panic,
+                    1 => DiagSpec::Spin {
+                        ms: rng.next_u64() as u32,
+                    },
+                    _ => DiagSpec::CriticalLoop {
+                        ms: rng.next_u64() as u32,
+                    },
+                },
+                threads: (rng.gen_range(1, 33)) as u8,
+            },
         }
     }
 
@@ -610,16 +688,23 @@ mod tests {
     }
 
     fn arb_request(rng: &mut SmallRng) -> Request {
-        match rng.next_u64() % 6 {
-            0 => Request::Submit(arb_spec(rng)),
+        match rng.next_u64() % 7 {
+            0 => Request::Submit {
+                spec: arb_spec(rng),
+                deadline_ms: rng.next_u64() as u32,
+                idem_key: rng.next_u64(),
+            },
             1 => Request::Poll {
                 job: rng.next_u64(),
             },
             2 => Request::Fetch {
                 job: rng.next_u64(),
             },
-            3 => Request::Stats,
-            4 => Request::Ping,
+            3 => Request::Cancel {
+                job: rng.next_u64(),
+            },
+            4 => Request::Stats,
+            5 => Request::Ping,
             _ => Request::Shutdown,
         }
     }
@@ -634,7 +719,7 @@ mod tests {
             },
             2 => Response::Status {
                 job: rng.next_u64(),
-                state: JobState::from_u8((rng.next_u64() % 4) as u8).unwrap(),
+                state: JobState::from_u8((rng.next_u64() % 7) as u8).unwrap(),
             },
             3 => Response::JobResult {
                 job: rng.next_u64(),

@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use mca_sync::{Condvar, Mutex};
+use romp::CancelToken;
 
 use crate::job::JobSpec;
 
@@ -25,6 +26,12 @@ pub struct QueuedJob {
     pub spec: JobSpec,
     /// When admission succeeded (queue-wait latency measurement).
     pub enqueued: Instant,
+    /// The job's cancel token, shared with the registry entry so a
+    /// `Cancel` request or the watchdog can reach the job wherever it is.
+    pub cancel: CancelToken,
+    /// Absolute deadline (admission time + requested or default budget);
+    /// `None` when the job runs unbounded.
+    pub deadline: Option<Instant>,
 }
 
 /// Why `try_push` refused.
@@ -134,6 +141,8 @@ mod tests {
                 inner_reps: 1,
             },
             enqueued: Instant::now(),
+            cancel: CancelToken::new(),
+            deadline: None,
         }
     }
 

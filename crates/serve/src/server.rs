@@ -15,10 +15,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mca_sync::Mutex;
-use romp::Runtime;
+use romp::{CancelReason, CancelToken, Runtime};
 use romp_trace::{json_escape, Counter, Gauge, Histogram};
 
 use crate::job::{execute, JobLimits, JobOutcome, JobSpec, JobState};
@@ -34,6 +34,16 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Per-job limits enforced at submission.
     pub limits: JobLimits,
+    /// Deadline applied to jobs that do not request one, milliseconds
+    /// from admission; `0` means unbounded (the default — supervision is
+    /// strictly opt-in, so an unconfigured server behaves as before).
+    pub default_deadline_ms: u32,
+    /// How often the watchdog samples job wall-time and worker progress.
+    pub watchdog_interval_ms: u64,
+    /// How long a cancelled job may show *no* worker progress before the
+    /// watchdog escalates to poisoning the backend (forcing wedged MRAPI
+    /// waits onto the native fallback).
+    pub escalation_grace_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +51,9 @@ impl Default for ServeConfig {
         ServeConfig {
             queue_cap: 64,
             limits: JobLimits::default(),
+            default_deadline_ms: 0,
+            watchdog_interval_ms: 5,
+            escalation_grace_ms: 250,
         }
     }
 }
@@ -52,10 +65,14 @@ struct Metrics {
     invalid: Arc<Counter>,
     completed: Arc<Counter>,
     failed: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    timed_out: Arc<Counter>,
+    idem_hits: Arc<Counter>,
     proto_errors: Arc<Counter>,
     req_submit: Arc<Counter>,
     req_poll: Arc<Counter>,
     req_fetch: Arc<Counter>,
+    req_cancel: Arc<Counter>,
     req_stats: Arc<Counter>,
     req_ping: Arc<Counter>,
     queue_depth: Arc<Gauge>,
@@ -64,6 +81,10 @@ struct Metrics {
     lat_exec: Arc<Histogram>,
     lat_total: Arc<Histogram>,
     lat_handle: Arc<Histogram>,
+    wd_ticks: Arc<Counter>,
+    wd_deadline_fired: Arc<Counter>,
+    wd_escalations: Arc<Counter>,
+    wd_cancel_latency: Arc<Histogram>,
 }
 
 impl Metrics {
@@ -75,10 +96,14 @@ impl Metrics {
             invalid: reg.counter("serve.submit.invalid"),
             completed: reg.counter("serve.jobs.completed"),
             failed: reg.counter("serve.jobs.failed"),
+            cancelled: reg.counter("serve.jobs.cancelled"),
+            timed_out: reg.counter("serve.jobs.timed_out"),
+            idem_hits: reg.counter("serve.submit.idem_hits"),
             proto_errors: reg.counter("serve.proto.errors"),
             req_submit: reg.counter("serve.req.submit"),
             req_poll: reg.counter("serve.req.poll"),
             req_fetch: reg.counter("serve.req.fetch"),
+            req_cancel: reg.counter("serve.req.cancel"),
             req_stats: reg.counter("serve.req.stats"),
             req_ping: reg.counter("serve.req.ping"),
             queue_depth: reg.gauge("serve.queue.depth"),
@@ -87,6 +112,10 @@ impl Metrics {
             lat_exec: reg.histogram_ns("serve.latency.exec_ns"),
             lat_total: reg.histogram_ns("serve.latency.total_ns"),
             lat_handle: reg.histogram_ns("serve.latency.handle_ns"),
+            wd_ticks: reg.counter("watchdog.ticks"),
+            wd_deadline_fired: reg.counter("watchdog.deadline_fired"),
+            wd_escalations: reg.counter("watchdog.escalations"),
+            wd_cancel_latency: reg.histogram_ns("watchdog.cancel_latency_ns"),
         }
     }
 }
@@ -95,6 +124,22 @@ struct JobEntry {
     state: JobState,
     outcome: Option<JobOutcome>,
     submitted: Instant,
+    /// Shared with the queued copy; firing it reaches the job wherever
+    /// it is (queued, running, mid-unwind).
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    /// When the cancel (client or deadline) was requested — basis of the
+    /// cancel-latency histogram.
+    cancel_requested_at: Option<Instant>,
+    /// Watchdog bookkeeping: the runtime activity value last seen for
+    /// this job, and since when it has been flat.
+    activity_at_check: Option<u64>,
+    stalled_since: Option<Instant>,
+    /// Whether the watchdog already escalated this job (escalate once).
+    escalated: bool,
+    /// Client idempotency key (`0` = none); cleaned from the dedup map
+    /// when the result is fetched.
+    idem_key: u64,
 }
 
 struct Shared {
@@ -102,9 +147,13 @@ struct Shared {
     cfg: ServeConfig,
     queue: JobQueue,
     jobs: Mutex<HashMap<u64, JobEntry>>,
+    /// Idempotency-key → job-id dedup map (see [`crate::Request::Submit`]).
+    idem: Mutex<HashMap<u64, u64>>,
     next_id: AtomicU64,
     draining: AtomicBool,
     stopped: AtomicBool,
+    /// Tells the watchdog thread to exit (set during [`ServerHandle::join`]).
+    wd_stop: AtomicBool,
     metrics: Metrics,
     /// EWMA of job execution time, nanoseconds — the retry-after basis.
     exec_ewma_ns: AtomicU64,
@@ -114,7 +163,10 @@ impl Shared {
     /// Jobs accepted but not yet finished.
     fn outstanding(&self) -> u64 {
         let accepted = self.metrics.accepted.get();
-        let done = self.metrics.completed.get() + self.metrics.failed.get();
+        let done = self.metrics.completed.get()
+            + self.metrics.failed.get()
+            + self.metrics.cancelled.get()
+            + self.metrics.timed_out.get();
         accepted.saturating_sub(done)
     }
 
@@ -144,6 +196,7 @@ impl Shared {
             "{{\"backend\":\"{}\",\"degraded\":{},\"draining\":{},\
              \"queue_depth\":{},\"queue_cap\":{},\"outstanding\":{},\
              \"accepted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\
+             \"cancelled\":{},\"timed_out\":{},\
              \"metrics\":{}}}",
             json_escape(self.rt.backend_kind().label()),
             self.rt.degraded(),
@@ -155,6 +208,8 @@ impl Shared {
             m.rejected.get(),
             m.completed.get(),
             m.failed.get(),
+            m.cancelled.get(),
+            m.timed_out.get(),
             self.rt.tracer().metrics().snapshot().to_json(),
         )
     }
@@ -168,14 +223,19 @@ pub struct DrainReport {
     pub accepted: u64,
     /// Jobs finished with passing verification.
     pub completed: u64,
-    /// Jobs finished with failing verification.
+    /// Jobs finished with failing verification (panics included).
     pub failed: u64,
+    /// Jobs that reached the `Cancelled` terminal state.
+    pub cancelled: u64,
+    /// Jobs that reached the `TimedOut` terminal state.
+    pub timed_out: u64,
     /// Submissions refused by admission control (backpressure worked).
     pub rejected: u64,
     /// Malformed frames/payloads refused.
     pub proto_errors: u64,
-    /// Accepted jobs that never finished.  **Always zero on a graceful
-    /// drain** — the queue completes every accepted job before closing.
+    /// Accepted jobs that never reached a terminal state.  **Always zero
+    /// on a graceful drain** — every accepted job ends as exactly one of
+    /// completed / failed / cancelled / timed-out.
     pub dropped: u64,
 }
 
@@ -183,11 +243,13 @@ impl DrainReport {
     /// Render as a one-object JSON document.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"accepted\":{},\"completed\":{},\"failed\":{},\"rejected\":{},\
-             \"proto_errors\":{},\"dropped\":{}}}",
+            "{{\"accepted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
+             \"timed_out\":{},\"rejected\":{},\"proto_errors\":{},\"dropped\":{}}}",
             self.accepted,
             self.completed,
             self.failed,
+            self.cancelled,
+            self.timed_out,
             self.rejected,
             self.proto_errors,
             self.dropped
@@ -205,6 +267,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
     dispatcher: JoinHandle<()>,
+    watchdog: JoinHandle<()>,
 }
 
 impl Server {
@@ -221,9 +284,11 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_cap),
             jobs: Mutex::new(HashMap::new()),
+            idem: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
+            wd_stop: AtomicBool::new(false),
             metrics,
             exec_ewma_ns: AtomicU64::new(0),
             cfg,
@@ -235,6 +300,11 @@ impl Server {
             .name("serve-dispatch".into())
             .spawn(move || dispatch_loop(&disp_shared))?;
 
+        let wd_shared = Arc::clone(&shared);
+        let watchdog = std::thread::Builder::new()
+            .name("serve-watchdog".into())
+            .spawn(move || watchdog_loop(&wd_shared))?;
+
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("serve-accept".into())
@@ -245,6 +315,7 @@ impl Server {
             shared,
             accept,
             dispatcher,
+            watchdog,
         })
     }
 }
@@ -283,6 +354,8 @@ impl ServerHandle {
         // Every accepted job has run; let trailing region epilogues finish
         // before reporting (the PR 3 pool-quiescence hook).
         self.shared.rt.quiesce();
+        self.shared.wd_stop.store(true, Ordering::Release);
+        let _ = self.watchdog.join();
         self.shared.stopped.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -291,13 +364,17 @@ impl ServerHandle {
         let accepted = m.accepted.get();
         let completed = m.completed.get();
         let failed = m.failed.get();
+        let cancelled = m.cancelled.get();
+        let timed_out = m.timed_out.get();
         DrainReport {
             accepted,
             completed,
             failed,
+            cancelled,
+            timed_out,
             rejected: m.rejected.get(),
             proto_errors: m.proto_errors.get(),
-            dropped: accepted.saturating_sub(completed + failed),
+            dropped: accepted.saturating_sub(completed + failed + cancelled + timed_out),
         }
     }
 }
@@ -373,7 +450,12 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
 
 fn handle_request(shared: &Shared, req: Request) -> Response {
     match req {
-        Request::Submit(spec) => handle_submit(shared, spec),
+        Request::Submit {
+            spec,
+            deadline_ms,
+            idem_key,
+        } => handle_submit(shared, spec, deadline_ms, idem_key),
+        Request::Cancel { job } => handle_cancel(shared, job),
         Request::Poll { job } => {
             shared.metrics.req_poll.incr();
             match shared.jobs.lock().get(&job) {
@@ -390,10 +472,24 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
         Request::Fetch { job } => {
             shared.metrics.req_fetch.incr();
             let mut jobs = shared.jobs.lock();
-            match jobs.get(&job) {
-                Some(entry) if entry.outcome.is_some() => {
-                    let entry = jobs.remove(&job).expect("checked present");
-                    let out = entry.outcome.expect("checked some");
+            // Take the entry out and decide with ownership in hand — no
+            // check-then-unwrap: an entry without an outcome goes straight
+            // back into the table.
+            match jobs.remove(&job) {
+                Some(JobEntry {
+                    outcome: Some(out),
+                    idem_key,
+                    ..
+                }) => {
+                    drop(jobs);
+                    if idem_key != 0 {
+                        // The idempotency window closes at fetch: a later
+                        // resubmit with the same key is a new job.
+                        let mut idem = shared.idem.lock();
+                        if idem.get(&idem_key) == Some(&job) {
+                            idem.remove(&idem_key);
+                        }
+                    }
                     Response::JobResult {
                         job,
                         ok: out.ok,
@@ -401,10 +497,13 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
                         detail: out.detail,
                     }
                 }
-                Some(_) => Response::Error {
-                    code: ErrorCode::NotReady,
-                    msg: format!("job {job} still pending"),
-                },
+                Some(entry) => {
+                    jobs.insert(job, entry);
+                    Response::Error {
+                        code: ErrorCode::NotReady,
+                        msg: format!("job {job} still pending"),
+                    }
+                }
                 None => Response::Error {
                     code: ErrorCode::UnknownJob,
                     msg: format!("job {job}"),
@@ -431,7 +530,7 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
     }
 }
 
-fn handle_submit(shared: &Shared, spec: JobSpec) -> Response {
+fn handle_submit(shared: &Shared, spec: JobSpec, deadline_ms: u32, idem_key: u64) -> Response {
     shared.metrics.req_submit.incr();
     if shared.draining.load(Ordering::Acquire) {
         return Response::Error {
@@ -447,6 +546,14 @@ fn handle_submit(shared: &Shared, spec: JobSpec) -> Response {
         };
     }
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let now = Instant::now();
+    let budget_ms = if deadline_ms > 0 {
+        deadline_ms
+    } else {
+        shared.cfg.default_deadline_ms
+    };
+    let deadline = (budget_ms > 0).then(|| now + Duration::from_millis(u64::from(budget_ms)));
+    let cancel = CancelToken::new();
     // Insert the table entry *before* the queue push so a client that
     // polls immediately after `Accepted` always finds the job; remove it
     // again if admission refuses.
@@ -455,13 +562,48 @@ fn handle_submit(shared: &Shared, spec: JobSpec) -> Response {
         JobEntry {
             state: JobState::Queued,
             outcome: None,
-            submitted: Instant::now(),
+            submitted: now,
+            cancel: cancel.clone(),
+            deadline,
+            cancel_requested_at: None,
+            activity_at_check: None,
+            stalled_since: None,
+            escalated: false,
+            idem_key,
         },
     );
+    if idem_key != 0 {
+        // Claim the key after the table entry exists (so a racing
+        // duplicate that wins the claim can immediately poll the id) but
+        // before the push (so no two same-key submits both enqueue).
+        use std::collections::hash_map::Entry;
+        match shared.idem.lock().entry(idem_key) {
+            Entry::Occupied(o) => {
+                let existing = *o.get();
+                shared.jobs.lock().remove(&id);
+                shared.metrics.idem_hits.incr();
+                return Response::Accepted { job: existing };
+            }
+            Entry::Vacant(v) => {
+                v.insert(id);
+            }
+        }
+    }
+    let refuse = |shared: &Shared| {
+        shared.jobs.lock().remove(&id);
+        if idem_key != 0 {
+            let mut idem = shared.idem.lock();
+            if idem.get(&idem_key) == Some(&id) {
+                idem.remove(&idem_key);
+            }
+        }
+    };
     match shared.queue.try_push(QueuedJob {
         id,
         spec,
-        enqueued: Instant::now(),
+        enqueued: now,
+        cancel,
+        deadline,
     }) {
         Ok(depth) => {
             shared.metrics.accepted.incr();
@@ -470,14 +612,14 @@ fn handle_submit(shared: &Shared, spec: JobSpec) -> Response {
             Response::Accepted { job: id }
         }
         Err(PushError::Full) => {
-            shared.jobs.lock().remove(&id);
+            refuse(shared);
             shared.metrics.rejected.incr();
             Response::Rejected {
                 retry_after_ms: shared.retry_after_ms(),
             }
         }
         Err(PushError::Closed) => {
-            shared.jobs.lock().remove(&id);
+            refuse(shared);
             Response::Error {
                 code: ErrorCode::Draining,
                 msg: "server is draining".into(),
@@ -486,10 +628,66 @@ fn handle_submit(shared: &Shared, spec: JobSpec) -> Response {
     }
 }
 
+/// Apply a cancel request: queued jobs die in place, running jobs get
+/// their token fired and unwind at the next checkpoint, terminal jobs are
+/// left alone (cancel is idempotent).  Always answers with the job's
+/// state after the request took effect.
+fn handle_cancel(shared: &Shared, job: u64) -> Response {
+    shared.metrics.req_cancel.incr();
+    let mut jobs = shared.jobs.lock();
+    let Some(entry) = jobs.get_mut(&job) else {
+        return Response::Error {
+            code: ErrorCode::UnknownJob,
+            msg: format!("job {job}"),
+        };
+    };
+    let state = match entry.state {
+        JobState::Queued => {
+            // Fire the token anyway: the dispatcher may have already
+            // popped the job, and a fired token stops it pre-fork.
+            entry.cancel.cancel();
+            entry.state = JobState::Cancelled;
+            entry.outcome = Some(JobOutcome {
+                ok: false,
+                wall_us: 0,
+                detail: "cancelled while queued".into(),
+            });
+            shared.metrics.cancelled.incr();
+            JobState::Cancelled
+        }
+        JobState::Running => {
+            entry.cancel.cancel();
+            entry.state = JobState::Cancelling;
+            let now = Instant::now();
+            entry.cancel_requested_at = Some(now);
+            entry.stalled_since = Some(now);
+            entry.activity_at_check = Some(shared.rt.activity());
+            JobState::Cancelling
+        }
+        // Cancelling already, or terminal: nothing to do.
+        s => s,
+    };
+    Response::Status { job, state }
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The dispatcher: the queue's single consumer, running every job on the
 /// shared runtime's persistent pool.  Exits only when the queue is closed
-/// *and* empty — i.e. after the graceful drain has completed every
-/// accepted job.
+/// *and* empty — i.e. after the graceful drain has finished every
+/// accepted job (to completion or to a supervised kill).
+///
+/// Every job runs under `catch_unwind`: a panicking kernel becomes a
+/// `Failed` job carrying the panic message, never a dead dispatcher.
 fn dispatch_loop(shared: &Shared) {
     while let Some(qjob) = shared.queue.pop() {
         let started = Instant::now();
@@ -498,20 +696,70 @@ fn dispatch_loop(shared: &Shared) {
             .lat_queue
             .record(started.duration_since(qjob.enqueued).as_nanos() as u64);
         shared.metrics.queue_depth.set(shared.queue.len() as u64);
-        if let Some(entry) = shared.jobs.lock().get_mut(&qjob.id) {
-            entry.state = JobState::Running;
+        {
+            let mut jobs = shared.jobs.lock();
+            match jobs.get_mut(&qjob.id) {
+                // Cancelled (or deadline-killed) while queued: already
+                // terminal with an outcome — skip without running.
+                Some(entry) if entry.state.terminal() => continue,
+                Some(entry) => entry.state = JobState::Running,
+                // Terminal *and* fetched already; nothing left to do.
+                None => continue,
+            }
         }
-        // `execute` never panics and never aborts: backend trouble under
-        // the job degrades the runtime (MCA→native) and the job completes
-        // on the fallback — the service's graceful-degradation story.
-        let outcome = execute(&shared.rt, &qjob.spec);
+        // Arm the runtime with this job's token so every region the job
+        // forks — including ones nested inside kernels — checks it.
+        shared.rt.set_cancel_token(Some(qjob.cancel.clone()));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&shared.rt, &qjob.spec)
+        }));
+        shared.rt.set_cancel_token(None);
         let exec_ns = started.elapsed().as_nanos() as u64;
         shared.metrics.lat_exec.record(exec_ns);
         shared.note_exec_time(exec_ns);
-        if outcome.ok {
-            shared.metrics.completed.incr();
-        } else {
-            shared.metrics.failed.incr();
+        let (state, outcome) = match result {
+            Err(payload) => {
+                // The pool has already contained the unwind (each member
+                // runs under its own net); quiesce so trailing region
+                // epilogues finish before the next job is dispatched.
+                shared.rt.quiesce();
+                (
+                    JobState::Failed,
+                    JobOutcome {
+                        ok: false,
+                        wall_us: exec_ns / 1_000,
+                        detail: format!("panicked: {}", panic_message(payload.as_ref())),
+                    },
+                )
+            }
+            // A fired token outranks the outcome `execute` assembled: the
+            // job's regions unwound, so whatever it returned is partial.
+            Ok(out) => match qjob.cancel.reason() {
+                Some(CancelReason::Deadline) => (
+                    JobState::TimedOut,
+                    JobOutcome {
+                        ok: false,
+                        wall_us: out.wall_us,
+                        detail: "deadline exceeded".into(),
+                    },
+                ),
+                Some(CancelReason::Requested) => (
+                    JobState::Cancelled,
+                    JobOutcome {
+                        ok: false,
+                        wall_us: out.wall_us,
+                        detail: "cancelled".into(),
+                    },
+                ),
+                None if out.ok => (JobState::Done, out),
+                None => (JobState::Failed, out),
+            },
+        };
+        match state {
+            JobState::Done => shared.metrics.completed.incr(),
+            JobState::Cancelled => shared.metrics.cancelled.incr(),
+            JobState::TimedOut => shared.metrics.timed_out.incr(),
+            _ => shared.metrics.failed.incr(),
         }
         let mut jobs = shared.jobs.lock();
         if let Some(entry) = jobs.get_mut(&qjob.id) {
@@ -519,12 +767,95 @@ fn dispatch_loop(shared: &Shared) {
                 .metrics
                 .lat_total
                 .record(entry.submitted.elapsed().as_nanos() as u64);
-            entry.state = if outcome.ok {
-                JobState::Done
-            } else {
-                JobState::Failed
-            };
+            if let Some(t) = entry.cancel_requested_at {
+                shared
+                    .metrics
+                    .wd_cancel_latency
+                    .record(t.elapsed().as_nanos() as u64);
+            }
+            entry.state = state;
             entry.outcome = Some(outcome);
         }
+    }
+}
+
+/// The watchdog: every tick it fires deadlines, watches cancelled jobs
+/// unwind, and escalates the ones that don't.
+///
+/// Escalation is progress-aware: a cancelled job whose workers are still
+/// reaching synchronization constructs ([`Runtime::activity`] advancing)
+/// is unwinding and is left alone; one that is flat for the configured
+/// grace is wedged somewhere with no cooperative checkpoint — in
+/// practice, inside a persistently failing MRAPI primitive — and the
+/// backend is poisoned so the wedged wait flips to the native fallback at
+/// its next timeout lap, after which the job unwinds normally.
+fn watchdog_loop(shared: &Shared) {
+    let tick = Duration::from_millis(shared.cfg.watchdog_interval_ms.max(1));
+    let grace = Duration::from_millis(shared.cfg.escalation_grace_ms.max(1));
+    while !shared.wd_stop.load(Ordering::Acquire) {
+        shared.metrics.wd_ticks.incr();
+        let now = Instant::now();
+        let activity = shared.rt.activity();
+        let mut escalate = None;
+        {
+            let mut jobs = shared.jobs.lock();
+            for (&id, entry) in jobs.iter_mut() {
+                match entry.state {
+                    JobState::Queued if entry.deadline.is_some_and(|d| now >= d) => {
+                        // Kill in place: the dispatcher skips terminal
+                        // entries when it eventually pops this job.
+                        entry.cancel.cancel_deadline();
+                        entry.state = JobState::TimedOut;
+                        entry.outcome = Some(JobOutcome {
+                            ok: false,
+                            wall_us: 0,
+                            detail: "deadline exceeded while queued".into(),
+                        });
+                        shared.metrics.wd_deadline_fired.incr();
+                        shared.metrics.timed_out.incr();
+                    }
+                    JobState::Running
+                        if entry.deadline.is_some_and(|d| now >= d)
+                            && entry.cancel.cancel_deadline() =>
+                    {
+                        entry.state = JobState::Cancelling;
+                        entry.cancel_requested_at = Some(now);
+                        entry.stalled_since = Some(now);
+                        entry.activity_at_check = Some(activity);
+                        shared.metrics.wd_deadline_fired.incr();
+                    }
+                    JobState::Cancelling if !entry.escalated => {
+                        if entry.activity_at_check != Some(activity) {
+                            // Workers still reaching constructs: the job is
+                            // unwinding (or finishing); restart the clock.
+                            entry.activity_at_check = Some(activity);
+                            entry.stalled_since = Some(now);
+                        } else if entry
+                            .stalled_since
+                            .is_some_and(|t| now.duration_since(t) >= grace)
+                        {
+                            entry.escalated = true;
+                            escalate = Some(id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(id) = escalate {
+            // Outside the jobs lock: poisoning takes backend-internal locks.
+            if shared
+                .rt
+                .poison_backend(&format!("watchdog: job {id} unresponsive to cancellation"))
+            {
+                // Complete the escalation: swap the fallback in now rather
+                // than at the next region boundary, so the degradation is
+                // immediately visible and later jobs never touch the
+                // poisoned backend at all.
+                shared.rt.heal_backend_now();
+                shared.metrics.wd_escalations.incr();
+            }
+        }
+        std::thread::sleep(tick);
     }
 }

@@ -6,12 +6,13 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use mca_sync::SmallRng;
 use romp::{BackendKind, Runtime};
 use romp_epcc::Construct;
 use romp_npb::{Class, NpbKernel};
 use romp_serve::{
     Client, ClientError, ErrorCode, JobLimits, JobSpec, Response, ServeConfig, Server,
-    ServerHandle, SubmitOutcome,
+    ServerHandle, SubmitOptions, SubmitOutcome,
 };
 
 fn start_native(cfg: ServeConfig) -> ServerHandle {
@@ -71,6 +72,7 @@ fn full_queue_rejects_with_retry_after() {
     let handle = start_native(ServeConfig {
         queue_cap: 2,
         limits: JobLimits::default(),
+        ..ServeConfig::default()
     });
     let mut c = Client::connect(handle.addr()).unwrap();
     // Flood with slow jobs until a rejection arrives; the dispatcher can
@@ -113,6 +115,7 @@ fn drain_completes_accepted_jobs_and_refuses_new_ones() {
     let handle = start_native(ServeConfig {
         queue_cap: 32,
         limits: JobLimits::default(),
+        ..ServeConfig::default()
     });
     let mut c = Client::connect(handle.addr()).unwrap();
     let mut ids = Vec::new();
@@ -183,6 +186,89 @@ fn malformed_frames_are_rejected_without_harm() {
     assert_eq!(report.dropped, 0);
 }
 
+/// Property: `Cancel` raced against every point in a job's lifecycle —
+/// still queued behind a backed-up dispatcher, mid-dispatch, running,
+/// already complete, already fetched — always leaves the job with
+/// exactly one terminal outcome and perfect drain accounting.  Seeded,
+/// so a failure reproduces.
+#[test]
+fn cancel_raced_against_every_job_state_settles_exactly_once() {
+    let handle = start_native(ServeConfig {
+        // A 4-slot queue plus slow-ish jobs keeps a healthy population of
+        // *queued* jobs for cancels to race.
+        queue_cap: 4,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0x5EED_CA9C);
+    let specs = [tiny_job(), chunky_job()];
+
+    let mut accepted: Vec<u64> = Vec::new();
+    let mut cancels = 0u64;
+    for r in 0..48u64 {
+        let spec = specs[rng.gen_index(0, specs.len())];
+        let opts = SubmitOptions {
+            deadline_ms: if rng.gen_index(0, 4) == 0 { 5_000 } else { 0 },
+            idem_key: r + 1,
+        };
+        match c.submit_opts(&spec, opts).unwrap() {
+            SubmitOutcome::Accepted(id) => {
+                accepted.push(id);
+                // Cancel a random earlier-or-current job at a random
+                // moment: depending on the draw this races admission,
+                // dispatch, execution, or completion.
+                if rng.gen_index(0, 3) == 0 {
+                    let victim = accepted[rng.gen_index(0, accepted.len())];
+                    std::thread::sleep(Duration::from_micros(rng.gen_range(0, 500)));
+                    c.cancel(victim).unwrap();
+                    cancels += 1;
+                    // Sometimes cancel the same victim again: must stay
+                    // acknowledged, never flip a terminal state.
+                    if rng.gen_index(0, 4) == 0 {
+                        c.cancel(victim).unwrap();
+                    }
+                }
+            }
+            SubmitOutcome::Rejected { .. } => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            SubmitOutcome::Draining => panic!("not draining"),
+        }
+    }
+    assert!(cancels > 0, "the seed must actually exercise cancellation");
+
+    // Every accepted job reaches exactly one terminal outcome, and a
+    // fetched job is gone (cancel afterwards is UnknownJob).
+    for id in &accepted {
+        let out = c.wait_result(*id, Duration::from_secs(60)).unwrap();
+        if !out.ok {
+            assert!(
+                out.detail.contains("cancel")
+                    || out.detail.contains("deadline")
+                    || !out.detail.is_empty(),
+                "losing outcome carries a reason: {out:?}"
+            );
+        }
+        match c.cancel(*id) {
+            Err(ClientError::Server {
+                code: ErrorCode::UnknownJob,
+                ..
+            }) => {}
+            other => panic!("cancel after fetch must be UnknownJob, got {other:?}"),
+        }
+    }
+
+    c.shutdown().unwrap();
+    let report = handle.join();
+    assert_eq!(report.accepted, accepted.len() as u64, "{report:?}");
+    assert_eq!(
+        report.completed + report.failed + report.cancelled + report.timed_out,
+        report.accepted,
+        "every job settles exactly once: {report:?}"
+    );
+    assert_eq!(report.dropped, 0, "{report:?}");
+}
+
 /// Read one response frame off a raw stream.
 fn client_from(stream: TcpStream) -> Result<Response, String> {
     let mut r = std::io::BufReader::new(stream);
@@ -201,6 +287,7 @@ fn concurrent_clients_never_see_misrouted_responses() {
     let handle = start_native(ServeConfig {
         queue_cap: 256,
         limits: JobLimits::default(),
+        ..ServeConfig::default()
     });
     let addr = handle.addr();
     let clients: Vec<_> = (0..16)

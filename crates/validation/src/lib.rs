@@ -32,7 +32,7 @@ use romp::{ReduceOp, Runtime, Schedule};
 pub mod chaos;
 pub mod serveload;
 pub use chaos::{run_chaos, ChaosOutcome, ChaosReport, ChaosRun};
-pub use serveload::{drive_mixed_load, mixed_specs, LoadReport};
+pub use serveload::{drive_cancel_storm, drive_mixed_load, mixed_specs, LoadReport, StormReport};
 
 /// One check's outcome at one team size.
 #[derive(Debug, Clone, PartialEq, Eq)]

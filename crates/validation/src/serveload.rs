@@ -9,9 +9,10 @@
 use std::net::SocketAddr;
 use std::time::Duration;
 
+use mca_sync::SmallRng;
 use romp_epcc::Construct;
 use romp_npb::{Class, NpbKernel};
-use romp_serve::{Client, ClientError, JobSpec};
+use romp_serve::{Client, ClientError, JobSpec, SubmitOptions};
 
 /// Aggregate result of one [`drive_mixed_load`] run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +132,111 @@ pub fn drive_mixed_load(
     let mut report = LoadReport::default();
     for h in handles {
         report.absorb(h.join().expect("load client panicked"));
+    }
+    report
+}
+
+/// Aggregate result of one [`drive_cancel_storm`] run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StormReport {
+    /// Jobs the server accepted.
+    pub accepted: u64,
+    /// Results with `ok == true`.
+    pub completed: u64,
+    /// Results reporting cancellation or a missed deadline.
+    pub killed: u64,
+    /// Results with `ok == false` for any other reason.
+    pub failed: u64,
+    /// Cancel requests issued.
+    pub cancels_sent: u64,
+    /// Submissions refused because the server was draining.
+    pub drain_refusals: u64,
+}
+
+impl StormReport {
+    /// Accepted jobs that never produced a result — must be zero.
+    pub fn lost(&self) -> u64 {
+        self.accepted - self.completed - self.killed - self.failed
+    }
+
+    fn absorb(&mut self, other: StormReport) {
+        self.accepted += other.accepted;
+        self.completed += other.completed;
+        self.killed += other.killed;
+        self.failed += other.failed;
+        self.cancels_sent += other.cancels_sent;
+        self.drain_refusals += other.drain_refusals;
+    }
+}
+
+/// A cancellation storm: `clients` concurrent connections each submit
+/// `requests_per_client` jobs from the [`mixed_specs`] rotation with
+/// idempotency keys and (one in three) a short deadline, then cancel
+/// roughly 20% of them at a random moment — so Cancel races every
+/// lifecycle state: still queued, mid-dispatch, mid-execution, already
+/// complete, even already fetched.  Every accepted job must still reach
+/// exactly one terminal outcome; the caller asserts `lost() == 0`.
+pub fn drive_cancel_storm(
+    addr: SocketAddr,
+    clients: usize,
+    requests_per_client: usize,
+    seed: u64,
+) -> StormReport {
+    let handles: Vec<_> = (0..clients)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let specs = mixed_specs();
+                let mut rng = SmallRng::seed_from_u64(seed ^ (0xD00D_F00D << 1) ^ k as u64);
+                let mut c = Client::connect(addr).expect("connect");
+                let mut local = StormReport::default();
+                for r in 0..requests_per_client {
+                    let spec = specs[(k + r) % specs.len()];
+                    let opts = SubmitOptions {
+                        // One in three jobs carries a real (but generous
+                        // vs. job length) deadline; the rest are open.
+                        deadline_ms: if rng.gen_index(0, 3) == 0 {
+                            rng.gen_range(2_000, 10_000) as u32
+                        } else {
+                            0
+                        },
+                        // Unique non-zero key per (client, request).
+                        idem_key: ((k as u64) << 32) | (r as u64 + 1),
+                    };
+                    match c.submit_with_retry_opts(&spec, opts, Duration::from_secs(60)) {
+                        Ok(Some((id, _rejections))) => {
+                            local.accepted += 1;
+                            if rng.gen_index(0, 5) == 0 {
+                                // Let the job advance a random distance
+                                // before the cancel lands.
+                                std::thread::sleep(Duration::from_micros(rng.gen_range(0, 800)));
+                                c.cancel(id).expect("cancel accepted job");
+                                local.cancels_sent += 1;
+                            }
+                            let out = c
+                                .wait_result(id, Duration::from_secs(120))
+                                .expect("result for accepted job");
+                            if out.ok {
+                                local.completed += 1;
+                            } else if out.detail.contains("cancel")
+                                || out.detail.contains("deadline")
+                            {
+                                local.killed += 1;
+                            } else {
+                                local.failed += 1;
+                            }
+                        }
+                        Ok(None) => local.drain_refusals += 1,
+                        Err(ClientError::Closed) => break,
+                        Err(e) => panic!("storm client {k} request {r}: {e}"),
+                    }
+                }
+                local
+            })
+        })
+        .collect();
+    let mut report = StormReport::default();
+    for h in handles {
+        report.absorb(h.join().expect("storm client panicked"));
     }
     report
 }

@@ -35,6 +35,7 @@ fn mid_load_fault_degrades_backend_without_losing_jobs() {
         ServeConfig {
             queue_cap: 64,
             limits: JobLimits::default(),
+            ..ServeConfig::default()
         },
         rt,
     )

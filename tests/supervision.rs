@@ -1,0 +1,329 @@
+//! Job lifecycle supervision, end to end against a live server: the
+//! three kill paths (deadline, panic, wedged-backend escalation), the
+//! idempotent-retry contract, and the `watchdog.*` metrics that make all
+//! of it observable.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mca_mrapi::{FaultPlan, FaultProbe, FaultSite, MrapiStatus, MrapiSystem};
+use romp::{BackendKind, Config, McaBackend, McaOptions, RetryPolicy, Runtime};
+use romp_epcc::Construct;
+use romp_serve::{
+    Client, DiagSpec, JobLimits, JobSpec, JobState, ServeConfig, Server, SubmitOptions,
+    SubmitOutcome,
+};
+
+fn diag_config() -> ServeConfig {
+    ServeConfig {
+        limits: JobLimits {
+            allow_diag: true,
+            ..JobLimits::default()
+        },
+        watchdog_interval_ms: 2,
+        escalation_grace_ms: 100,
+        ..ServeConfig::default()
+    }
+}
+
+fn healthy_job() -> JobSpec {
+    JobSpec::Epcc {
+        construct: Construct::Barrier,
+        threads: 2,
+        inner_reps: 2,
+    }
+}
+
+/// Kill path (a): a job that outlives its deadline is cancelled by the
+/// watchdog, reported `TimedOut`, and later jobs are unaffected.
+#[test]
+fn deadline_kills_overrunning_job_and_serving_continues() {
+    let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    let handle = Server::start("127.0.0.1:0", diag_config(), rt).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Would spin for 30s; the 100ms deadline must win.
+    let spec = JobSpec::Diag {
+        diag: DiagSpec::Spin { ms: 30_000 },
+        threads: 2,
+    };
+    let opts = SubmitOptions {
+        deadline_ms: 100,
+        ..SubmitOptions::default()
+    };
+    let SubmitOutcome::Accepted(id) = c.submit_opts(&spec, opts).unwrap() else {
+        panic!("spin job refused");
+    };
+    let out = c.wait_result(id, Duration::from_secs(30)).unwrap();
+    assert!(!out.ok, "deadline-killed job must not verify ok");
+    assert!(
+        out.detail.contains("deadline"),
+        "outcome names the deadline: {}",
+        out.detail
+    );
+
+    // The pool is healthy: a normal job right after completes fine.
+    let (id, _) = c
+        .submit_with_retry(&healthy_job(), Duration::from_secs(10))
+        .unwrap()
+        .unwrap();
+    assert!(c.wait_result(id, Duration::from_secs(30)).unwrap().ok);
+
+    // The kill is visible in the watchdog metrics.
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.contains("\"watchdog.deadline_fired\":"),
+        "stats expose watchdog counters: {stats}"
+    );
+    assert!(!stats.contains("\"watchdog.deadline_fired\":0"));
+
+    c.shutdown().unwrap();
+    let report = handle.join();
+    assert_eq!(report.timed_out, 1, "{report:?}");
+    assert_eq!(report.dropped, 0, "{report:?}");
+}
+
+/// Kill path (b): a job that panics inside the runtime is isolated — the
+/// dispatcher reports `Failed` with the panic message and keeps serving.
+#[test]
+fn panicking_job_is_isolated_and_reported() {
+    let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    let handle = Server::start("127.0.0.1:0", diag_config(), rt).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let spec = JobSpec::Diag {
+        diag: DiagSpec::Panic,
+        threads: 2,
+    };
+    let SubmitOutcome::Accepted(id) = c.submit(&spec).unwrap() else {
+        panic!("panic job refused");
+    };
+    let out = c.wait_result(id, Duration::from_secs(30)).unwrap();
+    assert!(!out.ok);
+    assert!(
+        out.detail.contains("panicked") && out.detail.contains("diag: deliberate panic"),
+        "outcome carries the panic payload: {}",
+        out.detail
+    );
+
+    // The server survived its tenant: later jobs still complete.
+    for _ in 0..3 {
+        let (id, _) = c
+            .submit_with_retry(&healthy_job(), Duration::from_secs(10))
+            .unwrap()
+            .unwrap();
+        assert!(c.wait_result(id, Duration::from_secs(30)).unwrap().ok);
+    }
+
+    c.shutdown().unwrap();
+    let report = handle.join();
+    assert_eq!(report.failed, 1, "{report:?}");
+    assert_eq!(report.completed, 3, "{report:?}");
+    assert_eq!(report.dropped, 0, "{report:?}");
+}
+
+/// Kill path (c): a job wedged inside a persistently-faulted MRAPI mutex
+/// cannot reach a cancellation checkpoint on its own.  The watchdog
+/// observes zero progress after the deadline cancel, escalates by
+/// poisoning the backend, the wedged lock falls over to the native
+/// fallback, and the job finally unwinds as `TimedOut` — while the
+/// degraded server keeps serving.  Also proves the idempotent-submit
+/// contract: retrying the same key returns the original job id.
+#[test]
+fn wedged_backend_job_is_escalated_to_fallback() {
+    let sys = MrapiSystem::new_t4240();
+    let be = McaBackend::with_options(
+        sys.clone(),
+        McaOptions {
+            lock_timeout: Duration::from_millis(10),
+            retry: RetryPolicy::default(),
+        },
+    )
+    .unwrap();
+    let rt = Runtime::with_config_and_backend(
+        Config::default().with_backend(BackendKind::Mca),
+        Box::new(be),
+    )
+    .unwrap();
+    let handle = Server::start("127.0.0.1:0", diag_config(), rt).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // From now on every MRAPI mutex lock times out — a critical section
+    // entered after this point spins in the retry loop forever (the lock
+    // classifies timeouts as contention, so it will not self-degrade).
+    let plan = Arc::new(FaultPlan::new(0x5E12_0005).with_persistent(
+        FaultSite::MutexLock,
+        MrapiStatus::Timeout,
+        0,
+    ));
+    sys.set_fault_probe(Some(plan as Arc<dyn FaultProbe>));
+
+    let spec = JobSpec::Diag {
+        diag: DiagSpec::CriticalLoop { ms: 50 },
+        threads: 2,
+    };
+    let opts = SubmitOptions {
+        deadline_ms: 150,
+        idem_key: 0xA11C_E555,
+    };
+    let SubmitOutcome::Accepted(id) = c.submit_opts(&spec, opts).unwrap() else {
+        panic!("critical-loop job refused");
+    };
+
+    // Idempotency: re-submitting the same key while the job is in flight
+    // returns the original id instead of admitting a duplicate.
+    let SubmitOutcome::Accepted(dup) = c.submit_opts(&spec, opts).unwrap() else {
+        panic!("idempotent retry refused");
+    };
+    assert_eq!(dup, id, "idempotent retry returns the original job id");
+
+    // deadline (150ms) + grace (100ms) + margin: the watchdog must have
+    // escalated and the job unwound well within this window.
+    let out = c.wait_result(id, Duration::from_secs(60)).unwrap();
+    assert!(!out.ok);
+    assert!(
+        out.detail.contains("deadline"),
+        "escalated job reports its deadline: {}",
+        out.detail
+    );
+
+    // Escalation degraded the runtime to the native fallback...
+    assert!(
+        handle.runtime().degraded(),
+        "watchdog escalation must poison the wedged backend"
+    );
+    // ...and it is visible in the metrics.
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"watchdog.escalations\":"), "{stats}");
+    assert!(!stats.contains("\"watchdog.escalations\":0"), "{stats}");
+
+    // The degraded server still serves (locks now come from the native
+    // chain even though the MRAPI fault is still armed).
+    let (id, _) = c
+        .submit_with_retry(&healthy_job(), Duration::from_secs(10))
+        .unwrap()
+        .unwrap();
+    assert!(c.wait_result(id, Duration::from_secs(30)).unwrap().ok);
+
+    c.shutdown().unwrap();
+    let report = handle.join();
+    assert_eq!(report.timed_out, 1, "{report:?}");
+    assert_eq!(report.dropped, 0, "{report:?}");
+}
+
+/// Measurement harness for the EXPERIMENTS.md cancellation-latency
+/// table — not an assertion-style test.  Run with:
+///
+/// ```text
+/// cargo test --release --offline --test supervision -- --ignored --nocapture
+/// ```
+#[test]
+#[ignore = "measurement harness, run explicitly with --ignored"]
+fn measure_cancellation_latency() {
+    fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+        let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+        sorted_us[idx]
+    }
+
+    let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    let handle = Server::start("127.0.0.1:0", diag_config(), rt).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let spin = JobSpec::Diag {
+        diag: DiagSpec::Spin { ms: 30_000 },
+        threads: 2,
+    };
+
+    // (1) Explicit cancel: request → terminal result observed by client.
+    let mut cancel_us = Vec::new();
+    for _ in 0..50 {
+        let SubmitOutcome::Accepted(id) = c.submit(&spin).unwrap() else {
+            panic!("refused");
+        };
+        // Let the job actually start spinning.
+        std::thread::sleep(Duration::from_millis(5));
+        let t0 = std::time::Instant::now();
+        c.cancel(id).unwrap();
+        let out = c.wait_result(id, Duration::from_secs(30)).unwrap();
+        assert!(!out.ok);
+        cancel_us.push(t0.elapsed().as_micros() as u64);
+    }
+    cancel_us.sort_unstable();
+
+    // (2) Deadline overshoot: how far past the deadline the TimedOut
+    // result lands (watchdog tick + unwind + fetch).
+    let mut overshoot_us = Vec::new();
+    for _ in 0..50 {
+        let opts = SubmitOptions {
+            deadline_ms: 20,
+            ..SubmitOptions::default()
+        };
+        let t0 = std::time::Instant::now();
+        let SubmitOutcome::Accepted(id) = c.submit_opts(&spin, opts).unwrap() else {
+            panic!("refused");
+        };
+        let out = c.wait_result(id, Duration::from_secs(30)).unwrap();
+        assert!(!out.ok);
+        overshoot_us.push(t0.elapsed().as_micros().saturating_sub(20_000) as u64);
+    }
+    overshoot_us.sort_unstable();
+
+    println!("| path | p50 | p99 | max |");
+    println!("|---|---|---|---|");
+    println!(
+        "| explicit cancel -> result | {} us | {} us | {} us |",
+        quantile(&cancel_us, 0.5),
+        quantile(&cancel_us, 0.99),
+        cancel_us.last().unwrap()
+    );
+    println!(
+        "| deadline overshoot -> result | {} us | {} us | {} us |",
+        quantile(&overshoot_us, 0.5),
+        quantile(&overshoot_us, 0.99),
+        overshoot_us.last().unwrap()
+    );
+
+    c.shutdown().unwrap();
+    let report = handle.join();
+    assert_eq!(report.dropped, 0);
+}
+
+/// Explicit cancellation: a client-side `cancel` lands as the
+/// `Cancelled` terminal state (not `TimedOut`), is idempotent, and a
+/// cancel of an unknown or already-fetched job is a typed error.
+#[test]
+fn explicit_cancel_is_terminal_and_idempotent() {
+    let rt = Runtime::with_backend(BackendKind::Native).unwrap();
+    let handle = Server::start("127.0.0.1:0", diag_config(), rt).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let spec = JobSpec::Diag {
+        diag: DiagSpec::Spin { ms: 30_000 },
+        threads: 2,
+    };
+    let SubmitOutcome::Accepted(id) = c.submit(&spec).unwrap() else {
+        panic!("spin job refused");
+    };
+    let state = c.cancel(id).unwrap();
+    assert!(
+        matches!(
+            state,
+            JobState::Cancelled | JobState::Cancelling | JobState::Queued
+        ),
+        "cancel acknowledged with a sensible state, got {state:?}"
+    );
+    // Idempotent: a second cancel is acknowledged, not an error.
+    c.cancel(id).unwrap();
+
+    let out = c.wait_result(id, Duration::from_secs(30)).unwrap();
+    assert!(!out.ok);
+    assert!(out.detail.contains("cancel"), "{}", out.detail);
+
+    // The entry is consumed; cancelling it now is UnknownJob.
+    assert!(c.cancel(id).is_err(), "cancel after fetch is an error");
+    assert!(c.cancel(0xDEAD_BEEF).is_err(), "cancel of unknown id");
+
+    c.shutdown().unwrap();
+    let report = handle.join();
+    assert_eq!(report.cancelled, 1, "{report:?}");
+    assert_eq!(report.dropped, 0, "{report:?}");
+}
