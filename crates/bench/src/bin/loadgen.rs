@@ -1,19 +1,26 @@
 //! `loadgen` — the romp-serve load generator and latency reporter.
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16] [--requests N]
-//!         [--rate R] [--mix epcc|npb|mixed] [--json]
+//! loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16,64] [--requests N]
+//!         [--pipeline N] [--rate R] [--mix epcc|npb|mixed] [--json]
 //! loadgen --addr HOST:PORT --ping
 //! loadgen --addr HOST:PORT --shutdown
 //! ```
 //!
-//! Each client thread owns one connection and drives submit → poll →
-//! fetch round trips.  With `--rate R` the generator is **open-loop**:
-//! arrivals follow a fixed schedule of `R` requests/second per client,
-//! and latency is measured from the *scheduled* arrival, so time spent
-//! catching up after a slow response is charged to the server
-//! (coordinated-omission-free, the wrk2 discipline).  Without `--rate`
-//! it is closed-loop maximum throughput and latency is submit → result.
+//! Each client thread owns one connection and keeps up to `--pipeline N`
+//! requests in flight on it: a submission is followed immediately by an
+//! `await`, and the server writes each `JobResult` the moment the job
+//! finishes — no polling, no extra round trips.  Submission responses
+//! arrive in request order; results arrive in completion order and are
+//! correlated by job id.  `--pipeline 1` (the default) degenerates to the
+//! classic closed loop, one round trip at a time.
+//!
+//! With `--rate R` the generator is **open-loop**: arrivals follow a
+//! fixed schedule of `R` requests/second per client, and latency is
+//! measured from the *scheduled* arrival, so time spent catching up after
+//! a slow response is charged to the server (coordinated-omission-free,
+//! the wrk2 discipline).  Without `--rate` it is closed-loop maximum
+//! throughput and latency is submit → result.
 //!
 //! `Rejected { retry_after_ms }` answers are counted, honoured (bounded
 //! sleep) and retried — a full-queue episode shows up as rejections and
@@ -21,6 +28,7 @@
 //! hard error counted in `protocol_errors`; the process exits non-zero
 //! if any occurred (the CI smoke's assertion).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,12 +36,12 @@ use std::time::{Duration, Instant};
 use mca_sync::Mutex;
 use romp_epcc::Construct;
 use romp_npb::{Class, NpbKernel};
-use romp_serve::{Client, JobSpec};
+use romp_serve::{Client, JobSpec, Request, Response};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16] \
-         [--requests N] [--rate R] [--mix epcc|npb|mixed] [--json]\n\
+        "usage: loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16,64] \
+         [--requests N] [--pipeline N] [--rate R] [--mix epcc|npb|mixed] [--json]\n\
          \x20      loadgen --addr HOST:PORT --ping | --shutdown"
     );
     std::process::exit(2);
@@ -183,14 +191,38 @@ impl PhaseReport {
     }
 }
 
-/// One client thread's share of a phase.
-#[allow(clippy::too_many_arguments)]
+/// Account one `JobResult` arriving on the wire.  Returns `false` for a
+/// result that matches nothing in flight (a misrouted response — counted
+/// as a protocol error by the caller).
+fn note_completion(
+    inflight: &mut HashMap<u64, Instant>,
+    local_lat: &mut Vec<u64>,
+    tally: &PhaseTally,
+    done: &mut u64,
+    job: u64,
+    ok: bool,
+) -> bool {
+    let Some(t0) = inflight.remove(&job) else {
+        return false;
+    };
+    local_lat.push(t0.elapsed().as_nanos() as u64);
+    *done += 1;
+    tally.completed.fetch_add(1, Ordering::Relaxed);
+    if !ok {
+        tally.failed_verification.fetch_add(1, Ordering::Relaxed);
+    }
+    true
+}
+
+/// One client thread's share of a phase: a pipelined submit/await window
+/// of up to `pipeline` in-flight jobs on a single connection.
 fn client_worker(
     addr: String,
     mix: Mix,
     client_idx: u64,
     requests: u64,
     rate: f64,
+    pipeline: u64,
     tally: Arc<PhaseTally>,
 ) {
     let mut client = match Client::connect(addr.as_str()) {
@@ -208,56 +240,120 @@ fn client_worker(
         None
     };
     let mut local_lat = Vec::with_capacity(requests as usize);
-    for k in 0..requests {
-        // Open-loop: the k-th request is *due* at start + k·interval;
-        // latency accrues from the due time even if we are behind.
-        let due = interval.map(|iv| start + iv * (k as u32));
-        if let Some(due) = due {
-            let now = Instant::now();
-            if due > now {
-                std::thread::sleep(due - now);
-            }
-        }
-        let t0 = due.unwrap_or_else(Instant::now);
-        let spec = mix.job(client_idx.wrapping_mul(7919).wrapping_add(k));
-        let submitted = match client.submit_with_retry(&spec, Duration::from_secs(60)) {
-            Ok(Some((id, rejections))) => {
-                tally
-                    .rejections
-                    .fetch_add(rejections as u64, Ordering::Relaxed);
-                Some(id)
-            }
-            Ok(None) => {
-                eprintln!("loadgen: server draining mid-phase");
-                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-            Err(e) => {
-                eprintln!("loadgen: submit failed: {e}");
-                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        };
-        let Some(id) = submitted else { break };
-        match client.wait_result(id, Duration::from_secs(120)) {
-            Ok(out) => {
-                local_lat.push(t0.elapsed().as_nanos() as u64);
-                tally.completed.fetch_add(1, Ordering::Relaxed);
-                if !out.ok {
-                    tally.failed_verification.fetch_add(1, Ordering::Relaxed);
+    let mut inflight: HashMap<u64, Instant> = HashMap::new();
+    let mut sent = 0u64;
+    let mut done = 0u64;
+    let fail = |what: &str, tally: &PhaseTally| {
+        eprintln!("loadgen: {what}");
+        tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    };
+    'phase: while done < requests {
+        if sent < requests && (inflight.len() as u64) < pipeline {
+            // Open-loop: the k-th request is *due* at start + k·interval;
+            // latency accrues from the due time even if we are behind.
+            let due = interval.map(|iv| start + iv * (sent as u32));
+            if let Some(due) = due {
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
                 }
             }
-            Err(e) => {
-                eprintln!("loadgen: result failed for job {id}: {e}");
-                tally.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                break;
+            let t0 = due.unwrap_or_else(Instant::now);
+            let spec = mix.job(client_idx.wrapping_mul(7919).wrapping_add(sent));
+            let submit = Request::Submit {
+                spec,
+                deadline_ms: 0,
+                idem_key: 0,
+            };
+            let retry_until = Instant::now() + Duration::from_secs(60);
+            // Send the submission, then read until its (request-ordered)
+            // answer arrives; any JobResult met on the way is a completed
+            // await from earlier in the pipeline.
+            let job = loop {
+                if let Err(e) = client.send(&submit) {
+                    fail(&format!("submit send failed: {e}"), &tally);
+                    break 'phase;
+                }
+                let sync = loop {
+                    match client.recv() {
+                        Ok(Response::JobResult { job, ok, .. }) => {
+                            if !note_completion(
+                                &mut inflight,
+                                &mut local_lat,
+                                &tally,
+                                &mut done,
+                                job,
+                                ok,
+                            ) {
+                                fail(&format!("unexpected result for job {job}"), &tally);
+                                break 'phase;
+                            }
+                        }
+                        Ok(resp) => break resp,
+                        Err(e) => {
+                            fail(&format!("recv failed: {e}"), &tally);
+                            break 'phase;
+                        }
+                    }
+                };
+                match sync {
+                    Response::Accepted { job } => break job,
+                    Response::Rejected { retry_after_ms } => {
+                        tally.rejections.fetch_add(1, Ordering::Relaxed);
+                        if Instant::now() >= retry_until {
+                            fail("admission retry budget exhausted", &tally);
+                            break 'phase;
+                        }
+                        std::thread::sleep(Duration::from_millis(
+                            u64::from(retry_after_ms).clamp(1, 250),
+                        ));
+                    }
+                    other => {
+                        fail(&format!("unexpected submit answer: {other:?}"), &tally);
+                        break 'phase;
+                    }
+                }
+            };
+            inflight.insert(job, t0);
+            if let Err(e) = client.send(&Request::Await { job }) {
+                fail(&format!("await send failed: {e}"), &tally);
+                break 'phase;
+            }
+            sent += 1;
+        } else {
+            // Window full (or all submitted): block for the next result.
+            match client.recv() {
+                Ok(Response::JobResult { job, ok, .. }) => {
+                    if !note_completion(&mut inflight, &mut local_lat, &tally, &mut done, job, ok) {
+                        fail(&format!("unexpected result for job {job}"), &tally);
+                        break 'phase;
+                    }
+                }
+                Ok(other) => {
+                    fail(
+                        &format!("unexpected frame awaiting results: {other:?}"),
+                        &tally,
+                    );
+                    break 'phase;
+                }
+                Err(e) => {
+                    fail(&format!("recv failed: {e}"), &tally);
+                    break 'phase;
+                }
             }
         }
     }
     tally.latencies_ns.lock().extend_from_slice(&local_lat);
 }
 
-fn run_phase(addr: &str, mix: Mix, clients: usize, requests: u64, rate: f64) -> PhaseReport {
+fn run_phase(
+    addr: &str,
+    mix: Mix,
+    clients: usize,
+    requests: u64,
+    rate: f64,
+    pipeline: u64,
+) -> PhaseReport {
     let tally = Arc::new(PhaseTally::default());
     let per = requests / clients as u64;
     let extra = requests % clients as u64;
@@ -267,7 +363,7 @@ fn run_phase(addr: &str, mix: Mix, clients: usize, requests: u64, rate: f64) -> 
             let addr = addr.to_string();
             let tally = Arc::clone(&tally);
             let n = per + u64::from((c as u64) < extra);
-            std::thread::spawn(move || client_worker(addr, mix, c as u64, n, rate, tally))
+            std::thread::spawn(move || client_worker(addr, mix, c as u64, n, rate, pipeline, tally))
         })
         .collect();
     for h in handles {
@@ -293,6 +389,7 @@ fn main() {
     let mut sweep: Option<Vec<usize>> = None;
     let mut requests = 200u64;
     let mut rate = 0.0f64;
+    let mut pipeline = 1u64;
     let mut mix = Mix::Epcc;
     let mut json = false;
     let mut ping = false;
@@ -329,6 +426,14 @@ fn main() {
             }
             "--rate" => {
                 rate = need(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--pipeline" => {
+                pipeline = need(i + 1)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--mix" => {
@@ -382,9 +487,9 @@ fn main() {
     let mut reports = Vec::new();
     for &c in &concurrencies {
         if !json {
-            eprintln!("loadgen: phase clients={c} requests={requests} ...");
+            eprintln!("loadgen: phase clients={c} requests={requests} pipeline={pipeline} ...");
         }
-        reports.push(run_phase(&addr, mix, c, requests, rate));
+        reports.push(run_phase(&addr, mix, c, requests, rate, pipeline));
     }
 
     if json {
@@ -397,6 +502,7 @@ fn main() {
         ));
         s.push_str(&format!("  \"mix\": \"{}\",\n", mix.label()));
         s.push_str(&format!("  \"requests_per_phase\": {requests},\n"));
+        s.push_str(&format!("  \"pipeline\": {pipeline},\n"));
         s.push_str(&format!("  \"open_loop_rate_per_client\": {rate},\n"));
         s.push_str("  \"phases\": [\n");
         for (i, r) in reports.iter().enumerate() {

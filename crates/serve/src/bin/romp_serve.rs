@@ -3,7 +3,8 @@
 //! ```text
 //! romp-serve [--addr 127.0.0.1:7171] [--backend native|mca]
 //!            [--queue-cap N] [--max-job-threads N] [--threads N]
-//!            [--deadline-ms N] [--grace-ms N] [--allow-diag]
+//!            [--deadline-ms N] [--grace-ms N] [--reactors N]
+//!            [--allow-diag]
 //! ```
 //!
 //! Binds, prints `romp-serve listening on <addr>`, and serves until a
@@ -19,7 +20,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: romp-serve [--addr HOST:PORT] [--backend native|mca] \
          [--queue-cap N] [--max-job-threads N] [--threads N] \
-         [--deadline-ms N] [--grace-ms N] [--allow-diag]"
+         [--deadline-ms N] [--grace-ms N] [--reactors N] [--allow-diag]"
     );
     std::process::exit(2);
 }
@@ -32,6 +33,7 @@ fn main() {
     let mut num_threads: Option<usize> = None;
     let mut default_deadline_ms = 0u32;
     let mut escalation_grace_ms: Option<u64> = None;
+    let mut reactors = 1usize;
     let mut allow_diag = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +69,10 @@ fn main() {
                 escalation_grace_ms = Some(need(i + 1).parse().unwrap_or_else(|_| usage()));
                 i += 2;
             }
+            "--reactors" => {
+                reactors = need(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             "--allow-diag" => {
                 allow_diag = true;
                 i += 1;
@@ -96,6 +102,7 @@ fn main() {
             ..JobLimits::default()
         },
         default_deadline_ms,
+        reactors,
         ..ServeConfig::default()
     };
     if let Some(grace) = escalation_grace_ms {

@@ -124,9 +124,17 @@ impl Client {
         Ok(())
     }
 
-    /// One request/response round trip.
-    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+    /// Send a request without waiting for its response — the pipelining
+    /// half-step.  Pair with [`Client::recv`]; responses to sync requests
+    /// arrive in request order, `Await` responses in completion order
+    /// (correlate by job id — see [`crate::Request::Await`]).
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
         write_frame(&mut self.writer, &req.encode())?;
+        Ok(())
+    }
+
+    /// Receive the next response frame (blocking).
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
         let body = match read_frame(&mut self.reader) {
             Ok(Some(b)) => b,
             Ok(None) => return Err(ClientError::Closed),
@@ -134,6 +142,12 @@ impl Client {
             Err(FrameError::Proto(e)) => return Err(ClientError::Proto(e.to_string())),
         };
         Response::decode(&body).map_err(|e| ClientError::Proto(e.to_string()))
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
     }
 
     /// `call` for requests that are safe to repeat (polls, cancels,
@@ -261,6 +275,27 @@ impl Client {
     /// Fetch (and consume) a finished job's result.
     pub fn fetch(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
         match self.call(&Request::Fetch { job })? {
+            Response::JobResult {
+                ok,
+                wall_us,
+                detail,
+                ..
+            } => Ok(JobOutcome {
+                ok,
+                wall_us,
+                detail,
+            }),
+            Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Block server-side until the job finishes, then receive its result
+    /// — one `Await` round trip, no polling.  The connection must have no
+    /// other request in flight (use [`Client::send`]/[`Client::recv`]
+    /// directly to pipeline awaits).
+    pub fn await_result(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
+        match self.call(&Request::Await { job })? {
             Response::JobResult {
                 ok,
                 wall_us,

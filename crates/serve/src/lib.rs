@@ -12,15 +12,22 @@
 //! The moving parts:
 //!
 //! * [`protocol`] — a zero-dependency length-prefixed wire protocol
-//!   (submit / poll / fetch / stats / ping / shutdown), hardened against
-//!   malformed and truncated frames;
+//!   (submit / poll / fetch / await / stats / ping / shutdown), hardened
+//!   against malformed and truncated frames;
 //! * [`queue`] — the bounded admission queue: a full queue answers
 //!   `Rejected { retry_after_ms }` (backpressure), never blocks or grows;
-//! * [`server`] — blocking-socket connection handlers feeding a single
-//!   dispatcher; graceful drain on `shutdown` completes every accepted
-//!   job, quiesces the pool, and reports a [`DrainReport`];
+//! * [`reactor`] — the event-driven connection front-end: one epoll loop
+//!   (hermetic `extern "C"` bindings, no external crates) multiplexes
+//!   every socket edge-triggered, decodes frames incrementally across
+//!   partial reads, pipelines many in-flight requests per connection, and
+//!   admits each wakeup's submissions as one batch;
+//! * [`server`] — admission, idempotency, supervision (deadlines, cancel,
+//!   watchdog) and the single dispatcher; graceful drain on `shutdown`
+//!   completes every accepted job, quiesces the pool, and reports a
+//!   [`DrainReport`];
 //! * [`client`] — the blocking client used by `loadgen`, the chaos tests
-//!   and the CI smoke;
+//!   and the CI smoke, including the split [`Client::send`] /
+//!   [`Client::recv`] halves pipelining load generators drive;
 //! * [`job`] — job specs, admission limits, and execution on the shared
 //!   runtime.
 //!
@@ -65,6 +72,7 @@ pub mod client;
 pub mod job;
 pub mod protocol;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 
 pub use client::{Client, ClientError, SubmitOptions, SubmitOutcome};

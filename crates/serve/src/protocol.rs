@@ -95,6 +95,18 @@ pub enum Request {
         /// Job id from `Accepted`.
         job: u64,
     },
+    /// Wait for a job to finish, then fetch (and consume) its result —
+    /// the pipelining primitive.  Unlike `Fetch`, a job that has not
+    /// finished does **not** answer `NotReady`: the server parks the
+    /// request and writes the `JobResult` when the job reaches a terminal
+    /// state.  A connection may have any number of parked `Await`s; their
+    /// responses arrive in *completion* order, interleaved between the
+    /// (request-ordered) responses to other requests, so a pipelining
+    /// client correlates them by job id.
+    Await {
+        /// Job id from `Accepted`.
+        job: u64,
+    },
     /// Request cancellation of a job.  Queued jobs become `Cancelled`
     /// immediately; running jobs move to `Cancelling` and unwind at the
     /// next cooperative checkpoint.  Answered by `Status` with the state
@@ -212,6 +224,7 @@ const OP_STATS: u8 = 0x04;
 const OP_PING: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
 const OP_CANCEL: u8 = 0x07;
+const OP_AWAIT: u8 = 0x08;
 
 const OP_ACCEPTED: u8 = 0x81;
 const OP_REJECTED: u8 = 0x82;
@@ -445,6 +458,10 @@ impl Request {
                 body.push(OP_FETCH);
                 body.extend_from_slice(&job.to_be_bytes());
             }
+            Request::Await { job } => {
+                body.push(OP_AWAIT);
+                body.extend_from_slice(&job.to_be_bytes());
+            }
             Request::Cancel { job } => {
                 body.push(OP_CANCEL);
                 body.extend_from_slice(&job.to_be_bytes());
@@ -472,6 +489,7 @@ impl Request {
             }
             OP_POLL => Request::Poll { job: cur.u64()? },
             OP_FETCH => Request::Fetch { job: cur.u64()? },
+            OP_AWAIT => Request::Await { job: cur.u64()? },
             OP_CANCEL => Request::Cancel { job: cur.u64()? },
             OP_STATS => Request::Stats,
             OP_PING => Request::Ping,
@@ -688,7 +706,7 @@ mod tests {
     }
 
     fn arb_request(rng: &mut SmallRng) -> Request {
-        match rng.next_u64() % 7 {
+        match rng.next_u64() % 8 {
             0 => Request::Submit {
                 spec: arb_spec(rng),
                 deadline_ms: rng.next_u64() as u32,
@@ -703,8 +721,11 @@ mod tests {
             3 => Request::Cancel {
                 job: rng.next_u64(),
             },
-            4 => Request::Stats,
-            5 => Request::Ping,
+            4 => Request::Await {
+                job: rng.next_u64(),
+            },
+            5 => Request::Stats,
+            6 => Request::Ping,
             _ => Request::Shutdown,
         }
     }

@@ -43,6 +43,19 @@ pub enum PushError {
     Closed,
 }
 
+/// What a [`JobQueue::try_push_batch`] admitted (see that method).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAdmit {
+    /// How many jobs (a prefix of the batch, in order) were admitted.
+    pub admitted: usize,
+    /// Queue depth after the batch.
+    pub depth: usize,
+    /// Whether the refusals (if any) were due to the queue being closed
+    /// rather than full — the caller maps those to a `Draining` error
+    /// instead of a retryable `Rejected`.
+    pub closed: bool,
+}
+
 struct QueueInner {
     q: VecDeque<QueuedJob>,
     closed: bool,
@@ -97,6 +110,42 @@ impl JobQueue {
         drop(inner);
         self.cv.notify_one();
         Ok(depth)
+    }
+
+    /// Batched admission: push as large a prefix of `jobs` as fits, under
+    /// **one** lock acquisition and with **one** consumer wakeup — the
+    /// amortization the reactor relies on when a single poll wakeup
+    /// decodes many pipelined submissions.  Order is preserved (and so is
+    /// per-connection FIFO, since each reactor batches in frame order).
+    /// Jobs beyond the admitted prefix are dropped here; the caller still
+    /// owns their ids and unwinds its own bookkeeping.
+    pub fn try_push_batch(&self, jobs: Vec<QueuedJob>) -> BatchAdmit {
+        let n = jobs.len();
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return BatchAdmit {
+                admitted: 0,
+                depth: inner.q.len(),
+                closed: true,
+            };
+        }
+        let room = self.cap.saturating_sub(inner.q.len());
+        let admitted = n.min(room);
+        for job in jobs.into_iter().take(admitted) {
+            inner.q.push_back(job);
+        }
+        let depth = inner.q.len();
+        drop(inner);
+        if admitted > 0 {
+            // One consumer (the dispatcher); it drains without re-waiting
+            // while the queue is non-empty, so one wakeup covers the batch.
+            self.cv.notify_one();
+        }
+        BatchAdmit {
+            admitted,
+            depth,
+            closed: false,
+        }
     }
 
     /// Consumer side: block for the next job.  `None` means the queue is
@@ -178,6 +227,30 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_admission_takes_a_prefix_and_reports_closure() {
+        let q = JobQueue::new(3);
+        q.try_push(job(1)).unwrap();
+        let res = q.try_push_batch(vec![job(2), job(3), job(4), job(5)]);
+        assert_eq!(
+            res,
+            BatchAdmit {
+                admitted: 2,
+                depth: 3,
+                closed: false
+            }
+        );
+        // Prefix order preserved; the overflow (4, 5) never enqueued.
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop().unwrap().id, 3);
+        assert!(q.is_empty());
+        q.close();
+        let res = q.try_push_batch(vec![job(6)]);
+        assert!(res.closed);
+        assert_eq!(res.admitted, 0);
     }
 
     #[test]

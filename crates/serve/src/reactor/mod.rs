@@ -1,0 +1,548 @@
+//! The event-driven connection front-end (DESIGN.md §5.9).
+//!
+//! One reactor thread (optionally several, round-robining accepted
+//! connections) owns every socket: a single `epoll` instance watches the
+//! listener, an eventfd wakeup, and all connections in edge-triggered
+//! mode.  Per connection, a [`RecvBuf`]/[`SendBuf`] pair turns the byte
+//! stream back into frames and absorbs short writes, so one thread
+//! multiplexes 64+ pipelined clients without a single blocking call —
+//! connection threads no longer exist to thrash the compute pool.
+//!
+//! Three flows meet here:
+//!
+//! * **Requests** — readable sockets are drained to `WouldBlock`, every
+//!   complete frame is decoded, and all `Submit`s seen in one wakeup are
+//!   admitted as **one batch** (one queue lock, one dispatcher wakeup).
+//!   Sync requests (`Poll`, `Fetch`, `Stats`, …) answer in request order;
+//!   `Await` parks until its job finishes.
+//! * **Completions** — the dispatcher/watchdog push finished job ids into
+//!   each reactor's mailbox and raise its eventfd; the reactor answers
+//!   the parked `Await`s in completion order.
+//! * **Backpressure** — a connection whose write buffer exceeds the
+//!   write-buffer cap (256 KiB) is not read or decoded until it drains,
+//!   so a slow reader stalls itself, not the server.
+
+mod conn;
+mod sys;
+
+pub use conn::{Fill, Flush, RecvBuf, SendBuf};
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mca_sync::Mutex;
+
+use crate::protocol::{ErrorCode, ProtoError, Request, Response};
+use crate::queue::QueuedJob;
+use crate::server::{
+    admit_batch, handle_sync_request, prepare_submit, try_complete_await, AwaitDisposition, Shared,
+};
+use sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Per-connection write-buffer bound: past this, the connection is not
+/// read or decoded until the peer drains responses (TCP backpressure).
+const WBUF_LIMIT: usize = 256 * 1024;
+
+/// Bound on frames decoded from one connection in one service pass, so a
+/// single flood cannot starve its neighbours within a wakeup.
+const FRAMES_PER_PASS: usize = 4096;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// A reactor's cross-thread inbox: new connections (from the accepting
+/// reactor) and finished job ids (from the dispatcher and watchdog), each
+/// delivery paired with an eventfd raise so a reactor parked in
+/// `epoll_wait` notices immediately.
+pub(crate) struct Mailbox {
+    inbox: Mutex<Vec<TcpStream>>,
+    completions: Mutex<Vec<u64>>,
+    wake: EventFd,
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> io::Result<Mailbox> {
+        Ok(Mailbox {
+            inbox: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            wake: EventFd::new()?,
+        })
+    }
+
+    /// Tell this reactor that `job` reached a terminal state.
+    pub(crate) fn notify_completion(&self, job: u64) {
+        self.completions.lock().push(job);
+        self.wake.raise();
+    }
+
+    /// Wake the reactor with nothing attached (shutdown nudge).
+    pub(crate) fn wake(&self) {
+        self.wake.raise();
+    }
+
+    fn deliver(&self, stream: TcpStream) {
+        self.inbox.lock().push(stream);
+        self.wake.raise();
+    }
+}
+
+/// One connection's reactor-side state.
+struct Conn {
+    stream: TcpStream,
+    rbuf: RecvBuf,
+    wbuf: SendBuf,
+    /// Readiness flags: set by epoll edges, cleared on `WouldBlock`.
+    readable: bool,
+    writable: bool,
+    /// Peer closed its write side; close once buffered frames are handled.
+    eof: bool,
+    /// Finish flushing `wbuf`, then close (hostile-frame or EOF path).
+    close_after_flush: bool,
+    /// Marked dead; swept at the end of the wakeup.
+    closed: bool,
+    /// Decoding was deferred by the `WBUF_LIMIT` backpressure check;
+    /// revisit once the write buffer drains.
+    decode_deferred: bool,
+}
+
+/// A response slot staged during decoding: either already known, or the
+/// n-th member of this wakeup's submit batch (filled after admission).
+enum PendingResp {
+    Ready(Response),
+    Submit(usize),
+}
+
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    index: usize,
+    ep: Epoll,
+    /// Only reactor 0 holds the listener; it round-robins accepts.
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    /// job id → tokens of connections with a parked `Await` on it.
+    parked: HashMap<u64, Vec<u64>>,
+    next_token: u64,
+    rr: usize,
+}
+
+impl Reactor {
+    /// Build a reactor's epoll set up-front so `Server::start` can fail
+    /// loudly instead of a thread dying silently.
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        index: usize,
+        listener: Option<TcpListener>,
+    ) -> io::Result<Reactor> {
+        let ep = Epoll::new()?;
+        ep.add(
+            shared.mailboxes[index].wake.raw(),
+            TOKEN_WAKE,
+            EPOLLIN | EPOLLET,
+        )?;
+        if let Some(l) = &listener {
+            use std::os::fd::AsRawFd;
+            l.set_nonblocking(true)?;
+            ep.add(l.as_raw_fd(), TOKEN_LISTENER, EPOLLIN | EPOLLET)?;
+        }
+        Ok(Reactor {
+            shared,
+            index,
+            ep,
+            listener,
+            conns: HashMap::new(),
+            parked: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            rr: 0,
+        })
+    }
+
+    pub(crate) fn run(mut self) {
+        let mut events = vec![EpollEvent::zeroed(); 256];
+        loop {
+            let n = self.ep.wait(&mut events, -1).unwrap_or(0);
+            let m = &self.shared.metrics;
+            m.reactor_wakeups.incr();
+            m.reactor_events.record(n as u64);
+            let mut accept_ready = false;
+            for ev in events.iter().take(n) {
+                let (token, bits) = (ev.data, ev.events);
+                match token {
+                    TOKEN_LISTENER => accept_ready = true,
+                    TOKEN_WAKE => self.shared.mailboxes[self.index].wake.drain(),
+                    t => {
+                        if let Some(c) = self.conns.get_mut(&t) {
+                            if bits & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 {
+                                c.readable = true;
+                            }
+                            if bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0 {
+                                c.writable = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // Read the stop flag *before* draining completions: every
+            // completion is notified before `join` sets the flag, so a
+            // stopping iteration is guaranteed to see the full set.
+            let stopping = self.shared.stopped.load(Ordering::Acquire);
+            self.drain_completions();
+            self.drain_inbox();
+            if accept_ready {
+                self.accept_all();
+            }
+            loop {
+                let worked = self.service_pass();
+                self.flush_conns();
+                if !worked {
+                    break;
+                }
+            }
+            self.sweep_closed();
+            if stopping {
+                self.wind_down();
+                return;
+            }
+        }
+    }
+
+    /// Answer parked `Await`s for jobs the dispatcher reported finished.
+    /// The first live waiter consumes the outcome exactly like a `Fetch`;
+    /// later waiters observe `UnknownJob`; dead connections are skipped
+    /// without consuming anything.
+    fn drain_completions(&mut self) {
+        let done = std::mem::take(&mut *self.shared.mailboxes[self.index].completions.lock());
+        for job in done {
+            let Some(waiters) = self.parked.remove(&job) else {
+                continue;
+            };
+            let mut still_parked = Vec::new();
+            for token in waiters {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue;
+                };
+                if conn.closed {
+                    continue;
+                }
+                match try_complete_await(&self.shared, job) {
+                    AwaitDisposition::Ready(resp) => conn.wbuf.queue(&resp.encode()),
+                    // Raced a re-submit of the same id? Impossible (ids are
+                    // unique), but a spurious notification re-parks safely.
+                    AwaitDisposition::Pending => still_parked.push(token),
+                }
+            }
+            if !still_parked.is_empty() {
+                self.parked.insert(job, still_parked);
+            }
+        }
+    }
+
+    fn drain_inbox(&mut self) {
+        let incoming = std::mem::take(&mut *self.shared.mailboxes[self.index].inbox.lock());
+        for stream in incoming {
+            self.register(stream);
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        use std::os::fd::AsRawFd;
+        // Nagle off: a response frame must leave now, not after a
+        // delayed-ACK round trip (the 1-client p99 cliff).
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .ep
+            .add(
+                stream.as_raw_fd(),
+                token,
+                EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP,
+            )
+            .is_err()
+        {
+            return;
+        }
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                rbuf: RecvBuf::new(),
+                wbuf: SendBuf::new(),
+                // Optimistic: data may predate registration; the first
+                // service pass finds out via WouldBlock.
+                readable: true,
+                writable: true,
+                eof: false,
+                close_after_flush: false,
+                closed: false,
+                decode_deferred: false,
+            },
+        );
+        self.shared
+            .metrics
+            .reactor_conns
+            .set(self.conns.len() as u64);
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let n = self.shared.mailboxes.len();
+                    let target = self.rr % n;
+                    self.rr = self.rr.wrapping_add(1);
+                    if target == self.index {
+                        self.register(stream);
+                    } else {
+                        self.shared.mailboxes[target].deliver(stream);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// One pass over every serviceable connection: read to `WouldBlock`,
+    /// decode every complete frame, stage responses, admit all `Submit`s
+    /// as one batch.  Returns whether any connection was serviced (the
+    /// caller re-passes until quiescent, since flushing can lift the
+    /// backpressure deferral).
+    fn service_pass(&mut self) -> bool {
+        let shared = &self.shared;
+        let conns = &mut self.conns;
+        let parked = &mut self.parked;
+        let mut batch: Vec<QueuedJob> = Vec::new();
+        let mut staged: Vec<(u64, Vec<PendingResp>)> = Vec::new();
+        let mut worked = false;
+        for (&token, conn) in conns.iter_mut() {
+            if conn.closed || conn.close_after_flush {
+                continue;
+            }
+            if conn.wbuf.pending() >= WBUF_LIMIT {
+                // Backpressure: leave the socket unread; revisit when the
+                // peer drains responses.
+                if conn.readable || conn.rbuf.pending() > 0 {
+                    conn.decode_deferred = true;
+                }
+                continue;
+            }
+            if !conn.readable && !conn.decode_deferred {
+                continue;
+            }
+            worked = true;
+            conn.decode_deferred = false;
+            if conn.readable {
+                match conn.rbuf.fill_from(&mut conn.stream) {
+                    Ok(Fill::WouldBlock) => conn.readable = false,
+                    Ok(Fill::Eof) => {
+                        conn.readable = false;
+                        conn.eof = true;
+                    }
+                    Err(_) => {
+                        conn.closed = true;
+                        continue;
+                    }
+                }
+            }
+            let out = decode_conn(shared, token, conn, parked, &mut batch);
+            if conn.eof && !conn.close_after_flush {
+                // Clean close (or truncated tail, dropped silently, same
+                // as the blocking reader's mid-frame-EOF contract).
+                conn.close_after_flush = true;
+            }
+            if !out.is_empty() {
+                staged.push((token, out));
+            }
+        }
+        if !batch.is_empty() {
+            shared.metrics.reactor_batch.record(batch.len() as u64);
+        }
+        let mut slots: Vec<Option<Response>> =
+            admit_batch(shared, batch).into_iter().map(Some).collect();
+        for (token, pending) in staged {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            for p in pending {
+                let resp = match p {
+                    PendingResp::Ready(r) => r,
+                    PendingResp::Submit(i) => slots[i].take().expect("submit slot filled once"),
+                };
+                conn.wbuf.queue(&resp.encode());
+            }
+        }
+        worked
+    }
+
+    fn flush_conns(&mut self) {
+        for conn in self.conns.values_mut() {
+            if conn.closed {
+                continue;
+            }
+            if conn.writable && !conn.wbuf.is_empty() {
+                match conn.wbuf.flush_to(&mut conn.stream) {
+                    Ok(Flush::Drained) => {}
+                    Ok(Flush::Blocked) => conn.writable = false,
+                    Err(_) => conn.closed = true,
+                }
+            }
+            if conn.close_after_flush && conn.wbuf.is_empty() {
+                conn.closed = true;
+            }
+        }
+    }
+
+    fn sweep_closed(&mut self) {
+        use std::os::fd::AsRawFd;
+        let dead: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.closed)
+            .map(|(&t, _)| t)
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        for token in dead {
+            if let Some(conn) = self.conns.remove(&token) {
+                self.ep.del(conn.stream.as_raw_fd());
+            }
+        }
+        self.shared
+            .metrics
+            .reactor_conns
+            .set(self.conns.len() as u64);
+    }
+
+    /// Shutdown: every job is terminal and every completion has been
+    /// drained (see the flag-read ordering in `run`), so any still-parked
+    /// `Await` lost a race to a `Fetch` on another connection — answer it
+    /// rather than leave the client hanging, then flush what we can
+    /// (bounded: sockets are non-blocking and peers may be gone).
+    fn wind_down(&mut self) {
+        let parked = std::mem::take(&mut self.parked);
+        for (job, waiters) in parked {
+            for token in waiters {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue;
+                };
+                if conn.closed {
+                    continue;
+                }
+                let resp = match try_complete_await(&self.shared, job) {
+                    AwaitDisposition::Ready(r) => r,
+                    AwaitDisposition::Pending => Response::Error {
+                        code: ErrorCode::UnknownJob,
+                        msg: format!("job {job}: server stopped"),
+                    },
+                };
+                conn.wbuf.queue(&resp.encode());
+            }
+        }
+        for _ in 0..100 {
+            self.flush_conns();
+            if self.conns.values().all(|c| c.closed || c.wbuf.is_empty()) {
+                break;
+            }
+            // Writability may need a moment; we are off the epoll loop.
+            for c in self.conns.values_mut() {
+                c.writable = true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.shared.metrics.reactor_conns.set(0);
+    }
+}
+
+/// Decode every complete frame buffered on `conn`, staging one response
+/// slot per request (except parked `Await`s, which answer later).
+fn decode_conn(
+    shared: &Shared,
+    token: u64,
+    conn: &mut Conn,
+    parked: &mut HashMap<u64, Vec<u64>>,
+    batch: &mut Vec<QueuedJob>,
+) -> Vec<PendingResp> {
+    let mut out = Vec::new();
+    while out.len() < FRAMES_PER_PASS {
+        match conn.rbuf.next_frame() {
+            Ok(Some(body)) => {
+                let t0 = Instant::now();
+                let staged = match Request::decode(&body) {
+                    Ok(Request::Submit {
+                        spec,
+                        deadline_ms,
+                        idem_key,
+                    }) => {
+                        shared.metrics.req_submit.incr();
+                        match prepare_submit(shared, spec, deadline_ms, idem_key) {
+                            Ok(qjob) => {
+                                batch.push(qjob);
+                                Some(PendingResp::Submit(batch.len() - 1))
+                            }
+                            Err(resp) => Some(PendingResp::Ready(resp)),
+                        }
+                    }
+                    Ok(Request::Await { job }) => {
+                        shared.metrics.req_await.incr();
+                        match try_complete_await(shared, job) {
+                            AwaitDisposition::Ready(resp) => Some(PendingResp::Ready(resp)),
+                            AwaitDisposition::Pending => {
+                                parked.entry(job).or_default().push(token);
+                                None
+                            }
+                        }
+                    }
+                    Ok(req) => Some(PendingResp::Ready(handle_sync_request(shared, req))),
+                    Err(e) => {
+                        // Frame boundaries are intact; the payload is bad.
+                        // Answer and keep the connection.
+                        shared.metrics.proto_errors.incr();
+                        Some(PendingResp::Ready(Response::Error {
+                            code: match e {
+                                ProtoError::BadPayload(_) => ErrorCode::BadPayload,
+                                _ => ErrorCode::BadFrame,
+                            },
+                            msg: e.to_string(),
+                        }))
+                    }
+                };
+                shared
+                    .metrics
+                    .lat_handle
+                    .record(t0.elapsed().as_nanos() as u64);
+                if let Some(s) = staged {
+                    out.push(s);
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // Hostile length prefix: the byte stream cannot be
+                // trusted again — answer once, then close.
+                shared.metrics.proto_errors.incr();
+                out.push(PendingResp::Ready(Response::Error {
+                    code: ErrorCode::BadFrame,
+                    msg: e.to_string(),
+                }));
+                conn.close_after_flush = true;
+                break;
+            }
+        }
+    }
+    if out.len() >= FRAMES_PER_PASS {
+        conn.decode_deferred = true;
+    }
+    out
+}

@@ -1,17 +1,24 @@
 //! The TCP front-end and its dispatcher.
 //!
-//! Architecture (DESIGN.md §5.7): connection handlers are plain blocking
-//! threads — they only parse frames and touch shared state, so thread-
-//! per-*connection* is cheap — while all **compute** funnels through one
-//! bounded queue into a single dispatcher thread that runs each job on
-//! the one persistent [`Runtime`].  Intra-job parallelism comes from the
-//! runtime's work-stealing pool; the server never spins up a team per
-//! request, so sixteen concurrent clients contend on an admission
-//! decision, not on sixteen rival thread pools.
+//! Architecture (DESIGN.md §5.9): connections live on one (or a few)
+//! event-driven **reactor** threads — non-blocking sockets multiplexed by
+//! `epoll` ([`crate::reactor`]) — while all **compute** funnels through
+//! one bounded queue into a single dispatcher thread that runs each job
+//! on the one persistent [`Runtime`].  Intra-job parallelism comes from
+//! the runtime's work-stealing pool; the server never spins up a team —
+//! or a thread — per request, so sixty-four concurrent clients contend on
+//! an admission decision, not on sixty-four rival connection threads
+//! thrashing the compute pool.
+//!
+//! This module owns the protocol-to-job-table logic (admission, idem
+//! keys, fetch/await consumption, cancel, drain accounting) and the two
+//! supervision threads; the socket mechanics live in [`crate::reactor`].
+//! Job completions flow back to the reactors over per-reactor mailboxes
+//! (`Shared::complete_job`) so parked `Await`s answer the moment a job
+//! turns terminal.
 
 use std::collections::HashMap;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -22,10 +29,9 @@ use romp::{CancelReason, CancelToken, Runtime};
 use romp_trace::{json_escape, Counter, Gauge, Histogram};
 
 use crate::job::{execute, JobLimits, JobOutcome, JobSpec, JobState};
-use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, ProtoError, Request, Response,
-};
-use crate::queue::{JobQueue, PushError, QueuedJob};
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::queue::{JobQueue, QueuedJob};
+use crate::reactor::{Mailbox, Reactor};
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -44,6 +50,11 @@ pub struct ServeConfig {
     /// watchdog escalates to poisoning the backend (forcing wedged MRAPI
     /// waits onto the native fallback).
     pub escalation_grace_ms: u64,
+    /// Reactor (event-loop) threads; connections are distributed
+    /// round-robin.  One is right for almost everything — a reactor only
+    /// parses frames and moves buffers — but a many-core host serving
+    /// hundreds of connections can add more.  `0` is treated as 1.
+    pub reactors: usize,
 }
 
 impl Default for ServeConfig {
@@ -54,42 +65,51 @@ impl Default for ServeConfig {
             default_deadline_ms: 0,
             watchdog_interval_ms: 5,
             escalation_grace_ms: 250,
+            reactors: 1,
         }
     }
 }
 
 /// Cached metric instruments (resolved once; bumped lock-free).
-struct Metrics {
-    accepted: Arc<Counter>,
-    rejected: Arc<Counter>,
-    invalid: Arc<Counter>,
-    completed: Arc<Counter>,
-    failed: Arc<Counter>,
-    cancelled: Arc<Counter>,
-    timed_out: Arc<Counter>,
-    idem_hits: Arc<Counter>,
-    proto_errors: Arc<Counter>,
-    req_submit: Arc<Counter>,
-    req_poll: Arc<Counter>,
-    req_fetch: Arc<Counter>,
-    req_cancel: Arc<Counter>,
-    req_stats: Arc<Counter>,
-    req_ping: Arc<Counter>,
-    queue_depth: Arc<Gauge>,
-    queue_peak: Arc<Gauge>,
-    lat_queue: Arc<Histogram>,
-    lat_exec: Arc<Histogram>,
-    lat_total: Arc<Histogram>,
-    lat_handle: Arc<Histogram>,
-    wd_ticks: Arc<Counter>,
-    wd_deadline_fired: Arc<Counter>,
-    wd_escalations: Arc<Counter>,
-    wd_cancel_latency: Arc<Histogram>,
+pub(crate) struct Metrics {
+    pub(crate) accepted: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) invalid: Arc<Counter>,
+    pub(crate) completed: Arc<Counter>,
+    pub(crate) failed: Arc<Counter>,
+    pub(crate) cancelled: Arc<Counter>,
+    pub(crate) timed_out: Arc<Counter>,
+    pub(crate) idem_hits: Arc<Counter>,
+    pub(crate) proto_errors: Arc<Counter>,
+    pub(crate) req_submit: Arc<Counter>,
+    pub(crate) req_poll: Arc<Counter>,
+    pub(crate) req_fetch: Arc<Counter>,
+    pub(crate) req_await: Arc<Counter>,
+    pub(crate) req_cancel: Arc<Counter>,
+    pub(crate) req_stats: Arc<Counter>,
+    pub(crate) req_ping: Arc<Counter>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) queue_peak: Arc<Gauge>,
+    pub(crate) lat_queue: Arc<Histogram>,
+    pub(crate) lat_exec: Arc<Histogram>,
+    pub(crate) lat_total: Arc<Histogram>,
+    pub(crate) lat_handle: Arc<Histogram>,
+    pub(crate) wd_ticks: Arc<Counter>,
+    pub(crate) wd_deadline_fired: Arc<Counter>,
+    pub(crate) wd_escalations: Arc<Counter>,
+    pub(crate) wd_cancel_latency: Arc<Histogram>,
+    pub(crate) reactor_wakeups: Arc<Counter>,
+    pub(crate) reactor_events: Arc<Histogram>,
+    pub(crate) reactor_batch: Arc<Histogram>,
+    pub(crate) reactor_conns: Arc<Gauge>,
 }
 
 impl Metrics {
     fn new(rt: &Runtime) -> Self {
         let reg = rt.tracer().metrics();
+        // Small-count histograms (events per wakeup, submit batch sizes)
+        // get power-of-two count buckets, not the ns-latency defaults.
+        let counts: Vec<u64> = (0..=10).map(|p| 1u64 << p).collect();
         Metrics {
             accepted: reg.counter("serve.submit.accepted"),
             rejected: reg.counter("serve.submit.rejected"),
@@ -103,6 +123,7 @@ impl Metrics {
             req_submit: reg.counter("serve.req.submit"),
             req_poll: reg.counter("serve.req.poll"),
             req_fetch: reg.counter("serve.req.fetch"),
+            req_await: reg.counter("serve.req.await"),
             req_cancel: reg.counter("serve.req.cancel"),
             req_stats: reg.counter("serve.req.stats"),
             req_ping: reg.counter("serve.req.ping"),
@@ -116,52 +137,59 @@ impl Metrics {
             wd_deadline_fired: reg.counter("watchdog.deadline_fired"),
             wd_escalations: reg.counter("watchdog.escalations"),
             wd_cancel_latency: reg.histogram_ns("watchdog.cancel_latency_ns"),
+            reactor_wakeups: reg.counter("serve.reactor.wakeups"),
+            reactor_events: reg.histogram("serve.reactor.events_per_wakeup", &counts),
+            reactor_batch: reg.histogram("serve.reactor.batch_size", &counts),
+            reactor_conns: reg.gauge("serve.reactor.connections"),
         }
     }
 }
 
-struct JobEntry {
-    state: JobState,
-    outcome: Option<JobOutcome>,
-    submitted: Instant,
+pub(crate) struct JobEntry {
+    pub(crate) state: JobState,
+    pub(crate) outcome: Option<JobOutcome>,
+    pub(crate) submitted: Instant,
     /// Shared with the queued copy; firing it reaches the job wherever
     /// it is (queued, running, mid-unwind).
-    cancel: CancelToken,
-    deadline: Option<Instant>,
+    pub(crate) cancel: CancelToken,
+    pub(crate) deadline: Option<Instant>,
     /// When the cancel (client or deadline) was requested — basis of the
     /// cancel-latency histogram.
-    cancel_requested_at: Option<Instant>,
+    pub(crate) cancel_requested_at: Option<Instant>,
     /// Watchdog bookkeeping: the runtime activity value last seen for
     /// this job, and since when it has been flat.
-    activity_at_check: Option<u64>,
-    stalled_since: Option<Instant>,
+    pub(crate) activity_at_check: Option<u64>,
+    pub(crate) stalled_since: Option<Instant>,
     /// Whether the watchdog already escalated this job (escalate once).
-    escalated: bool,
+    pub(crate) escalated: bool,
     /// Client idempotency key (`0` = none); cleaned from the dedup map
     /// when the result is fetched.
-    idem_key: u64,
+    pub(crate) idem_key: u64,
 }
 
-struct Shared {
-    rt: Runtime,
-    cfg: ServeConfig,
-    queue: JobQueue,
-    jobs: Mutex<HashMap<u64, JobEntry>>,
+pub(crate) struct Shared {
+    pub(crate) rt: Runtime,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) queue: JobQueue,
+    pub(crate) jobs: Mutex<HashMap<u64, JobEntry>>,
     /// Idempotency-key → job-id dedup map (see [`crate::Request::Submit`]).
-    idem: Mutex<HashMap<u64, u64>>,
-    next_id: AtomicU64,
-    draining: AtomicBool,
-    stopped: AtomicBool,
+    pub(crate) idem: Mutex<HashMap<u64, u64>>,
+    pub(crate) next_id: AtomicU64,
+    pub(crate) draining: AtomicBool,
+    pub(crate) stopped: AtomicBool,
     /// Tells the watchdog thread to exit (set during [`ServerHandle::join`]).
-    wd_stop: AtomicBool,
-    metrics: Metrics,
+    pub(crate) wd_stop: AtomicBool,
+    pub(crate) metrics: Metrics,
     /// EWMA of job execution time, nanoseconds — the retry-after basis.
-    exec_ewma_ns: AtomicU64,
+    pub(crate) exec_ewma_ns: AtomicU64,
+    /// One mailbox per reactor: completions are broadcast so whichever
+    /// reactor parked an `Await` on the job hears about it.
+    pub(crate) mailboxes: Vec<Arc<Mailbox>>,
 }
 
 impl Shared {
     /// Jobs accepted but not yet finished.
-    fn outstanding(&self) -> u64 {
+    pub(crate) fn outstanding(&self) -> u64 {
         let accepted = self.metrics.accepted.get();
         let done = self.metrics.completed.get()
             + self.metrics.failed.get()
@@ -188,6 +216,15 @@ impl Shared {
             prev - prev / 8 + ns / 8
         };
         self.exec_ewma_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// Broadcast "job `id` is terminal (with its outcome recorded)" to
+    /// every reactor.  Must be called *after* the jobs-table entry holds
+    /// the outcome, so a woken reactor always finds it consumable.
+    pub(crate) fn complete_job(&self, id: u64) {
+        for mb in &self.mailboxes {
+            mb.notify_completion(id);
+        }
     }
 
     fn stats_json(&self) -> String {
@@ -265,14 +302,15 @@ pub struct Server;
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: JoinHandle<()>,
+    reactors: Vec<JoinHandle<()>>,
     dispatcher: JoinHandle<()>,
     watchdog: JoinHandle<()>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// the accept and dispatcher threads over the given runtime.
+    /// the reactor, dispatcher and watchdog threads over the given
+    /// runtime.
     ///
     /// The runtime is *shared*: the caller may keep a clone (it is a
     /// cheap handle) to inspect degradation or drain traces while the
@@ -281,6 +319,10 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let metrics = Metrics::new(&rt);
+        let n_reactors = cfg.reactors.max(1);
+        let mailboxes = (0..n_reactors)
+            .map(|_| Mailbox::new().map(Arc::new))
+            .collect::<std::io::Result<Vec<_>>>()?;
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_cap),
             jobs: Mutex::new(HashMap::new()),
@@ -291,6 +333,7 @@ impl Server {
             wd_stop: AtomicBool::new(false),
             metrics,
             exec_ewma_ns: AtomicU64::new(0),
+            mailboxes,
             cfg,
             rt,
         });
@@ -305,15 +348,23 @@ impl Server {
             .name("serve-watchdog".into())
             .spawn(move || watchdog_loop(&wd_shared))?;
 
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        // Reactor 0 owns the listener and round-robins accepted
+        // connections across all reactors.  Epoll sets are built here so
+        // setup failures surface to the caller, not inside a dead thread.
+        let mut listener_slot = Some(listener);
+        let mut reactors = Vec::with_capacity(n_reactors);
+        for i in 0..n_reactors {
+            let r = Reactor::new(Arc::clone(&shared), i, listener_slot.take())?;
+            let h = std::thread::Builder::new()
+                .name(format!("serve-reactor-{i}"))
+                .spawn(move || r.run())?;
+            reactors.push(h);
+        }
 
         Ok(ServerHandle {
             addr: local,
             shared,
-            accept,
+            reactors,
             dispatcher,
             watchdog,
         })
@@ -347,8 +398,10 @@ impl ServerHandle {
     ///
     /// Blocks until a `Shutdown` request (or [`ServerHandle::request_drain`])
     /// has closed the queue **and** the dispatcher has finished every
-    /// accepted job; then quiesces the runtime pool, stops the accept
-    /// loop, and reports the final accounting.
+    /// accepted job; then quiesces the runtime pool, stops the watchdog,
+    /// and wakes the reactors to flush and exit.  The reactors keep
+    /// serving polls, fetches and awaits for the whole drain — clients
+    /// collect every accepted job's result before the teardown.
     pub fn join(self) -> DrainReport {
         let _ = self.dispatcher.join();
         // Every accepted job has run; let trailing region epilogues finish
@@ -357,9 +410,12 @@ impl ServerHandle {
         self.shared.wd_stop.store(true, Ordering::Release);
         let _ = self.watchdog.join();
         self.shared.stopped.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.accept.join();
+        for mb in &self.shared.mailboxes {
+            mb.wake();
+        }
+        for h in self.reactors {
+            let _ = h.join();
+        }
         let m = &self.shared.metrics;
         let accepted = m.accepted.get();
         let completed = m.completed.get();
@@ -379,82 +435,210 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.stopped.load(Ordering::Acquire) {
-                    return;
-                }
-                let conn_shared = Arc::clone(&shared);
-                let _ = std::thread::Builder::new()
-                    .name("serve-conn".into())
-                    .spawn(move || connection_loop(stream, conn_shared));
-            }
-            Err(_) if shared.stopped.load(Ordering::Acquire) => return,
-            Err(_) => continue,
-        }
+/// Stage a submission: validate, mint the id, insert the jobs-table
+/// entry, claim the idempotency key.  `Ok` hands back the queue-ready job
+/// for this wakeup's [`admit_batch`]; `Err` is the immediate response
+/// (draining, invalid spec, or an idempotency hit returning the original
+/// id) and nothing joins the batch.
+pub(crate) fn prepare_submit(
+    shared: &Shared,
+    spec: JobSpec,
+    deadline_ms: u32,
+    idem_key: u64,
+) -> Result<QueuedJob, Response> {
+    if shared.draining.load(Ordering::Acquire) {
+        return Err(Response::Error {
+            code: ErrorCode::Draining,
+            msg: "server is draining".into(),
+        });
     }
-}
-
-/// One connection: read frames, answer them, until the peer closes or
-/// the framing desynchronizes.
-fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
+    if let Err(why) = spec.validate(&shared.cfg.limits) {
+        shared.metrics.invalid.incr();
+        return Err(Response::Error {
+            code: ErrorCode::BadPayload,
+            msg: why.into(),
+        });
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let now = Instant::now();
+    let budget_ms = if deadline_ms > 0 {
+        deadline_ms
+    } else {
+        shared.cfg.default_deadline_ms
     };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let body = match read_frame(&mut reader) {
-            Ok(Some(b)) => b,
-            Ok(None) => return, // clean close
-            Err(FrameError::Proto(e)) => {
-                // Hostile length prefix: answer once, then drop the
-                // connection — the byte stream cannot be trusted again.
-                shared.metrics.proto_errors.incr();
-                let resp = Response::Error {
-                    code: ErrorCode::BadFrame,
-                    msg: e.to_string(),
-                };
-                let _ = write_frame(&mut writer, &resp.encode());
-                return;
+    let deadline = (budget_ms > 0).then(|| now + Duration::from_millis(u64::from(budget_ms)));
+    let cancel = CancelToken::new();
+    // Insert the table entry *before* admission so a client that polls
+    // immediately after `Accepted` always finds the job; [`refuse_submit`]
+    // removes it again if admission refuses.
+    shared.jobs.lock().insert(
+        id,
+        JobEntry {
+            state: JobState::Queued,
+            outcome: None,
+            submitted: now,
+            cancel: cancel.clone(),
+            deadline,
+            cancel_requested_at: None,
+            activity_at_check: None,
+            stalled_since: None,
+            escalated: false,
+            idem_key,
+        },
+    );
+    if idem_key != 0 {
+        // Claim the key after the table entry exists (so a racing
+        // duplicate that wins the claim can immediately poll the id) but
+        // before admission (so no two same-key submits both enqueue).
+        use std::collections::hash_map::Entry;
+        match shared.idem.lock().entry(idem_key) {
+            Entry::Occupied(o) => {
+                let existing = *o.get();
+                shared.jobs.lock().remove(&id);
+                shared.metrics.idem_hits.incr();
+                return Err(Response::Accepted { job: existing });
             }
-            Err(FrameError::Io(_)) => return, // truncated/reset mid-frame
-        };
-        let t0 = Instant::now();
-        let resp = match Request::decode(&body) {
-            Ok(req) => handle_request(&shared, req),
-            Err(e) => {
-                // Frame boundaries are intact; the payload is bad.  Answer
-                // and keep the connection — the next frame may be fine.
-                shared.metrics.proto_errors.incr();
-                Response::Error {
-                    code: match e {
-                        ProtoError::BadPayload(_) => ErrorCode::BadPayload,
-                        _ => ErrorCode::BadFrame,
-                    },
-                    msg: e.to_string(),
-                }
+            Entry::Vacant(v) => {
+                v.insert(id);
             }
-        };
-        shared
-            .metrics
-            .lat_handle
-            .record(t0.elapsed().as_nanos() as u64);
-        if write_frame(&mut writer, &resp.encode()).is_err() {
-            return;
+        }
+    }
+    Ok(QueuedJob {
+        id,
+        spec,
+        enqueued: now,
+        cancel,
+        deadline,
+    })
+}
+
+/// Unwind [`prepare_submit`]'s bookkeeping for a job admission refused.
+fn refuse_submit(shared: &Shared, id: u64) {
+    let entry = shared.jobs.lock().remove(&id);
+    if let Some(e) = entry {
+        if e.idem_key != 0 {
+            let mut idem = shared.idem.lock();
+            if idem.get(&e.idem_key) == Some(&id) {
+                idem.remove(&e.idem_key);
+            }
         }
     }
 }
 
-fn handle_request(shared: &Shared, req: Request) -> Response {
-    match req {
-        Request::Submit {
-            spec,
-            deadline_ms,
+/// Admit one wakeup's worth of prepared submissions as a single batch —
+/// one queue lock, one dispatcher wakeup ([`JobQueue::try_push_batch`]).
+/// Returns one response per input job, in order: `Accepted` for the
+/// admitted prefix, `Rejected`/`Draining` (with bookkeeping unwound) for
+/// the rest.
+pub(crate) fn admit_batch(shared: &Shared, jobs: Vec<QueuedJob>) -> Vec<Response> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+    let res = shared.queue.try_push_batch(jobs);
+    if res.admitted > 0 {
+        shared.metrics.accepted.add(res.admitted as u64);
+        shared.metrics.queue_depth.set(res.depth as u64);
+        shared.metrics.queue_peak.record_max(res.depth as u64);
+    }
+    ids.iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            if i < res.admitted {
+                Response::Accepted { job: id }
+            } else {
+                refuse_submit(shared, id);
+                if res.closed {
+                    Response::Error {
+                        code: ErrorCode::Draining,
+                        msg: "server is draining".into(),
+                    }
+                } else {
+                    shared.metrics.rejected.incr();
+                    Response::Rejected {
+                        retry_after_ms: shared.retry_after_ms(),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// What consuming a job's result found.
+enum Consume {
+    /// Terminal: the `JobResult` (entry and idem key consumed).
+    Taken(Response),
+    /// Exists but not terminal yet.
+    NotReady,
+    /// Never existed, or already consumed.
+    Unknown,
+}
+
+/// Take a terminal job's outcome out of the table (the fetch-or-await
+/// consumption shared by both request kinds).  The entry is removed only
+/// when an outcome is present; the idempotency window closes here.
+fn consume_result(shared: &Shared, job: u64) -> Consume {
+    let mut jobs = shared.jobs.lock();
+    match jobs.remove(&job) {
+        Some(JobEntry {
+            outcome: Some(out),
             idem_key,
-        } => handle_submit(shared, spec, deadline_ms, idem_key),
+            ..
+        }) => {
+            drop(jobs);
+            if idem_key != 0 {
+                // The idempotency window closes at fetch: a later
+                // resubmit with the same key is a new job.
+                let mut idem = shared.idem.lock();
+                if idem.get(&idem_key) == Some(&job) {
+                    idem.remove(&idem_key);
+                }
+            }
+            Consume::Taken(Response::JobResult {
+                job,
+                ok: out.ok,
+                wall_us: out.wall_us,
+                detail: out.detail,
+            })
+        }
+        Some(entry) => {
+            jobs.insert(job, entry);
+            Consume::NotReady
+        }
+        None => Consume::Unknown,
+    }
+}
+
+/// How an `Await` request resolves right now.
+pub(crate) enum AwaitDisposition {
+    /// Answer immediately (terminal result consumed, or `UnknownJob`).
+    Ready(Response),
+    /// The job is live but not terminal: park the connection; the
+    /// completion bus will answer it.
+    Pending,
+}
+
+/// Resolve an `Await`: consume like a `Fetch` if the job is terminal,
+/// park otherwise.  Called both at request time and again when the
+/// completion bus reports the job finished — the first parked waiter to
+/// get here consumes the outcome, later ones observe `UnknownJob`.
+pub(crate) fn try_complete_await(shared: &Shared, job: u64) -> AwaitDisposition {
+    match consume_result(shared, job) {
+        Consume::Taken(resp) => AwaitDisposition::Ready(resp),
+        Consume::NotReady => AwaitDisposition::Pending,
+        Consume::Unknown => AwaitDisposition::Ready(Response::Error {
+            code: ErrorCode::UnknownJob,
+            msg: format!("job {job}"),
+        }),
+    }
+}
+
+/// Handle every request kind that answers immediately and in request
+/// order.  `Submit` and `Await` are routed by the reactor before this
+/// point (they batch and park respectively); their arms here are
+/// defensive only.
+pub(crate) fn handle_sync_request(shared: &Shared, req: Request) -> Response {
+    match req {
         Request::Cancel { job } => handle_cancel(shared, job),
         Request::Poll { job } => {
             shared.metrics.req_poll.incr();
@@ -471,40 +655,13 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
         }
         Request::Fetch { job } => {
             shared.metrics.req_fetch.incr();
-            let mut jobs = shared.jobs.lock();
-            // Take the entry out and decide with ownership in hand — no
-            // check-then-unwrap: an entry without an outcome goes straight
-            // back into the table.
-            match jobs.remove(&job) {
-                Some(JobEntry {
-                    outcome: Some(out),
-                    idem_key,
-                    ..
-                }) => {
-                    drop(jobs);
-                    if idem_key != 0 {
-                        // The idempotency window closes at fetch: a later
-                        // resubmit with the same key is a new job.
-                        let mut idem = shared.idem.lock();
-                        if idem.get(&idem_key) == Some(&job) {
-                            idem.remove(&idem_key);
-                        }
-                    }
-                    Response::JobResult {
-                        job,
-                        ok: out.ok,
-                        wall_us: out.wall_us,
-                        detail: out.detail,
-                    }
-                }
-                Some(entry) => {
-                    jobs.insert(job, entry);
-                    Response::Error {
-                        code: ErrorCode::NotReady,
-                        msg: format!("job {job} still pending"),
-                    }
-                }
-                None => Response::Error {
+            match consume_result(shared, job) {
+                Consume::Taken(resp) => resp,
+                Consume::NotReady => Response::Error {
+                    code: ErrorCode::NotReady,
+                    msg: format!("job {job} still pending"),
+                },
+                Consume::Unknown => Response::Error {
                     code: ErrorCode::UnknownJob,
                     msg: format!("job {job}"),
                 },
@@ -527,104 +684,10 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
                 outstanding: shared.outstanding(),
             }
         }
-    }
-}
-
-fn handle_submit(shared: &Shared, spec: JobSpec, deadline_ms: u32, idem_key: u64) -> Response {
-    shared.metrics.req_submit.incr();
-    if shared.draining.load(Ordering::Acquire) {
-        return Response::Error {
-            code: ErrorCode::Draining,
-            msg: "server is draining".into(),
-        };
-    }
-    if let Err(why) = spec.validate(&shared.cfg.limits) {
-        shared.metrics.invalid.incr();
-        return Response::Error {
+        Request::Submit { .. } | Request::Await { .. } => Response::Error {
             code: ErrorCode::BadPayload,
-            msg: why.into(),
-        };
-    }
-    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
-    let now = Instant::now();
-    let budget_ms = if deadline_ms > 0 {
-        deadline_ms
-    } else {
-        shared.cfg.default_deadline_ms
-    };
-    let deadline = (budget_ms > 0).then(|| now + Duration::from_millis(u64::from(budget_ms)));
-    let cancel = CancelToken::new();
-    // Insert the table entry *before* the queue push so a client that
-    // polls immediately after `Accepted` always finds the job; remove it
-    // again if admission refuses.
-    shared.jobs.lock().insert(
-        id,
-        JobEntry {
-            state: JobState::Queued,
-            outcome: None,
-            submitted: now,
-            cancel: cancel.clone(),
-            deadline,
-            cancel_requested_at: None,
-            activity_at_check: None,
-            stalled_since: None,
-            escalated: false,
-            idem_key,
+            msg: "internal: submit/await bypassed the reactor".into(),
         },
-    );
-    if idem_key != 0 {
-        // Claim the key after the table entry exists (so a racing
-        // duplicate that wins the claim can immediately poll the id) but
-        // before the push (so no two same-key submits both enqueue).
-        use std::collections::hash_map::Entry;
-        match shared.idem.lock().entry(idem_key) {
-            Entry::Occupied(o) => {
-                let existing = *o.get();
-                shared.jobs.lock().remove(&id);
-                shared.metrics.idem_hits.incr();
-                return Response::Accepted { job: existing };
-            }
-            Entry::Vacant(v) => {
-                v.insert(id);
-            }
-        }
-    }
-    let refuse = |shared: &Shared| {
-        shared.jobs.lock().remove(&id);
-        if idem_key != 0 {
-            let mut idem = shared.idem.lock();
-            if idem.get(&idem_key) == Some(&id) {
-                idem.remove(&idem_key);
-            }
-        }
-    };
-    match shared.queue.try_push(QueuedJob {
-        id,
-        spec,
-        enqueued: now,
-        cancel,
-        deadline,
-    }) {
-        Ok(depth) => {
-            shared.metrics.accepted.incr();
-            shared.metrics.queue_depth.set(depth as u64);
-            shared.metrics.queue_peak.record_max(depth as u64);
-            Response::Accepted { job: id }
-        }
-        Err(PushError::Full) => {
-            refuse(shared);
-            shared.metrics.rejected.incr();
-            Response::Rejected {
-                retry_after_ms: shared.retry_after_ms(),
-            }
-        }
-        Err(PushError::Closed) => {
-            refuse(shared);
-            Response::Error {
-                code: ErrorCode::Draining,
-                msg: "server is draining".into(),
-            }
-        }
     }
 }
 
@@ -634,39 +697,47 @@ fn handle_submit(shared: &Shared, spec: JobSpec, deadline_ms: u32, idem_key: u64
 /// state after the request took effect.
 fn handle_cancel(shared: &Shared, job: u64) -> Response {
     shared.metrics.req_cancel.incr();
-    let mut jobs = shared.jobs.lock();
-    let Some(entry) = jobs.get_mut(&job) else {
-        return Response::Error {
-            code: ErrorCode::UnknownJob,
-            msg: format!("job {job}"),
+    let mut now_terminal = false;
+    let state = {
+        let mut jobs = shared.jobs.lock();
+        let Some(entry) = jobs.get_mut(&job) else {
+            return Response::Error {
+                code: ErrorCode::UnknownJob,
+                msg: format!("job {job}"),
+            };
         };
-    };
-    let state = match entry.state {
-        JobState::Queued => {
-            // Fire the token anyway: the dispatcher may have already
-            // popped the job, and a fired token stops it pre-fork.
-            entry.cancel.cancel();
-            entry.state = JobState::Cancelled;
-            entry.outcome = Some(JobOutcome {
-                ok: false,
-                wall_us: 0,
-                detail: "cancelled while queued".into(),
-            });
-            shared.metrics.cancelled.incr();
-            JobState::Cancelled
+        match entry.state {
+            JobState::Queued => {
+                // Fire the token anyway: the dispatcher may have already
+                // popped the job, and a fired token stops it pre-fork.
+                entry.cancel.cancel();
+                entry.state = JobState::Cancelled;
+                entry.outcome = Some(JobOutcome {
+                    ok: false,
+                    wall_us: 0,
+                    detail: "cancelled while queued".into(),
+                });
+                shared.metrics.cancelled.incr();
+                now_terminal = true;
+                JobState::Cancelled
+            }
+            JobState::Running => {
+                entry.cancel.cancel();
+                entry.state = JobState::Cancelling;
+                let now = Instant::now();
+                entry.cancel_requested_at = Some(now);
+                entry.stalled_since = Some(now);
+                entry.activity_at_check = Some(shared.rt.activity());
+                JobState::Cancelling
+            }
+            // Cancelling already, or terminal: nothing to do.
+            s => s,
         }
-        JobState::Running => {
-            entry.cancel.cancel();
-            entry.state = JobState::Cancelling;
-            let now = Instant::now();
-            entry.cancel_requested_at = Some(now);
-            entry.stalled_since = Some(now);
-            entry.activity_at_check = Some(shared.rt.activity());
-            JobState::Cancelling
-        }
-        // Cancelling already, or terminal: nothing to do.
-        s => s,
     };
+    if now_terminal {
+        // Outside the jobs lock: a parked Await on this job answers now.
+        shared.complete_job(job);
+    }
     Response::Status { job, state }
 }
 
@@ -688,6 +759,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 ///
 /// Every job runs under `catch_unwind`: a panicking kernel becomes a
 /// `Failed` job carrying the panic message, never a dead dispatcher.
+/// Each terminal transition is broadcast over the completion bus so
+/// reactors answer parked `Await`s without polling.
 fn dispatch_loop(shared: &Shared) {
     while let Some(qjob) = shared.queue.pop() {
         let started = Instant::now();
@@ -700,7 +773,8 @@ fn dispatch_loop(shared: &Shared) {
             let mut jobs = shared.jobs.lock();
             match jobs.get_mut(&qjob.id) {
                 // Cancelled (or deadline-killed) while queued: already
-                // terminal with an outcome — skip without running.
+                // terminal with an outcome — skip without running (whoever
+                // made it terminal also notified the completion bus).
                 Some(entry) if entry.state.terminal() => continue,
                 Some(entry) => entry.state = JobState::Running,
                 // Terminal *and* fetched already; nothing left to do.
@@ -761,21 +835,26 @@ fn dispatch_loop(shared: &Shared) {
             JobState::TimedOut => shared.metrics.timed_out.incr(),
             _ => shared.metrics.failed.incr(),
         }
-        let mut jobs = shared.jobs.lock();
-        if let Some(entry) = jobs.get_mut(&qjob.id) {
-            shared
-                .metrics
-                .lat_total
-                .record(entry.submitted.elapsed().as_nanos() as u64);
-            if let Some(t) = entry.cancel_requested_at {
+        {
+            let mut jobs = shared.jobs.lock();
+            if let Some(entry) = jobs.get_mut(&qjob.id) {
                 shared
                     .metrics
-                    .wd_cancel_latency
-                    .record(t.elapsed().as_nanos() as u64);
+                    .lat_total
+                    .record(entry.submitted.elapsed().as_nanos() as u64);
+                if let Some(t) = entry.cancel_requested_at {
+                    shared
+                        .metrics
+                        .wd_cancel_latency
+                        .record(t.elapsed().as_nanos() as u64);
+                }
+                entry.state = state;
+                entry.outcome = Some(outcome);
             }
-            entry.state = state;
-            entry.outcome = Some(outcome);
         }
+        // After the outcome is visible in the table (lock released): any
+        // reactor holding a parked Await can consume it.
+        shared.complete_job(qjob.id);
     }
 }
 
@@ -797,6 +876,7 @@ fn watchdog_loop(shared: &Shared) {
         let now = Instant::now();
         let activity = shared.rt.activity();
         let mut escalate = None;
+        let mut finished: Vec<u64> = Vec::new();
         {
             let mut jobs = shared.jobs.lock();
             for (&id, entry) in jobs.iter_mut() {
@@ -813,6 +893,7 @@ fn watchdog_loop(shared: &Shared) {
                         });
                         shared.metrics.wd_deadline_fired.incr();
                         shared.metrics.timed_out.incr();
+                        finished.push(id);
                     }
                     JobState::Running
                         if entry.deadline.is_some_and(|d| now >= d)
@@ -841,6 +922,11 @@ fn watchdog_loop(shared: &Shared) {
                     _ => {}
                 }
             }
+        }
+        // Outside the jobs lock: queued-deadline kills are terminal with
+        // outcomes — tell the reactors.
+        for id in finished {
+            shared.complete_job(id);
         }
         if let Some(id) = escalate {
             // Outside the jobs lock: poisoning takes backend-internal locks.

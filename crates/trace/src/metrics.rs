@@ -243,6 +243,22 @@ impl MetricsRegistry {
         }
     }
 
+    /// The histogram named `name` with the given inclusive upper
+    /// `bounds`, created on first use.  Like every get-or-create in the
+    /// registry, an existing instrument wins: the bounds of later callers
+    /// are ignored, so all callers of one name should agree on them.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new(bounds));
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
     /// Copy out every instrument.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
