@@ -163,8 +163,35 @@ impl Reactor {
 
     pub(crate) fn run(mut self) {
         let mut events = vec![EpollEvent::zeroed(); 256];
+        let mut wait_failures = 0u32;
         loop {
-            let n = self.ep.wait(&mut events, -1).unwrap_or(0);
+            let n = match self.ep.wait(&mut events, -1) {
+                Ok(n) => {
+                    wait_failures = 0;
+                    n
+                }
+                Err(e) => {
+                    // Unexpected (`wait` already absorbs EINTR): back off
+                    // so a persistent error (EBADF, …) cannot hot-spin
+                    // the thread, and give up on the reactor if it never
+                    // clears — a dead poll loop is better than a pegged
+                    // core that serves nothing either way.
+                    wait_failures += 1;
+                    if wait_failures == 1 {
+                        eprintln!("romp-serve: reactor {}: epoll_wait: {e}", self.index);
+                    }
+                    if wait_failures >= 100 {
+                        eprintln!(
+                            "romp-serve: reactor {}: epoll_wait keeps failing; abandoning poll loop",
+                            self.index
+                        );
+                        self.wind_down();
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                    0
+                }
+            };
             let m = &self.shared.metrics;
             m.reactor_wakeups.incr();
             m.reactor_events.record(n as u64);
@@ -198,7 +225,12 @@ impl Reactor {
             loop {
                 let worked = self.service_pass();
                 self.flush_conns();
-                if !worked {
+                // Flushing can lift a backpressure deferral, and under
+                // edge triggering no event will ever re-announce the
+                // bytes already sitting in that connection's rbuf — so
+                // keep passing while any deferred connection can now
+                // make progress, not merely while the last pass worked.
+                if !worked && !self.deferral_serviceable() {
                     break;
                 }
             }
@@ -208,6 +240,15 @@ impl Reactor {
                 return;
             }
         }
+    }
+
+    /// A deferred connection whose write buffer has drained below the
+    /// cap can decode buffered frames without any further epoll event;
+    /// `run` must re-pass for it rather than park in `epoll_wait`.
+    fn deferral_serviceable(&self) -> bool {
+        self.conns.values().any(|c| {
+            c.decode_deferred && !c.closed && !c.close_after_flush && c.wbuf.pending() < WBUF_LIMIT
+        })
     }
 
     /// Answer parked `Await`s for jobs the dispatcher reported finished.
@@ -357,9 +398,12 @@ impl Reactor {
                 }
             }
             let out = decode_conn(shared, token, conn, parked, &mut batch);
-            if conn.eof && !conn.close_after_flush {
+            if conn.eof && !conn.close_after_flush && !conn.decode_deferred {
                 // Clean close (or truncated tail, dropped silently, same
-                // as the blocking reader's mid-frame-EOF contract).
+                // as the blocking reader's mid-frame-EOF contract) — but
+                // only once decoding is quiescent: a deferred pass (frame
+                // cap or write backpressure) still has complete frames
+                // buffered, and the close contract answers those first.
                 conn.close_after_flush = true;
             }
             if !out.is_empty() {
@@ -476,9 +520,14 @@ fn decode_conn(
     batch: &mut Vec<QueuedJob>,
 ) -> Vec<PendingResp> {
     let mut out = Vec::new();
-    while out.len() < FRAMES_PER_PASS {
+    // The fairness bound counts every decoded frame, not just staged
+    // responses — parked `Await`s stage nothing, and a flood of them
+    // must not decode unboundedly within one pass.
+    let mut decoded = 0usize;
+    while decoded < FRAMES_PER_PASS {
         match conn.rbuf.next_frame() {
             Ok(Some(body)) => {
+                decoded += 1;
                 let t0 = Instant::now();
                 let staged = match Request::decode(&body) {
                     Ok(Request::Submit {
@@ -541,7 +590,7 @@ fn decode_conn(
             }
         }
     }
-    if out.len() >= FRAMES_PER_PASS {
+    if decoded >= FRAMES_PER_PASS {
         conn.decode_deferred = true;
     }
     out

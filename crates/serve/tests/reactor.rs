@@ -244,6 +244,94 @@ fn pipelined_awaits_on_one_connection() {
     assert_eq!(handle.join().dropped, 0, "drain loses nothing");
 }
 
+/// EOF with more frames buffered than one decode pass handles (the
+/// 4096-frame fairness cap) must still answer every request before
+/// closing: the close contract is "buffered frames are handled", not
+/// "whatever the first pass got to".
+#[test]
+fn eof_after_deep_pipeline_answers_every_buffered_frame() {
+    let handle = start_native(ServeConfig::default());
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    const N: usize = 4200; // > the per-pass fairness bound of 4096
+    let ping = Request::Ping.encode();
+    let mut wire = Vec::with_capacity(ping.len() * N);
+    for _ in 0..N {
+        wire.extend_from_slice(&ping);
+    }
+    s.write_all(&wire).unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut rb = RecvBuf::new();
+    let mut got = 0usize;
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        while let Some(body) = rb.next_frame().unwrap() {
+            match Response::decode(&body).unwrap() {
+                Response::Pong => got += 1,
+                other => panic!("unexpected answer to ping: {other:?}"),
+            }
+        }
+        let n = s.read(&mut buf).unwrap();
+        if n == 0 {
+            break;
+        }
+        rb.extend(&buf[..n]);
+    }
+    assert_eq!(got, N, "every pipelined frame answered before the close");
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.shutdown().unwrap();
+    assert_eq!(handle.join().dropped, 0);
+}
+
+/// A write-backpressured connection whose peer then only *reads* must
+/// still get every buffered request decoded: once flushing drains the
+/// write buffer below the cap, the reactor re-passes on its own — under
+/// edge triggering no further epoll event will announce the bytes
+/// already sitting in rbuf.
+#[test]
+fn backpressure_deferral_resumes_without_new_input() {
+    let handle = start_native(ServeConfig::default());
+    let mut s = TcpStream::connect(handle.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Burst enough requests that the staged responses overrun the
+    // 256 KiB write cap while later frames are still undecoded, then
+    // send nothing further and just read.
+    const N: usize = 6000;
+    let stats = Request::Stats.encode();
+    let mut wire = Vec::with_capacity(stats.len() * N);
+    for _ in 0..N {
+        wire.extend_from_slice(&stats);
+    }
+    s.write_all(&wire).unwrap();
+    // Let the server quiesce in the deferred state (write buffer capped,
+    // undecoded frames buffered, no events pending) before draining, so
+    // resumption can only come from the reactor's own re-pass.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut rb = RecvBuf::new();
+    let mut got = 0usize;
+    let mut buf = vec![0u8; 64 * 1024];
+    while got < N {
+        while let Some(body) = rb.next_frame().unwrap() {
+            match Response::decode(&body).unwrap() {
+                Response::Stats { .. } => got += 1,
+                other => panic!("unexpected answer to stats: {other:?}"),
+            }
+        }
+        if got >= N {
+            break;
+        }
+        let n = s.read(&mut buf).unwrap();
+        assert_ne!(n, 0, "server closed early after {got}/{N} responses");
+        rb.extend(&buf[..n]);
+    }
+    drop(s);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.shutdown().unwrap();
+    assert_eq!(handle.join().dropped, 0);
+}
+
 /// `await` on a job the server never issued answers `UnknownJob`, and a
 /// second `await` of a consumed result does too (the entry is gone).
 #[test]
