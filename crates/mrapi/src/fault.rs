@@ -22,6 +22,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use mca_platform::Clock;
 use mca_sync::SmallRng;
 
 use crate::status::MrapiStatus;
@@ -175,6 +176,7 @@ pub struct FaultPlan {
     seed: u64,
     sites: [SiteSpec; NUM_SITES],
     persistent: Option<(FaultSite, MrapiStatus, u64)>,
+    timed: Option<(FaultSite, MrapiStatus, u64, Clock)>,
     counters: [AtomicU64; NUM_SITES],
     injected: AtomicU64,
     delayed: AtomicU64,
@@ -188,6 +190,7 @@ impl FaultPlan {
             seed,
             sites: [SiteSpec::default(); NUM_SITES],
             persistent: None,
+            timed: None,
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             injected: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
@@ -244,6 +247,25 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: once `clock` reads at or past `at_ns`, fail every probe of
+    /// `site` with `status` — a persistent fault armed at a *timestamp*
+    /// rather than a probe count.
+    ///
+    /// With a virtual [`Clock`] this lets a deterministic simulation kill a
+    /// resource at an exact instant in simulated time, independent of how
+    /// many probes happen to precede it; with a real clock it models a
+    /// wall-clock-scheduled outage.
+    pub fn with_persistent_at(
+        mut self,
+        site: FaultSite,
+        status: MrapiStatus,
+        at_ns: u64,
+        clock: Clock,
+    ) -> Self {
+        self.timed = Some((site, status, at_ns, clock));
+        self
+    }
+
     /// The seed this plan was built from.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -287,6 +309,14 @@ impl FaultPlan {
                 after
             ));
         }
+        if let Some((site, status, at_ns, _)) = &self.timed {
+            parts.push(format!(
+                "timed {}->{} at t={}ns",
+                site.label(),
+                status.spec_name(),
+                at_ns
+            ));
+        }
         format!("seed={:#x}: {}", self.seed, parts.join(", "))
     }
 
@@ -297,6 +327,14 @@ impl FaultPlan {
             if psite == site && n >= after {
                 return FaultDecision {
                     fail: Some(status),
+                    delay: None,
+                };
+            }
+        }
+        if let Some((tsite, status, at_ns, clock)) = &self.timed {
+            if *tsite == site && clock.now_ns() >= *at_ns {
+                return FaultDecision {
+                    fail: Some(*status),
                     delay: None,
                 };
             }
@@ -429,6 +467,32 @@ mod tests {
         }
         // Other sites are unaffected.
         assert_eq!(plan.decide(FaultSite::ShmemGet), FaultDecision::PASS);
+    }
+
+    #[test]
+    fn timed_persistent_fault_arms_at_virtual_timestamp() {
+        use mca_platform::VirtualClock;
+        let vc = VirtualClock::new(0);
+        let plan = FaultPlan::new(0).with_persistent_at(
+            FaultSite::ShmemCreate,
+            MrapiStatus::ErrMemLimit,
+            1_000_000,
+            vc.clock(),
+        );
+        for _ in 0..50 {
+            assert_eq!(plan.decide(FaultSite::ShmemCreate), FaultDecision::PASS);
+        }
+        vc.advance_to(999_999);
+        assert_eq!(plan.decide(FaultSite::ShmemCreate), FaultDecision::PASS);
+        vc.advance_to(1_000_000);
+        for _ in 0..50 {
+            assert_eq!(
+                plan.decide(FaultSite::ShmemCreate).fail,
+                Some(MrapiStatus::ErrMemLimit)
+            );
+        }
+        // Other sites stay clean.
+        assert_eq!(plan.decide(FaultSite::MutexLock), FaultDecision::PASS);
     }
 
     #[test]

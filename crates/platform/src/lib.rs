@@ -61,4 +61,4 @@ pub use partition::{Hypervisor, Partition, PartitionSpec};
 pub use power::{EnergyEstimate, PowerModel, PowerState};
 pub use resource::{ResourceAttr, ResourceKind, ResourceNode, ResourceTree};
 pub use topology::{CacheLevel, CacheSpec, Cluster, Core, HwThread, Topology};
-pub use vtime::{CostModel, RegionProfile, VirtualTimer};
+pub use vtime::{Clock, CostModel, RegionProfile, VirtualClock, VirtualTimer};

@@ -27,6 +27,8 @@
 //! reported shape.  All constants are public and printed by the harness.
 
 use crate::topology::Topology;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// `struct timespec` as the kernel ABI defines it on the 64-bit Linux
 /// targets this crate supports (both fields are 64-bit there).
@@ -40,8 +42,101 @@ extern "C" {
     fn clock_gettime(clockid: i32, ts: *mut Timespec) -> i32;
 }
 
+/// Linux `CLOCK_MONOTONIC`.
+const CLOCK_MONOTONIC: i32 = 1;
+
 /// Linux `CLOCK_THREAD_CPUTIME_ID`.
 const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+/// Read the host's monotonic clock in nanoseconds.
+///
+/// Same epoch guarantees as `std::time::Instant` (arbitrary origin, never
+/// goes backwards) but yields a plain `u64`, which lets timestamps cross
+/// thread and serialization boundaries that `Instant` cannot.
+pub fn monotonic_ns() -> u64 {
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: ts is a valid, writable timespec; CLOCK_MONOTONIC exists on
+    // every Linux the crate targets.
+    let rc = unsafe { clock_gettime(CLOCK_MONOTONIC, &mut ts) };
+    debug_assert_eq!(rc, 0);
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// A source of "now" that is either the host's monotonic clock or a shared
+/// virtual-time counter owned by a deterministic simulator.
+///
+/// Production code paths construct [`Clock::real`] (the default) and behave
+/// exactly as if they called `clock_gettime(CLOCK_MONOTONIC)` directly.  A
+/// simulation constructs one [`VirtualClock`] and hands out `Clock`s that all
+/// observe the same simulated instant; the sim's event loop is then the only
+/// writer of time.  Cloning is cheap (an `Arc` bump in the virtual case).
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    virt: Option<Arc<AtomicU64>>,
+}
+
+impl Clock {
+    /// Clock backed by the host's `CLOCK_MONOTONIC`.
+    pub fn real() -> Self {
+        Clock { virt: None }
+    }
+
+    /// Current time in nanoseconds (host-monotonic or virtual).
+    pub fn now_ns(&self) -> u64 {
+        match &self.virt {
+            Some(v) => v.load(Ordering::Acquire),
+            None => monotonic_ns(),
+        }
+    }
+
+    /// True when this clock is driven by a [`VirtualClock`] rather than the
+    /// host.  Code that would block on real time (sleeps, condvar waits)
+    /// must not do so under a virtual clock.
+    pub fn is_virtual(&self) -> bool {
+        self.virt.is_some()
+    }
+}
+
+/// Writer handle for virtual time.
+///
+/// A deterministic simulator owns exactly one `VirtualClock` and advances it
+/// as its event queue drains; every [`Clock`] obtained from
+/// [`VirtualClock::clock`] observes the updates.  Time never moves backwards:
+/// [`advance_to`](VirtualClock::advance_to) is a monotonic max.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// New virtual clock starting at `start_ns`.
+    pub fn new(start_ns: u64) -> Self {
+        VirtualClock {
+            now: Arc::new(AtomicU64::new(start_ns)),
+        }
+    }
+
+    /// A reader [`Clock`] sharing this virtual timeline.
+    pub fn clock(&self) -> Clock {
+        Clock {
+            virt: Some(Arc::clone(&self.now)),
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Acquire)
+    }
+
+    /// Advance virtual time to `t_ns` if it is later than now (monotonic
+    /// max; a stale or equal timestamp is a no-op).
+    pub fn advance_to(&self, t_ns: u64) {
+        self.now.fetch_max(t_ns, Ordering::AcqRel);
+    }
+}
 
 /// Read this thread's consumed CPU time in nanoseconds.
 ///
@@ -286,6 +381,26 @@ mod tests {
         std::hint::black_box(x);
         let b = thread_cpu_ns();
         assert!(b > a, "cpu clock must advance during computation");
+    }
+
+    #[test]
+    fn real_clock_is_monotonic_and_virtual_clock_is_programmable() {
+        let real = Clock::real();
+        assert!(!real.is_virtual());
+        let a = real.now_ns();
+        let b = real.now_ns();
+        assert!(b >= a);
+
+        let vc = VirtualClock::new(1_000);
+        let c1 = vc.clock();
+        let c2 = vc.clock();
+        assert!(c1.is_virtual());
+        assert_eq!(c1.now_ns(), 1_000);
+        vc.advance_to(5_000);
+        assert_eq!(c1.now_ns(), 5_000);
+        assert_eq!(c2.now_ns(), 5_000, "clones share the timeline");
+        vc.advance_to(4_000); // never backwards
+        assert_eq!(c1.now_ns(), 5_000);
     }
 
     #[test]

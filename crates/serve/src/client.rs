@@ -241,6 +241,7 @@ impl Client {
         max_wait: Duration,
     ) -> Result<Option<(u64, u32)>, ClientError> {
         let deadline = Instant::now() + max_wait;
+        let mut rng = jitter_rng(opts.idem_key ^ 0x5AB5_E77E);
         let mut rejections = 0u32;
         loop {
             match self.submit_opts(spec, opts)? {
@@ -256,8 +257,12 @@ impl Client {
                             ),
                         });
                     }
-                    // Honour the hint, capped so tests stay fast.
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 250) as u64));
+                    // Honour the hint, capped so tests stay fast — and
+                    // jittered: a rejection wave hands the same hint to
+                    // every refused client, and without jitter they all
+                    // come back in lockstep and collide again.
+                    let base = u64::from(retry_after_ms.clamp(1, 250));
+                    std::thread::sleep(Duration::from_millis(jittered(&mut rng, base)));
                 }
             }
         }

@@ -70,13 +70,19 @@
 
 pub mod client;
 pub mod job;
+pub mod lifecycle;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod reactor;
 pub mod server;
+pub mod session;
 
 pub use client::{Client, ClientError, SubmitOptions, SubmitOutcome};
 pub use job::{DiagSpec, JobLimits, JobOutcome, JobSpec, JobState};
+pub use lifecycle::{DedupConfig, JobTable};
+pub use metrics::Metrics;
 pub use protocol::{ErrorCode, ProtoError, Request, Response, MAX_FRAME};
 pub use queue::{JobQueue, PushError};
 pub use server::{DrainReport, ServeConfig, Server, ServerHandle};
+pub use session::{ServeCore, Session};

@@ -10,7 +10,6 @@
 //! which is exactly the "no accepted job is ever dropped" guarantee.
 
 use std::collections::VecDeque;
-use std::time::Instant;
 
 use mca_sync::{Condvar, Mutex};
 use romp::CancelToken;
@@ -18,20 +17,24 @@ use romp::CancelToken;
 use crate::job::JobSpec;
 
 /// One accepted job riding the queue.
+///
+/// Timestamps are nanoseconds on the server's [`mca_platform::Clock`] —
+/// `CLOCK_MONOTONIC` in production, the virtual clock under `romp-sim` —
+/// so the queue itself never reads a wall clock.
 #[derive(Debug)]
 pub struct QueuedJob {
     /// Server-assigned id.
     pub id: u64,
     /// What to run.
     pub spec: JobSpec,
-    /// When admission succeeded (queue-wait latency measurement).
-    pub enqueued: Instant,
+    /// When admission succeeded, clock-ns (queue-wait latency basis).
+    pub enqueued_ns: u64,
     /// The job's cancel token, shared with the registry entry so a
     /// `Cancel` request or the watchdog can reach the job wherever it is.
     pub cancel: CancelToken,
-    /// Absolute deadline (admission time + requested or default budget);
-    /// `None` when the job runs unbounded.
-    pub deadline: Option<Instant>,
+    /// Absolute deadline, clock-ns (admission time + requested or default
+    /// budget); `None` when the job runs unbounded.
+    pub deadline_ns: Option<u64>,
 }
 
 /// Why `try_push` refused.
@@ -163,6 +166,13 @@ impl JobQueue {
         }
     }
 
+    /// Non-blocking consumer pop (the simulator's dispatcher model —
+    /// a virtual-time event loop cannot block in `pop`).  `None` means
+    /// "empty right now", with no closed/open distinction.
+    pub fn try_pop(&self) -> Option<QueuedJob> {
+        self.inner.lock().q.pop_front()
+    }
+
     /// Begin the drain: refuse producers, let the consumer run dry.
     pub fn close(&self) {
         self.inner.lock().closed = true;
@@ -189,9 +199,9 @@ mod tests {
                 threads: 2,
                 inner_reps: 1,
             },
-            enqueued: Instant::now(),
+            enqueued_ns: 0,
             cancel: CancelToken::new(),
-            deadline: None,
+            deadline_ns: None,
         }
     }
 

@@ -8,6 +8,13 @@
 //! multiplexes 64+ pipelined clients without a single blocking call —
 //! connection threads no longer exist to thrash the compute pool.
 //!
+//! The per-connection decode/route/backpressure *logic* lives in
+//! [`crate::session`] (shared with the `romp-sim` deterministic
+//! simulator, which drives the same [`Session`] state machine from
+//! virtual-time events); this module owns what is socket-specific:
+//! epoll registration, readiness edges, accept round-robin, the
+//! completion mailboxes, and the flush/close lifecycle.
+//!
 //! Three flows meet here:
 //!
 //! * **Requests** — readable sockets are drained to `WouldBlock`, every
@@ -32,24 +39,15 @@ use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mca_sync::Mutex;
 
-use crate::protocol::{ErrorCode, ProtoError, Request, Response};
+use crate::protocol::{ErrorCode, Response};
 use crate::queue::QueuedJob;
-use crate::server::{
-    admit_batch, handle_sync_request, prepare_submit, try_complete_await, AwaitDisposition, Shared,
-};
+use crate::server::Shared;
+use crate::session::{route_frames, AwaitDisposition, PendingResp, ServeCore, Session, WBUF_LIMIT};
 use sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-
-/// Per-connection write-buffer bound: past this, the connection is not
-/// read or decoded until the peer drains responses (TCP backpressure).
-const WBUF_LIMIT: usize = 256 * 1024;
-
-/// Bound on frames decoded from one connection in one service pass, so a
-/// single flood cannot starve its neighbours within a wakeup.
-const FRAMES_PER_PASS: usize = 4096;
 
 const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKE: u64 = 1;
@@ -91,30 +89,14 @@ impl Mailbox {
     }
 }
 
-/// One connection's reactor-side state.
+/// One connection's reactor-side state: the socket, its epoll readiness
+/// edges, and the transport-independent [`Session`].
 struct Conn {
     stream: TcpStream,
-    rbuf: RecvBuf,
-    wbuf: SendBuf,
+    sess: Session,
     /// Readiness flags: set by epoll edges, cleared on `WouldBlock`.
     readable: bool,
     writable: bool,
-    /// Peer closed its write side; close once buffered frames are handled.
-    eof: bool,
-    /// Finish flushing `wbuf`, then close (hostile-frame or EOF path).
-    close_after_flush: bool,
-    /// Marked dead; swept at the end of the wakeup.
-    closed: bool,
-    /// Decoding was deferred by the `WBUF_LIMIT` backpressure check;
-    /// revisit once the write buffer drains.
-    decode_deferred: bool,
-}
-
-/// A response slot staged during decoding: either already known, or the
-/// n-th member of this wakeup's submit batch (filled after admission).
-enum PendingResp {
-    Ready(Response),
-    Submit(usize),
 }
 
 pub(crate) struct Reactor {
@@ -247,7 +229,10 @@ impl Reactor {
     /// `run` must re-pass for it rather than park in `epoll_wait`.
     fn deferral_serviceable(&self) -> bool {
         self.conns.values().any(|c| {
-            c.decode_deferred && !c.closed && !c.close_after_flush && c.wbuf.pending() < WBUF_LIMIT
+            c.sess.decode_deferred
+                && !c.sess.closed
+                && !c.sess.close_after_flush
+                && c.sess.wbuf.pending() < WBUF_LIMIT
         })
     }
 
@@ -266,11 +251,11 @@ impl Reactor {
                 let Some(conn) = self.conns.get_mut(&token) else {
                     continue;
                 };
-                if conn.closed {
+                if conn.sess.closed {
                     continue;
                 }
-                match try_complete_await(&self.shared, job) {
-                    AwaitDisposition::Ready(resp) => conn.wbuf.queue(&resp.encode()),
+                match self.shared.try_complete_await(job) {
+                    AwaitDisposition::Ready(resp) => conn.sess.wbuf.queue(&resp.encode()),
                     // Raced a re-submit of the same id? Impossible (ids are
                     // unique), but a spurious notification re-parks safely.
                     AwaitDisposition::Pending => still_parked.push(token),
@@ -314,16 +299,11 @@ impl Reactor {
             token,
             Conn {
                 stream,
-                rbuf: RecvBuf::new(),
-                wbuf: SendBuf::new(),
+                sess: Session::new(),
                 // Optimistic: data may predate registration; the first
                 // service pass finds out via WouldBlock.
                 readable: true,
                 writable: true,
-                eof: false,
-                close_after_flush: false,
-                closed: false,
-                decode_deferred: false,
             },
         );
         self.shared
@@ -368,44 +348,44 @@ impl Reactor {
         let mut staged: Vec<(u64, Vec<PendingResp>)> = Vec::new();
         let mut worked = false;
         for (&token, conn) in conns.iter_mut() {
-            if conn.closed || conn.close_after_flush {
+            if conn.sess.closed || conn.sess.close_after_flush {
                 continue;
             }
-            if conn.wbuf.pending() >= WBUF_LIMIT {
+            if conn.sess.backpressured() {
                 // Backpressure: leave the socket unread; revisit when the
                 // peer drains responses.
-                if conn.readable || conn.rbuf.pending() > 0 {
-                    conn.decode_deferred = true;
+                if conn.readable || conn.sess.rbuf.pending() > 0 {
+                    conn.sess.decode_deferred = true;
                 }
                 continue;
             }
-            if !conn.readable && !conn.decode_deferred {
+            if !conn.readable && !conn.sess.decode_deferred {
                 continue;
             }
             worked = true;
-            conn.decode_deferred = false;
+            conn.sess.decode_deferred = false;
             if conn.readable {
-                match conn.rbuf.fill_from(&mut conn.stream) {
+                match conn.sess.rbuf.fill_from(&mut conn.stream) {
                     Ok(Fill::WouldBlock) => conn.readable = false,
                     Ok(Fill::Eof) => {
                         conn.readable = false;
-                        conn.eof = true;
+                        conn.sess.eof = true;
                     }
                     Err(_) => {
-                        conn.closed = true;
+                        conn.sess.closed = true;
                         continue;
                     }
                 }
             }
-            let out = decode_conn(shared, token, conn, parked, &mut batch);
-            if conn.eof && !conn.close_after_flush && !conn.decode_deferred {
-                // Clean close (or truncated tail, dropped silently, same
-                // as the blocking reader's mid-frame-EOF contract) — but
-                // only once decoding is quiescent: a deferred pass (frame
-                // cap or write backpressure) still has complete frames
-                // buffered, and the close contract answers those first.
-                conn.close_after_flush = true;
+            let mut parked_jobs = Vec::new();
+            let out = route_frames(&**shared, &mut conn.sess, &mut batch, &mut parked_jobs);
+            for job in parked_jobs {
+                parked.entry(job).or_default().push(token);
             }
+            // Clean close on EOF (or truncated tail, dropped silently,
+            // same as the blocking reader's mid-frame-EOF contract) —
+            // only once decoding is quiescent; see `Session`.
+            conn.sess.arm_close_if_quiescent();
             if !out.is_empty() {
                 staged.push((token, out));
             }
@@ -414,7 +394,7 @@ impl Reactor {
             shared.metrics.reactor_batch.record(batch.len() as u64);
         }
         let mut slots: Vec<Option<Response>> =
-            admit_batch(shared, batch).into_iter().map(Some).collect();
+            shared.admit_batch(batch).into_iter().map(Some).collect();
         for (token, pending) in staged {
             let Some(conn) = conns.get_mut(&token) else {
                 continue;
@@ -424,7 +404,7 @@ impl Reactor {
                     PendingResp::Ready(r) => r,
                     PendingResp::Submit(i) => slots[i].take().expect("submit slot filled once"),
                 };
-                conn.wbuf.queue(&resp.encode());
+                conn.sess.wbuf.queue(&resp.encode());
             }
         }
         worked
@@ -432,18 +412,18 @@ impl Reactor {
 
     fn flush_conns(&mut self) {
         for conn in self.conns.values_mut() {
-            if conn.closed {
+            if conn.sess.closed {
                 continue;
             }
-            if conn.writable && !conn.wbuf.is_empty() {
-                match conn.wbuf.flush_to(&mut conn.stream) {
+            if conn.writable && !conn.sess.wbuf.is_empty() {
+                match conn.sess.wbuf.flush_to(&mut conn.stream) {
                     Ok(Flush::Drained) => {}
                     Ok(Flush::Blocked) => conn.writable = false,
-                    Err(_) => conn.closed = true,
+                    Err(_) => conn.sess.closed = true,
                 }
             }
-            if conn.close_after_flush && conn.wbuf.is_empty() {
-                conn.closed = true;
+            if conn.sess.close_after_flush && conn.sess.wbuf.is_empty() {
+                conn.sess.closed = true;
             }
         }
     }
@@ -453,7 +433,7 @@ impl Reactor {
         let dead: Vec<u64> = self
             .conns
             .iter()
-            .filter(|(_, c)| c.closed)
+            .filter(|(_, c)| c.sess.closed)
             .map(|(&t, _)| t)
             .collect();
         if dead.is_empty() {
@@ -482,22 +462,26 @@ impl Reactor {
                 let Some(conn) = self.conns.get_mut(&token) else {
                     continue;
                 };
-                if conn.closed {
+                if conn.sess.closed {
                     continue;
                 }
-                let resp = match try_complete_await(&self.shared, job) {
+                let resp = match self.shared.try_complete_await(job) {
                     AwaitDisposition::Ready(r) => r,
                     AwaitDisposition::Pending => Response::Error {
                         code: ErrorCode::UnknownJob,
                         msg: format!("job {job}: server stopped"),
                     },
                 };
-                conn.wbuf.queue(&resp.encode());
+                conn.sess.wbuf.queue(&resp.encode());
             }
         }
         for _ in 0..100 {
             self.flush_conns();
-            if self.conns.values().all(|c| c.closed || c.wbuf.is_empty()) {
+            if self
+                .conns
+                .values()
+                .all(|c| c.sess.closed || c.sess.wbuf.is_empty())
+            {
                 break;
             }
             // Writability may need a moment; we are off the epoll loop.
@@ -508,90 +492,4 @@ impl Reactor {
         }
         self.shared.metrics.reactor_conns.set(0);
     }
-}
-
-/// Decode every complete frame buffered on `conn`, staging one response
-/// slot per request (except parked `Await`s, which answer later).
-fn decode_conn(
-    shared: &Shared,
-    token: u64,
-    conn: &mut Conn,
-    parked: &mut HashMap<u64, Vec<u64>>,
-    batch: &mut Vec<QueuedJob>,
-) -> Vec<PendingResp> {
-    let mut out = Vec::new();
-    // The fairness bound counts every decoded frame, not just staged
-    // responses — parked `Await`s stage nothing, and a flood of them
-    // must not decode unboundedly within one pass.
-    let mut decoded = 0usize;
-    while decoded < FRAMES_PER_PASS {
-        match conn.rbuf.next_frame() {
-            Ok(Some(body)) => {
-                decoded += 1;
-                let t0 = Instant::now();
-                let staged = match Request::decode(&body) {
-                    Ok(Request::Submit {
-                        spec,
-                        deadline_ms,
-                        idem_key,
-                    }) => {
-                        shared.metrics.req_submit.incr();
-                        match prepare_submit(shared, spec, deadline_ms, idem_key) {
-                            Ok(qjob) => {
-                                batch.push(qjob);
-                                Some(PendingResp::Submit(batch.len() - 1))
-                            }
-                            Err(resp) => Some(PendingResp::Ready(resp)),
-                        }
-                    }
-                    Ok(Request::Await { job }) => {
-                        shared.metrics.req_await.incr();
-                        match try_complete_await(shared, job) {
-                            AwaitDisposition::Ready(resp) => Some(PendingResp::Ready(resp)),
-                            AwaitDisposition::Pending => {
-                                parked.entry(job).or_default().push(token);
-                                None
-                            }
-                        }
-                    }
-                    Ok(req) => Some(PendingResp::Ready(handle_sync_request(shared, req))),
-                    Err(e) => {
-                        // Frame boundaries are intact; the payload is bad.
-                        // Answer and keep the connection.
-                        shared.metrics.proto_errors.incr();
-                        Some(PendingResp::Ready(Response::Error {
-                            code: match e {
-                                ProtoError::BadPayload(_) => ErrorCode::BadPayload,
-                                _ => ErrorCode::BadFrame,
-                            },
-                            msg: e.to_string(),
-                        }))
-                    }
-                };
-                shared
-                    .metrics
-                    .lat_handle
-                    .record(t0.elapsed().as_nanos() as u64);
-                if let Some(s) = staged {
-                    out.push(s);
-                }
-            }
-            Ok(None) => break,
-            Err(e) => {
-                // Hostile length prefix: the byte stream cannot be
-                // trusted again — answer once, then close.
-                shared.metrics.proto_errors.incr();
-                out.push(PendingResp::Ready(Response::Error {
-                    code: ErrorCode::BadFrame,
-                    msg: e.to_string(),
-                }));
-                conn.close_after_flush = true;
-                break;
-            }
-        }
-    }
-    if decoded >= FRAMES_PER_PASS {
-        conn.decode_deferred = true;
-    }
-    out
 }

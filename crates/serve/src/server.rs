@@ -10,28 +10,32 @@
 //! an admission decision, not on sixty-four rival connection threads
 //! thrashing the compute pool.
 //!
-//! This module owns the protocol-to-job-table logic (admission, idem
-//! keys, fetch/await consumption, cancel, drain accounting) and the two
-//! supervision threads; the socket mechanics live in [`crate::reactor`].
-//! Job completions flow back to the reactors over per-reactor mailboxes
-//! (`Shared::complete_job`) so parked `Await`s answer the moment a job
-//! turns terminal.
+//! Since PR 7 the protocol-to-job-table *policy* lives in
+//! [`crate::session`] (the [`ServeCore`] provided methods) and the job
+//! lifecycle state machine in [`crate::lifecycle`] — both shared with
+//! the deterministic simulator `romp-sim`, which drives them on a
+//! virtual clock.  This module keeps what is irreducibly production:
+//! the TCP listener, the real threads (reactors, dispatcher, watchdog),
+//! and the [`Runtime`] binding.  Job completions flow back to the
+//! reactors over per-reactor mailboxes (`Shared::complete_job`) so
+//! parked `Await`s answer the moment a job turns terminal.
 
-use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use mca_sync::Mutex;
-use romp::{CancelReason, CancelToken, Runtime};
-use romp_trace::{json_escape, Counter, Gauge, Histogram};
+use mca_platform::Clock;
+use romp::Runtime;
+use romp_trace::json_escape;
 
-use crate::job::{execute, JobLimits, JobOutcome, JobSpec, JobState};
-use crate::protocol::{ErrorCode, Request, Response};
-use crate::queue::{JobQueue, QueuedJob};
+use crate::job::{execute, JobLimits, JobOutcome, JobState};
+use crate::lifecycle::{terminal_for, DedupConfig, JobTable};
+use crate::metrics::Metrics;
+use crate::queue::JobQueue;
 use crate::reactor::{Mailbox, Reactor};
+use crate::session::ServeCore;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -55,6 +59,13 @@ pub struct ServeConfig {
     /// parses frames and moves buffers — but a many-core host serving
     /// hundreds of connections can add more.  `0` is treated as 1.
     pub reactors: usize,
+    /// Bound on *terminal* entries retained in the idempotency/dedup
+    /// map; past it the watchdog evicts oldest-terminal-first.  Live
+    /// jobs' keys are never evicted (PR 7).
+    pub dedup_cap: usize,
+    /// How long a terminal, unfetched job (and its idempotency key) is
+    /// retained before the watchdog reclaims it, milliseconds.
+    pub result_ttl_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -66,115 +77,29 @@ impl Default for ServeConfig {
             watchdog_interval_ms: 5,
             escalation_grace_ms: 250,
             reactors: 1,
+            dedup_cap: 4096,
+            result_ttl_ms: 60_000,
         }
     }
 }
 
-/// Cached metric instruments (resolved once; bumped lock-free).
-pub(crate) struct Metrics {
-    pub(crate) accepted: Arc<Counter>,
-    pub(crate) rejected: Arc<Counter>,
-    pub(crate) invalid: Arc<Counter>,
-    pub(crate) completed: Arc<Counter>,
-    pub(crate) failed: Arc<Counter>,
-    pub(crate) cancelled: Arc<Counter>,
-    pub(crate) timed_out: Arc<Counter>,
-    pub(crate) idem_hits: Arc<Counter>,
-    pub(crate) proto_errors: Arc<Counter>,
-    pub(crate) req_submit: Arc<Counter>,
-    pub(crate) req_poll: Arc<Counter>,
-    pub(crate) req_fetch: Arc<Counter>,
-    pub(crate) req_await: Arc<Counter>,
-    pub(crate) req_cancel: Arc<Counter>,
-    pub(crate) req_stats: Arc<Counter>,
-    pub(crate) req_ping: Arc<Counter>,
-    pub(crate) queue_depth: Arc<Gauge>,
-    pub(crate) queue_peak: Arc<Gauge>,
-    pub(crate) lat_queue: Arc<Histogram>,
-    pub(crate) lat_exec: Arc<Histogram>,
-    pub(crate) lat_total: Arc<Histogram>,
-    pub(crate) lat_handle: Arc<Histogram>,
-    pub(crate) wd_ticks: Arc<Counter>,
-    pub(crate) wd_deadline_fired: Arc<Counter>,
-    pub(crate) wd_escalations: Arc<Counter>,
-    pub(crate) wd_cancel_latency: Arc<Histogram>,
-    pub(crate) reactor_wakeups: Arc<Counter>,
-    pub(crate) reactor_events: Arc<Histogram>,
-    pub(crate) reactor_batch: Arc<Histogram>,
-    pub(crate) reactor_conns: Arc<Gauge>,
-}
-
-impl Metrics {
-    fn new(rt: &Runtime) -> Self {
-        let reg = rt.tracer().metrics();
-        // Small-count histograms (events per wakeup, submit batch sizes)
-        // get power-of-two count buckets, not the ns-latency defaults.
-        let counts: Vec<u64> = (0..=10).map(|p| 1u64 << p).collect();
-        Metrics {
-            accepted: reg.counter("serve.submit.accepted"),
-            rejected: reg.counter("serve.submit.rejected"),
-            invalid: reg.counter("serve.submit.invalid"),
-            completed: reg.counter("serve.jobs.completed"),
-            failed: reg.counter("serve.jobs.failed"),
-            cancelled: reg.counter("serve.jobs.cancelled"),
-            timed_out: reg.counter("serve.jobs.timed_out"),
-            idem_hits: reg.counter("serve.submit.idem_hits"),
-            proto_errors: reg.counter("serve.proto.errors"),
-            req_submit: reg.counter("serve.req.submit"),
-            req_poll: reg.counter("serve.req.poll"),
-            req_fetch: reg.counter("serve.req.fetch"),
-            req_await: reg.counter("serve.req.await"),
-            req_cancel: reg.counter("serve.req.cancel"),
-            req_stats: reg.counter("serve.req.stats"),
-            req_ping: reg.counter("serve.req.ping"),
-            queue_depth: reg.gauge("serve.queue.depth"),
-            queue_peak: reg.gauge("serve.queue.peak"),
-            lat_queue: reg.histogram_ns("serve.latency.queue_ns"),
-            lat_exec: reg.histogram_ns("serve.latency.exec_ns"),
-            lat_total: reg.histogram_ns("serve.latency.total_ns"),
-            lat_handle: reg.histogram_ns("serve.latency.handle_ns"),
-            wd_ticks: reg.counter("watchdog.ticks"),
-            wd_deadline_fired: reg.counter("watchdog.deadline_fired"),
-            wd_escalations: reg.counter("watchdog.escalations"),
-            wd_cancel_latency: reg.histogram_ns("watchdog.cancel_latency_ns"),
-            reactor_wakeups: reg.counter("serve.reactor.wakeups"),
-            reactor_events: reg.histogram("serve.reactor.events_per_wakeup", &counts),
-            reactor_batch: reg.histogram("serve.reactor.batch_size", &counts),
-            reactor_conns: reg.gauge("serve.reactor.connections"),
+impl ServeConfig {
+    /// The dedup bounds in [`JobTable`] terms.
+    pub(crate) fn dedup(&self) -> DedupConfig {
+        DedupConfig {
+            cap: self.dedup_cap,
+            ttl_ns: self.result_ttl_ms.max(1).saturating_mul(1_000_000),
         }
     }
-}
-
-pub(crate) struct JobEntry {
-    pub(crate) state: JobState,
-    pub(crate) outcome: Option<JobOutcome>,
-    pub(crate) submitted: Instant,
-    /// Shared with the queued copy; firing it reaches the job wherever
-    /// it is (queued, running, mid-unwind).
-    pub(crate) cancel: CancelToken,
-    pub(crate) deadline: Option<Instant>,
-    /// When the cancel (client or deadline) was requested — basis of the
-    /// cancel-latency histogram.
-    pub(crate) cancel_requested_at: Option<Instant>,
-    /// Watchdog bookkeeping: the runtime activity value last seen for
-    /// this job, and since when it has been flat.
-    pub(crate) activity_at_check: Option<u64>,
-    pub(crate) stalled_since: Option<Instant>,
-    /// Whether the watchdog already escalated this job (escalate once).
-    pub(crate) escalated: bool,
-    /// Client idempotency key (`0` = none); cleaned from the dedup map
-    /// when the result is fetched.
-    pub(crate) idem_key: u64,
 }
 
 pub(crate) struct Shared {
     pub(crate) rt: Runtime,
     pub(crate) cfg: ServeConfig,
     pub(crate) queue: JobQueue,
-    pub(crate) jobs: Mutex<HashMap<u64, JobEntry>>,
-    /// Idempotency-key → job-id dedup map (see [`crate::Request::Submit`]).
-    pub(crate) idem: Mutex<HashMap<u64, u64>>,
-    pub(crate) next_id: AtomicU64,
+    /// Job lifecycle state (ids, states, outcomes, idempotency), shared
+    /// logic with `romp-sim` — see [`crate::lifecycle`].
+    pub(crate) table: JobTable,
     pub(crate) draining: AtomicBool,
     pub(crate) stopped: AtomicBool,
     /// Tells the watchdog thread to exit (set during [`ServerHandle::join`]).
@@ -188,25 +113,6 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    /// Jobs accepted but not yet finished.
-    pub(crate) fn outstanding(&self) -> u64 {
-        let accepted = self.metrics.accepted.get();
-        let done = self.metrics.completed.get()
-            + self.metrics.failed.get()
-            + self.metrics.cancelled.get()
-            + self.metrics.timed_out.get();
-        accepted.saturating_sub(done)
-    }
-
-    /// The backpressure hint: how long a refused client should wait for
-    /// a queue slot to likely open — the queue's current length times the
-    /// smoothed per-job service time.
-    fn retry_after_ms(&self) -> u32 {
-        let ewma_ns = self.exec_ewma_ns.load(Ordering::Relaxed).max(1_000_000);
-        let depth = self.queue.len() as u64 + 1;
-        ((depth * ewma_ns) / 1_000_000).clamp(1, 10_000) as u32
-    }
-
     fn note_exec_time(&self, ns: u64) {
         // EWMA with alpha = 1/8; seeded by the first sample.
         let prev = self.exec_ewma_ns.load(Ordering::Relaxed);
@@ -225,6 +131,55 @@ impl Shared {
         for mb in &self.mailboxes {
             mb.notify_completion(id);
         }
+    }
+}
+
+impl ServeCore for Shared {
+    fn table(&self) -> &JobTable {
+        &self.table
+    }
+
+    fn queue(&self) -> &JobQueue {
+        &self.queue
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn limits(&self) -> &JobLimits {
+        &self.cfg.limits
+    }
+
+    fn default_deadline_ms(&self) -> u32 {
+        self.cfg.default_deadline_ms
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.queue.close();
+    }
+
+    fn ewma_ns(&self) -> u64 {
+        self.exec_ewma_ns.load(Ordering::Relaxed)
+    }
+
+    fn activity(&self) -> u64 {
+        self.rt.activity()
+    }
+
+    /// Jobs accepted but not yet finished.
+    fn outstanding(&self) -> u64 {
+        let accepted = self.metrics.accepted.get();
+        let done = self.metrics.completed.get()
+            + self.metrics.failed.get()
+            + self.metrics.cancelled.get()
+            + self.metrics.timed_out.get();
+        accepted.saturating_sub(done)
     }
 
     fn stats_json(&self) -> String {
@@ -249,6 +204,10 @@ impl Shared {
             m.timed_out.get(),
             self.rt.tracer().metrics().snapshot().to_json(),
         )
+    }
+
+    fn on_complete(&self, job: u64) {
+        self.complete_job(job);
     }
 }
 
@@ -318,16 +277,14 @@ impl Server {
     pub fn start(addr: &str, cfg: ServeConfig, rt: Runtime) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let metrics = Metrics::new(&rt);
+        let metrics = Metrics::new(rt.tracer().metrics());
         let n_reactors = cfg.reactors.max(1);
         let mailboxes = (0..n_reactors)
             .map(|_| Mailbox::new().map(Arc::new))
             .collect::<std::io::Result<Vec<_>>>()?;
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_cap),
-            jobs: Mutex::new(HashMap::new()),
-            idem: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(1),
+            table: JobTable::new(Clock::real(), cfg.dedup()),
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
             wd_stop: AtomicBool::new(false),
@@ -390,8 +347,7 @@ impl ServerHandle {
     /// Begin the drain without a wire request (equivalent to a client
     /// sending `Shutdown`).
     pub fn request_drain(&self) {
-        self.shared.draining.store(true, Ordering::Release);
-        self.shared.queue.close();
+        self.shared.begin_drain();
     }
 
     /// Wait for the graceful drain to finish and tear the server down.
@@ -435,312 +391,6 @@ impl ServerHandle {
     }
 }
 
-/// Stage a submission: validate, mint the id, insert the jobs-table
-/// entry, claim the idempotency key.  `Ok` hands back the queue-ready job
-/// for this wakeup's [`admit_batch`]; `Err` is the immediate response
-/// (draining, invalid spec, or an idempotency hit returning the original
-/// id) and nothing joins the batch.
-pub(crate) fn prepare_submit(
-    shared: &Shared,
-    spec: JobSpec,
-    deadline_ms: u32,
-    idem_key: u64,
-) -> Result<QueuedJob, Response> {
-    if shared.draining.load(Ordering::Acquire) {
-        return Err(Response::Error {
-            code: ErrorCode::Draining,
-            msg: "server is draining".into(),
-        });
-    }
-    if let Err(why) = spec.validate(&shared.cfg.limits) {
-        shared.metrics.invalid.incr();
-        return Err(Response::Error {
-            code: ErrorCode::BadPayload,
-            msg: why.into(),
-        });
-    }
-    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
-    let now = Instant::now();
-    let budget_ms = if deadline_ms > 0 {
-        deadline_ms
-    } else {
-        shared.cfg.default_deadline_ms
-    };
-    let deadline = (budget_ms > 0).then(|| now + Duration::from_millis(u64::from(budget_ms)));
-    let cancel = CancelToken::new();
-    // Insert the table entry *before* admission so a client that polls
-    // immediately after `Accepted` always finds the job; [`refuse_submit`]
-    // removes it again if admission refuses.
-    shared.jobs.lock().insert(
-        id,
-        JobEntry {
-            state: JobState::Queued,
-            outcome: None,
-            submitted: now,
-            cancel: cancel.clone(),
-            deadline,
-            cancel_requested_at: None,
-            activity_at_check: None,
-            stalled_since: None,
-            escalated: false,
-            idem_key,
-        },
-    );
-    if idem_key != 0 {
-        // Claim the key after the table entry exists (so a racing
-        // duplicate that wins the claim can immediately poll the id) but
-        // before admission (so no two same-key submits both enqueue).
-        use std::collections::hash_map::Entry;
-        match shared.idem.lock().entry(idem_key) {
-            Entry::Occupied(o) => {
-                let existing = *o.get();
-                shared.jobs.lock().remove(&id);
-                shared.metrics.idem_hits.incr();
-                return Err(Response::Accepted { job: existing });
-            }
-            Entry::Vacant(v) => {
-                v.insert(id);
-            }
-        }
-    }
-    Ok(QueuedJob {
-        id,
-        spec,
-        enqueued: now,
-        cancel,
-        deadline,
-    })
-}
-
-/// Unwind [`prepare_submit`]'s bookkeeping for a job admission refused.
-fn refuse_submit(shared: &Shared, id: u64) {
-    let entry = shared.jobs.lock().remove(&id);
-    if let Some(e) = entry {
-        if e.idem_key != 0 {
-            let mut idem = shared.idem.lock();
-            if idem.get(&e.idem_key) == Some(&id) {
-                idem.remove(&e.idem_key);
-            }
-        }
-    }
-}
-
-/// Admit one wakeup's worth of prepared submissions as a single batch —
-/// one queue lock, one dispatcher wakeup ([`JobQueue::try_push_batch`]).
-/// Returns one response per input job, in order: `Accepted` for the
-/// admitted prefix, `Rejected`/`Draining` (with bookkeeping unwound) for
-/// the rest.
-pub(crate) fn admit_batch(shared: &Shared, jobs: Vec<QueuedJob>) -> Vec<Response> {
-    if jobs.is_empty() {
-        return Vec::new();
-    }
-    let ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
-    let res = shared.queue.try_push_batch(jobs);
-    if res.admitted > 0 {
-        shared.metrics.accepted.add(res.admitted as u64);
-        shared.metrics.queue_depth.set(res.depth as u64);
-        shared.metrics.queue_peak.record_max(res.depth as u64);
-    }
-    ids.iter()
-        .enumerate()
-        .map(|(i, &id)| {
-            if i < res.admitted {
-                Response::Accepted { job: id }
-            } else {
-                refuse_submit(shared, id);
-                if res.closed {
-                    Response::Error {
-                        code: ErrorCode::Draining,
-                        msg: "server is draining".into(),
-                    }
-                } else {
-                    shared.metrics.rejected.incr();
-                    Response::Rejected {
-                        retry_after_ms: shared.retry_after_ms(),
-                    }
-                }
-            }
-        })
-        .collect()
-}
-
-/// What consuming a job's result found.
-enum Consume {
-    /// Terminal: the `JobResult` (entry and idem key consumed).
-    Taken(Response),
-    /// Exists but not terminal yet.
-    NotReady,
-    /// Never existed, or already consumed.
-    Unknown,
-}
-
-/// Take a terminal job's outcome out of the table (the fetch-or-await
-/// consumption shared by both request kinds).  The entry is removed only
-/// when an outcome is present; the idempotency window closes here.
-fn consume_result(shared: &Shared, job: u64) -> Consume {
-    let mut jobs = shared.jobs.lock();
-    match jobs.remove(&job) {
-        Some(JobEntry {
-            outcome: Some(out),
-            idem_key,
-            ..
-        }) => {
-            drop(jobs);
-            if idem_key != 0 {
-                // The idempotency window closes at fetch: a later
-                // resubmit with the same key is a new job.
-                let mut idem = shared.idem.lock();
-                if idem.get(&idem_key) == Some(&job) {
-                    idem.remove(&idem_key);
-                }
-            }
-            Consume::Taken(Response::JobResult {
-                job,
-                ok: out.ok,
-                wall_us: out.wall_us,
-                detail: out.detail,
-            })
-        }
-        Some(entry) => {
-            jobs.insert(job, entry);
-            Consume::NotReady
-        }
-        None => Consume::Unknown,
-    }
-}
-
-/// How an `Await` request resolves right now.
-pub(crate) enum AwaitDisposition {
-    /// Answer immediately (terminal result consumed, or `UnknownJob`).
-    Ready(Response),
-    /// The job is live but not terminal: park the connection; the
-    /// completion bus will answer it.
-    Pending,
-}
-
-/// Resolve an `Await`: consume like a `Fetch` if the job is terminal,
-/// park otherwise.  Called both at request time and again when the
-/// completion bus reports the job finished — the first parked waiter to
-/// get here consumes the outcome, later ones observe `UnknownJob`.
-pub(crate) fn try_complete_await(shared: &Shared, job: u64) -> AwaitDisposition {
-    match consume_result(shared, job) {
-        Consume::Taken(resp) => AwaitDisposition::Ready(resp),
-        Consume::NotReady => AwaitDisposition::Pending,
-        Consume::Unknown => AwaitDisposition::Ready(Response::Error {
-            code: ErrorCode::UnknownJob,
-            msg: format!("job {job}"),
-        }),
-    }
-}
-
-/// Handle every request kind that answers immediately and in request
-/// order.  `Submit` and `Await` are routed by the reactor before this
-/// point (they batch and park respectively); their arms here are
-/// defensive only.
-pub(crate) fn handle_sync_request(shared: &Shared, req: Request) -> Response {
-    match req {
-        Request::Cancel { job } => handle_cancel(shared, job),
-        Request::Poll { job } => {
-            shared.metrics.req_poll.incr();
-            match shared.jobs.lock().get(&job) {
-                Some(entry) => Response::Status {
-                    job,
-                    state: entry.state,
-                },
-                None => Response::Error {
-                    code: ErrorCode::UnknownJob,
-                    msg: format!("job {job}"),
-                },
-            }
-        }
-        Request::Fetch { job } => {
-            shared.metrics.req_fetch.incr();
-            match consume_result(shared, job) {
-                Consume::Taken(resp) => resp,
-                Consume::NotReady => Response::Error {
-                    code: ErrorCode::NotReady,
-                    msg: format!("job {job} still pending"),
-                },
-                Consume::Unknown => Response::Error {
-                    code: ErrorCode::UnknownJob,
-                    msg: format!("job {job}"),
-                },
-            }
-        }
-        Request::Stats => {
-            shared.metrics.req_stats.incr();
-            Response::Stats {
-                json: shared.stats_json(),
-            }
-        }
-        Request::Ping => {
-            shared.metrics.req_ping.incr();
-            Response::Pong
-        }
-        Request::Shutdown => {
-            shared.draining.store(true, Ordering::Release);
-            shared.queue.close();
-            Response::Draining {
-                outstanding: shared.outstanding(),
-            }
-        }
-        Request::Submit { .. } | Request::Await { .. } => Response::Error {
-            code: ErrorCode::BadPayload,
-            msg: "internal: submit/await bypassed the reactor".into(),
-        },
-    }
-}
-
-/// Apply a cancel request: queued jobs die in place, running jobs get
-/// their token fired and unwind at the next checkpoint, terminal jobs are
-/// left alone (cancel is idempotent).  Always answers with the job's
-/// state after the request took effect.
-fn handle_cancel(shared: &Shared, job: u64) -> Response {
-    shared.metrics.req_cancel.incr();
-    let mut now_terminal = false;
-    let state = {
-        let mut jobs = shared.jobs.lock();
-        let Some(entry) = jobs.get_mut(&job) else {
-            return Response::Error {
-                code: ErrorCode::UnknownJob,
-                msg: format!("job {job}"),
-            };
-        };
-        match entry.state {
-            JobState::Queued => {
-                // Fire the token anyway: the dispatcher may have already
-                // popped the job, and a fired token stops it pre-fork.
-                entry.cancel.cancel();
-                entry.state = JobState::Cancelled;
-                entry.outcome = Some(JobOutcome {
-                    ok: false,
-                    wall_us: 0,
-                    detail: "cancelled while queued".into(),
-                });
-                shared.metrics.cancelled.incr();
-                now_terminal = true;
-                JobState::Cancelled
-            }
-            JobState::Running => {
-                entry.cancel.cancel();
-                entry.state = JobState::Cancelling;
-                let now = Instant::now();
-                entry.cancel_requested_at = Some(now);
-                entry.stalled_since = Some(now);
-                entry.activity_at_check = Some(shared.rt.activity());
-                JobState::Cancelling
-            }
-            // Cancelling already, or terminal: nothing to do.
-            s => s,
-        }
-    };
-    if now_terminal {
-        // Outside the jobs lock: a parked Await on this job answers now.
-        shared.complete_job(job);
-    }
-    Response::Status { job, state }
-}
-
 /// Extract a human-readable message from a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -762,24 +412,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Each terminal transition is broadcast over the completion bus so
 /// reactors answer parked `Await`s without polling.
 fn dispatch_loop(shared: &Shared) {
+    let clock = shared.table.clock().clone();
     while let Some(qjob) = shared.queue.pop() {
-        let started = Instant::now();
+        let started = clock.now_ns();
         shared
             .metrics
             .lat_queue
-            .record(started.duration_since(qjob.enqueued).as_nanos() as u64);
+            .record(started.saturating_sub(qjob.enqueued_ns));
         shared.metrics.queue_depth.set(shared.queue.len() as u64);
-        {
-            let mut jobs = shared.jobs.lock();
-            match jobs.get_mut(&qjob.id) {
-                // Cancelled (or deadline-killed) while queued: already
-                // terminal with an outcome — skip without running (whoever
-                // made it terminal also notified the completion bus).
-                Some(entry) if entry.state.terminal() => continue,
-                Some(entry) => entry.state = JobState::Running,
-                // Terminal *and* fetched already; nothing left to do.
-                None => continue,
-            }
+        // Cancelled (or deadline-killed) while queued: already terminal
+        // with an outcome — skip without running (whoever made it
+        // terminal also notified the completion bus).
+        if !shared.table.begin_run(qjob.id) {
+            continue;
         }
         // Arm the runtime with this job's token so every region the job
         // forks — including ones nested inside kernels — checks it.
@@ -788,7 +433,7 @@ fn dispatch_loop(shared: &Shared) {
             execute(&shared.rt, &qjob.spec)
         }));
         shared.rt.set_cancel_token(None);
-        let exec_ns = started.elapsed().as_nanos() as u64;
+        let exec_ns = clock.now_ns().saturating_sub(started);
         shared.metrics.lat_exec.record(exec_ns);
         shared.note_exec_time(exec_ns);
         let (state, outcome) = match result {
@@ -808,26 +453,7 @@ fn dispatch_loop(shared: &Shared) {
             }
             // A fired token outranks the outcome `execute` assembled: the
             // job's regions unwound, so whatever it returned is partial.
-            Ok(out) => match qjob.cancel.reason() {
-                Some(CancelReason::Deadline) => (
-                    JobState::TimedOut,
-                    JobOutcome {
-                        ok: false,
-                        wall_us: out.wall_us,
-                        detail: "deadline exceeded".into(),
-                    },
-                ),
-                Some(CancelReason::Requested) => (
-                    JobState::Cancelled,
-                    JobOutcome {
-                        ok: false,
-                        wall_us: out.wall_us,
-                        detail: "cancelled".into(),
-                    },
-                ),
-                None if out.ok => (JobState::Done, out),
-                None => (JobState::Failed, out),
-            },
+            Ok(out) => terminal_for(qjob.cancel.reason(), out),
         };
         match state {
             JobState::Done => shared.metrics.completed.incr(),
@@ -835,21 +461,10 @@ fn dispatch_loop(shared: &Shared) {
             JobState::TimedOut => shared.metrics.timed_out.incr(),
             _ => shared.metrics.failed.incr(),
         }
-        {
-            let mut jobs = shared.jobs.lock();
-            if let Some(entry) = jobs.get_mut(&qjob.id) {
-                shared
-                    .metrics
-                    .lat_total
-                    .record(entry.submitted.elapsed().as_nanos() as u64);
-                if let Some(t) = entry.cancel_requested_at {
-                    shared
-                        .metrics
-                        .wd_cancel_latency
-                        .record(t.elapsed().as_nanos() as u64);
-                }
-                entry.state = state;
-                entry.outcome = Some(outcome);
+        if let Some(stamp) = shared.table.finish(qjob.id, state, outcome) {
+            shared.metrics.lat_total.record(stamp.total_ns);
+            if let Some(ns) = stamp.cancel_latency_ns {
+                shared.metrics.wd_cancel_latency.record(ns);
             }
         }
         // After the outcome is visible in the table (lock released): any
@@ -859,76 +474,45 @@ fn dispatch_loop(shared: &Shared) {
 }
 
 /// The watchdog: every tick it fires deadlines, watches cancelled jobs
-/// unwind, and escalates the ones that don't.
+/// unwind, escalates the ones that don't, and bounds the dedup map.
 ///
-/// Escalation is progress-aware: a cancelled job whose workers are still
-/// reaching synchronization constructs ([`Runtime::activity`] advancing)
-/// is unwinding and is left alone; one that is flat for the configured
-/// grace is wedged somewhere with no cooperative checkpoint — in
-/// practice, inside a persistently failing MRAPI primitive — and the
-/// backend is poisoned so the wedged wait flips to the native fallback at
-/// its next timeout lap, after which the job unwinds normally.
+/// The decisions live in [`JobTable::sweep`] (shared with `romp-sim`);
+/// this loop applies the production side effects: metric bumps,
+/// completion broadcasts for queued-deadline kills, and — for a job
+/// whose workers are flat past the grace — poisoning the backend so a
+/// wedged MRAPI wait flips to the native fallback at its next timeout
+/// lap, after which the job unwinds normally.
 fn watchdog_loop(shared: &Shared) {
     let tick = Duration::from_millis(shared.cfg.watchdog_interval_ms.max(1));
-    let grace = Duration::from_millis(shared.cfg.escalation_grace_ms.max(1));
+    let grace_ns = shared
+        .cfg
+        .escalation_grace_ms
+        .max(1)
+        .saturating_mul(1_000_000);
     while !shared.wd_stop.load(Ordering::Acquire) {
         shared.metrics.wd_ticks.incr();
-        let now = Instant::now();
-        let activity = shared.rt.activity();
-        let mut escalate = None;
-        let mut finished: Vec<u64> = Vec::new();
-        {
-            let mut jobs = shared.jobs.lock();
-            for (&id, entry) in jobs.iter_mut() {
-                match entry.state {
-                    JobState::Queued if entry.deadline.is_some_and(|d| now >= d) => {
-                        // Kill in place: the dispatcher skips terminal
-                        // entries when it eventually pops this job.
-                        entry.cancel.cancel_deadline();
-                        entry.state = JobState::TimedOut;
-                        entry.outcome = Some(JobOutcome {
-                            ok: false,
-                            wall_us: 0,
-                            detail: "deadline exceeded while queued".into(),
-                        });
-                        shared.metrics.wd_deadline_fired.incr();
-                        shared.metrics.timed_out.incr();
-                        finished.push(id);
-                    }
-                    JobState::Running
-                        if entry.deadline.is_some_and(|d| now >= d)
-                            && entry.cancel.cancel_deadline() =>
-                    {
-                        entry.state = JobState::Cancelling;
-                        entry.cancel_requested_at = Some(now);
-                        entry.stalled_since = Some(now);
-                        entry.activity_at_check = Some(activity);
-                        shared.metrics.wd_deadline_fired.incr();
-                    }
-                    JobState::Cancelling if !entry.escalated => {
-                        if entry.activity_at_check != Some(activity) {
-                            // Workers still reaching constructs: the job is
-                            // unwinding (or finishing); restart the clock.
-                            entry.activity_at_check = Some(activity);
-                            entry.stalled_since = Some(now);
-                        } else if entry
-                            .stalled_since
-                            .is_some_and(|t| now.duration_since(t) >= grace)
-                        {
-                            entry.escalated = true;
-                            escalate = Some(id);
-                        }
-                    }
-                    _ => {}
-                }
-            }
+        let report = shared.table.sweep(shared.rt.activity(), grace_ns);
+        let killed = report.deadline_killed.len() as u64;
+        if killed > 0 {
+            shared.metrics.wd_deadline_fired.add(killed);
+            shared.metrics.timed_out.add(killed);
+        }
+        if report.deadline_fired_running > 0 {
+            shared
+                .metrics
+                .wd_deadline_fired
+                .add(report.deadline_fired_running);
+        }
+        shared.metrics.dedup_size.set(report.dedup_size);
+        if report.dedup_evicted > 0 {
+            shared.metrics.dedup_evictions.add(report.dedup_evicted);
         }
         // Outside the jobs lock: queued-deadline kills are terminal with
         // outcomes — tell the reactors.
-        for id in finished {
-            shared.complete_job(id);
+        for id in &report.deadline_killed {
+            shared.complete_job(*id);
         }
-        if let Some(id) = escalate {
+        if let Some(id) = report.escalate {
             // Outside the jobs lock: poisoning takes backend-internal locks.
             if shared
                 .rt

@@ -1,0 +1,495 @@
+//! Simulated clients: seeded stop-and-wait state machines speaking the
+//! real wire protocol.
+//!
+//! Each client owns one connection and drives a job loop — submit
+//! (sometimes as a duplicate burst, exercising the idempotency map),
+//! maybe cancel, await the result, think, repeat — plus two specialists:
+//! a *stats hammer* that pipelines bursts of `Stats` requests to exercise
+//! write backpressure, and the *controller*, which sends `Shutdown` once
+//! every client is done (or early, when the scenario says so) so each run
+//! ends with a graceful drain.
+//!
+//! Clients are pure state machines: they never touch the event queue or
+//! the network directly, they return [`ClientCmd`]s for the world to
+//! apply.  Every response is checked against an expectation queue;
+//! anything unexplainable — a lost accepted job, a duplicate burst
+//! answered with two distinct ids, a malformed server frame — is recorded
+//! as a violation that fails the run.
+
+use std::collections::VecDeque;
+
+use mca_sync::SmallRng;
+use romp_epcc::Construct;
+use romp_serve::protocol::{ErrorCode, Request, Response};
+use romp_serve::reactor::RecvBuf;
+use romp_serve::JobSpec;
+
+/// An action the world applies on the client's behalf.
+#[derive(Debug)]
+pub enum ClientCmd {
+    /// Send bytes on the client→server link.
+    Send(Vec<u8>),
+    /// Close the client's write side.
+    SendEof,
+    /// Schedule a `ClientWake` at this absolute virtual time.
+    WakeAt(u64),
+}
+
+/// The stats-hammer specialisation (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct Hammer {
+    /// Bursts to send before finishing.
+    pub bursts: u32,
+    /// Pipelined `Stats` requests per burst.
+    pub pipeline: u32,
+}
+
+/// Per-client behaviour knobs (probabilities are per-mille).
+#[derive(Debug, Clone)]
+pub struct ClientProfile {
+    /// Jobs to run to completion (ignored by hammers).
+    pub jobs: u32,
+    /// P(cancel the job after acceptance).
+    pub cancel_pm: u64,
+    /// P(send the submit twice back-to-back in one payload).
+    pub dup_pm: u64,
+    /// P(re-send the submit *after* acceptance, alongside the await).
+    pub late_dup_pm: u64,
+    /// P(submit without an idempotency key).
+    pub nokey_pm: u64,
+    /// P(request an explicit deadline instead of the server default).
+    pub explicit_deadline_pm: u64,
+    /// Explicit deadline range, ms.
+    pub deadline_ms: (u32, u32),
+    /// Think time between jobs, virtual ns.
+    pub think_ns: (u64, u64),
+    /// Delay before the client "reads" a delivery (frees the server's
+    /// write window), virtual ns.
+    pub ack_delay_ns: u64,
+    /// Rejected-submit retries before giving the job up.
+    pub max_retries: u32,
+    /// Idempotency key base (disjoint per client).
+    pub idem_base: u64,
+    /// Whether this client is the shutdown controller.
+    pub controller: bool,
+    /// Controller only: P(send `Shutdown` right after its own jobs,
+    /// while other clients are still mid-flight).
+    pub shutdown_early_pm: u64,
+    /// Stats-hammer mode.
+    pub hammer: Option<Hammer>,
+}
+
+/// What a pending request slot is waiting for.
+#[derive(Debug)]
+enum Expect {
+    Submit,
+    LateDup(u64),
+    Cancel(u64),
+    Await(u64),
+    Stats,
+    Shutdown,
+}
+
+/// One simulated client (see module docs).
+pub struct SimClient {
+    /// The connection this client owns.
+    pub conn: u64,
+    /// Behaviour knobs.
+    pub profile: ClientProfile,
+    /// Inbound frame reassembly (the real decoder).
+    rbuf: RecvBuf,
+    expects: VecDeque<Expect>,
+    burst_left: u32,
+    burst_ids: Vec<u64>,
+    burst_retry_ms: Option<u32>,
+    burst_drained: bool,
+    retries: u32,
+    jobs_done: u32,
+    hammer_done: u32,
+    /// All work finished (controller may still owe the shutdown).
+    pub done: bool,
+    /// This client has sent `Shutdown` (controller paths).
+    pub sent_shutdown: bool,
+    /// Awaiting the `Draining` answer to our `Shutdown`.
+    pub shutdown_pending: bool,
+    /// Write side closed.
+    pub eof_sent: bool,
+    /// Invariant breaches observed by this client.
+    pub violations: Vec<String>,
+    /// Jobs resolved with a `JobResult`.
+    pub resolved: u64,
+    /// Resolved jobs whose result was `ok`.
+    pub resolved_ok: u64,
+    /// Jobs abandoned after `max_retries` rejections.
+    pub gave_up: u32,
+    /// Jobs abandoned because the server began draining.
+    pub abandoned: u32,
+    /// `Stats` responses received.
+    pub stats_seen: u64,
+}
+
+impl SimClient {
+    /// A fresh client on connection `conn`.
+    pub fn new(conn: u64, profile: ClientProfile) -> Self {
+        SimClient {
+            conn,
+            profile,
+            rbuf: RecvBuf::new(),
+            expects: VecDeque::new(),
+            burst_left: 0,
+            burst_ids: Vec::new(),
+            burst_retry_ms: None,
+            burst_drained: false,
+            retries: 0,
+            jobs_done: 0,
+            hammer_done: 0,
+            done: false,
+            sent_shutdown: false,
+            shutdown_pending: false,
+            eof_sent: false,
+            violations: Vec::new(),
+            resolved: 0,
+            resolved_ok: 0,
+            gave_up: 0,
+            abandoned: 0,
+            stats_seen: 0,
+        }
+    }
+
+    fn roll(&self, rng: &mut SmallRng, pm: u64) -> bool {
+        rng.gen_range(0, 1000) < pm
+    }
+
+    fn violation(&mut self, msg: String) {
+        self.violations
+            .push(format!("client conn={}: {msg}", self.conn));
+    }
+
+    /// Wake: start the next burst / job if idle.
+    pub fn on_wake(&mut self, now: u64, rng: &mut SmallRng) -> Vec<ClientCmd> {
+        let mut cmds = Vec::new();
+        if self.done || self.eof_sent || !self.expects.is_empty() {
+            return cmds;
+        }
+        if self.profile.hammer.is_some() {
+            self.hammer_burst(&mut cmds);
+        } else if self.jobs_done < self.profile.jobs {
+            self.submit_burst(now, rng, &mut cmds);
+        }
+        cmds
+    }
+
+    fn hammer_burst(&mut self, cmds: &mut Vec<ClientCmd>) {
+        let h = self.profile.hammer.expect("hammer profile");
+        let mut bytes = Vec::new();
+        for _ in 0..h.pipeline {
+            bytes.extend_from_slice(&Request::Stats.encode());
+            self.expects.push_back(Expect::Stats);
+        }
+        cmds.push(ClientCmd::Send(bytes));
+    }
+
+    fn submit_burst(&mut self, now: u64, rng: &mut SmallRng, cmds: &mut Vec<ClientCmd>) {
+        let _ = now;
+        let idem_key = if self.roll(rng, self.profile.nokey_pm) {
+            0
+        } else {
+            self.profile.idem_base + u64::from(self.jobs_done) + 1
+        };
+        let deadline_ms = if self.roll(rng, self.profile.explicit_deadline_pm) {
+            let (lo, hi) = self.profile.deadline_ms;
+            rng.gen_range(u64::from(lo), u64::from(hi) + 1) as u32
+        } else {
+            0
+        };
+        let req = Request::Submit {
+            spec: JobSpec::Epcc {
+                construct: Construct::Barrier,
+                threads: 2,
+                inner_reps: 8,
+            },
+            deadline_ms,
+            idem_key,
+        };
+        let mut bytes = req.encode();
+        self.expects.push_back(Expect::Submit);
+        self.burst_left = 1;
+        if idem_key != 0 && self.roll(rng, self.profile.dup_pm) {
+            // The duplicate-burst probe: both copies land in one service
+            // pass, the second must answer Rejected (pending) or the
+            // same id (admitted) — never a second job.
+            bytes.extend_from_slice(&req.encode());
+            self.expects.push_back(Expect::Submit);
+            self.burst_left = 2;
+        }
+        self.burst_ids.clear();
+        self.burst_retry_ms = None;
+        self.burst_drained = false;
+        cmds.push(ClientCmd::Send(bytes));
+    }
+
+    /// Bytes delivered from the server.
+    pub fn on_bytes(&mut self, now: u64, rng: &mut SmallRng, bytes: &[u8]) -> Vec<ClientCmd> {
+        let mut cmds = Vec::new();
+        self.rbuf.extend(bytes);
+        loop {
+            match self.rbuf.next_frame() {
+                Ok(Some(body)) => match Response::decode(&body) {
+                    Ok(resp) => self.handle_response(now, rng, resp, &mut cmds),
+                    Err(e) => {
+                        self.violation(format!("server sent undecodable response: {e}"));
+                        break;
+                    }
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    self.violation(format!("server sent hostile frame: {e}"));
+                    break;
+                }
+            }
+        }
+        cmds
+    }
+
+    /// The server closed the connection.
+    pub fn on_server_eof(&mut self) {
+        if !self.done || self.shutdown_pending {
+            self.violation("server closed the connection mid-conversation".into());
+        }
+    }
+
+    /// Whether `resp` can answer `exp`.
+    fn compatible(exp: &Expect, resp: &Response) -> bool {
+        match exp {
+            Expect::Submit | Expect::LateDup(_) => matches!(
+                resp,
+                Response::Accepted { .. } | Response::Rejected { .. } | Response::Error { .. }
+            ),
+            Expect::Cancel(j) => match resp {
+                Response::Status { job, .. } => job == j,
+                Response::Error { .. } => true,
+                _ => false,
+            },
+            Expect::Await(j) => match resp {
+                Response::JobResult { job, .. } => job == j,
+                Response::Error { .. } => true,
+                _ => false,
+            },
+            Expect::Stats => matches!(resp, Response::Stats { .. } | Response::Error { .. }),
+            Expect::Shutdown => matches!(resp, Response::Draining { .. }),
+        }
+    }
+
+    /// Parked awaits answer in completion order, not request order, so
+    /// match the response against the first *compatible* expectation.
+    fn take_expect(&mut self, resp: &Response) -> Option<Expect> {
+        let pos = self
+            .expects
+            .iter()
+            .position(|e| Self::compatible(e, resp))?;
+        self.expects.remove(pos)
+    }
+
+    fn handle_response(
+        &mut self,
+        now: u64,
+        rng: &mut SmallRng,
+        resp: Response,
+        cmds: &mut Vec<ClientCmd>,
+    ) {
+        let Some(exp) = self.take_expect(&resp) else {
+            self.violation(format!("unsolicited response {resp:?}"));
+            return;
+        };
+        match exp {
+            Expect::Submit => {
+                self.burst_left = self.burst_left.saturating_sub(1);
+                match resp {
+                    Response::Accepted { job } => self.burst_ids.push(job),
+                    Response::Rejected { retry_after_ms } => {
+                        let prev = self.burst_retry_ms.unwrap_or(0);
+                        self.burst_retry_ms = Some(prev.max(retry_after_ms));
+                    }
+                    Response::Error {
+                        code: ErrorCode::Draining,
+                        ..
+                    } => self.burst_drained = true,
+                    other => self.violation(format!("submit answered {other:?}")),
+                }
+                if self.burst_left == 0 {
+                    self.finish_burst(now, rng, cmds);
+                }
+            }
+            Expect::LateDup(orig) => {
+                match resp {
+                    Response::Accepted { job } if job == orig => {}
+                    Response::Accepted { job } => {
+                        // The original was already consumed: the late dup
+                        // became a real job; it must be resolved too.
+                        self.expects.push_back(Expect::Await(job));
+                        cmds.push(ClientCmd::Send(Request::Await { job }.encode()));
+                    }
+                    Response::Rejected { .. }
+                    | Response::Error {
+                        code: ErrorCode::Draining,
+                        ..
+                    } => {}
+                    other => self.violation(format!("late dup answered {other:?}")),
+                }
+                // If this was the last resolution-bearing expectation,
+                // the logical job is finished (see `Expect::Await`).
+                if self.resolution_pending() == 0 {
+                    self.advance_job(now, rng, cmds);
+                }
+            }
+            Expect::Cancel(job) => match resp {
+                Response::Status { .. } => {}
+                other => self.violation(format!("cancel of job {job} answered {other:?}")),
+            },
+            Expect::Await(job) => match resp {
+                Response::JobResult { ok, .. } => {
+                    self.resolved += 1;
+                    if ok {
+                        self.resolved_ok += 1;
+                    }
+                    if self.resolution_pending() == 0 {
+                        self.advance_job(now, rng, cmds);
+                    }
+                }
+                other => {
+                    self.violation(format!("accepted job {job} lost: await answered {other:?}"));
+                    if self.resolution_pending() == 0 {
+                        self.advance_job(now, rng, cmds);
+                    }
+                }
+            },
+            Expect::Stats => match resp {
+                Response::Stats { json } => {
+                    if !json.starts_with('{') {
+                        self.violation("stats response is not a JSON object".into());
+                    }
+                    self.stats_seen += 1;
+                    if self.expects.is_empty() {
+                        self.hammer_done += 1;
+                        let h = self.profile.hammer.expect("hammer profile");
+                        if self.hammer_done >= h.bursts {
+                            self.complete_work(rng, cmds);
+                        } else {
+                            let (lo, hi) = self.profile.think_ns;
+                            cmds.push(ClientCmd::WakeAt(now + rng.gen_range(lo, hi + 1)));
+                        }
+                    }
+                }
+                other => self.violation(format!("stats answered {other:?}")),
+            },
+            Expect::Shutdown => {
+                self.shutdown_pending = false;
+                if !self.eof_sent {
+                    self.eof_sent = true;
+                    cmds.push(ClientCmd::SendEof);
+                }
+            }
+        }
+    }
+
+    /// Expectations that still gate this logical job's resolution: a
+    /// pending `Await`, or a late duplicate whose answer may spawn one.
+    fn resolution_pending(&self) -> usize {
+        self.expects
+            .iter()
+            .filter(|e| matches!(e, Expect::Await(_) | Expect::LateDup(_)))
+            .count()
+    }
+
+    fn finish_burst(&mut self, now: u64, rng: &mut SmallRng, cmds: &mut Vec<ClientCmd>) {
+        if !self.burst_ids.is_empty() {
+            if self.burst_ids.iter().any(|&id| id != self.burst_ids[0]) {
+                self.violation(format!(
+                    "duplicate submit burst yielded distinct ids {:?} — one logical job ran twice",
+                    self.burst_ids
+                ));
+            }
+            let job = self.burst_ids[0];
+            self.burst_ids.clear();
+            let mut bytes = Vec::new();
+            if self.roll(rng, self.profile.cancel_pm) {
+                bytes.extend_from_slice(&Request::Cancel { job }.encode());
+                self.expects.push_back(Expect::Cancel(job));
+            }
+            bytes.extend_from_slice(&Request::Await { job }.encode());
+            self.expects.push_back(Expect::Await(job));
+            if self.roll(rng, self.profile.late_dup_pm) {
+                let req = Request::Submit {
+                    spec: JobSpec::Epcc {
+                        construct: Construct::Barrier,
+                        threads: 2,
+                        inner_reps: 8,
+                    },
+                    deadline_ms: 0,
+                    idem_key: self.profile.idem_base + u64::from(self.jobs_done) + 1,
+                };
+                bytes.extend_from_slice(&req.encode());
+                self.expects.push_back(Expect::LateDup(job));
+            }
+            cmds.push(ClientCmd::Send(bytes));
+        } else if self.burst_drained {
+            self.abandoned += self.profile.jobs - self.jobs_done;
+            self.complete_work(rng, cmds);
+        } else if let Some(ms) = self.burst_retry_ms.take() {
+            self.retries += 1;
+            if self.retries > self.profile.max_retries {
+                self.gave_up += 1;
+                self.advance_job(now, rng, cmds);
+            } else {
+                // The production client's jittered backoff, in virtual time.
+                let base = u64::from(ms.clamp(1, 250)) * 1_000_000;
+                let wake = now + rng.gen_range(base / 2, base + base / 2 + 1);
+                cmds.push(ClientCmd::WakeAt(wake));
+            }
+        } else {
+            self.violation("submit burst resolved with no outcome".into());
+            self.advance_job(now, rng, cmds);
+        }
+    }
+
+    fn advance_job(&mut self, now: u64, rng: &mut SmallRng, cmds: &mut Vec<ClientCmd>) {
+        self.jobs_done += 1;
+        self.retries = 0;
+        if self.jobs_done >= self.profile.jobs {
+            self.complete_work(rng, cmds);
+        } else {
+            let (lo, hi) = self.profile.think_ns;
+            cmds.push(ClientCmd::WakeAt(now + rng.gen_range(lo, hi + 1)));
+        }
+    }
+
+    fn complete_work(&mut self, rng: &mut SmallRng, cmds: &mut Vec<ClientCmd>) {
+        self.done = true;
+        if self.profile.controller {
+            if self.roll(rng, self.profile.shutdown_early_pm) {
+                self.send_shutdown(cmds);
+            }
+            // Otherwise the world triggers the shutdown once every
+            // client is done.
+        } else if !self.eof_sent {
+            self.eof_sent = true;
+            cmds.push(ClientCmd::SendEof);
+        }
+    }
+
+    /// Send `Shutdown` (controller; idempotent).
+    pub fn send_shutdown(&mut self, cmds: &mut Vec<ClientCmd>) {
+        if self.sent_shutdown || self.eof_sent {
+            return;
+        }
+        self.sent_shutdown = true;
+        self.shutdown_pending = true;
+        self.expects.push_back(Expect::Shutdown);
+        cmds.push(ClientCmd::Send(Request::Shutdown.encode()));
+    }
+
+    /// Whether this client still owes or expects traffic.
+    pub fn quiescent(&self) -> bool {
+        self.done && !self.shutdown_pending && self.expects.is_empty()
+    }
+}

@@ -1,0 +1,165 @@
+//! The simulator's serving core: the production `ServeCore` policy over
+//! virtual-clock state.
+//!
+//! [`SimCore`] owns the *same* building blocks the production server
+//! does — a [`JobTable`] (on the virtual clock), the bounded
+//! [`JobQueue`], and the `serve.*` [`Metrics`] resolved from a private
+//! registry — and implements [`ServeCore`], so admission, idempotency,
+//! fetch/await consumption, cancel and drain run the production code
+//! paths verbatim.  Only the accessors differ: single-threaded `Cell`s
+//! replace atomics, and completions are collected for the event loop to
+//! deliver instead of broadcast over mailboxes.
+
+use std::cell::{Cell, RefCell};
+
+use mca_platform::Clock;
+use romp_serve::session::ServeCore;
+use romp_serve::{DedupConfig, JobLimits, JobQueue, JobTable, Metrics};
+use romp_trace::MetricsRegistry;
+
+/// Construction knobs for a [`SimCore`].
+pub struct SimCoreConfig {
+    /// Admission queue capacity.
+    pub queue_cap: usize,
+    /// Deadline for jobs that do not request one (ms; 0 = none).
+    pub default_deadline_ms: u32,
+    /// Idempotency map bounds.
+    pub dedup: DedupConfig,
+}
+
+/// The simulated serving stack's shared state (see module docs).
+pub struct SimCore {
+    table: JobTable,
+    queue: JobQueue,
+    metrics: Metrics,
+    registry: MetricsRegistry,
+    limits: JobLimits,
+    default_deadline_ms: u32,
+    draining: Cell<bool>,
+    ewma_ns: Cell<u64>,
+    activity: Cell<u64>,
+    completions: RefCell<Vec<u64>>,
+}
+
+impl SimCore {
+    /// A core on `clock` (the run's virtual clock).
+    pub fn new(clock: Clock, cfg: SimCoreConfig) -> Self {
+        let registry = MetricsRegistry::new();
+        let metrics = Metrics::new(&registry);
+        SimCore {
+            table: JobTable::new(clock, cfg.dedup),
+            queue: JobQueue::new(cfg.queue_cap),
+            metrics,
+            registry,
+            limits: JobLimits {
+                allow_diag: true,
+                ..JobLimits::default()
+            },
+            default_deadline_ms: cfg.default_deadline_ms,
+            draining: Cell::new(false),
+            ewma_ns: Cell::new(0),
+            activity: Cell::new(0),
+            completions: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The run's metrics registry (invariant checks read it back).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Record one job's execution time into the retry-hint EWMA
+    /// (α = 1/8, the production dispatcher's smoothing).
+    pub fn note_exec_time(&self, exec_ns: u64) {
+        let prev = self.ewma_ns.get();
+        let next = if prev == 0 {
+            exec_ns
+        } else {
+            prev - prev / 8 + exec_ns / 8
+        };
+        self.ewma_ns.set(next);
+    }
+
+    /// Bump the activity counter (the watchdog's progress signal; the
+    /// production runtime bumps it per region/task milestone).
+    pub fn bump_activity(&self) {
+        self.activity.set(self.activity.get() + 1);
+    }
+
+    /// Drain the completion notifications queued by
+    /// [`ServeCore::on_complete`] since the last call.
+    pub fn take_completions(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.completions.borrow_mut())
+    }
+}
+
+impl ServeCore for SimCore {
+    fn table(&self) -> &JobTable {
+        &self.table
+    }
+
+    fn queue(&self) -> &JobQueue {
+        &self.queue
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn limits(&self) -> &JobLimits {
+        &self.limits
+    }
+
+    fn default_deadline_ms(&self) -> u32 {
+        self.default_deadline_ms
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.get()
+    }
+
+    fn begin_drain(&self) {
+        self.draining.set(true);
+        self.queue.close();
+    }
+
+    fn ewma_ns(&self) -> u64 {
+        self.ewma_ns.get()
+    }
+
+    fn activity(&self) -> u64 {
+        self.activity.get()
+    }
+
+    fn outstanding(&self) -> u64 {
+        let m = &self.metrics;
+        let done = m.completed.get() + m.failed.get() + m.cancelled.get() + m.timed_out.get();
+        m.accepted.get().saturating_sub(done)
+    }
+
+    fn stats_json(&self) -> String {
+        let m = &self.metrics;
+        format!(
+            "{{\"backend\":\"sim\",\"degraded\":false,\"draining\":{},\
+             \"queue_depth\":{},\"queue_cap\":{},\"outstanding\":{},\
+             \"accepted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\
+             \"cancelled\":{},\"timed_out\":{},\
+             \"metrics\":{}}}",
+            self.draining.get(),
+            self.queue.len(),
+            self.queue.cap(),
+            self.outstanding(),
+            m.accepted.get(),
+            m.rejected.get(),
+            m.completed.get(),
+            m.failed.get(),
+            m.cancelled.get(),
+            m.timed_out.get(),
+            self.registry.snapshot().to_json(),
+        )
+    }
+
+    fn on_complete(&self, job: u64) {
+        self.completions.borrow_mut().push(job);
+    }
+}
