@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run -p ompmca-bench --release --bin figure4 [-- --class S|W|A \
-//!     --threads 1,2,4,8,12,16,20,24 --kernels EP,CG,IS,MG,FT | --quick]
+//!     --threads 1,2,4,8,12,16,20,24 --kernels EP,CG,IS,MG,FT | --quick] \
+//!     [--shards N]
 //! ```
 //!
 //! The paper ran class A on a 24-hardware-thread T4240RDB.  This host may
@@ -17,7 +18,8 @@
 
 use mca_platform::vtime::CostModel;
 use ompmca_bench::{
-    figure4_point, figure4_threads, parse_threads, render_figure4_kernel, runtime_pair, Fig4Point,
+    figure4_point, figure4_threads, parse_threads, render_figure4_kernel, runtime_pair_sharded,
+    Fig4Point,
 };
 use romp_npb::{Class, NpbKernel};
 
@@ -25,6 +27,7 @@ fn main() {
     let mut threads = figure4_threads();
     let mut class = Class::W;
     let mut kernels: Vec<NpbKernel> = NpbKernel::all().to_vec();
+    let mut shards: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -49,6 +52,9 @@ fn main() {
                         other => panic!("unknown kernel {other}"),
                     })
                     .collect();
+            }
+            "--shards" => {
+                shards = Some(args.next().unwrap().parse().expect("bad --shards"));
             }
             "--quick" => {
                 threads = vec![1, 4, 24];
@@ -89,7 +95,7 @@ fn main() {
         NpbKernel::Ft.beta()
     );
 
-    let (native, mca) = runtime_pair(true);
+    let (native, mca) = runtime_pair_sharded(true, shards);
     let mut points: Vec<Fig4Point> = Vec::new();
     for &kernel in &kernels {
         for &t in &threads {
@@ -111,6 +117,21 @@ fn main() {
             }
         }
         println!("{}", render_figure4_kernel(&points, kernel, &threads));
+    }
+
+    // Shard-isolation evidence: with every kernel's work spawned from
+    // inside its own region, a sharded run should satisfy its demand
+    // locally — `steals.remote` stays 0 while `steals.local` may not.
+    // Report the split so per-shard runs are verified by scheduler
+    // counters, not wall-clock alone (see EXPERIMENTS.md).
+    for (label, rt) in [("native", &native), ("mca", &mca)] {
+        let st = rt.stats();
+        println!(
+            "{label} backend steal split: local={} remote={} (shards={})",
+            st.steals_local,
+            st.steals_remote,
+            shards.unwrap_or(1)
+        );
     }
 
     let failures: Vec<_> = points.iter().filter(|p| !p.verified).collect();

@@ -264,6 +264,7 @@ fn client_worker(
                 spec,
                 deadline_ms: 0,
                 idem_key: 0,
+                affinity: client_idx.wrapping_add(1),
             };
             let retry_until = Instant::now() + Duration::from_secs(60);
             // Send the submission, then read until its (request-ordered)

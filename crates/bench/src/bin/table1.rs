@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p ompmca-bench --release --bin table1 [-- --threads 4,8,12,16,20,24 \
-//!     --outer 20 --inner 256 | --quick] [--json PATH] [--report]
+//!     --outer 20 --inner 256 | --quick] [--shards N] [--json PATH] [--report]
 //! ```
 //!
 //! The paper normalises each construct's EPCC overhead on MCA-libGOMP by
@@ -17,7 +17,7 @@
 //! counts, not just runtime statistics.
 
 use ompmca_bench::{
-    measure_table1_grid, parse_threads, render_table1, render_table1_json, runtime_pair,
+    measure_table1_grid, parse_threads, render_table1, render_table1_json, runtime_pair_sharded,
     table1_threads,
 };
 
@@ -27,6 +27,7 @@ fn main() {
     let mut inner = 128usize;
     let mut json_path: Option<String> = None;
     let mut report = false;
+    let mut shards: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -41,6 +42,7 @@ fn main() {
                 outer = 3;
                 inner = 16;
             }
+            "--shards" => shards = Some(args.next().unwrap().parse().expect("bad --shards")),
             "--json" => json_path = Some(args.next().expect("--json needs a path")),
             "--report" => report = true,
             other => {
@@ -52,16 +54,17 @@ fn main() {
 
     println!("== OpenMP-MCA reproduction: Table I (EPCC overheads) ==");
     println!(
-        "host parallelism: {}; team sizes {:?}; outer={outer} inner={inner}",
+        "host parallelism: {}; team sizes {:?}; outer={outer} inner={inner} shards={}",
         std::thread::available_parallelism()
             .map(|v| v.get())
             .unwrap_or(1),
-        threads
+        threads,
+        shards.unwrap_or(1)
     );
     println!("note: team sizes above the host parallelism run oversubscribed;");
     println!("the ratio (MCA/native) is host-independent, which is what Table I reports.\n");
 
-    let (native, mca) = runtime_pair(false);
+    let (native, mca) = runtime_pair_sharded(false, shards);
     let cells = measure_table1_grid(&native, &mca, &threads, outer, inner);
 
     println!("-- absolute overheads (µs per construct, EPCC methodology) --");
@@ -90,7 +93,7 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let json = render_table1_json(&cells, &threads, outer, inner);
+        let json = render_table1_json(&cells, &threads, outer, inner, shards.unwrap_or(1));
         std::fs::write(&path, json).expect("write --json output");
         println!("\nwrote {path}");
     }

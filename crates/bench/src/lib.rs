@@ -45,12 +45,20 @@ pub fn figure4_threads() -> Vec<usize> {
 /// environment (`ROMP_TRACE`/`ROMP_TRACE_OUT`); when a trace file is
 /// requested it is suffixed per backend so the pair doesn't clobber it.
 pub fn runtime_pair(profiling: bool) -> (Runtime, Runtime) {
+    runtime_pair_sharded(profiling, None)
+}
+
+/// [`runtime_pair`] with an explicit shard-count override (the bench
+/// binaries' `--shards` flag).  `None` defers to the environment
+/// (`ROMP_SHARDS`) and the runtime's topology-derived default.
+pub fn runtime_pair_sharded(profiling: bool, shards: Option<usize>) -> (Runtime, Runtime) {
     let env = Config::from_env();
     let mk = |kind: BackendKind| {
         let mut cfg = Config::default()
             .with_backend(kind)
             .with_profiling(profiling)
             .with_tracing(env.trace);
+        cfg.shards = shards.or(env.shards);
         cfg.trace_out = env.trace_out.as_ref().map(|p| {
             let (stem, ext) = match p.rsplit_once('.') {
                 Some((s, e)) => (s, format!(".{e}")),
@@ -146,6 +154,7 @@ pub fn render_table1_json(
     threads: &[usize],
     outer: usize,
     inner: usize,
+    shards: usize,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -167,6 +176,7 @@ pub fn render_table1_json(
     ));
     s.push_str(&format!("  \"outer_reps\": {outer},\n"));
     s.push_str(&format!("  \"inner_reps\": {inner},\n"));
+    s.push_str(&format!("  \"shards\": {shards},\n"));
     s.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         s.push_str(&format!(
@@ -284,7 +294,7 @@ mod tests {
         for c in &cells {
             assert!(c.ratio().is_finite() && c.ratio() > 0.0);
         }
-        let json = render_table1_json(&cells, &[2], 2, 8);
+        let json = render_table1_json(&cells, &[2], 2, 8, 1);
         assert!(json.contains("\"construct\": \"Parallel\""));
         assert!(json.contains("\"ratio\":"));
         assert_eq!(json.matches("{\"construct\"").count(), 7);

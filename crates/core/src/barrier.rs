@@ -12,6 +12,15 @@
 //!   arrivals meet in its shared L2 before one representative crosses the
 //!   CoreNet fabric), release broadcast through the shared generation.
 //!
+//! On a sharded runtime (see [`mca_platform::ShardLayout`]) the team's
+//! barrier is built with [`Barrier::with_layout`] and becomes
+//! *hierarchical*: each shard counts its own arrivals on a private padded
+//! counter (the per-shard phase), the last arriver in each shard is
+//! elected as that shard's representative into a top-level counter, and
+//! the last representative fires the shared release.  Intra-shard
+//! arrivals thus stay inside the cluster's cache domain; exactly
+//! `num_shards - 1` + 1 writes cross it per phase.
+//!
 //! Waiting is spin-then-sleep with an *idle callback* so the team can drain
 //! explicit tasks while blocked — the OpenMP rule that barriers are task
 //! scheduling points.  The sleep path uses a condition variable with a
@@ -22,6 +31,7 @@ use std::hint;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use mca_platform::ShardLayout;
 use mca_sync::{CachePadded, Condvar, Mutex as PlMutex};
 
 /// Barrier algorithm selector.
@@ -129,6 +139,18 @@ enum Algo {
         /// children that actually exist).
         expected: Vec<Vec<usize>>,
     },
+    /// Two-level shard hierarchy: per-shard arrival counters electing one
+    /// representative each into a top-level counter.
+    Hier {
+        /// `shard_of[tid]` — which per-shard counter `tid` arrives at.
+        shard_of: Vec<usize>,
+        /// Arrivals per shard, padded so shards don't share lines.
+        shard_arrived: Vec<CachePadded<AtomicUsize>>,
+        /// Members per shard (the per-shard arrival target).
+        shard_expected: Vec<usize>,
+        /// Representatives arrived at the top level.
+        top_arrived: CachePadded<AtomicUsize>,
+    },
 }
 
 impl Barrier {
@@ -177,6 +199,35 @@ impl Barrier {
             release: Release::new(),
             algo,
         }
+    }
+
+    /// Build the barrier for a sharded team: hierarchical (per-shard
+    /// phase + top-level representative phase) whenever the layout has
+    /// more than one shard, falling back to `kind` on a single shard.
+    pub fn with_layout(n: usize, kind: BarrierKind, layout: &ShardLayout) -> Self {
+        if layout.num_shards() <= 1 || layout.num_members() != n {
+            return Barrier::new(n, kind);
+        }
+        let num_shards = layout.num_shards();
+        Barrier {
+            n,
+            release: Release::new(),
+            algo: Algo::Hier {
+                shard_of: (0..n).map(|tid| layout.shard_of(tid)).collect(),
+                shard_arrived: (0..num_shards)
+                    .map(|_| CachePadded::new(AtomicUsize::new(0)))
+                    .collect(),
+                shard_expected: (0..num_shards)
+                    .map(|s| layout.members_of(s).len())
+                    .collect(),
+                top_arrived: CachePadded::new(AtomicUsize::new(0)),
+            },
+        }
+    }
+
+    /// Whether this barrier uses the two-level shard hierarchy.
+    pub fn is_hierarchical(&self) -> bool {
+        matches!(self.algo, Algo::Hier { .. })
     }
 
     /// Number of participants.
@@ -250,6 +301,31 @@ impl Barrier {
                     }
                     idx = node;
                     level += 1;
+                }
+            }
+            Algo::Hier {
+                shard_of,
+                shard_arrived,
+                shard_expected,
+                top_arrived,
+            } => {
+                // Per-shard phase: arrivals stay on the shard's counter.
+                let s = shard_of[tid];
+                let got = shard_arrived[s].fetch_add(1, Ordering::AcqRel) + 1;
+                if got < shard_expected[s] {
+                    false
+                } else {
+                    // Elected representative: reset the shard phase (safe —
+                    // every shard-mate is parked in `await_change` until the
+                    // release fires) and carry one arrival to the top.
+                    shard_arrived[s].store(0, Ordering::Relaxed);
+                    let top = top_arrived.fetch_add(1, Ordering::AcqRel) + 1;
+                    if top == shard_arrived.len() {
+                        top_arrived.store(0, Ordering::Relaxed);
+                        true
+                    } else {
+                        false
+                    }
                 }
             }
         };
@@ -380,5 +456,76 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_participants_rejected() {
         Barrier::new(0, BarrierKind::Centralized);
+    }
+
+    /// `phase_check` against a hierarchical barrier built from a layout.
+    fn hier_phase_check(shards: usize, n: usize, rounds: u64) {
+        let layout = ShardLayout::uniform(shards, n);
+        let b = Arc::new(Barrier::with_layout(n, BarrierKind::Centralized, &layout));
+        assert_eq!(b.is_hierarchical(), layout.num_shards() > 1);
+        let phase = Arc::new(Au64::new(0));
+        let errs = Arc::new(Au64::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|tid| {
+                let b = Arc::clone(&b);
+                let phase = Arc::clone(&phase);
+                let errs = Arc::clone(&errs);
+                thread::spawn(move || {
+                    for r in 0..rounds {
+                        phase.fetch_add(1, Ordering::SeqCst);
+                        b.wait(tid);
+                        if phase.load(Ordering::SeqCst) < (r + 1) * n as u64 {
+                            errs.fetch_add(1, Ordering::SeqCst);
+                        }
+                        b.wait(tid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            errs.load(Ordering::SeqCst),
+            0,
+            "{shards}-shard hierarchical barrier leaked a thread through"
+        );
+        assert_eq!(phase.load(Ordering::SeqCst), rounds * n as u64);
+    }
+
+    #[test]
+    fn hierarchical_is_a_barrier_at_1_2_4_shards() {
+        for shards in [1, 2, 4] {
+            hier_phase_check(shards, 8, 50);
+        }
+    }
+
+    #[test]
+    fn hierarchical_uneven_shards() {
+        // 7 members over 4 shards: shard 0..2 get 2 members, shard 3 one —
+        // a single-member shard elects itself every phase.
+        hier_phase_check(4, 7, 30);
+        hier_phase_check(2, 3, 30);
+    }
+
+    #[test]
+    fn hierarchical_cancel_unblocks_waiters() {
+        let layout = ShardLayout::uniform(2, 4);
+        let b = Arc::new(Barrier::with_layout(4, BarrierKind::Centralized, &layout));
+        let b2 = Arc::clone(&b);
+        let h = thread::spawn(move || b2.wait(1));
+        thread::sleep(Duration::from_millis(10));
+        b.cancel();
+        h.join().unwrap();
+        // Post-cancel arrivals fall straight through.
+        b.wait(0);
+        b.wait(2);
+    }
+
+    #[test]
+    fn single_shard_layout_falls_back_to_kind() {
+        let layout = ShardLayout::single(4);
+        let b = Barrier::with_layout(4, BarrierKind::Tree { arity: 2 }, &layout);
+        assert!(!b.is_hierarchical());
     }
 }

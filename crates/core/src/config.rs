@@ -9,6 +9,7 @@
 //! | `OMP_DYNAMIC`      | allow the runtime to shrink teams         |
 //! | `ROMP_BACKEND`     | `native` or `mca` (reproduction's switch) |
 //! | `ROMP_BARRIER`     | `centralized` or `tree[:arity]`           |
+//! | `ROMP_SHARDS`      | force the runtime shard count (see [`Config::shards`]) |
 //! | `ROMP_LOCK_TIMEOUT_MS` | per-attempt MRAPI lock wait before a deadlock report |
 //! | `ROMP_RETRY_ATTEMPTS`  | bounded retries for transient MRAPI statuses |
 //! | `ROMP_FAULT_SEED`  | seed a deterministic MRAPI fault schedule |
@@ -65,6 +66,13 @@ pub struct Config {
     pub dynamic: bool,
     /// Barrier algorithm for all teams.
     pub barrier: BarrierKind,
+    /// Force the runtime shard count (`ROMP_SHARDS`, `--shards N` on the
+    /// serve binary).  `None` derives shards from the topology handed to
+    /// [`crate::Runtime::with_topology`] — one shard per cluster in use —
+    /// or runs unsharded when no topology was given.  Values are clamped
+    /// to the team size at team construction, so `shards: Some(4)` on a
+    /// 2-thread team yields 2 shards.
+    pub shards: Option<usize>,
     /// Collect per-worker CPU-time profiles for the virtual-time engine.
     pub profiling: bool,
     /// How long one MRAPI lock acquisition may wait before the runtime
@@ -95,6 +103,7 @@ impl Default for Config {
             runtime_schedule: Schedule::Static { chunk: None },
             dynamic: false,
             barrier: BarrierKind::Centralized,
+            shards: None,
             profiling: false,
             lock_timeout: Duration::from_millis(100),
             retry: RetryPolicy::default(),
@@ -157,6 +166,11 @@ impl Config {
                 cfg.trace_out = Some(path);
             }
         }
+        if let Some(n) = get("ROMP_SHARDS").and_then(|s| s.trim().parse::<usize>().ok()) {
+            if n > 0 {
+                cfg.shards = Some(n);
+            }
+        }
         if let Some(b) = get("ROMP_BARRIER") {
             let b = b.trim().to_ascii_lowercase();
             if b == "centralized" {
@@ -188,6 +202,12 @@ impl Config {
     /// Builder: set the barrier algorithm.
     pub fn with_barrier(mut self, kind: BarrierKind) -> Self {
         self.barrier = kind;
+        self
+    }
+
+    /// Builder: force the runtime shard count (overrides any topology).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
         self
     }
 
@@ -272,12 +292,14 @@ mod tests {
             ("OMP_SCHEDULE", "dynamic,4"),
             ("OMP_DYNAMIC", "true"),
             ("ROMP_BARRIER", "tree:8"),
+            ("ROMP_SHARDS", "3"),
         ]));
         assert_eq!(c.backend, BackendKind::Mca);
         assert_eq!(c.num_threads, Some(12));
         assert_eq!(c.runtime_schedule, Schedule::Dynamic { chunk: 4 });
         assert!(c.dynamic);
         assert_eq!(c.barrier, BarrierKind::Tree { arity: 8 });
+        assert_eq!(c.shards, Some(3));
     }
 
     #[test]
@@ -287,9 +309,11 @@ mod tests {
             ("OMP_NUM_THREADS", "0"),
             ("OMP_SCHEDULE", "chaotic"),
             ("ROMP_BARRIER", "tree:1"),
+            ("ROMP_SHARDS", "0"),
         ]));
         assert_eq!(c.backend, BackendKind::Native);
         assert_eq!(c.num_threads, None);
+        assert_eq!(c.shards, None, "zero shards ignored");
         assert_eq!(c.runtime_schedule, Schedule::Static { chunk: None });
         assert_eq!(
             c.barrier,
@@ -343,9 +367,11 @@ mod tests {
             .with_backend(BackendKind::Mca)
             .with_num_threads(6)
             .with_barrier(BarrierKind::Tree { arity: 2 })
+            .with_shards(2)
             .with_profiling(true);
         assert_eq!(c.backend, BackendKind::Mca);
         assert_eq!(c.num_threads, Some(6));
+        assert_eq!(c.shards, Some(2));
         assert!(c.profiling);
     }
 }

@@ -25,6 +25,7 @@ use crate::worker::{ReduceOp, Worker};
 use crate::RompError;
 
 use mca_platform::vtime::RegionProfile;
+use mca_platform::{ShardLayout, Topology};
 
 thread_local! {
     /// Set while this thread is executing inside a parallel region, so a
@@ -99,6 +100,15 @@ pub(crate) struct RtInner {
     /// while armed.  Ambient rather than a `parallel` parameter because
     /// kernels fork regions internally and cannot thread one through.
     cancel: PlMutex<Option<CancelToken>>,
+    /// The placement topology handed to [`Runtime::with_topology`]:
+    /// shards every team by cluster.  `None` (and no `cfg.shards`
+    /// override) runs unsharded.  Kept outside `Config` — `Topology`
+    /// carries `f64` model parameters and is not `Eq`.
+    topology: Option<Arc<Topology>>,
+    /// The ambient affinity key (same discipline as `cancel`): armed by
+    /// the dispatcher before running a job, hashed to a home shard in
+    /// every team forked while armed.
+    affinity: PlMutex<Option<u64>>,
 }
 
 impl RtInner {
@@ -212,6 +222,8 @@ impl RtInner {
             profiling: AtomicBool::new(false),
             tracer: Arc::new(Tracer::new(false)),
             cancel: PlMutex::new(None),
+            topology: None,
+            affinity: PlMutex::new(None),
         })
     }
 
@@ -220,13 +232,32 @@ impl RtInner {
         self.cancel.lock().clone()
     }
 
+    /// The currently armed ambient affinity key, if any.
+    pub(crate) fn current_affinity(&self) -> Option<u64> {
+        *self.affinity.lock()
+    }
+
+    /// The shard layout a team of `size` gets: an explicit
+    /// `cfg.shards` override wins, then the placement topology (one
+    /// shard per cluster in use), else a single shard.
+    pub(crate) fn team_layout(&self, size: usize) -> ShardLayout {
+        match (self.cfg.shards, self.topology.as_deref()) {
+            (Some(s), _) => ShardLayout::uniform(s, size),
+            (None, Some(topo)) => ShardLayout::from_topology(topo, size),
+            (None, None) => ShardLayout::single(size),
+        }
+    }
+
     fn new_team(&self, size: usize) -> Result<Arc<TeamShared>, RompError> {
+        let layout = self.team_layout(size);
         Ok(Arc::new(TeamShared::new(
             size,
-            Barrier::new(size, self.cfg.barrier),
+            Barrier::with_layout(size, self.cfg.barrier, &layout),
             self.backend_alloc(TeamShared::reduce_words_len(size))?,
             Arc::clone(&self.tracer),
             self.current_cancel(),
+            layout,
+            self.current_affinity(),
         )))
     }
 
@@ -327,7 +358,64 @@ impl Runtime {
             }
             Err(e) => return Err(e),
         };
-        Self::assemble(cfg, backend, started_degraded)
+        Self::assemble(cfg, backend, started_degraded, None)
+    }
+
+    /// Environment-configured runtime placed on a [`Topology`]: every
+    /// team is sharded by cluster — each shard gets its own task
+    /// injector, work stealing escalates outward (shard-mates first,
+    /// cross-shard only when the shard is dry), and teams spanning more
+    /// than one shard synchronize through a hierarchical barrier.  An
+    /// explicit [`Config::shards`] override (or `ROMP_SHARDS`) beats the
+    /// topology-derived count.
+    ///
+    /// ```
+    /// use mca_platform::Topology;
+    /// use romp::Runtime;
+    ///
+    /// // Three clusters of four dual-threaded cores: a 6-thread team
+    /// // round-robins the clusters, so it runs as 3 shards of 2.
+    /// let rt = Runtime::with_topology(Topology::t4240rdb()).unwrap();
+    /// assert_eq!(rt.shard_layout(6).num_shards(), 3);
+    ///
+    /// // Regions run normally on the sharded pool (hierarchical barrier
+    /// // underneath): steal counts land in `stats().steals_{local,remote}`.
+    /// let sum = rt.parallel_reduce_sum(6, 0..100, |i| i);
+    /// assert_eq!(sum, 4950);
+    /// ```
+    pub fn with_topology(topo: Topology) -> Result<Self, RompError> {
+        Self::with_config_and_topology(Config::from_env(), topo)
+    }
+
+    /// [`Runtime::with_topology`] with an explicit [`Config`].
+    ///
+    /// ```
+    /// use mca_platform::Topology;
+    /// use romp::{Config, Runtime};
+    ///
+    /// // --shards style override: the config wins over the topology.
+    /// let rt = Runtime::with_config_and_topology(
+    ///     Config::default().with_shards(2),
+    ///     Topology::t4240rdb(),
+    /// ).unwrap();
+    /// assert_eq!(rt.shard_layout(8).num_shards(), 2);
+    /// ```
+    pub fn with_config_and_topology(cfg: Config, topo: Topology) -> Result<Self, RompError> {
+        let mut started_degraded = false;
+        let backend: Arc<dyn Backend> = match make_backend(&cfg) {
+            Ok(be) => Arc::from(be),
+            Err(e) if cfg.backend != BackendKind::Native => {
+                eprintln!(
+                    "romp[WARN] backend={} failed to initialize ({e}); \
+                     falling back to backend=native",
+                    cfg.backend.label()
+                );
+                started_degraded = true;
+                Arc::new(NativeBackend::new())
+            }
+            Err(e) => return Err(e),
+        };
+        Self::assemble(cfg, backend, started_degraded, Some(Arc::new(topo)))
     }
 
     /// Construction on a caller-built backend (targeted fault tests,
@@ -337,10 +425,15 @@ impl Runtime {
         cfg: Config,
         backend: Box<dyn Backend>,
     ) -> Result<Self, RompError> {
-        Self::assemble(cfg, Arc::from(backend), false)
+        Self::assemble(cfg, Arc::from(backend), false, None)
     }
 
-    fn assemble(cfg: Config, backend: Arc<dyn Backend>, degraded: bool) -> Result<Self, RompError> {
+    fn assemble(
+        cfg: Config,
+        backend: Arc<dyn Backend>,
+        degraded: bool,
+        topology: Option<Arc<Topology>>,
+    ) -> Result<Self, RompError> {
         // If the backend cannot even produce the criticals guard it is
         // poisoned already; the first region boundary will swap it out.
         let guard = backend.new_lock().unwrap_or_else(|_| native_lock());
@@ -363,8 +456,23 @@ impl Runtime {
                 profiling: AtomicBool::new(profiling),
                 tracer,
                 cancel: PlMutex::new(None),
+                topology,
+                affinity: PlMutex::new(None),
             }),
         })
+    }
+
+    /// The placement topology this runtime was built on, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.inner.topology.as_deref()
+    }
+
+    /// The [`ShardLayout`] a team of `team_size` would get (0 = the
+    /// default team size): the `shards` config override, else the
+    /// topology's cluster placement, else one shard.
+    pub fn shard_layout(&self, team_size: usize) -> ShardLayout {
+        let n = self.normalize_team(team_size);
+        self.inner.team_layout(n)
     }
 
     /// Which backend this runtime currently uses (reflects degradation:
@@ -542,6 +650,14 @@ impl Runtime {
             team.counters.tasks.load(Ordering::Relaxed),
             Ordering::Relaxed,
         );
+        self.inner.stats.steals_local.fetch_add(
+            team.counters.steals_local.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.inner.stats.steals_remote.fetch_add(
+            team.counters.steals_remote.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         if profiling {
             let cpu: Vec<u64> = team
                 .cpu_ns
@@ -598,6 +714,8 @@ impl Runtime {
             words,
             Arc::clone(&self.inner.tracer),
             self.inner.current_cancel(),
+            ShardLayout::single(1),
+            self.inner.current_affinity(),
         ));
         let _ = self.run_team_of_one(team, erase_region_fn(f));
     }
@@ -726,6 +844,30 @@ impl Runtime {
         *self.inner.cancel.lock() = token;
     }
 
+    /// Arm (or clear, with `None`) the ambient affinity key — the same
+    /// discipline as [`Runtime::set_cancel_token`]: a dispatcher arms the
+    /// job's key before running it and clears it afterwards.  While
+    /// armed, every forked team hashes the key to a *home shard*
+    /// ([`ShardLayout::shard_for_key`]); explicit tasks spawned by
+    /// members outside the home shard are routed to its injector, so the
+    /// job's task graph concentrates where its cache state lives.
+    /// Meaningless (and free) on an unsharded runtime.
+    ///
+    /// ```
+    /// use romp::{Config, Runtime};
+    ///
+    /// let rt = Runtime::with_config(Config::default().with_shards(2)).unwrap();
+    /// rt.set_affinity(Some(42));
+    /// rt.parallel(4, |w| {
+    ///     w.task(|| { /* routed toward shard_for_key(42) */ });
+    ///     w.taskwait();
+    /// });
+    /// rt.set_affinity(None);
+    /// ```
+    pub fn set_affinity(&self, key: Option<u64>) {
+        *self.inner.affinity.lock() = key;
+    }
+
     /// Externally poison the active backend so the next region boundary
     /// swaps in its fallback ([`Backend::poison`]).  The watchdog's
     /// escalation path: work wedged inside backend primitives (e.g. an
@@ -823,6 +965,8 @@ impl Runtime {
             ("stats.singles", st.singles),
             ("stats.loops", st.loops),
             ("stats.tasks", st.tasks),
+            ("stats.steals.local", st.steals_local),
+            ("stats.steals.remote", st.steals_remote),
         ] {
             if v > 0 {
                 s.metrics.counters.push((name.to_string(), v));

@@ -23,6 +23,8 @@ pub struct RuntimeStats {
     pub(crate) singles: AtomicU64,
     pub(crate) loops: AtomicU64,
     pub(crate) tasks: AtomicU64,
+    pub(crate) steals_local: AtomicU64,
+    pub(crate) steals_remote: AtomicU64,
     /// Live liveness signal: bumped at construct *entry* (unlike the
     /// per-team counters above, which fold in only at region end), so an
     /// external supervisor can tell a region that is still reaching
@@ -45,6 +47,12 @@ pub struct StatsSnapshot {
     pub loops: u64,
     /// Explicit tasks run.
     pub tasks: u64,
+    /// Successful task steals that stayed inside the thief's shard.
+    pub steals_local: u64,
+    /// Successful task steals that crossed a shard boundary (zero on an
+    /// unsharded runtime, and on a sharded one whose work never ran dry
+    /// locally).
+    pub steals_remote: u64,
 }
 
 impl RuntimeStats {
@@ -57,6 +65,8 @@ impl RuntimeStats {
             singles: self.singles.load(Ordering::Relaxed),
             loops: self.loops.load(Ordering::Relaxed),
             tasks: self.tasks.load(Ordering::Relaxed),
+            steals_local: self.steals_local.load(Ordering::Relaxed),
+            steals_remote: self.steals_remote.load(Ordering::Relaxed),
         }
     }
 
@@ -68,6 +78,8 @@ impl RuntimeStats {
         self.singles.store(0, Ordering::Relaxed);
         self.loops.store(0, Ordering::Relaxed);
         self.tasks.store(0, Ordering::Relaxed);
+        self.steals_local.store(0, Ordering::Relaxed);
+        self.steals_remote.store(0, Ordering::Relaxed);
     }
 }
 

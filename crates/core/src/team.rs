@@ -14,16 +14,22 @@
 //!   per-construct state (dynamic/guided cursors, `single` arbitration,
 //!   reduction staging) without a team-global lock — see the type docs for
 //!   the claim/ready protocol;
-//! * the **two-level task scheduler** gives every member a bounded local
-//!   ring ([`mca_sync::deque::RingQueue`]) plus a shared overflow
-//!   [`Injector`]; idle members pop locally, then drain the injector, then
-//!   steal round-robin from their teammates.
+//! * the **sharded two-level task scheduler** gives every member a bounded
+//!   local ring ([`mca_sync::deque::RingQueue`]) and every *shard* (a
+//!   cluster-aligned member group from [`mca_platform::ShardLayout`]) its
+//!   own overflow [`Injector`]; idle members pop locally, drain their
+//!   shard's injector, steal round-robin from shard-mates, and only cross
+//!   the shard boundary — other shards' injectors, then rings — once every
+//!   local source is dry.  The local/remote split is counted in the
+//!   team's counters and, when tracing is armed, in the
+//!   `steals.{local,remote}` metrics.
 
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use mca_platform::ShardLayout;
 use mca_sync::deque::{Injector, RingQueue, Steal};
 use mca_sync::{CachePadded, Condvar, Mutex as PlMutex};
 use romp_trace::{EventKind, Tracer};
@@ -202,6 +208,11 @@ pub(crate) struct TeamCounters {
     pub singles: CachePadded<AtomicU64>,
     pub loops: CachePadded<AtomicU64>,
     pub tasks: CachePadded<AtomicU64>,
+    /// Ring steals from a shard-mate (stayed inside the cluster).
+    pub steals_local: CachePadded<AtomicU64>,
+    /// Work taken across a shard boundary (another shard's injector or
+    /// a member ring in another shard) — the fabric-crossing steals.
+    pub steals_remote: CachePadded<AtomicU64>,
 }
 
 /// Everything a team shares for the duration of one parallel region.
@@ -218,8 +229,16 @@ pub(crate) struct TeamShared {
     pub reduce_words: Arc<dyn SharedWords>,
     /// Per-member local task rings (work-stealing fast path).
     pub task_rings: Box<[CachePadded<RingQueue<Task>>]>,
-    /// Overflow + external submission queue for tasks.
-    pub task_injector: Injector<Task>,
+    /// How the members are grouped into shards (cluster-aligned when the
+    /// runtime was built from a topology; one shard otherwise).
+    pub layout: ShardLayout,
+    /// Per-shard overflow + external submission queues for tasks.
+    pub shard_injectors: Box<[Injector<Task>]>,
+    /// Home shard for this region's job, from the runtime's ambient
+    /// affinity key: plain `task()` spawns from members *outside* the
+    /// home shard are routed to its injector, keeping the job's task
+    /// graph concentrated where its cache state lives.
+    pub home_shard: Option<usize>,
     /// Tasks queued or running, not yet finished.
     pub outstanding_tasks: AtomicUsize,
     /// `ordered` cursor: the loop index allowed to run its ordered block.
@@ -255,7 +274,11 @@ impl TeamShared {
         reduce_words: Arc<dyn SharedWords>,
         tracer: Arc<Tracer>,
         cancel: Option<CancelToken>,
+        layout: ShardLayout,
+        affinity: Option<u64>,
     ) -> Self {
+        debug_assert_eq!(layout.num_members(), size);
+        let home_shard = affinity.map(|k| layout.shard_for_key(k));
         TeamShared {
             size,
             barrier,
@@ -264,7 +287,9 @@ impl TeamShared {
             task_rings: (0..size)
                 .map(|_| CachePadded::new(RingQueue::new(LOCAL_TASK_RING)))
                 .collect(),
-            task_injector: Injector::new(),
+            shard_injectors: (0..layout.num_shards()).map(|_| Injector::new()).collect(),
+            home_shard,
+            layout,
             outstanding_tasks: AtomicUsize::new(0),
             ordered_cursor: PlMutex::new(0),
             ordered_cv: Condvar::new(),
@@ -359,18 +384,84 @@ impl TeamShared {
         }
     }
 
-    /// Queue a task on behalf of member `tid`: local ring first, injector
-    /// on overflow.
+    /// Queue a task on behalf of member `tid`: local ring first, the
+    /// member's shard injector on overflow.  When the region runs under
+    /// an ambient affinity key and `tid` sits outside the job's home
+    /// shard, the task goes straight to the home shard's injector
+    /// instead, so the job's task graph stays concentrated there.
     pub(crate) fn push_task(&self, tid: usize, task: Task) {
         self.tracer.instant(EventKind::TaskSpawn, tid as u32, 0, 0);
         self.outstanding_tasks.fetch_add(1, Ordering::AcqRel);
-        if let Err(task) = self.task_rings[tid].push(task) {
-            self.task_injector.push(task);
+        match self.home_shard {
+            Some(home) if self.layout.shard_of(tid) != home => {
+                self.shard_injectors[home].push(task);
+            }
+            _ => {
+                if let Err(task) = self.task_rings[tid].push(task) {
+                    self.shard_injectors[self.layout.shard_of(tid)].push(task);
+                }
+            }
         }
     }
 
-    /// Take one queued task as member `tid`: own ring, then the injector,
-    /// then steal round-robin from teammates.
+    /// Queue a task with an explicit affinity key: the key hashes to a
+    /// home shard; a spawner already inside that shard keeps its local
+    /// ring fast path, anyone else submits into the home shard's
+    /// injector.
+    pub(crate) fn push_task_keyed(&self, tid: usize, key: u64, task: Task) {
+        self.tracer
+            .instant(EventKind::TaskSpawn, tid as u32, 0, key);
+        self.outstanding_tasks.fetch_add(1, Ordering::AcqRel);
+        let home = self.layout.shard_for_key(key);
+        if self.layout.shard_of(tid) == home {
+            if let Err(task) = self.task_rings[tid].push(task) {
+                self.shard_injectors[home].push(task);
+            }
+        } else {
+            self.shard_injectors[home].push(task);
+        }
+    }
+
+    /// Drain one shard's injector (absorbing `Retry` contention blips).
+    fn steal_injector(&self, shard: usize) -> Option<Task> {
+        loop {
+            match self.shard_injectors[shard].steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => return None,
+            }
+        }
+    }
+
+    /// Count (and, when tracing is armed, record) a successful steal.
+    fn note_steal(&self, tid: usize, victim: usize, remote: bool, armed: bool) {
+        if remote {
+            self.counters.steals_remote.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.steals_local.fetch_add(1, Ordering::Relaxed);
+        }
+        if armed {
+            self.tracer.instant(
+                EventKind::TaskSteal,
+                tid as u32,
+                victim as u64,
+                remote as u64,
+            );
+            let m = self.tracer.metrics();
+            m.counter("task.steal.hit").incr();
+            m.counter(if remote {
+                "steals.remote"
+            } else {
+                "steals.local"
+            })
+            .incr();
+        }
+    }
+
+    /// Take one queued task as member `tid`, escalating outward: own
+    /// ring → own shard's injector → shard-mates' rings (counted as
+    /// `steals.local`) → and only once every local source is dry, other
+    /// shards' injectors and rings (counted as `steals.remote`).
     pub(crate) fn take_task(&self, tid: usize) -> Option<Task> {
         if let Some(t) = self.task_rings[tid].pop() {
             return Some(t);
@@ -379,22 +470,40 @@ impl TeamShared {
         if armed {
             self.tracer.metrics().counter("task.steal.attempt").incr();
         }
-        loop {
-            match self.task_injector.steal() {
-                Steal::Success(t) => return Some(t),
-                Steal::Retry => continue,
-                Steal::Empty => break,
+        let my_shard = self.layout.shard_of(tid);
+        if let Some(t) = self.steal_injector(my_shard) {
+            return Some(t);
+        }
+        let mates = self.layout.members_of(my_shard);
+        let my_pos = mates.iter().position(|&m| m == tid).unwrap_or(0);
+        for k in 1..mates.len() {
+            let victim = mates[(my_pos + k) % mates.len()];
+            if let Some(t) = self.task_rings[victim].pop() {
+                self.note_steal(tid, victim, false, armed);
+                return Some(t);
             }
         }
-        for k in 1..self.size {
-            let victim = (tid + k) % self.size;
-            if let Some(t) = self.task_rings[victim].pop() {
-                if armed {
-                    self.tracer
-                        .instant(EventKind::TaskSteal, tid as u32, victim as u64, 0);
-                    self.tracer.metrics().counter("task.steal.hit").incr();
+        // Local sources are dry: escalate across the shard boundary.
+        // Other shards' injectors first (their backlog is the cheapest
+        // remote work to claim), then their member rings.
+        let num_shards = self.layout.num_shards();
+        if num_shards > 1 {
+            for k in 1..num_shards {
+                let shard = (my_shard + k) % num_shards;
+                if let Some(t) = self.steal_injector(shard) {
+                    self.note_steal(tid, self.layout.members_of(shard)[0], true, armed);
+                    return Some(t);
                 }
-                return Some(t);
+            }
+            for k in 1..self.size {
+                let victim = (tid + k) % self.size;
+                if self.layout.shard_of(victim) == my_shard {
+                    continue;
+                }
+                if let Some(t) = self.task_rings[victim].pop() {
+                    self.note_steal(tid, victim, true, armed);
+                    return Some(t);
+                }
             }
         }
         None
@@ -623,14 +732,24 @@ mod tests {
     use crate::barrier::BarrierKind;
 
     pub(crate) fn mk_team(size: usize) -> Arc<TeamShared> {
+        mk_team_sharded(size, ShardLayout::single(size), None)
+    }
+
+    pub(crate) fn mk_team_sharded(
+        size: usize,
+        layout: ShardLayout,
+        affinity: Option<u64>,
+    ) -> Arc<TeamShared> {
         let be = NativeBackend::new();
         Arc::new(TeamShared::new(
             size,
-            Barrier::new(size, BarrierKind::Centralized),
+            Barrier::with_layout(size, BarrierKind::Centralized, &layout),
             be.alloc_shared_words(TeamShared::reduce_words_len(size))
                 .unwrap(),
             Arc::new(Tracer::new(false)),
             None,
+            layout,
+            affinity,
         ))
     }
 
@@ -690,11 +809,102 @@ mod tests {
             );
         }
         assert!(
-            !team.task_injector.is_empty(),
-            "overflow reached the injector"
+            !team.shard_injectors[0].is_empty(),
+            "overflow reached the shard injector"
         );
         assert!(team.drain_tasks(0));
         assert_eq!(hits.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn local_work_never_crosses_shards() {
+        // 4 members over 2 shards (round-robin: shard 0 = {0,2}, shard 1
+        // = {1,3}).  All work lives in shard 0; member 0 drains it all by
+        // popping its own ring and stealing from its shard-mate.  The
+        // remote counter must stay zero: local sources never ran dry
+        // while shard 0 still had work, and shard 1 never had any.
+        let team = mk_team_sharded(4, ShardLayout::uniform(2, 4), None);
+        let hits = Arc::new(AtomicU64::new(0));
+        for tid in [0usize, 2] {
+            for _ in 0..6 {
+                let h = Arc::clone(&hits);
+                team.push_task(
+                    tid,
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+            }
+        }
+        assert!(team.drain_tasks(0));
+        assert_eq!(hits.load(Ordering::Relaxed), 12);
+        assert!(
+            team.counters.steals_local.load(Ordering::Relaxed) > 0,
+            "member 0 must have stolen from shard-mate 2"
+        );
+        assert_eq!(
+            team.counters.steals_remote.load(Ordering::Relaxed),
+            0,
+            "no work ever crossed the shard boundary"
+        );
+    }
+
+    #[test]
+    fn starved_shard_steals_remotely() {
+        // All work pinned to shard 0; member 1 (shard 1) is starved and
+        // must escalate across the shard boundary to make progress.
+        let team = mk_team_sharded(4, ShardLayout::uniform(2, 4), None);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..8 {
+            let h = Arc::clone(&hits);
+            team.push_task(
+                0,
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        assert!(team.drain_tasks(1), "starved member found remote work");
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        assert!(
+            team.counters.steals_remote.load(Ordering::Relaxed) > 0,
+            "cross-shard steals keep a starved shard fed"
+        );
+    }
+
+    #[test]
+    fn keyed_tasks_land_on_home_shard() {
+        let layout = ShardLayout::uniform(4, 8);
+        let key = 0xFEEDu64;
+        let home = layout.shard_for_key(key);
+        let team = mk_team_sharded(8, layout.clone(), None);
+        // Spawn from a member of a *different* shard: the task must go
+        // to the home shard's injector, not the spawner's ring.
+        let spawner = layout.members_of((home + 1) % 4)[0];
+        team.push_task_keyed(spawner, key, Box::new(|| {}));
+        assert!(
+            !team.shard_injectors[home].is_empty(),
+            "keyed task staged on its home shard"
+        );
+        assert!(team.task_rings[spawner].pop().is_none());
+        // A home-shard member picks it up without a remote steal.
+        assert!(team.drain_tasks(layout.members_of(home)[0]));
+        assert_eq!(team.counters.steals_remote.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn ambient_affinity_routes_spawns_to_home_shard() {
+        let layout = ShardLayout::uniform(2, 4);
+        let key = 7u64;
+        let home = layout.shard_for_key(key);
+        let team = mk_team_sharded(4, layout.clone(), Some(key));
+        // A member outside the home shard spawns a plain task: the
+        // ambient key redirects it into the home shard's injector.
+        let outsider = layout.members_of((home + 1) % 2)[0];
+        team.push_task(outsider, Box::new(|| {}));
+        assert!(!team.shard_injectors[home].is_empty());
+        assert!(team.task_rings[outsider].pop().is_none());
+        assert!(team.drain_tasks(layout.members_of(home)[0]));
     }
 
     #[test]

@@ -122,6 +122,32 @@ impl<'a> Worker<'a> {
         self.tid == 0
     }
 
+    /// Which runtime shard this member belongs to (always 0 on an
+    /// unsharded runtime).
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicUsize, Ordering};
+    /// use romp::{Config, Runtime};
+    ///
+    /// let rt = Runtime::with_config(Config::default().with_shards(2)).unwrap();
+    /// let max_shard = AtomicUsize::new(0);
+    /// rt.parallel(4, |w| {
+    ///     assert!(w.shard_num() < w.num_shards());
+    ///     max_shard.fetch_max(w.shard_num(), Ordering::Relaxed);
+    /// });
+    /// assert_eq!(max_shard.into_inner(), 1, "4 members span both shards");
+    /// ```
+    #[inline]
+    pub fn shard_num(&self) -> usize {
+        self.team.layout.shard_of(self.tid)
+    }
+
+    /// How many shards this member's team is split into.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.team.layout.num_shards()
+    }
+
     fn next_seq(&self) -> u64 {
         let s = self.seq.get();
         self.seq.set(s + 1);
@@ -542,6 +568,38 @@ impl<'a> Worker<'a> {
     /// another member's stack.
     pub fn task(&self, f: impl FnOnce() + Send + 'static) {
         self.team.push_task(self.tid, Box::new(f));
+    }
+
+    /// [`Worker::task`] with an explicit affinity key: the key hashes to
+    /// a home shard ([`mca_platform::ShardLayout::shard_for_key`]) and
+    /// the task is queued there — on this member's own ring when it
+    /// already sits in the home shard, into the home shard's injector
+    /// otherwise.  Tasks sharing a key therefore share a cache domain;
+    /// other shards only run them by cross-shard stealing once their own
+    /// work is dry.  On an unsharded runtime this is exactly `task`.
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use std::sync::Arc;
+    /// use romp::{Config, Runtime};
+    ///
+    /// let rt = Runtime::with_config(Config::default().with_shards(4)).unwrap();
+    /// let ran = Arc::new(AtomicU64::new(0));
+    /// rt.parallel(8, |w| {
+    ///     if w.is_master() {
+    ///         for key in 0..16u64 {
+    ///             let ran = Arc::clone(&ran);
+    ///             w.task_with_affinity(key, move || {
+    ///                 ran.fetch_add(1, Ordering::Relaxed);
+    ///             });
+    ///         }
+    ///     }
+    ///     w.barrier(); // task scheduling point: all 16 complete here
+    /// });
+    /// assert_eq!(ran.load(Ordering::Relaxed), 16);
+    /// ```
+    pub fn task_with_affinity(&self, key: u64, f: impl FnOnce() + Send + 'static) {
+        self.team.push_task_keyed(self.tid, key, Box::new(f));
     }
 
     /// `#pragma omp taskloop`: split `range` into tasks of `grain`

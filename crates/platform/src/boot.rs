@@ -30,6 +30,7 @@ pub enum BootStage {
 /// One emitted event during bring-up.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BootEvent {
+    /// Bring-up stage the event belongs to.
     pub stage: BootStage,
     /// Console-style message.
     pub message: String,

@@ -31,7 +31,10 @@
 //!   synchronization cost models), used to regenerate the paper's Figure 4
 //!   speedup curves on a machine with fewer than 24 hardware threads;
 //! * [`boot`] — an illustrative simulation of the board bring-up flow the
-//!   paper describes in §4B (u-boot, TFTP kernel fetch, NFS root mount).
+//!   paper describes in §4B (u-boot, TFTP kernel fetch, NFS root mount);
+//! * [`shard`] — topology → runtime-shard placement: how the `romp`
+//!   runtime groups team members into cluster-aligned scheduling
+//!   domains with an affinity-key hash for home-shard dispatch.
 //!
 //! ## Quick start
 //!
@@ -48,11 +51,14 @@
 //! assert_eq!(tree.count_kind(mca_platform::resource::ResourceKind::Core), 12);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod boot;
 pub mod memory;
 pub mod partition;
 pub mod power;
 pub mod resource;
+pub mod shard;
 pub mod topology;
 pub mod vtime;
 
@@ -60,5 +66,6 @@ pub use memory::{MemoryMap, MemoryRegion, RegionClass};
 pub use partition::{Hypervisor, Partition, PartitionSpec};
 pub use power::{EnergyEstimate, PowerModel, PowerState};
 pub use resource::{ResourceAttr, ResourceKind, ResourceNode, ResourceTree};
+pub use shard::ShardLayout;
 pub use topology::{CacheLevel, CacheSpec, Cluster, Core, HwThread, Topology};
 pub use vtime::{Clock, CostModel, RegionProfile, VirtualClock, VirtualTimer};

@@ -37,6 +37,7 @@ impl RegionClass {
 pub struct MemoryRegion {
     /// Stable name, e.g. `"ddr0"`, `"cpc-sram"`, `"dsp-window"`.
     pub name: String,
+    /// How the region is reached (local DDR, on-chip SRAM, remote DMA).
     pub class: RegionClass,
     /// Base physical address in the modeled map.
     pub base: u64,
@@ -68,6 +69,7 @@ impl MemoryRegion {
 /// The full memory map of a modeled platform.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemoryMap {
+    /// All regions, in map order (DDR first, then SRAM, then windows).
     pub regions: Vec<MemoryRegion>,
 }
 

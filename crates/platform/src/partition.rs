@@ -37,12 +37,15 @@ pub enum GuestKind {
 /// A realized partition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
+    /// Unique partition name from the spec.
     pub name: String,
+    /// What the partition boots.
     pub guest: GuestKind,
     /// Hardware thread ids owned exclusively by this partition.
     pub hw_threads: Vec<usize>,
     /// Private memory window base/size in the platform map.
     pub mem_base: u64,
+    /// Size of the private memory window in bytes.
     pub mem_size: u64,
 }
 
@@ -50,9 +53,19 @@ pub struct Partition {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PartitionError {
     /// More hardware threads requested than remain unassigned.
-    InsufficientCpus { requested: usize, available: usize },
+    InsufficientCpus {
+        /// Hardware threads the spec asked for.
+        requested: usize,
+        /// Hardware threads still unassigned.
+        available: usize,
+    },
     /// More memory requested than remains in DDR.
-    InsufficientMemory { requested: u64, available: u64 },
+    InsufficientMemory {
+        /// Bytes the spec asked for.
+        requested: u64,
+        /// Bytes still unassigned.
+        available: u64,
+    },
     /// Partition names must be unique.
     DuplicateName(String),
     /// Zero CPUs or zero memory requested.

@@ -167,6 +167,7 @@ impl ResourceNode {
 /// A complete resource tree, as handed back by `mrapi_resources_get`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResourceTree {
+    /// The `System` node everything else hangs off.
     pub root: ResourceNode,
 }
 

@@ -33,6 +33,7 @@ impl CacheLevel {
 /// Parameters of one cache in the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSpec {
+    /// Where the cache sits in the hierarchy.
     pub level: CacheLevel,
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -103,9 +104,13 @@ pub struct Topology {
     pub name: String,
     /// Core clock frequency in Hz.
     pub clock_hz: u64,
+    /// Cache-sharing core clusters, in id order.
     pub clusters: Vec<Cluster>,
+    /// All cores, in id order.
     pub cores: Vec<Core>,
+    /// All hardware threads, in id order.
     pub hw_threads: Vec<HwThread>,
+    /// The coherency fabric joining the clusters.
     pub fabric: FabricSpec,
     /// Total DRAM bandwidth in bytes/second across all memory controllers.
     pub dram_bandwidth_bytes_per_s: f64,

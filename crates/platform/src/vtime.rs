@@ -220,6 +220,7 @@ impl RegionProfile {
 /// Board cost model parameters.  See the module docs for the formula.
 #[derive(Debug, Clone)]
 pub struct CostModel {
+    /// The board being modeled.
     pub topo: Topology,
     /// Per-worker relative speed when two workers share a dual-threaded core
     /// (1.0 = SMT is free; 0.5 = SMT gains nothing).

@@ -4,7 +4,7 @@
 //! romp-serve [--addr 127.0.0.1:7171] [--backend native|mca]
 //!            [--queue-cap N] [--max-job-threads N] [--threads N]
 //!            [--deadline-ms N] [--grace-ms N] [--reactors N]
-//!            [--allow-diag]
+//!            [--shards N] [--allow-diag]
 //! ```
 //!
 //! Binds, prints `romp-serve listening on <addr>`, and serves until a
@@ -20,7 +20,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: romp-serve [--addr HOST:PORT] [--backend native|mca] \
          [--queue-cap N] [--max-job-threads N] [--threads N] \
-         [--deadline-ms N] [--grace-ms N] [--reactors N] [--allow-diag]"
+         [--deadline-ms N] [--grace-ms N] [--reactors N] [--shards N] \
+         [--allow-diag]"
     );
     std::process::exit(2);
 }
@@ -34,6 +35,7 @@ fn main() {
     let mut default_deadline_ms = 0u32;
     let mut escalation_grace_ms: Option<u64> = None;
     let mut reactors = 1usize;
+    let mut shards: Option<usize> = None;
     let mut allow_diag = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +75,10 @@ fn main() {
                 reactors = need(i + 1).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--shards" => {
+                shards = Some(need(i + 1).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             "--allow-diag" => {
                 allow_diag = true;
                 i += 1;
@@ -85,6 +91,9 @@ fn main() {
     let mut cfg = Config::from_env().with_backend(backend);
     if let Some(n) = num_threads {
         cfg = cfg.with_num_threads(n);
+    }
+    if let Some(s) = shards {
+        cfg = cfg.with_shards(s);
     }
     let rt = match Runtime::with_config(cfg) {
         Ok(rt) => rt,

@@ -92,6 +92,9 @@ pub struct SubmitOptions {
     /// Idempotency key; non-zero makes the submission safely retryable
     /// (a duplicate returns the original job id).  `0` disables it.
     pub idem_key: u64,
+    /// Affinity key; non-zero pins the job's tasks to one runtime shard
+    /// so related jobs share caches.  `0` = no preference.
+    pub affinity: u64,
 }
 
 /// A connected client (one TCP stream, used serially).
@@ -194,6 +197,7 @@ impl Client {
             spec: *spec,
             deadline_ms: opts.deadline_ms,
             idem_key: opts.idem_key,
+            affinity: opts.affinity,
         };
         let resp = if opts.idem_key != 0 {
             self.call_retrying(&req)?

@@ -254,6 +254,7 @@ impl JobTable {
         default_deadline_ms: u32,
         limits: &JobLimits,
         idem_key: u64,
+        affinity: u64,
     ) -> Result<QueuedJob, StageRefusal> {
         if let Err(msg) = spec.validate(limits) {
             return Err(StageRefusal::Invalid(msg));
@@ -308,6 +309,7 @@ impl JobTable {
             enqueued_ns: now,
             cancel,
             deadline_ns,
+            affinity,
         })
     }
 
@@ -666,11 +668,11 @@ mod tests {
         let vc = VirtualClock::new(0);
         let t = table(vc.clock(), 16, 1_000_000_000);
         let limits = JobLimits::default();
-        let job = t.stage(spec(), 0, 0, &limits, 42).expect("first stage");
+        let job = t.stage(spec(), 0, 0, &limits, 42, 0).expect("first stage");
         // Duplicate while the original is staged but not admitted:
         // must NOT be handed the original's id (the id could evaporate
         // if admission fails — the exact lost-job race this PR fixes).
-        match t.stage(spec(), 0, 0, &limits, 42) {
+        match t.stage(spec(), 0, 0, &limits, 42, 0) {
             Err(StageRefusal::IdemPending) => {}
             other => panic!("expected IdemPending, got {other:?}"),
         }
@@ -680,12 +682,12 @@ mod tests {
         assert_eq!(t.retractions(), 1);
         assert_eq!(t.dedup_size(), 0);
         let retry = t
-            .stage(spec(), 0, 0, &limits, 42)
+            .stage(spec(), 0, 0, &limits, 42, 0)
             .expect("retry after retract");
         assert_ne!(retry.id, job.id);
         // After admission confirms, duplicates get the original id.
         t.confirm_admitted(&[retry.id]);
-        match t.stage(spec(), 0, 0, &limits, 42) {
+        match t.stage(spec(), 0, 0, &limits, 42, 0) {
             Err(StageRefusal::IdemAdmitted(id)) => assert_eq!(id, retry.id),
             other => panic!("expected IdemAdmitted, got {other:?}"),
         }
@@ -696,7 +698,7 @@ mod tests {
         let vc = VirtualClock::new(0);
         let t = table(vc.clock(), 16, 1_000_000);
         let limits = JobLimits::default();
-        let job = t.stage(spec(), 0, 0, &limits, 7).expect("stage");
+        let job = t.stage(spec(), 0, 0, &limits, 7, 0).expect("stage");
         t.confirm_admitted(&[job.id]);
         assert!(t.begin_run(job.id));
         t.finish(
@@ -729,7 +731,7 @@ mod tests {
         let mut terminal_ids = Vec::new();
         for key in 1..=3u64 {
             vc.advance_to(key * 1_000); // distinct terminal_at stamps
-            let job = t.stage(spec(), 0, 0, &limits, key).expect("stage");
+            let job = t.stage(spec(), 0, 0, &limits, key, 0).expect("stage");
             t.confirm_admitted(&[job.id]);
             assert!(t.begin_run(job.id));
             t.finish(
@@ -744,7 +746,7 @@ mod tests {
             terminal_ids.push(job.id);
         }
         // One live job: its key must survive any cap pressure.
-        let live = t.stage(spec(), 0, 0, &limits, 99).expect("stage live");
+        let live = t.stage(spec(), 0, 0, &limits, 99, 0).expect("stage live");
         t.confirm_admitted(&[live.id]);
         let report = t.sweep(0, 1_000_000_000);
         // 4 keys, cap 2 -> evict 2 oldest-terminal (keys 1 and 2).
@@ -765,9 +767,9 @@ mod tests {
         let vc = VirtualClock::new(0);
         let t = table(vc.clock(), 16, u64::MAX);
         let limits = JobLimits::default();
-        let queued = t.stage(spec(), 1, 0, &limits, 0).expect("stage queued");
-        let run_a = t.stage(spec(), 0, 0, &limits, 0).expect("stage a");
-        let run_b = t.stage(spec(), 0, 0, &limits, 0).expect("stage b");
+        let queued = t.stage(spec(), 1, 0, &limits, 0, 0).expect("stage queued");
+        let run_a = t.stage(spec(), 0, 0, &limits, 0, 0).expect("stage a");
+        let run_b = t.stage(spec(), 0, 0, &limits, 0, 0).expect("stage b");
         assert!(t.begin_run(run_a.id));
         assert!(t.begin_run(run_b.id));
         assert_eq!(t.cancel(run_a.id, 5), CancelOutcome::Cancelling);

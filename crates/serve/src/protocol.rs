@@ -84,6 +84,12 @@ pub enum Request {
         /// second `Submit` carrying the same key returns the original
         /// job id instead of enqueueing a duplicate.  `0` disables it.
         idem_key: u64,
+        /// Affinity key: a non-zero key pins the job's tasks to one
+        /// runtime shard (the key hashes to a home shard; see
+        /// `ShardLayout::shard_for_key`), so related jobs share caches.
+        /// `0` means "no preference" and leaves placement to the
+        /// spawning worker.
+        affinity: u64,
     },
     /// Ask for a job's current [`JobState`].
     Poll {
@@ -444,10 +450,12 @@ impl Request {
                 spec,
                 deadline_ms,
                 idem_key,
+                affinity,
             } => {
                 body.push(OP_SUBMIT);
                 body.extend_from_slice(&deadline_ms.to_be_bytes());
                 body.extend_from_slice(&idem_key.to_be_bytes());
+                body.extend_from_slice(&affinity.to_be_bytes());
                 encode_spec(&mut body, spec);
             }
             Request::Poll { job } => {
@@ -481,10 +489,12 @@ impl Request {
             OP_SUBMIT => {
                 let deadline_ms = cur.u32()?;
                 let idem_key = cur.u64()?;
+                let affinity = cur.u64()?;
                 Request::Submit {
                     spec: decode_spec(&mut cur)?,
                     deadline_ms,
                     idem_key,
+                    affinity,
                 }
             }
             OP_POLL => Request::Poll { job: cur.u64()? },
@@ -711,6 +721,7 @@ mod tests {
                 spec: arb_spec(rng),
                 deadline_ms: rng.next_u64() as u32,
                 idem_key: rng.next_u64(),
+                affinity: rng.next_u64(),
             },
             1 => Request::Poll {
                 job: rng.next_u64(),

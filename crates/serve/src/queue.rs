@@ -35,6 +35,10 @@ pub struct QueuedJob {
     /// Absolute deadline, clock-ns (admission time + requested or default
     /// budget); `None` when the job runs unbounded.
     pub deadline_ns: Option<u64>,
+    /// Affinity key from the submit frame; non-zero pins the job's tasks
+    /// to one runtime shard (the dispatcher arms it around execution).
+    /// `0` = no preference.
+    pub affinity: u64,
 }
 
 /// Why `try_push` refused.
@@ -202,6 +206,7 @@ mod tests {
             enqueued_ns: 0,
             cancel: CancelToken::new(),
             deadline_ns: None,
+            affinity: 0,
         }
     }
 

@@ -427,11 +427,17 @@ fn dispatch_loop(shared: &Shared) {
             continue;
         }
         // Arm the runtime with this job's token so every region the job
-        // forks — including ones nested inside kernels — checks it.
+        // forks — including ones nested inside kernels — checks it, and
+        // with its affinity key (when non-zero) so those regions' tasks
+        // stay on the key's home shard.
         shared.rt.set_cancel_token(Some(qjob.cancel.clone()));
+        if qjob.affinity != 0 {
+            shared.rt.set_affinity(Some(qjob.affinity));
+        }
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute(&shared.rt, &qjob.spec)
         }));
+        shared.rt.set_affinity(None);
         shared.rt.set_cancel_token(None);
         let exec_ns = clock.now_ns().saturating_sub(started);
         shared.metrics.lat_exec.record(exec_ns);

@@ -104,6 +104,7 @@ pub trait ServeCore {
         spec: JobSpec,
         deadline_ms: u32,
         idem_key: u64,
+        affinity: u64,
     ) -> Result<QueuedJob, Response> {
         if self.draining() {
             return Err(Response::Error {
@@ -117,6 +118,7 @@ pub trait ServeCore {
             self.default_deadline_ms(),
             self.limits(),
             idem_key,
+            affinity,
         ) {
             Ok(qjob) => Ok(qjob),
             Err(StageRefusal::Invalid(why)) => {
@@ -377,9 +379,10 @@ pub fn route_frames<C: ServeCore + ?Sized>(
                         spec,
                         deadline_ms,
                         idem_key,
+                        affinity,
                     }) => {
                         metrics.req_submit.incr();
-                        match core.prepare_submit(spec, deadline_ms, idem_key) {
+                        match core.prepare_submit(spec, deadline_ms, idem_key, affinity) {
                             Ok(qjob) => {
                                 batch.push(qjob);
                                 Some(PendingResp::Submit(batch.len() - 1))

@@ -34,6 +34,7 @@ fn sample_request(rng: &mut SmallRng) -> Request {
             spec: tiny_job(),
             deadline_ms: rng.next_u64() as u32 % 1000,
             idem_key: rng.next_u64(),
+            affinity: rng.next_u64(),
         },
         1 => Request::Poll {
             job: rng.next_u64() % 100,
@@ -209,6 +210,7 @@ fn pipelined_awaits_on_one_connection() {
             spec: tiny_job(),
             deadline_ms: 0,
             idem_key: 0,
+            affinity: 0,
         })
         .unwrap();
         // Submission answers are request-ordered; results interleave.

@@ -210,6 +210,7 @@ fn cancel_raced_against_every_job_state_settles_exactly_once() {
         let opts = SubmitOptions {
             deadline_ms: if rng.gen_index(0, 4) == 0 { 5_000 } else { 0 },
             idem_key: r + 1,
+            affinity: r % 3,
         };
         match c.submit_opts(&spec, opts).unwrap() {
             SubmitOutcome::Accepted(id) => {

@@ -210,6 +210,9 @@ impl SimClient {
             },
             deadline_ms,
             idem_key,
+            // Cycle through a few shard keys (0 = no preference) so the
+            // sharded submit path is exercised under simulation.
+            affinity: u64::from(self.jobs_done % 4),
         };
         let mut bytes = req.encode();
         self.expects.push_back(Expect::Submit);
@@ -427,6 +430,7 @@ impl SimClient {
                     },
                     deadline_ms: 0,
                     idem_key: self.profile.idem_base + u64::from(self.jobs_done) + 1,
+                    affinity: 0,
                 };
                 bytes.extend_from_slice(&req.encode());
                 self.expects.push_back(Expect::LateDup(job));

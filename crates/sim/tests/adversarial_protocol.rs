@@ -23,6 +23,7 @@ fn sample_requests() -> Vec<Request> {
             },
             deadline_ms: 250,
             idem_key: 0xDEAD_BEEF,
+            affinity: 0x5EED,
         },
         Request::Ping,
         Request::Poll { job: 1 },

@@ -136,6 +136,9 @@ pub fn chaos_config(kind: BackendKind, seed: u64) -> Config {
         })
         .with_tracing(env.trace);
     cfg.trace_out = env.trace_out;
+    // Sharding follows the environment too (`ROMP_SHARDS`), so the same
+    // fault schedules can be replayed against a sharded runtime.
+    cfg.shards = env.shards;
     cfg
 }
 

@@ -201,6 +201,10 @@ pub fn drive_cancel_storm(
                         },
                         // Unique non-zero key per (client, request).
                         idem_key: ((k as u64) << 32) | (r as u64 + 1),
+                        // Per-client shard key: each client's jobs share a
+                        // home shard, so the storm exercises both pinned
+                        // and cross-shard scheduling.
+                        affinity: k as u64 + 1,
                     };
                     match c.submit_with_retry_opts(&spec, opts, Duration::from_secs(60)) {
                         Ok(Some((id, _rejections))) => {
