@@ -3,9 +3,17 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16,64] [--requests N]
 //!         [--pipeline N] [--rate R] [--mix epcc|npb|mixed] [--json]
+//! loadgen --workers-sweep 0,1,2,4 [--server-bin PATH] [other flags]
 //! loadgen --addr HOST:PORT --ping
 //! loadgen --addr HOST:PORT --shutdown
 //! ```
+//!
+//! `--workers-sweep` runs one phase per pool width, spawning a fresh
+//! `romp-serve` child for each (`0` = the single-process baseline, `N>0`
+//! = `--workers N` cluster mode), waiting for its readiness line,
+//! driving the phase, and shutting it down — the `BENCH_cluster.json`
+//! scaling experiment.  The server binary is located next to this one
+//! unless `--server-bin` says otherwise.
 //!
 //! Each client thread owns one connection and keeps up to `--pipeline N`
 //! requests in flight on it: a submission is followed immediately by an
@@ -42,6 +50,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16,64] \
          [--requests N] [--pipeline N] [--rate R] [--mix epcc|npb|mixed] [--json]\n\
+         \x20      loadgen --workers-sweep 0,1,2,4 [--server-bin PATH] [flags]\n\
          \x20      loadgen --addr HOST:PORT --ping | --shutdown"
     );
     std::process::exit(2);
@@ -384,10 +393,66 @@ fn run_phase(
     }
 }
 
+/// Locate `romp-serve` next to this executable (cargo puts workspace
+/// binaries in one target directory).
+fn locate_server_bin() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    for d in [dir, dir.parent().unwrap_or(dir)] {
+        let cand = d.join("romp-serve");
+        if cand.is_file() {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+/// Launch a server for one `--workers-sweep` phase and wait for its
+/// readiness line.  Returns the child and the bound address.
+fn spawn_server(bin: &std::path::Path, workers: usize) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut cmd = std::process::Command::new(bin);
+    cmd.args(["--addr", "127.0.0.1:0"]);
+    if workers > 0 {
+        cmd.args(["--workers", &workers.to_string()]);
+    }
+    cmd.stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit());
+    let mut child = cmd.spawn().unwrap_or_else(|e| {
+        eprintln!("loadgen: spawn {} failed: {e}", bin.display());
+        std::process::exit(1);
+    });
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap_or_else(|e| {
+        eprintln!("loadgen: server readiness line: {e}");
+        std::process::exit(1);
+    });
+    let addr = match line.trim().strip_prefix("romp-serve listening on ") {
+        Some(a) => a.to_string(),
+        None => {
+            eprintln!("loadgen: unexpected server banner: {line:?}");
+            let _ = child.kill();
+            std::process::exit(1);
+        }
+    };
+    // Keep the pipe drained so the drain report never blocks the server.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        use std::io::Read;
+        let _ = reader.read_to_string(&mut sink);
+    });
+    (child, addr)
+}
+
 fn main() {
     let mut addr: Option<String> = None;
     let mut clients = 4usize;
     let mut sweep: Option<Vec<usize>> = None;
+    let mut workers_sweep: Option<Vec<usize>> = None;
+    let mut server_bin: Option<std::path::PathBuf> = None;
     let mut requests = 200u64;
     let mut rate = 0.0f64;
     let mut pipeline = 1u64;
@@ -419,6 +484,18 @@ fn main() {
                     .map(|t| t.trim().parse().ok().filter(|&n| n >= 1))
                     .collect();
                 sweep = Some(v.unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--workers-sweep" => {
+                let v: Option<Vec<usize>> = need(i + 1)
+                    .split(',')
+                    .map(|t| t.trim().parse().ok())
+                    .collect();
+                workers_sweep = Some(v.unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--server-bin" => {
+                server_bin = Some(need(i + 1).into());
                 i += 2;
             }
             "--requests" => {
@@ -457,6 +534,71 @@ fn main() {
             _ => usage(),
         }
     }
+    // Worker-pool scaling mode: one fresh server per phase.
+    if let Some(widths) = workers_sweep {
+        if ping || shutdown || sweep.is_some() || addr.is_some() || widths.is_empty() {
+            usage();
+        }
+        let bin = server_bin.or_else(locate_server_bin).unwrap_or_else(|| {
+            eprintln!("loadgen: romp-serve binary not found (pass --server-bin PATH)");
+            std::process::exit(1);
+        });
+        let mut phases: Vec<(usize, PhaseReport)> = Vec::new();
+        for &w in &widths {
+            if !json {
+                eprintln!(
+                    "loadgen: phase workers={w} clients={clients} requests={requests} \
+                     pipeline={pipeline} ..."
+                );
+            }
+            let (mut child, srv_addr) = spawn_server(&bin, w);
+            let report = run_phase(&srv_addr, mix, clients, requests, rate, pipeline);
+            if let Err(e) = Client::connect(srv_addr.as_str()).and_then(|mut c| c.shutdown()) {
+                eprintln!("loadgen: shutdown after workers={w} failed: {e}");
+            }
+            let status = child.wait().expect("server exit status");
+            if !status.success() {
+                eprintln!("loadgen: server (workers={w}) exited with {status}");
+                std::process::exit(1);
+            }
+            phases.push((w, report));
+        }
+        if json {
+            let mut s = String::from("{\n  \"benchmark\": \"cluster_loadgen\",\n");
+            s.push_str(&format!(
+                "  \"host_cores\": {},\n",
+                std::thread::available_parallelism()
+                    .map(|v| v.get())
+                    .unwrap_or(1)
+            ));
+            s.push_str(&format!("  \"mix\": \"{}\",\n", mix.label()));
+            s.push_str(&format!("  \"requests_per_phase\": {requests},\n"));
+            s.push_str(&format!("  \"clients\": {clients},\n"));
+            s.push_str(&format!("  \"pipeline\": {pipeline},\n"));
+            s.push_str("  \"phases\": [\n");
+            for (i, (w, r)) in phases.iter().enumerate() {
+                s.push_str(&format!("    {{\"workers\": {w}, "));
+                s.push_str(&r.to_json()[1..]);
+                s.push_str(if i + 1 == phases.len() { "\n" } else { ",\n" });
+            }
+            s.push_str("  ]\n}");
+            println!("{s}");
+        } else {
+            for (w, r) in &phases {
+                println!("workers={w:<2} {}", r.render());
+            }
+        }
+        let bad: u64 = phases.iter().map(|(_, r)| r.protocol_errors).sum();
+        let incomplete = phases
+            .iter()
+            .any(|(_, r)| r.completed != requests || r.failed_verification != 0);
+        if bad > 0 || incomplete {
+            eprintln!("loadgen: FAILED (protocol_errors={bad}, incomplete={incomplete})");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let addr = addr.unwrap_or_else(|| usage());
 
     if ping {

@@ -1,10 +1,11 @@
-//! The `romp-serve` server binary.
+//! The `romp-serve` server binary (single-process and cluster modes).
 //!
 //! ```text
 //! romp-serve [--addr 127.0.0.1:7171] [--backend native|mca]
 //!            [--queue-cap N] [--max-job-threads N] [--threads N]
 //!            [--deadline-ms N] [--grace-ms N] [--reactors N]
 //!            [--shards N] [--allow-diag]
+//!            [--workers N] [--worker-threads N] [--worker-bin PATH]
 //! ```
 //!
 //! Binds, prints `romp-serve listening on <addr>`, and serves until a
@@ -12,8 +13,17 @@
 //! pool, and prints the drain report as JSON on stdout.  Exits non-zero
 //! if the drain dropped anything (it cannot, by construction — the exit
 //! code is the CI assertion).
+//!
+//! With `--workers N` the jobs run in N supervised worker **processes**
+//! (`romp-worker`) behind a [`romp_cluster::Router`]: dispatch over
+//! MCAPI wire channels, results fetched zero-copy from each worker's
+//! file-backed MRAPI rmem segment, heartbeat-supervised restarts, and
+//! operator rolling restarts via the client `restart` request.
+
+use std::sync::Arc;
 
 use romp::{BackendKind, Config, Runtime};
+use romp_cluster::{ClusterConfig, Router};
 use romp_serve::{JobLimits, ServeConfig, Server};
 
 fn usage() -> ! {
@@ -21,7 +31,8 @@ fn usage() -> ! {
         "usage: romp-serve [--addr HOST:PORT] [--backend native|mca] \
          [--queue-cap N] [--max-job-threads N] [--threads N] \
          [--deadline-ms N] [--grace-ms N] [--reactors N] [--shards N] \
-         [--allow-diag]"
+         [--allow-diag] [--workers N] [--worker-threads N] \
+         [--worker-bin PATH]"
     );
     std::process::exit(2);
 }
@@ -37,6 +48,9 @@ fn main() {
     let mut reactors = 1usize;
     let mut shards: Option<usize> = None;
     let mut allow_diag = false;
+    let mut workers = 0usize;
+    let mut worker_threads: Option<usize> = None;
+    let mut worker_bin: Option<std::path::PathBuf> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -83,6 +97,18 @@ fn main() {
                 allow_diag = true;
                 i += 1;
             }
+            "--workers" => {
+                workers = need(i + 1).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--worker-threads" => {
+                worker_threads = Some(need(i + 1).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--worker-bin" => {
+                worker_bin = Some(need(i + 1).into());
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -117,7 +143,31 @@ fn main() {
     if let Some(grace) = escalation_grace_ms {
         serve_cfg.escalation_grace_ms = grace;
     }
-    let handle = match Server::start(&addr, serve_cfg, rt) {
+
+    let start = if workers > 0 {
+        let router = match Router::new(ClusterConfig {
+            workers,
+            worker_bin,
+            worker_threads: worker_threads.unwrap_or(2),
+            backend,
+            ..ClusterConfig::default()
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("romp-serve: cluster setup failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        Server::start_with_dispatch(
+            &addr,
+            serve_cfg,
+            rt,
+            router as Arc<dyn romp_serve::Dispatch>,
+        )
+    } else {
+        Server::start(&addr, serve_cfg, rt)
+    };
+    let handle = match start {
         Ok(h) => h,
         Err(e) => {
             eprintln!("romp-serve: bind {addr} failed: {e}");
@@ -131,6 +181,13 @@ fn main() {
     println!("{}", report.to_json());
     if report.dropped != 0 {
         eprintln!("romp-serve: drain dropped {} accepted jobs", report.dropped);
+        std::process::exit(1);
+    }
+    if report.rmem_leaked != 0 {
+        eprintln!(
+            "romp-serve: {} rmem result slots leaked at drain",
+            report.rmem_leaked
+        );
         std::process::exit(1);
     }
 }

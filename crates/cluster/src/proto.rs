@@ -1,0 +1,379 @@
+//! The router↔worker control protocol.
+//!
+//! One message per MCAPI wire packet (the [`mca_mcapi::WireChan`]
+//! preserves packet boundaries, so there is no length prefix here);
+//! `body[0]` is the opcode, integers are big-endian — the same framing
+//! discipline as the client protocol in [`romp_serve::protocol`], whose
+//! typed [`ProtoError`] this module reuses.
+//!
+//! Job payloads ride as [`romp_serve::protocol::spec_to_bytes`] specs;
+//! result details ride either inline (small / rmem exhausted) or as a
+//! `(slot, len)` reference into the worker's file-backed rmem segment
+//! (the zero-copy path).
+
+use romp_serve::protocol::{spec_from_bytes, spec_to_bytes, ProtoError};
+use romp_serve::{JobSpec, JobState};
+
+/// `Done.slot` value meaning "the detail is inline in this message, not
+/// in an rmem slot".
+pub const SLOT_INLINE: u32 = u32::MAX;
+
+const OP_DISPATCH: u8 = 0x01;
+const OP_CANCEL: u8 = 0x02;
+const OP_RELEASE: u8 = 0x03;
+const OP_EXIT: u8 = 0x04;
+
+const OP_HELLO: u8 = 0x81;
+const OP_HEARTBEAT: u8 = 0x82;
+const OP_DONE: u8 = 0x83;
+
+/// Router → worker messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToWorker {
+    /// Run this job (the MTAPI task start on the worker side).
+    Dispatch {
+        /// Server-assigned job id (the router's job-table id).
+        job: u64,
+        /// What to run.
+        spec: JobSpec,
+    },
+    /// Cancel a dispatched job (fire its token on the worker).
+    Cancel {
+        /// The job to cancel.
+        job: u64,
+        /// True when the cancel is a fired deadline (`TimedOut`
+        /// terminal), false for an explicit request (`Cancelled`).
+        deadline: bool,
+    },
+    /// The router fetched the result out of rmem; the worker may reuse
+    /// the slot.
+    Release {
+        /// Slot index being returned to the worker's free list.
+        slot: u32,
+    },
+    /// Graceful exit: finish in-flight jobs, delete the rmem segment,
+    /// terminate cleanly (rolling restarts and the final drain).
+    Exit,
+}
+
+/// Worker → router messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToRouter {
+    /// First message after connect: the worker is up.
+    Hello {
+        /// Worker index (echoed from the command line).
+        worker: u32,
+        /// The worker's OS pid (the chaos test's SIGKILL target).
+        pid: u32,
+        /// Id of the file-backed rmem segment the worker created.
+        rmem_id: u32,
+        /// Number of result slots in the segment.
+        slots: u32,
+        /// Bytes per slot.
+        slot_bytes: u32,
+    },
+    /// Periodic liveness beacon.
+    Heartbeat {
+        /// Monotonic per-worker sequence number.
+        seq: u64,
+        /// Jobs currently executing or queued on the worker.
+        inflight: u32,
+        /// MTAPI tasks executed since start (progress signal).
+        executed: u64,
+    },
+    /// A dispatched job reached a terminal state on the worker.
+    Done {
+        /// The job.
+        job: u64,
+        /// Terminal [`JobState`] the worker observed (the router
+        /// reconciles against its own token before recording).
+        state: JobState,
+        /// Whether the job's verification passed.
+        ok: bool,
+        /// Execution wall time on the worker, microseconds.
+        wall_us: u64,
+        /// Result-detail location: an rmem slot index, or
+        /// [`SLOT_INLINE`].
+        slot: u32,
+        /// Detail length in bytes (rmem path); ignored inline.
+        len: u32,
+        /// The detail itself when `slot == SLOT_INLINE`, else empty.
+        inline: Vec<u8>,
+    },
+}
+
+fn u64_at(b: &[u8], off: usize, op: u8) -> Result<u64, ProtoError> {
+    b.get(off..off + 8)
+        .map(|s| u64::from_be_bytes(s.try_into().unwrap()))
+        .ok_or(ProtoError::Truncated { opcode: op })
+}
+
+fn u32_at(b: &[u8], off: usize, op: u8) -> Result<u32, ProtoError> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_be_bytes(s.try_into().unwrap()))
+        .ok_or(ProtoError::Truncated { opcode: op })
+}
+
+fn u8_at(b: &[u8], off: usize, op: u8) -> Result<u8, ProtoError> {
+    b.get(off)
+        .copied()
+        .ok_or(ProtoError::Truncated { opcode: op })
+}
+
+fn exact(b: &[u8], len: usize, op: u8) -> Result<(), ProtoError> {
+    match b.len().cmp(&len) {
+        std::cmp::Ordering::Less => Err(ProtoError::Truncated { opcode: op }),
+        std::cmp::Ordering::Equal => Ok(()),
+        std::cmp::Ordering::Greater => Err(ProtoError::TrailingBytes(op)),
+    }
+}
+
+impl ToWorker {
+    /// Encode as one wire packet.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            ToWorker::Dispatch { job, spec } => {
+                out.push(OP_DISPATCH);
+                out.extend_from_slice(&job.to_be_bytes());
+                out.extend_from_slice(&spec_to_bytes(spec));
+            }
+            ToWorker::Cancel { job, deadline } => {
+                out.push(OP_CANCEL);
+                out.extend_from_slice(&job.to_be_bytes());
+                out.push(u8::from(*deadline));
+            }
+            ToWorker::Release { slot } => {
+                out.push(OP_RELEASE);
+                out.extend_from_slice(&slot.to_be_bytes());
+            }
+            ToWorker::Exit => out.push(OP_EXIT),
+        }
+        out
+    }
+
+    /// Decode one wire packet; never panics on hostile bytes.
+    pub fn decode(body: &[u8]) -> Result<ToWorker, ProtoError> {
+        let &op = body.first().ok_or(ProtoError::EmptyFrame)?;
+        match op {
+            OP_DISPATCH => Ok(ToWorker::Dispatch {
+                job: u64_at(body, 1, op)?,
+                spec: spec_from_bytes(body.get(9..).unwrap_or(&[]))?,
+            }),
+            OP_CANCEL => {
+                exact(body, 10, op)?;
+                Ok(ToWorker::Cancel {
+                    job: u64_at(body, 1, op)?,
+                    deadline: u8_at(body, 9, op)? != 0,
+                })
+            }
+            OP_RELEASE => {
+                exact(body, 5, op)?;
+                Ok(ToWorker::Release {
+                    slot: u32_at(body, 1, op)?,
+                })
+            }
+            OP_EXIT => {
+                exact(body, 1, op)?;
+                Ok(ToWorker::Exit)
+            }
+            other => Err(ProtoError::UnknownOpcode(other)),
+        }
+    }
+}
+
+impl ToRouter {
+    /// Encode as one wire packet.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            ToRouter::Hello {
+                worker,
+                pid,
+                rmem_id,
+                slots,
+                slot_bytes,
+            } => {
+                out.push(OP_HELLO);
+                out.extend_from_slice(&worker.to_be_bytes());
+                out.extend_from_slice(&pid.to_be_bytes());
+                out.extend_from_slice(&rmem_id.to_be_bytes());
+                out.extend_from_slice(&slots.to_be_bytes());
+                out.extend_from_slice(&slot_bytes.to_be_bytes());
+            }
+            ToRouter::Heartbeat {
+                seq,
+                inflight,
+                executed,
+            } => {
+                out.push(OP_HEARTBEAT);
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&inflight.to_be_bytes());
+                out.extend_from_slice(&executed.to_be_bytes());
+            }
+            ToRouter::Done {
+                job,
+                state,
+                ok,
+                wall_us,
+                slot,
+                len,
+                inline,
+            } => {
+                out.push(OP_DONE);
+                out.extend_from_slice(&job.to_be_bytes());
+                out.push(state.to_u8());
+                out.push(u8::from(*ok));
+                out.extend_from_slice(&wall_us.to_be_bytes());
+                out.extend_from_slice(&slot.to_be_bytes());
+                out.extend_from_slice(&len.to_be_bytes());
+                out.extend_from_slice(inline);
+            }
+        }
+        out
+    }
+
+    /// Decode one wire packet; never panics on hostile bytes.
+    pub fn decode(body: &[u8]) -> Result<ToRouter, ProtoError> {
+        let &op = body.first().ok_or(ProtoError::EmptyFrame)?;
+        match op {
+            OP_HELLO => {
+                exact(body, 21, op)?;
+                Ok(ToRouter::Hello {
+                    worker: u32_at(body, 1, op)?,
+                    pid: u32_at(body, 5, op)?,
+                    rmem_id: u32_at(body, 9, op)?,
+                    slots: u32_at(body, 13, op)?,
+                    slot_bytes: u32_at(body, 17, op)?,
+                })
+            }
+            OP_HEARTBEAT => {
+                exact(body, 21, op)?;
+                Ok(ToRouter::Heartbeat {
+                    seq: u64_at(body, 1, op)?,
+                    inflight: u32_at(body, 9, op)?,
+                    executed: u64_at(body, 13, op)?,
+                })
+            }
+            OP_DONE => {
+                if body.len() < 27 {
+                    return Err(ProtoError::Truncated { opcode: op });
+                }
+                Ok(ToRouter::Done {
+                    job: u64_at(body, 1, op)?,
+                    state: JobState::from_u8(u8_at(body, 9, op)?)
+                        .ok_or(ProtoError::BadPayload("unknown job state"))?,
+                    ok: u8_at(body, 10, op)? != 0,
+                    wall_us: u64_at(body, 11, op)?,
+                    slot: u32_at(body, 19, op)?,
+                    len: u32_at(body, 23, op)?,
+                    inline: body[27..].to_vec(),
+                })
+            }
+            other => Err(ProtoError::UnknownOpcode(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mca_sync::SmallRng;
+    use romp_serve::DiagSpec;
+
+    fn arb_spec(rng: &mut SmallRng) -> JobSpec {
+        match rng.next_u64() % 2 {
+            0 => JobSpec::Epcc {
+                construct: romp_epcc::Construct::Barrier,
+                threads: rng.gen_range(1, 9) as u8,
+                inner_reps: rng.gen_range(1, 100) as u16,
+            },
+            _ => JobSpec::Diag {
+                diag: DiagSpec::Spin {
+                    ms: rng.next_u64() as u32,
+                },
+                threads: rng.gen_range(1, 9) as u8,
+            },
+        }
+    }
+
+    #[test]
+    fn to_worker_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(0xC1);
+        for _ in 0..500 {
+            let msg = match rng.next_u64() % 4 {
+                0 => ToWorker::Dispatch {
+                    job: rng.next_u64(),
+                    spec: arb_spec(&mut rng),
+                },
+                1 => ToWorker::Cancel {
+                    job: rng.next_u64(),
+                    deadline: rng.next_u64().is_multiple_of(2),
+                },
+                2 => ToWorker::Release {
+                    slot: rng.next_u64() as u32,
+                },
+                _ => ToWorker::Exit,
+            };
+            assert_eq!(ToWorker::decode(&msg.encode()), Ok(msg.clone()), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn to_router_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(0xC2);
+        for _ in 0..500 {
+            let msg = match rng.next_u64() % 3 {
+                0 => ToRouter::Hello {
+                    worker: rng.next_u64() as u32,
+                    pid: rng.next_u64() as u32,
+                    rmem_id: rng.next_u64() as u32,
+                    slots: rng.next_u64() as u32,
+                    slot_bytes: rng.next_u64() as u32,
+                },
+                1 => ToRouter::Heartbeat {
+                    seq: rng.next_u64(),
+                    inflight: rng.next_u64() as u32,
+                    executed: rng.next_u64(),
+                },
+                _ => ToRouter::Done {
+                    job: rng.next_u64(),
+                    state: JobState::from_u8(2 + (rng.next_u64() % 2) as u8).unwrap(),
+                    ok: rng.next_u64().is_multiple_of(2),
+                    wall_us: rng.next_u64(),
+                    slot: if rng.next_u64().is_multiple_of(2) {
+                        SLOT_INLINE
+                    } else {
+                        rng.next_u64() as u32 % 64
+                    },
+                    len: rng.next_u64() as u32,
+                    inline: (0..rng.gen_index(0, 40))
+                        .map(|_| rng.next_u64() as u8)
+                        .collect(),
+                },
+            };
+            assert_eq!(ToRouter::decode(&msg.encode()), Ok(msg.clone()), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_bytes_yield_typed_errors() {
+        let mut rng = SmallRng::seed_from_u64(0xC3);
+        for _ in 0..5_000 {
+            let len = rng.gen_index(0, 40);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let _ = ToWorker::decode(&bytes);
+            let _ = ToRouter::decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_on_fixed_messages() {
+        let mut enc = ToWorker::Exit.encode();
+        enc.push(0xAA);
+        assert!(matches!(
+            ToWorker::decode(&enc),
+            Err(ProtoError::TrailingBytes(_))
+        ));
+    }
+}

@@ -45,12 +45,14 @@ pub mod pktchan;
 pub mod request;
 pub mod sclchan;
 pub mod status;
+pub mod wire;
 
 mod registry;
 
 pub use registry::{Endpoint, EndpointAddr, McapiDomain, McapiNode};
 pub use request::RecvRequest;
 pub use status::{McapiError, McapiStatus};
+pub use wire::{WireChan, WireListener};
 
 /// Default bound on an endpoint's receive queue (messages), per the spec's
 /// `MCAPI_MAX_QUEUE_ELEMENTS` attribute.

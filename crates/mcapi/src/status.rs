@@ -34,6 +34,11 @@ pub enum McapiStatus {
     /// Scalar size mismatch between send and receive
     /// (`MCAPI_ERR_SCL_SIZE`).
     ErrScalarSize,
+    /// Packet exceeds the transport's size bound (`MCAPI_ERR_PKT_LIMIT`).
+    ErrPktLimit,
+    /// The underlying physical transport failed (`MCAPI_ERR_TRANSMISSION`)
+    /// — e.g. the socket carrying a cross-process wire link broke.
+    ErrTransmission,
 }
 
 impl McapiStatus {
@@ -54,6 +59,8 @@ impl McapiStatus {
             McapiStatus::ErrChanType => "MCAPI_ERR_CHAN_TYPE",
             McapiStatus::ErrChanClosed => "MCAPI_ERR_CHAN_CLOSED",
             McapiStatus::ErrScalarSize => "MCAPI_ERR_SCL_SIZE",
+            McapiStatus::ErrPktLimit => "MCAPI_ERR_PKT_LIMIT",
+            McapiStatus::ErrTransmission => "MCAPI_ERR_TRANSMISSION",
         }
     }
 }

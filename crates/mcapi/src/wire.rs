@@ -1,0 +1,355 @@
+//! Cross-process packet-channel transport ("the wire").
+//!
+//! MCAPI is specified for *closely distributed* systems — cores and OS
+//! processes that do not share one address space.  The in-process
+//! registry (`crate::registry`) models one interconnect inside a
+//! single process; this module extends a packet channel across a real
+//! process boundary by pumping packets over a Unix-domain socket, the
+//! way a production MCAPI implementation pumps them over a mailbox or
+//! RapidIO driver.
+//!
+//! A [`WireChan`] is one *duplex* link.  Each direction is a genuine
+//! MCAPI packet channel ([`crate::pktchan`]) between two private
+//! endpoints, with a pump thread moving packets between the channel and
+//! the socket:
+//!
+//! ```text
+//!   app ──PktTx──▶ [ep queue] ──pump──▶ socket ──▶ peer pump ──PktTx──▶ [ep queue] ──PktRx──▶ peer app
+//! ```
+//!
+//! The MCAPI semantics therefore hold end-to-end: sends observe the
+//! bounded endpoint queue (packets ahead of a slow socket exert
+//! backpressure), receives drain in FIFO order, and when the process on
+//! the other side dies — or closes — the receiver drains what was
+//! delivered and then observes `MCAPI_ERR_CHAN_CLOSED`, exactly the
+//! failure a [`crate::pktchan::PktRx`] reports for an in-process close.
+//! That typed close is what a supervisor keys its failure detection on.
+//!
+//! On-socket framing is a `u32` big-endian length prefix per packet
+//! (bounded by [`MAX_WIRE_PKT`]); packet boundaries are preserved.
+
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::pktchan::{self, PktRx, PktTx};
+use crate::registry::{Endpoint, McapiDomain};
+use crate::status::{McapiResult, McapiStatus};
+
+/// Upper bound on one wire packet's payload, protecting either side from
+/// hostile or corrupt length prefixes.
+pub const MAX_WIRE_PKT: usize = 1 << 20;
+
+/// Receive-queue bound of the wire endpoints (packets buffered between
+/// the application and the socket before sends block).
+pub const WIRE_QUEUE_CAPACITY: usize = 64;
+
+/// Distinguishes the private domains minted for wire links (diagnostic
+/// only; each link owns a fresh registry, so ids never collide).
+static WIRE_DOMAIN_SEQ: AtomicU32 = AtomicU32::new(0x5731_0000);
+
+/// Listening side of a wire: accepts peer processes connecting to a
+/// Unix-socket path and hands each back as a [`WireChan`].
+pub struct WireListener {
+    listener: UnixListener,
+}
+
+impl WireListener {
+    /// Bind `path` (an existing stale socket file is replaced).
+    pub fn bind(path: &Path) -> std::io::Result<WireListener> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        Ok(WireListener { listener })
+    }
+
+    /// Accept one peer, waiting up to `timeout` (`MCAPI_TIMEOUT` if no
+    /// peer connects in time).
+    pub fn accept(&self, timeout: Duration) -> McapiResult<WireChan> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    return WireChan::from_stream(stream)
+                        .map_err(|_| crate::McapiError(McapiStatus::ErrTransmission));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(crate::McapiError(McapiStatus::Timeout));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => return Err(crate::McapiError(McapiStatus::ErrTransmission)),
+            }
+        }
+    }
+}
+
+/// One duplex cross-process packet link (see module docs).
+///
+/// `send` and `recv*` may be called from different threads concurrently
+/// (the underlying endpoints synchronise internally); sharing one
+/// `WireChan` behind an `Arc` between a dispatcher and a supervisor is
+/// the intended shape.
+pub struct WireChan {
+    /// `Some` until [`WireChan::close`] consumes it for a graceful
+    /// flush-then-FIN.
+    tx: Option<PktTx>,
+    rx: PktRx,
+    /// The pump-side receive endpoint of the outbound channel; deleted
+    /// on socket failure so blocked senders fail instead of hanging.
+    out_pump_ep: Endpoint,
+    stream: UnixStream,
+}
+
+impl WireChan {
+    /// Connect to a [`WireListener`] at `path`, retrying until `timeout`
+    /// (the listener may not have bound yet — e.g. a worker racing its
+    /// router).
+    pub fn connect(path: &Path, timeout: Duration) -> McapiResult<WireChan> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match UnixStream::connect(path) {
+                Ok(stream) => {
+                    return WireChan::from_stream(stream)
+                        .map_err(|_| crate::McapiError(McapiStatus::ErrTransmission));
+                }
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return Err(crate::McapiError(McapiStatus::Timeout)),
+            }
+        }
+    }
+
+    /// Build a wire link over an already-connected stream (one side of
+    /// `UnixStream::pair()` works too — useful in tests).
+    pub fn from_stream(stream: UnixStream) -> std::io::Result<WireChan> {
+        stream.set_nonblocking(false)?;
+        let dom = McapiDomain::new(WIRE_DOMAIN_SEQ.fetch_add(1, Ordering::Relaxed));
+        let out_node = dom.initialize(0).expect("fresh domain");
+        let in_node = dom.initialize(1).expect("fresh domain");
+        let mk = |node: &crate::registry::McapiNode, port| {
+            node.create_endpoint_with_capacity(port, WIRE_QUEUE_CAPACITY)
+                .expect("fresh endpoint")
+        };
+        // Outbound: app sends into a channel whose receiver is the pump.
+        let out_app_ep = mk(&out_node, 0);
+        let out_pump_ep = mk(&out_node, 1);
+        let (tx, out_pump_rx) = pktchan::connect(&out_app_ep, &out_pump_ep).expect("fresh pair");
+        // Inbound: the pump sends into a channel whose receiver is the app.
+        let in_pump_ep = mk(&in_node, 0);
+        let in_app_ep = mk(&in_node, 1);
+        let (in_pump_tx, rx) = pktchan::connect(&in_pump_ep, &in_app_ep).expect("fresh pair");
+
+        let out_stream = stream.try_clone()?;
+        let kill_ep = out_pump_ep.clone();
+        std::thread::Builder::new()
+            .name("mcapi-wire-out".into())
+            .spawn(move || outbound_pump(out_pump_rx, out_stream, kill_ep))?;
+        let in_stream = stream.try_clone()?;
+        std::thread::Builder::new()
+            .name("mcapi-wire-in".into())
+            .spawn(move || inbound_pump(in_pump_tx, in_stream))?;
+
+        Ok(WireChan {
+            tx: Some(tx),
+            rx,
+            out_pump_ep,
+            stream,
+        })
+    }
+
+    /// Send one packet (blocking while the outbound endpoint queue is
+    /// full).  `MCAPI_ERR_CHAN_CLOSED` / `MCAPI_ERR_ENDP_INVALID` mean
+    /// the peer — or the socket under it — is gone.
+    pub fn send(&self, pkt: &[u8]) -> McapiResult<()> {
+        if pkt.len() > MAX_WIRE_PKT {
+            return Err(crate::McapiError(McapiStatus::ErrPktLimit));
+        }
+        match &self.tx {
+            Some(tx) => tx.send(pkt),
+            None => Err(crate::McapiError(McapiStatus::ErrChanClosed)),
+        }
+    }
+
+    /// Receive the next packet, blocking.
+    pub fn recv(&self) -> McapiResult<Vec<u8>> {
+        self.rx.recv()
+    }
+
+    /// Receive with a bound; `MCAPI_TIMEOUT` if nothing arrives in time,
+    /// `MCAPI_ERR_CHAN_CLOSED` once the peer is gone and the queue is
+    /// drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> McapiResult<Vec<u8>> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive (`MCAPI_ERR_QUEUE_EMPTY` when idle).
+    pub fn try_recv(&self) -> McapiResult<Vec<u8>> {
+        self.rx.try_recv()
+    }
+
+    /// Tear the link down: packets already queued outbound are still
+    /// flushed to the socket, then the write side closes so the peer
+    /// drains and observes `MCAPI_ERR_CHAN_CLOSED`.
+    pub fn close(mut self) {
+        // Closing the app's sender lets the outbound pump drain the
+        // queue, then observe the close and FIN the socket.
+        if let Some(tx) = self.tx.take() {
+            tx.close();
+        }
+        let _ = self.stream.shutdown(std::net::Shutdown::Read);
+    }
+}
+
+impl Drop for WireChan {
+    fn drop(&mut self) {
+        // A graceful `close` already handed teardown to the pumps (the
+        // outbound pump flushes then FINs); don't race it.
+        if self.tx.is_none() {
+            return;
+        }
+        // Unblock both pumps; queued-but-unsent packets are dropped
+        // (callers wanting flush-then-close use `close`).
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.out_pump_ep.clone().delete();
+    }
+}
+
+/// Move packets from the outbound channel onto the socket.
+fn outbound_pump(rx: PktRx, mut stream: UnixStream, kill_ep: Endpoint) {
+    loop {
+        match rx.recv() {
+            Ok(pkt) => {
+                let len = (pkt.len() as u32).to_be_bytes();
+                if stream.write_all(&len).is_err() || stream.write_all(&pkt).is_err() {
+                    // Socket dead: delete the pump endpoint so blocked
+                    // and future sends fail typed instead of hanging.
+                    kill_ep.delete();
+                    return;
+                }
+            }
+            // App closed its sender (graceful) or the endpoint was
+            // deleted: flush is done either way; FIN the write side.
+            Err(_) => {
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                return;
+            }
+        }
+    }
+}
+
+/// Move packets from the socket into the inbound channel.
+fn inbound_pump(tx: PktTx, mut stream: UnixStream) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            // Peer closed or died: the app drains, then sees the typed
+            // channel close.
+            tx.close();
+            return;
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_WIRE_PKT {
+            tx.close();
+            return;
+        }
+        let mut pkt = vec![0u8; len];
+        if stream.read_exact(&mut pkt).is_err() {
+            tx.close();
+            return;
+        }
+        if tx.send(&pkt).is_err() {
+            // App dropped its receiver; stop reading so the peer blocks
+            // on socket backpressure rather than a black hole.
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (WireChan, WireChan) {
+        let (a, b) = UnixStream::pair().unwrap();
+        (
+            WireChan::from_stream(a).unwrap(),
+            WireChan::from_stream(b).unwrap(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_fifo_both_directions() {
+        let (a, b) = pair();
+        for i in 0..100u32 {
+            a.send(&i.to_be_bytes()).unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(
+                b.recv_timeout(Duration::from_secs(5)).unwrap(),
+                i.to_be_bytes()
+            );
+        }
+        b.send(b"pong").unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_secs(5)).unwrap(), b"pong");
+    }
+
+    #[test]
+    fn close_drains_then_reports_chan_closed() {
+        let (a, b) = pair();
+        a.send(b"last words").unwrap();
+        a.close();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)).unwrap(),
+            b"last words"
+        );
+        let err = b.recv_timeout(Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err.0, McapiStatus::ErrChanClosed);
+    }
+
+    #[test]
+    fn dropped_peer_reports_chan_closed() {
+        let (a, b) = pair();
+        drop(a);
+        let err = b.recv_timeout(Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err.0, McapiStatus::ErrChanClosed);
+    }
+
+    #[test]
+    fn large_packets_survive() {
+        let (a, b) = pair();
+        let big: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        a.send(&big).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap(), big);
+        assert_eq!(
+            a.send(&vec![0u8; MAX_WIRE_PKT + 1]).unwrap_err().0,
+            McapiStatus::ErrPktLimit
+        );
+    }
+
+    #[test]
+    fn listener_accept_and_connect() {
+        let path =
+            std::env::temp_dir().join(format!("mcapi-wire-test-{}.sock", std::process::id()));
+        let listener = WireListener::bind(&path).unwrap();
+        let p2 = path.clone();
+        let peer = std::thread::spawn(move || {
+            let c = WireChan::connect(&p2, Duration::from_secs(5)).unwrap();
+            c.send(b"hello").unwrap();
+            c.recv_timeout(Duration::from_secs(5)).unwrap()
+        });
+        let server_side = listener.accept(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            server_side.recv_timeout(Duration::from_secs(5)).unwrap(),
+            b"hello"
+        );
+        server_side.send(b"welcome").unwrap();
+        assert_eq!(peer.join().unwrap(), b"welcome");
+        let _ = std::fs::remove_file(&path);
+    }
+}

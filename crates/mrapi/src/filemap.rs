@@ -1,0 +1,226 @@
+//! File-backed shared mappings for cross-*process* remote memory.
+//!
+//! The in-process [`crate::rmem`] registry models remote memory between
+//! nodes that share one address space.  A cluster of OS processes (the
+//! romp-cluster worker pool) needs the real thing: a buffer both sides
+//! can address without copying it through a socket.  POSIX spells that
+//! `mmap(MAP_SHARED)` over a regular file — the worker writes results
+//! into its mapping, the router reads them out of its own mapping of
+//! the same file, and the bytes move through the page cache instead of
+//! the wire.
+//!
+//! Bindings are declared directly against the C ABI, the same hermetic
+//! idiom the serve reactor uses for epoll (no external crates — the
+//! container has no registry access).
+
+use std::fs::OpenOptions;
+use std::os::fd::AsRawFd;
+use std::path::Path;
+use std::sync::atomic::{fence, Ordering};
+
+// Raw POSIX surface (x86-64/aarch64 Linux ABI).
+mod ffi {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 0x1;
+    pub const PROT_WRITE: c_int = 0x2;
+    pub const MAP_SHARED: c_int = 0x01;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+/// One `MAP_SHARED` mapping of a regular file.
+///
+/// Concurrent readers and writers in *different processes* synchronise
+/// through whatever channel tells them a region is ready (for the
+/// cluster: the `Done` control message); the [`read`](FileMapping::read)
+/// / [`write`](FileMapping::write) accessors fence around the copy so
+/// that ordering holds on the weakly-ordered targets we model.
+pub struct FileMapping {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The mapping is plain shared bytes; all access goes through the
+// bounds-checked accessors and cross-thread hand-off is fenced there.
+unsafe impl Send for FileMapping {}
+unsafe impl Sync for FileMapping {}
+
+impl FileMapping {
+    /// Create (or truncate) `path`, size it to `len` bytes, and map it.
+    pub fn create(path: &Path, len: usize) -> std::io::Result<FileMapping> {
+        if len == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "zero-length mapping",
+            ));
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(len as u64)?;
+        Self::map(file.as_raw_fd(), len)
+    }
+
+    /// Map an existing file created by a peer process; the length comes
+    /// from the file itself.
+    pub fn open(path: &Path) -> std::io::Result<FileMapping> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "empty backing file",
+            ));
+        }
+        Self::map(file.as_raw_fd(), len)
+    }
+
+    fn map(fd: i32, len: usize) -> std::io::Result<FileMapping> {
+        // SAFETY: fd is a live regular file at least `len` bytes long
+        // (set_len above / metadata check), so the kernel either maps it
+        // or returns MAP_FAILED, which we turn into an error.
+        let ptr = unsafe {
+            ffi::mmap(
+                std::ptr::null_mut(),
+                len,
+                ffi::PROT_READ | ffi::PROT_WRITE,
+                ffi::MAP_SHARED,
+                fd,
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(FileMapping {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+
+    /// Mapping length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never true — zero-length mappings are rejected at creation.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copy `out.len()` bytes out of the mapping at `offset`.
+    /// Returns `false` (copying nothing) when the range is out of bounds.
+    pub fn read(&self, offset: usize, out: &mut [u8]) -> bool {
+        let Some(end) = offset.checked_add(out.len()) else {
+            return false;
+        };
+        if end > self.len {
+            return false;
+        }
+        // Acquire: observe the peer's writes that preceded the message
+        // announcing this region.
+        fence(Ordering::Acquire);
+        // SAFETY: range checked against the mapping above; src/dst don't
+        // overlap (out is a private Rust slice).
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(offset), out.as_mut_ptr(), out.len());
+        }
+        true
+    }
+
+    /// Copy `src` into the mapping at `offset`.
+    /// Returns `false` (writing nothing) when the range is out of bounds.
+    pub fn write(&self, offset: usize, src: &[u8]) -> bool {
+        let Some(end) = offset.checked_add(src.len()) else {
+            return false;
+        };
+        if end > self.len {
+            return false;
+        }
+        // SAFETY: range checked against the mapping above.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(offset), src.len());
+        }
+        // Release: make the bytes visible before any message announcing
+        // them is sent.
+        fence(Ordering::Release);
+        true
+    }
+}
+
+impl Drop for FileMapping {
+    fn drop(&mut self) {
+        // SAFETY: ptr/len came from a successful mmap and are unmapped
+        // exactly once.
+        unsafe {
+            ffi::munmap(self.ptr as *mut std::os::raw::c_void, self.len);
+        }
+    }
+}
+
+impl std::fmt::Debug for FileMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileMapping")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mrapi-filemap-{}-{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn create_write_reopen_read() {
+        let path = tmp("roundtrip");
+        let a = FileMapping::create(&path, 4096).unwrap();
+        assert!(a.write(100, b"cross-process payload"));
+        let b = FileMapping::open(&path).unwrap();
+        assert_eq!(b.len(), 4096);
+        let mut out = [0u8; 21];
+        assert!(b.read(100, &mut out));
+        assert_eq!(&out, b"cross-process payload");
+        drop(a);
+        drop(b);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bounds_are_refused() {
+        let path = tmp("bounds");
+        let m = FileMapping::create(&path, 64).unwrap();
+        let mut out = [0u8; 8];
+        assert!(!m.read(60, &mut out));
+        assert!(!m.write(usize::MAX, &out));
+        assert!(m.read(56, &mut out));
+        drop(m);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let path = tmp("zero");
+        assert!(FileMapping::create(&path, 0).is_err());
+        std::fs::write(&path, b"").unwrap();
+        assert!(FileMapping::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod filemap;
 pub mod metadata;
 pub mod node;
 pub mod rmem;
@@ -62,6 +63,7 @@ mod db;
 
 pub use db::MrapiSystem;
 pub use fault::{FaultDecision, FaultPlan, FaultProbe, FaultSite, SiteObserver};
+pub use filemap::FileMapping;
 pub use node::{DomainId, Node, NodeAttributes, NodeId, WorkerNode};
 pub use rmem::{RmemAccess, RmemAttributes, RmemHandle};
 pub use shmem::{ShmemAttributes, ShmemHandle, ShmemKey};

@@ -16,12 +16,14 @@
 //! ([`RmemTransfer`]), mirroring `mrapi_rmem_read_i`/`mrapi_rmem_write_i`
 //! (the non-blocking variants) and `mrapi_rmem_read`/`write` (blocking).
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mca_platform::MemoryRegion;
 use mca_sync::Mutex as PlMutex;
 
+use crate::filemap::FileMapping;
 use crate::node::Node;
 use crate::status::{ensure, MrapiResult, MrapiStatus};
 
@@ -53,12 +55,67 @@ impl Default for RmemAttributes {
     }
 }
 
+/// Where a remote buffer's bytes actually live.
+enum Storage {
+    /// In-process registry buffer (the original single-process model).
+    Heap(PlMutex<Vec<u8>>),
+    /// `MAP_SHARED` file mapping reachable from other OS processes
+    /// (the cluster's zero-copy result path).
+    File(FileMapping),
+}
+
+impl Storage {
+    fn len(&self) -> usize {
+        match self {
+            Storage::Heap(data) => data.lock().len(),
+            Storage::File(map) => map.len(),
+        }
+    }
+
+    /// Bounds-checked copy out; `false` means out of range.
+    fn read(&self, offset: usize, out: &mut [u8]) -> bool {
+        match self {
+            Storage::Heap(data) => {
+                let data = data.lock();
+                let ok = offset
+                    .checked_add(out.len())
+                    .is_some_and(|e| e <= data.len());
+                if ok {
+                    out.copy_from_slice(&data[offset..offset + out.len()]);
+                }
+                ok
+            }
+            Storage::File(map) => map.read(offset, out),
+        }
+    }
+
+    /// Bounds-checked copy in; `false` means out of range.
+    fn write(&self, offset: usize, src: &[u8]) -> bool {
+        match self {
+            Storage::Heap(data) => {
+                let mut data = data.lock();
+                let ok = offset
+                    .checked_add(src.len())
+                    .is_some_and(|e| e <= data.len());
+                if ok {
+                    data[offset..offset + src.len()].copy_from_slice(src);
+                }
+                ok
+            }
+            Storage::File(map) => map.write(offset, src),
+        }
+    }
+}
+
 /// Registry entry for one remote buffer.
 pub struct RmemBuffer {
     id: u32,
     access: RmemAccess,
     region: MemoryRegion,
-    data: PlMutex<Vec<u8>>,
+    storage: Storage,
+    /// True while the buffer is listed in the domain registry (attached
+    /// foreign file segments never are — a peer process owns them).
+    registered: bool,
     deleted: AtomicBool,
 }
 
@@ -101,14 +158,8 @@ impl RmemTransfer {
 }
 
 impl Node {
-    /// `mrapi_rmem_create` — allocate a remote buffer of `size` bytes.
-    pub fn rmem_create(
-        &self,
-        id: u32,
-        size: usize,
-        attrs: &RmemAttributes,
-    ) -> MrapiResult<RmemHandle> {
-        self.check_alive()?;
+    /// Resolve and validate the platform region for an rmem allocation.
+    fn rmem_region(&self, size: usize, attrs: &RmemAttributes) -> MrapiResult<MemoryRegion> {
         ensure(size > 0, MrapiStatus::ErrParameter)?;
         let region_name = attrs.region.clone().unwrap_or_else(|| match attrs.access {
             RmemAccess::Dma => "accel-window".to_string(),
@@ -127,16 +178,88 @@ impl Node {
                 MrapiStatus::ErrRmemInvalid,
             )?;
         }
+        Ok(region)
+    }
+
+    /// Register a freshly built buffer in the domain database.
+    fn rmem_register(&self, id: u32, buf: Arc<RmemBuffer>) -> MrapiResult<RmemHandle> {
+        let mut map = self.domain_db().rmems.write();
+        ensure(!map.contains_key(&id), MrapiStatus::ErrRmemExists)?;
+        map.insert(id, Arc::clone(&buf));
+        Ok(RmemHandle {
+            node: self.clone(),
+            buf,
+        })
+    }
+
+    /// `mrapi_rmem_create` — allocate a remote buffer of `size` bytes.
+    pub fn rmem_create(
+        &self,
+        id: u32,
+        size: usize,
+        attrs: &RmemAttributes,
+    ) -> MrapiResult<RmemHandle> {
+        self.check_alive()?;
+        let region = self.rmem_region(size, attrs)?;
         let buf = Arc::new(RmemBuffer {
             id,
             access: attrs.access,
             region,
-            data: PlMutex::new(vec![0u8; size]),
+            storage: Storage::Heap(PlMutex::new(vec![0u8; size])),
+            registered: true,
             deleted: AtomicBool::new(false),
         });
-        let mut map = self.domain_db().rmems.write();
-        ensure(!map.contains_key(&id), MrapiStatus::ErrRmemExists)?;
-        map.insert(id, Arc::clone(&buf));
+        self.rmem_register(id, buf)
+    }
+
+    /// Allocate a remote buffer whose bytes live in a `MAP_SHARED` file
+    /// mapping at `path`, so a peer OS process can attach the same file
+    /// with [`Node::rmem_attach_file`] and read results without a copy
+    /// through any socket.  The file is created (or truncated) and sized
+    /// to `size` bytes.
+    pub fn rmem_create_file(
+        &self,
+        id: u32,
+        path: &Path,
+        size: usize,
+        attrs: &RmemAttributes,
+    ) -> MrapiResult<RmemHandle> {
+        self.check_alive()?;
+        let region = self.rmem_region(size, attrs)?;
+        let map = FileMapping::create(path, size).map_err(|_| MrapiStatus::ErrRmemInvalid)?;
+        let buf = Arc::new(RmemBuffer {
+            id,
+            access: attrs.access,
+            region,
+            storage: Storage::File(map),
+            registered: true,
+            deleted: AtomicBool::new(false),
+        });
+        self.rmem_register(id, buf)
+    }
+
+    /// Attach a file-backed remote buffer created by *another process*
+    /// (its [`Node::rmem_create_file`]).  The segment is foreign: it is
+    /// not entered in this process's domain registry, and
+    /// [`RmemHandle::delete`] merely unmaps the local view — the owning
+    /// process deletes the segment and removes the backing file.
+    pub fn rmem_attach_file(
+        &self,
+        id: u32,
+        path: &Path,
+        attrs: &RmemAttributes,
+    ) -> MrapiResult<RmemHandle> {
+        self.check_alive()?;
+        let map = FileMapping::open(path).map_err(|_| MrapiStatus::ErrRmemInvalid)?;
+        let region = self.rmem_region(map.len(), attrs)?;
+        let buf = Arc::new(RmemBuffer {
+            id,
+            access: attrs.access,
+            region,
+            storage: Storage::File(map),
+            registered: false,
+            deleted: AtomicBool::new(false),
+        });
         Ok(RmemHandle {
             node: self.clone(),
             buf,
@@ -177,7 +300,7 @@ impl RmemHandle {
 
     /// Buffer size in bytes.
     pub fn len(&self) -> usize {
-        self.buf.data.lock().len()
+        self.buf.storage.len()
     }
 
     /// True only for the impossible zero-size buffer (kept for clippy).
@@ -217,38 +340,31 @@ impl RmemHandle {
     /// returned transfer is waited/tested.
     pub fn read_nb(&self, offset: usize, out: &mut [u8]) -> MrapiResult<RmemTransfer> {
         self.check_live()?;
-        let data = self.buf.data.lock();
         ensure(
-            offset
-                .checked_add(out.len())
-                .is_some_and(|e| e <= data.len()),
+            self.buf.storage.read(offset, out),
             MrapiStatus::ErrRmemBounds,
         )?;
-        out.copy_from_slice(&data[offset..offset + out.len()]);
-        drop(data);
         Ok(self.transfer(out.len()))
     }
 
     /// `mrapi_rmem_write_i` — non-blocking write.
     pub fn write_nb(&self, offset: usize, src: &[u8]) -> MrapiResult<RmemTransfer> {
         self.check_live()?;
-        let mut data = self.buf.data.lock();
         ensure(
-            offset
-                .checked_add(src.len())
-                .is_some_and(|e| e <= data.len()),
+            self.buf.storage.write(offset, src),
             MrapiStatus::ErrRmemBounds,
         )?;
-        data[offset..offset + src.len()].copy_from_slice(src);
-        drop(data);
         Ok(self.transfer(src.len()))
     }
 
-    /// `mrapi_rmem_delete`.
+    /// `mrapi_rmem_delete`.  For attached foreign segments
+    /// ([`Node::rmem_attach_file`]) this only unmaps the local view.
     pub fn delete(self) -> MrapiResult<()> {
         self.check_live()?;
         self.buf.deleted.store(true, Ordering::Release);
-        self.node.domain_db().rmems.write().remove(&self.buf.id);
+        if self.buf.registered {
+            self.node.domain_db().rmems.write().remove(&self.buf.id);
+        }
         Ok(())
     }
 }
@@ -392,6 +508,39 @@ mod tests {
                 .0,
             MrapiStatus::ErrParameter
         );
+    }
+
+    #[test]
+    fn file_backed_create_attach_roundtrip() {
+        let path = std::env::temp_dir().join(format!("mrapi-rmem-file-{}", std::process::id()));
+        let sys = MrapiSystem::new_t4240();
+        let owner = node_on(&sys);
+        let seg = owner
+            .rmem_create_file(9, &path, 4096, &RmemAttributes::default())
+            .unwrap();
+        seg.write(64, b"worker result bytes").unwrap();
+
+        // A second system stands in for the peer process: it attaches the
+        // same backing file without touching the owner's registry.
+        let peer_sys = MrapiSystem::new_t4240();
+        let peer = peer_sys.initialize(DomainId(2), NodeId(0)).unwrap();
+        let view = peer
+            .rmem_attach_file(9, &path, &RmemAttributes::default())
+            .unwrap();
+        assert_eq!(view.len(), 4096);
+        let mut out = [0u8; 19];
+        view.read(64, &mut out).unwrap();
+        assert_eq!(&out, b"worker result bytes");
+
+        // Attached view's delete is local; the owner's id stays valid.
+        view.delete().unwrap();
+        assert!(owner.rmem_get(9).is_ok());
+        seg.delete().unwrap();
+        assert_eq!(
+            owner.rmem_get(9).unwrap_err().0,
+            MrapiStatus::ErrRmemInvalid
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

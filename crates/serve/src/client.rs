@@ -362,6 +362,17 @@ impl Client {
         }
     }
 
+    /// Request a rolling restart of the worker pool (cluster mode);
+    /// returns the number of workers being cycled.  A single-process
+    /// server refuses with `BadPayload`.
+    pub fn restart(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Restart)? {
+            Response::Restarting { workers } => Ok(workers),
+            Response::Error { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
     /// Request the graceful drain; returns the jobs still outstanding.
     pub fn shutdown(&mut self) -> Result<u64, ClientError> {
         match self.call(&Request::Shutdown)? {

@@ -202,7 +202,9 @@ pub enum JobState {
 }
 
 impl JobState {
-    pub(crate) fn to_u8(self) -> u8 {
+    /// Stable wire encoding (shared by the client protocol and the
+    /// cluster's worker control protocol).
+    pub fn to_u8(self) -> u8 {
         match self {
             JobState::Queued => 0,
             JobState::Running => 1,
@@ -214,7 +216,8 @@ impl JobState {
         }
     }
 
-    pub(crate) fn from_u8(v: u8) -> Option<JobState> {
+    /// Decode the wire byte; `None` for values no state maps to.
+    pub fn from_u8(v: u8) -> Option<JobState> {
         Some(match v {
             0 => JobState::Queued,
             1 => JobState::Running,

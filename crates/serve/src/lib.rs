@@ -83,6 +83,7 @@ pub use job::{DiagSpec, JobLimits, JobOutcome, JobSpec, JobState};
 pub use lifecycle::{DedupConfig, JobTable};
 pub use metrics::Metrics;
 pub use protocol::{ErrorCode, ProtoError, Request, Response, MAX_FRAME};
+pub use queue::QueuedJob;
 pub use queue::{JobQueue, PushError};
-pub use server::{DrainReport, ServeConfig, Server, ServerHandle};
+pub use server::{Dispatch, DispatchCtx, DrainReport, ServeConfig, Server, ServerHandle};
 pub use session::{ServeCore, Session};

@@ -129,6 +129,13 @@ pub enum Request {
     /// Begin graceful drain: no new submissions; every accepted job still
     /// runs to completion before the server exits.
     Shutdown,
+    /// Operator-triggered rolling restart of the worker pool (cluster
+    /// mode only).  Workers are cycled one at a time — each is drained of
+    /// its in-flight jobs, exited, and respawned before the next — so no
+    /// job is lost and capacity never drops by more than one worker.
+    /// Answered by [`Response::Restarting`], or `Error(BadPayload)` on a
+    /// single-process server (no pool to cycle).
+    Restart,
 }
 
 /// Error codes carried by [`Response::Error`].
@@ -212,6 +219,11 @@ pub enum Response {
         /// Jobs accepted but not yet finished; all will complete.
         outstanding: u64,
     },
+    /// Answer to `Restart`: the rolling restart has been scheduled.
+    Restarting {
+        /// Number of workers that will be cycled.
+        workers: u64,
+    },
     /// A typed refusal.
     Error {
         /// What went wrong.
@@ -231,6 +243,7 @@ const OP_PING: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
 const OP_CANCEL: u8 = 0x07;
 const OP_AWAIT: u8 = 0x08;
+const OP_RESTART: u8 = 0x09;
 
 const OP_ACCEPTED: u8 = 0x81;
 const OP_REJECTED: u8 = 0x82;
@@ -239,6 +252,7 @@ const OP_JOB_RESULT: u8 = 0x84;
 const OP_STATS_BODY: u8 = 0x85;
 const OP_PONG: u8 = 0x86;
 const OP_DRAINING: u8 = 0x87;
+const OP_RESTARTING: u8 = 0x88;
 const OP_ERROR: u8 = 0x8F;
 
 // ---- byte cursor (decode side) ----
@@ -441,6 +455,27 @@ fn decode_spec(cur: &mut Cur<'_>) -> Result<JobSpec, ProtoError> {
     }
 }
 
+/// Encode a job spec standalone — the payload romp-cluster carries in a
+/// `Dispatch` control message to a worker process.  Same byte layout as
+/// the spec portion of a `Submit` frame.
+pub fn spec_to_bytes(spec: &JobSpec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    encode_spec(&mut out, spec);
+    out
+}
+
+/// Decode a standalone job spec produced by [`spec_to_bytes`].
+pub fn spec_from_bytes(bytes: &[u8]) -> Result<JobSpec, ProtoError> {
+    let mut cur = Cur {
+        body: bytes,
+        off: 0,
+        opcode: 0,
+    };
+    let spec = decode_spec(&mut cur)?;
+    cur.finish()?;
+    Ok(spec)
+}
+
 impl Request {
     /// Encode as a complete frame (length prefix included).
     pub fn encode(&self) -> Vec<u8> {
@@ -477,6 +512,7 @@ impl Request {
             Request::Stats => body.push(OP_STATS),
             Request::Ping => body.push(OP_PING),
             Request::Shutdown => body.push(OP_SHUTDOWN),
+            Request::Restart => body.push(OP_RESTART),
         }
         finish_frame(body)
     }
@@ -504,6 +540,7 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_PING => Request::Ping,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_RESTART => Request::Restart,
             other => return Err(ProtoError::UnknownOpcode(other)),
         };
         cur.finish()?;
@@ -550,6 +587,10 @@ impl Response {
                 body.push(OP_DRAINING);
                 body.extend_from_slice(&outstanding.to_be_bytes());
             }
+            Response::Restarting { workers } => {
+                body.push(OP_RESTARTING);
+                body.extend_from_slice(&workers.to_be_bytes());
+            }
             Response::Error { code, msg } => {
                 body.push(OP_ERROR);
                 body.push(code.to_u8());
@@ -585,6 +626,9 @@ impl Response {
             OP_PONG => Response::Pong,
             OP_DRAINING => Response::Draining {
                 outstanding: cur.u64()?,
+            },
+            OP_RESTARTING => Response::Restarting {
+                workers: cur.u64()?,
             },
             OP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(cur.u8()?)?,
@@ -716,7 +760,7 @@ mod tests {
     }
 
     fn arb_request(rng: &mut SmallRng) -> Request {
-        match rng.next_u64() % 8 {
+        match rng.next_u64() % 9 {
             0 => Request::Submit {
                 spec: arb_spec(rng),
                 deadline_ms: rng.next_u64() as u32,
@@ -737,12 +781,13 @@ mod tests {
             },
             5 => Request::Stats,
             6 => Request::Ping,
-            _ => Request::Shutdown,
+            7 => Request::Shutdown,
+            _ => Request::Restart,
         }
     }
 
     fn arb_response(rng: &mut SmallRng) -> Response {
-        match rng.next_u64() % 8 {
+        match rng.next_u64() % 9 {
             0 => Response::Accepted {
                 job: rng.next_u64(),
             },
@@ -766,9 +811,12 @@ mod tests {
             6 => Response::Draining {
                 outstanding: rng.next_u64(),
             },
-            _ => Response::Error {
+            7 => Response::Error {
                 code: ErrorCode::from_u8(1 + (rng.next_u64() % 5) as u8).unwrap(),
                 msg: arb_string(rng),
+            },
+            _ => Response::Restarting {
+                workers: rng.next_u64(),
             },
         }
     }

@@ -33,9 +33,111 @@ use romp_trace::json_escape;
 use crate::job::{execute, JobLimits, JobOutcome, JobState};
 use crate::lifecycle::{terminal_for, DedupConfig, JobTable};
 use crate::metrics::Metrics;
-use crate::queue::JobQueue;
+use crate::queue::{JobQueue, QueuedJob};
 use crate::reactor::{Mailbox, Reactor};
 use crate::session::ServeCore;
+
+/// Where the dispatcher sends admitted jobs: the seam that lets
+/// `romp-cluster` replace the in-process execution loop with routing to
+/// a pool of worker processes, while admission, the job table, the
+/// watchdog and the reactors stay untouched.
+///
+/// The implementation's [`run`](Dispatch::run) plays the role of
+/// the built-in dispatch loop: pop jobs through the [`DispatchCtx`] until the
+/// queue closes and every accepted job has been completed via
+/// [`DispatchCtx::complete`] — the zero-dropped-jobs drain contract is
+/// the implementor's to keep.
+pub trait Dispatch: Send + Sync + 'static {
+    /// The dispatcher body; called once on the `serve-dispatch` thread.
+    /// Must not return until the queue is closed **and** every popped
+    /// job has been completed.
+    fn run(&self, ctx: DispatchCtx);
+
+    /// The watchdog found `job` unresponsive to cancellation past the
+    /// escalation grace.  Return `true` if the dispatcher took an
+    /// escalating action (e.g. killed the worker process running it).
+    fn escalate(&self, job: u64) -> bool {
+        let _ = job;
+        false
+    }
+
+    /// Operator-triggered rolling restart; `Some(n)` = scheduled across
+    /// `n` workers.  `None` = unsupported.
+    fn rolling_restart(&self) -> Option<u64> {
+        None
+    }
+
+    /// Extra stats spliced into the `Stats` JSON under `"cluster"`.
+    fn stats_json(&self) -> Option<String> {
+        None
+    }
+
+    /// Shared-memory result slots still held after the drain (leak
+    /// detector; reported in the [`DrainReport`]).
+    fn rmem_leaked(&self) -> u64 {
+        0
+    }
+}
+
+/// The dispatcher's window into the serving stack, handed to
+/// [`Dispatch::run`].  Wraps the queue/table/metrics so an external
+/// dispatcher observes exactly the bookkeeping the in-process loop does.
+#[derive(Clone)]
+pub struct DispatchCtx {
+    shared: Arc<Shared>,
+}
+
+impl DispatchCtx {
+    /// Pop the next admitted job (blocking), recording queue-wait
+    /// latency and depth.  `None` means the queue is closed and empty —
+    /// the drain signal; finish outstanding work and return from `run`.
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let qjob = self.shared.queue.pop()?;
+        let now = self.shared.table.clock().now_ns();
+        self.shared
+            .metrics
+            .lat_queue
+            .record(now.saturating_sub(qjob.enqueued_ns));
+        self.shared
+            .metrics
+            .queue_depth
+            .set(self.shared.queue.len() as u64);
+        Some(qjob)
+    }
+
+    /// Transition `job` to `Running`.  `false` means it turned terminal
+    /// while queued (cancel / queued-deadline kill) — skip it; whoever
+    /// killed it already completed it.
+    pub fn begin_run(&self, job: u64) -> bool {
+        self.shared.table.begin_run(job)
+    }
+
+    /// Record a popped job's terminal state: metrics, the EWMA feeding
+    /// admission backpressure, the table entry, and the completion
+    /// broadcast that answers parked `Await`s.  Call exactly once per
+    /// job that [`begin_run`](DispatchCtx::begin_run) admitted.
+    pub fn complete(&self, job: u64, state: JobState, outcome: JobOutcome, exec_ns: u64) {
+        self.shared.metrics.lat_exec.record(exec_ns);
+        self.shared.note_exec_time(exec_ns);
+        self.shared.finish_job(job, state, outcome);
+    }
+
+    /// The server's shared runtime handle (cheap clone) — the metrics
+    /// registry lives on its tracer.
+    pub fn runtime(&self) -> Runtime {
+        self.shared.rt.clone()
+    }
+
+    /// Current clock nanoseconds (the table's clock).
+    pub fn now_ns(&self) -> u64 {
+        self.shared.table.clock().now_ns()
+    }
+
+    /// Whether the graceful drain has begun.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+}
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -110,6 +212,9 @@ pub(crate) struct Shared {
     /// One mailbox per reactor: completions are broadcast so whichever
     /// reactor parked an `Await` on the job hears about it.
     pub(crate) mailboxes: Vec<Arc<Mailbox>>,
+    /// When present, jobs route here instead of the in-process
+    /// [`dispatch_loop`] (the cluster mode).
+    pub(crate) remote: Option<Arc<dyn Dispatch>>,
 }
 
 impl Shared {
@@ -131,6 +236,26 @@ impl Shared {
         for mb in &self.mailboxes {
             mb.notify_completion(id);
         }
+    }
+
+    /// Record a terminal transition end-to-end: the per-state counter,
+    /// the table entry (with total/cancel latency), and the completion
+    /// broadcast.  Shared by the in-process dispatcher and
+    /// [`DispatchCtx::complete`].
+    fn finish_job(&self, id: u64, state: JobState, outcome: JobOutcome) {
+        match state {
+            JobState::Done => self.metrics.completed.incr(),
+            JobState::Cancelled => self.metrics.cancelled.incr(),
+            JobState::TimedOut => self.metrics.timed_out.incr(),
+            _ => self.metrics.failed.incr(),
+        }
+        if let Some(stamp) = self.table.finish(id, state, outcome) {
+            self.metrics.lat_total.record(stamp.total_ns);
+            if let Some(ns) = stamp.cancel_latency_ns {
+                self.metrics.wd_cancel_latency.record(ns);
+            }
+        }
+        self.complete_job(id);
     }
 }
 
@@ -184,11 +309,17 @@ impl ServeCore for Shared {
 
     fn stats_json(&self) -> String {
         let m = &self.metrics;
+        let cluster = self
+            .remote
+            .as_ref()
+            .and_then(|d| d.stats_json())
+            .map(|j| format!("\"cluster\":{j},"))
+            .unwrap_or_default();
         format!(
             "{{\"backend\":\"{}\",\"degraded\":{},\"draining\":{},\
              \"queue_depth\":{},\"queue_cap\":{},\"outstanding\":{},\
              \"accepted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\
-             \"cancelled\":{},\"timed_out\":{},\
+             \"cancelled\":{},\"timed_out\":{},{}\
              \"metrics\":{}}}",
             json_escape(self.rt.backend_kind().label()),
             self.rt.degraded(),
@@ -202,12 +333,17 @@ impl ServeCore for Shared {
             m.failed.get(),
             m.cancelled.get(),
             m.timed_out.get(),
+            cluster,
             self.rt.tracer().metrics().snapshot().to_json(),
         )
     }
 
     fn on_complete(&self, job: u64) {
         self.complete_job(job);
+    }
+
+    fn rolling_restart(&self) -> Option<u64> {
+        self.remote.as_ref().and_then(|d| d.rolling_restart())
     }
 }
 
@@ -233,6 +369,10 @@ pub struct DrainReport {
     /// on a graceful drain** — every accepted job ends as exactly one of
     /// completed / failed / cancelled / timed-out.
     pub dropped: u64,
+    /// Shared-memory result slots still held at drain (cluster mode; the
+    /// rmem leak detector).  **Always zero on a graceful drain** — every
+    /// slot a worker fills is released when its result is fetched.
+    pub rmem_leaked: u64,
 }
 
 impl DrainReport {
@@ -240,7 +380,8 @@ impl DrainReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"accepted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
-             \"timed_out\":{},\"rejected\":{},\"proto_errors\":{},\"dropped\":{}}}",
+             \"timed_out\":{},\"rejected\":{},\"proto_errors\":{},\"dropped\":{},\
+             \"rmem_leaked\":{}}}",
             self.accepted,
             self.completed,
             self.failed,
@@ -248,7 +389,8 @@ impl DrainReport {
             self.timed_out,
             self.rejected,
             self.proto_errors,
-            self.dropped
+            self.dropped,
+            self.rmem_leaked
         )
     }
 }
@@ -275,6 +417,29 @@ impl Server {
     /// cheap handle) to inspect degradation or drain traces while the
     /// server runs; all jobs execute on its one persistent pool.
     pub fn start(addr: &str, cfg: ServeConfig, rt: Runtime) -> std::io::Result<ServerHandle> {
+        Self::launch(addr, cfg, rt, None)
+    }
+
+    /// [`Server::start`], but jobs route to `dispatch` instead of the
+    /// in-process execution loop — the cluster mode.  The runtime is
+    /// still required: its tracer hosts the metrics registry and the
+    /// reactors' admission policy reads its activity counter; it just
+    /// never runs job kernels.
+    pub fn start_with_dispatch(
+        addr: &str,
+        cfg: ServeConfig,
+        rt: Runtime,
+        dispatch: Arc<dyn Dispatch>,
+    ) -> std::io::Result<ServerHandle> {
+        Self::launch(addr, cfg, rt, Some(dispatch))
+    }
+
+    fn launch(
+        addr: &str,
+        cfg: ServeConfig,
+        rt: Runtime,
+        remote: Option<Arc<dyn Dispatch>>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let metrics = Metrics::new(rt.tracer().metrics());
@@ -291,6 +456,7 @@ impl Server {
             metrics,
             exec_ewma_ns: AtomicU64::new(0),
             mailboxes,
+            remote,
             cfg,
             rt,
         });
@@ -298,7 +464,12 @@ impl Server {
         let disp_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
             .name("serve-dispatch".into())
-            .spawn(move || dispatch_loop(&disp_shared))?;
+            .spawn(move || match disp_shared.remote.clone() {
+                Some(d) => d.run(DispatchCtx {
+                    shared: Arc::clone(&disp_shared),
+                }),
+                None => dispatch_loop(&disp_shared),
+            })?;
 
         let wd_shared = Arc::clone(&shared);
         let watchdog = std::thread::Builder::new()
@@ -387,6 +558,12 @@ impl ServerHandle {
             rejected: m.rejected.get(),
             proto_errors: m.proto_errors.get(),
             dropped: accepted.saturating_sub(completed + failed + cancelled + timed_out),
+            rmem_leaked: self
+                .shared
+                .remote
+                .as_ref()
+                .map(|d| d.rmem_leaked())
+                .unwrap_or(0),
         }
     }
 }
@@ -461,21 +638,9 @@ fn dispatch_loop(shared: &Shared) {
             // job's regions unwound, so whatever it returned is partial.
             Ok(out) => terminal_for(qjob.cancel.reason(), out),
         };
-        match state {
-            JobState::Done => shared.metrics.completed.incr(),
-            JobState::Cancelled => shared.metrics.cancelled.incr(),
-            JobState::TimedOut => shared.metrics.timed_out.incr(),
-            _ => shared.metrics.failed.incr(),
-        }
-        if let Some(stamp) = shared.table.finish(qjob.id, state, outcome) {
-            shared.metrics.lat_total.record(stamp.total_ns);
-            if let Some(ns) = stamp.cancel_latency_ns {
-                shared.metrics.wd_cancel_latency.record(ns);
-            }
-        }
-        // After the outcome is visible in the table (lock released): any
-        // reactor holding a parked Await can consume it.
-        shared.complete_job(qjob.id);
+        // finish_job makes the outcome visible in the table, then
+        // broadcasts so any reactor holding a parked Await can consume it.
+        shared.finish_job(qjob.id, state, outcome);
     }
 }
 
@@ -519,8 +684,16 @@ fn watchdog_loop(shared: &Shared) {
             shared.complete_job(*id);
         }
         if let Some(id) = report.escalate {
+            // Cluster mode: escalation is the remote dispatcher's (it
+            // kills the worker process running the job — the supervisor
+            // then retries survivors and respawns).
+            if let Some(remote) = &shared.remote {
+                if remote.escalate(id) {
+                    shared.metrics.wd_escalations.incr();
+                }
+            }
             // Outside the jobs lock: poisoning takes backend-internal locks.
-            if shared
+            else if shared
                 .rt
                 .poison_backend(&format!("watchdog: job {id} unresponsive to cancellation"))
             {

@@ -78,6 +78,14 @@ pub trait ServeCore {
     /// a queued job): notify whoever parks `Await`s.
     fn on_complete(&self, job: u64);
 
+    /// Operator-triggered rolling restart of the worker pool.  Returns
+    /// the number of workers being cycled, or `None` when there is no
+    /// pool behind this core (the single-process server and the
+    /// simulator), which answers the client with a typed refusal.
+    fn rolling_restart(&self) -> Option<u64> {
+        None
+    }
+
     /// The clock requests are timestamped against.
     fn clock(&self) -> &Clock {
         self.table().clock()
@@ -278,6 +286,13 @@ pub trait ServeCore {
                     outstanding: self.outstanding(),
                 }
             }
+            Request::Restart => match self.rolling_restart() {
+                Some(workers) => Response::Restarting { workers },
+                None => Response::Error {
+                    code: ErrorCode::BadPayload,
+                    msg: "rolling restart requires a worker pool (--workers)".into(),
+                },
+            },
             Request::Submit { .. } | Request::Await { .. } => Response::Error {
                 code: ErrorCode::BadPayload,
                 msg: "internal: submit/await bypassed the reactor".into(),
