@@ -2,11 +2,22 @@
 //!
 //! ```text
 //! loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16,64] [--requests N]
-//!         [--pipeline N] [--rate R] [--mix epcc|npb|mixed] [--json]
+//!         [--pipeline N] [--rate R] [--mix epcc|npb|mixed|hi=10,batch=90]
+//!         [--hi-deadline-ms MS] [--hi-p99-max-us US] [--json]
 //! loadgen --workers-sweep 0,1,2,4 [--server-bin PATH] [other flags]
 //! loadgen --addr HOST:PORT --ping
 //! loadgen --addr HOST:PORT --shutdown
 //! ```
+//!
+//! `--mix hi=P,batch=Q` is the **mixed-priority** mode: `P` percent of
+//! each client's stream is tagged Hi priority with a tight explicit
+//! deadline (`--hi-deadline-ms`, default 150), the rest floods the Batch
+//! lane.  The report adds per-class p50/p99 and shed counts; a
+//! `ShedDeadline` answer abandons that job (it is *not* retried — the
+//! server's verdict is that the deadline cannot be met) and counts toward
+//! the class's `sheds`.  With `--hi-p99-max-us` the process exits
+//! non-zero when the Hi class misses the bound or records any failed or
+//! shed job — the CI overload gate.
 //!
 //! `--workers-sweep` runs one phase per pool width, spawning a fresh
 //! `romp-serve` child for each (`0` = the single-process baseline, `N>0`
@@ -49,7 +60,9 @@ use romp_serve::{Client, JobSpec, Request, Response};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--clients N | --sweep 1,4,16,64] \
-         [--requests N] [--pipeline N] [--rate R] [--mix epcc|npb|mixed] [--json]\n\
+         [--requests N] [--pipeline N] [--rate R] \
+         [--mix epcc|npb|mixed|hi=10,batch=90] [--hi-deadline-ms MS] \
+         [--hi-p99-max-us US] [--json]\n\
          \x20      loadgen --workers-sweep 0,1,2,4 [--server-bin PATH] [flags]\n\
          \x20      loadgen --addr HOST:PORT --ping | --shutdown"
     );
@@ -61,6 +74,11 @@ enum Mix {
     Epcc,
     Npb,
     Mixed,
+    /// Mixed-priority: `hi_pct` percent of the stream is Hi priority
+    /// with a tight deadline, the rest Batch (EPCC specs throughout).
+    Priority {
+        hi_pct: u64,
+    },
 }
 
 impl Mix {
@@ -69,7 +87,26 @@ impl Mix {
             "epcc" => Some(Mix::Epcc),
             "npb" => Some(Mix::Npb),
             "mixed" => Some(Mix::Mixed),
-            _ => None,
+            _ => {
+                // "hi=10,batch=90" (the batch share is implied; when both
+                // are given they must sum to 100).
+                let mut hi: Option<u64> = None;
+                let mut batch: Option<u64> = None;
+                for part in s.split(',') {
+                    let (k, v) = part.split_once('=')?;
+                    let v: u64 = v.trim().parse().ok()?;
+                    match k.trim() {
+                        "hi" => hi = Some(v),
+                        "batch" => batch = Some(v),
+                        _ => return None,
+                    }
+                }
+                let hi_pct = hi?;
+                if hi_pct > 100 || batch.is_some_and(|b| hi_pct + b != 100) {
+                    return None;
+                }
+                Some(Mix::Priority { hi_pct })
+            }
         }
     }
 
@@ -78,6 +115,15 @@ impl Mix {
             Mix::Epcc => "epcc",
             Mix::Npb => "npb",
             Mix::Mixed => "mixed",
+            Mix::Priority { .. } => "priority",
+        }
+    }
+
+    /// Whether the k-th request rides the Hi lane (priority mix only).
+    fn is_hi(self, k: u64) -> bool {
+        match self {
+            Mix::Priority { hi_pct } => k % 100 < hi_pct,
+            _ => false,
         }
     }
 
@@ -108,7 +154,7 @@ impl Mix {
             threads: 2,
         };
         match self {
-            Mix::Epcc => epcc,
+            Mix::Epcc | Mix::Priority { .. } => epcc,
             Mix::Npb => npb,
             Mix::Mixed => {
                 if k % 16 == 15 {
@@ -121,13 +167,59 @@ impl Mix {
     }
 }
 
+/// Rank quantile over a sorted latency vector, microseconds.
+fn quantile_us_of(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let n = sorted_ns.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted_ns[rank - 1] as f64 / 1_000.0
+}
+
+/// Per-priority-class accounting (priority mix only; class 0 = Hi,
+/// class 1 = Batch).
+#[derive(Default)]
+struct ClassTally {
+    latencies_ns: Mutex<Vec<u64>>,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    sheds: AtomicU64,
+}
+
 #[derive(Default)]
 struct PhaseTally {
     latencies_ns: Mutex<Vec<u64>>,
     completed: AtomicU64,
     failed_verification: AtomicU64,
     rejections: AtomicU64,
+    sheds: AtomicU64,
     protocol_errors: AtomicU64,
+    classes: [ClassTally; 2],
+}
+
+/// One class's digest in a [`PhaseReport`].
+struct ClassReport {
+    name: &'static str,
+    completed: u64,
+    failed: u64,
+    sheds: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl ClassReport {
+    fn to_json(&self) -> String {
+        format!(
+            "\"{}\": {{\"completed\": {}, \"failed\": {}, \"sheds\": {}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            self.name,
+            self.completed,
+            self.failed,
+            self.sheds,
+            quantile_us_of(&self.latencies_ns, 0.50),
+            quantile_us_of(&self.latencies_ns, 0.99),
+        )
+    }
 }
 
 struct PhaseReport {
@@ -135,9 +227,12 @@ struct PhaseReport {
     completed: u64,
     failed_verification: u64,
     rejections: u64,
+    sheds: u64,
     protocol_errors: u64,
     wall_s: f64,
     latencies_ns: Vec<u64>,
+    /// `[Hi, Batch]`, present for the priority mix.
+    classes: Option<[ClassReport; 2]>,
 }
 
 impl PhaseReport {
@@ -146,12 +241,7 @@ impl PhaseReport {
     }
 
     fn quantile_us(&self, q: f64) -> f64 {
-        if self.latencies_ns.is_empty() {
-            return 0.0;
-        }
-        let n = self.latencies_ns.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        self.latencies_ns[rank - 1] as f64 / 1_000.0
+        quantile_us_of(&self.latencies_ns, q)
     }
 
     fn mean_us(&self) -> f64 {
@@ -163,15 +253,22 @@ impl PhaseReport {
     }
 
     fn to_json(&self) -> String {
+        let classes = match &self.classes {
+            Some([hi, batch]) => {
+                format!(", \"classes\": {{{}, {}}}", hi.to_json(), batch.to_json())
+            }
+            None => String::new(),
+        };
         format!(
             "{{\"clients\": {}, \"completed\": {}, \"failed_verification\": {}, \
-             \"rejections\": {}, \"protocol_errors\": {}, \"wall_s\": {:.4}, \
+             \"rejections\": {}, \"sheds\": {}, \"protocol_errors\": {}, \"wall_s\": {:.4}, \
              \"throughput_rps\": {:.2}, \"mean_us\": {:.1}, \"p50_us\": {:.1}, \
-             \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}}",
+             \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}{classes}}}",
             self.clients,
             self.completed,
             self.failed_verification,
             self.rejections,
+            self.sheds,
             self.protocol_errors,
             self.wall_s,
             self.throughput_rps(),
@@ -184,19 +281,34 @@ impl PhaseReport {
     }
 
     fn render(&self) -> String {
-        format!(
-            "clients={:<3} completed={:<6} rejected={:<5} proto_err={:<3} \
+        let mut line = format!(
+            "clients={:<3} completed={:<6} rejected={:<5} shed={:<4} proto_err={:<3} \
              {:>8.1} req/s   p50={:.1}us p90={:.1}us p99={:.1}us p999={:.1}us",
             self.clients,
             self.completed,
             self.rejections,
+            self.sheds,
             self.protocol_errors,
             self.throughput_rps(),
             self.quantile_us(0.50),
             self.quantile_us(0.90),
             self.quantile_us(0.99),
             self.quantile_us(0.999),
-        )
+        );
+        if let Some(classes) = &self.classes {
+            for c in classes {
+                line.push_str(&format!(
+                    "\n  {:<5} completed={:<6} failed={:<4} shed={:<4} p50={:.1}us p99={:.1}us",
+                    c.name,
+                    c.completed,
+                    c.failed,
+                    c.sheds,
+                    quantile_us_of(&c.latencies_ns, 0.50),
+                    quantile_us_of(&c.latencies_ns, 0.99),
+                ));
+            }
+        }
+        line
     }
 }
 
@@ -204,30 +316,41 @@ impl PhaseReport {
 /// result that matches nothing in flight (a misrouted response — counted
 /// as a protocol error by the caller).
 fn note_completion(
-    inflight: &mut HashMap<u64, Instant>,
+    inflight: &mut HashMap<u64, (Instant, Option<usize>)>,
     local_lat: &mut Vec<u64>,
     tally: &PhaseTally,
     done: &mut u64,
     job: u64,
     ok: bool,
 ) -> bool {
-    let Some(t0) = inflight.remove(&job) else {
+    let Some((t0, class)) = inflight.remove(&job) else {
         return false;
     };
-    local_lat.push(t0.elapsed().as_nanos() as u64);
+    let lat = t0.elapsed().as_nanos() as u64;
+    local_lat.push(lat);
     *done += 1;
     tally.completed.fetch_add(1, Ordering::Relaxed);
     if !ok {
         tally.failed_verification.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(c) = class {
+        let ct = &tally.classes[c];
+        ct.latencies_ns.lock().push(lat);
+        ct.completed.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            ct.failed.fetch_add(1, Ordering::Relaxed);
+        }
     }
     true
 }
 
 /// One client thread's share of a phase: a pipelined submit/await window
 /// of up to `pipeline` in-flight jobs on a single connection.
+#[allow(clippy::too_many_arguments)] // one knob per CLI flag
 fn client_worker(
     addr: String,
     mix: Mix,
+    hi_deadline_ms: u32,
     client_idx: u64,
     requests: u64,
     rate: f64,
@@ -249,7 +372,7 @@ fn client_worker(
         None
     };
     let mut local_lat = Vec::with_capacity(requests as usize);
-    let mut inflight: HashMap<u64, Instant> = HashMap::new();
+    let mut inflight: HashMap<u64, (Instant, Option<usize>)> = HashMap::new();
     let mut sent = 0u64;
     let mut done = 0u64;
     let fail = |what: &str, tally: &PhaseTally| {
@@ -268,17 +391,31 @@ fn client_worker(
                 }
             }
             let t0 = due.unwrap_or_else(Instant::now);
-            let spec = mix.job(client_idx.wrapping_mul(7919).wrapping_add(sent));
+            let k = client_idx.wrapping_mul(7919).wrapping_add(sent);
+            let spec = mix.job(k);
+            // The priority mix: Hi jobs carry a tight deadline on lane 1,
+            // everything else floods the Batch lane.
+            let class = match mix {
+                Mix::Priority { .. } => Some(if mix.is_hi(k) { 0 } else { 1 }),
+                _ => None,
+            };
+            let (deadline_ms, priority) = match class {
+                Some(0) => (hi_deadline_ms, 1u8),
+                Some(_) => (0, 2u8),
+                None => (0, 0u8),
+            };
             let submit = Request::Submit {
                 spec,
-                deadline_ms: 0,
+                deadline_ms,
                 idem_key: 0,
                 affinity: client_idx.wrapping_add(1),
+                priority,
             };
             let retry_until = Instant::now() + Duration::from_secs(60);
             // Send the submission, then read until its (request-ordered)
             // answer arrives; any JobResult met on the way is a completed
-            // await from earlier in the pipeline.
+            // await from earlier in the pipeline.  `None` = shed (the job
+            // is abandoned, never retried).
             let job = loop {
                 if let Err(e) = client.send(&submit) {
                     fail(&format!("submit send failed: {e}"), &tally);
@@ -307,7 +444,7 @@ fn client_worker(
                     }
                 };
                 match sync {
-                    Response::Accepted { job } => break job,
+                    Response::Accepted { job } => break Some(job),
                     Response::Rejected { retry_after_ms } => {
                         tally.rejections.fetch_add(1, Ordering::Relaxed);
                         if Instant::now() >= retry_until {
@@ -318,13 +455,23 @@ fn client_worker(
                             u64::from(retry_after_ms).clamp(1, 250),
                         ));
                     }
+                    Response::ShedDeadline { .. } => break None,
                     other => {
                         fail(&format!("unexpected submit answer: {other:?}"), &tally);
                         break 'phase;
                     }
                 }
             };
-            inflight.insert(job, t0);
+            let Some(job) = job else {
+                tally.sheds.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = class {
+                    tally.classes[c].sheds.fetch_add(1, Ordering::Relaxed);
+                }
+                sent += 1;
+                done += 1;
+                continue;
+            };
+            inflight.insert(job, (t0, class));
             if let Err(e) = client.send(&Request::Await { job }) {
                 fail(&format!("await send failed: {e}"), &tally);
                 break 'phase;
@@ -359,6 +506,7 @@ fn client_worker(
 fn run_phase(
     addr: &str,
     mix: Mix,
+    hi_deadline_ms: u32,
     clients: usize,
     requests: u64,
     rate: f64,
@@ -373,7 +521,18 @@ fn run_phase(
             let addr = addr.to_string();
             let tally = Arc::clone(&tally);
             let n = per + u64::from((c as u64) < extra);
-            std::thread::spawn(move || client_worker(addr, mix, c as u64, n, rate, pipeline, tally))
+            std::thread::spawn(move || {
+                client_worker(
+                    addr,
+                    mix,
+                    hi_deadline_ms,
+                    c as u64,
+                    n,
+                    rate,
+                    pipeline,
+                    tally,
+                )
+            })
         })
         .collect();
     for h in handles {
@@ -382,14 +541,33 @@ fn run_phase(
     let wall_s = t0.elapsed().as_secs_f64();
     let mut latencies_ns = std::mem::take(&mut *tally.latencies_ns.lock());
     latencies_ns.sort_unstable();
+    let classes = matches!(mix, Mix::Priority { .. }).then(|| {
+        let digest = |name: &'static str, ct: &ClassTally| {
+            let mut lat = std::mem::take(&mut *ct.latencies_ns.lock());
+            lat.sort_unstable();
+            ClassReport {
+                name,
+                completed: ct.completed.load(Ordering::Relaxed),
+                failed: ct.failed.load(Ordering::Relaxed),
+                sheds: ct.sheds.load(Ordering::Relaxed),
+                latencies_ns: lat,
+            }
+        };
+        [
+            digest("hi", &tally.classes[0]),
+            digest("batch", &tally.classes[1]),
+        ]
+    });
     PhaseReport {
         clients,
         completed: tally.completed.load(Ordering::Relaxed),
         failed_verification: tally.failed_verification.load(Ordering::Relaxed),
         rejections: tally.rejections.load(Ordering::Relaxed),
+        sheds: tally.sheds.load(Ordering::Relaxed),
         protocol_errors: tally.protocol_errors.load(Ordering::Relaxed),
         wall_s,
         latencies_ns,
+        classes,
     }
 }
 
@@ -457,6 +635,8 @@ fn main() {
     let mut rate = 0.0f64;
     let mut pipeline = 1u64;
     let mut mix = Mix::Epcc;
+    let mut hi_deadline_ms = 150u32;
+    let mut hi_p99_max_us = 0f64;
     let mut json = false;
     let mut ping = false;
     let mut shutdown = false;
@@ -518,6 +698,22 @@ fn main() {
                 mix = Mix::parse(&need(i + 1)).unwrap_or_else(|| usage());
                 i += 2;
             }
+            "--hi-deadline-ms" => {
+                hi_deadline_ms = need(i + 1)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--hi-p99-max-us" => {
+                hi_p99_max_us = need(i + 1)
+                    .parse()
+                    .ok()
+                    .filter(|&n: &f64| n > 0.0)
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
             "--json" => {
                 json = true;
                 i += 1;
@@ -552,7 +748,15 @@ fn main() {
                 );
             }
             let (mut child, srv_addr) = spawn_server(&bin, w);
-            let report = run_phase(&srv_addr, mix, clients, requests, rate, pipeline);
+            let report = run_phase(
+                &srv_addr,
+                mix,
+                hi_deadline_ms,
+                clients,
+                requests,
+                rate,
+                pipeline,
+            );
             if let Err(e) = Client::connect(srv_addr.as_str()).and_then(|mut c| c.shutdown()) {
                 eprintln!("loadgen: shutdown after workers={w} failed: {e}");
             }
@@ -591,7 +795,7 @@ fn main() {
         let bad: u64 = phases.iter().map(|(_, r)| r.protocol_errors).sum();
         let incomplete = phases
             .iter()
-            .any(|(_, r)| r.completed != requests || r.failed_verification != 0);
+            .any(|(_, r)| r.completed + r.sheds != requests || r.failed_verification != 0);
         if bad > 0 || incomplete {
             eprintln!("loadgen: FAILED (protocol_errors={bad}, incomplete={incomplete})");
             std::process::exit(1);
@@ -632,7 +836,15 @@ fn main() {
         if !json {
             eprintln!("loadgen: phase clients={c} requests={requests} pipeline={pipeline} ...");
         }
-        reports.push(run_phase(&addr, mix, c, requests, rate, pipeline));
+        reports.push(run_phase(
+            &addr,
+            mix,
+            hi_deadline_ms,
+            c,
+            requests,
+            rate,
+            pipeline,
+        ));
     }
 
     if json {
@@ -664,9 +876,28 @@ fn main() {
     let bad: u64 = reports.iter().map(|r| r.protocol_errors).sum();
     let incomplete = reports
         .iter()
-        .any(|r| r.completed != requests || r.failed_verification != 0);
+        .any(|r| r.completed + r.sheds != requests || r.failed_verification != 0);
     if bad > 0 || incomplete {
         eprintln!("loadgen: FAILED (protocol_errors={bad}, incomplete={incomplete})");
         std::process::exit(1);
+    }
+    // The overload gate: the Hi class must finish everything it was
+    // admitted for (no deadline kills, no sheds) within the p99 bound.
+    if hi_p99_max_us > 0.0 {
+        for r in &reports {
+            let Some([hi, _]) = &r.classes else {
+                eprintln!("loadgen: --hi-p99-max-us requires --mix hi=..,batch=..");
+                std::process::exit(2);
+            };
+            let p99 = quantile_us_of(&hi.latencies_ns, 0.99);
+            if hi.failed != 0 || hi.sheds != 0 || p99 > hi_p99_max_us {
+                eprintln!(
+                    "loadgen: FAILED hi-class gate (failed={}, sheds={}, p99={p99:.1}us, \
+                     bound={hi_p99_max_us:.1}us)",
+                    hi.failed, hi.sheds
+                );
+                std::process::exit(1);
+            }
+        }
     }
 }

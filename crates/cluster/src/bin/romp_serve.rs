@@ -5,6 +5,7 @@
 //!            [--queue-cap N] [--max-job-threads N] [--threads N]
 //!            [--deadline-ms N] [--grace-ms N] [--reactors N]
 //!            [--shards N] [--allow-diag]
+//!            [--shed] [--lane-weights HI,NORM,BATCH] [--retry-floor-ms N]
 //!            [--workers N] [--worker-threads N] [--worker-bin PATH]
 //! ```
 //!
@@ -31,7 +32,8 @@ fn usage() -> ! {
         "usage: romp-serve [--addr HOST:PORT] [--backend native|mca] \
          [--queue-cap N] [--max-job-threads N] [--threads N] \
          [--deadline-ms N] [--grace-ms N] [--reactors N] [--shards N] \
-         [--allow-diag] [--workers N] [--worker-threads N] \
+         [--allow-diag] [--shed] [--lane-weights HI,NORM,BATCH] \
+         [--retry-floor-ms N] [--workers N] [--worker-threads N] \
          [--worker-bin PATH]"
     );
     std::process::exit(2);
@@ -48,6 +50,9 @@ fn main() {
     let mut reactors = 1usize;
     let mut shards: Option<usize> = None;
     let mut allow_diag = false;
+    let mut shed = false;
+    let mut lane_weights: Option<[u32; romp_serve::LANES]> = None;
+    let mut retry_floor_ms: Option<u32> = None;
     let mut workers = 0usize;
     let mut worker_threads: Option<usize> = None;
     let mut worker_bin: Option<std::path::PathBuf> = None;
@@ -97,6 +102,28 @@ fn main() {
                 allow_diag = true;
                 i += 1;
             }
+            "--shed" => {
+                shed = true;
+                i += 1;
+            }
+            "--lane-weights" => {
+                let raw = need(i + 1);
+                let parts: Vec<u32> = raw
+                    .split(',')
+                    .map(|p| p.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if parts.len() != romp_serve::LANES {
+                    usage();
+                }
+                let mut w = [0u32; romp_serve::LANES];
+                w.copy_from_slice(&parts);
+                lane_weights = Some(w);
+                i += 2;
+            }
+            "--retry-floor-ms" => {
+                retry_floor_ms = Some(need(i + 1).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             "--workers" => {
                 workers = need(i + 1).parse().unwrap_or_else(|_| usage());
                 i += 2;
@@ -138,10 +165,17 @@ fn main() {
         },
         default_deadline_ms,
         reactors,
+        shed,
         ..ServeConfig::default()
     };
     if let Some(grace) = escalation_grace_ms {
         serve_cfg.escalation_grace_ms = grace;
+    }
+    if let Some(w) = lane_weights {
+        serve_cfg.lane_weights = w;
+    }
+    if let Some(floor) = retry_floor_ms {
+        serve_cfg.retry_floor_ms = floor;
     }
 
     let start = if workers > 0 {

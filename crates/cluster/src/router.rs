@@ -538,7 +538,13 @@ impl Router {
             _ => terminal_for(inf.job.cancel.reason(), outcome),
         };
         if let Some(ctx) = self.ctx.get() {
-            ctx.complete(job, state, outcome, wall_us.saturating_mul(1000));
+            ctx.complete(
+                job,
+                &inf.job.spec.label(),
+                state,
+                outcome,
+                wall_us.saturating_mul(1000),
+            );
         }
         self.cv.notify_all();
     }
@@ -609,7 +615,7 @@ impl Router {
                     },
                 );
                 if let Some(ctx) = self.ctx.get() {
-                    ctx.complete(inf.job.id, state, outcome, 0);
+                    ctx.complete(inf.job.id, &inf.job.spec.label(), state, outcome, 0);
                 }
             } else if inf.retries < self.cfg.max_retries && !stopping {
                 inf.retries += 1;
@@ -621,6 +627,7 @@ impl Router {
             } else if let Some(ctx) = self.ctx.get() {
                 ctx.complete(
                     inf.job.id,
+                    &inf.job.spec.label(),
                     JobState::Failed,
                     JobOutcome {
                         ok: false,
@@ -651,7 +658,7 @@ impl Router {
                     },
                 );
                 if let Some(ctx) = self.ctx.get() {
-                    ctx.complete(j.id, state, outcome, 0);
+                    ctx.complete(j.id, &j.spec.label(), state, outcome, 0);
                 }
                 return;
             }
@@ -689,6 +696,7 @@ impl Router {
                             if let Some(ctx) = self.ctx.get() {
                                 ctx.complete(
                                     j.id,
+                                    &j.spec.label(),
                                     JobState::Failed,
                                     JobOutcome {
                                         ok: false,

@@ -47,6 +47,14 @@ pub enum ClientError {
         /// Server-provided detail.
         msg: String,
     },
+    /// Admission control predicted the job would miss its deadline and
+    /// shed it.  Distinct from `Rejected` backpressure: retrying the same
+    /// deadline into the same backlog cannot help, so the retry loop
+    /// surfaces this immediately instead of burning its budget.
+    Shed {
+        /// The wait the server predicted, milliseconds.
+        predicted_wait_ms: u32,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -57,6 +65,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Closed => write!(f, "server closed the connection"),
             ClientError::Unexpected(r) => write!(f, "unexpected response: {r:?}"),
             ClientError::Server { code, msg } => write!(f, "server error {code:?}: {msg}"),
+            ClientError::Shed { predicted_wait_ms } => write!(
+                f,
+                "shed at admission: predicted wait {predicted_wait_ms}ms exceeds deadline slack"
+            ),
         }
     }
 }
@@ -81,6 +93,13 @@ pub enum SubmitOutcome {
     },
     /// The server is draining and takes no new work.
     Draining,
+    /// Shed at admission: the predicted queue wait exceeds the job's
+    /// deadline slack.  Unlike `Rejected` there is no point retrying
+    /// with the same deadline — lower the load or loosen the deadline.
+    ShedDeadline {
+        /// The wait the server predicted, milliseconds.
+        predicted_wait_ms: u32,
+    },
 }
 
 /// Per-submission options (see [`crate::Request::Submit`] for the wire
@@ -95,6 +114,8 @@ pub struct SubmitOptions {
     /// Affinity key; non-zero pins the job's tasks to one runtime shard
     /// so related jobs share caches.  `0` = no preference.
     pub affinity: u64,
+    /// Scheduling lane: `0` = Normal (default), `1` = Hi, `2`+ = Batch.
+    pub priority: u8,
 }
 
 /// A connected client (one TCP stream, used serially).
@@ -198,6 +219,7 @@ impl Client {
             deadline_ms: opts.deadline_ms,
             idem_key: opts.idem_key,
             affinity: opts.affinity,
+            priority: opts.priority,
         };
         let resp = if opts.idem_key != 0 {
             self.call_retrying(&req)?
@@ -207,6 +229,9 @@ impl Client {
         match resp {
             Response::Accepted { job } => Ok(SubmitOutcome::Accepted(job)),
             Response::Rejected { retry_after_ms } => Ok(SubmitOutcome::Rejected { retry_after_ms }),
+            Response::ShedDeadline { predicted_wait_ms } => {
+                Ok(SubmitOutcome::ShedDeadline { predicted_wait_ms })
+            }
             Response::Error {
                 code: ErrorCode::Draining,
                 ..
@@ -251,6 +276,12 @@ impl Client {
             match self.submit_opts(spec, opts)? {
                 SubmitOutcome::Accepted(id) => return Ok(Some((id, rejections))),
                 SubmitOutcome::Draining => return Ok(None),
+                // A shed is a verdict, not backpressure: the same deadline
+                // against the same backlog sheds again, so retrying here
+                // would burn the whole budget learning nothing.
+                SubmitOutcome::ShedDeadline { predicted_wait_ms } => {
+                    return Err(ClientError::Shed { predicted_wait_ms });
+                }
                 SubmitOutcome::Rejected { retry_after_ms } => {
                     rejections += 1;
                     if Instant::now() >= deadline {

@@ -84,6 +84,6 @@ pub use lifecycle::{DedupConfig, JobTable};
 pub use metrics::Metrics;
 pub use protocol::{ErrorCode, ProtoError, Request, Response, MAX_FRAME};
 pub use queue::QueuedJob;
-pub use queue::{JobQueue, PushError};
+pub use queue::{lane_name, lane_of, JobQueue, PushError, DEFAULT_LANE_WEIGHTS, LANES};
 pub use server::{Dispatch, DispatchCtx, DrainReport, ServeConfig, Server, ServerHandle};
 pub use session::{ServeCore, Session};

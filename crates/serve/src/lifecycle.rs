@@ -247,6 +247,7 @@ impl JobTable {
     /// `admitted = false`.  The caller MUST then either push the job
     /// into the queue and call [`confirm_admitted`](Self::confirm_admitted),
     /// or call [`retract`](Self::retract) if admission failed.
+    #[allow(clippy::too_many_arguments)] // mirrors the Submit wire frame
     pub fn stage(
         &self,
         spec: JobSpec,
@@ -255,6 +256,7 @@ impl JobTable {
         limits: &JobLimits,
         idem_key: u64,
         affinity: u64,
+        priority: u8,
     ) -> Result<QueuedJob, StageRefusal> {
         if let Err(msg) = spec.validate(limits) {
             return Err(StageRefusal::Invalid(msg));
@@ -310,6 +312,7 @@ impl JobTable {
             cancel,
             deadline_ns,
             affinity,
+            priority,
         })
     }
 
@@ -640,10 +643,17 @@ pub fn terminal_for(reason: Option<CancelReason>, outcome: JobOutcome) -> (JobSt
 }
 
 /// Back-pressure hint: how long a refused client should wait before
-/// retrying, scaled by queue depth and the exec-time EWMA.
-pub fn retry_after_hint(ewma_ns: u64, depth: usize) -> u32 {
+/// retrying, scaled by queue depth and the exec-time EWMA, never below
+/// `floor_ms`.
+///
+/// The floor covers the cold start: before the first job completes the
+/// EWMA is 0, and without a floor every early `Rejected` would tell a
+/// whole arrival wave to retry in 1 ms — a synchronized stampede at the
+/// exact moment the queue is provably full.
+pub fn retry_after_hint(ewma_ns: u64, depth: usize, floor_ms: u32) -> u32 {
     let per_job_ms = ewma_ns.max(1_000_000) / 1_000_000;
-    ((depth as u64 + 1) * per_job_ms).clamp(1, 10_000) as u32
+    let floor = u64::from(floor_ms.max(1)).min(10_000);
+    ((depth as u64 + 1) * per_job_ms).clamp(floor, 10_000) as u32
 }
 
 #[cfg(test)]
@@ -668,11 +678,13 @@ mod tests {
         let vc = VirtualClock::new(0);
         let t = table(vc.clock(), 16, 1_000_000_000);
         let limits = JobLimits::default();
-        let job = t.stage(spec(), 0, 0, &limits, 42, 0).expect("first stage");
+        let job = t
+            .stage(spec(), 0, 0, &limits, 42, 0, 0)
+            .expect("first stage");
         // Duplicate while the original is staged but not admitted:
         // must NOT be handed the original's id (the id could evaporate
         // if admission fails — the exact lost-job race this PR fixes).
-        match t.stage(spec(), 0, 0, &limits, 42, 0) {
+        match t.stage(spec(), 0, 0, &limits, 42, 0, 0) {
             Err(StageRefusal::IdemPending) => {}
             other => panic!("expected IdemPending, got {other:?}"),
         }
@@ -682,12 +694,12 @@ mod tests {
         assert_eq!(t.retractions(), 1);
         assert_eq!(t.dedup_size(), 0);
         let retry = t
-            .stage(spec(), 0, 0, &limits, 42, 0)
+            .stage(spec(), 0, 0, &limits, 42, 0, 0)
             .expect("retry after retract");
         assert_ne!(retry.id, job.id);
         // After admission confirms, duplicates get the original id.
         t.confirm_admitted(&[retry.id]);
-        match t.stage(spec(), 0, 0, &limits, 42, 0) {
+        match t.stage(spec(), 0, 0, &limits, 42, 0, 0) {
             Err(StageRefusal::IdemAdmitted(id)) => assert_eq!(id, retry.id),
             other => panic!("expected IdemAdmitted, got {other:?}"),
         }
@@ -698,7 +710,7 @@ mod tests {
         let vc = VirtualClock::new(0);
         let t = table(vc.clock(), 16, 1_000_000);
         let limits = JobLimits::default();
-        let job = t.stage(spec(), 0, 0, &limits, 7, 0).expect("stage");
+        let job = t.stage(spec(), 0, 0, &limits, 7, 0, 0).expect("stage");
         t.confirm_admitted(&[job.id]);
         assert!(t.begin_run(job.id));
         t.finish(
@@ -731,7 +743,7 @@ mod tests {
         let mut terminal_ids = Vec::new();
         for key in 1..=3u64 {
             vc.advance_to(key * 1_000); // distinct terminal_at stamps
-            let job = t.stage(spec(), 0, 0, &limits, key, 0).expect("stage");
+            let job = t.stage(spec(), 0, 0, &limits, key, 0, 0).expect("stage");
             t.confirm_admitted(&[job.id]);
             assert!(t.begin_run(job.id));
             t.finish(
@@ -746,7 +758,9 @@ mod tests {
             terminal_ids.push(job.id);
         }
         // One live job: its key must survive any cap pressure.
-        let live = t.stage(spec(), 0, 0, &limits, 99, 0).expect("stage live");
+        let live = t
+            .stage(spec(), 0, 0, &limits, 99, 0, 0)
+            .expect("stage live");
         t.confirm_admitted(&[live.id]);
         let report = t.sweep(0, 1_000_000_000);
         // 4 keys, cap 2 -> evict 2 oldest-terminal (keys 1 and 2).
@@ -767,9 +781,11 @@ mod tests {
         let vc = VirtualClock::new(0);
         let t = table(vc.clock(), 16, u64::MAX);
         let limits = JobLimits::default();
-        let queued = t.stage(spec(), 1, 0, &limits, 0, 0).expect("stage queued");
-        let run_a = t.stage(spec(), 0, 0, &limits, 0, 0).expect("stage a");
-        let run_b = t.stage(spec(), 0, 0, &limits, 0, 0).expect("stage b");
+        let queued = t
+            .stage(spec(), 1, 0, &limits, 0, 0, 0)
+            .expect("stage queued");
+        let run_a = t.stage(spec(), 0, 0, &limits, 0, 0, 0).expect("stage a");
+        let run_b = t.stage(spec(), 0, 0, &limits, 0, 0, 0).expect("stage b");
         assert!(t.begin_run(run_a.id));
         assert!(t.begin_run(run_b.id));
         assert_eq!(t.cancel(run_a.id, 5), CancelOutcome::Cancelling);

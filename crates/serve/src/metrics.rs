@@ -80,6 +80,15 @@ pub struct Metrics {
     pub reactor_batch: Arc<Histogram>,
     /// Connections currently registered.
     pub reactor_conns: Arc<Gauge>,
+    /// Per-lane queue depth after the latest admission (Hi/Normal/Batch).
+    pub sched_depth: [Arc<Gauge>; 3],
+    /// Per-lane submissions admitted.
+    pub sched_admits: [Arc<Counter>; 3],
+    /// Per-lane submissions shed at admission (`ShedDeadline`).
+    pub sched_sheds: [Arc<Counter>; 3],
+    /// Accepted jobs that still missed their deadline (queued or running
+    /// past it — each one is a prediction the shed gate got wrong).
+    pub sched_deadline_miss: Arc<Counter>,
 }
 
 impl Metrics {
@@ -121,6 +130,22 @@ impl Metrics {
             reactor_events: reg.histogram("serve.reactor.events_per_wakeup", &counts),
             reactor_batch: reg.histogram("serve.reactor.batch_size", &counts),
             reactor_conns: reg.gauge("serve.reactor.connections"),
+            sched_depth: [
+                reg.gauge("serve.sched.depth.hi"),
+                reg.gauge("serve.sched.depth.normal"),
+                reg.gauge("serve.sched.depth.batch"),
+            ],
+            sched_admits: [
+                reg.counter("serve.sched.admits.hi"),
+                reg.counter("serve.sched.admits.normal"),
+                reg.counter("serve.sched.admits.batch"),
+            ],
+            sched_sheds: [
+                reg.counter("serve.sched.sheds.hi"),
+                reg.counter("serve.sched.sheds.normal"),
+                reg.counter("serve.sched.sheds.batch"),
+            ],
+            sched_deadline_miss: reg.counter("serve.sched.deadline_miss"),
         }
     }
 }

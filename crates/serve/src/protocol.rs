@@ -90,6 +90,12 @@ pub enum Request {
         /// `0` means "no preference" and leaves placement to the
         /// spawning worker.
         affinity: u64,
+        /// Dispatch priority lane: `0` = Normal (the default — clients
+        /// that never set it keep their old service), `1` = Hi
+        /// (latency-sensitive; overtakes queued Normal/Batch work under
+        /// the weighted pick), `2` and above = Batch (background; never
+        /// starved, weights guarantee a share of dispatches).
+        priority: u8,
     },
     /// Ask for a job's current [`JobState`].
     Poll {
@@ -189,6 +195,16 @@ pub enum Response {
         /// Suggested client backoff before resubmitting, milliseconds.
         retry_after_ms: u32,
     },
+    /// Admission-time shed: the predicted queue wait already exceeds the
+    /// job's deadline slack, so accepting it would only burn a worker on
+    /// a guaranteed deadline kill.  Unlike `Rejected` this is *not* a
+    /// retry hint — the job as submitted structurally cannot meet its
+    /// deadline under current load; resubmit with a looser deadline, a
+    /// higher priority lane, or not at all.
+    ShedDeadline {
+        /// The server's wait estimate that exceeded the slack, ms.
+        predicted_wait_ms: u32,
+    },
     /// Answer to `Poll`.
     Status {
         /// The polled job.
@@ -253,6 +269,7 @@ const OP_STATS_BODY: u8 = 0x85;
 const OP_PONG: u8 = 0x86;
 const OP_DRAINING: u8 = 0x87;
 const OP_RESTARTING: u8 = 0x88;
+const OP_SHED: u8 = 0x89;
 const OP_ERROR: u8 = 0x8F;
 
 // ---- byte cursor (decode side) ----
@@ -486,11 +503,13 @@ impl Request {
                 deadline_ms,
                 idem_key,
                 affinity,
+                priority,
             } => {
                 body.push(OP_SUBMIT);
                 body.extend_from_slice(&deadline_ms.to_be_bytes());
                 body.extend_from_slice(&idem_key.to_be_bytes());
                 body.extend_from_slice(&affinity.to_be_bytes());
+                body.push(*priority);
                 encode_spec(&mut body, spec);
             }
             Request::Poll { job } => {
@@ -526,11 +545,13 @@ impl Request {
                 let deadline_ms = cur.u32()?;
                 let idem_key = cur.u64()?;
                 let affinity = cur.u64()?;
+                let priority = cur.u8()?;
                 Request::Submit {
                     spec: decode_spec(&mut cur)?,
                     deadline_ms,
                     idem_key,
                     affinity,
+                    priority,
                 }
             }
             OP_POLL => Request::Poll { job: cur.u64()? },
@@ -560,6 +581,10 @@ impl Response {
             Response::Rejected { retry_after_ms } => {
                 body.push(OP_REJECTED);
                 body.extend_from_slice(&retry_after_ms.to_be_bytes());
+            }
+            Response::ShedDeadline { predicted_wait_ms } => {
+                body.push(OP_SHED);
+                body.extend_from_slice(&predicted_wait_ms.to_be_bytes());
             }
             Response::Status { job, state } => {
                 body.push(OP_STATUS);
@@ -608,6 +633,9 @@ impl Response {
             OP_ACCEPTED => Response::Accepted { job: cur.u64()? },
             OP_REJECTED => Response::Rejected {
                 retry_after_ms: cur.u32()?,
+            },
+            OP_SHED => Response::ShedDeadline {
+                predicted_wait_ms: cur.u32()?,
             },
             OP_STATUS => Response::Status {
                 job: cur.u64()?,
@@ -766,6 +794,7 @@ mod tests {
                 deadline_ms: rng.next_u64() as u32,
                 idem_key: rng.next_u64(),
                 affinity: rng.next_u64(),
+                priority: rng.next_u64() as u8,
             },
             1 => Request::Poll {
                 job: rng.next_u64(),
@@ -787,7 +816,7 @@ mod tests {
     }
 
     fn arb_response(rng: &mut SmallRng) -> Response {
-        match rng.next_u64() % 9 {
+        match rng.next_u64() % 10 {
             0 => Response::Accepted {
                 job: rng.next_u64(),
             },
@@ -814,6 +843,9 @@ mod tests {
             7 => Response::Error {
                 code: ErrorCode::from_u8(1 + (rng.next_u64() % 5) as u8).unwrap(),
                 msg: arb_string(rng),
+            },
+            8 => Response::ShedDeadline {
+                predicted_wait_ms: rng.next_u64() as u32,
             },
             _ => Response::Restarting {
                 workers: rng.next_u64(),

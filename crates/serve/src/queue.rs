@@ -1,6 +1,6 @@
-//! The admission-controlled job queue.
+//! The admission-controlled job queue: priority lanes + EDF order.
 //!
-//! A bounded FIFO between the connection handlers (producers) and the
+//! A bounded queue between the connection handlers (producers) and the
 //! dispatcher (consumer).  Admission is a *non-blocking* `try_push`: a
 //! full queue refuses immediately — the server turns the refusal into a
 //! `Rejected { retry_after_ms }` response so backpressure reaches the
@@ -8,13 +8,66 @@
 //! connection.  `close()` starts the drain: producers are refused from
 //! then on, while the consumer keeps popping until the queue is empty,
 //! which is exactly the "no accepted job is ever dropped" guarantee.
+//!
+//! ## Dispatch order
+//!
+//! Internally the queue is **three priority lanes** (Hi / Normal /
+//! Batch, selected by the submit frame's `priority` byte), each an
+//! **EDF min-heap**: earliest absolute deadline first, jobs without a
+//! deadline last, equal keys broken by admission order (a global
+//! sequence number), so the old FIFO behavior is exactly preserved for
+//! same-lane deadline-free traffic.
+//!
+//! Across lanes the consumer picks by **weighted credits** (default
+//! Hi:4 / Normal:2 / Batch:1): each lane starts a round with credits
+//! equal to its weight, the pop takes the highest-priority non-empty
+//! lane that still has credits (spending one), and when every non-empty
+//! lane is out of credits the round resets.  Hi traffic therefore
+//! preempts the *order* but can never starve Batch: with weights
+//! `[h, n, b]` a queued Batch job is dispatched within `h + n` pops
+//! even under saturating Hi load.
+//!
+//! [`JobQueue::predicted_wait_jobs`] models that pick for admission
+//! control: how many queued jobs will be served before a new arrival in
+//! a given lane, accounting for the fact that a Hi job overtakes the
+//! Batch backlog (a naive `depth × EWMA` estimate would shed Hi jobs
+//! precisely when the lanes exist to protect them).
 
-use std::collections::VecDeque;
+use std::collections::BinaryHeap;
 
 use mca_sync::{Condvar, Mutex};
 use romp::CancelToken;
 
 use crate::job::JobSpec;
+
+/// Number of priority lanes (Hi / Normal / Batch).
+pub const LANES: usize = 3;
+
+/// Default lane weights for the credit-based pick: Hi / Normal / Batch.
+pub const DEFAULT_LANE_WEIGHTS: [u32; LANES] = [4, 2, 1];
+
+/// Map a submit-frame `priority` byte to a lane index.
+///
+/// `0` is Normal (the wire default, so pre-priority clients keep their
+/// old middle-of-the-road service), `1` is Hi, and everything else is
+/// Batch — unknown higher bytes degrade to background service rather
+/// than jumping the queue.
+pub fn lane_of(priority: u8) -> usize {
+    match priority {
+        1 => 0,
+        0 => 1,
+        _ => 2,
+    }
+}
+
+/// Human label for a lane index (metrics/JSON key suffix).
+pub fn lane_name(lane: usize) -> &'static str {
+    match lane {
+        0 => "hi",
+        1 => "normal",
+        _ => "batch",
+    }
+}
 
 /// One accepted job riding the queue.
 ///
@@ -39,6 +92,9 @@ pub struct QueuedJob {
     /// to one runtime shard (the dispatcher arms it around execution).
     /// `0` = no preference.
     pub affinity: u64,
+    /// Priority byte from the submit frame (`0` = Normal, `1` = Hi,
+    /// `2+` = Batch); selects the dispatch lane via [`lane_of`].
+    pub priority: u8,
 }
 
 /// Why `try_push` refused.
@@ -63,9 +119,71 @@ pub struct BatchAdmit {
     pub closed: bool,
 }
 
+/// Heap entry: EDF key (deadline-ns, `u64::MAX` when unbounded) with a
+/// global admission sequence number as the FIFO tiebreak.
+struct LaneEntry {
+    key: u64,
+    seq: u64,
+    job: QueuedJob,
+}
+
+impl PartialEq for LaneEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for LaneEntry {}
+impl PartialOrd for LaneEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LaneEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `BinaryHeap` is a max-heap; invert so the earliest deadline
+        // (then the earliest admission) pops first.
+        (other.key, other.seq).cmp(&(self.key, self.seq))
+    }
+}
+
 struct QueueInner {
-    q: VecDeque<QueuedJob>,
+    lanes: [BinaryHeap<LaneEntry>; LANES],
+    credits: [u32; LANES],
+    seq: u64,
     closed: bool,
+}
+
+impl QueueInner {
+    fn len(&self) -> usize {
+        self.lanes.iter().map(BinaryHeap::len).sum()
+    }
+
+    fn push(&mut self, job: QueuedJob) {
+        let key = job.deadline_ns.unwrap_or(u64::MAX);
+        let seq = self.seq;
+        self.seq += 1;
+        self.lanes[lane_of(job.priority)].push(LaneEntry { key, seq, job });
+    }
+
+    /// The weighted-credit pick (see module docs).  `weights` lives on
+    /// the (immutable) queue; credits are per-round state under the lock.
+    fn pop(&mut self, weights: &[u32; LANES]) -> Option<QueuedJob> {
+        if self.lanes.iter().all(BinaryHeap::is_empty) {
+            return None;
+        }
+        let lane = match (0..LANES).find(|&l| self.credits[l] > 0 && !self.lanes[l].is_empty()) {
+            Some(l) => l,
+            None => {
+                // Every non-empty lane exhausted its round: start a new one.
+                self.credits = *weights;
+                (0..LANES)
+                    .find(|&l| !self.lanes[l].is_empty())
+                    .expect("some lane is non-empty")
+            }
+        };
+        self.credits[lane] = self.credits[lane].saturating_sub(1);
+        self.lanes[lane].pop().map(|e| e.job)
+    }
 }
 
 /// The bounded MPSC job queue (see module docs).
@@ -73,18 +191,30 @@ pub struct JobQueue {
     inner: Mutex<QueueInner>,
     cv: Condvar,
     cap: usize,
+    weights: [u32; LANES],
 }
 
 impl JobQueue {
-    /// A queue admitting at most `cap` jobs (`cap >= 1`).
+    /// A queue admitting at most `cap` jobs (`cap >= 1`), with the
+    /// default lane weights.
     pub fn new(cap: usize) -> Self {
+        Self::with_weights(cap, DEFAULT_LANE_WEIGHTS)
+    }
+
+    /// A queue with explicit Hi/Normal/Batch lane weights (each clamped
+    /// to at least 1 so no lane can be configured into starvation).
+    pub fn with_weights(cap: usize, weights: [u32; LANES]) -> Self {
+        let weights = weights.map(|w| w.max(1));
         JobQueue {
             inner: Mutex::new(QueueInner {
-                q: VecDeque::with_capacity(cap.max(1)),
+                lanes: Default::default(),
+                credits: weights,
+                seq: 0,
                 closed: false,
             }),
             cv: Condvar::new(),
             cap: cap.max(1),
+            weights,
         }
     }
 
@@ -93,14 +223,55 @@ impl JobQueue {
         self.cap
     }
 
+    /// The configured Hi/Normal/Batch lane weights.
+    pub fn weights(&self) -> [u32; LANES] {
+        self.weights
+    }
+
     /// Jobs currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().q.len()
+        self.inner.lock().len()
+    }
+
+    /// Jobs currently queued, per lane (Hi / Normal / Batch).
+    pub fn lane_depths(&self) -> [usize; LANES] {
+        let inner = self.inner.lock();
+        [
+            inner.lanes[0].len(),
+            inner.lanes[1].len(),
+            inner.lanes[2].len(),
+        ]
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// How many queued jobs the weighted pick will serve *before* a job
+    /// that enters the lane selected by `priority` right now.
+    ///
+    /// All `d_L` jobs already in the arrival's own lane go first (EDF
+    /// within a lane is at worst FIFO for the newcomer).  Draining those
+    /// `d_L + 1` jobs takes `ceil((d_L + 1) / w_L)` credit rounds, and in
+    /// each round every *other* lane `M` may serve up to `w_M` of its
+    /// queued jobs — but never more than it has.  The sum is the overtake
+    /// bound the admission-time shed check multiplies by the service-time
+    /// EWMA.
+    pub fn predicted_wait_jobs(&self, priority: u8) -> u64 {
+        let inner = self.inner.lock();
+        let lane = lane_of(priority);
+        let d_l = inner.lanes[lane].len() as u64;
+        let w_l = u64::from(self.weights[lane]);
+        let rounds = (d_l + 1).div_ceil(w_l);
+        let mut wait = d_l;
+        for m in 0..LANES {
+            if m != lane {
+                let d_m = inner.lanes[m].len() as u64;
+                wait += d_m.min(rounds * u64::from(self.weights[m]));
+            }
+        }
+        wait
     }
 
     /// Non-blocking admission.  Returns the depth *after* the push.
@@ -109,11 +280,11 @@ impl JobQueue {
         if inner.closed {
             return Err(PushError::Closed);
         }
-        if inner.q.len() >= self.cap {
+        if inner.len() >= self.cap {
             return Err(PushError::Full);
         }
-        inner.q.push_back(job);
-        let depth = inner.q.len();
+        inner.push(job);
+        let depth = inner.len();
         drop(inner);
         self.cv.notify_one();
         Ok(depth)
@@ -122,26 +293,27 @@ impl JobQueue {
     /// Batched admission: push as large a prefix of `jobs` as fits, under
     /// **one** lock acquisition and with **one** consumer wakeup — the
     /// amortization the reactor relies on when a single poll wakeup
-    /// decodes many pipelined submissions.  Order is preserved (and so is
-    /// per-connection FIFO, since each reactor batches in frame order).
-    /// Jobs beyond the admitted prefix are dropped here; the caller still
-    /// owns their ids and unwinds its own bookkeeping.
+    /// decodes many pipelined submissions.  Admission order is preserved
+    /// (each admitted job takes the next global sequence number), so
+    /// per-connection FIFO still holds within a lane for deadline-free
+    /// traffic.  Jobs beyond the admitted prefix are dropped here; the
+    /// caller still owns their ids and unwinds its own bookkeeping.
     pub fn try_push_batch(&self, jobs: Vec<QueuedJob>) -> BatchAdmit {
         let n = jobs.len();
         let mut inner = self.inner.lock();
         if inner.closed {
             return BatchAdmit {
                 admitted: 0,
-                depth: inner.q.len(),
+                depth: inner.len(),
                 closed: true,
             };
         }
-        let room = self.cap.saturating_sub(inner.q.len());
+        let room = self.cap.saturating_sub(inner.len());
         let admitted = n.min(room);
         for job in jobs.into_iter().take(admitted) {
-            inner.q.push_back(job);
+            inner.push(job);
         }
-        let depth = inner.q.len();
+        let depth = inner.len();
         drop(inner);
         if admitted > 0 {
             // One consumer (the dispatcher); it drains without re-waiting
@@ -160,7 +332,7 @@ impl JobQueue {
     pub fn pop(&self) -> Option<QueuedJob> {
         let mut inner = self.inner.lock();
         loop {
-            if let Some(job) = inner.q.pop_front() {
+            if let Some(job) = inner.pop(&self.weights) {
                 return Some(job);
             }
             if inner.closed {
@@ -174,7 +346,7 @@ impl JobQueue {
     /// a virtual-time event loop cannot block in `pop`).  `None` means
     /// "empty right now", with no closed/open distinction.
     pub fn try_pop(&self) -> Option<QueuedJob> {
-        self.inner.lock().q.pop_front()
+        self.inner.lock().pop(&self.weights)
     }
 
     /// Begin the drain: refuse producers, let the consumer run dry.
@@ -207,6 +379,15 @@ mod tests {
             cancel: CancelToken::new(),
             deadline_ns: None,
             affinity: 0,
+            priority: 0,
+        }
+    }
+
+    fn job_at(id: u64, priority: u8, deadline_ns: Option<u64>) -> QueuedJob {
+        QueuedJob {
+            priority,
+            deadline_ns,
+            ..job(id)
         }
     }
 
@@ -299,5 +480,104 @@ mod tests {
             total += 1;
         }
         assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_within_a_lane() {
+        let q = JobQueue::new(8);
+        q.try_push(job_at(1, 0, None)).unwrap();
+        q.try_push(job_at(2, 0, Some(900))).unwrap();
+        q.try_push(job_at(3, 0, Some(100))).unwrap();
+        q.try_push(job_at(4, 0, Some(500))).unwrap();
+        // Earliest deadline first; the unbounded job last.
+        assert_eq!(q.try_pop().unwrap().id, 3);
+        assert_eq!(q.try_pop().unwrap().id, 4);
+        assert_eq!(q.try_pop().unwrap().id, 2);
+        assert_eq!(q.try_pop().unwrap().id, 1);
+    }
+
+    #[test]
+    fn equal_deadlines_break_ties_in_admission_order() {
+        let q = JobQueue::new(8);
+        for id in 1..=5u64 {
+            q.try_push(job_at(id, 0, Some(777))).unwrap();
+        }
+        for id in 1..=5u64 {
+            assert_eq!(q.try_pop().unwrap().id, id, "FIFO tiebreak");
+        }
+    }
+
+    #[test]
+    fn hi_lane_overtakes_batch_backlog() {
+        let q = JobQueue::new(16);
+        for id in 1..=6u64 {
+            q.try_push(job_at(id, 2, None)).unwrap();
+        }
+        q.try_push(job_at(100, 1, None)).unwrap();
+        assert_eq!(q.lane_depths(), [1, 0, 6]);
+        assert_eq!(q.try_pop().unwrap().id, 100, "Hi jumps the Batch backlog");
+    }
+
+    #[test]
+    fn batch_is_never_starved_by_saturating_hi_load() {
+        // Property: with weights [h, n, b], a queued Batch job is
+        // dispatched within h + n pops even when the Hi lane is refilled
+        // after every pop.  Sweep a few weight configurations.
+        for weights in [[4, 2, 1], [1, 1, 1], [8, 3, 2]] {
+            let q = JobQueue::with_weights(1024, weights);
+            let k = (weights[0] + weights[1]) as usize;
+            q.try_push(job_at(9999, 2, None)).unwrap();
+            let mut next_hi = 1u64;
+            for _ in 0..k {
+                q.try_push(job_at(next_hi, 1, None)).unwrap();
+                next_hi += 1;
+            }
+            let mut hi_dispatches = 0usize;
+            loop {
+                let j = q.try_pop().expect("queue never empty here");
+                if j.id == 9999 {
+                    break;
+                }
+                hi_dispatches += 1;
+                assert!(
+                    hi_dispatches <= k,
+                    "batch job starved past {k} pops (weights {weights:?})"
+                );
+                // Keep the Hi lane saturated.
+                q.try_push(job_at(next_hi, 1, None)).unwrap();
+                next_hi += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_wait_accounts_for_lane_overtake() {
+        let q = JobQueue::new(64);
+        for id in 0..30u64 {
+            q.try_push(job_at(id, 2, None)).unwrap();
+        }
+        // A Hi arrival into an empty Hi lane waits for at most one round
+        // of other-lane credits, not the whole Batch backlog.
+        let hi = q.predicted_wait_jobs(1);
+        assert!(hi <= 3, "hi wait {hi} should ignore the batch backlog");
+        // A Batch arrival waits behind its whole lane.
+        let batch = q.predicted_wait_jobs(2);
+        assert!(batch >= 30, "batch wait {batch} sees its own backlog");
+        // Empty queue: nothing ahead regardless of lane.
+        let empty = JobQueue::new(8);
+        assert_eq!(empty.predicted_wait_jobs(0), 0);
+        assert_eq!(empty.predicted_wait_jobs(1), 0);
+        assert_eq!(empty.predicted_wait_jobs(2), 0);
+    }
+
+    #[test]
+    fn lane_mapping_is_stable() {
+        assert_eq!(lane_of(1), 0, "priority 1 = Hi");
+        assert_eq!(lane_of(0), 1, "priority 0 = Normal (wire default)");
+        assert_eq!(lane_of(2), 2, "priority 2 = Batch");
+        assert_eq!(lane_of(255), 2, "unknown priorities degrade to Batch");
+        assert_eq!(lane_name(0), "hi");
+        assert_eq!(lane_name(1), "normal");
+        assert_eq!(lane_name(2), "batch");
     }
 }

@@ -30,10 +30,14 @@ use mca_platform::Clock;
 use romp::Runtime;
 use romp_trace::json_escape;
 
+use std::collections::HashMap;
+
+use mca_sync::Mutex;
+
 use crate::job::{execute, JobLimits, JobOutcome, JobState};
 use crate::lifecycle::{terminal_for, DedupConfig, JobTable};
 use crate::metrics::Metrics;
-use crate::queue::{JobQueue, QueuedJob};
+use crate::queue::{lane_name, JobQueue, QueuedJob, DEFAULT_LANE_WEIGHTS, LANES};
 use crate::reactor::{Mailbox, Reactor};
 use crate::session::ServeCore;
 
@@ -102,6 +106,7 @@ impl DispatchCtx {
             .metrics
             .queue_depth
             .set(self.shared.queue.len() as u64);
+        self.shared.set_lane_depths();
         Some(qjob)
     }
 
@@ -112,13 +117,26 @@ impl DispatchCtx {
         self.shared.table.begin_run(job)
     }
 
-    /// Record a popped job's terminal state: metrics, the EWMA feeding
-    /// admission backpressure, the table entry, and the completion
-    /// broadcast that answers parked `Await`s.  Call exactly once per
-    /// job that [`begin_run`](DispatchCtx::begin_run) admitted.
-    pub fn complete(&self, job: u64, state: JobState, outcome: JobOutcome, exec_ns: u64) {
+    /// Record a popped job's terminal state: metrics, the global and
+    /// per-class EWMAs feeding admission backpressure and the shed gate
+    /// (`label` is the job's [`crate::JobSpec::label`]; a zero `exec_ns`
+    /// — a job that never ran — leaves the class EWMA untouched), the
+    /// table entry, and the completion broadcast that answers parked
+    /// `Await`s.  Call exactly once per job that
+    /// [`begin_run`](DispatchCtx::begin_run) admitted.
+    pub fn complete(
+        &self,
+        job: u64,
+        label: &str,
+        state: JobState,
+        outcome: JobOutcome,
+        exec_ns: u64,
+    ) {
         self.shared.metrics.lat_exec.record(exec_ns);
         self.shared.note_exec_time(exec_ns);
+        if exec_ns > 0 {
+            self.shared.note_class_exec_time(label, exec_ns);
+        }
         self.shared.finish_job(job, state, outcome);
     }
 
@@ -168,6 +186,17 @@ pub struct ServeConfig {
     /// How long a terminal, unfetched job (and its idempotency key) is
     /// retained before the watchdog reclaims it, milliseconds.
     pub result_ttl_ms: u64,
+    /// Admission-time deadline shedding: when enabled, a deadline job
+    /// whose predicted completion (lane-aware queue wait + class EWMA)
+    /// exceeds its slack is answered `ShedDeadline` instead of being
+    /// accepted and later deadline-killed.  Off by default.
+    pub shed: bool,
+    /// Hi/Normal/Batch lane weights for the dispatcher's credit-based
+    /// pick (each clamped to ≥ 1; see [`crate::queue`]).
+    pub lane_weights: [u32; LANES],
+    /// Lower bound on `retry_after_ms` backpressure hints, milliseconds
+    /// (cold-start guard — see [`crate::lifecycle::retry_after_hint`]).
+    pub retry_floor_ms: u32,
 }
 
 impl Default for ServeConfig {
@@ -181,6 +210,9 @@ impl Default for ServeConfig {
             reactors: 1,
             dedup_cap: 4096,
             result_ttl_ms: 60_000,
+            shed: false,
+            lane_weights: DEFAULT_LANE_WEIGHTS,
+            retry_floor_ms: 10,
         }
     }
 }
@@ -209,6 +241,10 @@ pub(crate) struct Shared {
     pub(crate) metrics: Metrics,
     /// EWMA of job execution time, nanoseconds — the retry-after basis.
     pub(crate) exec_ewma_ns: AtomicU64,
+    /// Per-class (`JobSpec::label`) execution-time EWMAs, nanoseconds —
+    /// the shed gate's service-time model.  Seeded by each class's first
+    /// completed sample.
+    pub(crate) class_ewma_ns: Mutex<HashMap<String, u64>>,
     /// One mailbox per reactor: completions are broadcast so whichever
     /// reactor parked an `Await` on the job hears about it.
     pub(crate) mailboxes: Vec<Arc<Mailbox>>,
@@ -227,6 +263,61 @@ impl Shared {
             prev - prev / 8 + ns / 8
         };
         self.exec_ewma_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// Fold one execution sample into its class's EWMA (alpha = 1/8,
+    /// seeded by the first sample, same smoothing as the global EWMA).
+    pub(crate) fn note_class_exec_time(&self, label: &str, ns: u64) {
+        let mut map = self.class_ewma_ns.lock();
+        match map.get_mut(label) {
+            Some(prev) => *prev = *prev - *prev / 8 + ns / 8,
+            None => {
+                map.insert(label.to_string(), ns);
+            }
+        }
+    }
+
+    /// Refresh the per-lane depth gauges from the queue.
+    pub(crate) fn set_lane_depths(&self) {
+        let depths = self.queue.lane_depths();
+        for (lane, &d) in depths.iter().enumerate() {
+            self.metrics.sched_depth[lane].set(d as u64);
+        }
+    }
+
+    /// The `"sched"` section of the stats document.
+    fn sched_json(&self) -> String {
+        let m = &self.metrics;
+        let depths = self.queue.lane_depths();
+        let lanes = (0..LANES)
+            .map(|l| {
+                format!(
+                    "\"{}\":{{\"depth\":{},\"admits\":{},\"sheds\":{}}}",
+                    lane_name(l),
+                    depths[l],
+                    m.sched_admits[l].get(),
+                    m.sched_sheds[l].get()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let classes = {
+            let map = self.class_ewma_ns.lock();
+            let mut entries: Vec<(String, u64)> =
+                map.iter().map(|(k, &v)| (k.clone(), v)).collect();
+            entries.sort();
+            entries
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"lanes\":{{{lanes}}},\"deadline_miss\":{},\"shed\":{},\
+             \"class_ewma_ns\":{{{classes}}}}}",
+            m.sched_deadline_miss.get(),
+            self.cfg.shed,
+        )
     }
 
     /// Broadcast "job `id` is terminal (with its outcome recorded)" to
@@ -293,6 +384,18 @@ impl ServeCore for Shared {
         self.exec_ewma_ns.load(Ordering::Relaxed)
     }
 
+    fn class_ewma_ns(&self, label: &str) -> Option<u64> {
+        self.class_ewma_ns.lock().get(label).copied()
+    }
+
+    fn shed_enabled(&self) -> bool {
+        self.cfg.shed
+    }
+
+    fn retry_floor_ms(&self) -> u32 {
+        self.cfg.retry_floor_ms
+    }
+
     fn activity(&self) -> u64 {
         self.rt.activity()
     }
@@ -320,6 +423,7 @@ impl ServeCore for Shared {
              \"queue_depth\":{},\"queue_cap\":{},\"outstanding\":{},\
              \"accepted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\
              \"cancelled\":{},\"timed_out\":{},{}\
+             \"sched\":{},\
              \"metrics\":{}}}",
             json_escape(self.rt.backend_kind().label()),
             self.rt.degraded(),
@@ -334,6 +438,7 @@ impl ServeCore for Shared {
             m.cancelled.get(),
             m.timed_out.get(),
             cluster,
+            self.sched_json(),
             self.rt.tracer().metrics().snapshot().to_json(),
         )
     }
@@ -448,13 +553,14 @@ impl Server {
             .map(|_| Mailbox::new().map(Arc::new))
             .collect::<std::io::Result<Vec<_>>>()?;
         let shared = Arc::new(Shared {
-            queue: JobQueue::new(cfg.queue_cap),
+            queue: JobQueue::with_weights(cfg.queue_cap, cfg.lane_weights),
             table: JobTable::new(Clock::real(), cfg.dedup()),
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
             wd_stop: AtomicBool::new(false),
             metrics,
             exec_ewma_ns: AtomicU64::new(0),
+            class_ewma_ns: Mutex::new(HashMap::new()),
             mailboxes,
             remote,
             cfg,
@@ -597,6 +703,7 @@ fn dispatch_loop(shared: &Shared) {
             .lat_queue
             .record(started.saturating_sub(qjob.enqueued_ns));
         shared.metrics.queue_depth.set(shared.queue.len() as u64);
+        shared.set_lane_depths();
         // Cancelled (or deadline-killed) while queued: already terminal
         // with an outcome — skip without running (whoever made it
         // terminal also notified the completion bus).
@@ -619,6 +726,9 @@ fn dispatch_loop(shared: &Shared) {
         let exec_ns = clock.now_ns().saturating_sub(started);
         shared.metrics.lat_exec.record(exec_ns);
         shared.note_exec_time(exec_ns);
+        if exec_ns > 0 {
+            shared.note_class_exec_time(&qjob.spec.label(), exec_ns);
+        }
         let (state, outcome) = match result {
             Err(payload) => {
                 // The pool has already contained the unwind (each member
@@ -673,6 +783,12 @@ fn watchdog_loop(shared: &Shared) {
                 .metrics
                 .wd_deadline_fired
                 .add(report.deadline_fired_running);
+        }
+        // Every fired deadline is an accepted job the shed gate (when
+        // on) predicted would make it — count the misses.
+        let misses = killed + report.deadline_fired_running;
+        if misses > 0 {
+            shared.metrics.sched_deadline_miss.add(misses);
         }
         shared.metrics.dedup_size.set(report.dedup_size);
         if report.dedup_evicted > 0 {

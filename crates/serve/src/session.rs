@@ -23,7 +23,7 @@ use crate::job::{JobLimits, JobState};
 use crate::lifecycle::{retry_after_hint, CancelOutcome, Consumed, JobTable, StageRefusal};
 use crate::metrics::Metrics;
 use crate::protocol::{ErrorCode, ProtoError, Request, Response};
-use crate::queue::{JobQueue, QueuedJob};
+use crate::queue::{lane_of, JobQueue, QueuedJob};
 use crate::reactor::{RecvBuf, SendBuf};
 use crate::JobSpec;
 use mca_platform::Clock;
@@ -68,6 +68,10 @@ pub trait ServeCore {
     fn begin_drain(&self);
     /// Smoothed per-job execution time (ns) — the retry-after basis.
     fn ewma_ns(&self) -> u64;
+    /// Smoothed execution time for one job class (`JobSpec::label`),
+    /// `None` until that class completes its first job.  The shed gate
+    /// falls back to the global EWMA for never-seen classes.
+    fn class_ewma_ns(&self, label: &str) -> Option<u64>;
     /// The runtime's activity counter (watchdog progress detection).
     fn activity(&self) -> u64;
     /// Jobs accepted but not yet finished (the `Draining` response).
@@ -91,10 +95,24 @@ pub trait ServeCore {
         self.table().clock()
     }
 
+    /// Whether admission-time deadline shedding is enabled (off by
+    /// default: a deadline job then waits its turn and the watchdog
+    /// enforces the deadline, exactly the pre-shed behavior).
+    fn shed_enabled(&self) -> bool {
+        false
+    }
+
+    /// Lower bound on `retry_after_ms` hints (cold-start guard: before
+    /// the first completion the EWMA is 0 and an unfloored hint would
+    /// synchronize every refused client into an immediate retry wave).
+    fn retry_floor_ms(&self) -> u32 {
+        10
+    }
+
     /// The backpressure hint for a refused client (see
     /// [`retry_after_hint`]).
     fn retry_after_ms(&self) -> u32 {
-        retry_after_hint(self.ewma_ns(), self.queue().len())
+        retry_after_hint(self.ewma_ns(), self.queue().len(), self.retry_floor_ms())
     }
 
     /// Stage a submission: validate, mint the id, insert the table
@@ -107,12 +125,21 @@ pub trait ServeCore {
     /// original's id before admission confirms could leave the
     /// duplicate holding a dangling id if admission then fails (the
     /// lost-job race `romp-sim` reproduces; see [`crate::lifecycle`]).
+    ///
+    /// With shedding enabled, a deadline-carrying job whose predicted
+    /// completion (lane-aware queue wait + its class's service-time
+    /// EWMA) already exceeds its deadline slack is refused with
+    /// [`Response::ShedDeadline`] *after* staging: the idempotency
+    /// check must run first (a duplicate of an admitted job answers
+    /// `Accepted`, never a shed), so a shed unwinds the staging via
+    /// [`JobTable::retract`] like a failed admission does.
     fn prepare_submit(
         &self,
         spec: JobSpec,
         deadline_ms: u32,
         idem_key: u64,
         affinity: u64,
+        priority: u8,
     ) -> Result<QueuedJob, Response> {
         if self.draining() {
             return Err(Response::Error {
@@ -127,8 +154,30 @@ pub trait ServeCore {
             self.limits(),
             idem_key,
             affinity,
+            priority,
         ) {
-            Ok(qjob) => Ok(qjob),
+            Ok(qjob) => {
+                if self.shed_enabled() {
+                    if let Some(deadline_ns) = qjob.deadline_ns {
+                        let slack_ns = deadline_ns.saturating_sub(self.clock().now_ns());
+                        let wait_jobs = self.queue().predicted_wait_jobs(priority);
+                        let global_ns = self.ewma_ns();
+                        let self_ns = self.class_ewma_ns(&qjob.spec.label()).unwrap_or(global_ns);
+                        let predicted_ns =
+                            wait_jobs.saturating_mul(global_ns).saturating_add(self_ns);
+                        if predicted_ns > slack_ns {
+                            self.table().retract(qjob.id);
+                            self.metrics().sched_sheds[lane_of(priority)].incr();
+                            return Err(Response::ShedDeadline {
+                                predicted_wait_ms: (predicted_ns / 1_000_000)
+                                    .clamp(1, u64::from(u32::MAX))
+                                    as u32,
+                            });
+                        }
+                    }
+                }
+                Ok(qjob)
+            }
             Err(StageRefusal::Invalid(why)) => {
                 self.metrics().invalid.incr();
                 Err(Response::Error {
@@ -160,11 +209,19 @@ pub trait ServeCore {
             return Vec::new();
         }
         let ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        let lanes: Vec<usize> = jobs.iter().map(|j| lane_of(j.priority)).collect();
         let res = self.queue().try_push_batch(jobs);
         if res.admitted > 0 {
             self.metrics().accepted.add(res.admitted as u64);
             self.metrics().queue_depth.set(res.depth as u64);
             self.metrics().queue_peak.record_max(res.depth as u64);
+            for &lane in &lanes[..res.admitted] {
+                self.metrics().sched_admits[lane].incr();
+            }
+            let depths = self.queue().lane_depths();
+            for (lane, &d) in depths.iter().enumerate() {
+                self.metrics().sched_depth[lane].set(d as u64);
+            }
             self.table().confirm_admitted(&ids[..res.admitted]);
         }
         ids.iter()
@@ -395,9 +452,10 @@ pub fn route_frames<C: ServeCore + ?Sized>(
                         deadline_ms,
                         idem_key,
                         affinity,
+                        priority,
                     }) => {
                         metrics.req_submit.incr();
-                        match core.prepare_submit(spec, deadline_ms, idem_key, affinity) {
+                        match core.prepare_submit(spec, deadline_ms, idem_key, affinity, priority) {
                             Ok(qjob) => {
                                 batch.push(qjob);
                                 Some(PendingResp::Submit(batch.len() - 1))

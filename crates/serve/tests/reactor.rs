@@ -35,6 +35,7 @@ fn sample_request(rng: &mut SmallRng) -> Request {
             deadline_ms: rng.next_u64() as u32 % 1000,
             idem_key: rng.next_u64(),
             affinity: rng.next_u64(),
+            priority: (rng.next_u64() % 3) as u8,
         },
         1 => Request::Poll {
             job: rng.next_u64() % 100,
@@ -211,6 +212,7 @@ fn pipelined_awaits_on_one_connection() {
             deadline_ms: 0,
             idem_key: 0,
             affinity: 0,
+            priority: 0,
         })
         .unwrap();
         // Submission answers are request-ordered; results interleave.

@@ -89,6 +89,7 @@ fn full_queue_rejects_with_retry_after() {
                 break;
             }
             SubmitOutcome::Draining => panic!("not draining"),
+            SubmitOutcome::ShedDeadline { .. } => panic!("shedding is off by default"),
         }
     }
     assert!(saw_rejection, "a 2-slot queue must overflow under flood");
@@ -211,6 +212,7 @@ fn cancel_raced_against_every_job_state_settles_exactly_once() {
             deadline_ms: if rng.gen_index(0, 4) == 0 { 5_000 } else { 0 },
             idem_key: r + 1,
             affinity: r % 3,
+            priority: (r % 3) as u8,
         };
         match c.submit_opts(&spec, opts).unwrap() {
             SubmitOutcome::Accepted(id) => {
@@ -234,6 +236,7 @@ fn cancel_raced_against_every_job_state_settles_exactly_once() {
                 std::thread::sleep(Duration::from_millis(2));
             }
             SubmitOutcome::Draining => panic!("not draining"),
+            SubmitOutcome::ShedDeadline { .. } => panic!("shedding is off by default"),
         }
     }
     assert!(cancels > 0, "the seed must actually exercise cancellation");

@@ -103,12 +103,14 @@ fn main() -> ExitCode {
                 println!("--- end trace ---");
             }
             println!(
-                "{name} seed={seed}: {} (accepted={} resolved={} rejected={} idem_hits={} \
-                 idem_pending={} retractions={} escalations={} events={} vtime={}ms)",
+                "{name} seed={seed}: {} (accepted={} resolved={} rejected={} sheds={} \
+                 idem_hits={} idem_pending={} retractions={} escalations={} events={} \
+                 vtime={}ms)",
                 if report.ok() { "OK" } else { "FAIL" },
                 report.stats.accepted,
                 report.stats.resolved,
                 report.stats.rejected,
+                report.stats.sheds,
                 report.stats.idem_hits,
                 report.stats.idem_pending_hits,
                 report.stats.retractions,
@@ -136,6 +138,7 @@ fn main() -> ExitCode {
         let mut accepted = 0u64;
         let mut resolved = 0u64;
         let mut rejected = 0u64;
+        let mut sheds = 0u64;
         let mut idem = 0u64;
         let mut escalations = 0u64;
         let mut events = 0u64;
@@ -144,6 +147,7 @@ fn main() -> ExitCode {
             accepted += report.stats.accepted;
             resolved += report.stats.resolved;
             rejected += report.stats.rejected;
+            sheds += report.stats.sheds;
             idem += report.stats.idem_hits;
             escalations += report.stats.escalations;
             events += report.stats.events;
@@ -161,7 +165,8 @@ fn main() -> ExitCode {
         }
         println!(
             "{name}: {}/{} seeds ok (accepted={accepted} resolved={resolved} \
-             rejected={rejected} idem_hits={idem} escalations={escalations} events={events})",
+             rejected={rejected} sheds={sheds} idem_hits={idem} \
+             escalations={escalations} events={events})",
             args.seeds - failures,
             args.seeds,
         );

@@ -49,6 +49,8 @@ pub struct Hammer {
 pub struct ClientProfile {
     /// Jobs to run to completion (ignored by hammers).
     pub jobs: u32,
+    /// Submit priority (0 = Normal, 1 = Hi, 2+ = Batch).
+    pub priority: u8,
     /// P(cancel the job after acceptance).
     pub cancel_pm: u64,
     /// P(send the submit twice back-to-back in one payload).
@@ -103,6 +105,7 @@ pub struct SimClient {
     burst_ids: Vec<u64>,
     burst_retry_ms: Option<u32>,
     burst_drained: bool,
+    burst_shed: bool,
     retries: u32,
     jobs_done: u32,
     hammer_done: u32,
@@ -124,6 +127,9 @@ pub struct SimClient {
     pub gave_up: u32,
     /// Jobs abandoned because the server began draining.
     pub abandoned: u32,
+    /// `ShedDeadline` refusals received (the job is abandoned, never
+    /// retried — a shed is a verdict, not backpressure).
+    pub shed: u64,
     /// `Stats` responses received.
     pub stats_seen: u64,
 }
@@ -140,6 +146,7 @@ impl SimClient {
             burst_ids: Vec::new(),
             burst_retry_ms: None,
             burst_drained: false,
+            burst_shed: false,
             retries: 0,
             jobs_done: 0,
             hammer_done: 0,
@@ -152,6 +159,7 @@ impl SimClient {
             resolved_ok: 0,
             gave_up: 0,
             abandoned: 0,
+            shed: 0,
             stats_seen: 0,
         }
     }
@@ -213,6 +221,7 @@ impl SimClient {
             // Cycle through a few shard keys (0 = no preference) so the
             // sharded submit path is exercised under simulation.
             affinity: u64::from(self.jobs_done % 4),
+            priority: self.profile.priority,
         };
         let mut bytes = req.encode();
         self.expects.push_back(Expect::Submit);
@@ -228,6 +237,7 @@ impl SimClient {
         self.burst_ids.clear();
         self.burst_retry_ms = None;
         self.burst_drained = false;
+        self.burst_shed = false;
         cmds.push(ClientCmd::Send(bytes));
     }
 
@@ -266,7 +276,10 @@ impl SimClient {
         match exp {
             Expect::Submit | Expect::LateDup(_) => matches!(
                 resp,
-                Response::Accepted { .. } | Response::Rejected { .. } | Response::Error { .. }
+                Response::Accepted { .. }
+                    | Response::Rejected { .. }
+                    | Response::ShedDeadline { .. }
+                    | Response::Error { .. }
             ),
             Expect::Cancel(j) => match resp {
                 Response::Status { job, .. } => job == j,
@@ -313,6 +326,10 @@ impl SimClient {
                         let prev = self.burst_retry_ms.unwrap_or(0);
                         self.burst_retry_ms = Some(prev.max(retry_after_ms));
                     }
+                    Response::ShedDeadline { .. } => {
+                        self.shed += 1;
+                        self.burst_shed = true;
+                    }
                     Response::Error {
                         code: ErrorCode::Draining,
                         ..
@@ -333,6 +350,7 @@ impl SimClient {
                         cmds.push(ClientCmd::Send(Request::Await { job }.encode()));
                     }
                     Response::Rejected { .. }
+                    | Response::ShedDeadline { .. }
                     | Response::Error {
                         code: ErrorCode::Draining,
                         ..
@@ -431,6 +449,7 @@ impl SimClient {
                     deadline_ms: 0,
                     idem_key: self.profile.idem_base + u64::from(self.jobs_done) + 1,
                     affinity: 0,
+                    priority: self.profile.priority,
                 };
                 bytes.extend_from_slice(&req.encode());
                 self.expects.push_back(Expect::LateDup(job));
@@ -439,6 +458,11 @@ impl SimClient {
         } else if self.burst_drained {
             self.abandoned += self.profile.jobs - self.jobs_done;
             self.complete_work(rng, cmds);
+        } else if self.burst_shed {
+            // Shed at admission: the job is abandoned, not retried —
+            // resubmitting the same deadline into the same backlog is
+            // exactly what the gate just refused.
+            self.advance_job(now, rng, cmds);
         } else if let Some(ms) = self.burst_retry_ms.take() {
             self.retries += 1;
             if self.retries > self.profile.max_retries {

@@ -11,6 +11,7 @@
 //! deliver instead of broadcast over mailboxes.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 
 use mca_platform::Clock;
 use romp_serve::session::ServeCore;
@@ -25,6 +26,8 @@ pub struct SimCoreConfig {
     pub default_deadline_ms: u32,
     /// Idempotency map bounds.
     pub dedup: DedupConfig,
+    /// Enable deadline-based admission shedding.
+    pub shed: bool,
 }
 
 /// The simulated serving stack's shared state (see module docs).
@@ -35,8 +38,10 @@ pub struct SimCore {
     registry: MetricsRegistry,
     limits: JobLimits,
     default_deadline_ms: u32,
+    shed: bool,
     draining: Cell<bool>,
     ewma_ns: Cell<u64>,
+    class_ewma: RefCell<HashMap<String, u64>>,
     activity: Cell<u64>,
     completions: RefCell<Vec<u64>>,
 }
@@ -56,8 +61,10 @@ impl SimCore {
                 ..JobLimits::default()
             },
             default_deadline_ms: cfg.default_deadline_ms,
+            shed: cfg.shed,
             draining: Cell::new(false),
             ewma_ns: Cell::new(0),
+            class_ewma: RefCell::new(HashMap::new()),
             activity: Cell::new(0),
             completions: RefCell::new(Vec::new()),
         }
@@ -78,6 +85,18 @@ impl SimCore {
             prev - prev / 8 + exec_ns / 8
         };
         self.ewma_ns.set(next);
+    }
+
+    /// Record one job's execution time into its class's EWMA (the
+    /// per-class service-time estimate the shed gate consults).
+    pub fn note_class_exec_time(&self, label: &str, exec_ns: u64) {
+        let mut map = self.class_ewma.borrow_mut();
+        match map.get_mut(label) {
+            Some(prev) => *prev = *prev - *prev / 8 + exec_ns / 8,
+            None => {
+                map.insert(label.to_string(), exec_ns);
+            }
+        }
     }
 
     /// Bump the activity counter (the watchdog's progress signal; the
@@ -125,6 +144,14 @@ impl ServeCore for SimCore {
 
     fn ewma_ns(&self) -> u64 {
         self.ewma_ns.get()
+    }
+
+    fn class_ewma_ns(&self, label: &str) -> Option<u64> {
+        self.class_ewma.borrow().get(label).copied()
+    }
+
+    fn shed_enabled(&self) -> bool {
+        self.shed
     }
 
     fn activity(&self) -> u64 {

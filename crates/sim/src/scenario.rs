@@ -18,6 +18,11 @@
 //!   submit bursts and late duplicates.  Focus: the idempotency map
 //!   and cancel/terminal-state machine under maximum contention (the
 //!   class that reproduced the idem-claim-before-admission race).
+//! * **`overload_storm`** — saturating Batch-priority load with a
+//!   trickle of tight-deadline Hi jobs, admission shedding on.  Focus:
+//!   the EDF/priority dispatcher and the shed gate — Hi jobs are never
+//!   shed, and no accepted job misses its deadline by more than the
+//!   watchdog's enforcement granularity.
 //!
 //! [`run_scenario`] builds a [`World`], runs it to quiescence, and
 //! distils the [`SimReport`] the sweeps and CI gate on.
@@ -99,6 +104,12 @@ pub struct Scenario {
     pub escalation_grace_ms: u64,
     /// Virtual-time budget; exceeding it is a violation.
     pub horizon_ms: u64,
+    /// Enable deadline-based admission shedding (and its invariants).
+    pub shed: bool,
+    /// Leading non-controller clients that submit Hi-priority jobs with
+    /// tight explicit deadlines; with `hi_clients > 0` every other
+    /// non-hammer client submits at Batch priority.
+    pub hi_clients: usize,
 }
 
 impl Scenario {
@@ -136,6 +147,8 @@ impl Scenario {
             watchdog_tick_ms: 10,
             escalation_grace_ms: 60,
             horizon_ms: 300_000,
+            shed: false,
+            hi_clients: 0,
         }
     }
 
@@ -199,6 +212,37 @@ impl Scenario {
         }
     }
 
+    /// Batch saturation against a trickle of tight-deadline Hi jobs,
+    /// with the shed gate on.  Sized so the Batch backlog's predicted
+    /// wait overruns the 100ms default deadline (sheds happen) while
+    /// the Hi lane's weighted overtake keeps Hi predictions far under
+    /// their 150–250ms slack (Hi sheds must be zero).
+    pub fn overload_storm() -> Scenario {
+        Scenario {
+            name: "overload_storm",
+            shed: true,
+            hi_clients: 2,
+            // Enough closed-loop Batch submitters that their collective
+            // in-flight jobs alone outrun the 80ms default deadline —
+            // the storm *must* shed to keep its promises.
+            clients: 24,
+            jobs_per_client: 10,
+            queue_cap: 32,
+            default_deadline_ms: 80,
+            cancel_pm: 50,
+            dup_pm: 100,
+            late_dup_pm: 0,
+            nokey_pm: 100,
+            explicit_deadline_pm: 0,
+            deadline_ms: (150, 250),
+            wedge_pm: 0,
+            fail_pm: 30,
+            exec_ns: (4_000_000, 12_000_000),
+            think_ns: (50_000, 500_000),
+            ..Scenario::base()
+        }
+    }
+
     /// Every scenario class, sweep order.
     pub fn all() -> Vec<Scenario> {
         vec![
@@ -206,6 +250,7 @@ impl Scenario {
             Scenario::partition_heal(),
             Scenario::slow_client(),
             Scenario::cancel_storm(),
+            Scenario::overload_storm(),
         ]
     }
 
@@ -234,6 +279,7 @@ impl Scenario {
                 cap: self.dedup_cap,
                 ttl_ns: self.result_ttl_ms.max(1) * 1_000_000,
             },
+            shed: self.shed,
         }
     }
 
@@ -252,16 +298,32 @@ impl Scenario {
     /// `hammers` clients are stats hammers.
     pub fn profile(&self, i: usize, rng: &mut SmallRng) -> ClientProfile {
         let hammer = i != 0 && i >= self.clients.saturating_sub(self.hammers);
+        // Clients 1..=hi_clients run the Hi lane with explicit tight
+        // deadlines; everyone else is Batch in a mixed-priority run,
+        // Normal (the wire default) otherwise.
+        let hi = !hammer && i != 0 && i <= self.hi_clients;
+        let priority = match (self.hi_clients, hi) {
+            (0, _) => 0,
+            (_, true) => 1,
+            (_, false) => 2,
+        };
         let (alo, ahi) = self.ack_delay_ns;
         ClientProfile {
             jobs: self.jobs_per_client,
+            priority,
             cancel_pm: self.cancel_pm,
             dup_pm: self.dup_pm,
             late_dup_pm: self.late_dup_pm,
-            nokey_pm: self.nokey_pm,
-            explicit_deadline_pm: self.explicit_deadline_pm,
+            nokey_pm: if hi { 0 } else { self.nokey_pm },
+            explicit_deadline_pm: if hi { 1000 } else { self.explicit_deadline_pm },
             deadline_ms: self.deadline_ms,
-            think_ns: self.think_ns,
+            think_ns: if hi {
+                // The Hi trickle: an order of magnitude slower than the
+                // saturating Batch flood.
+                (self.think_ns.0 * 10, self.think_ns.1 * 10)
+            } else {
+                self.think_ns
+            },
             ack_delay_ns: if hammer {
                 ahi
             } else {
@@ -315,6 +377,10 @@ pub struct SimStats {
     pub idem_pending_hits: u64,
     /// Stagings unwound after failed admission.
     pub retractions: u64,
+    /// `serve.sched.sheds.*` total (admission-time deadline sheds).
+    pub sheds: u64,
+    /// Client-side `ShedDeadline` responses received.
+    pub client_sheds: u64,
     /// Double-terminal transitions observed (must be 0).
     pub double_terminal: u64,
     /// Client-side `JobResult`s received.
@@ -347,6 +413,8 @@ impl SimStats {
         self.dedup_evictions += o.dedup_evictions;
         self.idem_pending_hits += o.idem_pending_hits;
         self.retractions += o.retractions;
+        self.sheds += o.sheds;
+        self.client_sheds += o.client_sheds;
         self.double_terminal += o.double_terminal;
         self.resolved += o.resolved;
         self.stats_seen += o.stats_seen;
@@ -400,6 +468,8 @@ pub fn run_scenario(sc: Scenario, seed: u64, capture_trace: bool) -> SimReport {
         dedup_evictions: m.dedup_evictions.get(),
         idem_pending_hits: t.idem_pending_hits(),
         retractions: t.retractions(),
+        sheds: m.sched_sheds.iter().map(|c| c.get()).sum(),
+        client_sheds: w.clients().iter().map(|c| c.shed).sum(),
         double_terminal: t.double_terminal(),
         resolved: w.clients().iter().map(|c| c.resolved).sum(),
         stats_seen: w.clients().iter().map(|c| c.stats_seen).sum(),

@@ -84,6 +84,11 @@ struct Running {
     exec: u64,
     gen: u64,
     cancel: CancelToken,
+    /// Job-class label (feeds the per-class service-time EWMA).
+    label: String,
+    /// Absolute deadline, if the job carries one (the overload
+    /// scenario's miss-bound check).
+    deadline_ns: Option<u64>,
     /// Outcome if it runs to completion untouched.
     ok: bool,
     panics: bool,
@@ -560,6 +565,8 @@ impl World {
                 job: qjob.id,
                 exec,
                 gen: 0,
+                label: qjob.spec.label(),
+                deadline_ns: qjob.deadline_ns,
                 cancel: qjob.cancel,
                 ok,
                 panics,
@@ -612,6 +619,9 @@ impl World {
         let m = self.core.metrics();
         m.lat_exec.record(exec_ns);
         self.core.note_exec_time(exec_ns);
+        if exec_ns > 0 {
+            self.core.note_class_exec_time(&r.label, exec_ns);
+        }
         let wall_us = exec_ns / 1_000;
         let (state, outcome) = if r.panics && r.cancel.reason().is_none() {
             (
@@ -650,6 +660,25 @@ impl World {
             }
         }
         self.core.bump_activity();
+        // Overload invariant: an accepted job reaches its terminal state
+        // within the deadline-enforcement granularity — a watchdog tick
+        // to notice the deadline, one maximal execution that started
+        // just before the kill, and the cooperative unwind.
+        if self.sc.shed {
+            if let Some(dl) = r.deadline_ns {
+                let grace = self.sc.watchdog_tick_ms * 1_000_000
+                    + self.sc.exec_ns.1
+                    + UNWIND_NS
+                    + 1_000_000;
+                if now > dl.saturating_add(grace) {
+                    self.violations.push(format!(
+                        "job {} finished {}ns past its deadline (grace {grace}ns)",
+                        r.job,
+                        now - dl
+                    ));
+                }
+            }
+        }
         self.trace_line(&format!("t={now} done job={} state={state:?}", r.job));
         self.deliver_completion(r.job);
         if !self.dispatcher_done {
@@ -778,6 +807,27 @@ impl World {
         if !self.clients.iter().any(|c| c.sent_shutdown) {
             self.violations
                 .push("no shutdown was ever sent (drain untested)".into());
+        }
+        if self.sc.shed {
+            // The Hi lane's weighted overtake must keep its predicted
+            // waits under the (deliberately loose) Hi deadlines: a Hi
+            // shed means the admission model lost the lane awareness.
+            let hi_sheds = m.sched_sheds[0].get();
+            if hi_sheds != 0 {
+                self.violations
+                    .push(format!("{hi_sheds} Hi-priority job(s) shed at admission"));
+            }
+            let hi_client_sheds: u64 = self
+                .clients
+                .iter()
+                .filter(|c| c.profile.priority == 1)
+                .map(|c| c.shed)
+                .sum();
+            if hi_client_sheds != 0 {
+                self.violations.push(format!(
+                    "{hi_client_sheds} ShedDeadline response(s) reached Hi clients"
+                ));
+            }
         }
     }
 

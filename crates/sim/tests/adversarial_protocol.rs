@@ -24,6 +24,7 @@ fn sample_requests() -> Vec<Request> {
             deadline_ms: 250,
             idem_key: 0xDEAD_BEEF,
             affinity: 0x5EED,
+            priority: 1,
         },
         Request::Ping,
         Request::Poll { job: 1 },
@@ -130,6 +131,7 @@ fn adversarial_link_into_real_session_stays_typed() {
             SimCoreConfig {
                 queue_cap: 8,
                 default_deadline_ms: 0,
+                shed: false,
                 dedup: DedupConfig {
                     cap: 64,
                     ttl_ns: 1_000_000_000,

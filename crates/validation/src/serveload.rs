@@ -205,6 +205,9 @@ pub fn drive_cancel_storm(
                         // home shard, so the storm exercises both pinned
                         // and cross-shard scheduling.
                         affinity: k as u64 + 1,
+                        // Rotate across all three lanes so the storm also
+                        // exercises weighted lane dispatch.
+                        priority: ((k + r) % 3) as u8,
                     };
                     match c.submit_with_retry_opts(&spec, opts, Duration::from_secs(60)) {
                         Ok(Some((id, _rejections))) => {

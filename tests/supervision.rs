@@ -166,6 +166,7 @@ fn wedged_backend_job_is_escalated_to_fallback() {
         deadline_ms: 150,
         idem_key: 0xA11C_E555,
         affinity: 0,
+        priority: 0,
     };
     let SubmitOutcome::Accepted(id) = c.submit_opts(&spec, opts).unwrap() else {
         panic!("critical-loop job refused");
